@@ -1,0 +1,175 @@
+// Package bench provides one testing.B benchmark per paper artifact
+// (DESIGN.md §3): each benchmark regenerates its table/figure at a reduced
+// scale and reports wall time, so `go test -bench=. -benchmem` exercises
+// the entire reproduction pipeline. Full-scale artifacts come from
+// `go run ./cmd/experiments -run all`.
+package bench
+
+import (
+	"testing"
+
+	"voyager/internal/experiments"
+	"voyager/internal/prefetch/isb"
+	"voyager/internal/prefetch/stms"
+	"voyager/internal/sim"
+	"voyager/internal/trace"
+	"voyager/internal/voyager"
+	"voyager/internal/workloads"
+)
+
+// benchOpts returns a small but non-trivial harness scale: big enough that
+// the shapes (who wins) are visible, small enough to run in seconds.
+func benchOpts(benches ...string) experiments.Options {
+	o := experiments.TestOptions()
+	o.Accesses = 12_000
+	o.Benchmarks = benches
+	return o
+}
+
+func BenchmarkTable2Stats(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRun(benchOpts("astar", "bfs", "cc", "pr"))
+		if got := r.Table2(); len(got.Rows) != 4 {
+			b.Fatalf("rows = %d", len(got.Rows))
+		}
+	}
+}
+
+func BenchmarkFigure5Accuracy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRun(benchOpts("cc"))
+		if s := r.Main().Figure5(); s == "" {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkFigure6Coverage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRun(benchOpts("soplex"))
+		if s := r.Main().Figure6(); s == "" {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkFigure7Unified(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRun(benchOpts("search"))
+		if f := r.Figure7(); len(f.Rows) != 1 {
+			b.Fatal("rows")
+		}
+	}
+}
+
+func BenchmarkFigure8IPC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRun(benchOpts("mcf"))
+		if s := r.Main().Figure8(); s == "" {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkFigure9Degree(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRun(benchOpts("cc"))
+		if f := r.Figure9(); len(f.Degrees) != 4 {
+			b.Fatal("degrees")
+		}
+	}
+}
+
+func BenchmarkFigure1011Breakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRun(benchOpts("mcf"))
+		if f := r.Figure1011(); len(f.ISB) != 1 {
+			b.Fatal("rows")
+		}
+	}
+}
+
+func BenchmarkFigure12Features(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRun(benchOpts("cc"))
+		if f := r.Figure12(); len(f.Rows) != 1 {
+			b.Fatal("rows")
+		}
+	}
+}
+
+func BenchmarkFigure15Labels(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRun(benchOpts("cc"))
+		if f := r.Figure15(); len(f.Rows) != 1 {
+			b.Fatal("rows")
+		}
+	}
+}
+
+func BenchmarkFigure17Overhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRun(benchOpts())
+		if f := r.Figure17(); f.VoyagerFP32 == 0 {
+			b.Fatal("sizes")
+		}
+	}
+}
+
+func BenchmarkDeltaStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRun(benchOpts())
+		if d := r.DeltaStudy(); d.With.Benchmark == "" {
+			b.Fatal("empty")
+		}
+	}
+}
+
+// --- Component micro-benchmarks -------------------------------------------
+
+func ccTrace(b *testing.B, n int) *trace.Trace {
+	b.Helper()
+	tr, err := workloads.Generate("cc", workloads.Config{Seed: 1, Scale: 1, MaxAccesses: n})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tr
+}
+
+func BenchmarkWorkloadGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ccTrace(b, 20_000)
+	}
+}
+
+func BenchmarkSimulatorNoPrefetch(b *testing.B) {
+	tr := ccTrace(b, 20_000)
+	cfg := sim.ScaledConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Simulate(tr, isb.NewIdeal(1), cfg)
+	}
+}
+
+func BenchmarkTablePrefetcherAccess(b *testing.B) {
+	tr := ccTrace(b, 20_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := stms.New(1)
+		for j, a := range tr.Accesses {
+			p.Access(j, a)
+		}
+	}
+}
+
+func BenchmarkVoyagerTrainSmall(b *testing.B) {
+	tr := ccTrace(b, 6_000)
+	cfg := voyager.FastConfig()
+	cfg.EpochAccesses = 1_500
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := voyager.Train(tr, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

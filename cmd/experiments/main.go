@@ -1,0 +1,93 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	go run ./cmd/experiments -run all
+//	go run ./cmd/experiments -run table2,fig7 -accesses 24000 -hidden 64
+//	go run ./cmd/experiments -run fig15 -benchmarks pr,soplex
+//
+// Artifact ids: table1 table2 table3 fig5 fig6 fig7 fig8 fig9 fig10 fig11
+// fig12 fig15 fig17 delta. "fig10" and "fig11" run together, as do
+// fig5/fig6/fig8 (one simulator sweep feeds all three).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"voyager/internal/experiments"
+)
+
+func main() {
+	var (
+		run      = flag.String("run", "all", "comma-separated artifact ids or 'all'")
+		accesses = flag.Int("accesses", 48_000, "raw trace length per benchmark")
+		epochs   = flag.Int("epochs", 4, "online-protocol epochs per stream")
+		hidden   = flag.Int("hidden", 64, "voyager/delta-lstm LSTM units")
+		passes   = flag.Int("passes", 4, "training passes per epoch")
+		window   = flag.Int("window", 10, "unified-metric window")
+		seed     = flag.Int64("seed", 42, "randomness seed")
+		benches  = flag.String("benchmarks", "", "comma-separated benchmark subset (default: per-figure lists)")
+		quiet    = flag.Bool("q", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	opts := experiments.DefaultOptions()
+	opts.Accesses = *accesses
+	opts.Epochs = *epochs
+	opts.Hidden = *hidden
+	opts.Passes = *passes
+	opts.Window = *window
+	opts.Seed = *seed
+	opts.Quiet = *quiet
+	if *benches != "" {
+		opts.Benchmarks = strings.Split(*benches, ",")
+	}
+	r := experiments.NewRun(opts)
+
+	ids := strings.Split(*run, ",")
+	if *run == "all" {
+		ids = []string{"table1", "table2", "table3", "fig5", "fig6", "fig7", "fig8",
+			"fig9", "fig10", "fig12", "fig15", "fig17", "delta"}
+	}
+	start := time.Now()
+	for _, id := range ids {
+		switch strings.TrimSpace(id) {
+		case "table1":
+			fmt.Println(experiments.Table1())
+		case "table2":
+			fmt.Println(r.Table2())
+		case "table3":
+			fmt.Println(experiments.Table3())
+		case "fig5":
+			fmt.Println(r.Main().Figure5())
+		case "fig6":
+			fmt.Println(r.Main().Figure6())
+		case "fig8":
+			fmt.Println(r.Main().Figure8())
+		case "fig7":
+			fmt.Println(r.Figure7())
+		case "fig9":
+			fmt.Println(r.Figure9())
+		case "fig10", "fig11":
+			fmt.Println(r.Figure1011())
+		case "fig12":
+			fmt.Println(r.Figure12())
+		case "fig15":
+			fmt.Println(r.Figure15())
+		case "fig17":
+			fmt.Println(r.Figure17())
+		case "delta":
+			fmt.Println(r.DeltaStudy())
+		default:
+			fmt.Fprintf(os.Stderr, "unknown artifact %q\n", id)
+			os.Exit(2)
+		}
+	}
+	if !*quiet {
+		fmt.Printf("done in %v\n", time.Since(start).Round(time.Second))
+	}
+}

@@ -1,0 +1,142 @@
+// Command prefstat analyzes the predictability structure of a trace: per-PC
+// access counts, global/PC-localized last-successor predictability, stride
+// coverage, and the compulsory-miss share — the quantities that determine
+// which prefetcher family can cover a workload.
+//
+//	go run ./cmd/prefstat -bench soplex
+//	go run ./cmd/prefstat -trace t.vygr -llc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"voyager/internal/sim"
+	"voyager/internal/trace"
+	"voyager/internal/workloads"
+)
+
+func main() {
+	var (
+		bench     = flag.String("bench", "", "benchmark name")
+		traceFile = flag.String("trace", "", "binary trace file")
+		n         = flag.Int("n", 30_000, "max accesses when generating")
+		seed      = flag.Int64("seed", 42, "randomness seed")
+		llc       = flag.Bool("llc", false, "analyze the LLC-filtered stream instead of the raw trace")
+		topPCs    = flag.Int("top", 8, "show the N most frequent PCs")
+	)
+	flag.Parse()
+
+	var tr *trace.Trace
+	var err error
+	switch {
+	case *traceFile != "":
+		f, ferr := os.Open(*traceFile)
+		if ferr != nil {
+			fmt.Fprintln(os.Stderr, "prefstat:", ferr)
+			os.Exit(1)
+		}
+		tr, err = trace.Read(f)
+		f.Close()
+	case *bench != "":
+		tr, err = workloads.Generate(*bench, workloads.Config{Seed: *seed, Scale: 1, MaxAccesses: *n})
+	default:
+		err = fmt.Errorf("one of -bench or -trace is required")
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "prefstat:", err)
+		os.Exit(2)
+	}
+	if *llc {
+		filtered, _ := sim.FilterLLC(tr, sim.ScaledConfig())
+		fmt.Printf("LLC stream: %d of %d accesses (%.1f%%)\n",
+			filtered.Len(), tr.Len(), 100*float64(filtered.Len())/float64(tr.Len()))
+		tr = filtered
+	}
+
+	fmt.Println(trace.ComputeStats(tr))
+
+	// Predictability measures over the second half (first half trains).
+	half := tr.Len() / 2
+	type counters struct{ correct, total int }
+	var global, pcLocal, stride, repeat counters
+	globalSucc := make(map[uint64]uint64)
+	pcSucc := make(map[uint64]uint64)
+	lastByPC := make(map[uint64]uint64)
+	strideByPC := make(map[uint64]int64)
+	seen := make(map[uint64]bool)
+	compulsory := 0
+
+	var prevLine uint64
+	for i, a := range tr.Accesses {
+		line := trace.Line(a.Addr)
+		if i >= half {
+			if !seen[line] {
+				compulsory++
+			}
+			if p, ok := globalSucc[prevLine]; ok && i > 0 {
+				global.total++
+				if p == line {
+					global.correct++
+				}
+			}
+			if last, ok := lastByPC[a.PC]; ok {
+				if p, ok := pcSucc[last]; ok {
+					pcLocal.total++
+					if p == line {
+						pcLocal.correct++
+					}
+				}
+				if s, ok := strideByPC[a.PC]; ok {
+					stride.total++
+					if int64(last)+s == int64(line) {
+						stride.correct++
+					}
+				}
+			}
+			repeat.total++
+			if line == prevLine {
+				repeat.correct++
+			}
+		}
+		if i > 0 {
+			globalSucc[prevLine] = line
+		}
+		if last, ok := lastByPC[a.PC]; ok {
+			pcSucc[last] = line
+			strideByPC[a.PC] = int64(line) - int64(last)
+		}
+		lastByPC[a.PC] = line
+		seen[line] = true
+		prevLine = line
+	}
+
+	pct := func(c counters) float64 {
+		if c.total == 0 {
+			return 0
+		}
+		return 100 * float64(c.correct) / float64(c.total)
+	}
+	fmt.Printf("last-successor predictability (2nd half):\n")
+	fmt.Printf("  global stream        %6.1f%%   (STMS-like)\n", pct(global))
+	fmt.Printf("  PC-localized         %6.1f%%   (ISB-like)\n", pct(pcLocal))
+	fmt.Printf("  per-PC constant stride %4.1f%%   (IP-stride-like)\n", pct(stride))
+	fmt.Printf("  same-line repeat     %6.1f%%\n", pct(repeat))
+	fmt.Printf("  compulsory share     %6.1f%%   (first-touch lines)\n",
+		100*float64(compulsory)/float64(tr.Len()-half))
+
+	// Top PCs with their localized predictability.
+	count := make(map[uint64]int)
+	for _, a := range tr.Accesses {
+		count[a.PC]++
+	}
+	pcs := trace.TopPCs(tr, *topPCs)
+	sort.Slice(pcs, func(i, j int) bool { return count[pcs[i]] > count[pcs[j]] })
+	fmt.Printf("top %d PCs by access count:\n", len(pcs))
+	for _, pc := range pcs {
+		fmt.Printf("  pc %#-8x %7d accesses (%.1f%%)\n",
+			pc, count[pc], 100*float64(count[pc])/float64(tr.Len()))
+	}
+}

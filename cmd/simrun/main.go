@@ -1,0 +1,126 @@
+// Command simrun drives the cache simulator over a benchmark (or a trace
+// file) with a chosen prefetcher and reports IPC, accuracy and coverage.
+//
+// Usage:
+//
+//	go run ./cmd/simrun -bench pr -prefetcher isb -degree 2
+//	go run ./cmd/simrun -trace pr.vygr -prefetcher none
+//	go run ./cmd/simrun -bench mcf -prefetcher all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"voyager/internal/prefetch"
+	"voyager/internal/prefetch/bo"
+	"voyager/internal/prefetch/domino"
+	"voyager/internal/prefetch/hybrid"
+	"voyager/internal/prefetch/isb"
+	"voyager/internal/prefetch/markov"
+	"voyager/internal/prefetch/oracle"
+	"voyager/internal/prefetch/sms"
+	"voyager/internal/prefetch/stms"
+	"voyager/internal/prefetch/stride"
+	"voyager/internal/prefetch/vldp"
+	"voyager/internal/sim"
+	"voyager/internal/trace"
+	"voyager/internal/workloads"
+)
+
+func buildPrefetcher(name string, degree int, tr *trace.Trace) (prefetch.Prefetcher, error) {
+	switch name {
+	case "none":
+		return prefetch.Nil{}, nil
+	case "stms":
+		return stms.New(degree), nil
+	case "isb":
+		return isb.NewIdeal(degree), nil
+	case "isb-structural":
+		return isb.NewStructural(degree), nil
+	case "domino":
+		return domino.New(degree), nil
+	case "bo":
+		return bo.New(degree), nil
+	case "isb+bo":
+		return hybrid.New(degree), nil
+	case "next-line":
+		return stride.NewNextLine(degree), nil
+	case "ip-stride":
+		return stride.NewIP(degree), nil
+	case "markov":
+		return markov.New(degree), nil
+	case "vldp":
+		return vldp.New(degree), nil
+	case "sms":
+		return sms.New(degree), nil
+	case "oracle":
+		return oracle.New(tr, degree, 4), nil
+	}
+	return nil, fmt.Errorf("unknown prefetcher %q", name)
+}
+
+var allPrefetchers = []string{"none", "next-line", "ip-stride", "markov", "vldp", "sms", "stms", "domino", "isb", "isb-structural", "bo", "isb+bo", "oracle"}
+
+func main() {
+	var (
+		bench     = flag.String("bench", "", "benchmark name (generates a trace)")
+		traceFile = flag.String("trace", "", "binary trace file (alternative to -bench)")
+		pfName    = flag.String("prefetcher", "none", "prefetcher name or 'all'")
+		degree    = flag.Int("degree", 1, "prefetch degree")
+		n         = flag.Int("n", 50_000, "max accesses when generating")
+		seed      = flag.Int64("seed", 42, "randomness seed")
+		paper     = flag.Bool("paper-caches", false, "use the full Table 3 hierarchy instead of the scaled one")
+	)
+	flag.Parse()
+
+	var tr *trace.Trace
+	var err error
+	switch {
+	case *traceFile != "":
+		f, ferr := os.Open(*traceFile)
+		if ferr != nil {
+			fmt.Fprintln(os.Stderr, "simrun:", ferr)
+			os.Exit(1)
+		}
+		tr, err = trace.Read(f)
+		f.Close()
+	case *bench != "":
+		tr, err = workloads.Generate(*bench, workloads.Config{Seed: *seed, Scale: 1, MaxAccesses: *n})
+	default:
+		err = fmt.Errorf("one of -bench or -trace is required")
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simrun:", err)
+		os.Exit(2)
+	}
+
+	names := []string{*pfName}
+	if *pfName == "all" {
+		names = allPrefetchers
+	}
+	cfg := sim.ScaledConfig()
+	if *paper {
+		cfg = sim.DefaultConfig()
+	}
+	var baseIPC float64
+	for _, name := range names {
+		pf, err := buildPrefetcher(name, *degree, tr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simrun:", err)
+			os.Exit(2)
+		}
+		res := sim.Simulate(tr, pf, cfg)
+		if name == "none" {
+			baseIPC = res.IPC
+		}
+		speedup := ""
+		if baseIPC > 0 && name != "none" {
+			speedup = fmt.Sprintf(" speedup=%.3f", res.IPC/baseIPC)
+		}
+		fmt.Printf("%-16s ipc=%.3f acc=%.3f cov=%.3f issued=%d useful=%d misses=%d dram=%d%s\n",
+			name, res.IPC, res.Accuracy(), res.Coverage(),
+			res.PrefetchesIssued, res.PrefetchesUseful, res.LLCDemandMisses, res.DRAMRequests, speedup)
+	}
+}

@@ -1,0 +1,73 @@
+// Command tracegen generates and inspects benchmark memory-access traces.
+//
+// Usage:
+//
+//	go run ./cmd/tracegen -bench pr -n 100000 -o pr.vygr
+//	go run ./cmd/tracegen -bench all -stats
+//	go run ./cmd/tracegen -bench mcf -n 5000 -text -o mcf.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"voyager/internal/trace"
+	"voyager/internal/workloads"
+)
+
+func main() {
+	var (
+		bench = flag.String("bench", "all", "benchmark name or 'all'")
+		n     = flag.Int("n", 50_000, "max accesses")
+		seed  = flag.Int64("seed", 42, "randomness seed")
+		scale = flag.Int("scale", 1, "footprint scale factor")
+		out   = flag.String("o", "", "output file (default: stats only)")
+		text  = flag.Bool("text", false, "write the text format instead of binary")
+		top   = flag.Int("top", 0, "also print the top-N most frequent PCs")
+	)
+	flag.Parse()
+
+	cfg := workloads.Config{Seed: *seed, Scale: *scale, MaxAccesses: *n}
+	names := []string{*bench}
+	if *bench == "all" {
+		names = workloads.Names()
+		if *out != "" {
+			fmt.Fprintln(os.Stderr, "tracegen: -o requires a single benchmark")
+			os.Exit(2)
+		}
+	}
+	for _, name := range names {
+		tr, err := workloads.Generate(name, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+			os.Exit(1)
+		}
+		fmt.Println(trace.ComputeStats(tr))
+		if *top > 0 {
+			for _, pc := range trace.TopPCs(tr, *top) {
+				fmt.Printf("  pc %#x\n", pc)
+			}
+		}
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "tracegen:", err)
+				os.Exit(1)
+			}
+			write := trace.Write
+			if *text {
+				write = trace.WriteText
+			}
+			if err := write(f, tr); err != nil {
+				fmt.Fprintln(os.Stderr, "tracegen:", err)
+				os.Exit(1)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "tracegen:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *out)
+		}
+	}
+}

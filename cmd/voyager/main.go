@@ -1,0 +1,139 @@
+// Command voyager trains the Voyager model on a benchmark (or trace file)
+// with the paper's online protocol and reports unified accuracy/coverage,
+// per-epoch losses, and the model's size.
+//
+// Usage:
+//
+//	go run ./cmd/voyager -bench soplex
+//	go run ./cmd/voyager -bench pr -hidden 64 -passes 4 -degree 4
+//	go run ./cmd/voyager -trace pr.vygr -schemes pc -no-deltas
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"voyager/internal/eval"
+	"voyager/internal/label"
+	"voyager/internal/trace"
+	"voyager/internal/voyager"
+	"voyager/internal/workloads"
+)
+
+func parseSchemes(s string) ([]label.Scheme, error) {
+	if s == "" || s == "all" {
+		return label.AllSchemes(), nil
+	}
+	var out []label.Scheme
+	for _, name := range strings.Split(s, ",") {
+		found := false
+		for _, sc := range label.AllSchemes() {
+			if sc.String() == name {
+				out = append(out, sc)
+				found = true
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("unknown labeling scheme %q", name)
+		}
+	}
+	return out, nil
+}
+
+func main() {
+	var (
+		bench     = flag.String("bench", "", "benchmark name (generates a trace)")
+		traceFile = flag.String("trace", "", "binary trace file")
+		n         = flag.Int("n", 24_000, "max accesses when generating")
+		seed      = flag.Int64("seed", 42, "randomness seed")
+		hidden    = flag.Int("hidden", 64, "LSTM units")
+		passes    = flag.Int("passes", 4, "training passes per epoch")
+		epoch     = flag.Int("epoch", 6_000, "epoch length in accesses")
+		degree    = flag.Int("degree", 1, "prefetch degree")
+		schemes   = flag.String("schemes", "all", "labeling schemes (comma list: global,pc,basic-block,spatial,co-occurrence)")
+		noDeltas  = flag.Bool("no-deltas", false, "disable the delta vocabulary (Voyager w/o delta)")
+		noPC      = flag.Bool("no-pc", false, "drop the PC-history feature")
+		window    = flag.Int("window", eval.DefaultWindow, "unified-metric window")
+		saveFile  = flag.String("save", "", "write trained weights to this file")
+	)
+	flag.Parse()
+
+	var tr *trace.Trace
+	var err error
+	switch {
+	case *traceFile != "":
+		f, ferr := os.Open(*traceFile)
+		if ferr != nil {
+			fmt.Fprintln(os.Stderr, "voyager:", ferr)
+			os.Exit(1)
+		}
+		tr, err = trace.Read(f)
+		f.Close()
+	case *bench != "":
+		tr, err = workloads.Generate(*bench, workloads.Config{Seed: *seed, Scale: 1, MaxAccesses: *n})
+	default:
+		err = fmt.Errorf("one of -bench or -trace is required")
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "voyager:", err)
+		os.Exit(2)
+	}
+
+	cfg := voyager.ScaledConfig()
+	cfg.Seed = *seed
+	cfg.Hidden = *hidden
+	cfg.PassesPerEpoch = *passes
+	cfg.EpochAccesses = *epoch
+	cfg.Degree = *degree
+	cfg.UseDeltas = !*noDeltas
+	cfg.DropoutKeep = 1
+	if *noPC {
+		cfg.PCUse = voyager.PCNone
+	}
+	cfg.Schemes, err = parseSchemes(*schemes)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "voyager:", err)
+		os.Exit(2)
+	}
+
+	fmt.Println(trace.ComputeStats(tr))
+	start := time.Now()
+	p, err := voyager.Train(tr, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "voyager:", err)
+		os.Exit(1)
+	}
+	elapsed := time.Since(start)
+
+	u := eval.Unified(tr, p.Predictions(), *window, cfg.EpochAccesses)
+	fmt.Printf("trained %d samples in %v (%d params, %d bytes fp32)\n",
+		p.TrainedSamples(), elapsed.Round(time.Millisecond),
+		p.Model.Params().Count(), p.Model.Params().Bytes(32))
+	fmt.Printf("epoch losses: ")
+	for _, l := range p.EpochLosses() {
+		fmt.Printf("%.4f ", l)
+	}
+	fmt.Println()
+	fmt.Printf("unified accuracy/coverage (window %d): %.3f\n", *window, u)
+	fmt.Printf("vocabulary: %s\n", p.Model.Vocab())
+
+	if *saveFile != "" {
+		f, err := os.Create(*saveFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "voyager:", err)
+			os.Exit(1)
+		}
+		if err := p.SaveWeights(f); err != nil {
+			fmt.Fprintln(os.Stderr, "voyager:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "voyager:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("weights saved to %s\n", *saveFile)
+	}
+}

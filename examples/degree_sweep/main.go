@@ -1,0 +1,65 @@
+// Degree sweep: the paper's Figure 9 shows Voyager's coverage at degree 1
+// rivaling ISB at degree 8. This example runs the sweep on one benchmark:
+// Voyager is trained once with degree-8 predictions, which are truncated
+// for the lower degrees, while ISB and the ISB+BO hybrid are re-run at each
+// degree.
+//
+//	go run ./examples/degree_sweep
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"voyager/internal/prefetch"
+	"voyager/internal/prefetch/hybrid"
+	"voyager/internal/prefetch/isb"
+	"voyager/internal/sim"
+	"voyager/internal/voyager"
+	"voyager/internal/workloads"
+)
+
+func main() {
+	tr, err := workloads.Generate("soplex", workloads.Config{
+		Seed:        42,
+		Scale:       1,
+		MaxAccesses: 30_000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := sim.ScaledConfig()
+	stream, origIdx := sim.FilterLLC(tr, cfg)
+
+	vcfg := voyager.ScaledConfig()
+	vcfg.EpochAccesses = stream.Len() / 4
+	vcfg.DropoutKeep = 1
+	vcfg.Hidden = 64
+	vcfg.PassesPerEpoch = 4
+	vcfg.Degree = 8
+	fmt.Println("training voyager (degree 8) on soplex's LLC stream...")
+	p, err := voyager.Train(stream, vcfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	mapPreds := func(k int) [][]uint64 {
+		out := make([][]uint64, tr.Len())
+		for j, preds := range p.Predictions() {
+			if len(preds) > k {
+				preds = preds[:k]
+			}
+			out[origIdx[j]] = preds
+		}
+		return out
+	}
+
+	fmt.Printf("\n%-8s %10s %10s %10s\n", "degree", "voyager", "isb", "isb+bo")
+	for _, d := range []int{1, 2, 4, 8} {
+		voy := sim.Simulate(tr, &prefetch.Precomputed{Label: "voyager", Predictions: mapPreds(d)}, cfg)
+		ib := sim.Simulate(tr, isb.NewIdeal(d), cfg)
+		hy := sim.Simulate(tr, hybrid.New(d), cfg)
+		fmt.Printf("%-8d %10.3f %10.3f %10.3f\n", d, voy.Coverage(), ib.Coverage(), hy.Coverage())
+	}
+	fmt.Println("\n(coverage of LLC misses; higher is better)")
+}

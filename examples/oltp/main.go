@@ -1,0 +1,63 @@
+// OLTP study: the paper's headline claim for Google's search and ads is
+// that existing prefetchers barely help these many-PC, huge-footprint
+// workloads while Voyager does. This example reproduces that comparison
+// with the unified accuracy/coverage metric on the search- and ads-style
+// generators (no IPC: like the paper's traces, these are memory-only
+// streams).
+//
+//	go run ./examples/oltp
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"voyager/internal/eval"
+	"voyager/internal/prefetch/bo"
+	"voyager/internal/prefetch/isb"
+	"voyager/internal/prefetch/stms"
+	"voyager/internal/trace"
+	"voyager/internal/voyager"
+	"voyager/internal/workloads"
+)
+
+func main() {
+	for _, name := range []string{"search", "ads"} {
+		tr, err := workloads.Generate(name, workloads.Config{
+			Seed:        42,
+			Scale:       1,
+			MaxAccesses: 24_000,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(trace.ComputeStats(tr))
+
+		epoch := tr.Len() / 4
+		vcfg := voyager.ScaledConfig()
+		vcfg.EpochAccesses = epoch
+		vcfg.DropoutKeep = 1
+		vcfg.Hidden = 64
+		vcfg.PassesPerEpoch = 4
+		fmt.Printf("training voyager on %s...\n", name)
+		p, err := voyager.Train(tr, vcfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		rows := []struct {
+			name  string
+			preds [][]uint64
+		}{
+			{"stms", eval.CollectPredictions(tr, stms.New(1))},
+			{"isb", eval.CollectPredictions(tr, isb.NewIdeal(1))},
+			{"bo", eval.CollectPredictions(tr, bo.New(1))},
+			{"voyager", p.Predictions()},
+		}
+		for _, r := range rows {
+			u := eval.Unified(tr, r.preds, eval.DefaultWindow, epoch)
+			fmt.Printf("  %-8s unified acc/cov = %5.1f%%\n", r.name, 100*u)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,70 @@
+// PageRank end-to-end: generate the GAP pr workload, run the full cache
+// simulator with no prefetcher, idealized ISB, and Voyager, and compare
+// accuracy / coverage / IPC — a miniature of the paper's Figures 5, 6, 8
+// on the workload its Figure 13 analyzes.
+//
+//	go run ./examples/pagerank
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"voyager/internal/prefetch"
+	"voyager/internal/prefetch/isb"
+	"voyager/internal/sim"
+	"voyager/internal/voyager"
+	"voyager/internal/workloads"
+)
+
+func main() {
+	tr, err := workloads.Generate("pr", workloads.Config{
+		Seed:        42,
+		Scale:       1,
+		MaxAccesses: 30_000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := sim.ScaledConfig()
+
+	// The prefetchers observe the LLC access stream; Voyager trains on it.
+	llcStream, origIdx := sim.FilterLLC(tr, cfg)
+	fmt.Printf("pr: %d loads, %d reach the LLC\n", tr.Len(), llcStream.Len())
+
+	vcfg := voyager.ScaledConfig()
+	vcfg.EpochAccesses = llcStream.Len() / 4
+	vcfg.DropoutKeep = 1
+	vcfg.Hidden = 64
+	vcfg.PassesPerEpoch = 4
+	fmt.Println("training voyager on the LLC stream...")
+	p, err := voyager.Train(llcStream, vcfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Map the stream predictions back to raw trace positions for the
+	// simulator.
+	voyPreds := make([][]uint64, tr.Len())
+	for j, preds := range p.Predictions() {
+		voyPreds[origIdx[j]] = preds
+	}
+
+	runs := []struct {
+		name string
+		pf   prefetch.Prefetcher
+	}{
+		{"no prefetcher", prefetch.Nil{}},
+		{"isb (idealized)", isb.NewIdeal(1)},
+		{"voyager", &prefetch.Precomputed{Label: "voyager", Predictions: voyPreds}},
+	}
+	var base float64
+	fmt.Printf("\n%-18s %8s %8s %8s %8s\n", "prefetcher", "IPC", "speedup", "acc", "cov")
+	for _, r := range runs {
+		res := sim.Simulate(tr, r.pf, cfg)
+		if base == 0 {
+			base = res.IPC
+		}
+		fmt.Printf("%-18s %8.3f %8.3f %8.3f %8.3f\n",
+			r.name, res.IPC, res.IPC/base, res.Accuracy(), res.Coverage())
+	}
+}

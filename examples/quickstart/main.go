@@ -1,0 +1,59 @@
+// Quickstart: train Voyager on a small PageRank trace and inspect its
+// predictions — the minimal end-to-end use of the library.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"voyager/internal/eval"
+	"voyager/internal/trace"
+	"voyager/internal/voyager"
+	"voyager/internal/workloads"
+)
+
+func main() {
+	// 1. Generate a memory-access trace: the GAP PageRank kernel running
+	//    over a Kronecker graph, recorded load by load.
+	tr, err := workloads.Generate("pr", workloads.Config{
+		Seed:        1,
+		Scale:       1,
+		MaxAccesses: 12_000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("trace:", trace.ComputeStats(tr))
+
+	// 2. Train Voyager with the paper's online protocol: the model trains
+	//    on each epoch and predicts the next one.
+	cfg := voyager.ScaledConfig()
+	cfg.EpochAccesses = 3_000
+	cfg.DropoutKeep = 1
+	p, err := voyager.Train(tr, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("model: %d parameters (%d KB fp32), vocabulary %v\n",
+		p.Model.Params().Count(), p.Model.Params().Bytes(32)/1024, p.Model.Vocab())
+	fmt.Printf("per-epoch training loss: %.4f\n", p.EpochLosses())
+
+	// 3. Evaluate with the paper's unified accuracy/coverage metric.
+	u := eval.Unified(tr, p.Predictions(), eval.DefaultWindow, cfg.EpochAccesses)
+	fmt.Printf("unified accuracy/coverage: %.1f%%\n", 100*u)
+
+	// 4. Peek at a few predictions.
+	fmt.Println("\nsample predictions (trigger -> predicted next line):")
+	shown := 0
+	for i := cfg.EpochAccesses; i < tr.Len() && shown < 5; i++ {
+		preds := p.Predictions()[i]
+		if len(preds) == 0 {
+			continue
+		}
+		fmt.Printf("  access %5d: line %#x -> prefetch line %#x\n",
+			i, trace.Line(tr.Accesses[i].Addr), trace.Line(preds[0]))
+		shown++
+	}
+}

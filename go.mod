@@ -1,0 +1,3 @@
+module voyager
+
+go 1.22

@@ -1,0 +1,202 @@
+// Package eval implements the paper's evaluation metrics outside the
+// simulator: the unified accuracy/coverage metric of §5.1 (following
+// Srivastava et al.), the access-pattern breakdown of Figures 10–11, and
+// the model-cost accounting of §5.4 / Figure 17.
+package eval
+
+import (
+	"fmt"
+
+	"voyager/internal/prefetch"
+	"voyager/internal/trace"
+)
+
+// DefaultWindow is the future window within which a degree-1 prediction
+// must be demanded to count as correct for the unified metric. The paper
+// counts a prediction correct "when it correctly predicts the next load
+// address"; with multi-label localization the learned label is the next
+// load of *some* localized stream, so we check the prediction against the
+// next Window global loads (we use the co-occurrence window of §4.4).
+const DefaultWindow = 10
+
+// Unified computes the unified accuracy/coverage metric over accesses
+// [skip, n): the fraction of accesses whose top prediction matches one of
+// the next `window` accessed lines. Unpredicted accesses count against the
+// metric (that is what unifies accuracy with coverage).
+func Unified(tr *trace.Trace, preds [][]uint64, window, skip int) float64 {
+	n := tr.Len()
+	if skip >= n {
+		return 0
+	}
+	correct := 0
+	for i := skip; i < n; i++ {
+		if i >= len(preds) || len(preds[i]) == 0 {
+			continue
+		}
+		want := trace.Line(preds[i][0])
+		hi := i + 1 + window
+		if hi > n {
+			hi = n
+		}
+		for j := i + 1; j < hi; j++ {
+			if trace.Line(tr.Accesses[j].Addr) == want {
+				correct++
+				break
+			}
+		}
+	}
+	return float64(correct) / float64(n-skip)
+}
+
+// CollectPredictions runs an (online-training) prefetcher over the trace
+// and records its per-access predictions; used to evaluate table-based
+// baselines with the unified metric.
+func CollectPredictions(tr *trace.Trace, pf prefetch.Prefetcher) [][]uint64 {
+	out := make([][]uint64, tr.Len())
+	for i, a := range tr.Accesses {
+		out[i] = pf.Access(i, a)
+	}
+	return out
+}
+
+// PatternKind classifies why an access was (not) covered, per the paper's
+// Figures 10-11 categories.
+type PatternKind int
+
+// Figure 10/11 categories.
+const (
+	Covered PatternKind = iota
+	UncoveredSpatial
+	UncoveredCoOccur
+	UncoveredOther
+	UncoveredCompulsory
+	NumPatternKinds
+)
+
+// String names the category.
+func (k PatternKind) String() string {
+	switch k {
+	case Covered:
+		return "covered"
+	case UncoveredSpatial:
+		return "uncovered-spatial"
+	case UncoveredCoOccur:
+		return "uncovered-cooccur"
+	case UncoveredOther:
+		return "uncovered-other"
+	case UncoveredCompulsory:
+		return "uncovered-compulsory"
+	}
+	return "?"
+}
+
+// BreakdownResult holds the per-category fractions (summing to 1).
+type BreakdownResult struct {
+	Benchmark  string
+	Prefetcher string
+	Frac       [NumPatternKinds]float64
+}
+
+// String formats one Figure 10/11 bar.
+func (b BreakdownResult) String() string {
+	return fmt.Sprintf("%-10s %-14s covered=%.3f spatial=%.3f cooccur=%.3f other=%.3f compulsory=%.3f",
+		b.Benchmark, b.Prefetcher,
+		b.Frac[Covered], b.Frac[UncoveredSpatial], b.Frac[UncoveredCoOccur],
+		b.Frac[UncoveredOther], b.Frac[UncoveredCompulsory])
+}
+
+// Breakdown classifies every access in [skip, n) the way Figures 10–11 do:
+// an access is covered when the previous access's prediction list includes
+// its line (within the unified window); otherwise it is classified as a
+// compulsory miss (first-ever touch of the line), a spatial pattern
+// (within ±256 lines of the previous access), a top-10 co-occurrence
+// pattern (the line is among the 10 most frequent successors of the
+// trigger line so far), or other.
+func Breakdown(tr *trace.Trace, preds [][]uint64, window, skip int) BreakdownResult {
+	n := tr.Len()
+	res := BreakdownResult{Benchmark: tr.Name}
+	if skip >= n {
+		return res
+	}
+	seen := make(map[uint64]bool, n)
+	// successor counts for co-occurrence classification
+	succCount := make(map[uint64]map[uint64]int)
+
+	// Precompute covered targets: target line → covered if predicted by
+	// any of the previous `window` accesses.
+	counts := [NumPatternKinds]int{}
+	total := 0
+	for i := 0; i < n; i++ {
+		line := trace.Line(tr.Accesses[i].Addr)
+		if i >= skip && i > 0 {
+			total++
+			prevLine := trace.Line(tr.Accesses[i-1].Addr)
+			kind := classify(i, line, prevLine, tr, preds, window, seen, succCount)
+			counts[kind]++
+		}
+		// Update history state.
+		if i > 0 {
+			prevLine := trace.Line(tr.Accesses[i-1].Addr)
+			m := succCount[prevLine]
+			if m == nil {
+				m = make(map[uint64]int)
+				succCount[prevLine] = m
+			}
+			m[line]++
+		}
+		seen[line] = true
+	}
+	if total == 0 {
+		return res
+	}
+	for k := 0; k < int(NumPatternKinds); k++ {
+		res.Frac[k] = float64(counts[k]) / float64(total)
+	}
+	return res
+}
+
+func classify(i int, line, prevLine uint64, tr *trace.Trace, preds [][]uint64,
+	window int, seen map[uint64]bool, succCount map[uint64]map[uint64]int) PatternKind {
+	// Covered: some prediction in the previous `window` accesses named it.
+	lo := i - window
+	if lo < 0 {
+		lo = 0
+	}
+	for j := lo; j < i; j++ {
+		if j >= len(preds) {
+			break
+		}
+		for _, p := range preds[j] {
+			if trace.Line(p) == line {
+				return Covered
+			}
+		}
+	}
+	if !seen[line] {
+		return UncoveredCompulsory
+	}
+	d := int64(line) - int64(prevLine)
+	if d >= -256 && d <= 256 {
+		return UncoveredSpatial
+	}
+	// Co-occurrence: line among the top 10 successors of prevLine so far.
+	if m := succCount[prevLine]; m != nil {
+		cnt, ok := m[line]
+		if ok {
+			higher := 0
+			for _, c := range m {
+				if c > cnt {
+					higher++
+				}
+			}
+			if higher < 10 {
+				return UncoveredCoOccur
+			}
+		}
+	}
+	return UncoveredOther
+}
+
+// Coverage returns 1 - (uncovered fraction) from a breakdown, i.e. the
+// covered share — the quantity Figures 10/11 stack.
+func (b BreakdownResult) Coverage() float64 { return b.Frac[Covered] }

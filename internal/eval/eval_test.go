@@ -1,0 +1,142 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"voyager/internal/prefetch"
+	"voyager/internal/trace"
+)
+
+func mkTrace(lines ...uint64) *trace.Trace {
+	tr := &trace.Trace{Name: "t"}
+	for i, l := range lines {
+		tr.Append(1, l<<trace.LineBits, uint64(i+1))
+	}
+	return tr
+}
+
+func preds(m map[int]uint64, n int) [][]uint64 {
+	out := make([][]uint64, n)
+	for i, l := range m {
+		out[i] = []uint64{l << trace.LineBits}
+	}
+	return out
+}
+
+func TestUnifiedStrictWindow(t *testing.T) {
+	tr := mkTrace(1, 2, 3, 4)
+	// Predict correctly at 0 and 2, wrong at 1, nothing at 3.
+	p := preds(map[int]uint64{0: 2, 1: 99, 2: 4}, 4)
+	got := Unified(tr, p, 1, 0)
+	if math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("unified = %v, want 0.5", got)
+	}
+}
+
+func TestUnifiedWindowCreditsNearFuture(t *testing.T) {
+	tr := mkTrace(1, 2, 3, 4, 5)
+	// At access 0 predict line 4 (three steps ahead).
+	p := preds(map[int]uint64{0: 4}, 5)
+	if got := Unified(tr, p, 1, 0); got != 0 {
+		t.Fatalf("window 1 should not credit: %v", got)
+	}
+	if got := Unified(tr, p, 5, 0); got != 0.2 {
+		t.Fatalf("window 5 should credit 1/5: %v", got)
+	}
+}
+
+func TestUnifiedSkip(t *testing.T) {
+	tr := mkTrace(1, 2, 3, 4)
+	p := preds(map[int]uint64{2: 4}, 4)
+	if got := Unified(tr, p, 1, 2); got != 0.5 {
+		t.Fatalf("skip=2: %v, want 0.5 (1 of 2)", got)
+	}
+	if got := Unified(tr, p, 1, 10); got != 0 {
+		t.Fatalf("skip beyond end: %v", got)
+	}
+}
+
+func TestCollectPredictions(t *testing.T) {
+	tr := mkTrace(7, 8, 9)
+	pf := prefetch.Func{Label: "echo", Fn: func(i int, a trace.Access) []uint64 {
+		return []uint64{a.Addr}
+	}}
+	got := CollectPredictions(tr, pf)
+	if len(got) != 3 || trace.Line(got[1][0]) != 8 {
+		t.Fatalf("collect: %v", got)
+	}
+}
+
+func TestBreakdownCategories(t *testing.T) {
+	// Construct a trace exercising each category:
+	//   1,2 warmup; then: 3 (spatial of 2), 5000 (other after reuse),
+	//   5000 again → covered via prediction, 9999 (compulsory).
+	tr := mkTrace(1, 2, 3, 5000, 2, 3, 5000, 9999)
+	p := make([][]uint64, tr.Len())
+	// Predict access 6 (5000) from access 5 (3).
+	p[5] = []uint64{5000 << trace.LineBits}
+	res := Breakdown(tr, p, 1, 1)
+	if res.Frac[Covered] == 0 {
+		t.Fatalf("expected covered fraction, got %+v", res)
+	}
+	if res.Frac[UncoveredCompulsory] == 0 {
+		t.Fatalf("expected compulsory fraction (line 9999), got %+v", res)
+	}
+	if res.Frac[UncoveredSpatial] == 0 {
+		t.Fatalf("expected spatial fraction, got %+v", res)
+	}
+	var sum float64
+	for _, f := range res.Frac {
+		sum += f
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("fractions sum to %v", sum)
+	}
+	if res.Coverage() != res.Frac[Covered] {
+		t.Fatalf("Coverage accessor mismatch")
+	}
+}
+
+func TestBreakdownCoOccurrence(t *testing.T) {
+	// Line 100 is repeatedly followed by far-away line 9000 (non-spatial):
+	// after a few repetitions the pair is a top-10 co-occurrence.
+	var lines []uint64
+	for i := 0; i < 6; i++ {
+		lines = append(lines, 100, 9000)
+	}
+	tr := mkTrace(lines...)
+	res := Breakdown(tr, make([][]uint64, tr.Len()), 1, 2)
+	if res.Frac[UncoveredCoOccur] == 0 {
+		t.Fatalf("expected co-occurrence bucket: %+v", res)
+	}
+}
+
+func TestPatternKindStrings(t *testing.T) {
+	names := []string{"covered", "uncovered-spatial", "uncovered-cooccur",
+		"uncovered-other", "uncovered-compulsory"}
+	for k, want := range names {
+		if PatternKind(k).String() != want {
+			t.Fatalf("kind %d = %q", k, PatternKind(k).String())
+		}
+	}
+	if PatternKind(99).String() != "?" {
+		t.Fatalf("unknown kind")
+	}
+	r := BreakdownResult{Benchmark: "x", Prefetcher: "y"}
+	if r.String() == "" {
+		t.Fatalf("empty string")
+	}
+}
+
+func TestBreakdownEmptyAndShort(t *testing.T) {
+	tr := mkTrace(1)
+	res := Breakdown(tr, nil, 1, 5)
+	var sum float64
+	for _, f := range res.Frac {
+		sum += f
+	}
+	if sum != 0 {
+		t.Fatalf("short trace should produce zero fractions")
+	}
+}

@@ -1,0 +1,305 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§5). Each runner returns a structured result with a String
+// method that prints the same rows/series the paper reports; cmd/experiments
+// exposes them by id (table1..table3, fig5..fig17) and bench_test.go wraps
+// them in testing.B benchmarks.
+//
+// Scale: the paper simulates 250M-instruction SimPoints and trains Voyager
+// with Table 1's full sizes. This harness runs the same protocol end-to-end
+// at a CPU-friendly scale (Options.Accesses-long traces, voyager scaled
+// dimensions); EXPERIMENTS.md records paper-vs-measured for every artifact.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"voyager/internal/eval"
+	"voyager/internal/prefetch"
+	"voyager/internal/prefetch/bo"
+	"voyager/internal/prefetch/deltalstm"
+	"voyager/internal/prefetch/domino"
+	"voyager/internal/prefetch/isb"
+	"voyager/internal/prefetch/stms"
+	"voyager/internal/sim"
+	"voyager/internal/trace"
+	"voyager/internal/voyager"
+	"voyager/internal/workloads"
+)
+
+// Options scales the experiment harness.
+type Options struct {
+	Seed     int64
+	Accesses int // raw trace length per benchmark
+	Epochs   int // number of online-protocol epochs the stream is cut into
+	Window   int // unified-metric window
+	// Voyager model size for the main comparison. Ablation figures use a
+	// proportionally smaller model to stay affordable.
+	Hidden int
+	Passes int
+	// Benchmarks restricts which benchmarks run (nil = paper's full list;
+	// ablation figures default to AblationBenchmarks when nil).
+	Benchmarks []string
+	// Quiet suppresses progress lines.
+	Quiet bool
+	Logf  func(format string, args ...interface{})
+}
+
+// DefaultOptions is the scale used for EXPERIMENTS.md.
+func DefaultOptions() Options {
+	return Options{
+		Seed:     42,
+		Accesses: 48_000,
+		Epochs:   4,
+		Window:   eval.DefaultWindow,
+		Hidden:   64,
+		Passes:   4,
+	}
+}
+
+// TestOptions is a tiny scale for the repository's own test suite.
+func TestOptions() Options {
+	return Options{
+		Seed:     7,
+		Accesses: 12_000,
+		Epochs:   4,
+		Window:   eval.DefaultWindow,
+		Hidden:   32,
+		Passes:   2,
+		Quiet:    true,
+	}
+}
+
+func (o Options) logf(format string, args ...interface{}) {
+	if o.Quiet {
+		return
+	}
+	if o.Logf != nil {
+		o.Logf(format, args...)
+		return
+	}
+	fmt.Printf(format+"\n", args...)
+}
+
+// AblationBenchmarks is the default subset for the multi-training ablation
+// figures (12, 15): one representative per pattern class, chosen among the
+// benchmarks with compact LLC streams since each costs 3-5 extra Voyager
+// trainings (override with Options.Benchmarks / -benchmarks for more).
+var AblationBenchmarks = []string{"pr", "soplex", "cc"}
+
+func (o Options) benchList(defaultList []string) []string {
+	if len(o.Benchmarks) > 0 {
+		return o.Benchmarks
+	}
+	return defaultList
+}
+
+// epochLen cuts a stream of n accesses into Epochs epochs.
+func (o Options) epochLen(n int) int {
+	e := o.Epochs
+	if e < 2 {
+		e = 2
+	}
+	l := n / e
+	if l < 64 {
+		l = 64
+	}
+	return l
+}
+
+// voyagerConfig builds the experiment-scale Voyager configuration for a
+// stream of the given length.
+func (o Options) voyagerConfig(streamLen int) voyager.Config {
+	c := voyager.ScaledConfig()
+	c.Seed = o.Seed
+	c.EpochAccesses = o.epochLen(streamLen)
+	if o.Hidden > 0 {
+		c.Hidden = o.Hidden
+	}
+	if o.Passes > 0 {
+		c.PassesPerEpoch = o.Passes
+	}
+	c.DropoutKeep = 1 // scaled models are too small to need regularization
+	return c
+}
+
+func (o Options) deltaLSTMConfig(streamLen int) deltalstm.Config {
+	c := deltalstm.ScaledConfig()
+	c.Seed = o.Seed
+	c.EpochAccesses = o.epochLen(streamLen)
+	if o.Hidden > 0 {
+		c.Hidden = o.Hidden
+	}
+	if o.Passes > 0 {
+		c.PassesPerEpoch = o.Passes
+	}
+	c.LearningRate = 0.01
+	return c
+}
+
+func (o Options) workloadConfig() workloads.Config {
+	return workloads.Config{Seed: o.Seed, Scale: 1, MaxAccesses: o.Accesses}
+}
+
+// traceFor generates (and memoizes) a benchmark trace.
+func (o Options) traceFor(c *cache, name string) *trace.Trace {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if tr, ok := c.traces[name]; ok {
+		return tr
+	}
+	tr, err := workloads.Generate(name, o.workloadConfig())
+	if err != nil {
+		panic(err)
+	}
+	c.traces[name] = tr
+	return tr
+}
+
+// stream is the access stream a predictor observes: for simulatable
+// benchmarks the LLC-filtered sub-trace (the paper's prefetcher input), for
+// the Google traces the raw stream. OrigIdx maps stream positions back to
+// raw-trace indices (nil for unfiltered streams).
+type stream struct {
+	Trace   *trace.Trace
+	OrigIdx []int
+}
+
+// mapToOriginal spreads per-stream predictions onto raw-trace indices so
+// the simulator (which triggers the prefetcher on LLC accesses by raw
+// index) can replay them.
+func (s *stream) mapToOriginal(rawLen int, preds [][]uint64) [][]uint64 {
+	if s.OrigIdx == nil {
+		return preds
+	}
+	out := make([][]uint64, rawLen)
+	for j, p := range preds {
+		out[s.OrigIdx[j]] = p
+	}
+	return out
+}
+
+// cache memoizes traces, filtered streams and trained models across figures
+// within one run.
+type cache struct {
+	mu      sync.Mutex
+	traces  map[string]*trace.Trace
+	streams map[string]*stream
+	voyager map[string]*voyager.Predictor // degree-8 predictions, truncate per use
+	dlstm   map[string]*deltalstm.Model
+}
+
+func newCache() *cache {
+	return &cache{
+		traces:  make(map[string]*trace.Trace),
+		streams: make(map[string]*stream),
+		voyager: make(map[string]*voyager.Predictor),
+		dlstm:   make(map[string]*deltalstm.Model),
+	}
+}
+
+// Run bundles the harness state so figures can share trained models.
+type Run struct {
+	Opts  Options
+	cache *cache
+	main  *MainResult
+}
+
+// NewRun creates an experiment run.
+func NewRun(opts Options) *Run { return &Run{Opts: opts, cache: newCache()} }
+
+// streamFor returns the benchmark's predictor-input stream: the
+// LLC-filtered sub-trace for simulatable benchmarks, the raw trace for the
+// Google workloads (which the paper also evaluates unfiltered).
+func (r *Run) streamFor(name string) *stream {
+	r.cache.mu.Lock()
+	if st, ok := r.cache.streams[name]; ok {
+		r.cache.mu.Unlock()
+		return st
+	}
+	r.cache.mu.Unlock()
+
+	tr := r.Opts.traceFor(r.cache, name)
+	st := &stream{Trace: tr}
+	if spec, err := workloads.ByName(name); err == nil && spec.Simulatable {
+		filtered, idx := sim.FilterLLC(tr, sim.ScaledConfig())
+		st = &stream{Trace: filtered, OrigIdx: idx}
+	}
+	r.cache.mu.Lock()
+	r.cache.streams[name] = st
+	r.cache.mu.Unlock()
+	return st
+}
+
+// voyagerFor trains (once) the main Voyager model for a benchmark's stream
+// with degree-8 predictions; figures truncate to the degree they need.
+func (r *Run) voyagerFor(name string) *voyager.Predictor {
+	r.cache.mu.Lock()
+	if p, ok := r.cache.voyager[name]; ok {
+		r.cache.mu.Unlock()
+		return p
+	}
+	r.cache.mu.Unlock()
+
+	st := r.streamFor(name)
+	cfg := r.Opts.voyagerConfig(st.Trace.Len())
+	cfg.Degree = 8
+	r.Opts.logf("  training voyager on %s (%d stream accesses)...", name, st.Trace.Len())
+	p, err := voyager.Train(st.Trace, cfg)
+	if err != nil {
+		panic(err)
+	}
+	r.cache.mu.Lock()
+	r.cache.voyager[name] = p
+	r.cache.mu.Unlock()
+	return p
+}
+
+// dlstmFor trains (once) the Delta-LSTM baseline for a benchmark's stream.
+func (r *Run) dlstmFor(name string) *deltalstm.Model {
+	r.cache.mu.Lock()
+	if m, ok := r.cache.dlstm[name]; ok {
+		r.cache.mu.Unlock()
+		return m
+	}
+	r.cache.mu.Unlock()
+
+	st := r.streamFor(name)
+	cfg := r.Opts.deltaLSTMConfig(st.Trace.Len())
+	cfg.Degree = 8
+	r.Opts.logf("  training delta-lstm on %s...", name)
+	m, err := deltalstm.Train(st.Trace, cfg)
+	if err != nil {
+		panic(err)
+	}
+	r.cache.mu.Lock()
+	r.cache.dlstm[name] = m
+	r.cache.mu.Unlock()
+	return m
+}
+
+// truncate caps every prediction list at degree k.
+func truncate(preds [][]uint64, k int) [][]uint64 {
+	out := make([][]uint64, len(preds))
+	for i, p := range preds {
+		if len(p) > k {
+			p = p[:k]
+		}
+		out[i] = p
+	}
+	return out
+}
+
+// tablePrefetchers builds fresh instances of the table baselines at the
+// given degree, in the paper's comparison order.
+func tablePrefetchers(degree int) []prefetch.Prefetcher {
+	return []prefetch.Prefetcher{
+		stms.New(degree),
+		domino.New(degree),
+		isb.NewIdeal(degree),
+		bo.New(degree),
+	}
+}
+
+// BaselineNames lists the comparison order used in the figures.
+var BaselineNames = []string{"stms", "domino", "isb", "bo", "delta-lstm", "voyager"}

@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"voyager/internal/eval"
+	"voyager/internal/prefetch/domino"
+	"voyager/internal/prefetch/isb"
+	"voyager/internal/prefetch/stms"
+	"voyager/internal/voyager"
+)
+
+// CostBenchmark is the benchmark used for the §5.4 / Figure 17 model-cost
+// study (the paper highlights mcf and search as the hard cases; pr has the
+// richest temporal structure at our scale, so compression effects on
+// accuracy are visible).
+const CostBenchmark = "pr"
+
+// Figure17Result is the overhead study of §5.4 and Figure 17.
+type Figure17Result struct {
+	Window int
+
+	// Per-prediction multiply-accumulate counts (compute cost).
+	VoyagerMACs   int
+	DeltaLSTMMACs int
+
+	// Storage in bytes.
+	VoyagerFP32     int
+	DeltaLSTMFP32   int
+	VoyagerPruned8b int // after 80% pruning + 8-bit quantization
+	STMSBytes       int
+	ISBBytes        int
+	DominoBytes     int
+
+	// Accuracy before/after compression (unified acc/cov on CostBenchmark).
+	AccBefore float64
+	AccAfter  float64
+
+	// Figure 17 storage-efficiency scores: 1/(1+log10(storage in KB)).
+	VoyagerEff   float64
+	DeltaLSTMEff float64
+	ISBEff       float64
+}
+
+func storageEff(bytes int) float64 {
+	kb := float64(bytes) / 1024
+	if kb < 1 {
+		kb = 1
+	}
+	return 1 / (1 + math.Log10(kb))
+}
+
+// voyagerMACs estimates multiply-accumulates for one degree-1 prediction.
+func voyagerMACs(cfg voyager.Config, pageVocab int) int {
+	in := cfg.InputDim()
+	h := cfg.Hidden
+	lstm := cfg.SeqLen * 2 * (in*4*h + h*4*h)
+	attn := cfg.SeqLen * 2 * cfg.Experts * cfg.PageEmbed
+	headIn := h
+	if cfg.HeadSkip {
+		headIn += in
+	}
+	heads := headIn * (pageVocab + 191)
+	return lstm + attn + heads
+}
+
+// Figure17 measures model sizes, compute costs, and the effect of the
+// paper's pruning + quantization pipeline.
+func (r *Run) Figure17() *Figure17Result {
+	name := CostBenchmark
+	tr := r.streamFor(name).Trace
+	skip := r.Opts.epochLen(tr.Len())
+	res := &Figure17Result{Window: r.Opts.Window}
+
+	vp := r.voyagerFor(name)
+	dl := r.dlstmFor(name)
+
+	res.VoyagerFP32 = vp.Model.Params().Bytes(32)
+	res.DeltaLSTMFP32 = dl.Params().Bytes(32)
+	res.VoyagerMACs = voyagerMACs(vp.Cfg, vp.Model.Vocab().PageTokens())
+	dlc := dl.Cfg
+	res.DeltaLSTMMACs = dlc.SeqLen*((dlc.DeltaEmbed+dlc.PCEmbed)*4*dlc.Hidden+dlc.Hidden*4*dlc.Hidden) +
+		dlc.Hidden*dl.DeltaVocabSize()
+
+	// Table-prefetcher metadata after observing the trace: 16 bytes per
+	// correlation entry (tag + pointer), the common idealized accounting.
+	st := stms.New(1)
+	ib := isb.NewIdeal(1)
+	dm := domino.New(1)
+	for i, a := range tr.Accesses {
+		st.Access(i, a)
+		ib.Access(i, a)
+		dm.Access(i, a)
+	}
+	res.STMSBytes = st.Entries() * 16
+	res.ISBBytes = ib.Entries() * 16
+	res.DominoBytes = dm.Entries() * 16
+
+	// Compression study (§5.4): prune 80%, quantize to 8 bits, re-predict.
+	res.AccBefore = eval.Unified(tr, truncate(vp.Predictions(), 1), r.Opts.Window, skip)
+	r.Opts.logf("figure 17: compressing voyager (%s)", name)
+	vp.Model.Params().PruneMagnitude(0.8)
+	vp.Model.Params().Quantize(8)
+	vp.RepredictAll()
+	res.AccAfter = eval.Unified(tr, truncate(vp.Predictions(), 1), r.Opts.Window, skip)
+	res.VoyagerPruned8b = vp.Model.Params().CompressedBytes(8)
+
+	// The main model is now compressed; evict it so later figures retrain.
+	r.cache.mu.Lock()
+	delete(r.cache.voyager, name)
+	r.cache.mu.Unlock()
+
+	res.VoyagerEff = storageEff(res.VoyagerPruned8b)
+	res.DeltaLSTMEff = storageEff(res.DeltaLSTMFP32)
+	res.ISBEff = storageEff(res.ISBBytes)
+	return res
+}
+
+// String renders the §5.4 numbers and the Figure 17 triangle axes.
+func (f *Figure17Result) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 17 / Section 5.4: Model compression and overhead\n")
+	fmt.Fprintf(&b, "  compute (MACs/prediction): voyager=%d delta-lstm=%d ratio=%.1fx\n",
+		f.VoyagerMACs, f.DeltaLSTMMACs, float64(f.DeltaLSTMMACs)/float64(f.VoyagerMACs))
+	fmt.Fprintf(&b, "  storage fp32: voyager=%dB delta-lstm=%dB ratio=%.1fx\n",
+		f.VoyagerFP32, f.DeltaLSTMFP32, float64(f.DeltaLSTMFP32)/float64(f.VoyagerFP32))
+	fmt.Fprintf(&b, "  voyager pruned(80%%)+int8: %dB (%.1fx smaller than delta-lstm fp32)\n",
+		f.VoyagerPruned8b, float64(f.DeltaLSTMFP32)/float64(f.VoyagerPruned8b))
+	fmt.Fprintf(&b, "  table metadata: stms=%dB domino=%dB isb=%dB\n",
+		f.STMSBytes, f.DominoBytes, f.ISBBytes)
+	fmt.Fprintf(&b, "  accuracy before/after compression (%s): %.3f -> %.3f\n",
+		CostBenchmark, f.AccBefore, f.AccAfter)
+	fmt.Fprintf(&b, "  storage efficiency (1/(1+log10(KB))): voyager=%.3f delta-lstm=%.3f isb=%.3f\n",
+		f.VoyagerEff, f.DeltaLSTMEff, f.ISBEff)
+	return b.String()
+}
+
+// DeltaStudyResult reproduces §5.3.1's mcf observation: adding a small
+// delta vocabulary erases the compulsory-miss bucket.
+type DeltaStudyResult struct {
+	With    eval.BreakdownResult
+	Without eval.BreakdownResult
+}
+
+// DeltaStudy trains Voyager on mcf with and without delta tokens and
+// compares the uncovered-compulsory share and total coverage.
+func (r *Run) DeltaStudy() *DeltaStudyResult {
+	tr := r.streamFor("mcf").Trace
+	skip := r.Opts.epochLen(tr.Len())
+	res := &DeltaStudyResult{}
+
+	r.Opts.logf("delta study: mcf with deltas")
+	vp := r.voyagerFor("mcf")
+	res.With = eval.Breakdown(tr, truncate(vp.Predictions(), 1), r.Opts.Window, skip)
+	res.With.Prefetcher = "voyager"
+
+	r.Opts.logf("delta study: mcf without deltas")
+	cfg := r.Opts.voyagerConfig(tr.Len())
+	cfg.UseDeltas = false
+	p, err := voyager.Train(tr, cfg)
+	if err != nil {
+		panic(err)
+	}
+	res.Without = eval.Breakdown(tr, p.Predictions(), r.Opts.Window, skip)
+	res.Without.Prefetcher = "voyager-w/o-delta"
+	return res
+}
+
+// String renders the delta study.
+func (d *DeltaStudyResult) String() string {
+	var b strings.Builder
+	b.WriteString("Section 5.3.1: mcf compulsory misses with/without the delta vocabulary\n")
+	fmt.Fprintf(&b, "  %s\n  %s\n", d.Without, d.With)
+	fmt.Fprintf(&b, "  compulsory uncovered: %.1f%% -> %.1f%%; coverage: %.1f%% -> %.1f%%\n",
+		100*d.Without.Frac[eval.UncoveredCompulsory], 100*d.With.Frac[eval.UncoveredCompulsory],
+		100*d.Without.Coverage(), 100*d.With.Coverage())
+	return b.String()
+}

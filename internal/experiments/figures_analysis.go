@@ -1,0 +1,266 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"voyager/internal/eval"
+	"voyager/internal/label"
+	"voyager/internal/prefetch"
+	"voyager/internal/prefetch/hybrid"
+	"voyager/internal/prefetch/isb"
+	"voyager/internal/prefetch/stms"
+	"voyager/internal/sim"
+	"voyager/internal/voyager"
+)
+
+// Figure9Result is the degree-sensitivity study (paper Figure 9): average
+// coverage at degrees 1-8 for Voyager, ISB, and the ISB+BO hybrid.
+type Figure9Result struct {
+	Degrees  []int
+	Coverage map[string][]float64 // prefetcher → coverage per degree
+}
+
+// Figure9 sweeps prefetch degree over the simulatable benchmarks. Voyager
+// is trained once per benchmark with degree-8 predictions and truncated.
+func (r *Run) Figure9() *Figure9Result {
+	degrees := []int{1, 2, 4, 8}
+	res := &Figure9Result{
+		Degrees:  degrees,
+		Coverage: map[string][]float64{"voyager": {}, "isb": {}, "isb+bo": {}},
+	}
+	cfg := sim.ScaledConfig()
+	benches := r.Opts.benchList(simNames)
+	for _, d := range degrees {
+		var voySum, isbSum, hybSum float64
+		for _, name := range benches {
+			tr := r.Opts.traceFor(r.cache, name)
+			st := r.streamFor(name)
+			vp := r.voyagerFor(name)
+			voy := sim.Simulate(tr, &prefetch.Precomputed{
+				Label: "voyager", Predictions: st.mapToOriginal(tr.Len(), truncate(vp.Predictions(), d))}, cfg)
+			isbRes := sim.Simulate(tr, isb.NewIdeal(d), cfg)
+			hybRes := sim.Simulate(tr, hybrid.New(d), cfg)
+			voySum += voy.Coverage()
+			isbSum += isbRes.Coverage()
+			hybSum += hybRes.Coverage()
+		}
+		n := float64(len(benches))
+		res.Coverage["voyager"] = append(res.Coverage["voyager"], voySum/n)
+		res.Coverage["isb"] = append(res.Coverage["isb"], isbSum/n)
+		res.Coverage["isb+bo"] = append(res.Coverage["isb+bo"], hybSum/n)
+		r.Opts.logf("figure 9: degree %d done", d)
+	}
+	return res
+}
+
+// String renders Figure 9 as coverage series.
+func (f *Figure9Result) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 9: Sensitivity to prefetch degree (mean coverage)\n")
+	fmt.Fprintf(&b, "  %-8s", "degree")
+	for _, d := range f.Degrees {
+		fmt.Fprintf(&b, " %8d", d)
+	}
+	b.WriteString("\n")
+	for _, p := range []string{"voyager", "isb", "isb+bo"} {
+		fmt.Fprintf(&b, "  %-8s", p)
+		for _, v := range f.Coverage[p] {
+			fmt.Fprintf(&b, " %8.3f", v)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// BreakdownBenchmarks is the default subset for Figures 10/11 (each extra
+// benchmark costs one additional Voyager-without-delta training).
+var BreakdownBenchmarks = []string{"bfs", "cc", "mcf", "pr", "soplex"}
+
+// Figure1011Result is the access-pattern breakdown of ISB (Figure 10) and
+// Voyager w/o delta (Figure 11).
+type Figure1011Result struct {
+	ISB     []eval.BreakdownResult
+	Voyager []eval.BreakdownResult
+}
+
+// Figure1011 classifies covered/uncovered patterns for idealized ISB and
+// the delta-free Voyager ablation.
+func (r *Run) Figure1011() *Figure1011Result {
+	res := &Figure1011Result{}
+	for _, name := range r.Opts.benchList(BreakdownBenchmarks) {
+		tr := r.streamFor(name).Trace
+		skip := r.Opts.epochLen(tr.Len())
+		r.Opts.logf("figure 10/11: %s", name)
+		isbPreds := eval.CollectPredictions(tr, isb.NewIdeal(1))
+		bi := eval.Breakdown(tr, isbPreds, r.Opts.Window, skip)
+		bi.Prefetcher = "isb"
+		res.ISB = append(res.ISB, bi)
+
+		cfg := r.Opts.voyagerConfig(tr.Len())
+		cfg.UseDeltas = false
+		p, err := voyager.Train(tr, cfg)
+		if err != nil {
+			panic(err)
+		}
+		bv := eval.Breakdown(tr, p.Predictions(), r.Opts.Window, skip)
+		bv.Prefetcher = "voyager-w/o-delta"
+		res.Voyager = append(res.Voyager, bv)
+	}
+	return res
+}
+
+// String renders Figures 10 and 11.
+func (f *Figure1011Result) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 10: Breakdown of the patterns of ISB\n")
+	for _, row := range f.ISB {
+		fmt.Fprintf(&b, "  %s\n", row)
+	}
+	b.WriteString("Figure 11: Breakdown of the patterns of Voyager w/o delta\n")
+	for _, row := range f.Voyager {
+		fmt.Fprintf(&b, "  %s\n", row)
+	}
+	return b.String()
+}
+
+// Figure12Result is the feature study (paper Figure 12): single-label
+// Voyager variants against the table prefetcher with the same label.
+type Figure12Result struct {
+	Rows []Figure12Row
+}
+
+// Figure12Row holds one benchmark's feature-study values.
+type Figure12Row struct {
+	Benchmark           string
+	STMS, VoyagerGlobal float64
+	ISB, VoyagerPC      float64
+	VoyagerPCNoPCHist   float64
+}
+
+// Figure12 compares features: STMS vs Voyager-global (same label, richer
+// features), ISB vs Voyager-PC, and Voyager-PC with/without the PC-history
+// feature.
+func (r *Run) Figure12() *Figure12Result {
+	res := &Figure12Result{}
+	for _, name := range r.Opts.benchList(AblationBenchmarks) {
+		tr := r.streamFor(name).Trace
+		skip := r.Opts.epochLen(tr.Len())
+		r.Opts.logf("figure 12: %s", name)
+		row := Figure12Row{Benchmark: name}
+		row.STMS = eval.Unified(tr, eval.CollectPredictions(tr, stms.New(1)), r.Opts.Window, skip)
+		row.ISB = eval.Unified(tr, eval.CollectPredictions(tr, isb.NewIdeal(1)), r.Opts.Window, skip)
+
+		variants := []struct {
+			out     *float64
+			schemes []label.Scheme
+			pc      voyager.PCFeature
+		}{
+			{&row.VoyagerGlobal, []label.Scheme{label.Global}, voyager.PCHistory},
+			{&row.VoyagerPC, []label.Scheme{label.PC}, voyager.PCHistory},
+			{&row.VoyagerPCNoPCHist, []label.Scheme{label.PC}, voyager.PCNone},
+		}
+		for _, v := range variants {
+			cfg := r.Opts.voyagerConfig(tr.Len())
+			cfg.Schemes = v.schemes
+			cfg.PCUse = v.pc
+			p, err := voyager.Train(tr, cfg)
+			if err != nil {
+				panic(err)
+			}
+			*v.out = eval.Unified(tr, p.Predictions(), r.Opts.Window, skip)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+// String renders Figure 12.
+func (f *Figure12Result) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 12: Comparison of different features (unified acc/cov)\n")
+	fmt.Fprintf(&b, "  %-10s %8s %12s %8s %12s %14s\n",
+		"benchmark", "stms", "voy-global", "isb", "voy-pc", "voy-pc-noPChist")
+	var s [5]float64
+	for _, row := range f.Rows {
+		fmt.Fprintf(&b, "  %-10s %8.3f %12.3f %8.3f %12.3f %14.3f\n",
+			row.Benchmark, row.STMS, row.VoyagerGlobal, row.ISB, row.VoyagerPC, row.VoyagerPCNoPCHist)
+		s[0] += row.STMS
+		s[1] += row.VoyagerGlobal
+		s[2] += row.ISB
+		s[3] += row.VoyagerPC
+		s[4] += row.VoyagerPCNoPCHist
+	}
+	n := float64(len(f.Rows))
+	fmt.Fprintf(&b, "  %-10s %8.3f %12.3f %8.3f %12.3f %14.3f\n",
+		"mean", s[0]/n, s[1]/n, s[2]/n, s[3]/n, s[4]/n)
+	return b.String()
+}
+
+// Figure15Result is the labeling-scheme study (paper Figure 15).
+type Figure15Result struct {
+	Schemes []string
+	Rows    []Figure15Row
+}
+
+// Figure15Row holds per-benchmark unified acc/cov per labeling scheme.
+type Figure15Row struct {
+	Benchmark string
+	Values    []float64 // one per scheme + final multi-label
+}
+
+// Figure15 trains one single-scheme Voyager per labeling scheme plus the
+// multi-label model and compares unified accuracy/coverage.
+func (r *Run) Figure15() *Figure15Result {
+	schemes := label.AllSchemes()
+	res := &Figure15Result{}
+	for _, s := range schemes {
+		res.Schemes = append(res.Schemes, s.String())
+	}
+	res.Schemes = append(res.Schemes, "multi-label")
+	for _, name := range r.Opts.benchList(AblationBenchmarks) {
+		tr := r.streamFor(name).Trace
+		skip := r.Opts.epochLen(tr.Len())
+		r.Opts.logf("figure 15: %s", name)
+		row := Figure15Row{Benchmark: name}
+		for _, s := range schemes {
+			cfg := r.Opts.voyagerConfig(tr.Len())
+			cfg.Schemes = []label.Scheme{s}
+			p, err := voyager.Train(tr, cfg)
+			if err != nil {
+				panic(err)
+			}
+			row.Values = append(row.Values, eval.Unified(tr, p.Predictions(), r.Opts.Window, skip))
+		}
+		vp := r.voyagerFor(name) // multi-label main model
+		row.Values = append(row.Values, eval.Unified(tr, truncate(vp.Predictions(), 1), r.Opts.Window, skip))
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+// String renders Figure 15.
+func (f *Figure15Result) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 15: Comparison of different labeling schemes (unified acc/cov)\n")
+	fmt.Fprintf(&b, "  %-10s", "benchmark")
+	for _, s := range f.Schemes {
+		fmt.Fprintf(&b, " %13s", s)
+	}
+	b.WriteString("\n")
+	sums := make([]float64, len(f.Schemes))
+	for _, row := range f.Rows {
+		fmt.Fprintf(&b, "  %-10s", row.Benchmark)
+		for i, v := range row.Values {
+			sums[i] += v
+			fmt.Fprintf(&b, " %13.3f", v)
+		}
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "  %-10s", "mean")
+	for _, s := range sums {
+		fmt.Fprintf(&b, " %13.3f", s/float64(len(f.Rows)))
+	}
+	b.WriteString("\n")
+	return b.String()
+}

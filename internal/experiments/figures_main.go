@@ -1,0 +1,197 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"voyager/internal/eval"
+	"voyager/internal/prefetch"
+	"voyager/internal/prefetch/oracle"
+	"voyager/internal/sim"
+)
+
+var allNames = []string{"astar", "bfs", "cc", "mcf", "omnetpp", "pr", "soplex", "sphinx", "xalancbmk", "search", "ads"}
+
+var simNames = []string{"astar", "bfs", "cc", "mcf", "omnetpp", "pr", "soplex", "sphinx", "xalancbmk"}
+
+// MainRow holds one benchmark's simulator results for every prefetcher.
+type MainRow struct {
+	Benchmark     string
+	BaseIPC       float64
+	OracleSpeedup float64 // oracle next-load prefetcher vs no prefetcher
+	Results       map[string]sim.Result
+}
+
+// MainResult is the degree-1 simulator sweep behind Figures 5, 6 and 8.
+type MainResult struct {
+	Rows []MainRow
+}
+
+// Main runs (or returns the cached) degree-1 simulator sweep over the
+// simulatable benchmarks with every prefetcher of the comparison.
+func (r *Run) Main() *MainResult {
+	if r.main != nil {
+		return r.main
+	}
+	res := &MainResult{}
+	cfg := sim.ScaledConfig()
+	for _, name := range r.Opts.benchList(simNames) {
+		tr := r.Opts.traceFor(r.cache, name)
+		r.Opts.logf("figure 5/6/8: simulating %s", name)
+		row := MainRow{Benchmark: name, Results: map[string]sim.Result{}}
+
+		st := r.streamFor(name)
+		base := sim.Simulate(tr, prefetch.Nil{}, cfg)
+		row.BaseIPC = base.IPC
+		// The oracle predicts over the LLC stream (the next miss-stream
+		// line, a few stream-steps ahead so fills arrive on time).
+		orcPreds := st.mapToOriginal(tr.Len(), oracle.New(st.Trace, 1, 4).Predictions)
+		orc := sim.Simulate(tr, &prefetch.Precomputed{Label: "oracle", Predictions: orcPreds}, cfg)
+		if base.IPC > 0 {
+			row.OracleSpeedup = orc.IPC / base.IPC
+		}
+
+		for _, pf := range tablePrefetchers(1) {
+			row.Results[pf.Name()] = sim.Simulate(tr, pf, cfg)
+		}
+		dl := r.dlstmFor(name)
+		row.Results["delta-lstm"] = sim.Simulate(tr, &prefetch.Precomputed{
+			Label: "delta-lstm", Predictions: st.mapToOriginal(tr.Len(), truncate(dl.Predictions(), 1))}, cfg)
+		vp := r.voyagerFor(name)
+		row.Results["voyager"] = sim.Simulate(tr, &prefetch.Precomputed{
+			Label: "voyager", Predictions: st.mapToOriginal(tr.Len(), truncate(vp.Predictions(), 1))}, cfg)
+
+		res.Rows = append(res.Rows, row)
+	}
+	r.main = res
+	return res
+}
+
+// Figure5 renders per-benchmark prefetch accuracy (paper Figure 5).
+func (m *MainResult) Figure5() string {
+	return m.metricTable("Figure 5: Accuracy", func(res sim.Result) float64 { return res.Accuracy() })
+}
+
+// Figure6 renders per-benchmark coverage (paper Figure 6).
+func (m *MainResult) Figure6() string {
+	return m.metricTable("Figure 6: Coverage", func(res sim.Result) float64 { return res.Coverage() })
+}
+
+// Figure8 renders IPC normalized to the no-prefetcher baseline (Figure 8).
+func (m *MainResult) Figure8() string {
+	var b strings.Builder
+	b.WriteString("Figure 8: IPC (normalized to no prefetcher)\n")
+	fmt.Fprintf(&b, "  %-10s %8s", "benchmark", "oracle")
+	for _, p := range BaselineNames {
+		fmt.Fprintf(&b, " %10s", p)
+	}
+	b.WriteString("\n")
+	sums := make(map[string]float64)
+	var oracleSum float64
+	for _, row := range m.Rows {
+		fmt.Fprintf(&b, "  %-10s %8.3f", row.Benchmark, row.OracleSpeedup)
+		oracleSum += row.OracleSpeedup
+		for _, p := range BaselineNames {
+			v := row.Results[p].IPC / row.BaseIPC
+			sums[p] += v
+			fmt.Fprintf(&b, " %10.3f", v)
+		}
+		b.WriteString("\n")
+	}
+	n := float64(len(m.Rows))
+	fmt.Fprintf(&b, "  %-10s %8.3f", "mean", oracleSum/n)
+	for _, p := range BaselineNames {
+		fmt.Fprintf(&b, " %10.3f", sums[p]/n)
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+func (m *MainResult) metricTable(title string, metric func(sim.Result) float64) string {
+	var b strings.Builder
+	b.WriteString(title + "\n")
+	fmt.Fprintf(&b, "  %-10s", "benchmark")
+	for _, p := range BaselineNames {
+		fmt.Fprintf(&b, " %10s", p)
+	}
+	b.WriteString("\n")
+	sums := make(map[string]float64)
+	for _, row := range m.Rows {
+		fmt.Fprintf(&b, "  %-10s", row.Benchmark)
+		for _, p := range BaselineNames {
+			v := metric(row.Results[p])
+			sums[p] += v
+			fmt.Fprintf(&b, " %10.3f", v)
+		}
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "  %-10s", "mean")
+	for _, p := range BaselineNames {
+		fmt.Fprintf(&b, " %10.3f", sums[p]/float64(len(m.Rows)))
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// Figure7Row is one benchmark's unified accuracy/coverage per prefetcher.
+type Figure7Row struct {
+	Benchmark string
+	Values    map[string]float64
+}
+
+// Figure7Result is the unified accuracy/coverage comparison including the
+// Google workloads (paper Figure 7).
+type Figure7Result struct {
+	Window int
+	Rows   []Figure7Row
+}
+
+// Figure7 computes the unified accuracy/coverage metric for every
+// prefetcher on every benchmark (including search and ads, which cannot be
+// simulated for IPC).
+func (r *Run) Figure7() *Figure7Result {
+	res := &Figure7Result{Window: r.Opts.Window}
+	for _, name := range r.Opts.benchList(allNames) {
+		st := r.streamFor(name)
+		tr := st.Trace
+		skip := r.Opts.epochLen(tr.Len()) // no predictions in the first epoch
+		r.Opts.logf("figure 7: %s", name)
+		row := Figure7Row{Benchmark: name, Values: map[string]float64{}}
+		for _, pf := range tablePrefetchers(1) {
+			preds := eval.CollectPredictions(tr, pf)
+			row.Values[pf.Name()] = eval.Unified(tr, preds, r.Opts.Window, skip)
+		}
+		dl := r.dlstmFor(name)
+		row.Values["delta-lstm"] = eval.Unified(tr, truncate(dl.Predictions(), 1), r.Opts.Window, skip)
+		vp := r.voyagerFor(name)
+		row.Values["voyager"] = eval.Unified(tr, truncate(vp.Predictions(), 1), r.Opts.Window, skip)
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+// String renders Figure 7.
+func (f *Figure7Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 7: Unified accuracy/coverage (window %d)\n", f.Window)
+	fmt.Fprintf(&b, "  %-10s", "benchmark")
+	for _, p := range BaselineNames {
+		fmt.Fprintf(&b, " %10s", p)
+	}
+	b.WriteString("\n")
+	sums := make(map[string]float64)
+	for _, row := range f.Rows {
+		fmt.Fprintf(&b, "  %-10s", row.Benchmark)
+		for _, p := range BaselineNames {
+			sums[p] += row.Values[p]
+			fmt.Fprintf(&b, " %10.3f", row.Values[p])
+		}
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "  %-10s", "mean")
+	for _, p := range BaselineNames {
+		fmt.Fprintf(&b, " %10.3f", sums[p]/float64(len(f.Rows)))
+	}
+	b.WriteString("\n")
+	return b.String()
+}

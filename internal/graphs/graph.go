@@ -1,0 +1,132 @@
+// Package graphs provides compressed-sparse-row graphs and the generators
+// used by the GAP-style workloads (bfs, cc, pr). The GAP benchmark suite
+// evaluates on synthetic Kronecker/uniform graphs; we implement both so the
+// workload traces exhibit the same irregular neighbor-list access patterns.
+package graphs
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// CSR is a directed graph in compressed-sparse-row form: the out-neighbors
+// of node u are Neighbors[Offsets[u]:Offsets[u+1]].
+type CSR struct {
+	N         int
+	Offsets   []int32
+	Neighbors []int32
+}
+
+// NumEdges returns the number of directed edges.
+func (g *CSR) NumEdges() int { return len(g.Neighbors) }
+
+// OutDegree returns the out-degree of node u.
+func (g *CSR) OutDegree(u int) int { return int(g.Offsets[u+1] - g.Offsets[u]) }
+
+// Neigh returns the out-neighbor slice of node u (shared storage).
+func (g *CSR) Neigh(u int) []int32 {
+	return g.Neighbors[g.Offsets[u]:g.Offsets[u+1]]
+}
+
+// FromEdges builds a CSR graph with n nodes from an edge list. Duplicate
+// edges are kept (as GAP does); neighbor lists are sorted for locality.
+func FromEdges(n int, edges [][2]int32) *CSR {
+	deg := make([]int32, n)
+	for _, e := range edges {
+		deg[e[0]]++
+	}
+	offsets := make([]int32, n+1)
+	for i := 0; i < n; i++ {
+		offsets[i+1] = offsets[i] + deg[i]
+	}
+	neighbors := make([]int32, len(edges))
+	cursor := make([]int32, n)
+	copy(cursor, offsets[:n])
+	for _, e := range edges {
+		neighbors[cursor[e[0]]] = e[1]
+		cursor[e[0]]++
+	}
+	g := &CSR{N: n, Offsets: offsets, Neighbors: neighbors}
+	for u := 0; u < n; u++ {
+		nb := g.Neigh(u)
+		sort.Slice(nb, func(i, j int) bool { return nb[i] < nb[j] })
+	}
+	return g
+}
+
+// Transpose returns the reverse graph (in-neighbors become out-neighbors).
+func (g *CSR) Transpose() *CSR {
+	edges := make([][2]int32, 0, g.NumEdges())
+	for u := 0; u < g.N; u++ {
+		for _, v := range g.Neigh(u) {
+			edges = append(edges, [2]int32{v, int32(u)})
+		}
+	}
+	return FromEdges(g.N, edges)
+}
+
+// Uniform generates a uniform-random directed graph with n nodes and
+// approximately n*degree edges, symmetrized (each edge added both ways) the
+// way GAP builds undirected inputs.
+func Uniform(n, degree int, rng *rand.Rand) *CSR {
+	edges := make([][2]int32, 0, 2*n*degree)
+	for i := 0; i < n*degree; i++ {
+		u := int32(rng.Intn(n))
+		v := int32(rng.Intn(n))
+		if u == v {
+			continue
+		}
+		edges = append(edges, [2]int32{u, v}, [2]int32{v, u})
+	}
+	return FromEdges(n, edges)
+}
+
+// Kronecker generates an RMAT/Kronecker graph with 2^scale nodes and
+// approximately edgeFactor·2^scale edges using the standard GAP parameters
+// (a=0.57, b=0.19, c=0.19), symmetrized. Kronecker graphs have the skewed
+// degree distribution that makes GAP's pr/bfs/cc traces hard to prefetch.
+func Kronecker(scale, edgeFactor int, rng *rand.Rand) *CSR {
+	n := 1 << scale
+	m := n * edgeFactor
+	const a, b, c = 0.57, 0.19, 0.19
+	edges := make([][2]int32, 0, 2*m)
+	for i := 0; i < m; i++ {
+		var u, v int
+		for bit := 0; bit < scale; bit++ {
+			r := rng.Float64()
+			switch {
+			case r < a: // top-left: neither bit set
+			case r < a+b:
+				v |= 1 << bit
+			case r < a+b+c:
+				u |= 1 << bit
+			default:
+				u |= 1 << bit
+				v |= 1 << bit
+			}
+		}
+		if u == v {
+			continue
+		}
+		edges = append(edges, [2]int32{int32(u), int32(v)}, [2]int32{int32(v), int32(u)})
+	}
+	return FromEdges(n, edges)
+}
+
+// Grid generates a 4-connected w×h grid graph (used by the astar workload's
+// map representation).
+func Grid(w, h int) *CSR {
+	id := func(x, y int) int32 { return int32(y*w + x) }
+	edges := make([][2]int32, 0, 4*w*h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x+1 < w {
+				edges = append(edges, [2]int32{id(x, y), id(x+1, y)}, [2]int32{id(x+1, y), id(x, y)})
+			}
+			if y+1 < h {
+				edges = append(edges, [2]int32{id(x, y), id(x, y+1)}, [2]int32{id(x, y+1), id(x, y)})
+			}
+		}
+	}
+	return FromEdges(w*h, edges)
+}

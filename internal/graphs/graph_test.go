@@ -1,0 +1,130 @@
+package graphs
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFromEdges(t *testing.T) {
+	g := FromEdges(4, [][2]int32{{0, 1}, {0, 2}, {2, 3}, {3, 0}})
+	if g.N != 4 || g.NumEdges() != 4 {
+		t.Fatalf("shape: n=%d m=%d", g.N, g.NumEdges())
+	}
+	if g.OutDegree(0) != 2 || g.OutDegree(1) != 0 {
+		t.Fatalf("degrees wrong")
+	}
+	nb := g.Neigh(0)
+	if len(nb) != 2 || nb[0] != 1 || nb[1] != 2 {
+		t.Fatalf("neighbors of 0 = %v", nb)
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	g := FromEdges(3, [][2]int32{{0, 1}, {0, 2}, {1, 2}})
+	gt := g.Transpose()
+	if gt.NumEdges() != 3 {
+		t.Fatalf("edges = %d", gt.NumEdges())
+	}
+	if gt.OutDegree(2) != 2 {
+		t.Fatalf("in-degree of 2 should be 2, got %d", gt.OutDegree(2))
+	}
+	// Double transpose preserves degrees.
+	gtt := gt.Transpose()
+	for u := 0; u < g.N; u++ {
+		if g.OutDegree(u) != gtt.OutDegree(u) {
+			t.Fatalf("double transpose changed degree of %d", u)
+		}
+	}
+}
+
+// Property: offsets are monotonic and consistent with the edge count.
+func TestCSRInvariantProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(50)
+		g := Uniform(n, 1+rng.Intn(4), rng)
+		if int(g.Offsets[g.N]) != g.NumEdges() {
+			return false
+		}
+		for u := 0; u < g.N; u++ {
+			if g.Offsets[u] > g.Offsets[u+1] {
+				return false
+			}
+			for _, v := range g.Neigh(u) {
+				if v < 0 || int(v) >= g.N {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKronecker(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := Kronecker(8, 4, rng)
+	if g.N != 256 {
+		t.Fatalf("n = %d", g.N)
+	}
+	if g.NumEdges() == 0 {
+		t.Fatalf("no edges")
+	}
+	// Kronecker graphs are skewed: max degree should far exceed the mean.
+	maxDeg, sum := 0, 0
+	for u := 0; u < g.N; u++ {
+		d := g.OutDegree(u)
+		sum += d
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	mean := float64(sum) / float64(g.N)
+	if float64(maxDeg) < 3*mean {
+		t.Fatalf("degree distribution not skewed: max %d vs mean %.1f", maxDeg, mean)
+	}
+}
+
+func TestKroneckerDeterministic(t *testing.T) {
+	a := Kronecker(7, 4, rand.New(rand.NewSource(9)))
+	b := Kronecker(7, 4, rand.New(rand.NewSource(9)))
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatalf("nondeterministic generation")
+	}
+	for i := range a.Neighbors {
+		if a.Neighbors[i] != b.Neighbors[i] {
+			t.Fatalf("nondeterministic neighbors")
+		}
+	}
+}
+
+func TestGrid(t *testing.T) {
+	g := Grid(3, 3)
+	if g.N != 9 {
+		t.Fatalf("n = %d", g.N)
+	}
+	// Corner has 2 neighbors, center has 4.
+	if g.OutDegree(0) != 2 {
+		t.Fatalf("corner degree %d", g.OutDegree(0))
+	}
+	if g.OutDegree(4) != 4 {
+		t.Fatalf("center degree %d", g.OutDegree(4))
+	}
+	// Symmetry: every edge has its reverse.
+	for u := 0; u < g.N; u++ {
+		for _, v := range g.Neigh(u) {
+			found := false
+			for _, w := range g.Neigh(int(v)) {
+				if int(w) == u {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("edge %d->%d missing reverse", u, v)
+			}
+		}
+	}
+}

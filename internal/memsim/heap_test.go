@@ -1,0 +1,121 @@
+package memsim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"voyager/internal/trace"
+)
+
+func TestHeapAlloc(t *testing.T) {
+	h := NewHeap(0x1000)
+	a := h.Alloc(10, 64)
+	if a != 0x1000 {
+		t.Fatalf("first alloc at %#x", a)
+	}
+	b := h.Alloc(10, 64)
+	if b != 0x1040 {
+		t.Fatalf("second alloc at %#x, want line-aligned after first", b)
+	}
+	if b%64 != 0 {
+		t.Fatalf("alloc not aligned")
+	}
+}
+
+func TestHeapAllocBadAlignPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	NewHeap(0).Alloc(8, 3)
+}
+
+func TestArrayAddr(t *testing.T) {
+	h := NewHeap(0x2000)
+	arr := h.NewArray(10, 8)
+	if arr.Addr(0) != arr.Base {
+		t.Fatalf("Addr(0) != Base")
+	}
+	if arr.Addr(3) != arr.Base+24 {
+		t.Fatalf("Addr(3) = %#x", arr.Addr(3))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected out-of-range panic")
+		}
+	}()
+	arr.Addr(10)
+}
+
+// Property: arrays allocated consecutively never overlap.
+func TestArraysDisjointProperty(t *testing.T) {
+	f := func(n1, n2 uint8, sz1, sz2 uint8) bool {
+		h := NewHeap(0x1000)
+		a := h.NewArray(int(n1)+1, uint64(sz1)+1)
+		b := h.NewArray(int(n2)+1, uint64(sz2)+1)
+		aEnd := a.Base + uint64(a.Len)*a.ElemSize
+		return b.Base >= aEnd
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecorder(t *testing.T) {
+	r := NewRecorder("x")
+	r.Work(5)
+	r.Load(0x400000, 0x1000)
+	r.Load(0x400004, 0x1040)
+	if r.Instructions() != 7 {
+		t.Fatalf("instructions = %d", r.Instructions())
+	}
+	if r.Trace.Len() != 2 {
+		t.Fatalf("accesses = %d", r.Trace.Len())
+	}
+	if r.Trace.Accesses[0].Inst != 6 {
+		t.Fatalf("first inst = %d", r.Trace.Accesses[0].Inst)
+	}
+	if r.Trace.Instructions != 7 {
+		t.Fatalf("trace instructions = %d", r.Trace.Instructions)
+	}
+	if r.Trace.Name != "x" {
+		t.Fatalf("name = %q", r.Trace.Name)
+	}
+}
+
+func TestPCBlocks(t *testing.T) {
+	p := NewPCs(0x400000)
+	b1 := p.Block()
+	s1 := b1.Site()
+	s2 := b1.Site()
+	b2 := p.Block()
+	s3 := b2.Site()
+	if BlockOf(s1) != BlockOf(s2) {
+		t.Fatalf("sites in one block differ: %#x vs %#x", s1, s2)
+	}
+	if BlockOf(s1) == BlockOf(s3) {
+		t.Fatalf("sites in different blocks collide")
+	}
+	if s1 == s2 {
+		t.Fatalf("duplicate site PCs")
+	}
+	// Sites are line-address distinct in trace terms.
+	if trace.Line(s1) != trace.Line(s2) && BlockOf(s1) == BlockOf(s2) {
+		// fine: block grouping is coarser than lines
+		_ = s1
+	}
+}
+
+func TestPCBlockOverflowPanics(t *testing.T) {
+	b := NewPCs(0).Block()
+	for i := 0; i < 16; i++ {
+		b.Site()
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic on 17th site")
+		}
+	}()
+	b.Site()
+}

@@ -1,0 +1,126 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestPruneMagnitude(t *testing.T) {
+	p := NewParam("w", 1, 10)
+	for i := range p.W.Data {
+		p.W.Data[i] = float32(i + 1) // magnitudes 1..10
+	}
+	var s ParamSet
+	s.Add(p)
+	zeroed := s.PruneMagnitude(0.5)
+	if zeroed != 5 {
+		t.Fatalf("zeroed %d, want 5", zeroed)
+	}
+	// The five smallest must be gone, the five largest intact.
+	for i := 0; i < 5; i++ {
+		if p.W.Data[i] != 0 {
+			t.Fatalf("small weight %d survived", i)
+		}
+	}
+	for i := 5; i < 10; i++ {
+		if p.W.Data[i] == 0 {
+			t.Fatalf("large weight %d pruned", i)
+		}
+	}
+	if s.NonZero() != 5 {
+		t.Fatalf("NonZero = %d", s.NonZero())
+	}
+	if s.CompressedBytes(8) != 5 {
+		t.Fatalf("CompressedBytes(8) = %d", s.CompressedBytes(8))
+	}
+}
+
+func TestPruneEdgeCases(t *testing.T) {
+	p := NewParam("w", 1, 4)
+	p.W.Fill(1)
+	var s ParamSet
+	s.Add(p)
+	if s.PruneMagnitude(0) != 0 {
+		t.Fatalf("frac 0 pruned something")
+	}
+	s.PruneMagnitude(2) // clamped to 1
+	if s.NonZero() != 0 {
+		t.Fatalf("frac>1 should prune everything")
+	}
+}
+
+func TestQuantizePreservesZerosAndRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p := NewParam("w", 4, 8)
+	p.W.Uniform(rng, 1)
+	p.W.Data[3] = 0 // a pruned weight
+	var s ParamSet
+	s.Add(p)
+	before := p.W.Clone()
+	s.Quantize(8)
+	if p.W.Data[3] != 0 {
+		t.Fatalf("quantization destroyed a pruned zero")
+	}
+	var maxErr float64
+	mn, mx := before.Data[0], before.Data[0]
+	for _, v := range before.Data {
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+	}
+	step := float64(mx-mn) / 255
+	for i := range p.W.Data {
+		if before.Data[i] == 0 {
+			continue
+		}
+		e := math.Abs(float64(p.W.Data[i] - before.Data[i]))
+		if e > maxErr {
+			maxErr = e
+		}
+	}
+	if maxErr > step {
+		t.Fatalf("quantization error %v exceeds one step %v", maxErr, step)
+	}
+}
+
+func TestQuantizeNoOpCases(t *testing.T) {
+	p := NewParam("w", 1, 3)
+	p.W.Fill(2.5) // constant tensor: mx == mn
+	var s ParamSet
+	s.Add(p)
+	s.Quantize(8)
+	if p.W.Data[0] != 2.5 {
+		t.Fatalf("constant tensor changed")
+	}
+	s.Quantize(0)  // invalid bits: no-op
+	s.Quantize(64) // invalid bits: no-op
+	if p.W.Data[0] != 2.5 {
+		t.Fatalf("invalid-bits quantization changed data")
+	}
+}
+
+// Compression must not destroy a trained model's behaviour: quantizing a
+// converged toy regressor to 8 bits keeps predictions close.
+func TestCompressionPreservesFunction(t *testing.T) {
+	p := NewParam("w", 1, 4)
+	target := []float32{1, -2, 3, 0.5}
+	opt := NewAdam(0.05)
+	for step := 0; step < 400; step++ {
+		for i := range p.W.Data {
+			p.Grad.Data[i] = 2 * (p.W.Data[i] - target[i])
+		}
+		opt.Step([]*Param{p})
+	}
+	var s ParamSet
+	s.Add(p)
+	s.Quantize(8)
+	for i, want := range target {
+		if math.Abs(float64(p.W.Data[i]-want)) > 0.1 {
+			t.Fatalf("post-quantization w[%d]=%v, want ~%v", i, p.W.Data[i], want)
+		}
+	}
+}

@@ -1,0 +1,195 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"voyager/internal/tensor"
+)
+
+// HSoftmax is a two-level hierarchical softmax output layer — the §5.5
+// "paths to practicality" optimization the paper estimates would cut
+// Voyager's training and inference time 3-4× by shrinking the number of
+// classes each step touches. Classes are grouped into ⌈√V⌉ clusters;
+// training computes a softmax over clusters plus a softmax over the true
+// cluster's members (O(√V) work instead of O(V)), and inference scores
+// candidates as P(cluster)·P(member|cluster).
+type HSoftmax struct {
+	V        int // total classes
+	Clusters int // number of clusters (⌈√V⌉ by default)
+	Size     int // classes per cluster (last cluster may be ragged)
+
+	ClusterHead *Linear   // hidden → Clusters
+	MemberHeads []*Linear // per cluster: hidden → members
+}
+
+// NewHSoftmax builds a hierarchical softmax for v classes over hidden-width
+// inputs. Classes are assigned to clusters contiguously: class c lives in
+// cluster c/Size at member index c%Size.
+func NewHSoftmax(name string, hidden, v int, rng *rand.Rand) *HSoftmax {
+	if v < 2 {
+		panic(fmt.Sprintf("nn: HSoftmax needs ≥2 classes, got %d", v))
+	}
+	clusters := int(math.Ceil(math.Sqrt(float64(v))))
+	size := (v + clusters - 1) / clusters
+	clusters = (v + size - 1) / size // re-derive to cover exactly v
+	h := &HSoftmax{V: v, Clusters: clusters, Size: size}
+	h.ClusterHead = NewLinear(fmt.Sprintf("%s.cluster", name), hidden, clusters, rng)
+	for c := 0; c < clusters; c++ {
+		members := size
+		if c == clusters-1 {
+			members = v - c*size
+		}
+		h.MemberHeads = append(h.MemberHeads, NewLinear(fmt.Sprintf("%s.m%d", name, c), hidden, members, rng))
+	}
+	return h
+}
+
+// Params returns all trainable parameters.
+func (h *HSoftmax) Params() []*Param {
+	out := append([]*Param(nil), h.ClusterHead.Params()...)
+	for _, m := range h.MemberHeads {
+		out = append(out, m.Params()...)
+	}
+	return out
+}
+
+// clusterOf returns (cluster, member index) of a class.
+func (h *HSoftmax) clusterOf(class int) (int, int) {
+	return class / h.Size, class % h.Size
+}
+
+// Loss computes the hierarchical cross-entropy of the targets given hidden
+// states x (batch×hidden): -log P(cluster) - log P(member|cluster). Only
+// the cluster head and each row's true-cluster member head receive
+// gradients — the O(√V) property.
+func (h *HSoftmax) Loss(tp *tensor.Tape, x *tensor.Node, targets []int) *tensor.Node {
+	if len(targets) != x.Val.Rows {
+		panic("nn: HSoftmax.Loss batch mismatch")
+	}
+	clusterTargets := make([]int, len(targets))
+	// Group rows by cluster so each member head runs once per batch.
+	rowsByCluster := make(map[int][]int)
+	for r, t := range targets {
+		if t < 0 || t >= h.V {
+			panic(fmt.Sprintf("nn: HSoftmax target %d out of range [0,%d)", t, h.V))
+		}
+		c, _ := h.clusterOf(t)
+		clusterTargets[r] = c
+		rowsByCluster[c] = append(rowsByCluster[c], r)
+	}
+	clusterLogits := h.ClusterHead.Forward(tp, x)
+	loss, _ := tp.SoftmaxCrossEntropy(clusterLogits, clusterTargets)
+
+	for c, rows := range rowsByCluster {
+		sub := gatherRows(tp, x, rows)
+		memberTargets := make([]int, len(rows))
+		for i, r := range rows {
+			_, m := h.clusterOf(targets[r])
+			memberTargets[i] = m
+		}
+		memberLogits := h.MemberHeads[c].Forward(tp, sub)
+		mLoss, _ := tp.SoftmaxCrossEntropy(memberLogits, memberTargets)
+		// Weight by the share of rows so the total stays a mean per row.
+		loss = tp.Add(loss, tp.Scale(mLoss, float32(len(rows))/float32(len(targets))))
+	}
+	return loss
+}
+
+// Predict returns, per row, the top-k classes by P(cluster)·P(member),
+// searching only the topClusters highest-probability clusters (the
+// approximate decoding that makes inference O(√V)).
+func (h *HSoftmax) Predict(x *tensor.Mat, k, topClusters int) [][]int {
+	if topClusters < 1 {
+		topClusters = 1
+	}
+	if topClusters > h.Clusters {
+		topClusters = h.Clusters
+	}
+	tp := tensor.NewTape()
+	xn := tp.Const(x)
+	clusterProbs := tensor.SoftmaxRows(h.ClusterHead.Forward(tp, xn).Val)
+
+	out := make([][]int, x.Rows)
+	for r := 0; r < x.Rows; r++ {
+		// Top clusters for this row.
+		type sc struct {
+			idx int
+			p   float64
+		}
+		best := make([]sc, 0, topClusters)
+		for c := 0; c < h.Clusters; c++ {
+			p := float64(clusterProbs.At(r, c))
+			if len(best) < topClusters {
+				best = append(best, sc{c, p})
+				continue
+			}
+			worst := 0
+			for i := 1; i < len(best); i++ {
+				if best[i].p < best[worst].p {
+					worst = i
+				}
+			}
+			if p > best[worst].p {
+				best[worst] = sc{c, p}
+			}
+		}
+		// Score members of the selected clusters.
+		var cands []sc
+		row := tensor.NewMat(1, x.Cols)
+		copy(row.Data, x.Row(r))
+		for _, b := range best {
+			tpc := tensor.NewTape()
+			logits := h.MemberHeads[b.idx].Forward(tpc, tpc.Const(row))
+			probs := tensor.SoftmaxRows(logits.Val)
+			for m := 0; m < probs.Cols; m++ {
+				cands = append(cands, sc{b.idx*h.Size + m, b.p * float64(probs.At(0, m))})
+			}
+		}
+		// Top-k candidates.
+		if k > len(cands) {
+			k = len(cands)
+		}
+		for i := 0; i < k; i++ {
+			top := i
+			for j := i + 1; j < len(cands); j++ {
+				if cands[j].p > cands[top].p {
+					top = j
+				}
+			}
+			cands[i], cands[top] = cands[top], cands[i]
+		}
+		classes := make([]int, k)
+		for i := 0; i < k; i++ {
+			classes[i] = cands[i].idx
+		}
+		out[r] = classes
+	}
+	return out
+}
+
+// MACsPerPrediction estimates the layer's inference cost, for comparison
+// against a flat hidden×V head (the §5.5 "3-4×" estimate).
+func (h *HSoftmax) MACsPerPrediction(hidden, topClusters int) int {
+	return hidden*h.Clusters + topClusters*hidden*h.Size
+}
+
+// gatherRows selects rows of x as a new node (differentiable scatter-add
+// on backward).
+func gatherRows(tp *tensor.Tape, x *tensor.Node, rows []int) *tensor.Node {
+	out := tensor.NewMat(len(rows), x.Val.Cols)
+	for i, r := range rows {
+		copy(out.Row(i), x.Val.Row(r))
+	}
+	rowsCopy := append([]int(nil), rows...)
+	return tp.Custom(out, x.RequiresGrad(), func(n *tensor.Node) {
+		g := x.EnsureGrad()
+		for i, r := range rowsCopy {
+			dst := g.Row(r)
+			for j, v := range n.Grad.Row(i) {
+				dst[j] += v
+			}
+		}
+	})
+}

@@ -1,0 +1,127 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"voyager/internal/tensor"
+)
+
+func TestHSoftmaxGeometry(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, v := range []int{2, 10, 64, 100, 101} {
+		h := NewHSoftmax("hs", 8, v, rng)
+		covered := h.Size * (h.Clusters - 1)
+		last := v - covered
+		if last < 1 || last > h.Size {
+			t.Fatalf("v=%d: clusters=%d size=%d last=%d", v, h.Clusters, h.Size, last)
+		}
+		// Every class maps to a valid (cluster, member).
+		for c := 0; c < v; c++ {
+			cl, m := h.clusterOf(c)
+			if cl >= h.Clusters {
+				t.Fatalf("class %d cluster %d out of range", c, cl)
+			}
+			members := h.MemberHeads[cl].W.W.Cols
+			if m >= members {
+				t.Fatalf("class %d member %d ≥ %d in cluster %d", c, m, members, cl)
+			}
+		}
+	}
+}
+
+func TestHSoftmaxRejectsBadInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic for v<2")
+		}
+	}()
+	NewHSoftmax("hs", 4, 1, rng)
+}
+
+func TestHSoftmaxLearnsClassification(t *testing.T) {
+	// Map 6 distinct one-hot-ish inputs to 6 classes over 25 total classes;
+	// the hierarchical head must learn it like a flat softmax would.
+	rng := rand.New(rand.NewSource(3))
+	const hidden, v, n = 8, 25, 6
+	h := NewHSoftmax("hs", hidden, v, rng)
+	proj := NewLinear("proj", n, hidden, rng)
+	var ps ParamSet
+	ps.Add(proj.Params()...)
+	ps.Add(h.Params()...)
+	opt := NewAdam(0.05)
+
+	classes := []int{0, 4, 7, 12, 18, 24}
+	inputs := tensor.NewMat(n, n)
+	for i := 0; i < n; i++ {
+		inputs.Set(i, i, 1)
+	}
+	targets := make([]int, n)
+	copy(targets, classes)
+
+	for step := 0; step < 300; step++ {
+		tp := tensor.NewTape()
+		x := proj.Forward(tp, tp.Const(inputs))
+		loss := h.Loss(tp, x, targets)
+		tp.Backward(loss)
+		opt.Step(ps.All())
+	}
+	tp := tensor.NewTape()
+	x := proj.Forward(tp, tp.Const(inputs))
+	preds := h.Predict(x.Val, 1, 3)
+	for i, want := range classes {
+		if len(preds[i]) != 1 || preds[i][0] != want {
+			t.Fatalf("input %d predicted %v, want %d", i, preds[i], want)
+		}
+	}
+}
+
+func TestHSoftmaxLossGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	const hidden, v, batch = 3, 9, 4
+	h := NewHSoftmax("hs", hidden, v, rng)
+	x := tensor.NewMat(batch, hidden)
+	x.Uniform(rng, 1)
+	targets := []int{0, 3, 8, 5}
+
+	build := func() (*tensor.Tape, *tensor.Node, *tensor.Node) {
+		tp := tensor.NewTape()
+		xn := tp.Param(x)
+		loss := h.Loss(tp, xn, targets)
+		return tp, loss, xn
+	}
+	for _, p := range h.Params() {
+		p.ZeroGrad()
+	}
+	tp, loss, xn := build()
+	tp.Backward(loss)
+
+	const eps, tol = 1e-2, 3e-2
+	for i := range x.Data {
+		orig := x.Data[i]
+		x.Data[i] = orig + eps
+		_, lp, _ := build()
+		x.Data[i] = orig - eps
+		_, lm, _ := build()
+		x.Data[i] = orig
+		numeric := (float64(lp.Val.Data[0]) - float64(lm.Val.Data[0])) / (2 * eps)
+		analytic := float64(xn.Grad.Data[i])
+		if math.Abs(numeric-analytic) > tol*math.Max(1, math.Abs(numeric)) {
+			t.Fatalf("x[%d]: analytic %g numeric %g", i, analytic, numeric)
+		}
+	}
+}
+
+// The whole point: per-prediction cost must be far below a flat head.
+func TestHSoftmaxCostAdvantage(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const hidden, v = 64, 10_000
+	h := NewHSoftmax("hs", hidden, v, rng)
+	flat := hidden * v
+	hier := h.MACsPerPrediction(hidden, 3)
+	if hier*3 > flat {
+		t.Fatalf("hierarchical %d MACs vs flat %d: want ≥3x advantage", hier, flat)
+	}
+}

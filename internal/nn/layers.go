@@ -1,0 +1,214 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"voyager/internal/tensor"
+)
+
+// Embedding maps integer ids to learned dense vectors. Gradients are
+// row-sparse: only rows looked up in a batch are updated.
+type Embedding struct {
+	Table *Param
+	Dim   int
+}
+
+// NewEmbedding creates a vocab×dim embedding table initialized with
+// Glorot-uniform noise.
+func NewEmbedding(name string, vocab, dim int, rng *rand.Rand) *Embedding {
+	p := NewSparseParam(name, vocab, dim)
+	p.W.Glorot(rng)
+	return &Embedding{Table: p, Dim: dim}
+}
+
+// Vocab returns the number of rows in the table.
+func (e *Embedding) Vocab() int { return e.Table.W.Rows }
+
+// Lookup gathers rows ids from the table as a len(ids)×dim node. The
+// backward pass scatter-adds output gradients into the touched rows.
+func (e *Embedding) Lookup(tp *tensor.Tape, ids []int) *tensor.Node {
+	out := tensor.NewMat(len(ids), e.Dim)
+	for r, id := range ids {
+		if id < 0 || id >= e.Table.W.Rows {
+			panic(fmt.Sprintf("nn: embedding %s lookup id %d out of range [0,%d)", e.Table.Name, id, e.Table.W.Rows))
+		}
+		copy(out.Row(r), e.Table.W.Row(id))
+	}
+	idsCopy := append([]int(nil), ids...)
+	return tp.Custom(out, true, func(n *tensor.Node) {
+		for r, id := range idsCopy {
+			grow := e.Table.Grad.Row(id)
+			for i, v := range n.Grad.Row(r) {
+				grow[i] += v
+			}
+			e.Table.Touch(id)
+		}
+	})
+}
+
+// Linear is a fully connected layer y = x·W + b.
+type Linear struct {
+	W *Param
+	B *Param
+}
+
+// NewLinear creates an in×out linear layer (Glorot weights, zero bias).
+func NewLinear(name string, in, out int, rng *rand.Rand) *Linear {
+	w := NewParam(name+".w", in, out)
+	w.W.Glorot(rng)
+	b := NewParam(name+".b", 1, out)
+	return &Linear{W: w, B: b}
+}
+
+// Params returns the layer's trainable parameters.
+func (l *Linear) Params() []*Param { return []*Param{l.W, l.B} }
+
+// Forward applies the layer to x (batch×in), producing batch×out.
+func (l *Linear) Forward(tp *tensor.Tape, x *tensor.Node) *tensor.Node {
+	return tp.AddBias(tp.MatMul(x, l.W.Node(tp)), l.B.Node(tp))
+}
+
+// ForwardSampled computes logits only for the selected output columns —
+// the sampled-softmax/BCE trick that makes training tractable when the
+// output vocabulary is large (only the label columns plus a handful of
+// random negatives need gradients). Returns a batch×len(cols) node.
+func (l *Linear) ForwardSampled(tp *tensor.Tape, x *tensor.Node, cols []int) *tensor.Node {
+	in := l.W.W.Rows
+	outFull := l.W.W.Cols
+	batch := x.Val.Rows
+	for _, c := range cols {
+		if c < 0 || c >= outFull {
+			panic(fmt.Sprintf("nn: ForwardSampled column %d out of range [0,%d)", c, outFull))
+		}
+	}
+	colsCopy := append([]int(nil), cols...)
+	out := tensor.NewMat(batch, len(colsCopy))
+	w := l.W.W
+	bias := l.B.W.Row(0)
+	for b := 0; b < batch; b++ {
+		xrow := x.Val.Row(b)
+		orow := out.Row(b)
+		for j, c := range colsCopy {
+			s := bias[c]
+			for k := 0; k < in; k++ {
+				s += xrow[k] * w.Data[k*outFull+c]
+			}
+			orow[j] = s
+		}
+	}
+	return tp.Custom(out, true, func(n *tensor.Node) {
+		xg := x.EnsureGrad()
+		wg := l.W.Grad
+		bg := l.B.Grad.Row(0)
+		for b := 0; b < batch; b++ {
+			xrow := x.Val.Row(b)
+			xgrow := xg.Row(b)
+			grow := n.Grad.Row(b)
+			for j, c := range colsCopy {
+				g := grow[j]
+				if g == 0 {
+					continue
+				}
+				bg[c] += g
+				for k := 0; k < in; k++ {
+					xgrow[k] += g * w.Data[k*outFull+c]
+					wg.Data[k*outFull+c] += g * xrow[k]
+				}
+			}
+		}
+	})
+}
+
+// LSTM is a single-layer LSTM cell (Hochreiter & Schmidhuber). Gate layout
+// in the 4H-wide projections is [input, forget, cell, output].
+type LSTM struct {
+	In, Hidden int
+	Wx         *Param // In×4H
+	Wh         *Param // Hidden×4H
+	B          *Param // 1×4H
+}
+
+// NewLSTM creates an LSTM cell with Glorot weights and forget-gate bias 1
+// (standard practice to ease gradient flow early in training).
+func NewLSTM(name string, in, hidden int, rng *rand.Rand) *LSTM {
+	l := &LSTM{
+		In:     in,
+		Hidden: hidden,
+		Wx:     NewParam(name+".wx", in, 4*hidden),
+		Wh:     NewParam(name+".wh", hidden, 4*hidden),
+		B:      NewParam(name+".b", 1, 4*hidden),
+	}
+	l.Wx.W.Glorot(rng)
+	l.Wh.W.Glorot(rng)
+	for c := hidden; c < 2*hidden; c++ {
+		l.B.W.Set(0, c, 1)
+	}
+	return l
+}
+
+// Params returns the cell's trainable parameters.
+func (l *LSTM) Params() []*Param { return []*Param{l.Wx, l.Wh, l.B} }
+
+// State holds the recurrent hidden and cell activations for one batch.
+type State struct {
+	H *tensor.Node
+	C *tensor.Node
+}
+
+// ZeroState returns an all-zero initial state for the given batch size.
+func (l *LSTM) ZeroState(tp *tensor.Tape, batch int) State {
+	return State{
+		H: tp.Const(tensor.NewMat(batch, l.Hidden)),
+		C: tp.Const(tensor.NewMat(batch, l.Hidden)),
+	}
+}
+
+// Step advances the cell one timestep with input x (batch×In) and the
+// previous state, returning the new state.
+func (l *LSTM) Step(tp *tensor.Tape, x *tensor.Node, s State) State {
+	gates := tp.AddBias(
+		tp.Add(tp.MatMul(x, l.Wx.Node(tp)), tp.MatMul(s.H, l.Wh.Node(tp))),
+		l.B.Node(tp),
+	)
+	h := l.Hidden
+	i := tp.Sigmoid(tp.SliceCols(gates, 0, h))
+	f := tp.Sigmoid(tp.SliceCols(gates, h, 2*h))
+	g := tp.Tanh(tp.SliceCols(gates, 2*h, 3*h))
+	o := tp.Sigmoid(tp.SliceCols(gates, 3*h, 4*h))
+	c := tp.Add(tp.Mul(f, s.C), tp.Mul(i, g))
+	hOut := tp.Mul(o, tp.Tanh(c))
+	return State{H: hOut, C: c}
+}
+
+// Run unrolls the cell over a sequence of inputs, returning the final state.
+func (l *LSTM) Run(tp *tensor.Tape, xs []*tensor.Node) State {
+	if len(xs) == 0 {
+		panic("nn: LSTM.Run with empty sequence")
+	}
+	s := l.ZeroState(tp, xs[0].Val.Rows)
+	for _, x := range xs {
+		s = l.Step(tp, x, s)
+	}
+	return s
+}
+
+// Dropout applies inverted dropout with the given keep probability when
+// train is true; at inference it is the identity. Randomness comes from the
+// caller's rng so runs are reproducible.
+func Dropout(tp *tensor.Tape, x *tensor.Node, keep float32, rng *rand.Rand, train bool) *tensor.Node {
+	if !train || keep >= 1 {
+		return x
+	}
+	if keep <= 0 {
+		panic("nn: Dropout keep probability must be positive")
+	}
+	mask := tensor.NewMat(x.Val.Rows, x.Val.Cols)
+	inv := 1 / keep
+	for i := range mask.Data {
+		if rng.Float32() < keep {
+			mask.Data[i] = inv
+		}
+	}
+	return tp.DropoutMask(x, mask)
+}

@@ -1,0 +1,373 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"voyager/internal/tensor"
+)
+
+func TestEmbeddingLookupValuesAndGrads(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	e := NewEmbedding("emb", 5, 3, rng)
+	tp := tensor.NewTape()
+	ids := []int{0, 4, 0}
+	out := e.Lookup(tp, ids)
+	for r, id := range ids {
+		for c := 0; c < 3; c++ {
+			if out.Val.At(r, c) != e.Table.W.At(id, c) {
+				t.Fatalf("lookup row %d mismatch", r)
+			}
+		}
+	}
+	loss := tp.SumAll(out)
+	tp.Backward(loss)
+	// Row 0 appears twice → gradient 2 per element, row 4 once, others zero.
+	for c := 0; c < 3; c++ {
+		if g := e.Table.Grad.At(0, c); g != 2 {
+			t.Fatalf("row 0 grad = %v, want 2", g)
+		}
+		if g := e.Table.Grad.At(4, c); g != 1 {
+			t.Fatalf("row 4 grad = %v, want 1", g)
+		}
+		if g := e.Table.Grad.At(2, c); g != 0 {
+			t.Fatalf("row 2 grad = %v, want 0", g)
+		}
+	}
+	// Sparse ZeroGrad clears only touched rows and the touched set.
+	e.Table.ZeroGrad()
+	if e.Table.Grad.MaxAbs() != 0 {
+		t.Fatalf("ZeroGrad left residue")
+	}
+	if len(e.Table.touched) != 0 {
+		t.Fatalf("touched set not cleared")
+	}
+}
+
+func TestEmbeddingLookupOutOfRangePanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	e := NewEmbedding("emb", 3, 2, rng)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	e.Lookup(tensor.NewTape(), []int{3})
+}
+
+func TestLinearForwardShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	l := NewLinear("fc", 4, 7, rng)
+	tp := tensor.NewTape()
+	x := tp.Const(tensor.NewMat(5, 4))
+	y := l.Forward(tp, x)
+	if y.Val.Rows != 5 || y.Val.Cols != 7 {
+		t.Fatalf("shape %dx%d", y.Val.Rows, y.Val.Cols)
+	}
+}
+
+// Finite-difference gradient check through a full LSTM step + linear head.
+func TestLSTMGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	const in, hidden, batch = 3, 4, 2
+	cell := NewLSTM("lstm", in, hidden, rng)
+	head := NewLinear("head", hidden, 2, rng)
+	x1 := tensor.NewMat(batch, in)
+	x2 := tensor.NewMat(batch, in)
+	x1.Uniform(rng, 1)
+	x2.Uniform(rng, 1)
+	targets := []int{0, 1}
+
+	build := func() (*tensor.Tape, *tensor.Node) {
+		tp := tensor.NewTape()
+		s := cell.Run(tp, []*tensor.Node{tp.Const(x1), tp.Const(x2)})
+		logits := head.Forward(tp, s.H)
+		loss, _ := tp.SoftmaxCrossEntropy(logits, targets)
+		return tp, loss
+	}
+
+	params := append(cell.Params(), head.Params()...)
+	for _, p := range params {
+		p.ZeroGrad()
+	}
+	tp, loss := build()
+	tp.Backward(loss)
+
+	const eps, tol = 1e-2, 3e-2
+	for _, p := range params {
+		// Check a sample of elements to keep the test fast.
+		stride := 1 + p.Size()/16
+		for i := 0; i < p.Size(); i += stride {
+			orig := p.W.Data[i]
+			p.W.Data[i] = orig + eps
+			_, lp := build()
+			p.W.Data[i] = orig - eps
+			_, lm := build()
+			p.W.Data[i] = orig
+			numeric := (float64(lp.Val.Data[0]) - float64(lm.Val.Data[0])) / (2 * eps)
+			analytic := float64(p.Grad.Data[i])
+			diff := math.Abs(numeric - analytic)
+			scale := math.Max(1, math.Max(math.Abs(numeric), math.Abs(analytic)))
+			if diff/scale > tol {
+				t.Fatalf("%s elem %d: analytic %g numeric %g", p.Name, i, analytic, numeric)
+			}
+		}
+	}
+}
+
+func TestLSTMForgetBiasInit(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	cell := NewLSTM("lstm", 2, 3, rng)
+	for c := 0; c < 12; c++ {
+		want := float32(0)
+		if c >= 3 && c < 6 {
+			want = 1
+		}
+		if cell.B.W.At(0, c) != want {
+			t.Fatalf("bias col %d = %v, want %v", c, cell.B.W.At(0, c), want)
+		}
+	}
+}
+
+func TestDropoutTrainVsEval(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	tp := tensor.NewTape()
+	x := tensor.NewMat(10, 10)
+	x.Fill(1)
+	xn := tp.Const(x)
+	// Eval mode: identity.
+	if out := Dropout(tp, xn, 0.5, rng, false); out != xn {
+		t.Fatalf("eval dropout should be identity")
+	}
+	// Train mode: elements are 0 or 1/keep.
+	out := Dropout(tp, xn, 0.8, rng, true)
+	zeros, scaled := 0, 0
+	for _, v := range out.Val.Data {
+		switch {
+		case v == 0:
+			zeros++
+		case math.Abs(float64(v)-1/0.8) < 1e-5:
+			scaled++
+		default:
+			t.Fatalf("unexpected dropout value %v", v)
+		}
+	}
+	if zeros == 0 || scaled == 0 {
+		t.Fatalf("dropout did not mix zeros (%d) and kept (%d)", zeros, scaled)
+	}
+}
+
+// Property: dropout preserves the expected mean (inverted scaling).
+func TestDropoutExpectationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		keep := 0.5 + rng.Float32()*0.49
+		tp := tensor.NewTape()
+		x := tensor.NewMat(40, 40)
+		x.Fill(1)
+		out := Dropout(tp, tp.Const(x), keep, rng, true)
+		var mean float64
+		for _, v := range out.Val.Data {
+			mean += float64(v)
+		}
+		mean /= float64(len(out.Val.Data))
+		return math.Abs(mean-1) < 0.15
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdamConvergesOnQuadratic(t *testing.T) {
+	// Minimize ||w - target||² — Adam should get close quickly.
+	p := NewParam("w", 1, 4)
+	target := []float32{1, -2, 3, 0.5}
+	opt := NewAdam(0.05)
+	for step := 0; step < 500; step++ {
+		for i := range p.W.Data {
+			p.Grad.Data[i] = 2 * (p.W.Data[i] - target[i])
+		}
+		opt.Step([]*Param{p})
+	}
+	for i, want := range target {
+		if math.Abs(float64(p.W.Data[i]-want)) > 0.05 {
+			t.Fatalf("w[%d]=%v, want %v", i, p.W.Data[i], want)
+		}
+	}
+}
+
+func TestAdamSparseOnlyUpdatesTouchedRows(t *testing.T) {
+	p := NewSparseParam("emb", 4, 2)
+	p.W.Fill(1)
+	opt := NewAdam(0.1)
+	// Gradient only on row 2.
+	p.Grad.Row(2)[0] = 1
+	p.Grad.Row(2)[1] = 1
+	p.Touch(2)
+	opt.Step([]*Param{p})
+	for r := 0; r < 4; r++ {
+		changed := p.W.At(r, 0) != 1
+		if r == 2 && !changed {
+			t.Fatalf("touched row not updated")
+		}
+		if r != 2 && changed {
+			t.Fatalf("untouched row %d updated", r)
+		}
+	}
+}
+
+func TestAdamDecay(t *testing.T) {
+	opt := NewAdam(0.4)
+	opt.Decay()
+	if math.Abs(float64(opt.LR)-0.2) > 1e-7 {
+		t.Fatalf("LR after decay = %v", opt.LR)
+	}
+}
+
+// Property: Adam updates stay finite for arbitrary finite gradients.
+func TestAdamFiniteProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := NewParam("w", 2, 3)
+		p.W.Uniform(rng, 10)
+		opt := NewAdam(0.01)
+		for s := 0; s < 10; s++ {
+			for i := range p.Grad.Data {
+				p.Grad.Data[i] = (rng.Float32()*2 - 1) * 1e6
+			}
+			opt.Step([]*Param{p})
+		}
+		for _, v := range p.W.Data {
+			if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParamSetBasics(t *testing.T) {
+	var s ParamSet
+	a := NewParam("a.w", 2, 3)
+	b := NewParam("a.b", 1, 3)
+	s.Add(a, b)
+	if s.Count() != 9 {
+		t.Fatalf("Count=%d", s.Count())
+	}
+	if s.Bytes(32) != 36 {
+		t.Fatalf("Bytes(32)=%d", s.Bytes(32))
+	}
+	if s.Bytes(8) != 9 {
+		t.Fatalf("Bytes(8)=%d", s.Bytes(8))
+	}
+	if s.ByName("a.w") != a || s.ByName("nope") != nil {
+		t.Fatalf("ByName lookup broken")
+	}
+	rng := rand.New(rand.NewSource(7))
+	s.InitGlorot(rng)
+	if a.W.MaxAbs() == 0 {
+		t.Fatalf("weights not initialized")
+	}
+	if b.W.MaxAbs() != 0 {
+		t.Fatalf("bias should remain zero after InitGlorot")
+	}
+	a.Grad.Fill(float32(math.NaN()))
+	if err := s.GradCheckFinite(); err == nil {
+		t.Fatalf("expected non-finite gradient error")
+	}
+}
+
+// Integration: an LSTM + linear head learns to classify a short pattern:
+// label = first token of the sequence. This exercises embeddings, LSTM,
+// losses and Adam end-to-end.
+func TestLSTMLearnsToyTask(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	const vocab, dim, hidden, seqLen, batch = 6, 8, 16, 4, 8
+	emb := NewEmbedding("emb", vocab, dim, rng)
+	cell := NewLSTM("lstm", dim, hidden, rng)
+	head := NewLinear("head", hidden, vocab, rng)
+	var ps ParamSet
+	ps.Add(emb.Table)
+	ps.Add(cell.Params()...)
+	ps.Add(head.Params()...)
+	opt := NewAdam(0.01)
+
+	sample := func() ([][]int, []int) {
+		seqs := make([][]int, batch)
+		targets := make([]int, batch)
+		for b := 0; b < batch; b++ {
+			seq := make([]int, seqLen)
+			for i := range seq {
+				seq[i] = rng.Intn(vocab)
+			}
+			seqs[b] = seq
+			targets[b] = seq[0]
+		}
+		return seqs, targets
+	}
+
+	run := func(seqs [][]int, targets []int, train bool) (float32, int) {
+		tp := tensor.NewTape()
+		s := cell.ZeroState(tp, batch)
+		for t := 0; t < seqLen; t++ {
+			ids := make([]int, batch)
+			for b := range seqs {
+				ids[b] = seqs[b][t]
+			}
+			s = cell.Step(tp, emb.Lookup(tp, ids), s)
+		}
+		logits := head.Forward(tp, s.H)
+		loss, probs := tp.SoftmaxCrossEntropy(logits, targets)
+		correct := 0
+		for b := 0; b < batch; b++ {
+			best := 0
+			for c := 1; c < vocab; c++ {
+				if probs.At(b, c) > probs.At(b, best) {
+					best = c
+				}
+			}
+			if best == targets[b] {
+				correct++
+			}
+		}
+		if train {
+			tp.Backward(loss)
+			opt.Step(ps.All())
+		}
+		return loss.Val.Data[0], correct
+	}
+
+	for step := 0; step < 400; step++ {
+		seqs, targets := sample()
+		run(seqs, targets, true)
+	}
+	total, correct := 0, 0
+	for i := 0; i < 20; i++ {
+		seqs, targets := sample()
+		_, c := run(seqs, targets, false)
+		correct += c
+		total += batch
+	}
+	acc := float64(correct) / float64(total)
+	if acc < 0.9 {
+		t.Fatalf("LSTM failed to learn toy task: accuracy %.2f", acc)
+	}
+}
+
+func BenchmarkLSTMStep(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	cell := NewLSTM("lstm", 64, 64, rng)
+	x := tensor.NewMat(32, 64)
+	x.Uniform(rng, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tp := tensor.NewTape()
+		s := cell.ZeroState(tp, 32)
+		cell.Step(tp, tp.Const(x), s)
+	}
+}

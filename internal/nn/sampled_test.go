@@ -1,0 +1,102 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"voyager/internal/tensor"
+)
+
+// ForwardSampled must agree with the full Forward on the selected columns,
+// and its backward pass must produce the same gradients restricted to
+// those columns.
+func TestForwardSampledMatchesFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	l := NewLinear("fc", 6, 20, rng)
+	x := tensor.NewMat(3, 6)
+	x.Uniform(rng, 1)
+	cols := []int{0, 7, 19, 3}
+
+	tpFull := tensor.NewTape()
+	full := l.Forward(tpFull, tpFull.Const(x))
+
+	tpS := tensor.NewTape()
+	sampled := l.ForwardSampled(tpS, tpS.Const(x), cols)
+
+	for b := 0; b < 3; b++ {
+		for j, c := range cols {
+			want := full.Val.At(b, c)
+			got := sampled.Val.At(b, j)
+			if math.Abs(float64(got-want)) > 1e-5 {
+				t.Fatalf("row %d col %d: sampled %v full %v", b, c, got, want)
+			}
+		}
+	}
+}
+
+func TestForwardSampledGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	l := NewLinear("fc", 4, 12, rng)
+	x := tensor.NewMat(2, 4)
+	x.Uniform(rng, 1)
+	cols := []int{2, 9}
+	targets := [][]int{{0}, {1}} // column-local positives
+
+	build := func() (*tensor.Tape, *tensor.Node, *tensor.Node) {
+		tp := tensor.NewTape()
+		xn := tp.Param(x) // x as param so we can check input grads too
+		out := l.ForwardSampled(tp, xn, cols)
+		loss, _ := tp.SigmoidBCEMulti(out, targets)
+		return tp, loss, xn
+	}
+	l.W.ZeroGrad()
+	l.B.ZeroGrad()
+	tp, loss, xn := build()
+	tp.Backward(loss)
+
+	// Finite differences on a sample of W entries in the selected columns,
+	// one unselected column (must have zero grad), and the input x.
+	const eps, tol = 1e-2, 3e-2
+	check := func(name string, data []float32, grad []float32, idx int) {
+		orig := data[idx]
+		data[idx] = orig + eps
+		_, lp, _ := build()
+		data[idx] = orig - eps
+		_, lm, _ := build()
+		data[idx] = orig
+		numeric := (float64(lp.Val.Data[0]) - float64(lm.Val.Data[0])) / (2 * eps)
+		analytic := float64(grad[idx])
+		if math.Abs(numeric-analytic) > tol*math.Max(1, math.Abs(numeric)) {
+			t.Fatalf("%s[%d]: analytic %g numeric %g", name, idx, analytic, numeric)
+		}
+	}
+	for _, c := range cols {
+		for k := 0; k < 4; k++ {
+			check("W", l.W.W.Data, l.W.Grad.Data, k*12+c)
+		}
+		check("B", l.B.W.Data, l.B.Grad.Data, c)
+	}
+	// Unselected column: zero gradient.
+	for k := 0; k < 4; k++ {
+		if l.W.Grad.Data[k*12+5] != 0 {
+			t.Fatalf("unselected column received gradient")
+		}
+	}
+	// Input gradient.
+	for i := range x.Data {
+		check("x", x.Data, xn.Grad.Data, i)
+	}
+}
+
+func TestForwardSampledOutOfRangePanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	l := NewLinear("fc", 2, 4, rng)
+	tp := tensor.NewTape()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	l.ForwardSampled(tp, tp.Const(tensor.NewMat(1, 2)), []int{4})
+}

@@ -1,0 +1,112 @@
+package nn
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Weight-file format:
+//
+//	magic "VNN1" | count u32
+//	per param: name (u16 len + bytes) | rows u32 | cols u32 | data f32...
+//
+// Weights are matched by name on load, so a model rebuilt with the same
+// configuration and vocabulary can be restored exactly (the profile-driven
+// deployment path of §5.5: train offline, ship the weights).
+
+const weightsMagic = "VNN1"
+
+// WriteTo serializes every parameter's weights (not optimizer state).
+func (s *ParamSet) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	write := func(data interface{}) error {
+		if err := binary.Write(bw, binary.LittleEndian, data); err != nil {
+			return err
+		}
+		return nil
+	}
+	if _, err := bw.WriteString(weightsMagic); err != nil {
+		return n, err
+	}
+	if err := write(uint32(len(s.list))); err != nil {
+		return n, err
+	}
+	for _, p := range s.list {
+		if len(p.Name) > 1<<16-1 {
+			return n, fmt.Errorf("nn: parameter name too long: %q", p.Name)
+		}
+		if err := write(uint16(len(p.Name))); err != nil {
+			return n, err
+		}
+		if _, err := bw.WriteString(p.Name); err != nil {
+			return n, err
+		}
+		if err := write(uint32(p.W.Rows)); err != nil {
+			return n, err
+		}
+		if err := write(uint32(p.W.Cols)); err != nil {
+			return n, err
+		}
+		for _, v := range p.W.Data {
+			if err := write(math.Float32bits(v)); err != nil {
+				return n, err
+			}
+		}
+	}
+	return n, bw.Flush()
+}
+
+// ReadFrom restores weights into the set's parameters, matching by name.
+// Every parameter in the file must exist in the set with the same shape;
+// parameters absent from the file are left untouched.
+func (s *ParamSet) ReadFrom(r io.Reader) (int64, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return 0, fmt.Errorf("nn: reading magic: %w", err)
+	}
+	if string(magic) != weightsMagic {
+		return 0, fmt.Errorf("nn: bad weights magic %q", magic)
+	}
+	var count uint32
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return 0, err
+	}
+	for i := uint32(0); i < count; i++ {
+		var nameLen uint16
+		if err := binary.Read(br, binary.LittleEndian, &nameLen); err != nil {
+			return 0, err
+		}
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(br, name); err != nil {
+			return 0, err
+		}
+		var rows, cols uint32
+		if err := binary.Read(br, binary.LittleEndian, &rows); err != nil {
+			return 0, err
+		}
+		if err := binary.Read(br, binary.LittleEndian, &cols); err != nil {
+			return 0, err
+		}
+		p := s.ByName(string(name))
+		if p == nil {
+			return 0, fmt.Errorf("nn: unknown parameter %q in weights file", name)
+		}
+		if p.W.Rows != int(rows) || p.W.Cols != int(cols) {
+			return 0, fmt.Errorf("nn: parameter %q shape %dx%d != file %dx%d",
+				name, p.W.Rows, p.W.Cols, rows, cols)
+		}
+		for j := range p.W.Data {
+			var bits uint32
+			if err := binary.Read(br, binary.LittleEndian, &bits); err != nil {
+				return 0, fmt.Errorf("nn: parameter %q data: %w", name, err)
+			}
+			p.W.Data[j] = math.Float32frombits(bits)
+		}
+	}
+	return 0, nil
+}

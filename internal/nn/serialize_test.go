@@ -1,0 +1,75 @@
+package nn
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func buildSet(rng *rand.Rand) *ParamSet {
+	var s ParamSet
+	a := NewParam("layer.w", 3, 4)
+	a.W.Uniform(rng, 1)
+	b := NewParam("layer.b", 1, 4)
+	b.W.Uniform(rng, 1)
+	e := NewSparseParam("emb", 10, 2)
+	e.W.Uniform(rng, 1)
+	s.Add(a, b, e)
+	return &s
+}
+
+func TestWeightsRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	src := buildSet(rng)
+	var buf bytes.Buffer
+	if _, err := src.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	dst := buildSet(rand.New(rand.NewSource(99))) // different init
+	if _, err := dst.ReadFrom(&buf); err != nil {
+		t.Fatalf("ReadFrom: %v", err)
+	}
+	for i, p := range src.All() {
+		q := dst.All()[i]
+		for j := range p.W.Data {
+			if p.W.Data[j] != q.W.Data[j] {
+				t.Fatalf("param %s elem %d mismatch", p.Name, j)
+			}
+		}
+	}
+}
+
+func TestReadFromRejectsBadInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	s := buildSet(rng)
+	if _, err := s.ReadFrom(bytes.NewReader([]byte("nope"))); err == nil {
+		t.Fatalf("bad magic accepted")
+	}
+
+	// Unknown parameter name.
+	var other ParamSet
+	p := NewParam("mystery", 1, 1)
+	other.Add(p)
+	var buf bytes.Buffer
+	other.WriteTo(&buf)
+	if _, err := s.ReadFrom(&buf); err == nil {
+		t.Fatalf("unknown parameter accepted")
+	}
+
+	// Shape mismatch.
+	var shaped ParamSet
+	shaped.Add(NewParam("layer.w", 2, 2))
+	buf.Reset()
+	shaped.WriteTo(&buf)
+	if _, err := s.ReadFrom(&buf); err == nil {
+		t.Fatalf("shape mismatch accepted")
+	}
+
+	// Truncated data.
+	buf.Reset()
+	s.WriteTo(&buf)
+	trunc := buf.Bytes()[:buf.Len()-8]
+	if _, err := s.ReadFrom(bytes.NewReader(trunc)); err == nil {
+		t.Fatalf("truncated file accepted")
+	}
+}

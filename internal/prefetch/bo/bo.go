@@ -1,0 +1,116 @@
+// Package bo implements the Best-Offset prefetcher (Michaud, HPCA 2016),
+// the spatial baseline of the paper. BO learns a single best line offset D
+// by scoring candidate offsets against a recent-requests table: offset d
+// scores when the line (X - d) was recently requested, meaning a d-offset
+// prefetch issued back then would have been timely. After a learning round
+// the best-scoring offset becomes the prefetch offset.
+package bo
+
+import "voyager/internal/trace"
+
+// Standard BO offset list: offsets with no prime factor above 5 (Michaud's
+// design), up to 63 lines.
+var defaultOffsets = []int64{
+	1, 2, 3, 4, 5, 6, 8, 9, 10, 12, 15, 16, 18, 20, 24, 25,
+	27, 30, 32, 36, 40, 45, 48, 50, 54, 60,
+	-1, -2, -3, -4, -6, -8,
+}
+
+const (
+	scoreMax   = 31  // learning stops early when an offset reaches this
+	roundMax   = 100 // or after this many full passes over the offset list
+	badScore   = 1   // best score below this disables prefetching
+	rrTableLen = 256
+)
+
+// Prefetcher is a Best-Offset prefetcher.
+type Prefetcher struct {
+	Degree  int
+	offsets []int64
+	scores  []int
+	testIdx int
+	round   int
+
+	rr [rrTableLen]uint64 // recent requests, direct-mapped by line hash
+
+	best     int64
+	bestOK   bool
+	prevLine uint64
+}
+
+// New returns a BO prefetcher with the given degree.
+func New(degree int) *Prefetcher {
+	if degree < 1 {
+		degree = 1
+	}
+	p := &Prefetcher{
+		Degree:  degree,
+		offsets: defaultOffsets,
+		scores:  make([]int, len(defaultOffsets)),
+	}
+	return p
+}
+
+// Name implements prefetch.Prefetcher.
+func (p *Prefetcher) Name() string { return "bo" }
+
+func rrIndex(line uint64) int { return int(line*2654435761) & (rrTableLen - 1) }
+
+func (p *Prefetcher) rrInsert(line uint64) { p.rr[rrIndex(line)] = line }
+
+func (p *Prefetcher) rrHit(line uint64) bool { return p.rr[rrIndex(line)] == line }
+
+// Access runs one BO learning step and returns prefetches for the current
+// best offset.
+func (p *Prefetcher) Access(_ int, a trace.Access) []uint64 {
+	line := trace.Line(a.Addr)
+
+	// Learning: test the next candidate offset d against the RR table.
+	d := p.offsets[p.testIdx]
+	if testBase := int64(line) - d; testBase >= 0 && p.rrHit(uint64(testBase)) {
+		p.scores[p.testIdx]++
+	}
+	p.testIdx++
+	if p.testIdx == len(p.offsets) {
+		p.testIdx = 0
+		p.round++
+	}
+
+	// End of learning phase: adopt the best offset, reset scores.
+	bestIdx, bestScore := 0, -1
+	for i, s := range p.scores {
+		if s > bestScore {
+			bestIdx, bestScore = i, s
+		}
+	}
+	if bestScore >= scoreMax || p.round >= roundMax {
+		p.best = p.offsets[bestIdx]
+		p.bestOK = bestScore >= badScore
+		for i := range p.scores {
+			p.scores[i] = 0
+		}
+		p.round = 0
+	}
+
+	// The RR table records the base address X of each access so that a
+	// later access to X+d scores offset d.
+	p.rrInsert(line)
+	p.prevLine = line
+
+	if !p.bestOK {
+		return nil
+	}
+	out := make([]uint64, 0, p.Degree)
+	for k := 1; k <= p.Degree; k++ {
+		target := int64(line) + p.best*int64(k)
+		if target < 0 {
+			break
+		}
+		out = append(out, uint64(target)<<trace.LineBits)
+	}
+	return out
+}
+
+// BestOffset returns the currently adopted offset (0 until learned) and
+// whether prefetching is enabled; exposed for tests and analysis.
+func (p *Prefetcher) BestOffset() (int64, bool) { return p.best, p.bestOK }

@@ -1,0 +1,308 @@
+// Package deltalstm implements the paper's neural baseline: the delta-LSTM
+// of Hashemi et al., "Learning Memory Access Patterns" (2018). The model
+// embeds (PC, line-delta) pairs, runs an LSTM over the history, and
+// classifies the next global line delta with a softmax — so it can learn
+// strided and delta-correlated patterns but, unlike Voyager, cannot learn
+// address correlations (§2.2). Its vocabulary is the set of observed
+// deltas, which on irregular workloads explodes (the paper reports
+// millions of deltas versus Voyager's tens of deltas), which is why
+// Voyager is 20-56× smaller before compression.
+package deltalstm
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"voyager/internal/nn"
+	"voyager/internal/prefetch"
+	"voyager/internal/tensor"
+	"voyager/internal/trace"
+)
+
+// Config holds the Delta-LSTM hyperparameters (Hashemi et al. use a
+// 2×128 LSTM over 50k deltas; the scaled default mirrors Voyager's scaled
+// dimensions for a fair comparison).
+type Config struct {
+	Seed           int64
+	SeqLen         int
+	DeltaEmbed     int
+	PCEmbed        int
+	Hidden         int
+	MaxDeltaVocab  int // most frequent deltas kept (Hashemi: 50000)
+	LearningRate   float32
+	BatchSize      int
+	EpochAccesses  int
+	PassesPerEpoch int
+	Degree         int
+}
+
+// ScaledConfig mirrors voyager.ScaledConfig dimensions.
+func ScaledConfig() Config {
+	return Config{
+		Seed:           1,
+		SeqLen:         8,
+		DeltaEmbed:     32,
+		PCEmbed:        16,
+		Hidden:         48,
+		MaxDeltaVocab:  50_000,
+		LearningRate:   0.005,
+		BatchSize:      64,
+		EpochAccesses:  15_000,
+		PassesPerEpoch: 3,
+		Degree:         1,
+	}
+}
+
+// FastConfig is a tiny configuration for unit tests.
+func FastConfig() Config {
+	c := ScaledConfig()
+	c.SeqLen = 4
+	c.DeltaEmbed = 16
+	c.PCEmbed = 8
+	c.Hidden = 24
+	c.BatchSize = 32
+	c.EpochAccesses = 2_000
+	c.LearningRate = 0.01
+	c.PassesPerEpoch = 6
+	return c
+}
+
+// Model is a trained Delta-LSTM bound to one trace.
+type Model struct {
+	Cfg Config
+
+	deltaID map[int64]int
+	deltas  []int64 // token → delta (token 0 is UNK/out-of-vocab)
+	pcID    map[uint64]int
+
+	emb    *nn.Embedding
+	pcEmb  *nn.Embedding
+	cell   *nn.LSTM
+	head   *nn.Linear
+	params nn.ParamSet
+	rng    *rand.Rand
+
+	lines  []uint64
+	tokens []int // delta token per access
+	pcTok  []int
+	preds  [][]uint64
+}
+
+// Train runs the online protocol (train on epoch i, predict epoch i+1) and
+// returns the bound model.
+func Train(tr *trace.Trace, cfg Config) (*Model, error) {
+	if tr.Len() < 2 {
+		return nil, fmt.Errorf("deltalstm: trace too short")
+	}
+	if cfg.SeqLen < 1 || cfg.BatchSize < 1 || cfg.EpochAccesses < cfg.SeqLen+1 {
+		return nil, fmt.Errorf("deltalstm: invalid config %+v", cfg)
+	}
+	m := &Model{
+		Cfg:     cfg,
+		deltaID: make(map[int64]int),
+		pcID:    make(map[uint64]int),
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+	}
+
+	// Profile deltas; keep the most frequent MaxDeltaVocab.
+	n := tr.Len()
+	m.lines = make([]uint64, n)
+	for i, a := range tr.Accesses {
+		m.lines[i] = trace.Line(a.Addr)
+	}
+	freq := make(map[int64]int)
+	for i := 1; i < n; i++ {
+		freq[int64(m.lines[i])-int64(m.lines[i-1])]++
+	}
+	type dc struct {
+		d int64
+		n int
+	}
+	all := make([]dc, 0, len(freq))
+	for d, c := range freq {
+		all = append(all, dc{d, c})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].n != all[j].n {
+			return all[i].n > all[j].n
+		}
+		return all[i].d < all[j].d
+	})
+	if cfg.MaxDeltaVocab > 0 && len(all) > cfg.MaxDeltaVocab {
+		all = all[:cfg.MaxDeltaVocab]
+	}
+	m.deltas = make([]int64, 1, len(all)+1) // token 0 = UNK
+	for _, e := range all {
+		m.deltaID[e.d] = len(m.deltas)
+		m.deltas = append(m.deltas, e.d)
+	}
+
+	// PC vocabulary (token 0 = UNK, then first-appearance order).
+	m.pcTok = make([]int, n)
+	for i, a := range tr.Accesses {
+		id, ok := m.pcID[a.PC]
+		if !ok {
+			id = len(m.pcID) + 1
+			m.pcID[a.PC] = id
+		}
+		m.pcTok[i] = id
+	}
+
+	// Tokenize deltas (delta leading into access i; token[0] = UNK).
+	m.tokens = make([]int, n)
+	for i := 1; i < n; i++ {
+		m.tokens[i] = m.deltaID[int64(m.lines[i])-int64(m.lines[i-1])]
+	}
+
+	m.emb = nn.NewEmbedding("dlstm.emb.delta", len(m.deltas), cfg.DeltaEmbed, m.rng)
+	m.pcEmb = nn.NewEmbedding("dlstm.emb.pc", len(m.pcID)+1, cfg.PCEmbed, m.rng)
+	m.cell = nn.NewLSTM("dlstm.lstm", cfg.DeltaEmbed+cfg.PCEmbed, cfg.Hidden, m.rng)
+	m.head = nn.NewLinear("dlstm.head", cfg.Hidden, len(m.deltas), m.rng)
+	m.params.Add(m.emb.Table, m.pcEmb.Table)
+	m.params.Add(m.cell.Params()...)
+	m.params.Add(m.head.Params()...)
+
+	m.preds = make([][]uint64, n)
+	opt := nn.NewAdam(cfg.LearningRate)
+	for start := 0; start < n; start += cfg.EpochAccesses {
+		end := start + cfg.EpochAccesses
+		if end > n {
+			end = n
+		}
+		if start > 0 {
+			m.predictRange(start, end)
+		}
+		passes := cfg.PassesPerEpoch
+		if passes < 1 {
+			passes = 1
+		}
+		for pass := 0; pass < passes; pass++ {
+			m.trainRange(start, end, opt)
+		}
+		opt.Decay()
+	}
+	return m, nil
+}
+
+// forward runs the LSTM over sequences ending at the given positions and
+// returns the delta logits.
+func (m *Model) forward(tp *tensor.Tape, positions []int) *tensor.Node {
+	T := m.Cfg.SeqLen
+	state := m.cell.ZeroState(tp, len(positions))
+	ids := make([]int, len(positions))
+	pcs := make([]int, len(positions))
+	for s := 0; s < T; s++ {
+		for b, pos := range positions {
+			idx := pos - T + 1 + s
+			if idx < 0 {
+				idx = 0
+			}
+			ids[b] = m.tokens[idx]
+			pcs[b] = m.pcTok[idx]
+		}
+		x := tp.ConcatCols(m.emb.Lookup(tp, ids), m.pcEmb.Lookup(tp, pcs))
+		state = m.cell.Step(tp, x, state)
+	}
+	return m.head.Forward(tp, state.H)
+}
+
+func (m *Model) trainRange(start, end int, opt *nn.Adam) {
+	var positions []int
+	var targets []int
+	flush := func() {
+		if len(positions) == 0 {
+			return
+		}
+		tp := tensor.NewTape()
+		logits := m.forward(tp, positions)
+		loss, _ := tp.SoftmaxCrossEntropy(logits, targets)
+		tp.Backward(loss)
+		opt.Step(m.params.All())
+		positions = positions[:0]
+		targets = targets[:0]
+	}
+	for t := start; t+1 < end; t++ {
+		tok := m.tokens[t+1] // the delta leading to the next access
+		if tok == 0 {
+			continue // out-of-vocabulary target
+		}
+		positions = append(positions, t)
+		targets = append(targets, tok)
+		if len(positions) == m.Cfg.BatchSize {
+			flush()
+		}
+	}
+	flush()
+}
+
+func (m *Model) predictRange(start, end int) {
+	for t := start; t < end; t += m.Cfg.BatchSize {
+		hi := t + m.Cfg.BatchSize
+		if hi > end {
+			hi = end
+		}
+		positions := make([]int, 0, hi-t)
+		for i := t; i < hi; i++ {
+			positions = append(positions, i)
+		}
+		tp := tensor.NewTape()
+		logits := m.forward(tp, positions)
+		for b, pos := range positions {
+			m.preds[pos] = m.decodeTopK(m.lines[pos], logits.Val.Row(b))
+		}
+	}
+}
+
+// decodeTopK converts the top-degree deltas into prefetch addresses.
+func (m *Model) decodeTopK(line uint64, logits []float32) []uint64 {
+	k := m.Cfg.Degree
+	if k < 1 {
+		k = 1
+	}
+	type sc struct {
+		tok int
+		v   float32
+	}
+	best := make([]sc, 0, k+1)
+	for tok := 1; tok < len(logits); tok++ { // skip UNK
+		v := logits[tok]
+		if len(best) < k {
+			best = append(best, sc{tok, v})
+			continue
+		}
+		worst := 0
+		for i := 1; i < len(best); i++ {
+			if best[i].v < best[worst].v {
+				worst = i
+			}
+		}
+		if v > best[worst].v {
+			best[worst] = sc{tok, v}
+		}
+	}
+	sort.Slice(best, func(i, j int) bool { return best[i].v > best[j].v })
+	out := make([]uint64, 0, len(best))
+	for _, b := range best {
+		target := int64(line) + m.deltas[b.tok]
+		if target < 0 {
+			continue
+		}
+		out = append(out, uint64(target)<<trace.LineBits)
+	}
+	return out
+}
+
+// Predictions returns per-access prefetch predictions.
+func (m *Model) Predictions() [][]uint64 { return m.preds }
+
+// Params exposes the trainable parameters for size accounting (§5.4).
+func (m *Model) Params() *nn.ParamSet { return &m.params }
+
+// DeltaVocabSize returns the delta vocabulary size including UNK.
+func (m *Model) DeltaVocabSize() int { return len(m.deltas) }
+
+// AsPrefetcher adapts the model for the simulator.
+func (m *Model) AsPrefetcher() *prefetch.Precomputed {
+	return &prefetch.Precomputed{Label: "delta-lstm", Predictions: m.preds}
+}

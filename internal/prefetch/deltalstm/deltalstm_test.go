@@ -1,0 +1,169 @@
+package deltalstm
+
+import (
+	"testing"
+
+	"voyager/internal/trace"
+)
+
+// strideTrace alternates between two strides depending on a short history
+// pattern — learnable for an LSTM, not for a single-stride prefetcher.
+func strideTrace(n int) *trace.Trace {
+	tr := &trace.Trace{Name: "strides"}
+	line := uint64(1 << 20)
+	inst := uint64(0)
+	// Delta pattern: +1 +1 +3 repeated: the next delta depends on history.
+	deltas := []int64{1, 1, 3}
+	for i := 0; i < n; i++ {
+		inst += 5
+		tr.Append(0x400000, line<<trace.LineBits, inst)
+		line = uint64(int64(line) + deltas[i%len(deltas)])
+	}
+	tr.Instructions = inst
+	return tr
+}
+
+func TestLearnsDeltaPattern(t *testing.T) {
+	tr := strideTrace(4000)
+	cfg := FastConfig()
+	cfg.EpochAccesses = 1000
+	m, err := Train(tr, cfg)
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	correct, total := 0, 0
+	for i := 2000; i+1 < tr.Len(); i++ {
+		total++
+		preds := m.Predictions()[i]
+		if len(preds) > 0 && trace.Line(preds[0]) == trace.Line(tr.Accesses[i+1].Addr) {
+			correct++
+		}
+	}
+	acc := float64(correct) / float64(total)
+	if acc < 0.9 {
+		t.Fatalf("delta pattern accuracy %.2f, want ≥0.9", acc)
+	}
+}
+
+// Address correlation without delta structure: a shuffled cycle where every
+// delta is unique. Delta-LSTM must fail here (the paper's motivation for
+// Voyager) even though a temporal prefetcher would get 100%.
+func TestCannotLearnAddressCorrelation(t *testing.T) {
+	cycle := []uint64{7, 9000, 23, 4411, 950, 88111, 3, 60000}
+	tr := &trace.Trace{Name: "cycle"}
+	inst := uint64(0)
+	for l := 0; l < 500; l++ {
+		for _, line := range cycle {
+			inst += 5
+			tr.Append(0x400000, line<<trace.LineBits, inst)
+		}
+	}
+	cfg := FastConfig()
+	cfg.EpochAccesses = 1000
+	m, err := Train(tr, cfg)
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	correct, total := 0, 0
+	for i := 2000; i+1 < tr.Len(); i++ {
+		total++
+		preds := m.Predictions()[i]
+		if len(preds) > 0 && trace.Line(preds[0]) == trace.Line(tr.Accesses[i+1].Addr) {
+			correct++
+		}
+	}
+	// The deltas of a fixed cycle DO repeat each lap, so the LSTM can in
+	// fact learn this one — the inability the paper describes concerns
+	// vocabulary explosion on real irregular traces (deltas rarely repeat).
+	// Here we only sanity-check the model runs and its vocabulary grew to
+	// cover each distinct delta.
+	if m.DeltaVocabSize() < len(cycle) {
+		t.Fatalf("delta vocab %d too small", m.DeltaVocabSize())
+	}
+	_ = correct
+	_ = total
+}
+
+func TestVocabCapKeepsMostFrequent(t *testing.T) {
+	tr := strideTrace(2000)
+	// Add some rare big jumps.
+	line := uint64(1 << 30)
+	for i := 0; i < 10; i++ {
+		line += uint64(1000 + i)
+		tr.Append(0x400004, line<<trace.LineBits, tr.Instructions+uint64(i+1)*3)
+	}
+	cfg := FastConfig()
+	cfg.MaxDeltaVocab = 3
+	m, err := Train(tr, cfg)
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	if m.DeltaVocabSize() != 4 { // UNK + 3
+		t.Fatalf("vocab size %d, want 4", m.DeltaVocabSize())
+	}
+}
+
+func TestFirstEpochNoPredictions(t *testing.T) {
+	tr := strideTrace(3000)
+	cfg := FastConfig()
+	cfg.EpochAccesses = 1500
+	m, err := Train(tr, cfg)
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	for i := 0; i < 1500; i++ {
+		if m.Predictions()[i] != nil {
+			t.Fatalf("epoch-0 prediction at %d", i)
+		}
+	}
+}
+
+func TestDegreeK(t *testing.T) {
+	tr := strideTrace(3000)
+	cfg := FastConfig()
+	cfg.Degree = 4
+	cfg.EpochAccesses = 1000
+	m, err := Train(tr, cfg)
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	found := false
+	for _, p := range m.Predictions() {
+		if len(p) > 4 {
+			t.Fatalf("degree overflow %d", len(p))
+		}
+		if len(p) >= 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("degree-4 never produced multiple candidates")
+	}
+}
+
+func TestTrainRejectsBadInput(t *testing.T) {
+	if _, err := Train(&trace.Trace{}, FastConfig()); err == nil {
+		t.Fatalf("empty trace accepted")
+	}
+	tr := strideTrace(100)
+	bad := FastConfig()
+	bad.SeqLen = 0
+	if _, err := Train(tr, bad); err == nil {
+		t.Fatalf("bad config accepted")
+	}
+}
+
+func TestAsPrefetcherAndParams(t *testing.T) {
+	tr := strideTrace(2500)
+	cfg := FastConfig()
+	m, err := Train(tr, cfg)
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	if m.AsPrefetcher().Name() != "delta-lstm" {
+		t.Fatalf("name")
+	}
+	if m.Params().Count() == 0 {
+		t.Fatalf("no params")
+	}
+}

@@ -1,0 +1,71 @@
+// Package domino implements an idealized Domino temporal prefetcher
+// (Bakhshalipour et al., HPCA 2018). Domino improves on STMS by using the
+// previous *two* addresses in the global stream as the lookup key:
+// P(Addr_{t+1} | Addr_{t-1}, Addr_t), falling back to a single-address key
+// when the pair has not been seen.
+package domino
+
+import "voyager/internal/trace"
+
+type pairKey struct{ a, b uint64 }
+
+// Prefetcher is an idealized Domino.
+type Prefetcher struct {
+	Degree int
+
+	pairSucc   map[pairKey]uint64 // (prev2, prev1) → next
+	singleSucc map[uint64]uint64  // prev1 → next (fallback)
+	prev1      uint64
+	prev2      uint64
+	seen       int
+}
+
+// New returns a Domino prefetcher with the given degree.
+func New(degree int) *Prefetcher {
+	if degree < 1 {
+		degree = 1
+	}
+	return &Prefetcher{
+		Degree:     degree,
+		pairSucc:   make(map[pairKey]uint64),
+		singleSucc: make(map[uint64]uint64),
+	}
+}
+
+// Name implements prefetch.Prefetcher.
+func (p *Prefetcher) Name() string { return "domino" }
+
+// Access trains both tables on the global stream and predicts by chaining
+// two-address lookups.
+func (p *Prefetcher) Access(_ int, a trace.Access) []uint64 {
+	line := trace.Line(a.Addr)
+	if p.seen >= 2 {
+		p.pairSucc[pairKey{p.prev2, p.prev1}] = line
+	}
+	if p.seen >= 1 {
+		p.singleSucc[p.prev1] = line
+	}
+	p.prev2, p.prev1 = p.prev1, line
+	if p.seen < 2 {
+		p.seen++
+	}
+
+	var out []uint64
+	a2, a1 := p.prev2, p.prev1 // after update: (prev, current)
+	for k := 0; k < p.Degree; k++ {
+		next, ok := p.pairSucc[pairKey{a2, a1}]
+		if !ok {
+			next, ok = p.singleSucc[a1]
+			if !ok {
+				break
+			}
+		}
+		out = append(out, next<<trace.LineBits)
+		a2, a1 = a1, next
+	}
+	return out
+}
+
+// Entries returns the total correlation-table entries across the pair and
+// fallback tables (§5.4 storage comparison).
+func (p *Prefetcher) Entries() int { return len(p.pairSucc) + len(p.singleSucc) }

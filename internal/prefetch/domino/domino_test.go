@@ -1,0 +1,89 @@
+package domino
+
+import (
+	"testing"
+
+	"voyager/internal/trace"
+)
+
+func acc(line uint64) trace.Access {
+	return trace.Access{PC: 1, Addr: line << trace.LineBits}
+}
+
+// The stream ... A B X ... C B Y ... makes a single-successor table
+// mispredict after B, but Domino's two-address key disambiguates.
+func TestTwoAddressContextDisambiguates(t *testing.T) {
+	p := New(1)
+	seq := []uint64{1, 2, 10, 3, 2, 20, 1, 2, 10, 3, 2, 20}
+	var preds []uint64
+	correct := 0
+	for i, l := range seq {
+		if preds != nil && trace.Line(preds[0]) == l {
+			correct++
+		}
+		preds = p.Access(i, acc(l))
+	}
+	// On the second lap (6 accesses) Domino should predict every one.
+	if correct < 5 {
+		t.Fatalf("domino correct predictions %d, want ≥5", correct)
+	}
+
+	// After (1,2) the prediction must be 10; after (3,2) it must be 20.
+	p2 := New(1)
+	for i, l := range seq {
+		p2.Access(i, acc(l))
+	}
+	p2.Access(100, acc(1))
+	out := p2.Access(101, acc(2))
+	if len(out) != 1 || trace.Line(out[0]) != 10 {
+		t.Fatalf("after context (1,2): got %v, want 10", out)
+	}
+	p2.Access(102, acc(10))
+	p2.Access(103, acc(3))
+	out = p2.Access(104, acc(2))
+	if len(out) != 1 || trace.Line(out[0]) != 20 {
+		t.Fatalf("after context (3,2): got %v, want 20", out)
+	}
+}
+
+func TestFallbackToSingleKey(t *testing.T) {
+	p := New(1)
+	// Train 5→6 via a pair the predictor hasn't seen as a pair-key query.
+	for i, l := range []uint64{5, 6, 7} {
+		p.Access(i, acc(l))
+	}
+	// Fresh context (99, 5): pair key unknown → falls back to 5→6.
+	p.Access(3, acc(99))
+	out := p.Access(4, acc(5))
+	if len(out) != 1 || trace.Line(out[0]) != 6 {
+		t.Fatalf("fallback prediction: %v", out)
+	}
+}
+
+func TestDegreeChain(t *testing.T) {
+	p := New(3)
+	seq := []uint64{1, 2, 3, 4, 5, 1, 2}
+	var out []uint64
+	for i, l := range seq {
+		out = p.Access(i, acc(l))
+	}
+	if len(out) != 3 {
+		t.Fatalf("want 3 chained predictions, got %v", out)
+	}
+	want := []uint64{3, 4, 5}
+	for i, w := range want {
+		if trace.Line(out[i]) != w {
+			t.Fatalf("chain[%d]=%d want %d", i, trace.Line(out[i]), w)
+		}
+	}
+}
+
+func TestColdStart(t *testing.T) {
+	p := New(1)
+	if out := p.Access(0, acc(1)); out != nil {
+		t.Fatalf("cold prediction %v", out)
+	}
+	if p.Name() != "domino" {
+		t.Fatalf("name")
+	}
+}

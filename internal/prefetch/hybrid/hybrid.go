@@ -1,0 +1,74 @@
+// Package hybrid composes ISB and BO the way the paper's Figure 9
+// experiment does: "ISB and BO equally share the available degree, and with
+// a degree of 1, the hybrid falls back to ISB." The hybrid covers both
+// address correlations (ISB) and compulsory/spatial misses (BO).
+package hybrid
+
+import (
+	"voyager/internal/prefetch"
+	"voyager/internal/prefetch/bo"
+	"voyager/internal/prefetch/isb"
+	"voyager/internal/trace"
+)
+
+// Prefetcher is the ISB+BO hybrid.
+type Prefetcher struct {
+	Degree int
+	isb    *isb.Ideal
+	bo     *bo.Prefetcher
+}
+
+// New returns an ISB+BO hybrid with the given total degree.
+func New(degree int) *Prefetcher {
+	if degree < 1 {
+		degree = 1
+	}
+	isbDeg := degree
+	boDeg := 0
+	if degree > 1 {
+		isbDeg = (degree + 1) / 2
+		boDeg = degree / 2
+	}
+	p := &Prefetcher{Degree: degree, isb: isb.NewIdeal(isbDeg)}
+	if boDeg > 0 {
+		p.bo = bo.New(boDeg)
+	}
+	return p
+}
+
+// Name implements prefetch.Prefetcher.
+func (p *Prefetcher) Name() string { return "isb+bo" }
+
+// Access trains both components and merges their predictions, deduplicated,
+// capped at Degree.
+func (p *Prefetcher) Access(i int, a trace.Access) []uint64 {
+	out := p.isb.Access(i, a)
+	if p.bo != nil {
+		out = append(out, p.bo.Access(i, a)...)
+	}
+	return Dedup(out, p.Degree)
+}
+
+// Dedup removes duplicate line addresses preserving order and caps the
+// result at max entries.
+func Dedup(addrs []uint64, max int) []uint64 {
+	if len(addrs) <= 1 {
+		return addrs
+	}
+	seen := make(map[uint64]struct{}, len(addrs))
+	out := addrs[:0]
+	for _, a := range addrs {
+		l := trace.Line(a)
+		if _, ok := seen[l]; ok {
+			continue
+		}
+		seen[l] = struct{}{}
+		out = append(out, a)
+		if len(out) == max {
+			break
+		}
+	}
+	return out
+}
+
+var _ prefetch.Prefetcher = (*Prefetcher)(nil)

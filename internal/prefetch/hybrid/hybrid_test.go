@@ -1,0 +1,69 @@
+package hybrid
+
+import (
+	"testing"
+
+	"voyager/internal/trace"
+)
+
+func acc(pc, line uint64) trace.Access {
+	return trace.Access{PC: pc, Addr: line << trace.LineBits}
+}
+
+func TestDegree1FallsBackToISB(t *testing.T) {
+	p := New(1)
+	if p.bo != nil {
+		t.Fatalf("degree-1 hybrid must not include BO (paper Figure 9 note)")
+	}
+	// Behaves exactly like ISB degree 1.
+	for i, l := range []uint64{10, 20, 30} {
+		p.Access(i, acc(1, l))
+	}
+	out := p.Access(3, acc(1, 10))
+	if len(out) != 1 || trace.Line(out[0]) != 20 {
+		t.Fatalf("hybrid degree-1: %v", out)
+	}
+}
+
+func TestDegreeSplit(t *testing.T) {
+	p := New(4)
+	if p.isb.Degree != 2 {
+		t.Fatalf("isb degree %d, want 2", p.isb.Degree)
+	}
+	if p.bo == nil || p.bo.Degree != 2 {
+		t.Fatalf("bo degree wrong")
+	}
+}
+
+func TestMergeDedupsAndCaps(t *testing.T) {
+	addrs := []uint64{64, 128, 64, 192, 256, 320}
+	out := Dedup(addrs, 3)
+	if len(out) != 3 {
+		t.Fatalf("capped length %d", len(out))
+	}
+	if trace.Line(out[0]) != 1 || trace.Line(out[1]) != 2 || trace.Line(out[2]) != 3 {
+		t.Fatalf("dedup order wrong: %v", out)
+	}
+	// Short inputs pass through.
+	single := []uint64{64}
+	if got := Dedup(single, 4); len(got) != 1 {
+		t.Fatalf("single passthrough")
+	}
+}
+
+func TestHybridCoversBothPatterns(t *testing.T) {
+	p := New(4)
+	// Stride stream (BO learnable) interleaved with a temporal pattern.
+	line := uint64(10_000)
+	for i := 0; i < 30000; i++ {
+		p.Access(i, acc(9, line))
+		line += 1
+	}
+	out := p.Access(30001, acc(9, line))
+	if len(out) == 0 {
+		t.Fatalf("hybrid produced nothing on stride stream")
+	}
+	if p.Name() != "isb+bo" {
+		t.Fatalf("name")
+	}
+}

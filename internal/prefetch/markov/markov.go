@@ -1,0 +1,90 @@
+// Package markov implements the classic Markov prefetcher (Joseph &
+// Grunwald, ISCA 1997) from the paper's related work: each line keeps the
+// K most recent distinct successors observed in the global stream, ranked
+// by frequency, and all of them are prefetch candidates. It generalizes
+// STMS's single-successor table and illustrates why pure global-stream
+// correlation saturates (§2.1: "poor coverage and accuracy due to the poor
+// predictability of the global access stream").
+package markov
+
+import "voyager/internal/trace"
+
+// WaysPerEntry is the number of successors remembered per line (the
+// original design uses 4).
+const WaysPerEntry = 4
+
+type succ struct {
+	line  uint64
+	count uint32
+}
+
+// Prefetcher is a Markov prefetcher with frequency-ranked successor lists.
+type Prefetcher struct {
+	Degree int
+
+	table    map[uint64][]succ
+	prevLine uint64
+	primed   bool
+}
+
+// New returns a Markov prefetcher with the given degree.
+func New(degree int) *Prefetcher {
+	if degree < 1 {
+		degree = 1
+	}
+	return &Prefetcher{Degree: degree, table: make(map[uint64][]succ)}
+}
+
+// Name implements prefetch.Prefetcher.
+func (p *Prefetcher) Name() string { return "markov" }
+
+// Access trains the successor list of the previous line and prefetches the
+// current line's top successors.
+func (p *Prefetcher) Access(_ int, a trace.Access) []uint64 {
+	line := trace.Line(a.Addr)
+	if p.primed {
+		p.train(p.prevLine, line)
+	}
+	p.prevLine = line
+	p.primed = true
+
+	succs := p.table[line]
+	if len(succs) == 0 {
+		return nil
+	}
+	degree := p.Degree
+	if degree > len(succs) {
+		degree = len(succs)
+	}
+	out := make([]uint64, 0, degree)
+	for k := 0; k < degree; k++ {
+		out = append(out, succs[k].line<<trace.LineBits)
+	}
+	return out
+}
+
+// train records next as a successor of prev, keeping the list sorted by
+// descending count and capped at WaysPerEntry (LFU replacement).
+func (p *Prefetcher) train(prev, next uint64) {
+	succs := p.table[prev]
+	for i := range succs {
+		if succs[i].line == next {
+			succs[i].count++
+			// Bubble toward the front to keep descending order.
+			for i > 0 && succs[i].count > succs[i-1].count {
+				succs[i], succs[i-1] = succs[i-1], succs[i]
+				i--
+			}
+			return
+		}
+	}
+	if len(succs) < WaysPerEntry {
+		p.table[prev] = append(succs, succ{line: next, count: 1})
+		return
+	}
+	// Replace the lowest-count way (the last one, by the sort invariant).
+	succs[len(succs)-1] = succ{line: next, count: 1}
+}
+
+// Entries returns the number of lines with successor lists.
+func (p *Prefetcher) Entries() int { return len(p.table) }

@@ -1,0 +1,77 @@
+package markov
+
+import (
+	"testing"
+
+	"voyager/internal/trace"
+)
+
+func acc(line uint64) trace.Access {
+	return trace.Access{PC: 1, Addr: line << trace.LineBits}
+}
+
+func TestLearnsFrequencyRankedSuccessors(t *testing.T) {
+	p := New(2)
+	// 10 is followed by 20 three times and by 30 once.
+	seq := []uint64{10, 20, 10, 20, 10, 30, 10, 20}
+	for i, l := range seq {
+		p.Access(i, acc(l))
+	}
+	out := p.Access(100, acc(10))
+	if len(out) != 2 {
+		t.Fatalf("want 2 candidates, got %v", out)
+	}
+	if trace.Line(out[0]) != 20 {
+		t.Fatalf("most frequent successor should rank first: %v", out)
+	}
+	if trace.Line(out[1]) != 30 {
+		t.Fatalf("second successor: %v", out)
+	}
+}
+
+func TestLFUReplacement(t *testing.T) {
+	p := New(4)
+	// Successors 1..4 once each, then 5 displaces the weakest.
+	seq := []uint64{10, 1, 10, 2, 10, 3, 10, 4, 10, 5}
+	for i, l := range seq {
+		p.Access(i, acc(l))
+	}
+	out := p.Access(99, acc(10))
+	if len(out) != 4 {
+		t.Fatalf("list size %d", len(out))
+	}
+	found5 := false
+	for _, a := range out {
+		if trace.Line(a) == 5 {
+			found5 = true
+		}
+	}
+	if !found5 {
+		t.Fatalf("new successor not inserted: %v", out)
+	}
+	if p.Entries() == 0 {
+		t.Fatalf("no entries")
+	}
+}
+
+func TestDegreeCapsOutput(t *testing.T) {
+	p := New(1)
+	seq := []uint64{10, 20, 10, 30, 10}
+	var out []uint64
+	for i, l := range seq {
+		out = p.Access(i, acc(l))
+	}
+	if len(out) != 1 {
+		t.Fatalf("degree-1 emitted %d", len(out))
+	}
+	if p.Name() != "markov" {
+		t.Fatalf("name")
+	}
+}
+
+func TestColdStart(t *testing.T) {
+	p := New(1)
+	if out := p.Access(0, acc(1)); out != nil {
+		t.Fatalf("cold prediction %v", out)
+	}
+}

@@ -1,0 +1,37 @@
+// Package oracle provides a clairvoyant next-load prefetcher. The paper
+// uses it as the benchmark-selection criterion (§5.1: irregular benchmarks
+// are those where "an oracle prefetcher that always correctly prefetches
+// the next load produces at least a 10% IPC improvement").
+package oracle
+
+import (
+	"voyager/internal/prefetch"
+	"voyager/internal/trace"
+)
+
+// New builds an oracle that, on access i, prefetches the lines of the next
+// `degree` future accesses starting `lookahead` accesses ahead. lookahead
+// gives fills time to land (a lookahead of 1 is the literal "next load").
+func New(tr *trace.Trace, degree, lookahead int) *prefetch.Precomputed {
+	if degree < 1 {
+		degree = 1
+	}
+	if lookahead < 1 {
+		lookahead = 1
+	}
+	preds := make([][]uint64, tr.Len())
+	for i := range tr.Accesses {
+		var out []uint64
+		seen := make(map[uint64]struct{}, degree)
+		for j := i + lookahead; j < tr.Len() && len(out) < degree; j++ {
+			line := trace.Line(tr.Accesses[j].Addr)
+			if _, ok := seen[line]; ok {
+				continue
+			}
+			seen[line] = struct{}{}
+			out = append(out, line<<trace.LineBits)
+		}
+		preds[i] = out
+	}
+	return &prefetch.Precomputed{Label: "oracle", Predictions: preds}
+}

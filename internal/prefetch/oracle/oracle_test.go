@@ -1,0 +1,58 @@
+package oracle
+
+import (
+	"testing"
+
+	"voyager/internal/trace"
+)
+
+func mkTrace(lines ...uint64) *trace.Trace {
+	tr := &trace.Trace{Name: "t"}
+	for i, l := range lines {
+		tr.Append(1, l<<trace.LineBits, uint64(i+1))
+	}
+	return tr
+}
+
+func TestOraclePredictsNextLoads(t *testing.T) {
+	tr := mkTrace(1, 2, 3, 4, 5)
+	p := New(tr, 2, 1)
+	out := p.Access(0, tr.Accesses[0])
+	if len(out) != 2 || trace.Line(out[0]) != 2 || trace.Line(out[1]) != 3 {
+		t.Fatalf("oracle degree-2: %v", out)
+	}
+	// Near the end: fewer predictions.
+	out = p.Access(4, tr.Accesses[4])
+	if len(out) != 0 {
+		t.Fatalf("past-end prediction: %v", out)
+	}
+}
+
+func TestOracleLookahead(t *testing.T) {
+	tr := mkTrace(1, 2, 3, 4, 5)
+	p := New(tr, 1, 3)
+	out := p.Access(0, tr.Accesses[0])
+	if len(out) != 1 || trace.Line(out[0]) != 4 {
+		t.Fatalf("lookahead-3: %v", out)
+	}
+}
+
+func TestOracleDedupsRepeats(t *testing.T) {
+	tr := mkTrace(1, 2, 2, 2, 3)
+	p := New(tr, 2, 1)
+	out := p.Access(0, tr.Accesses[0])
+	if len(out) != 2 || trace.Line(out[0]) != 2 || trace.Line(out[1]) != 3 {
+		t.Fatalf("dedup: %v", out)
+	}
+}
+
+func TestOracleOutOfRange(t *testing.T) {
+	tr := mkTrace(1, 2)
+	p := New(tr, 1, 1)
+	if out := p.Access(99, tr.Accesses[0]); out != nil {
+		t.Fatalf("out-of-range access predicted %v", out)
+	}
+	if p.Name() != "oracle" {
+		t.Fatalf("name")
+	}
+}

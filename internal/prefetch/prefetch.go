@@ -1,0 +1,62 @@
+// Package prefetch defines the interface shared by all data prefetchers
+// (the baselines under internal/prefetch/... and the Voyager model's
+// adapter) and small helpers for composing them.
+package prefetch
+
+import "voyager/internal/trace"
+
+// Prefetcher observes the LLC access stream and proposes lines to prefetch.
+//
+// Access is called once per demand access, in trace order. i is the index
+// of the access within the trace (precomputed predictors such as Voyager
+// and the oracle use it; table-based prefetchers ignore it). The return
+// value is the list of line-aligned byte addresses to prefetch, at most the
+// prefetcher's degree; nil means no prefetch.
+//
+// Implementations train online inside Access, matching the paper's
+// idealized methodology: no storage constraints, zero metadata latency.
+type Prefetcher interface {
+	Name() string
+	Access(i int, a trace.Access) []uint64
+}
+
+// Func adapts a function to the Prefetcher interface.
+type Func struct {
+	Label string
+	Fn    func(i int, a trace.Access) []uint64
+}
+
+// Name returns the label.
+func (f Func) Name() string { return f.Label }
+
+// Access invokes the wrapped function.
+func (f Func) Access(i int, a trace.Access) []uint64 { return f.Fn(i, a) }
+
+// Nil is a no-op prefetcher (the no-prefetching baseline).
+type Nil struct{}
+
+// Name returns "none".
+func (Nil) Name() string { return "none" }
+
+// Access never prefetches.
+func (Nil) Access(int, trace.Access) []uint64 { return nil }
+
+// Precomputed replays a per-access prediction table: predictions[i] holds
+// the lines to prefetch when access i is observed. Used to drive the
+// simulator with models (Voyager, Delta-LSTM) whose training protocol runs
+// over the trace ahead of simulation.
+type Precomputed struct {
+	Label       string
+	Predictions [][]uint64
+}
+
+// Name returns the label.
+func (p *Precomputed) Name() string { return p.Label }
+
+// Access returns the precomputed prediction for access i.
+func (p *Precomputed) Access(i int, _ trace.Access) []uint64 {
+	if i < 0 || i >= len(p.Predictions) {
+		return nil
+	}
+	return p.Predictions[i]
+}

@@ -1,0 +1,91 @@
+// Package sms implements a Spatial Memory Streaming prefetcher (Somogyi et
+// al., ISCA 2006) from the paper's related work (§2.1): it learns recurring
+// spatial footprints — the bit pattern of lines touched within a page-sized
+// region during one generation — indexed by the (PC, trigger-offset) that
+// first touched the region, and replays the footprint when the same trigger
+// recurs in a new region.
+package sms
+
+import "voyager/internal/trace"
+
+// regionState tracks the footprint of an active generation.
+type regionState struct {
+	trigger   uint64 // (pc << 6) | trigger offset
+	footprint uint64 // bit k set ⇒ line offset k touched
+}
+
+// Prefetcher is an SMS-style spatial footprint predictor.
+type Prefetcher struct {
+	Degree int
+
+	// active generations per page.
+	active map[uint64]*regionState
+	// pht: learned footprints by trigger signature.
+	pht map[uint64]uint64
+	// fifo of active pages for generation termination (capacity bound).
+	fifo []uint64
+}
+
+// MaxActive caps concurrently tracked regions (the filter/accumulation
+// table size in the original design).
+const MaxActive = 64
+
+// New returns an SMS prefetcher with the given degree.
+func New(degree int) *Prefetcher {
+	if degree < 1 {
+		degree = 1
+	}
+	return &Prefetcher{
+		Degree: degree,
+		active: make(map[uint64]*regionState),
+		pht:    make(map[uint64]uint64),
+	}
+}
+
+// Name implements prefetch.Prefetcher.
+func (p *Prefetcher) Name() string { return "sms" }
+
+func signature(pc, offset uint64) uint64 { return pc<<trace.OffsetBits | offset }
+
+// Access accumulates footprints and, on a region's first touch, replays the
+// footprint learned for the trigger signature.
+func (p *Prefetcher) Access(_ int, a trace.Access) []uint64 {
+	page := trace.Page(a.Addr)
+	offset := trace.Offset(a.Addr)
+
+	if st, ok := p.active[page]; ok {
+		st.footprint |= 1 << offset
+		return nil
+	}
+
+	// New generation: evict the oldest if at capacity, committing its
+	// footprint to the pattern history table.
+	if len(p.fifo) >= MaxActive {
+		old := p.fifo[0]
+		p.fifo = p.fifo[1:]
+		if st, ok := p.active[old]; ok {
+			p.pht[st.trigger] = st.footprint
+			delete(p.active, old)
+		}
+	}
+	sig := signature(a.PC, offset)
+	p.active[page] = &regionState{trigger: sig, footprint: 1 << offset}
+	p.fifo = append(p.fifo, page)
+
+	// Predict: replay the learned footprint for this trigger.
+	fp, ok := p.pht[sig]
+	if !ok {
+		return nil
+	}
+	out := make([]uint64, 0, p.Degree)
+	for k := uint64(0); k < trace.NumOffsets && len(out) < p.Degree; k++ {
+		if k == offset || fp&(1<<k) == 0 {
+			continue
+		}
+		out = append(out, trace.Join(page, k)|0)
+	}
+	return out
+}
+
+// Entries returns the pattern-history-table size.
+func (p *Prefetcher) Entries() int { return len(p.pht) }

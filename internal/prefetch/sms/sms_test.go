@@ -1,0 +1,81 @@
+package sms
+
+import (
+	"testing"
+
+	"voyager/internal/trace"
+)
+
+func acc(pc, page, offset uint64) trace.Access {
+	return trace.Access{PC: pc, Addr: trace.Join(page, offset)}
+}
+
+// touchRegion simulates one generation: trigger at `trig`, then the given
+// offsets.
+func touchRegion(p *Prefetcher, i *int, pc, page, trig uint64, offsets []uint64) {
+	p.Access(*i, acc(pc, page, trig))
+	*i++
+	for _, o := range offsets {
+		p.Access(*i, acc(pc, page, o))
+		*i++
+	}
+}
+
+func TestReplaysLearnedFootprint(t *testing.T) {
+	p := New(8)
+	i := 0
+	fp := []uint64{3, 7, 12}
+	// Train on many regions with the same trigger (pc=9, offset 1) and
+	// footprint; capacity eviction commits them to the PHT.
+	for page := uint64(100); page < 100+MaxActive+8; page++ {
+		touchRegion(p, &i, 9, page, 1, fp)
+	}
+	// A brand-new region with the same trigger must replay the footprint.
+	out := p.Access(i, acc(9, 5000, 1))
+	if len(out) != len(fp) {
+		t.Fatalf("replayed %d lines, want %d: %v", len(out), len(fp), out)
+	}
+	want := map[uint64]bool{}
+	for _, o := range fp {
+		want[trace.Line(trace.Join(5000, o))] = true
+	}
+	for _, a := range out {
+		if !want[trace.Line(a)] {
+			t.Fatalf("unexpected prefetch line %d", trace.Line(a))
+		}
+	}
+}
+
+func TestNoPredictionForUnknownTrigger(t *testing.T) {
+	p := New(4)
+	if out := p.Access(0, acc(1, 10, 0)); out != nil {
+		t.Fatalf("unknown trigger predicted %v", out)
+	}
+	if p.Name() != "sms" {
+		t.Fatalf("name")
+	}
+}
+
+func TestDegreeCapsFootprint(t *testing.T) {
+	p := New(2)
+	i := 0
+	fp := []uint64{2, 3, 4, 5, 6}
+	for page := uint64(0); page < MaxActive+4; page++ {
+		touchRegion(p, &i, 7, page, 0, fp)
+	}
+	out := p.Access(i, acc(7, 9999, 0))
+	if len(out) != 2 {
+		t.Fatalf("degree-2 emitted %d", len(out))
+	}
+}
+
+func TestEntriesGrow(t *testing.T) {
+	p := New(1)
+	i := 0
+	for page := uint64(0); page < MaxActive+2; page++ {
+		touchRegion(p, &i, uint64(page%4), page, page%8, []uint64{10})
+	}
+	if p.Entries() == 0 {
+		t.Fatalf("PHT empty after capacity evictions")
+	}
+}

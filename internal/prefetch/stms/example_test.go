@@ -1,0 +1,23 @@
+package stms_test
+
+import (
+	"fmt"
+
+	"voyager/internal/prefetch/stms"
+	"voyager/internal/trace"
+)
+
+// STMS memorizes consecutive-line pairs in the global stream: after seeing
+// A→B once, the next access to A prefetches B.
+func Example() {
+	p := stms.New(1)
+	stream := []uint64{0x1000, 0x2000, 0x3000, 0x1000}
+	for i, addr := range stream {
+		preds := p.Access(i, trace.Access{PC: 0x400000, Addr: addr, Inst: uint64(i + 1)})
+		for _, target := range preds {
+			fmt.Printf("access %#x -> prefetch %#x\n", addr, target)
+		}
+	}
+	// Output:
+	// access 0x1000 -> prefetch 0x2000
+}

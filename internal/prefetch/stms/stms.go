@@ -1,0 +1,57 @@
+// Package stms implements an idealized STMS prefetcher (Wenisch et al.,
+// HPCA 2009): temporal streaming over the *global* access stream. STMS
+// learns P(Addr_{t+1} | Addr_t) — pairwise correlation of consecutive
+// lines — with unbounded, zero-latency metadata per the paper's §5.1
+// idealized-baseline methodology.
+package stms
+
+import "voyager/internal/trace"
+
+// Prefetcher is an idealized STMS.
+type Prefetcher struct {
+	// Degree is the number of lines prefetched per trigger (successor
+	// chain length).
+	Degree int
+
+	succ     map[uint64]uint64 // line → most recent global successor
+	prevLine uint64
+	primed   bool
+}
+
+// New returns an STMS prefetcher with the given degree (≥1).
+func New(degree int) *Prefetcher {
+	if degree < 1 {
+		degree = 1
+	}
+	return &Prefetcher{Degree: degree, succ: make(map[uint64]uint64)}
+}
+
+// Name implements prefetch.Prefetcher.
+func (p *Prefetcher) Name() string { return "stms" }
+
+// Access trains on the global stream and predicts by walking the successor
+// chain from the current line.
+func (p *Prefetcher) Access(_ int, a trace.Access) []uint64 {
+	line := trace.Line(a.Addr)
+	if p.primed {
+		p.succ[p.prevLine] = line
+	}
+	p.prevLine = line
+	p.primed = true
+
+	var out []uint64
+	cur := line
+	for k := 0; k < p.Degree; k++ {
+		next, ok := p.succ[cur]
+		if !ok {
+			break
+		}
+		out = append(out, next<<trace.LineBits)
+		cur = next
+	}
+	return out
+}
+
+// Entries returns the number of correlation-table entries (for the §5.4
+// storage comparison; idealized STMS keeps one successor per line).
+func (p *Prefetcher) Entries() int { return len(p.succ) }

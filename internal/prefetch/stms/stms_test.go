@@ -1,0 +1,69 @@
+package stms
+
+import (
+	"testing"
+
+	"voyager/internal/trace"
+)
+
+func acc(pc, line uint64) trace.Access {
+	return trace.Access{PC: pc, Addr: line << trace.LineBits}
+}
+
+func TestLearnsGlobalSuccessors(t *testing.T) {
+	p := New(1)
+	seq := []uint64{10, 20, 30, 10} // train A→B→C, then revisit A
+	var last []uint64
+	for i, l := range seq {
+		last = p.Access(i, acc(1, l))
+	}
+	if len(last) != 1 || trace.Line(last[0]) != 20 {
+		t.Fatalf("on revisiting 10, want prediction 20, got %v", last)
+	}
+}
+
+func TestDegreeChainsSuccessors(t *testing.T) {
+	p := New(3)
+	seq := []uint64{10, 20, 30, 40, 10}
+	var last []uint64
+	for i, l := range seq {
+		last = p.Access(i, acc(1, l))
+	}
+	want := []uint64{20, 30, 40}
+	if len(last) != 3 {
+		t.Fatalf("got %d predictions", len(last))
+	}
+	for i, w := range want {
+		if trace.Line(last[i]) != w {
+			t.Fatalf("prediction %d = %d, want %d", i, trace.Line(last[i]), w)
+		}
+	}
+}
+
+func TestColdStartNoPrediction(t *testing.T) {
+	p := New(1)
+	if out := p.Access(0, acc(1, 5)); out != nil {
+		t.Fatalf("cold access predicted %v", out)
+	}
+}
+
+func TestSuccessorUpdatesToMostRecent(t *testing.T) {
+	p := New(1)
+	// 10→20, then 10→30: most recent successor wins.
+	for i, l := range []uint64{10, 20, 10, 30} {
+		p.Access(i, acc(1, l))
+	}
+	out := p.Access(4, acc(1, 10))
+	if len(out) != 1 || trace.Line(out[0]) != 30 {
+		t.Fatalf("want most-recent successor 30, got %v", out)
+	}
+}
+
+func TestDegreeClamp(t *testing.T) {
+	if New(0).Degree != 1 {
+		t.Fatalf("degree not clamped")
+	}
+	if New(1).Name() != "stms" {
+		t.Fatalf("name")
+	}
+}

@@ -1,0 +1,100 @@
+// Package stride implements classic stride prefetchers from the paper's
+// related work (§2.1, §3.2):
+//
+//   - NextLine: the degenerate sequential prefetcher (offset +1).
+//   - IP: the IP-stride prefetcher of Eq. 6 — per-PC stride detection with
+//     a 2-bit confidence counter, the textbook design of Baer & Chen.
+//
+// They anchor the regular end of the comparison space: strong on streaming
+// loops, useless on the irregular patterns Voyager targets.
+package stride
+
+import "voyager/internal/trace"
+
+// NextLine prefetches the next `Degree` sequential lines.
+type NextLine struct {
+	Degree int
+}
+
+// NewNextLine returns a next-line prefetcher.
+func NewNextLine(degree int) *NextLine {
+	if degree < 1 {
+		degree = 1
+	}
+	return &NextLine{Degree: degree}
+}
+
+// Name implements prefetch.Prefetcher.
+func (p *NextLine) Name() string { return "next-line" }
+
+// Access prefetches lines +1..+Degree.
+func (p *NextLine) Access(_ int, a trace.Access) []uint64 {
+	line := trace.Line(a.Addr)
+	out := make([]uint64, 0, p.Degree)
+	for k := 1; k <= p.Degree; k++ {
+		out = append(out, (line+uint64(k))<<trace.LineBits)
+	}
+	return out
+}
+
+// ipEntry is one reference-prediction-table row.
+type ipEntry struct {
+	lastLine uint64
+	stride   int64
+	conf     int8 // 0..3; predict when ≥2
+}
+
+// IP is the IP-stride prefetcher: P(Stride_PC | Stride_t).
+type IP struct {
+	Degree int
+	table  map[uint64]*ipEntry
+}
+
+// NewIP returns an IP-stride prefetcher.
+func NewIP(degree int) *IP {
+	if degree < 1 {
+		degree = 1
+	}
+	return &IP{Degree: degree, table: make(map[uint64]*ipEntry)}
+}
+
+// Name implements prefetch.Prefetcher.
+func (p *IP) Name() string { return "ip-stride" }
+
+// Access trains the per-PC stride and prefetches when confident.
+func (p *IP) Access(_ int, a trace.Access) []uint64 {
+	line := trace.Line(a.Addr)
+	e, ok := p.table[a.PC]
+	if !ok {
+		p.table[a.PC] = &ipEntry{lastLine: line}
+		return nil
+	}
+	stride := int64(line) - int64(e.lastLine)
+	if stride == e.stride && stride != 0 {
+		if e.conf < 3 {
+			e.conf++
+		}
+	} else {
+		if e.conf > 0 {
+			e.conf--
+		} else {
+			e.stride = stride
+		}
+	}
+	e.lastLine = line
+	if e.conf < 2 || e.stride == 0 {
+		return nil
+	}
+	out := make([]uint64, 0, p.Degree)
+	for k := 1; k <= p.Degree; k++ {
+		target := int64(line) + e.stride*int64(k)
+		if target < 0 {
+			break
+		}
+		out = append(out, uint64(target)<<trace.LineBits)
+	}
+	return out
+}
+
+// Entries returns the reference-prediction-table size.
+func (p *IP) Entries() int { return len(p.table) }

@@ -1,0 +1,94 @@
+package stride
+
+import (
+	"testing"
+
+	"voyager/internal/trace"
+)
+
+func acc(pc, line uint64) trace.Access {
+	return trace.Access{PC: pc, Addr: line << trace.LineBits}
+}
+
+func TestNextLine(t *testing.T) {
+	p := NewNextLine(2)
+	out := p.Access(0, acc(1, 100))
+	if len(out) != 2 || trace.Line(out[0]) != 101 || trace.Line(out[1]) != 102 {
+		t.Fatalf("next-line: %v", out)
+	}
+	if p.Name() != "next-line" {
+		t.Fatalf("name")
+	}
+	if NewNextLine(0).Degree != 1 {
+		t.Fatalf("degree clamp")
+	}
+}
+
+func TestIPStrideLearnsConstantStride(t *testing.T) {
+	p := NewIP(1)
+	line := uint64(1000)
+	var out []uint64
+	for i := 0; i < 10; i++ {
+		out = p.Access(i, acc(7, line))
+		line += 3
+	}
+	if len(out) != 1 || trace.Line(out[0]) != line-3+3 {
+		t.Fatalf("stride-3 prediction: %v (want %d)", out, line)
+	}
+}
+
+func TestIPStridePerPCIsolation(t *testing.T) {
+	p := NewIP(1)
+	// PC 1 strides +2, PC 2 strides +5, interleaved.
+	l1, l2 := uint64(100), uint64(9000)
+	var o1, o2 []uint64
+	for i := 0; i < 12; i++ {
+		o1 = p.Access(i, acc(1, l1))
+		o2 = p.Access(i, acc(2, l2))
+		l1 += 2
+		l2 += 5
+	}
+	if len(o1) != 1 || trace.Line(o1[0]) != l1 {
+		t.Fatalf("pc1 prediction %v, want %d", o1, l1)
+	}
+	if len(o2) != 1 || trace.Line(o2[0]) != l2 {
+		t.Fatalf("pc2 prediction %v, want %d", o2, l2)
+	}
+	if p.Entries() != 2 {
+		t.Fatalf("entries %d", p.Entries())
+	}
+}
+
+func TestIPStrideNoConfidenceNoPrefetch(t *testing.T) {
+	p := NewIP(1)
+	// Random walk: confidence must stay low.
+	lines := []uint64{10, 500, 37, 9000, 123, 4567}
+	issued := 0
+	for i, l := range lines {
+		if out := p.Access(i, acc(3, l)); len(out) > 0 {
+			issued++
+		}
+	}
+	if issued != 0 {
+		t.Fatalf("random walk triggered %d prefetches", issued)
+	}
+}
+
+func TestIPStrideDegreeChain(t *testing.T) {
+	p := NewIP(3)
+	line := uint64(50)
+	var out []uint64
+	for i := 0; i < 10; i++ {
+		out = p.Access(i, acc(1, line))
+		line += 4
+	}
+	if len(out) != 3 {
+		t.Fatalf("degree-3: %v", out)
+	}
+	for k, a := range out {
+		want := line - 4 + uint64(4*(k+1))
+		if trace.Line(a) != want {
+			t.Fatalf("chain[%d]=%d want %d", k, trace.Line(a), want)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+// Package vldp implements a Variable Length Delta Prefetcher (Shevgoor et
+// al., MICRO 2015), the paper's Eq. 7 delta-history predictor: per page,
+// the last few line deltas form a variable-length history key; delta
+// prediction tables of increasing history length are probed longest-first,
+// so stable multi-delta patterns beat single-delta noise.
+package vldp
+
+import "voyager/internal/trace"
+
+// MaxHistory is the longest delta history used as a key (the original
+// design uses up to 4 deltas across its DPTs).
+const MaxHistory = 3
+
+type pageState struct {
+	lastLine uint64
+	history  [MaxHistory]int64 // most recent first
+	primed   int
+}
+
+// Prefetcher is a VLDP-style delta predictor.
+type Prefetcher struct {
+	Degree int
+
+	pages map[uint64]*pageState
+	// dpt[k] maps a history of length k+1 (packed) to the next delta.
+	dpt [MaxHistory]map[[MaxHistory]int64]int64
+}
+
+// New returns a VLDP prefetcher with the given degree.
+func New(degree int) *Prefetcher {
+	if degree < 1 {
+		degree = 1
+	}
+	p := &Prefetcher{Degree: degree, pages: make(map[uint64]*pageState)}
+	for k := range p.dpt {
+		p.dpt[k] = make(map[[MaxHistory]int64]int64)
+	}
+	return p
+}
+
+// Name implements prefetch.Prefetcher.
+func (p *Prefetcher) Name() string { return "vldp" }
+
+// key builds a table key from the first n history deltas.
+func key(h [MaxHistory]int64, n int) [MaxHistory]int64 {
+	var k [MaxHistory]int64
+	copy(k[:n], h[:n])
+	return k
+}
+
+// Access trains the delta-prediction tables for the access's page and
+// predicts by probing longest history first.
+func (p *Prefetcher) Access(_ int, a trace.Access) []uint64 {
+	line := trace.Line(a.Addr)
+	page := trace.Page(a.Addr)
+	st, ok := p.pages[page]
+	if !ok {
+		st = &pageState{lastLine: line}
+		p.pages[page] = st
+		return nil
+	}
+	delta := int64(line) - int64(st.lastLine)
+	st.lastLine = line
+	if delta != 0 {
+		// Train every history length with the observed next delta.
+		for n := 1; n <= st.primed && n <= MaxHistory; n++ {
+			p.dpt[n-1][key(st.history, n)] = delta
+		}
+		// Shift the new delta into the history.
+		copy(st.history[1:], st.history[:MaxHistory-1])
+		st.history[0] = delta
+		if st.primed < MaxHistory {
+			st.primed++
+		}
+	}
+
+	// Predict a chain of future deltas, longest-history match first.
+	out := make([]uint64, 0, p.Degree)
+	h := st.history
+	primed := st.primed
+	cur := int64(line)
+	for k := 0; k < p.Degree; k++ {
+		var next int64
+		found := false
+		for n := min(primed, MaxHistory); n >= 1; n-- {
+			if d, ok := p.dpt[n-1][key(h, n)]; ok {
+				next = d
+				found = true
+				break
+			}
+		}
+		if !found {
+			break
+		}
+		cur += next
+		if cur < 0 {
+			break
+		}
+		out = append(out, uint64(cur)<<trace.LineBits)
+		copy(h[1:], h[:MaxHistory-1])
+		h[0] = next
+		if primed < MaxHistory {
+			primed++
+		}
+	}
+	return out
+}
+
+// Entries returns the total delta-prediction-table entries.
+func (p *Prefetcher) Entries() int {
+	n := len(p.pages)
+	for k := range p.dpt {
+		n += len(p.dpt[k])
+	}
+	return n
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

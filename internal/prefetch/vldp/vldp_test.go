@@ -1,0 +1,86 @@
+package vldp
+
+import (
+	"testing"
+
+	"voyager/internal/trace"
+)
+
+func acc(line uint64) trace.Access {
+	return trace.Access{PC: 1, Addr: line << trace.LineBits}
+}
+
+func TestLearnsRepeatingDeltaPattern(t *testing.T) {
+	p := New(1)
+	// Delta pattern +1 +1 +3 within one page region, repeated.
+	line := uint64(1 << 14) // offsets cycle within pages
+	deltas := []int64{1, 1, 3}
+	var out []uint64
+	var last uint64
+	correct, total := 0, 0
+	for i := 0; i < 400; i++ {
+		if i > 200 && len(out) == 1 {
+			total++
+			if trace.Line(out[0]) == line {
+				correct++
+			}
+		}
+		out = p.Access(i, acc(line))
+		last = line
+		line = uint64(int64(line) + deltas[i%3])
+	}
+	_ = last
+	if total == 0 {
+		t.Fatalf("no predictions")
+	}
+	if rate := float64(correct) / float64(total); rate < 0.9 {
+		t.Fatalf("delta-pattern accuracy %.2f", rate)
+	}
+}
+
+// The history disambiguates: after (+1,+1) the next delta is +3, but after
+// (+3,+1) it is +1. A single-delta predictor cannot separate these.
+func TestHistoryDisambiguates(t *testing.T) {
+	p := New(1)
+	line := uint64(1 << 14)
+	deltas := []int64{1, 1, 3}
+	for i := 0; i < 300; i++ {
+		p.Access(i, acc(line))
+		line = uint64(int64(line) + deltas[i%3])
+	}
+	// Verify at a known phase: the prediction after observing ...,+3,+1,+1
+	// must be +3.
+	// (Covered statistically by the first test; here just check table state.)
+	if p.Entries() == 0 {
+		t.Fatalf("no table entries")
+	}
+}
+
+func TestDegreeChains(t *testing.T) {
+	p := New(3)
+	line := uint64(1 << 14)
+	var out []uint64
+	for i := 0; i < 100; i++ {
+		out = p.Access(i, acc(line))
+		line += 2
+	}
+	if len(out) != 3 {
+		t.Fatalf("degree-3 chain: %v", out)
+	}
+	base := line - 2
+	for k, a := range out {
+		if trace.Line(a) != base+uint64(2*(k+1)) {
+			t.Fatalf("chain[%d]=%d", k, trace.Line(a))
+		}
+	}
+	if p.Name() != "vldp" {
+		t.Fatalf("name")
+	}
+}
+
+func TestColdPage(t *testing.T) {
+	p := New(1)
+	if out := p.Access(0, acc(5)); out != nil {
+		t.Fatalf("cold page predicted %v", out)
+	}
+}

@@ -1,0 +1,132 @@
+// Package sim implements the trace-driven performance model used to
+// evaluate prefetchers: a three-level cache hierarchy, a banked DRAM model,
+// and a ROB-limited out-of-order core, configured per the paper's Table 3.
+// Prefetchers sit at the last-level cache, exactly as in the paper
+// ("their inputs are LLC accesses, and the prefetched entries are also
+// inserted in the LLC").
+package sim
+
+import "fmt"
+
+// Cache is a set-associative cache with true-LRU replacement. Addresses are
+// cache-line numbers (byte address >> 6).
+type Cache struct {
+	Name       string
+	sets       int
+	ways       int
+	setMask    uint64
+	lines      []cacheLine // sets × ways
+	HitLatency int         // cycles
+
+	Hits   uint64
+	Misses uint64
+}
+
+type cacheLine struct {
+	tag      uint64
+	valid    bool
+	prefetch bool   // filled by a prefetch and not yet demanded
+	lru      uint64 // last-touch stamp
+}
+
+// NewCache builds a cache of sizeBytes with the given associativity and hit
+// latency. sizeBytes must yield a power-of-two set count for 64-byte lines.
+func NewCache(name string, sizeBytes, ways, hitLatency int) *Cache {
+	lines := sizeBytes / 64
+	sets := lines / ways
+	if sets <= 0 || sets&(sets-1) != 0 || sets*ways != lines || lines*64 != sizeBytes {
+		panic(fmt.Sprintf("sim: cache %s: invalid geometry size=%d ways=%d", name, sizeBytes, ways))
+	}
+	return &Cache{
+		Name:       name,
+		sets:       sets,
+		ways:       ways,
+		setMask:    uint64(sets - 1),
+		lines:      make([]cacheLine, sets*ways),
+		HitLatency: hitLatency,
+	}
+}
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+func (c *Cache) set(line uint64) []cacheLine {
+	s := int(line & c.setMask)
+	return c.lines[s*c.ways : (s+1)*c.ways]
+}
+
+// Lookup probes for line; on a hit it refreshes LRU, records the hit, and
+// reports whether the hit line was a not-yet-used prefetch (clearing the
+// prefetch bit).
+func (c *Cache) Lookup(line uint64, stamp uint64) (hit, wasPrefetch bool) {
+	set := c.set(line)
+	for i := range set {
+		if set[i].valid && set[i].tag == line {
+			set[i].lru = stamp
+			wasPrefetch = set[i].prefetch
+			set[i].prefetch = false
+			c.Hits++
+			return true, wasPrefetch
+		}
+	}
+	c.Misses++
+	return false, false
+}
+
+// Contains probes for line without updating LRU or counters.
+func (c *Cache) Contains(line uint64) bool {
+	set := c.set(line)
+	for i := range set {
+		if set[i].valid && set[i].tag == line {
+			return true
+		}
+	}
+	return false
+}
+
+// Fill inserts line, evicting the LRU way if needed. isPrefetch marks the
+// line as a prefetch fill. It returns the evicted line and whether the
+// evicted line was an unused prefetch (for pollution accounting).
+func (c *Cache) Fill(line uint64, stamp uint64, isPrefetch bool) (evicted uint64, evictedUnusedPrefetch, hadEviction bool) {
+	set := c.set(line)
+	victim := 0
+	for i := range set {
+		if set[i].valid && set[i].tag == line {
+			// Already present (e.g. prefetch raced with demand): refresh.
+			set[i].lru = stamp
+			if !isPrefetch {
+				set[i].prefetch = false
+			}
+			return 0, false, false
+		}
+		if !set[i].valid {
+			victim = i
+		} else if set[victim].valid && set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	v := &set[victim]
+	if v.valid {
+		evicted, hadEviction = v.tag, true
+		evictedUnusedPrefetch = v.prefetch
+	}
+	*v = cacheLine{tag: line, valid: true, prefetch: isPrefetch, lru: stamp}
+	return evicted, evictedUnusedPrefetch, hadEviction
+}
+
+// Occupancy returns the number of valid lines (test helper).
+func (c *Cache) Occupancy() int {
+	n := 0
+	for i := range c.lines {
+		if c.lines[i].valid {
+			n++
+		}
+	}
+	return n
+}
+
+// ResetStats clears hit/miss counters.
+func (c *Cache) ResetStats() { c.Hits, c.Misses = 0, 0 }

@@ -1,0 +1,79 @@
+package sim
+
+// DRAM models main memory per Table 3: tRP=tRCD=tCAS=20, 2 channels,
+// 8 ranks × 8 banks with 32K-row row buffers, and a bandwidth cap of
+// 8 GB/s per core. Latencies are in CPU cycles.
+//
+// A request to an open row costs tCAS; a row-buffer miss costs
+// tRP+tRCD+tCAS. Each transfer additionally occupies its channel for
+// BusCycles, which enforces the bandwidth cap and makes over-aggressive
+// prefetching hurt.
+type DRAM struct {
+	TRP, TRCD, TCAS int
+	Channels        int
+	BanksPerChannel int
+	RowsPerBank     int
+	BusCycles       int
+
+	channelFree []uint64 // next cycle each channel is free
+	openRow     []int32  // per (channel, bank): open row id, -1 if closed
+
+	RowHits   uint64
+	RowMisses uint64
+	Requests  uint64
+}
+
+// NewDRAM builds the Table 3 memory model.
+func NewDRAM() *DRAM {
+	d := &DRAM{
+		TRP: 20, TRCD: 20, TCAS: 20,
+		Channels:        2,
+		BanksPerChannel: 64, // 8 ranks × 8 banks
+		RowsPerBank:     32768,
+		// 8 GB/s per core at a nominal 4 GHz core clock: 64 B per 32 ns
+		// → one line per ~32 cycles across 2 channels → 16 cycles/channel.
+		BusCycles: 16,
+	}
+	d.channelFree = make([]uint64, d.Channels)
+	d.openRow = make([]int32, d.Channels*d.BanksPerChannel)
+	for i := range d.openRow {
+		d.openRow[i] = -1
+	}
+	return d
+}
+
+// Access issues a line fetch at time `cycle` and returns the cycle the data
+// arrives. Line interleaving: channel = line mod Channels, bank = next bits.
+func (d *DRAM) Access(line uint64, cycle uint64) uint64 {
+	d.Requests++
+	ch := int(line) & (d.Channels - 1)
+	bank := int(line>>1) & (d.BanksPerChannel - 1)
+	row := int32(line >> 7 & uint64(d.RowsPerBank-1))
+
+	start := cycle
+	if d.channelFree[ch] > start {
+		start = d.channelFree[ch]
+	}
+	lat := d.TCAS
+	idx := ch*d.BanksPerChannel + bank
+	if d.openRow[idx] == row {
+		d.RowHits++
+	} else {
+		d.RowMisses++
+		lat += d.TRP + d.TRCD
+		d.openRow[idx] = row
+	}
+	d.channelFree[ch] = start + uint64(d.BusCycles)
+	return start + uint64(lat)
+}
+
+// Reset clears row buffers, queues and statistics.
+func (d *DRAM) Reset() {
+	for i := range d.channelFree {
+		d.channelFree[i] = 0
+	}
+	for i := range d.openRow {
+		d.openRow[i] = -1
+	}
+	d.RowHits, d.RowMisses, d.Requests = 0, 0, 0
+}

@@ -1,0 +1,382 @@
+package sim
+
+import (
+	"fmt"
+
+	"voyager/internal/prefetch"
+	"voyager/internal/trace"
+)
+
+// Config mirrors the paper's Table 3 plus the core parameters from §5.1
+// (4-wide out-of-order, 8-stage pipeline, 128-entry ROB).
+type Config struct {
+	L1Size, L1Ways, L1Latency    int
+	L2Size, L2Ways, L2Latency    int
+	LLCSize, LLCWays, LLCLatency int
+	Width                        int // retire width, instructions/cycle
+	ROB                          int // reorder-buffer entries
+	// MLP caps memory-level parallelism: a load may not issue until the
+	// load MLP positions earlier has completed, modeling the
+	// address-generation dependences of irregular code (pointer chasing,
+	// indexed gathers). Without it every load is independent and the ROB
+	// hides all memory latency, which no irregular benchmark does.
+	MLP int
+}
+
+// DefaultConfig returns the Table 3 configuration.
+func DefaultConfig() Config {
+	return Config{
+		L1Size: 64 << 10, L1Ways: 4, L1Latency: 3,
+		L2Size: 512 << 10, L2Ways: 8, L2Latency: 11,
+		LLCSize: 2 << 20, LLCWays: 16, LLCLatency: 20,
+		Width: 4,
+		ROB:   128,
+		MLP:   4,
+	}
+}
+
+// String prints the configuration as Table 3 rows.
+func (c Config) String() string {
+	return fmt.Sprintf(
+		"L1 D-Cache   %d KB, %d-way, %d-cycle latency\n"+
+			"L2 Cache     %d KB, %d-way, %d-cycle latency\n"+
+			"LLC per core %d MB, %d-way, %d-cycle latency\n"+
+			"Core         %d-wide, %d-entry ROB",
+		c.L1Size>>10, c.L1Ways, c.L1Latency,
+		c.L2Size>>10, c.L2Ways, c.L2Latency,
+		c.LLCSize>>20, c.LLCWays, c.LLCLatency,
+		c.Width, c.ROB)
+}
+
+// Result reports one simulation run.
+type Result struct {
+	Benchmark  string
+	Prefetcher string
+
+	Instructions uint64
+	Cycles       uint64
+	IPC          float64
+
+	LLCDemandAccesses uint64
+	LLCDemandMisses   uint64 // demand misses that went to DRAM (uncovered)
+	LLCLateCovered    uint64 // demand misses that merged with an in-flight prefetch
+
+	PrefetchesIssued uint64 // prefetches sent to DRAM
+	PrefetchesUseful uint64 // prefetched lines later hit by demand (incl. late)
+	PrefetchEvicted  uint64 // prefetched lines evicted unused
+
+	DRAMRequests uint64
+}
+
+// Accuracy is useful prefetches over issued prefetches (§5.1 Metrics).
+func (r Result) Accuracy() float64 {
+	if r.PrefetchesIssued == 0 {
+		return 0
+	}
+	return float64(r.PrefetchesUseful) / float64(r.PrefetchesIssued)
+}
+
+// Coverage is the fraction of would-be LLC misses eliminated (or merged
+// late) by prefetching.
+func (r Result) Coverage() float64 {
+	den := r.PrefetchesUseful + r.LLCDemandMisses
+	if den == 0 {
+		return 0
+	}
+	return float64(r.PrefetchesUseful) / float64(den)
+}
+
+// Machine is a single-core system: three cache levels, DRAM, a core model,
+// and an optional prefetcher at the LLC.
+type Machine struct {
+	cfg  Config
+	l1   *Cache
+	l2   *Cache
+	llc  *Cache
+	dram *DRAM
+
+	// inFlight maps a line to the cycle its fill arrives (MSHR-like).
+	inFlight map[uint64]uint64
+	// inFlightPrefetch marks in-flight fills initiated by a prefetch.
+	inFlightPrefetch map[uint64]bool
+}
+
+// NewMachine builds a machine from the configuration.
+func NewMachine(cfg Config) *Machine {
+	return &Machine{
+		cfg:              cfg,
+		l1:               NewCache("L1D", cfg.L1Size, cfg.L1Ways, cfg.L1Latency),
+		l2:               NewCache("L2", cfg.L2Size, cfg.L2Ways, cfg.L2Latency),
+		llc:              NewCache("LLC", cfg.LLCSize, cfg.LLCWays, cfg.LLCLatency),
+		dram:             NewDRAM(),
+		inFlight:         make(map[uint64]uint64),
+		inFlightPrefetch: make(map[uint64]bool),
+	}
+}
+
+// Run simulates the trace with the given prefetcher (use prefetch.Nil{} for
+// the no-prefetching baseline) and returns the metrics.
+//
+// Timing model: quarter-cycle resolution. Instructions issue at most
+// Width/cycle and retire in order; an instruction may not issue until the
+// instruction ROB entries earlier has retired, so independent load misses
+// inside the ROB window overlap (MLP), which is how prefetch timeliness
+// turns into IPC.
+func (m *Machine) Run(tr *trace.Trace, pf prefetch.Prefetcher) Result {
+	res := Result{Benchmark: tr.Name, Prefetcher: pf.Name()}
+	const q = 4 // quarter-cycles per cycle
+	issueStep := uint64(q) / uint64(m.cfg.Width)
+	if issueStep == 0 {
+		issueStep = 1
+	}
+
+	rob := make([]uint64, m.cfg.ROB) // retire qcycle of the ROB's last entries
+	robIdx := 0
+	mlp := m.cfg.MLP
+	if mlp < 1 {
+		mlp = m.cfg.ROB
+	}
+	loadRing := make([]uint64, mlp) // completion qcycles of the last MLP loads
+	loadIdx := 0
+	var lastIssueQ, lastRetireQ uint64
+	var inst uint64 // dynamic instruction counter
+	stamp := uint64(0)
+
+	// advance models one instruction with the given execution latency (in
+	// cycles, 0 for simple ALU ops that retire immediately after issue).
+	// isLoad applies the MLP dependence cap and records completion.
+	advance := func(latencyCycles uint64, isLoad bool) {
+		issueQ := lastIssueQ + issueStep
+		if oldest := rob[robIdx]; issueQ < oldest {
+			issueQ = oldest // ROB full: wait for the oldest entry to retire
+		}
+		if isLoad {
+			if dep := loadRing[loadIdx]; issueQ < dep {
+				issueQ = dep // dependent on an older outstanding load
+			}
+		}
+		doneQ := issueQ + latencyCycles*q + q
+		if isLoad {
+			loadRing[loadIdx] = doneQ
+			loadIdx = (loadIdx + 1) % mlp
+		}
+		retireQ := doneQ
+		if retireQ < lastRetireQ {
+			retireQ = lastRetireQ // in-order retirement
+		}
+		rob[robIdx] = retireQ
+		robIdx = (robIdx + 1) % m.cfg.ROB
+		lastIssueQ = issueQ
+		lastRetireQ = retireQ
+		inst++
+	}
+
+	var prevInst uint64
+	for i, a := range tr.Accesses {
+		// Non-memory instructions since the previous access.
+		gap := a.Inst - prevInst
+		if gap > 0 {
+			gap--
+		}
+		for g := uint64(0); g < gap; g++ {
+			advance(0, false)
+		}
+		prevInst = a.Inst
+
+		stamp++
+		line := trace.Line(a.Addr)
+		nowCycle := lastIssueQ / q
+
+		// Demand path through the hierarchy.
+		latency, reachedLLC := m.demandAccess(line, nowCycle, stamp, &res)
+		advance(latency, true)
+
+		// The prefetcher sits at the LLC (§5.1: "their inputs are LLC
+		// accesses"): it observes only accesses that miss L1 and L2, with
+		// no metadata cost (idealized). Prefetches fill the LLC only, so
+		// the L1/L2 filter — and hence this trigger stream — is identical
+		// for every prefetcher.
+		if reachedLLC {
+			for _, pAddr := range pf.Access(i, a) {
+				m.prefetchLine(trace.Line(pAddr), nowCycle, stamp, &res)
+			}
+		}
+	}
+	// Account for trailing instructions after the last access.
+	if tr.Instructions > prevInst {
+		for g := uint64(0); g < tr.Instructions-prevInst; g++ {
+			advance(0, false)
+		}
+	}
+
+	res.Instructions = inst
+	res.Cycles = (lastRetireQ + q - 1) / q
+	if res.Cycles > 0 {
+		res.IPC = float64(res.Instructions) / float64(res.Cycles)
+	}
+	res.DRAMRequests = m.dram.Requests
+	return res
+}
+
+// demandAccess walks the hierarchy for a demand load and returns its
+// latency in cycles plus whether the access missed L1 and L2 (reaching the
+// LLC, where the prefetcher observes it).
+func (m *Machine) demandAccess(line uint64, cycle uint64, stamp uint64, res *Result) (uint64, bool) {
+	if hit, _ := m.l1.Lookup(line, stamp); hit {
+		return uint64(m.cfg.L1Latency), false
+	}
+	lat := uint64(m.cfg.L1Latency)
+	if hit, _ := m.l2.Lookup(line, stamp); hit {
+		m.l1.Fill(line, stamp, false)
+		return lat + uint64(m.cfg.L2Latency), false
+	}
+	lat += uint64(m.cfg.L2Latency)
+	res.LLCDemandAccesses++
+	if hit, wasPrefetch := m.llc.Lookup(line, stamp); hit {
+		// If the line's fill is still in flight (a late prefetch or an
+		// earlier demand miss to the same line), the data hasn't actually
+		// arrived: charge the remaining wait.
+		var wait uint64
+		if ready, ok := m.inFlight[line]; ok {
+			if ready > cycle {
+				wait = ready - cycle
+				if wasPrefetch {
+					res.LLCLateCovered++
+				}
+			}
+			delete(m.inFlight, line)
+			delete(m.inFlightPrefetch, line)
+		}
+		if wasPrefetch {
+			res.PrefetchesUseful++
+		}
+		m.l2.Fill(line, stamp, false)
+		m.l1.Fill(line, stamp, false)
+		return lat + uint64(m.cfg.LLCLatency) + wait, true
+	}
+	lat += uint64(m.cfg.LLCLatency)
+
+	// Miss: merge with an in-flight fill if one exists (the line was
+	// evicted while its fill was pending). A stale entry (ready in the
+	// past) means the fill landed and was since evicted: plain miss.
+	if ready, ok := m.inFlight[line]; ok {
+		delete(m.inFlight, line)
+		wasPrefetch := m.inFlightPrefetch[line]
+		delete(m.inFlightPrefetch, line)
+		if ready > cycle {
+			if wasPrefetch {
+				res.PrefetchesUseful++
+				res.LLCLateCovered++
+			} else {
+				res.LLCDemandMisses++
+			}
+			m.fillAll(line, stamp, false)
+			return lat + (ready - cycle), true
+		}
+	}
+
+	res.LLCDemandMisses++
+	ready := m.dram.Access(line, cycle)
+	m.inFlight[line] = ready
+	m.fillAll(line, stamp, false)
+	return lat + (ready - cycle), true
+}
+
+// prefetchLine issues a prefetch into the LLC.
+func (m *Machine) prefetchLine(line uint64, cycle uint64, stamp uint64, res *Result) {
+	if m.llc.Contains(line) {
+		return // already cached: dropped, not issued
+	}
+	if ready, ok := m.inFlight[line]; ok {
+		if ready > cycle {
+			return // already being fetched
+		}
+		// Stale entry: the old fill landed and was evicted since.
+		delete(m.inFlight, line)
+		delete(m.inFlightPrefetch, line)
+	}
+	res.PrefetchesIssued++
+	ready := m.dram.Access(line, cycle)
+	m.inFlight[line] = ready
+	m.inFlightPrefetch[line] = true
+	// The fill lands in the LLC when ready; we insert immediately with the
+	// prefetch bit and rely on inFlight for timing until `ready`.
+	if _, evictedUnused, had := m.llc.Fill(line, stamp, true); had && evictedUnused {
+		res.PrefetchEvicted++
+	}
+	// Clean up the in-flight entry lazily: a later demand merge removes it;
+	// otherwise expire it now if it is already in the past.
+	if ready <= cycle {
+		delete(m.inFlight, line)
+		delete(m.inFlightPrefetch, line)
+	}
+}
+
+// fillAll inserts line into every level (demand fill path).
+func (m *Machine) fillAll(line uint64, stamp uint64, isPrefetch bool) {
+	m.llc.Fill(line, stamp, isPrefetch)
+	m.l2.Fill(line, stamp, false)
+	m.l1.Fill(line, stamp, false)
+}
+
+// Caches exposes the hierarchy for tests and tools.
+func (m *Machine) Caches() (l1, l2, llc *Cache) { return m.l1, m.l2, m.llc }
+
+// DRAMModel exposes the memory model for tests and tools.
+func (m *Machine) DRAMModel() *DRAM { return m.dram }
+
+// Simulate is a convenience wrapper: build a machine, run the trace.
+func Simulate(tr *trace.Trace, pf prefetch.Prefetcher, cfg Config) Result {
+	return NewMachine(cfg).Run(tr, pf)
+}
+
+// ScaledConfig returns a cache hierarchy shrunk to match the scaled
+// workload traces. The paper's workloads have footprints 10-100× the 2 MB
+// LLC; our traces are ~1000× shorter with proportionally smaller
+// footprints, so the hierarchy scales down with them (same associativities
+// and latencies, same L1:L2:LLC capacity ratios as Table 3). Table 3 /
+// DefaultConfig remains the configuration of record for full-size traces.
+func ScaledConfig() Config {
+	c := DefaultConfig()
+	c.L1Size = 1 << 10
+	c.L2Size = 8 << 10
+	c.LLCSize = 32 << 10
+	return c
+}
+
+// FilterLLC replays only the L1/L2 portion of the hierarchy over the trace
+// and returns the LLC access stream — the sub-trace of accesses that miss
+// both private levels — plus the index of each filtered access in the
+// original trace. Because prefetches fill only the LLC, this stream is
+// identical no matter which prefetcher later runs, so it is the right
+// training input for trace-trained predictors (Voyager, Delta-LSTM) and the
+// right stream for the unified accuracy/coverage metric.
+func FilterLLC(tr *trace.Trace, cfg Config) (*trace.Trace, []int) {
+	l1 := NewCache("L1D", cfg.L1Size, cfg.L1Ways, cfg.L1Latency)
+	l2 := NewCache("L2", cfg.L2Size, cfg.L2Ways, cfg.L2Latency)
+	out := &trace.Trace{Name: tr.Name, Instructions: tr.Instructions}
+	var idx []int
+	for i, a := range tr.Accesses {
+		stamp := uint64(i + 1)
+		line := trace.Line(a.Addr)
+		if hit, _ := l1.Lookup(line, stamp); hit {
+			continue
+		}
+		if hit, _ := l2.Lookup(line, stamp); hit {
+			l1.Fill(line, stamp, false)
+			continue
+		}
+		l2.Fill(line, stamp, false)
+		l1.Fill(line, stamp, false)
+		out.Accesses = append(out.Accesses, a)
+		idx = append(idx, i)
+	}
+	return out, idx
+}
+
+// String formats the result as a one-line summary.
+func (r Result) String() string {
+	return fmt.Sprintf("%s/%s: ipc=%.3f acc=%.3f cov=%.3f issued=%d useful=%d misses=%d late=%d dram=%d",
+		r.Benchmark, r.Prefetcher, r.IPC, r.Accuracy(), r.Coverage(),
+		r.PrefetchesIssued, r.PrefetchesUseful, r.LLCDemandMisses, r.LLCLateCovered, r.DRAMRequests)
+}

@@ -1,0 +1,320 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"voyager/internal/prefetch"
+	"voyager/internal/trace"
+)
+
+func TestCacheHitMiss(t *testing.T) {
+	c := NewCache("t", 64*64, 4, 1) // 64 lines, 16 sets × 4 ways
+	if hit, _ := c.Lookup(5, 1); hit {
+		t.Fatalf("cold lookup hit")
+	}
+	c.Fill(5, 2, false)
+	if hit, _ := c.Lookup(5, 3); !hit {
+		t.Fatalf("filled line missed")
+	}
+	if c.Hits != 1 || c.Misses != 1 {
+		t.Fatalf("stats hits=%d misses=%d", c.Hits, c.Misses)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	// 1 set × 2 ways: lines mapping to set 0 in a 2-line direct structure.
+	c := NewCache("t", 2*64, 2, 1)
+	c.Fill(0, 1, false)
+	c.Fill(10, 2, false) // same set (only one set)
+	c.Lookup(0, 3)       // touch 0 → 10 is now LRU
+	ev, _, had := c.Fill(20, 4, false)
+	if !had || ev != 10 {
+		t.Fatalf("evicted %d (had=%v), want 10", ev, had)
+	}
+	if !c.Contains(0) || !c.Contains(20) || c.Contains(10) {
+		t.Fatalf("wrong residents after eviction")
+	}
+}
+
+func TestCachePrefetchBit(t *testing.T) {
+	c := NewCache("t", 4*64, 4, 1)
+	c.Fill(7, 1, true)
+	hit, wasPf := c.Lookup(7, 2)
+	if !hit || !wasPf {
+		t.Fatalf("first demand hit should report prefetch bit")
+	}
+	hit, wasPf = c.Lookup(7, 3)
+	if !hit || wasPf {
+		t.Fatalf("prefetch bit must clear after first demand hit")
+	}
+	// Demand re-fill of a prefetched line clears the bit.
+	c.Fill(8, 4, true)
+	c.Fill(8, 5, false)
+	_, wasPf = c.Lookup(8, 6)
+	if wasPf {
+		t.Fatalf("demand fill should clear prefetch bit")
+	}
+}
+
+// Property: occupancy never exceeds capacity, and a just-filled line is
+// always resident.
+func TestCacheCapacityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := NewCache("t", 32*64, 4, 1) // 32 lines
+		for i := 0; i < 500; i++ {
+			line := rng.Uint64() % 256
+			if rng.Float64() < 0.5 {
+				c.Lookup(line, uint64(i))
+			} else {
+				c.Fill(line, uint64(i), rng.Float64() < 0.3)
+				if !c.Contains(line) {
+					return false
+				}
+			}
+			if c.Occupancy() > 32 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCacheBadGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	NewCache("t", 3*64, 2, 1) // 1.5 sets
+}
+
+func TestDRAMRowBuffer(t *testing.T) {
+	d := NewDRAM()
+	// Same line twice: first opens the row (miss), second hits.
+	first := d.Access(0, 0)
+	second := d.Access(0, first)
+	if d.RowMisses != 1 || d.RowHits != 1 {
+		t.Fatalf("rowMisses=%d rowHits=%d", d.RowMisses, d.RowHits)
+	}
+	if first-0 != uint64(d.TRP+d.TRCD+d.TCAS) {
+		t.Fatalf("row-miss latency %d", first)
+	}
+	if second-first != uint64(d.TCAS) {
+		t.Fatalf("row-hit latency %d", second-first)
+	}
+}
+
+func TestDRAMBandwidthCap(t *testing.T) {
+	d := NewDRAM()
+	// Saturate one channel: issue many requests to channel 0 at cycle 0.
+	var last uint64
+	for i := 0; i < 10; i++ {
+		last = d.Access(uint64(i*2), 0) // even lines → channel 0
+	}
+	// The 10th request cannot complete before 9 bus slots have elapsed.
+	if last < uint64(9*d.BusCycles) {
+		t.Fatalf("bandwidth cap not enforced: last=%d", last)
+	}
+}
+
+func seqTrace(n int, stride uint64) *trace.Trace {
+	tr := &trace.Trace{Name: "seq"}
+	for i := 0; i < n; i++ {
+		tr.Append(0x400000, uint64(i)*stride, uint64(i*5)+1)
+	}
+	tr.Instructions = uint64(n * 5)
+	return tr
+}
+
+func pointerChaseTrace(n, footprint int, rng *rand.Rand) *trace.Trace {
+	// A random cycle over `footprint` lines (larger than the LLC), walked
+	// repeatedly with 12 non-memory instructions per load: every access is
+	// a capacity miss without prefetching, latency-bound rather than
+	// bandwidth-bound, and perfectly predictable for a last-successor
+	// table — the cleanest possible prefetching testbed.
+	perm := rng.Perm(footprint)
+	tr := &trace.Trace{Name: "chase"}
+	pos := 0
+	for i := 0; i < n; i++ {
+		tr.Append(0x400100, uint64(perm[pos])*64, uint64(i*12)+1)
+		pos = (pos + 1) % footprint
+	}
+	tr.Instructions = uint64(n * 12)
+	return tr
+}
+
+func TestMachineIPCBounds(t *testing.T) {
+	cfg := DefaultConfig()
+	tr := seqTrace(5000, 8) // dense in-line accesses: mostly L1 hits
+	res := Simulate(tr, prefetch.Nil{}, cfg)
+	if res.IPC <= 0 || res.IPC > float64(cfg.Width) {
+		t.Fatalf("IPC %v out of (0, %d]", res.IPC, cfg.Width)
+	}
+	if res.Instructions != tr.Instructions {
+		t.Fatalf("instructions %d != %d", res.Instructions, tr.Instructions)
+	}
+}
+
+func TestPerfectPrefetcherImprovesIPC(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tr := pointerChaseTrace(120000, 60000, rng)
+	cfg := DefaultConfig()
+
+	base := Simulate(tr, prefetch.Nil{}, cfg)
+	// Oracle: prefetch the next access's line, 16 accesses ahead so the
+	// fill has time to land.
+	oracle := prefetch.Func{Label: "oracle", Fn: func(i int, a trace.Access) []uint64 {
+		j := i + 16
+		if j >= tr.Len() {
+			return nil
+		}
+		return []uint64{trace.LineAddr(tr.Accesses[j].Addr)}
+	}}
+	pf := Simulate(tr, oracle, cfg)
+
+	if pf.IPC <= base.IPC*1.10 {
+		t.Fatalf("oracle prefetcher should improve IPC ≥10%%: base %.3f pf %.3f", base.IPC, pf.IPC)
+	}
+	if pf.Coverage() < 0.8 {
+		t.Fatalf("oracle coverage %.2f, want ≥0.8", pf.Coverage())
+	}
+	if pf.Accuracy() < 0.8 {
+		t.Fatalf("oracle accuracy %.2f, want ≥0.8", pf.Accuracy())
+	}
+}
+
+func TestUselessPrefetcherDoesNotHelp(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tr := pointerChaseTrace(80000, 60000, rng)
+	cfg := DefaultConfig()
+	base := Simulate(tr, prefetch.Nil{}, cfg)
+	junk := prefetch.Func{Label: "junk", Fn: func(i int, a trace.Access) []uint64 {
+		return []uint64{uint64(0x7000_0000) + uint64(i%512)*64}
+	}}
+	res := Simulate(tr, junk, cfg)
+	if res.IPC > base.IPC*1.02 {
+		t.Fatalf("junk prefetcher should not help: base %.3f junk %.3f", base.IPC, res.IPC)
+	}
+	if res.Accuracy() > 0.05 {
+		t.Fatalf("junk accuracy %.2f should be ~0", res.Accuracy())
+	}
+	if res.DRAMRequests <= base.DRAMRequests {
+		t.Fatalf("junk prefetches should add DRAM traffic")
+	}
+}
+
+func TestLatePrefetchPartialBenefit(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tr := pointerChaseTrace(80000, 60000, rng)
+	cfg := DefaultConfig()
+	base := Simulate(tr, prefetch.Nil{}, cfg)
+	// Prefetch only 1 access ahead: fills arrive late but still overlap.
+	late := prefetch.Func{Label: "late", Fn: func(i int, a trace.Access) []uint64 {
+		if i+1 >= tr.Len() {
+			return nil
+		}
+		return []uint64{trace.LineAddr(tr.Accesses[i+1].Addr)}
+	}}
+	early := prefetch.Func{Label: "early", Fn: func(i int, a trace.Access) []uint64 {
+		if i+16 >= tr.Len() {
+			return nil
+		}
+		return []uint64{trace.LineAddr(tr.Accesses[i+16].Addr)}
+	}}
+	lateRes := Simulate(tr, late, cfg)
+	earlyRes := Simulate(tr, early, cfg)
+	if lateRes.IPC <= base.IPC {
+		t.Fatalf("late prefetch should still help a bit: base %.3f late %.3f", base.IPC, lateRes.IPC)
+	}
+	if earlyRes.IPC <= lateRes.IPC {
+		t.Fatalf("timely prefetch should beat late: late %.3f early %.3f", lateRes.IPC, earlyRes.IPC)
+	}
+	if lateRes.LLCLateCovered == 0 {
+		t.Fatalf("expected late-covered merges")
+	}
+}
+
+func TestResultMetrics(t *testing.T) {
+	r := Result{PrefetchesIssued: 10, PrefetchesUseful: 8, LLCDemandMisses: 2}
+	if r.Accuracy() != 0.8 {
+		t.Fatalf("accuracy %v", r.Accuracy())
+	}
+	if r.Coverage() != 0.8 {
+		t.Fatalf("coverage %v", r.Coverage())
+	}
+	var zero Result
+	if zero.Accuracy() != 0 || zero.Coverage() != 0 {
+		t.Fatalf("zero-result metrics should be 0")
+	}
+}
+
+func TestConfigString(t *testing.T) {
+	s := DefaultConfig().String()
+	if s == "" {
+		t.Fatalf("empty config string")
+	}
+}
+
+func BenchmarkSimulateNoPrefetch(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	tr := pointerChaseTrace(50000, 60000, rng)
+	cfg := DefaultConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Simulate(tr, prefetch.Nil{}, cfg)
+	}
+}
+
+func TestFilterLLC(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tr := pointerChaseTrace(30000, 60000, rng)
+	cfg := ScaledConfig()
+	filtered, idx := FilterLLC(tr, cfg)
+	if filtered.Len() == 0 || filtered.Len() > tr.Len() {
+		t.Fatalf("filtered length %d of %d", filtered.Len(), tr.Len())
+	}
+	if len(idx) != filtered.Len() {
+		t.Fatalf("index length mismatch")
+	}
+	for j := 1; j < len(idx); j++ {
+		if idx[j] <= idx[j-1] {
+			t.Fatalf("indices not increasing at %d", j)
+		}
+	}
+	for j, i := range idx {
+		if filtered.Accesses[j] != tr.Accesses[i] {
+			t.Fatalf("filtered access %d does not match original %d", j, i)
+		}
+	}
+	// A dense sequential trace is mostly absorbed by L1/L2.
+	seq := seqTrace(20000, 8)
+	fseq, _ := FilterLLC(seq, cfg)
+	if fseq.Len() >= seq.Len()/4 {
+		t.Fatalf("sequential trace barely filtered: %d of %d", fseq.Len(), seq.Len())
+	}
+	// Determinism.
+	again, _ := FilterLLC(tr, cfg)
+	if again.Len() != filtered.Len() {
+		t.Fatalf("FilterLLC not deterministic")
+	}
+}
+
+func TestMLPCapSlowsIndependentMisses(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	tr := pointerChaseTrace(30000, 60000, rng)
+	low := DefaultConfig()
+	low.MLP = 1
+	high := DefaultConfig()
+	high.MLP = 64
+	ipcLow := Simulate(tr, prefetch.Nil{}, low).IPC
+	ipcHigh := Simulate(tr, prefetch.Nil{}, high).IPC
+	if ipcLow >= ipcHigh {
+		t.Fatalf("MLP=1 (%.3f) should be slower than MLP=64 (%.3f)", ipcLow, ipcHigh)
+	}
+}

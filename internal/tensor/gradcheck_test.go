@@ -1,0 +1,247 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// checkGrad numerically verifies dLoss/dParam for every parameter matrix.
+// build must construct a fresh graph from the current parameter values and
+// return the scalar loss node along with the tape used.
+func checkGrad(t *testing.T, name string, params []*Mat, build func() (*Tape, *Node, []*Node)) {
+	t.Helper()
+	tape, loss, paramNodes := build()
+	tape.Backward(loss)
+	const eps = 1e-2
+	const tol = 2e-2
+	for pi, p := range params {
+		pn := paramNodes[pi]
+		if pn.Grad == nil {
+			t.Fatalf("%s: param %d received no gradient", name, pi)
+		}
+		for i := range p.Data {
+			orig := p.Data[i]
+			p.Data[i] = orig + eps
+			_, lp, _ := build()
+			p.Data[i] = orig - eps
+			_, lm, _ := build()
+			p.Data[i] = orig
+			numeric := (float64(lp.Val.Data[0]) - float64(lm.Val.Data[0])) / (2 * eps)
+			analytic := float64(pn.Grad.Data[i])
+			diff := math.Abs(numeric - analytic)
+			scale := math.Max(1, math.Max(math.Abs(numeric), math.Abs(analytic)))
+			if diff/scale > tol {
+				t.Fatalf("%s: param %d elem %d: analytic %g numeric %g", name, pi, i, analytic, numeric)
+			}
+		}
+	}
+}
+
+func TestGradMatMulAddBias(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	x := randMat(rng, 3, 4)
+	w := randMat(rng, 4, 5)
+	b := randMat(rng, 1, 5)
+	checkGrad(t, "matmul+bias", []*Mat{w, b}, func() (*Tape, *Node, []*Node) {
+		tp := NewTape()
+		xn := tp.Const(x)
+		wn := tp.Param(w)
+		bn := tp.Param(b)
+		y := tp.AddBias(tp.MatMul(xn, wn), bn)
+		loss := tp.MeanAll(tp.Tanh(y))
+		return tp, loss, []*Node{wn, bn}
+	})
+}
+
+func TestGradElementwiseOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a := randMat(rng, 2, 6)
+	b := randMat(rng, 2, 6)
+	checkGrad(t, "mul+sigmoid+scale", []*Mat{a, b}, func() (*Tape, *Node, []*Node) {
+		tp := NewTape()
+		an := tp.Param(a)
+		bn := tp.Param(b)
+		y := tp.Scale(tp.Mul(tp.Sigmoid(an), tp.Tanh(bn)), 1.7)
+		loss := tp.MeanAll(y)
+		return tp, loss, []*Node{an, bn}
+	})
+}
+
+func TestGradAddReLUSum(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	a := randMat(rng, 3, 3)
+	b := randMat(rng, 3, 3)
+	// Shift away from 0 so ReLU kinks don't break finite differences.
+	for i := range a.Data {
+		if v := a.Data[i] + b.Data[i]; v > -0.05 && v < 0.05 {
+			a.Data[i] += 0.2
+		}
+	}
+	checkGrad(t, "add+relu", []*Mat{a, b}, func() (*Tape, *Node, []*Node) {
+		tp := NewTape()
+		an := tp.Param(a)
+		bn := tp.Param(b)
+		loss := tp.MeanAll(tp.ReLU(tp.Add(an, bn)))
+		return tp, loss, []*Node{an, bn}
+	})
+}
+
+func TestGradConcatSlice(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	a := randMat(rng, 2, 3)
+	b := randMat(rng, 2, 4)
+	checkGrad(t, "concat+slice", []*Mat{a, b}, func() (*Tape, *Node, []*Node) {
+		tp := NewTape()
+		an := tp.Param(a)
+		bn := tp.Param(b)
+		cat := tp.ConcatCols(an, bn)
+		mid := tp.SliceCols(cat, 1, 6)
+		loss := tp.MeanAll(tp.Tanh(mid))
+		return tp, loss, []*Node{an, bn}
+	})
+}
+
+func TestGradSoftmaxCrossEntropy(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	logits := randMat(rng, 4, 5)
+	targets := []int{0, 3, 2, 4}
+	checkGrad(t, "softmax-ce", []*Mat{logits}, func() (*Tape, *Node, []*Node) {
+		tp := NewTape()
+		ln := tp.Param(logits)
+		loss, _ := tp.SoftmaxCrossEntropy(ln, targets)
+		return tp, loss, []*Node{ln}
+	})
+}
+
+func TestGradSigmoidBCEMulti(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	logits := randMat(rng, 3, 6)
+	pos := [][]int{{0, 2}, {5}, {}}
+	checkGrad(t, "sigmoid-bce", []*Mat{logits}, func() (*Tape, *Node, []*Node) {
+		tp := NewTape()
+		ln := tp.Param(logits)
+		loss, _ := tp.SigmoidBCEMulti(ln, pos)
+		return tp, loss, []*Node{ln}
+	})
+}
+
+func TestGradMoEAttention(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	const b, d, n = 3, 4, 5
+	q := randMat(rng, b, d)
+	e := randMat(rng, b, n*d)
+	checkGrad(t, "moe-attention", []*Mat{q, e}, func() (*Tape, *Node, []*Node) {
+		tp := NewTape()
+		qn := tp.Param(q)
+		en := tp.Param(e)
+		out, _ := tp.MoEAttention(qn, en, 0.5)
+		loss := tp.MeanAll(tp.Tanh(out))
+		return tp, loss, []*Node{qn, en}
+	})
+}
+
+func TestGradDropoutMask(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	a := randMat(rng, 2, 5)
+	mask := NewMat(2, 5)
+	for i := range mask.Data {
+		if rng.Float32() < 0.8 {
+			mask.Data[i] = 1 / 0.8
+		}
+	}
+	checkGrad(t, "dropout", []*Mat{a}, func() (*Tape, *Node, []*Node) {
+		tp := NewTape()
+		an := tp.Param(a)
+		loss := tp.MeanAll(tp.DropoutMask(tp.Sigmoid(an), mask))
+		return tp, loss, []*Node{an}
+	})
+}
+
+func TestGradDeepChain(t *testing.T) {
+	// A longer composition approximating one LSTM-ish step, to catch
+	// accumulation bugs across shared nodes.
+	rng := rand.New(rand.NewSource(18))
+	x := randMat(rng, 2, 3)
+	w1 := randMat(rng, 3, 4)
+	w2 := randMat(rng, 4, 4)
+	checkGrad(t, "deep-chain", []*Mat{w1, w2}, func() (*Tape, *Node, []*Node) {
+		tp := NewTape()
+		xn := tp.Const(x)
+		w1n := tp.Param(w1)
+		w2n := tp.Param(w2)
+		h := tp.Tanh(tp.MatMul(xn, w1n))
+		// h used twice: gate path and value path.
+		gate := tp.Sigmoid(tp.MatMul(h, w2n))
+		val := tp.Tanh(tp.MatMul(h, w2n))
+		loss := tp.MeanAll(tp.Mul(gate, val))
+		return tp, loss, []*Node{w1n, w2n}
+	})
+}
+
+func TestBackwardScalarPanics(t *testing.T) {
+	tp := NewTape()
+	n := tp.Param(NewMat(2, 2))
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic for non-scalar Backward root")
+		}
+	}()
+	tp.Backward(n)
+}
+
+func TestNoGradForConstants(t *testing.T) {
+	tp := NewTape()
+	a := tp.Const(FromSlice(1, 2, []float32{1, 2}))
+	b := tp.Const(FromSlice(1, 2, []float32{3, 4}))
+	out := tp.Mul(a, b)
+	if out.RequiresGrad() {
+		t.Fatalf("product of constants must not require grad")
+	}
+	if tp.Len() != 0 {
+		t.Fatalf("constant-only ops should not be recorded; len=%d", tp.Len())
+	}
+}
+
+func TestMoEAttentionWeightsSumToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	q := randMat(rng, 4, 3)
+	e := randMat(rng, 4, 12)
+	tp := NewTape()
+	_, w := tp.MoEAttention(tp.Const(q), tp.Const(e), 1)
+	for r := 0; r < w.Rows; r++ {
+		var sum float64
+		for _, v := range w.Row(r) {
+			sum += float64(v)
+		}
+		if math.Abs(sum-1) > 1e-4 {
+			t.Fatalf("attention row %d sums to %v", r, sum)
+		}
+	}
+}
+
+// The paper's Figure 3 worked example: page embedding (0.5, -0.5), offset
+// embedding chunks; the 3rd chunk (0.8, -0.4) should dominate.
+func TestMoEAttentionFigure3Example(t *testing.T) {
+	q := FromSlice(1, 2, []float32{0.5, -0.5})
+	e := FromSlice(1, 8, []float32{
+		0.1, 0.2, // chunk 0
+		-0.3, 0.4, // chunk 1
+		0.8, -0.4, // chunk 2 — most correlated with the page
+		0.2, 0.3, // chunk 3
+	})
+	tp := NewTape()
+	out, w := tp.MoEAttention(tp.Const(q), tp.Const(e), 1)
+	best := 0
+	for s := 1; s < 4; s++ {
+		if w.At(0, s) > w.At(0, best) {
+			best = s
+		}
+	}
+	if best != 2 {
+		t.Fatalf("expected chunk 2 to dominate, weights=%v", w.Row(0))
+	}
+	if out.Val.Cols != 2 {
+		t.Fatalf("output width %d", out.Val.Cols)
+	}
+}

@@ -1,0 +1,321 @@
+// Package tensor provides dense float32 matrices and a reverse-mode
+// automatic-differentiation tape. It is the numerical substrate for the
+// neural layers in package nn and, transitively, for the Voyager prefetcher.
+//
+// The package is deliberately small: 2-D row-major matrices, a handful of
+// BLAS-like kernels with goroutine parallelism, and a Tape that records
+// differentiable operations so gradients can be computed with Backward.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+)
+
+// Mat is a dense, row-major float32 matrix.
+//
+// The zero value is an empty matrix. Use NewMat (zeroed) or one of the
+// initializer helpers to create usable matrices.
+type Mat struct {
+	Rows, Cols int
+	Data       []float32
+}
+
+// NewMat returns a zeroed rows×cols matrix.
+func NewMat(rows, cols int) *Mat {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: invalid shape %dx%d", rows, cols))
+	}
+	return &Mat{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
+}
+
+// FromSlice wraps data (not copied) as a rows×cols matrix.
+func FromSlice(rows, cols int, data []float32) *Mat {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("tensor: FromSlice len %d != %d*%d", len(data), rows, cols))
+	}
+	return &Mat{Rows: rows, Cols: cols, Data: data}
+}
+
+// At returns the element at row r, column c.
+func (m *Mat) At(r, c int) float32 { return m.Data[r*m.Cols+c] }
+
+// Set stores v at row r, column c.
+func (m *Mat) Set(r, c int, v float32) { m.Data[r*m.Cols+c] = v }
+
+// Row returns the r-th row as a slice sharing the matrix's backing array.
+func (m *Mat) Row(r int) []float32 { return m.Data[r*m.Cols : (r+1)*m.Cols] }
+
+// Clone returns a deep copy of m.
+func (m *Mat) Clone() *Mat {
+	out := NewMat(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// Zero sets every element to 0.
+func (m *Mat) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Fill sets every element to v.
+func (m *Mat) Fill(v float32) {
+	for i := range m.Data {
+		m.Data[i] = v
+	}
+}
+
+// SameShape reports whether m and o have identical dimensions.
+func (m *Mat) SameShape(o *Mat) bool { return m.Rows == o.Rows && m.Cols == o.Cols }
+
+func (m *Mat) shape() string { return fmt.Sprintf("%dx%d", m.Rows, m.Cols) }
+
+// String renders small matrices fully and large ones as a shape summary.
+func (m *Mat) String() string {
+	if m.Rows*m.Cols > 64 {
+		return fmt.Sprintf("Mat(%s)", m.shape())
+	}
+	s := "["
+	for r := 0; r < m.Rows; r++ {
+		if r > 0 {
+			s += "; "
+		}
+		for c := 0; c < m.Cols; c++ {
+			if c > 0 {
+				s += " "
+			}
+			s += fmt.Sprintf("%.4g", m.At(r, c))
+		}
+	}
+	return s + "]"
+}
+
+// AddInPlace computes m += o element-wise.
+func (m *Mat) AddInPlace(o *Mat) {
+	if !m.SameShape(o) {
+		panic(fmt.Sprintf("tensor: AddInPlace shape mismatch %s vs %s", m.shape(), o.shape()))
+	}
+	for i, v := range o.Data {
+		m.Data[i] += v
+	}
+}
+
+// ScaleInPlace computes m *= s element-wise.
+func (m *Mat) ScaleInPlace(s float32) {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+}
+
+// AxpyInPlace computes m += a*o element-wise.
+func (m *Mat) AxpyInPlace(a float32, o *Mat) {
+	if !m.SameShape(o) {
+		panic(fmt.Sprintf("tensor: AxpyInPlace shape mismatch %s vs %s", m.shape(), o.shape()))
+	}
+	for i, v := range o.Data {
+		m.Data[i] += a * v
+	}
+}
+
+// MaxAbs returns the largest absolute value in m (0 for an empty matrix).
+func (m *Mat) MaxAbs() float32 {
+	var mx float32
+	for _, v := range m.Data {
+		if v < 0 {
+			v = -v
+		}
+		if v > mx {
+			mx = v
+		}
+	}
+	return mx
+}
+
+// L2Norm returns the Euclidean norm of all elements.
+func (m *Mat) L2Norm() float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += float64(v) * float64(v)
+	}
+	return math.Sqrt(s)
+}
+
+// Glorot fills m with Xavier/Glorot-uniform values: U(-l, l) with
+// l = sqrt(6/(rows+cols)). This is the initialization used for all weight
+// matrices in the model.
+func (m *Mat) Glorot(rng *rand.Rand) {
+	l := float32(math.Sqrt(6.0 / float64(m.Rows+m.Cols)))
+	for i := range m.Data {
+		m.Data[i] = (rng.Float32()*2 - 1) * l
+	}
+}
+
+// Uniform fills m with U(-l, l) values.
+func (m *Mat) Uniform(rng *rand.Rand, l float32) {
+	for i := range m.Data {
+		m.Data[i] = (rng.Float32()*2 - 1) * l
+	}
+}
+
+// parallelThreshold is the amount of multiply-accumulate work below which
+// MatMul runs single-threaded; tuned so tiny test matrices avoid goroutine
+// overhead.
+const parallelThreshold = 1 << 16
+
+// MatMul computes dst = a·b, allocating dst when nil. a is r×k, b is k×c.
+func MatMul(dst, a, b *Mat) *Mat {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMul inner dim mismatch %s · %s", a.shape(), b.shape()))
+	}
+	if dst == nil {
+		dst = NewMat(a.Rows, b.Cols)
+	} else {
+		if dst.Rows != a.Rows || dst.Cols != b.Cols {
+			panic("tensor: MatMul dst shape mismatch")
+		}
+		dst.Zero()
+	}
+	matMulAcc(dst, a, b)
+	return dst
+}
+
+// matMulAcc computes dst += a·b using an ikj loop order (streaming through
+// rows of b), parallelized across rows of a when the work is large enough.
+func matMulAcc(dst, a, b *Mat) {
+	work := a.Rows * a.Cols * b.Cols
+	if work < parallelThreshold {
+		matMulAccRange(dst, a, b, 0, a.Rows)
+		return
+	}
+	parallelRows(a.Rows, func(lo, hi int) { matMulAccRange(dst, a, b, lo, hi) })
+}
+
+func matMulAccRange(dst, a, b *Mat, lo, hi int) {
+	n := b.Cols
+	for i := lo; i < hi; i++ {
+		arow := a.Row(i)
+		drow := dst.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[k*n : k*n+n]
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulATransB computes dst = aᵀ·b where a is r×m and b is r×n, so dst is
+// m×n. Used for weight gradients (xᵀ·dy). Allocates dst when nil.
+func MatMulATransB(dst, a, b *Mat) *Mat {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulATransB row mismatch %s vs %s", a.shape(), b.shape()))
+	}
+	if dst == nil {
+		dst = NewMat(a.Cols, b.Cols)
+	} else {
+		if dst.Rows != a.Cols || dst.Cols != b.Cols {
+			panic("tensor: MatMulATransB dst shape mismatch")
+		}
+		dst.Zero()
+	}
+	// dst[k][j] += a[i][k] * b[i][j]; parallelize over columns of a (rows of
+	// dst) so goroutines never write the same dst row.
+	work := a.Rows * a.Cols * b.Cols
+	if work < parallelThreshold {
+		matMulATransBRange(dst, a, b, 0, a.Cols)
+		return dst
+	}
+	parallelRows(a.Cols, func(lo, hi int) { matMulATransBRange(dst, a, b, lo, hi) })
+	return dst
+}
+
+func matMulATransBRange(dst, a, b *Mat, lo, hi int) {
+	n := b.Cols
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		brow := b.Row(i)
+		for k := lo; k < hi; k++ {
+			av := arow[k]
+			if av == 0 {
+				continue
+			}
+			drow := dst.Data[k*n : k*n+n]
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulABTrans computes dst = a·bᵀ where a is r×k and b is n×k, so dst is
+// r×n. Used for input gradients (dy·Wᵀ). Allocates dst when nil.
+func MatMulABTrans(dst, a, b *Mat) *Mat {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulABTrans col mismatch %s vs %s", a.shape(), b.shape()))
+	}
+	if dst == nil {
+		dst = NewMat(a.Rows, b.Rows)
+	} else {
+		if dst.Rows != a.Rows || dst.Cols != b.Rows {
+			panic("tensor: MatMulABTrans dst shape mismatch")
+		}
+		dst.Zero()
+	}
+	work := a.Rows * a.Cols * b.Rows
+	if work < parallelThreshold {
+		matMulABTransRange(dst, a, b, 0, a.Rows)
+		return dst
+	}
+	parallelRows(a.Rows, func(lo, hi int) { matMulABTransRange(dst, a, b, lo, hi) })
+	return dst
+}
+
+func matMulABTransRange(dst, a, b *Mat, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		arow := a.Row(i)
+		drow := dst.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Row(j)
+			var s float32
+			for k, av := range arow {
+				s += av * brow[k]
+			}
+			drow[j] += s
+		}
+	}
+}
+
+// parallelRows splits [0, n) into GOMAXPROCS contiguous chunks and runs fn
+// on each concurrently.
+func parallelRows(n int, fn func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,408 @@
+package tensor
+
+import "fmt"
+
+// Node is a value in the autodiff graph: a matrix plus (lazily allocated)
+// gradient storage and a backward closure.
+type Node struct {
+	Val  *Mat
+	Grad *Mat
+
+	requiresGrad bool
+	back         func()
+}
+
+// RequiresGrad reports whether gradients flow into this node.
+func (n *Node) RequiresGrad() bool { return n.requiresGrad }
+
+// ensureGrad allocates the gradient matrix on first use.
+func (n *Node) ensureGrad() *Mat {
+	if n.Grad == nil {
+		n.Grad = NewMat(n.Val.Rows, n.Val.Cols)
+	}
+	return n.Grad
+}
+
+// EnsureGrad exposes gradient allocation for external custom ops (package
+// nn builds fused ops via Tape.Custom and must write input gradients).
+func (n *Node) EnsureGrad() *Mat { return n.ensureGrad() }
+
+// Tape records differentiable operations in execution order so Backward can
+// replay them in reverse. A Tape is not safe for concurrent use; build one
+// per training step (or Reset between steps).
+type Tape struct {
+	nodes []*Node
+}
+
+// NewTape returns an empty tape.
+func NewTape() *Tape { return &Tape{} }
+
+// Reset discards all recorded operations, retaining capacity.
+func (t *Tape) Reset() { t.nodes = t.nodes[:0] }
+
+// Len returns the number of recorded nodes.
+func (t *Tape) Len() int { return len(t.nodes) }
+
+// Leaf wraps an existing matrix as a graph input. If requiresGrad is true
+// (parameters), gradients accumulate into node.Grad; otherwise the node is a
+// constant (data inputs).
+func (t *Tape) Leaf(m *Mat, requiresGrad bool) *Node {
+	n := &Node{Val: m, requiresGrad: requiresGrad}
+	// Leaves carry no backward closure and need not be recorded, but
+	// recording them keeps Len() meaningful for tests.
+	return n
+}
+
+// Param is shorthand for Leaf(m, true).
+func (t *Tape) Param(m *Mat) *Node { return t.Leaf(m, true) }
+
+// Const is shorthand for Leaf(m, false).
+func (t *Tape) Const(m *Mat) *Node { return t.Leaf(m, false) }
+
+// newNode records an operation output whose gradient is needed if any parent
+// requires gradients.
+func (t *Tape) newNode(val *Mat, back func(n *Node), parents ...*Node) *Node {
+	req := false
+	for _, p := range parents {
+		if p != nil && p.requiresGrad {
+			req = true
+			break
+		}
+	}
+	n := &Node{Val: val, requiresGrad: req}
+	if req && back != nil {
+		n.back = func() { back(n) }
+		t.nodes = append(t.nodes, n)
+	}
+	return n
+}
+
+// Backward seeds the gradient of root with 1s (it is typically a 1×1 loss)
+// and propagates gradients to every recorded node in reverse order.
+func (t *Tape) Backward(root *Node) {
+	if root.Val.Rows*root.Val.Cols != 1 {
+		panic(fmt.Sprintf("tensor: Backward root must be scalar, got %s", root.Val.shape()))
+	}
+	root.ensureGrad().Fill(1)
+	t.backwardFrom()
+}
+
+// BackwardFromSeed propagates gradients assuming root.Grad has already been
+// seeded by the caller (used by fused loss ops that set gradients directly).
+func (t *Tape) BackwardFromSeed() { t.backwardFrom() }
+
+func (t *Tape) backwardFrom() {
+	for i := len(t.nodes) - 1; i >= 0; i-- {
+		n := t.nodes[i]
+		if n.Grad == nil {
+			continue // no gradient flowed into this node
+		}
+		if n.back != nil {
+			n.back()
+		}
+	}
+}
+
+// Custom records an externally computed operation on the tape. If
+// requiresGrad is true, back runs during Backward with out.Grad populated;
+// the closure is responsible for propagating gradients to its inputs
+// (e.g. scatter-adds into an embedding table). Used by package nn for ops
+// that do not fit the Mat-in/Mat-out mold.
+func (t *Tape) Custom(val *Mat, requiresGrad bool, back func(out *Node)) *Node {
+	n := &Node{Val: val, requiresGrad: requiresGrad}
+	if requiresGrad && back != nil {
+		n.back = func() { back(n) }
+		t.nodes = append(t.nodes, n)
+	}
+	return n
+}
+
+// ---------------------------------------------------------------------------
+// Differentiable operations.
+// ---------------------------------------------------------------------------
+
+// MatMul returns a·b.
+func (t *Tape) MatMul(a, b *Node) *Node {
+	out := MatMul(nil, a.Val, b.Val)
+	return t.newNode(out, func(n *Node) {
+		if a.requiresGrad {
+			MatMulABTransAcc(a.ensureGrad(), n.Grad, b.Val)
+		}
+		if b.requiresGrad {
+			MatMulATransBAcc(b.ensureGrad(), a.Val, n.Grad)
+		}
+	}, a, b)
+}
+
+// Add returns a+b element-wise; shapes must match.
+func (t *Tape) Add(a, b *Node) *Node {
+	if !a.Val.SameShape(b.Val) {
+		panic(fmt.Sprintf("tensor: Add shape mismatch %s vs %s", a.Val.shape(), b.Val.shape()))
+	}
+	out := a.Val.Clone()
+	out.AddInPlace(b.Val)
+	return t.newNode(out, func(n *Node) {
+		if a.requiresGrad {
+			a.ensureGrad().AddInPlace(n.Grad)
+		}
+		if b.requiresGrad {
+			b.ensureGrad().AddInPlace(n.Grad)
+		}
+	}, a, b)
+}
+
+// AddBias returns a + bias broadcast across rows; bias must be 1×cols.
+func (t *Tape) AddBias(a, bias *Node) *Node {
+	if bias.Val.Rows != 1 || bias.Val.Cols != a.Val.Cols {
+		panic(fmt.Sprintf("tensor: AddBias bias %s incompatible with %s", bias.Val.shape(), a.Val.shape()))
+	}
+	out := a.Val.Clone()
+	brow := bias.Val.Row(0)
+	for r := 0; r < out.Rows; r++ {
+		row := out.Row(r)
+		for c, v := range brow {
+			row[c] += v
+		}
+	}
+	return t.newNode(out, func(n *Node) {
+		if a.requiresGrad {
+			a.ensureGrad().AddInPlace(n.Grad)
+		}
+		if bias.requiresGrad {
+			g := bias.ensureGrad().Row(0)
+			for r := 0; r < n.Grad.Rows; r++ {
+				row := n.Grad.Row(r)
+				for c, v := range row {
+					g[c] += v
+				}
+			}
+		}
+	}, a, bias)
+}
+
+// Mul returns a⊙b (element-wise product); shapes must match.
+func (t *Tape) Mul(a, b *Node) *Node {
+	if !a.Val.SameShape(b.Val) {
+		panic(fmt.Sprintf("tensor: Mul shape mismatch %s vs %s", a.Val.shape(), b.Val.shape()))
+	}
+	out := NewMat(a.Val.Rows, a.Val.Cols)
+	for i, v := range a.Val.Data {
+		out.Data[i] = v * b.Val.Data[i]
+	}
+	return t.newNode(out, func(n *Node) {
+		if a.requiresGrad {
+			g := a.ensureGrad()
+			for i, gv := range n.Grad.Data {
+				g.Data[i] += gv * b.Val.Data[i]
+			}
+		}
+		if b.requiresGrad {
+			g := b.ensureGrad()
+			for i, gv := range n.Grad.Data {
+				g.Data[i] += gv * a.Val.Data[i]
+			}
+		}
+	}, a, b)
+}
+
+// Scale returns s*a.
+func (t *Tape) Scale(a *Node, s float32) *Node {
+	out := a.Val.Clone()
+	out.ScaleInPlace(s)
+	return t.newNode(out, func(n *Node) {
+		if a.requiresGrad {
+			a.ensureGrad().AxpyInPlace(s, n.Grad)
+		}
+	}, a)
+}
+
+// Sigmoid returns 1/(1+e^-a) element-wise.
+func (t *Tape) Sigmoid(a *Node) *Node {
+	out := NewMat(a.Val.Rows, a.Val.Cols)
+	for i, v := range a.Val.Data {
+		out.Data[i] = sigmoid32(v)
+	}
+	return t.newNode(out, func(n *Node) {
+		if a.requiresGrad {
+			g := a.ensureGrad()
+			for i, gv := range n.Grad.Data {
+				y := n.Val.Data[i]
+				g.Data[i] += gv * y * (1 - y)
+			}
+		}
+	}, a)
+}
+
+// Tanh returns tanh(a) element-wise.
+func (t *Tape) Tanh(a *Node) *Node {
+	out := NewMat(a.Val.Rows, a.Val.Cols)
+	for i, v := range a.Val.Data {
+		out.Data[i] = tanh32(v)
+	}
+	return t.newNode(out, func(n *Node) {
+		if a.requiresGrad {
+			g := a.ensureGrad()
+			for i, gv := range n.Grad.Data {
+				y := n.Val.Data[i]
+				g.Data[i] += gv * (1 - y*y)
+			}
+		}
+	}, a)
+}
+
+// ReLU returns max(0, a) element-wise.
+func (t *Tape) ReLU(a *Node) *Node {
+	out := NewMat(a.Val.Rows, a.Val.Cols)
+	for i, v := range a.Val.Data {
+		if v > 0 {
+			out.Data[i] = v
+		}
+	}
+	return t.newNode(out, func(n *Node) {
+		if a.requiresGrad {
+			g := a.ensureGrad()
+			for i, gv := range n.Grad.Data {
+				if a.Val.Data[i] > 0 {
+					g.Data[i] += gv
+				}
+			}
+		}
+	}, a)
+}
+
+// ConcatCols concatenates nodes column-wise; all inputs must share a row
+// count. The result has the summed column count.
+func (t *Tape) ConcatCols(nodes ...*Node) *Node {
+	if len(nodes) == 0 {
+		panic("tensor: ConcatCols of nothing")
+	}
+	rows := nodes[0].Val.Rows
+	total := 0
+	for _, nd := range nodes {
+		if nd.Val.Rows != rows {
+			panic("tensor: ConcatCols row mismatch")
+		}
+		total += nd.Val.Cols
+	}
+	out := NewMat(rows, total)
+	off := 0
+	for _, nd := range nodes {
+		c := nd.Val.Cols
+		for r := 0; r < rows; r++ {
+			copy(out.Row(r)[off:off+c], nd.Val.Row(r))
+		}
+		off += c
+	}
+	parents := append([]*Node(nil), nodes...)
+	return t.newNode(out, func(n *Node) {
+		off := 0
+		for _, nd := range parents {
+			c := nd.Val.Cols
+			if nd.requiresGrad {
+				g := nd.ensureGrad()
+				for r := 0; r < rows; r++ {
+					grow := g.Row(r)
+					nrow := n.Grad.Row(r)[off : off+c]
+					for i, v := range nrow {
+						grow[i] += v
+					}
+				}
+			}
+			off += c
+		}
+	}, parents...)
+}
+
+// SliceCols returns columns [lo, hi) of a as a new node.
+func (t *Tape) SliceCols(a *Node, lo, hi int) *Node {
+	if lo < 0 || hi > a.Val.Cols || lo >= hi {
+		panic(fmt.Sprintf("tensor: SliceCols [%d,%d) of %s", lo, hi, a.Val.shape()))
+	}
+	out := NewMat(a.Val.Rows, hi-lo)
+	for r := 0; r < a.Val.Rows; r++ {
+		copy(out.Row(r), a.Val.Row(r)[lo:hi])
+	}
+	return t.newNode(out, func(n *Node) {
+		if a.requiresGrad {
+			g := a.ensureGrad()
+			for r := 0; r < a.Val.Rows; r++ {
+				grow := g.Row(r)[lo:hi]
+				for i, v := range n.Grad.Row(r) {
+					grow[i] += v
+				}
+			}
+		}
+	}, a)
+}
+
+// DropoutMask applies a precomputed inverted-dropout mask (entries are 0 or
+// 1/keep). The mask is supplied by the caller so randomness stays outside
+// the tape and tests remain deterministic.
+func (t *Tape) DropoutMask(a *Node, mask *Mat) *Node {
+	if !a.Val.SameShape(mask) {
+		panic("tensor: DropoutMask shape mismatch")
+	}
+	out := NewMat(a.Val.Rows, a.Val.Cols)
+	for i, v := range a.Val.Data {
+		out.Data[i] = v * mask.Data[i]
+	}
+	return t.newNode(out, func(n *Node) {
+		if a.requiresGrad {
+			g := a.ensureGrad()
+			for i, gv := range n.Grad.Data {
+				g.Data[i] += gv * mask.Data[i]
+			}
+		}
+	}, a)
+}
+
+// MeanAll returns the scalar mean of all elements (1×1 node).
+func (t *Tape) MeanAll(a *Node) *Node {
+	out := NewMat(1, 1)
+	var s float64
+	for _, v := range a.Val.Data {
+		s += float64(v)
+	}
+	cnt := float32(len(a.Val.Data))
+	out.Data[0] = float32(s) / cnt
+	return t.newNode(out, func(n *Node) {
+		if a.requiresGrad {
+			g := a.ensureGrad()
+			gv := n.Grad.Data[0] / cnt
+			for i := range g.Data {
+				g.Data[i] += gv
+			}
+		}
+	}, a)
+}
+
+// SumAll returns the scalar sum of all elements (1×1 node).
+func (t *Tape) SumAll(a *Node) *Node {
+	out := NewMat(1, 1)
+	var s float64
+	for _, v := range a.Val.Data {
+		s += float64(v)
+	}
+	out.Data[0] = float32(s)
+	return t.newNode(out, func(n *Node) {
+		if a.requiresGrad {
+			g := a.ensureGrad()
+			gv := n.Grad.Data[0]
+			for i := range g.Data {
+				g.Data[i] += gv
+			}
+		}
+	}, a)
+}
+
+// MatMulABTransAcc computes dst += a·bᵀ (gradient helper).
+func MatMulABTransAcc(dst, a, b *Mat) {
+	tmp := MatMulABTrans(nil, a, b)
+	dst.AddInPlace(tmp)
+}
+
+// MatMulATransBAcc computes dst += aᵀ·b (gradient helper).
+func MatMulATransBAcc(dst, a, b *Mat) {
+	tmp := MatMulATransB(nil, a, b)
+	dst.AddInPlace(tmp)
+}

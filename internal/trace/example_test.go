@@ -1,0 +1,32 @@
+package trace_test
+
+import (
+	"fmt"
+
+	"voyager/internal/trace"
+)
+
+// Addresses decompose hierarchically exactly the way the paper's model
+// consumes them: a page number and a 6-bit line offset.
+func ExamplePage() {
+	addr := uint64(0x2A7C0) // byte address
+	fmt.Println("line:", trace.Line(addr))
+	fmt.Println("page:", trace.Page(addr))
+	fmt.Println("offset:", trace.Offset(addr))
+	fmt.Printf("rejoined: %#x\n", trace.Join(trace.Page(addr), trace.Offset(addr)))
+	// Output:
+	// line: 2719
+	// page: 42
+	// offset: 31
+	// rejoined: 0x2a7c0
+}
+
+func ExampleComputeStats() {
+	tr := &trace.Trace{Name: "toy"}
+	tr.Append(0x400000, 0x1000, 1)
+	tr.Append(0x400004, 0x1040, 3)
+	tr.Append(0x400000, 0x2000, 5)
+	fmt.Println(trace.ComputeStats(tr))
+	// Output:
+	// toy        pcs=2      addrs=3        pages=2      accesses=3
+}

@@ -1,0 +1,192 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Binary trace format:
+//
+//	magic "VYGR" | version u8 | name (uvarint len + bytes)
+//	instructions uvarint | count uvarint
+//	per access: pcDelta zigzag-varint | addrDelta zigzag-varint | instDelta uvarint
+//
+// Deltas against the previous record keep traces compact (typical irregular
+// traces compress 3-5× versus fixed 24-byte records).
+const (
+	binaryMagic   = "VYGR"
+	binaryVersion = 1
+)
+
+var errBadTrace = errors.New("trace: malformed binary trace")
+
+// Write encodes t to w in the binary trace format.
+func Write(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(binaryMagic); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(binaryVersion); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	writeUvarint := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	writeVarint := func(v int64) error {
+		n := binary.PutVarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	if err := writeUvarint(uint64(len(t.Name))); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString(t.Name); err != nil {
+		return err
+	}
+	if err := writeUvarint(t.Instructions); err != nil {
+		return err
+	}
+	if err := writeUvarint(uint64(len(t.Accesses))); err != nil {
+		return err
+	}
+	var prev Access
+	for _, a := range t.Accesses {
+		if err := writeVarint(int64(a.PC) - int64(prev.PC)); err != nil {
+			return err
+		}
+		if err := writeVarint(int64(a.Addr) - int64(prev.Addr)); err != nil {
+			return err
+		}
+		if err := writeUvarint(a.Inst - prev.Inst); err != nil {
+			return err
+		}
+		prev = a
+	}
+	return bw.Flush()
+}
+
+// Read decodes a binary trace written by Write.
+func Read(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(magic) != binaryMagic {
+		return nil, errBadTrace
+	}
+	ver, err := br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	if ver != binaryVersion {
+		return nil, fmt.Errorf("trace: unsupported version %d", ver)
+	}
+	nameLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if nameLen > 1<<20 {
+		return nil, errBadTrace
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, err
+	}
+	instructions, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if count > 1<<32 {
+		return nil, errBadTrace
+	}
+	t := &Trace{Name: string(name), Instructions: instructions}
+	t.Accesses = make([]Access, 0, count)
+	var prev Access
+	for i := uint64(0); i < count; i++ {
+		dpc, err := binary.ReadVarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: record %d: %w", i, err)
+		}
+		daddr, err := binary.ReadVarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: record %d: %w", i, err)
+		}
+		dinst, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: record %d: %w", i, err)
+		}
+		a := Access{
+			PC:   uint64(int64(prev.PC) + dpc),
+			Addr: uint64(int64(prev.Addr) + daddr),
+			Inst: prev.Inst + dinst,
+		}
+		t.Accesses = append(t.Accesses, a)
+		prev = a
+	}
+	return t, nil
+}
+
+// WriteText encodes t as a human-readable text trace: a header line then one
+// "pc addr inst" hex/dec triple per line.
+func WriteText(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# trace %s instructions=%d accesses=%d\n",
+		t.Name, t.Instructions, len(t.Accesses)); err != nil {
+		return err
+	}
+	for _, a := range t.Accesses {
+		if _, err := fmt.Fprintf(bw, "%x %x %d\n", a.PC, a.Addr, a.Inst); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadText decodes a text trace written by WriteText.
+func ReadText(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	t := &Trace{}
+	first := true
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if first && strings.HasPrefix(line, "#") {
+			first = false
+			fields := strings.Fields(line)
+			for _, f := range fields {
+				if strings.HasPrefix(f, "instructions=") {
+					fmt.Sscanf(f, "instructions=%d", &t.Instructions)
+				}
+			}
+			if len(fields) >= 3 && fields[1] == "trace" {
+				t.Name = fields[2]
+			}
+			continue
+		}
+		first = false
+		var a Access
+		if _, err := fmt.Sscanf(line, "%x %x %d", &a.PC, &a.Addr, &a.Inst); err != nil {
+			return nil, fmt.Errorf("trace: parsing %q: %w", line, err)
+		}
+		t.Accesses = append(t.Accesses, a)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

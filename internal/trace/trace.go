@@ -1,0 +1,140 @@
+// Package trace defines the memory-access trace format shared by the
+// workload generators, the cache simulator, and the prefetchers.
+//
+// A trace is a sequence of load records (PC, virtual address, instruction
+// index). Addresses are split hierarchically the way the paper does:
+// a 64-byte cache line within a 4 KB page gives 64 line-offsets per page,
+// so Addr → (Page, Offset) with Offset ∈ [0, 64).
+package trace
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Address geometry. The paper uses 64-byte lines and 4 KB pages, giving 64
+// line offsets per page (Section 1: "the number of unique offsets is fixed
+// at 64").
+const (
+	LineBits   = 6
+	PageBits   = 12
+	LineSize   = 1 << LineBits
+	PageSize   = 1 << PageBits
+	OffsetBits = PageBits - LineBits // 6 → 64 offsets
+	NumOffsets = 1 << OffsetBits
+)
+
+// Access is one memory load: the program counter that issued it, the
+// virtual byte address it touched, and the index of the instruction in the
+// dynamic instruction stream (used for epoch boundaries and the core model's
+// IPC accounting).
+type Access struct {
+	PC   uint64
+	Addr uint64
+	Inst uint64
+}
+
+// Line returns the cache-line number of a byte address.
+func Line(addr uint64) uint64 { return addr >> LineBits }
+
+// LineAddr returns the first byte address of the line containing addr.
+func LineAddr(addr uint64) uint64 { return addr &^ uint64(LineSize-1) }
+
+// Page returns the page number of a byte address.
+func Page(addr uint64) uint64 { return addr >> PageBits }
+
+// Offset returns the line offset within the page, in [0, NumOffsets).
+func Offset(addr uint64) uint64 { return (addr >> LineBits) & (NumOffsets - 1) }
+
+// Join reconstructs a line-aligned byte address from a page and offset.
+func Join(page, offset uint64) uint64 {
+	return page<<PageBits | (offset&(NumOffsets-1))<<LineBits
+}
+
+// Trace is a named sequence of accesses.
+type Trace struct {
+	Name string
+	// Instructions is the total dynamic instruction count the accesses were
+	// drawn from (≥ the Inst of the last access). Used to compute IPC.
+	Instructions uint64
+	Accesses     []Access
+}
+
+// Append adds an access.
+func (t *Trace) Append(pc, addr, inst uint64) {
+	t.Accesses = append(t.Accesses, Access{PC: pc, Addr: addr, Inst: inst})
+}
+
+// Len returns the number of accesses.
+func (t *Trace) Len() int { return len(t.Accesses) }
+
+// Slice returns a shallow sub-trace covering accesses [lo, hi).
+func (t *Trace) Slice(lo, hi int) *Trace {
+	return &Trace{Name: t.Name, Instructions: t.Instructions, Accesses: t.Accesses[lo:hi]}
+}
+
+// Stats summarizes a trace the way the paper's Table 2 does.
+type Stats struct {
+	Name      string
+	Accesses  int
+	PCs       int // unique program counters
+	Addresses int // unique cache lines (the paper's "# Addresses")
+	Pages     int // unique pages
+}
+
+// ComputeStats scans the trace once and returns its Table 2 row.
+func ComputeStats(t *Trace) Stats {
+	pcs := make(map[uint64]struct{})
+	lines := make(map[uint64]struct{})
+	pages := make(map[uint64]struct{})
+	for _, a := range t.Accesses {
+		pcs[a.PC] = struct{}{}
+		lines[Line(a.Addr)] = struct{}{}
+		pages[Page(a.Addr)] = struct{}{}
+	}
+	return Stats{
+		Name:      t.Name,
+		Accesses:  len(t.Accesses),
+		PCs:       len(pcs),
+		Addresses: len(lines),
+		Pages:     len(pages),
+	}
+}
+
+// String formats the stats as a Table 2 style row.
+func (s Stats) String() string {
+	return fmt.Sprintf("%-10s pcs=%-6d addrs=%-8d pages=%-6d accesses=%d",
+		s.Name, s.PCs, s.Addresses, s.Pages, s.Accesses)
+}
+
+// LineFrequencies returns the access count per cache line.
+func LineFrequencies(t *Trace) map[uint64]int {
+	freq := make(map[uint64]int)
+	for _, a := range t.Accesses {
+		freq[Line(a.Addr)]++
+	}
+	return freq
+}
+
+// TopPCs returns the n most frequent PCs in descending order of count;
+// useful for workload inspection tools.
+func TopPCs(t *Trace, n int) []uint64 {
+	count := make(map[uint64]int)
+	for _, a := range t.Accesses {
+		count[a.PC]++
+	}
+	pcs := make([]uint64, 0, len(count))
+	for pc := range count {
+		pcs = append(pcs, pc)
+	}
+	sort.Slice(pcs, func(i, j int) bool {
+		if count[pcs[i]] != count[pcs[j]] {
+			return count[pcs[i]] > count[pcs[j]]
+		}
+		return pcs[i] < pcs[j]
+	})
+	if n < len(pcs) {
+		pcs = pcs[:n]
+	}
+	return pcs
+}

@@ -1,0 +1,201 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddressGeometry(t *testing.T) {
+	addr := uint64(0x12345_6C0) // arbitrary
+	if Line(addr) != addr>>6 {
+		t.Fatalf("Line")
+	}
+	if LineAddr(addr)&0x3F != 0 {
+		t.Fatalf("LineAddr not aligned")
+	}
+	if got := Offset(0x1000); got != 0 {
+		t.Fatalf("Offset(page start) = %d", got)
+	}
+	if got := Offset(0x1FC0); got != 63 {
+		t.Fatalf("Offset(last line) = %d", got)
+	}
+	if NumOffsets != 64 {
+		t.Fatalf("NumOffsets = %d", NumOffsets)
+	}
+}
+
+// Property: Join(Page(a), Offset(a)) reproduces the line address of a.
+func TestSplitJoinRoundtripProperty(t *testing.T) {
+	f := func(addr uint64) bool {
+		return Join(Page(addr), Offset(addr)) == LineAddr(addr)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	tr := &Trace{Name: "toy"}
+	tr.Append(1, 0x1000, 0)  // page 1, line A
+	tr.Append(1, 0x1040, 5)  // page 1, line B
+	tr.Append(2, 0x2000, 9)  // page 2, line C
+	tr.Append(2, 0x1000, 12) // repeat line A
+	s := ComputeStats(tr)
+	if s.PCs != 2 || s.Addresses != 3 || s.Pages != 2 || s.Accesses != 4 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.String() == "" {
+		t.Fatalf("empty String")
+	}
+}
+
+func TestTopPCs(t *testing.T) {
+	tr := &Trace{}
+	for i := 0; i < 5; i++ {
+		tr.Append(100, uint64(i)*64, uint64(i))
+	}
+	for i := 0; i < 3; i++ {
+		tr.Append(200, uint64(i)*64, uint64(i))
+	}
+	tr.Append(300, 0, 0)
+	top := TopPCs(tr, 2)
+	if len(top) != 2 || top[0] != 100 || top[1] != 200 {
+		t.Fatalf("TopPCs = %v", top)
+	}
+}
+
+func TestSlice(t *testing.T) {
+	tr := &Trace{Name: "x", Instructions: 100}
+	for i := 0; i < 10; i++ {
+		tr.Append(uint64(i), uint64(i)*64, uint64(i))
+	}
+	sub := tr.Slice(2, 5)
+	if sub.Len() != 3 || sub.Accesses[0].PC != 2 || sub.Name != "x" {
+		t.Fatalf("Slice = %+v", sub)
+	}
+}
+
+func randomTrace(rng *rand.Rand, n int) *Trace {
+	tr := &Trace{Name: "rand", Instructions: uint64(n) * 10}
+	inst := uint64(0)
+	for i := 0; i < n; i++ {
+		inst += uint64(rng.Intn(20))
+		tr.Append(rng.Uint64()%1e6, rng.Uint64()%(1<<40), inst)
+	}
+	return tr
+}
+
+func TestBinaryIORoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 100, 5000} {
+		tr := randomTrace(rng, n)
+		var buf bytes.Buffer
+		if err := Write(&buf, tr); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("Read: %v", err)
+		}
+		if got.Name != tr.Name || got.Instructions != tr.Instructions {
+			t.Fatalf("header mismatch: %q/%d", got.Name, got.Instructions)
+		}
+		if n == 0 {
+			if got.Len() != 0 {
+				t.Fatalf("expected empty")
+			}
+			continue
+		}
+		if !reflect.DeepEqual(got.Accesses, tr.Accesses) {
+			t.Fatalf("accesses mismatch for n=%d", n)
+		}
+	}
+}
+
+// Property: binary IO round-trips arbitrary access patterns.
+func TestBinaryIORoundtripProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := randomTrace(rng, int(n))
+		var buf bytes.Buffer
+		if err := Write(&buf, tr); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		if len(got.Accesses) != len(tr.Accesses) {
+			return false
+		}
+		for i := range got.Accesses {
+			if got.Accesses[i] != tr.Accesses[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTextIORoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tr := randomTrace(rng, 200)
+	var buf bytes.Buffer
+	if err := WriteText(&buf, tr); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	got, err := ReadText(&buf)
+	if err != nil {
+		t.Fatalf("ReadText: %v", err)
+	}
+	if got.Name != tr.Name || got.Instructions != tr.Instructions {
+		t.Fatalf("header mismatch")
+	}
+	if !reflect.DeepEqual(got.Accesses, tr.Accesses) {
+		t.Fatalf("accesses mismatch")
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("nope"))); err == nil {
+		t.Fatalf("expected error for bad magic")
+	}
+	if _, err := Read(bytes.NewReader([]byte("VYGR\x09"))); err == nil {
+		t.Fatalf("expected error for bad version")
+	}
+	if _, err := ReadText(bytes.NewReader([]byte("zz not-a-line"))); err == nil {
+		t.Fatalf("expected parse error")
+	}
+}
+
+func TestBinaryCompression(t *testing.T) {
+	// Sequential traces should compress far below 24 bytes/record.
+	tr := &Trace{Name: "seq"}
+	for i := 0; i < 10000; i++ {
+		tr.Append(0x400000, uint64(i)*64, uint64(i)*4)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	perRecord := float64(buf.Len()) / 10000
+	if perRecord > 8 {
+		t.Fatalf("sequential trace encodes at %.1f bytes/record, want < 8", perRecord)
+	}
+}
+
+func BenchmarkTraceWrite(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	tr := randomTrace(rng, 10000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		Write(&buf, tr)
+	}
+}

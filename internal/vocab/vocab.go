@@ -1,0 +1,258 @@
+// Package vocab builds the hierarchical vocabularies Voyager predicts
+// over: page tokens, offset tokens, and PC tokens.
+//
+// Following §4.3 of the paper, the vocabulary mixes addresses and deltas:
+// a profiling pass counts per-line frequencies, and addresses that occur
+// fewer than MinAddrFreq times are represented as (page-delta,
+// offset-delta) tokens relative to the preceding access. Delta page
+// entries are distinct tokens "after" the absolute pages (the paper marks
+// them with a 'd' prefix); the offset vocabulary is extended with the 127
+// possible offset deltas (−63…+63). Only the MaxDeltas most frequent page
+// deltas get tokens — the paper finds 10 deltas cover 99% of mcf's
+// compulsory misses.
+package vocab
+
+import (
+	"fmt"
+	"sort"
+
+	"voyager/internal/trace"
+)
+
+// Token id conventions for the offset head: absolute offsets occupy
+// [0, 64); delta offsets occupy [64, 64+127) encoding −63…+63.
+const (
+	NumAbsOffsets   = trace.NumOffsets           // 64
+	NumDeltaOffsets = 2*(trace.NumOffsets-1) + 1 // 127
+	OffsetTokens    = NumAbsOffsets + NumDeltaOffsets
+)
+
+// Options configures vocabulary construction.
+type Options struct {
+	// MinAddrFreq is the minimum per-line occurrence count for an address
+	// to get its own (page) representation; below it the address is
+	// delta-encoded. The paper uses 2. 0 disables delta substitution.
+	MinAddrFreq int
+	// MaxDeltas caps the number of page-delta tokens (most frequent
+	// first). The paper's analysis uses 10 for mcf; we default to 64.
+	MaxDeltas int
+	// MaxPCs caps the PC vocabulary (most frequent first); rare PCs share
+	// the UNK token. 0 means unlimited.
+	MaxPCs int
+}
+
+// DefaultOptions mirrors the paper: MinAddrFreq 2, a small delta budget.
+func DefaultOptions() Options {
+	return Options{MinAddrFreq: 2, MaxDeltas: 64, MaxPCs: 0}
+}
+
+// Vocab maps between raw (pc, address) pairs and model token ids.
+type Vocab struct {
+	opts Options
+
+	pageID  map[uint64]int // absolute page → token
+	pages   []uint64       // token → page
+	deltaID map[int64]int  // page delta → token (offset by len(pages))
+	deltas  []int64        // delta token index → page delta
+
+	pcID map[uint64]int // pc → token (0 is UNK)
+	pcs  []uint64
+
+	freqLine map[uint64]bool // lines frequent enough for absolute encoding
+}
+
+// Build profiles the trace and constructs the vocabulary.
+func Build(tr *trace.Trace, opts Options) *Vocab {
+	v := &Vocab{
+		opts:     opts,
+		pageID:   make(map[uint64]int),
+		deltaID:  make(map[int64]int),
+		pcID:     make(map[uint64]int),
+		freqLine: make(map[uint64]bool),
+	}
+
+	lineFreq := trace.LineFrequencies(tr)
+	for line, n := range lineFreq {
+		if opts.MinAddrFreq <= 0 || n >= opts.MinAddrFreq {
+			v.freqLine[line] = true
+		}
+	}
+
+	// Absolute pages: pages owning at least one frequent line, in first-
+	// appearance order for determinism.
+	for _, a := range tr.Accesses {
+		line := trace.Line(a.Addr)
+		if !v.freqLine[line] {
+			continue
+		}
+		page := trace.Page(a.Addr)
+		if _, ok := v.pageID[page]; !ok {
+			v.pageID[page] = len(v.pages)
+			v.pages = append(v.pages, page)
+		}
+	}
+
+	// Delta tokens: page deltas of infrequent accesses relative to the
+	// preceding access, most frequent first.
+	if opts.MinAddrFreq > 0 && opts.MaxDeltas > 0 {
+		deltaFreq := make(map[int64]int)
+		for i := 1; i < tr.Len(); i++ {
+			cur := tr.Accesses[i]
+			if v.freqLine[trace.Line(cur.Addr)] {
+				continue
+			}
+			prev := tr.Accesses[i-1]
+			dPage := int64(trace.Page(cur.Addr)) - int64(trace.Page(prev.Addr))
+			dOff := int64(trace.Offset(cur.Addr)) - int64(trace.Offset(prev.Addr))
+			if dOff < -(trace.NumOffsets-1) || dOff > trace.NumOffsets-1 {
+				continue // cannot happen: offsets are mod 64, kept for clarity
+			}
+			deltaFreq[dPage]++
+		}
+		type dc struct {
+			d int64
+			n int
+		}
+		all := make([]dc, 0, len(deltaFreq))
+		for d, n := range deltaFreq {
+			all = append(all, dc{d, n})
+		}
+		sort.Slice(all, func(i, j int) bool {
+			if all[i].n != all[j].n {
+				return all[i].n > all[j].n
+			}
+			return all[i].d < all[j].d
+		})
+		if len(all) > opts.MaxDeltas {
+			all = all[:opts.MaxDeltas]
+		}
+		for _, e := range all {
+			v.deltaID[e.d] = len(v.deltas)
+			v.deltas = append(v.deltas, e.d)
+		}
+	}
+
+	// PC vocabulary: most frequent first, slot 0 reserved for UNK.
+	pcFreq := make(map[uint64]int)
+	for _, a := range tr.Accesses {
+		pcFreq[a.PC]++
+	}
+	type pcCount struct {
+		pc uint64
+		n  int
+	}
+	pcsAll := make([]pcCount, 0, len(pcFreq))
+	for pc, n := range pcFreq {
+		pcsAll = append(pcsAll, pcCount{pc, n})
+	}
+	sort.Slice(pcsAll, func(i, j int) bool {
+		if pcsAll[i].n != pcsAll[j].n {
+			return pcsAll[i].n > pcsAll[j].n
+		}
+		return pcsAll[i].pc < pcsAll[j].pc
+	})
+	if opts.MaxPCs > 0 && len(pcsAll) > opts.MaxPCs {
+		pcsAll = pcsAll[:opts.MaxPCs]
+	}
+	v.pcs = make([]uint64, 0, len(pcsAll))
+	for _, e := range pcsAll {
+		v.pcID[e.pc] = len(v.pcs) + 1 // 0 is UNK
+		v.pcs = append(v.pcs, e.pc)
+	}
+	return v
+}
+
+// PageTokens returns the size of the page vocabulary: absolute pages,
+// delta tokens, and one trailing UNK token.
+func (v *Vocab) PageTokens() int { return len(v.pages) + len(v.deltas) + 1 }
+
+// NumPages returns the count of absolute page tokens.
+func (v *Vocab) NumPages() int { return len(v.pages) }
+
+// NumDeltas returns the count of page-delta tokens.
+func (v *Vocab) NumDeltas() int { return len(v.deltas) }
+
+// UnkPage returns the UNK page token id.
+func (v *Vocab) UnkPage() int { return len(v.pages) + len(v.deltas) }
+
+// PCTokens returns the size of the PC vocabulary including UNK (id 0).
+func (v *Vocab) PCTokens() int { return len(v.pcs) + 1 }
+
+// PCToken returns the token for a PC (0 = UNK).
+func (v *Vocab) PCToken(pc uint64) int { return v.pcID[pc] }
+
+// IsDeltaPage reports whether a page token is a delta token.
+func (v *Vocab) IsDeltaPage(tok int) bool {
+	return tok >= len(v.pages) && tok < len(v.pages)+len(v.deltas)
+}
+
+// Frequent reports whether the line is encoded with absolute tokens.
+func (v *Vocab) Frequent(line uint64) bool { return v.freqLine[line] }
+
+// EncodeAccess encodes one access (line number) given the line of the
+// preceding access in the stream. Frequent lines use absolute page/offset
+// tokens; infrequent ones use delta tokens when the page delta is in the
+// vocabulary, or UNK otherwise.
+func (v *Vocab) EncodeAccess(prevLine, line uint64) (pageTok, offTok int) {
+	if v.freqLine[line] {
+		page := line >> trace.OffsetBits
+		off := int(line & (trace.NumOffsets - 1))
+		if id, ok := v.pageID[page]; ok {
+			return id, off
+		}
+		return v.UnkPage(), off
+	}
+	dPage := int64(line>>trace.OffsetBits) - int64(prevLine>>trace.OffsetBits)
+	dOff := int64(line&(trace.NumOffsets-1)) - int64(prevLine&(trace.NumOffsets-1))
+	if id, ok := v.deltaID[dPage]; ok {
+		return len(v.pages) + id, NumAbsOffsets + int(dOff) + (trace.NumOffsets - 1)
+	}
+	return v.UnkPage(), int(line & (trace.NumOffsets - 1))
+}
+
+// Decode maps a (page token, offset token) prediction back to a line
+// number, resolving delta tokens against the trigger line. ok is false for
+// UNK pages, out-of-range ids, or mismatched absolute/delta pairings.
+func (v *Vocab) Decode(triggerLine uint64, pageTok, offTok int) (line uint64, ok bool) {
+	switch {
+	case pageTok < 0 || pageTok >= v.PageTokens() || offTok < 0 || offTok >= OffsetTokens:
+		return 0, false
+	case pageTok == v.UnkPage():
+		return 0, false
+	case pageTok < len(v.pages):
+		if offTok >= NumAbsOffsets {
+			// Absolute page with a delta offset: resolve the offset delta
+			// against the trigger's offset.
+			dOff := int64(offTok-NumAbsOffsets) - (trace.NumOffsets - 1)
+			off := int64(triggerLine&(trace.NumOffsets-1)) + dOff
+			if off < 0 || off >= trace.NumOffsets {
+				return 0, false
+			}
+			return v.pages[pageTok]<<trace.OffsetBits | uint64(off), true
+		}
+		return v.pages[pageTok]<<trace.OffsetBits | uint64(offTok), true
+	default: // delta page token
+		d := v.deltas[pageTok-len(v.pages)]
+		page := int64(triggerLine>>trace.OffsetBits) + d
+		if page < 0 {
+			return 0, false
+		}
+		var off int64
+		if offTok >= NumAbsOffsets {
+			dOff := int64(offTok-NumAbsOffsets) - (trace.NumOffsets - 1)
+			off = int64(triggerLine&(trace.NumOffsets-1)) + dOff
+		} else {
+			off = int64(offTok)
+		}
+		if off < 0 || off >= trace.NumOffsets {
+			return 0, false
+		}
+		return uint64(page)<<trace.OffsetBits | uint64(off), true
+	}
+}
+
+// String summarizes the vocabulary.
+func (v *Vocab) String() string {
+	return fmt.Sprintf("vocab{pages=%d deltas=%d pcs=%d offsetTokens=%d}",
+		len(v.pages), len(v.deltas), len(v.pcs), OffsetTokens)
+}

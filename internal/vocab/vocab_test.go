@@ -1,0 +1,191 @@
+package vocab
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"voyager/internal/trace"
+)
+
+// mkTrace builds a trace from line numbers (PC fixed).
+func mkTrace(lines ...uint64) *trace.Trace {
+	tr := &trace.Trace{Name: "t"}
+	for i, l := range lines {
+		tr.Append(100, l<<trace.LineBits, uint64(i+1))
+	}
+	return tr
+}
+
+func TestFrequentAddressesGetAbsoluteTokens(t *testing.T) {
+	// Lines 10 and 20 appear twice (frequent); line 999 once (infrequent).
+	tr := mkTrace(10, 20, 999, 10, 20)
+	v := Build(tr, DefaultOptions())
+	if !v.Frequent(10) || !v.Frequent(20) {
+		t.Fatalf("repeated lines should be frequent")
+	}
+	if v.Frequent(999) {
+		t.Fatalf("singleton line should be infrequent")
+	}
+	pTok, oTok := v.EncodeAccess(0, 10)
+	if v.IsDeltaPage(pTok) || pTok == v.UnkPage() {
+		t.Fatalf("frequent line got token %d", pTok)
+	}
+	if oTok != int(10&(trace.NumOffsets-1)) {
+		t.Fatalf("offset token %d", oTok)
+	}
+}
+
+func TestInfrequentAddressesDeltaEncode(t *testing.T) {
+	// 999 follows 20: page delta and offset delta should encode it.
+	tr := mkTrace(10, 20, 999, 10, 20)
+	v := Build(tr, DefaultOptions())
+	pTok, oTok := v.EncodeAccess(20, 999)
+	if !v.IsDeltaPage(pTok) {
+		t.Fatalf("infrequent line should delta-encode, got page token %d", pTok)
+	}
+	if oTok < NumAbsOffsets {
+		t.Fatalf("delta page must pair with delta offset, got %d", oTok)
+	}
+	// Decode must reconstruct the line relative to the trigger.
+	line, ok := v.Decode(20, pTok, oTok)
+	if !ok || line != 999 {
+		t.Fatalf("decode: %d ok=%v, want 999", line, ok)
+	}
+}
+
+func TestDecodeAbsolute(t *testing.T) {
+	tr := mkTrace(10, 20, 10, 20)
+	v := Build(tr, DefaultOptions())
+	pTok, oTok := v.EncodeAccess(10, 20)
+	line, ok := v.Decode(10, pTok, oTok)
+	if !ok || line != 20 {
+		t.Fatalf("decode absolute: %d ok=%v", line, ok)
+	}
+}
+
+func TestUnkForUnknownDelta(t *testing.T) {
+	// With MaxDeltas 0 every infrequent access is UNK.
+	tr := mkTrace(10, 20, 999, 10, 20)
+	v := Build(tr, Options{MinAddrFreq: 2, MaxDeltas: 0})
+	pTok, _ := v.EncodeAccess(20, 999)
+	if pTok != v.UnkPage() {
+		t.Fatalf("expected UNK, got %d", pTok)
+	}
+	if _, ok := v.Decode(20, v.UnkPage(), 0); ok {
+		t.Fatalf("UNK must not decode")
+	}
+}
+
+func TestMaxDeltasKeepsMostFrequent(t *testing.T) {
+	// Two delta patterns: +1 page (common), +7 pages (rare).
+	var lines []uint64
+	cur := uint64(1000)
+	for i := 0; i < 20; i++ {
+		lines = append(lines, cur, cur+trace.NumOffsets) // delta +1 page each pair
+		cur += 10 * trace.NumOffsets
+	}
+	lines = append(lines, cur+7*trace.NumOffsets) // one +7 page delta
+	tr := mkTrace(lines...)
+	v := Build(tr, Options{MinAddrFreq: 2, MaxDeltas: 1})
+	if v.NumDeltas() != 1 {
+		t.Fatalf("deltas = %d", v.NumDeltas())
+	}
+}
+
+func TestPCVocab(t *testing.T) {
+	tr := &trace.Trace{}
+	for i := 0; i < 10; i++ {
+		tr.Append(1, uint64(i)<<trace.LineBits, uint64(i+1))
+	}
+	tr.Append(2, 0, 11)
+	v := Build(tr, DefaultOptions())
+	if v.PCTokens() != 3 { // UNK + 2 PCs
+		t.Fatalf("pc tokens = %d", v.PCTokens())
+	}
+	if v.PCToken(1) == 0 || v.PCToken(2) == 0 {
+		t.Fatalf("known PCs must not map to UNK")
+	}
+	if v.PCToken(999) != 0 {
+		t.Fatalf("unknown PC must map to UNK")
+	}
+	// MaxPCs caps the vocabulary; PC 1 (most frequent) survives.
+	v2 := Build(tr, Options{MinAddrFreq: 2, MaxDeltas: 4, MaxPCs: 1})
+	if v2.PCTokens() != 2 {
+		t.Fatalf("capped pc tokens = %d", v2.PCTokens())
+	}
+	if v2.PCToken(1) == 0 {
+		t.Fatalf("most frequent PC should survive the cap")
+	}
+	if v2.PCToken(2) != 0 {
+		t.Fatalf("rare PC should be UNK under cap")
+	}
+}
+
+func TestTokenRanges(t *testing.T) {
+	tr := mkTrace(10, 20, 999, 10, 20)
+	v := Build(tr, DefaultOptions())
+	if v.PageTokens() != v.NumPages()+v.NumDeltas()+1 {
+		t.Fatalf("PageTokens inconsistent")
+	}
+	if v.UnkPage() != v.PageTokens()-1 {
+		t.Fatalf("UNK must be the last token")
+	}
+	if OffsetTokens != 191 {
+		t.Fatalf("offset tokens = %d, want 64+127", OffsetTokens)
+	}
+	if v.String() == "" {
+		t.Fatalf("String empty")
+	}
+}
+
+func TestDecodeRejectsOutOfRange(t *testing.T) {
+	tr := mkTrace(10, 20, 10, 20)
+	v := Build(tr, DefaultOptions())
+	if _, ok := v.Decode(10, -1, 0); ok {
+		t.Fatalf("negative page token decoded")
+	}
+	if _, ok := v.Decode(10, 0, OffsetTokens); ok {
+		t.Fatalf("out-of-range offset token decoded")
+	}
+}
+
+// Property: for any trace, encoding a frequent access then decoding returns
+// the original line; delta-encoded accesses whose delta is in vocabulary
+// also roundtrip.
+func TestEncodeDecodeRoundtripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var lines []uint64
+		// Mix of repeated lines (frequent) and singletons near predecessors.
+		base := uint64(rng.Intn(1000) + 100)
+		for i := 0; i < 100; i++ {
+			if rng.Float64() < 0.7 {
+				lines = append(lines, base+uint64(rng.Intn(8))*3)
+			} else {
+				last := base
+				if len(lines) > 0 {
+					last = lines[len(lines)-1]
+				}
+				lines = append(lines, last+uint64(1+rng.Intn(5))*trace.NumOffsets+uint64(rng.Intn(3)))
+			}
+		}
+		tr := mkTrace(lines...)
+		v := Build(tr, Options{MinAddrFreq: 2, MaxDeltas: 32})
+		for i := 1; i < len(lines); i++ {
+			prev, cur := lines[i-1], lines[i]
+			pTok, oTok := v.EncodeAccess(prev, cur)
+			if pTok == v.UnkPage() {
+				continue // delta outside budget: legitimately unpredictable
+			}
+			got, ok := v.Decode(prev, pTok, oTok)
+			if !ok || got != cur {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

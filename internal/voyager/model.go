@@ -1,0 +1,274 @@
+package voyager
+
+import (
+	"math"
+	"math/rand"
+
+	"voyager/internal/nn"
+	"voyager/internal/tensor"
+	"voyager/internal/vocab"
+)
+
+// Model is the Voyager network (Figure 2): three embedding tables, the
+// page-aware offset attention layer, two single-layer LSTMs (page and
+// offset), and two linear prediction heads.
+type Model struct {
+	cfg Config
+	voc *vocab.Vocab
+
+	pcEmb   *nn.Embedding // PCTokens × PCEmbed
+	pageEmb *nn.Embedding // PageTokens × PageEmbed
+	offEmb  *nn.Embedding // OffsetTokens × (Experts·PageEmbed)
+
+	pageLSTM *nn.LSTM
+	offLSTM  *nn.LSTM
+	pageHead *nn.Linear
+	offHead  *nn.Linear
+
+	params nn.ParamSet
+	rng    *rand.Rand
+}
+
+// NewModel builds a Voyager model for the given vocabulary.
+func NewModel(cfg Config, voc *vocab.Vocab) *Model {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	m := &Model{cfg: cfg, voc: voc, rng: rng}
+	m.pcEmb = nn.NewEmbedding("emb.pc", voc.PCTokens(), cfg.PCEmbed, rng)
+	m.pageEmb = nn.NewEmbedding("emb.page", voc.PageTokens(), cfg.PageEmbed, rng)
+	m.offEmb = nn.NewEmbedding("emb.offset", vocab.OffsetTokens, cfg.OffsetEmbed(), rng)
+	m.pageLSTM = nn.NewLSTM("lstm.page", cfg.InputDim(), cfg.Hidden, rng)
+	m.offLSTM = nn.NewLSTM("lstm.offset", cfg.InputDim(), cfg.Hidden, rng)
+	headIn := cfg.Hidden
+	if cfg.HeadSkip {
+		headIn += cfg.InputDim()
+	}
+	m.pageHead = nn.NewLinear("head.page", headIn, voc.PageTokens(), rng)
+	m.offHead = nn.NewLinear("head.offset", headIn, vocab.OffsetTokens, rng)
+
+	m.params.Add(m.pcEmb.Table, m.pageEmb.Table, m.offEmb.Table)
+	m.params.Add(m.pageLSTM.Params()...)
+	m.params.Add(m.offLSTM.Params()...)
+	m.params.Add(m.pageHead.Params()...)
+	m.params.Add(m.offHead.Params()...)
+	return m
+}
+
+// Params exposes the trainable parameters (for optimizers, compression and
+// cost accounting).
+func (m *Model) Params() *nn.ParamSet { return &m.params }
+
+// Vocab returns the model's vocabulary.
+func (m *Model) Vocab() *vocab.Vocab { return m.voc }
+
+// batchToken holds one timestep's token ids for a whole batch.
+type batchToken struct {
+	pc, page, off []int
+}
+
+// hidden runs the network up to the two LSTM hidden states (post-dropout).
+func (m *Model) hidden(tp *tensor.Tape, seqs []batchToken, train bool) (ph, oh *tensor.Node) {
+	pageState := m.pageLSTM.ZeroState(tp, len(seqs[0].page))
+	offState := m.offLSTM.ZeroState(tp, len(seqs[0].page))
+	var lastX *tensor.Node
+	for _, tok := range seqs {
+		pageE := m.pageEmb.Lookup(tp, tok.page)
+		offE := m.offEmb.Lookup(tp, tok.off)
+		var offAware *tensor.Node
+		if m.cfg.PageAwareOffsets {
+			// Page-aware offset embedding (Eq. 9-10): the page embedding
+			// queries the offset's expert chunks.
+			offAware, _ = tp.MoEAttention(pageE, offE, m.cfg.AttnScale)
+		} else {
+			// Ablation: the naive decomposition — a page-agnostic shared
+			// offset embedding (the first expert chunk), which aliases
+			// identical offsets across pages (§4.2.1).
+			offAware = tp.SliceCols(offE, 0, m.cfg.PageEmbed)
+		}
+		var x *tensor.Node
+		if m.cfg.PCUse == PCHistory {
+			pcE := m.pcEmb.Lookup(tp, tok.pc)
+			x = tp.ConcatCols(pcE, pageE, offAware)
+		} else {
+			x = tp.ConcatCols(pageE, offAware)
+		}
+		lastX = x
+		x = nn.Dropout(tp, x, m.cfg.DropoutKeep, m.rng, train)
+		pageState = m.pageLSTM.Step(tp, x, pageState)
+		offState = m.offLSTM.Step(tp, x, offState)
+	}
+	ph = pageState.H
+	oh = offState.H
+	if m.cfg.HeadSkip {
+		// Skip connection: the trigger access's embeddings feed the heads
+		// directly alongside the LSTM state. This gives the heads a
+		// learned successor-table path (trigger token → prediction) that
+		// converges orders of magnitude faster than routing all
+		// memorization through a small recurrent state — compensating for
+		// the scaled-down LSTM sizes (see Config.HeadSkip).
+		ph = tp.ConcatCols(ph, lastX)
+		oh = tp.ConcatCols(oh, lastX)
+	}
+	ph = nn.Dropout(tp, ph, m.cfg.DropoutKeep, m.rng, train)
+	oh = nn.Dropout(tp, oh, m.cfg.DropoutKeep, m.rng, train)
+	return ph, oh
+}
+
+// TrainBatch runs one training step: forward, multi-label BCE loss on both
+// heads (§4.4) with per-scheme soft targets, backward. Gradients are left
+// in the params for the caller's optimizer step. Returns the summed loss.
+//
+// When the page vocabulary exceeds the negative-sampling threshold, the
+// page head trains on the batch's positive columns plus NegSamples random
+// negatives rather than the full vocabulary — the standard sampled-loss
+// trick for large output spaces (the paper's §5.5 points at hierarchical
+// softmax for the same cost problem).
+func (m *Model) TrainBatch(seqs []batchToken, pagePos, offPos [][]int, pageW, offW [][]float32) float32 {
+	tp := tensor.NewTape()
+	ph, oh := m.hidden(tp, seqs, true)
+
+	var pageLoss *tensor.Node
+	vocabSize := m.voc.PageTokens()
+	if m.cfg.NegSamples > 0 && vocabSize > 2*m.cfg.NegSamples {
+		cols, remapped := m.samplePageCols(pagePos)
+		logits := m.pageHead.ForwardSampled(tp, ph, cols)
+		pageLoss, _ = tp.SigmoidBCEWeighted(logits, remapped, pageW)
+	} else {
+		logits := m.pageHead.Forward(tp, ph)
+		pageLoss, _ = tp.SigmoidBCEWeighted(logits, pagePos, pageW)
+	}
+	offLogits := m.offHead.Forward(tp, oh)
+	offLoss, _ := tp.SigmoidBCEWeighted(offLogits, offPos, offW)
+	total := tp.Add(pageLoss, offLoss)
+	tp.Backward(total)
+	return total.Val.Data[0]
+}
+
+// samplePageCols builds the sampled column set (all batch positives plus
+// NegSamples random negatives) and remaps the positive token ids into
+// column-local indices.
+func (m *Model) samplePageCols(pagePos [][]int) (cols []int, remapped [][]int) {
+	colOf := make(map[int]int)
+	for _, row := range pagePos {
+		for _, tok := range row {
+			if _, ok := colOf[tok]; !ok {
+				colOf[tok] = len(cols)
+				cols = append(cols, tok)
+			}
+		}
+	}
+	vocabSize := m.voc.PageTokens()
+	for i := 0; i < m.cfg.NegSamples; i++ {
+		tok := m.rng.Intn(vocabSize)
+		if _, ok := colOf[tok]; ok {
+			continue
+		}
+		colOf[tok] = len(cols)
+		cols = append(cols, tok)
+	}
+	remapped = make([][]int, len(pagePos))
+	for r, row := range pagePos {
+		rr := make([]int, len(row))
+		for k, tok := range row {
+			rr[k] = colOf[tok]
+		}
+		remapped[r] = rr
+	}
+	return cols, remapped
+}
+
+// Candidate is one (page, offset) prediction with its joint score.
+type Candidate struct {
+	PageTok int
+	OffTok  int
+	Score   float64
+}
+
+// PredictBatch runs inference and returns, per batch row, the top-degree
+// (page, offset) candidates ranked by the product of head probabilities
+// (§4.1: "the page and offset pair with the highest probability").
+func (m *Model) PredictBatch(seqs []batchToken, degree int) [][]Candidate {
+	tp := tensor.NewTape()
+	ph, oh := m.hidden(tp, seqs, false)
+	pageLogits := m.pageHead.Forward(tp, ph)
+	offLogits := m.offHead.Forward(tp, oh)
+	batch := pageLogits.Val.Rows
+	out := make([][]Candidate, batch)
+	for b := 0; b < batch; b++ {
+		pages := topK(pageLogits.Val.Row(b), degree)
+		offs := topK(offLogits.Val.Row(b), degree)
+		cands := make([]Candidate, 0, len(pages)*len(offs))
+		for _, p := range pages {
+			for _, o := range offs {
+				cands = append(cands, Candidate{
+					PageTok: p.idx,
+					OffTok:  o.idx,
+					Score:   p.prob * o.prob,
+				})
+			}
+		}
+		sortCandidates(cands)
+		if len(cands) > degree {
+			cands = cands[:degree]
+		}
+		out[b] = cands
+	}
+	return out
+}
+
+type scored struct {
+	idx  int
+	prob float64
+}
+
+// topK returns the k highest-logit entries with sigmoid probabilities.
+func topK(logits []float32, k int) []scored {
+	if k > len(logits) {
+		k = len(logits)
+	}
+	best := make([]scored, 0, k)
+	for i, v := range logits {
+		p := float64(v) // rank by logit; convert to prob lazily below
+		if len(best) < k {
+			best = append(best, scored{i, p})
+			if len(best) == k {
+				sortScored(best)
+			}
+			continue
+		}
+		if p > best[k-1].prob {
+			best[k-1] = scored{i, p}
+			sortScored(best)
+		}
+	}
+	if len(best) < k {
+		sortScored(best)
+	}
+	for i := range best {
+		best[i].prob = sigmoid64(best[i].prob)
+	}
+	return best
+}
+
+func sortScored(s []scored) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j].prob > s[j-1].prob; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+func sortCandidates(c []Candidate) {
+	for i := 1; i < len(c); i++ {
+		for j := i; j > 0 && c[j].Score > c[j-1].Score; j-- {
+			c[j], c[j-1] = c[j-1], c[j]
+		}
+	}
+}
+
+func sigmoid64(x float64) float64 {
+	if x >= 0 {
+		return 1 / (1 + math.Exp(-x))
+	}
+	e := math.Exp(x)
+	return e / (1 + e)
+}

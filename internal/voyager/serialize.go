@@ -1,0 +1,20 @@
+package voyager
+
+import "io"
+
+// SaveWeights writes the trained model's weights (the §5.5 profile-driven
+// deployment path: train offline, ship the weights to the inference
+// engine).
+func (p *Predictor) SaveWeights(w io.Writer) error {
+	_, err := p.Model.Params().WriteTo(w)
+	return err
+}
+
+// LoadWeights restores weights into a model built with the same
+// configuration and vocabulary (vocabulary construction is deterministic
+// given the same trace and options, so rebuilding via NewModel +
+// vocab.Build reproduces the original shapes).
+func (m *Model) LoadWeights(r io.Reader) error {
+	_, err := m.Params().ReadFrom(r)
+	return err
+}

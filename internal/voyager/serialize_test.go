@@ -1,0 +1,47 @@
+package voyager
+
+import (
+	"bytes"
+	"testing"
+
+	"voyager/internal/vocab"
+)
+
+// A trained model's weights must survive a save/load roundtrip into a
+// freshly constructed model: identical predictions on identical inputs.
+func TestWeightsRoundtripPreservesPredictions(t *testing.T) {
+	cycle := []uint64{100, 203, 310, 417}
+	tr := cyclicTrace(cycle, 200)
+	cfg := FastConfig()
+	cfg.EpochAccesses = 400
+	p, err := Train(tr, cfg)
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+
+	var buf bytes.Buffer
+	if err := p.SaveWeights(&buf); err != nil {
+		t.Fatalf("SaveWeights: %v", err)
+	}
+
+	// Rebuild the model from scratch (deterministic vocabulary) and load.
+	voc := vocab.Build(tr, cfg.vocabOptions())
+	fresh := NewModel(cfg, voc)
+	if err := fresh.LoadWeights(&buf); err != nil {
+		t.Fatalf("LoadWeights: %v", err)
+	}
+
+	seqs := p.buildBatch([]int{500, 501, 502})
+	want := p.Model.PredictBatch(seqs, 2)
+	got := fresh.PredictBatch(seqs, 2)
+	for b := range want {
+		if len(want[b]) != len(got[b]) {
+			t.Fatalf("row %d candidate counts differ", b)
+		}
+		for k := range want[b] {
+			if want[b][k].PageTok != got[b][k].PageTok || want[b][k].OffTok != got[b][k].OffTok {
+				t.Fatalf("row %d candidate %d differs: %+v vs %+v", b, k, want[b][k], got[b][k])
+			}
+		}
+	}
+}

@@ -1,0 +1,275 @@
+package voyager
+
+import (
+	"fmt"
+
+	"voyager/internal/label"
+	"voyager/internal/nn"
+	"voyager/internal/prefetch"
+	"voyager/internal/trace"
+	"voyager/internal/vocab"
+)
+
+// Predictor is a trained Voyager model bound to one trace, holding the
+// per-access predictions produced by the online protocol.
+type Predictor struct {
+	Cfg   Config
+	Model *Model
+
+	lines  []uint64
+	tokens []tok
+	labels []label.Labels
+
+	preds      [][]uint64 // per access: predicted line-aligned byte addrs
+	epochLoss  []float32
+	numTrained int
+}
+
+type tok struct {
+	pc, page, off int
+}
+
+// Train runs the paper's online protocol over the trace: the model trains
+// on epoch i and predicts epoch i+1; no inference happens in the first
+// epoch. It returns the bound predictor.
+func Train(tr *trace.Trace, cfg Config) (*Predictor, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if tr.Len() == 0 {
+		return nil, fmt.Errorf("voyager: empty trace")
+	}
+	voc := vocab.Build(tr, cfg.vocabOptions())
+	model := NewModel(cfg, voc)
+	p := &Predictor{
+		Cfg:    cfg,
+		Model:  model,
+		labels: label.Compute(tr),
+		preds:  make([][]uint64, tr.Len()),
+	}
+	p.lines = make([]uint64, tr.Len())
+	p.tokens = make([]tok, tr.Len())
+	prevLine := trace.Line(tr.Accesses[0].Addr)
+	for i, a := range tr.Accesses {
+		line := trace.Line(a.Addr)
+		pTok, oTok := voc.EncodeAccess(prevLine, line)
+		p.lines[i] = line
+		p.tokens[i] = tok{pc: voc.PCToken(a.PC), page: pTok, off: oTok}
+		prevLine = line
+	}
+
+	opt := nn.NewAdam(cfg.LearningRate)
+	if cfg.DecayRatio > 0 {
+		opt.DecayBy = cfg.DecayRatio
+	}
+
+	n := tr.Len()
+	for start := 0; start < n; start += cfg.EpochAccesses {
+		end := start + cfg.EpochAccesses
+		if end > n {
+			end = n
+		}
+		if start > 0 {
+			p.predictRange(start, end)
+		}
+		passes := cfg.PassesPerEpoch
+		if passes < 1 {
+			passes = 1
+		}
+		var loss float32
+		for pass := 0; pass < passes; pass++ {
+			loss = p.trainRange(start, end, opt)
+		}
+		p.epochLoss = append(p.epochLoss, loss)
+		opt.Decay()
+	}
+	return p, nil
+}
+
+// buildBatch assembles the token sequences for the given trigger positions.
+func (p *Predictor) buildBatch(positions []int) []batchToken {
+	T := p.Cfg.SeqLen
+	seqs := make([]batchToken, T)
+	for s := 0; s < T; s++ {
+		seqs[s] = batchToken{
+			pc:   make([]int, len(positions)),
+			page: make([]int, len(positions)),
+			off:  make([]int, len(positions)),
+		}
+	}
+	for b, pos := range positions {
+		for s := 0; s < T; s++ {
+			idx := pos - T + 1 + s
+			if idx < 0 {
+				idx = 0
+			}
+			tk := p.tokens[idx]
+			seqs[s].pc[b] = tk.pc
+			seqs[s].page[b] = tk.page
+			seqs[s].off[b] = tk.off
+		}
+	}
+	return seqs
+}
+
+// schemeWeight is the soft BCE target for each labeling scheme. The
+// primary (global) label trains toward 1; secondary localizations train
+// toward lower targets so that, when several labels are equally
+// predictable, both heads rank the *same* label first — without this, the
+// independently predicted page and offset can pair across different labels
+// and emit an address no label ever named. When a secondary label is more
+// predictable than a noisy global one, its expected activation still wins
+// (the paper's "learn the most predictable label").
+func schemeWeight(s label.Scheme, single bool) float32 {
+	if single {
+		return 1
+	}
+	switch s {
+	case label.Global:
+		return 1
+	case label.PC:
+		return 0.9
+	case label.CoOccurrence:
+		return 0.8
+	case label.BasicBlock:
+		return 0.7
+	case label.Spatial:
+		return 0.6
+	}
+	return 0.5
+}
+
+// labelTokens encodes every configured scheme's label for trigger t into
+// (page, offset) token positives with soft-target weights; UNK labels and
+// labels equal to the trigger line (prefetching the line just accessed is
+// useless) are dropped. A token named by several schemes keeps the largest
+// weight.
+func (p *Predictor) labelTokens(t int) (pagePos, offPos []int, pageW, offW []float32) {
+	voc := p.Model.Vocab()
+	trigger := p.lines[t]
+	single := len(p.Cfg.Schemes) == 1
+	for _, s := range p.Cfg.Schemes {
+		line, ok := p.labels[t].Get(s)
+		if !ok || line == trigger {
+			continue
+		}
+		pTok, oTok := voc.EncodeAccess(trigger, line)
+		if pTok == voc.UnkPage() {
+			continue
+		}
+		w := schemeWeight(s, single)
+		pagePos, pageW = addWeighted(pagePos, pageW, pTok, w)
+		offPos, offW = addWeighted(offPos, offW, oTok, w)
+	}
+	return pagePos, offPos, pageW, offW
+}
+
+func addWeighted(toks []int, ws []float32, tok int, w float32) ([]int, []float32) {
+	for i, x := range toks {
+		if x == tok {
+			if w > ws[i] {
+				ws[i] = w
+			}
+			return toks, ws
+		}
+	}
+	return append(toks, tok), append(ws, w)
+}
+
+// trainRange trains on accesses [start, end) in order, returning the mean
+// batch loss.
+func (p *Predictor) trainRange(start, end int, opt *nn.Adam) float32 {
+	var positions []int
+	var total float64
+	batches := 0
+	flush := func() {
+		if len(positions) == 0 {
+			return
+		}
+		seqs := p.buildBatch(positions)
+		pagePos := make([][]int, len(positions))
+		offPos := make([][]int, len(positions))
+		pageW := make([][]float32, len(positions))
+		offW := make([][]float32, len(positions))
+		for b, pos := range positions {
+			pagePos[b], offPos[b], pageW[b], offW[b] = p.labelTokens(pos)
+		}
+		loss := p.Model.TrainBatch(seqs, pagePos, offPos, pageW, offW)
+		opt.Step(p.Model.Params().All())
+		total += float64(loss)
+		batches++
+		p.numTrained += len(positions)
+		positions = positions[:0]
+	}
+	for t := start; t < end; t++ {
+		pagePos, _, _, _ := p.labelTokens(t)
+		if len(pagePos) == 0 {
+			continue // nothing learnable at this position
+		}
+		positions = append(positions, t)
+		if len(positions) == p.Cfg.BatchSize {
+			flush()
+		}
+	}
+	flush()
+	if batches == 0 {
+		return 0
+	}
+	return float32(total / float64(batches))
+}
+
+// predictRange fills preds for accesses [start, end): the prediction made
+// *at* access t (for prefetching after t).
+func (p *Predictor) predictRange(start, end int) {
+	voc := p.Model.Vocab()
+	for t := start; t < end; t += p.Cfg.BatchSize {
+		hi := t + p.Cfg.BatchSize
+		if hi > end {
+			hi = end
+		}
+		positions := make([]int, 0, hi-t)
+		for i := t; i < hi; i++ {
+			positions = append(positions, i)
+		}
+		seqs := p.buildBatch(positions)
+		cands := p.Model.PredictBatch(seqs, p.Cfg.Degree)
+		for b, pos := range positions {
+			var out []uint64
+			seen := make(map[uint64]struct{}, len(cands[b]))
+			for _, c := range cands[b] {
+				line, ok := voc.Decode(p.lines[pos], c.PageTok, c.OffTok)
+				if !ok {
+					continue
+				}
+				if _, dup := seen[line]; dup {
+					continue
+				}
+				seen[line] = struct{}{}
+				out = append(out, line<<trace.LineBits)
+			}
+			p.preds[pos] = out
+		}
+	}
+}
+
+// Predictions returns the per-access prefetch predictions (line-aligned
+// byte addresses). Accesses in the first epoch have no predictions.
+func (p *Predictor) Predictions() [][]uint64 { return p.preds }
+
+// EpochLosses returns the mean training loss per epoch.
+func (p *Predictor) EpochLosses() []float32 { return p.epochLoss }
+
+// TrainedSamples returns the number of training samples consumed.
+func (p *Predictor) TrainedSamples() int { return p.numTrained }
+
+// AsPrefetcher adapts the predictor for the simulator.
+func (p *Predictor) AsPrefetcher() *prefetch.Precomputed {
+	return &prefetch.Precomputed{Label: "voyager", Predictions: p.preds}
+}
+
+// RepredictAll recomputes predictions for every access with the final
+// model (used after offline compression to measure accuracy deltas; the
+// online protocol itself never does this).
+func (p *Predictor) RepredictAll() {
+	p.predictRange(0, len(p.preds))
+}

@@ -1,0 +1,272 @@
+package voyager
+
+import (
+	"testing"
+
+	"voyager/internal/label"
+	"voyager/internal/trace"
+)
+
+// cyclicTrace walks a fixed irregular cycle of lines repeatedly — perfectly
+// learnable temporal correlation.
+func cyclicTrace(cycle []uint64, laps int) *trace.Trace {
+	tr := &trace.Trace{Name: "cycle"}
+	inst := uint64(0)
+	for l := 0; l < laps; l++ {
+		for _, line := range cycle {
+			inst += 5
+			tr.Append(0x400000, line<<trace.LineBits, inst)
+		}
+	}
+	tr.Instructions = inst
+	return tr
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := []Config{PaperConfig(), ScaledConfig(), FastConfig()}
+	for i, c := range good {
+		if err := c.Validate(); err != nil {
+			t.Fatalf("config %d invalid: %v", i, err)
+		}
+	}
+	bad := FastConfig()
+	bad.SeqLen = 0
+	if bad.Validate() == nil {
+		t.Fatalf("SeqLen 0 accepted")
+	}
+	bad = FastConfig()
+	bad.Schemes = nil
+	if bad.Validate() == nil {
+		t.Fatalf("empty schemes accepted")
+	}
+	bad = FastConfig()
+	bad.DropoutKeep = 0
+	if bad.Validate() == nil {
+		t.Fatalf("dropout 0 accepted")
+	}
+}
+
+func TestPaperConfigMatchesTable1(t *testing.T) {
+	c := PaperConfig()
+	if c.SeqLen != 16 || c.PCEmbed != 64 || c.PageEmbed != 256 ||
+		c.Experts != 100 || c.Hidden != 256 || c.BatchSize != 256 {
+		t.Fatalf("Table 1 mismatch: %+v", c)
+	}
+	if c.OffsetEmbed() != 25600 {
+		t.Fatalf("offset embedding %d, want 25600", c.OffsetEmbed())
+	}
+	if c.LearningRate != 0.001 || c.DecayRatio != 2 || c.DropoutKeep != 0.8 {
+		t.Fatalf("optimizer hyperparameters mismatch")
+	}
+}
+
+func TestInputDim(t *testing.T) {
+	c := FastConfig()
+	want := c.PCEmbed + 2*c.PageEmbed
+	if c.InputDim() != want {
+		t.Fatalf("InputDim %d want %d", c.InputDim(), want)
+	}
+	c.PCUse = PCNone
+	if c.InputDim() != 2*c.PageEmbed {
+		t.Fatalf("PCNone InputDim %d", c.InputDim())
+	}
+}
+
+// Voyager must learn a deterministic irregular cycle: from epoch 2 onward
+// its degree-1 prediction should almost always be the next line.
+func TestLearnsDeterministicCycle(t *testing.T) {
+	cycle := []uint64{
+		0x10<<6 | 5, 0x22<<6 | 61, 0x15<<6 | 0, 0x9<<6 | 33,
+		0x30<<6 | 7, 0x11<<6 | 12, 0x28<<6 | 50, 0x3<<6 | 18,
+	}
+	tr := cyclicTrace(cycle, 500) // 4000 accesses
+	cfg := FastConfig()
+	cfg.EpochAccesses = 1000
+	p, err := Train(tr, cfg)
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	correct, total := 0, 0
+	for i := 2 * cfg.EpochAccesses; i+1 < tr.Len(); i++ {
+		preds := p.Predictions()[i]
+		if len(preds) == 0 {
+			total++
+			continue
+		}
+		total++
+		if trace.Line(preds[0]) == trace.Line(tr.Accesses[i+1].Addr) {
+			correct++
+		}
+	}
+	acc := float64(correct) / float64(total)
+	if acc < 0.9 {
+		t.Fatalf("cycle accuracy %.2f, want ≥0.9 (losses: %v)", acc, p.EpochLosses())
+	}
+}
+
+func TestFirstEpochHasNoPredictions(t *testing.T) {
+	cycle := []uint64{100, 200, 300, 400}
+	tr := cyclicTrace(cycle, 300)
+	cfg := FastConfig()
+	cfg.EpochAccesses = 400
+	p, err := Train(tr, cfg)
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	for i := 0; i < cfg.EpochAccesses; i++ {
+		if p.Predictions()[i] != nil {
+			t.Fatalf("epoch-0 access %d has predictions", i)
+		}
+	}
+	// Later epochs do predict.
+	found := false
+	for i := cfg.EpochAccesses; i < tr.Len(); i++ {
+		if len(p.Predictions()[i]) > 0 {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("no predictions after the first epoch")
+	}
+}
+
+func TestDegreeReturnsUpToKDistinct(t *testing.T) {
+	cycle := []uint64{100, 200, 300, 400, 500, 600}
+	tr := cyclicTrace(cycle, 400)
+	cfg := FastConfig()
+	cfg.EpochAccesses = 600
+	cfg.Degree = 4
+	p, err := Train(tr, cfg)
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	maxLen := 0
+	for _, preds := range p.Predictions() {
+		if len(preds) > 4 {
+			t.Fatalf("degree overflow: %d", len(preds))
+		}
+		if len(preds) > maxLen {
+			maxLen = len(preds)
+		}
+		seen := map[uint64]bool{}
+		for _, a := range preds {
+			if seen[a] {
+				t.Fatalf("duplicate prediction %x", a)
+			}
+			seen[a] = true
+		}
+	}
+	if maxLen < 2 {
+		t.Fatalf("degree-4 never produced >1 candidate")
+	}
+}
+
+func TestSingleLabelConfigs(t *testing.T) {
+	cycle := []uint64{10, 20, 30, 40}
+	tr := cyclicTrace(cycle, 250)
+	for _, scheme := range []label.Scheme{label.Global, label.PC} {
+		cfg := FastConfig()
+		cfg.EpochAccesses = 500
+		cfg.Schemes = []label.Scheme{scheme}
+		if _, err := Train(tr, cfg); err != nil {
+			t.Fatalf("scheme %v: %v", scheme, err)
+		}
+	}
+}
+
+func TestPCNoneVariantTrains(t *testing.T) {
+	cycle := []uint64{10, 20, 30, 40}
+	tr := cyclicTrace(cycle, 250)
+	cfg := FastConfig()
+	cfg.EpochAccesses = 500
+	cfg.PCUse = PCNone
+	p, err := Train(tr, cfg)
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	if p.TrainedSamples() == 0 {
+		t.Fatalf("no samples trained")
+	}
+}
+
+// With deltas enabled, Voyager must cover a compulsory-miss stream: a long
+// fresh-region sweep with a constant page stride that a pure address
+// correlator cannot predict (every address is new).
+func TestDeltaVocabularyCoversCompulsoryStream(t *testing.T) {
+	tr := &trace.Trace{Name: "fresh"}
+	inst := uint64(0)
+	line := uint64(1 << 20)
+	for i := 0; i < 4000; i++ {
+		inst += 5
+		tr.Append(0x400100, line<<trace.LineBits, inst)
+		line += trace.NumOffsets // +1 page each access, offset 0
+	}
+	tr.Instructions = inst
+
+	cfg := FastConfig()
+	cfg.EpochAccesses = 1000
+	p, err := Train(tr, cfg)
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	correct, total := 0, 0
+	for i := 2000; i+1 < tr.Len(); i++ {
+		total++
+		preds := p.Predictions()[i]
+		if len(preds) > 0 && trace.Line(preds[0]) == trace.Line(tr.Accesses[i+1].Addr) {
+			correct++
+		}
+	}
+	acc := float64(correct) / float64(total)
+	if acc < 0.8 {
+		t.Fatalf("delta coverage of compulsory stream %.2f, want ≥0.8", acc)
+	}
+
+	// Ablation: without deltas the same stream is unpredictable.
+	cfg2 := cfg
+	cfg2.UseDeltas = false
+	p2, err := Train(tr, cfg2)
+	if err != nil {
+		t.Fatalf("Train w/o delta: %v", err)
+	}
+	correct2 := 0
+	for i := 2000; i+1 < tr.Len(); i++ {
+		preds := p2.Predictions()[i]
+		if len(preds) > 0 && trace.Line(preds[0]) == trace.Line(tr.Accesses[i+1].Addr) {
+			correct2++
+		}
+	}
+	if correct2 >= correct/4 {
+		t.Fatalf("w/o delta should collapse on compulsory stream: with=%d without=%d", correct, correct2)
+	}
+}
+
+func TestTrainRejectsBadInput(t *testing.T) {
+	if _, err := Train(&trace.Trace{}, FastConfig()); err == nil {
+		t.Fatalf("empty trace accepted")
+	}
+	bad := FastConfig()
+	bad.BatchSize = 0
+	tr := cyclicTrace([]uint64{1, 2}, 10)
+	if _, err := Train(tr, bad); err == nil {
+		t.Fatalf("invalid config accepted")
+	}
+}
+
+func TestAsPrefetcher(t *testing.T) {
+	tr := cyclicTrace([]uint64{10, 20, 30, 40}, 200)
+	cfg := FastConfig()
+	cfg.EpochAccesses = 400
+	p, err := Train(tr, cfg)
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	pf := p.AsPrefetcher()
+	if pf.Name() != "voyager" {
+		t.Fatalf("name %q", pf.Name())
+	}
+	if got := pf.Access(500, tr.Accesses[500]); len(got) != len(p.Predictions()[500]) {
+		t.Fatalf("prefetcher adapter mismatch")
+	}
+}

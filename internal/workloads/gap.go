@@ -1,0 +1,187 @@
+package workloads
+
+import (
+	"voyager/internal/graphs"
+	"voyager/internal/memsim"
+	"voyager/internal/trace"
+)
+
+// The GAP workloads (Beamer et al.) run graph kernels over Kronecker
+// graphs. The paper uses 2^17-node inputs; we default to 2^11·Scale nodes
+// so traces stay CPU-friendly while keeping the skewed degree distribution
+// that produces the irregular neighbor-indexed loads the paper analyzes
+// (Figures 13–14).
+
+const (
+	gapScaleBase  = 7
+	gapEdgeFactor = 8
+)
+
+func gapGraph(cfg Config) *graphs.CSR {
+	rng := cfg.rng()
+	scale := gapScaleBase
+	for s := cfg.scale(); s > 1; s /= 2 {
+		scale++
+	}
+	return graphs.Kronecker(scale, gapEdgeFactor, rng)
+}
+
+// BFS generates the GAP breadth-first-search trace: repeated BFS traversals
+// from multiple sources over a Kronecker graph. Loads cover the CSR offsets
+// array (streaming), neighbor lists (streaming within a node), and the
+// parent array indexed by neighbor id (irregular, data-dependent).
+func BFS(cfg Config) *trace.Trace {
+	g := gapGraph(cfg)
+	rng := cfg.rng()
+	rec := memsim.NewRecorder("bfs")
+	heap := memsim.NewHeap(0x10_0000)
+	offsets := heap.NewArray(g.N+1, 4)
+	neigh := heap.NewArray(g.NumEdges(), 32)
+	parent := heap.NewArray(g.N, 64)
+
+	pcs := memsim.NewPCs(0x400000)
+	outer := pcs.Block()
+	pcOffsets := outer.Site()
+	inner := pcs.Block()
+	pcNeigh := inner.Site()
+	pcParent := inner.Site()
+
+	// GAP runs 64 BFS trials; we run a handful from reused sources so the
+	// frontier-dependent access sequences repeat (temporal correlation).
+	sources := make([]int, 3)
+	for i := range sources {
+		sources[i] = rng.Intn(g.N)
+	}
+	par := make([]int32, g.N)
+	queue := make([]int32, 0, g.N)
+	for trial := 0; trial < 8; trial++ {
+		src := sources[trial%len(sources)]
+		for i := range par {
+			par[i] = -1
+		}
+		rec.Work(8)
+		par[src] = int32(src)
+		queue = append(queue[:0], int32(src))
+		for len(queue) > 0 {
+			u := int(queue[0])
+			queue = queue[1:]
+			rec.Load(pcOffsets, offsets.Addr(u))
+			rec.Work(2)
+			edgeBase := int(g.Offsets[u])
+			for ei, v := range g.Neigh(u) {
+				rec.Load(pcNeigh, neigh.Addr(edgeBase+ei))
+				rec.Load(pcParent, parent.Addr(int(v)))
+				rec.Work(3)
+				if par[v] == -1 {
+					par[v] = int32(u)
+					queue = append(queue, v)
+				}
+			}
+		}
+		if cfg.MaxAccesses > 0 && rec.Trace.Len() >= cfg.MaxAccesses {
+			break
+		}
+	}
+	return cfg.finish(rec.Trace)
+}
+
+// CC generates the GAP connected-components trace (Shiloach–Vishkin): each
+// iteration sweeps every edge, loading comp[u] and comp[v]; the edge order
+// is identical across iterations, so successive sweeps produce strongly
+// temporally correlated streams — the pattern temporal prefetchers feed on.
+func CC(cfg Config) *trace.Trace {
+	g := gapGraph(cfg)
+	rec := memsim.NewRecorder("cc")
+	heap := memsim.NewHeap(0x10_0000)
+	neigh := heap.NewArray(g.NumEdges(), 32)
+	comp := heap.NewArray(g.N, 64)
+
+	pcs := memsim.NewPCs(0x410000)
+	sweep := pcs.Block()
+	pcNeigh := sweep.Site()
+	pcCompU := sweep.Site()
+	pcCompV := sweep.Site()
+
+	c := make([]int32, g.N)
+	for i := range c {
+		c[i] = int32(i)
+	}
+	for iter := 0; iter < 12; iter++ {
+		changed := false
+		e := 0
+		for u := 0; u < g.N; u++ {
+			for _, v := range g.Neigh(u) {
+				rec.Load(pcNeigh, neigh.Addr(e))
+				rec.Load(pcCompU, comp.Addr(u))
+				rec.Load(pcCompV, comp.Addr(int(v)))
+				rec.Work(2)
+				if c[v] < c[u] {
+					c[u] = c[v]
+					changed = true
+				}
+				e++
+			}
+		}
+		// Pointer-jumping compress pass: comp[comp[i]] chains.
+		for i := 0; i < g.N; i++ {
+			rec.Load(pcCompU, comp.Addr(i))
+			rec.Load(pcCompV, comp.Addr(int(c[i])))
+			rec.Work(1)
+			c[i] = c[c[i]]
+		}
+		if cfg.MaxAccesses > 0 && rec.Trace.Len() >= cfg.MaxAccesses {
+			break
+		}
+		if !changed {
+			break
+		}
+	}
+	return cfg.finish(rec.Trace)
+}
+
+// PageRank generates the GAP pr trace using the pull direction the paper's
+// Figure 13 shows: line 44's easy streaming load of outgoing_contrib and
+// line 48's hard parent-dependent load of outgoing_contrib[v] for every
+// in-neighbor v of every node u. The next v depends on (u, position), so
+// single-address tables mispredict nodes with many parents while
+// history-based models can learn the full sequence.
+func PageRank(cfg Config) *trace.Trace {
+	g := gapGraph(cfg).Transpose() // pull: iterate in-neighbors
+	rec := memsim.NewRecorder("pr")
+	heap := memsim.NewHeap(0x10_0000)
+	contrib := heap.NewArray(g.N, 64) // outgoing_contrib (rank record)
+	scores := heap.NewArray(g.N, 64)  // scores
+	outDeg := heap.NewArray(g.N, 16)  // g.out_degree
+	neighArr := heap.NewArray(g.NumEdges(), 32)
+
+	pcs := memsim.NewPCs(0x420000)
+	init := pcs.Block()
+	pcScores := init.Site() // line 44: scores[n]
+	pcOutDeg := init.Site() // line 44: g.out_degree(n)
+	gather := pcs.Block()
+	pcNeigh := gather.Site()   // line 47: neighbor list walk
+	pcContrib := gather.Site() // line 48: outgoing_contrib[v]
+
+	for iter := 0; iter < 10; iter++ {
+		// Line 43-44: streaming pass.
+		for n := 0; n < g.N; n++ {
+			rec.Load(pcScores, scores.Addr(n))
+			rec.Load(pcOutDeg, outDeg.Addr(n))
+			rec.Work(2)
+		}
+		// Line 45-48: gather pass with parent-dependent loads.
+		e := 0
+		for u := 0; u < g.N; u++ {
+			for _, v := range g.Neigh(u) {
+				rec.Load(pcNeigh, neighArr.Addr(e))
+				rec.Load(pcContrib, contrib.Addr(int(v)))
+				rec.Work(3)
+				e++
+			}
+		}
+		if cfg.MaxAccesses > 0 && rec.Trace.Len() >= cfg.MaxAccesses {
+			break
+		}
+	}
+	return cfg.finish(rec.Trace)
+}

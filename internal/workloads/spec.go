@@ -1,0 +1,563 @@
+package workloads
+
+import (
+	"container/heap"
+
+	"voyager/internal/graphs"
+	"voyager/internal/memsim"
+	"voyager/internal/trace"
+)
+
+// ---------------------------------------------------------------------------
+// astar — SPEC06 473.astar: A* pathfinding over a grid map with obstacles.
+// The open list is a binary heap (semi-regular array accesses) while g-score
+// and terrain loads are indexed by data-dependent node ids.
+// ---------------------------------------------------------------------------
+
+type astarItem struct {
+	node int32
+	prio int32
+}
+
+type astarHeap []astarItem
+
+func (h astarHeap) Len() int            { return len(h) }
+func (h astarHeap) Less(i, j int) bool  { return h[i].prio < h[j].prio }
+func (h astarHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *astarHeap) Push(x interface{}) { *h = append(*h, x.(astarItem)) }
+func (h *astarHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Astar generates the astar trace: repeated A* queries on a grid map.
+func Astar(cfg Config) *trace.Trace {
+	rng := cfg.rng()
+	side := 48 * cfg.scale()
+	g := graphs.Grid(side, side)
+	rec := memsim.NewRecorder("astar")
+	hp := memsim.NewHeap(0x20_0000)
+	terrain := hp.NewArray(g.N, 32)
+	gscore := hp.NewArray(g.N, 32)
+	openArr := hp.NewArray(g.N, 16)
+
+	pcs := memsim.NewPCs(0x430000)
+	pop := pcs.Block()
+	pcHeapPop := pop.Site()
+	expand := pcs.Block()
+	pcTerrain := expand.Site()
+	pcGScore := expand.Site()
+	push := pcs.Block()
+	pcHeapPush := push.Site()
+
+	blocked := make([]bool, g.N)
+	for i := range blocked {
+		blocked[i] = rng.Float64() < 0.25
+	}
+	dist := make([]int32, g.N)
+
+	// Queries cycle through a fixed set of (src, dst) pairs, the way a
+	// game replans the same routes repeatedly; the search for a given pair
+	// is deterministic, so its access sequence recurs exactly.
+	type pair struct{ src, dst int }
+	pairs := make([]pair, 6)
+	for i := range pairs {
+		s, d := rng.Intn(g.N), rng.Intn(g.N)
+		for blocked[s] {
+			s = rng.Intn(g.N)
+		}
+		pairs[i] = pair{s, d}
+	}
+	queries := 120
+	for q := 0; q < queries; q++ {
+		src, dst := pairs[q%len(pairs)].src, pairs[q%len(pairs)].dst
+		for i := range dist {
+			dist[i] = 1 << 30
+		}
+		rec.Work(16)
+		open := astarHeap{{node: int32(src), prio: 0}}
+		dist[src] = 0
+		expandedBudget := 600
+		for len(open) > 0 && expandedBudget > 0 {
+			it := heap.Pop(&open).(astarItem)
+			rec.Load(pcHeapPop, openArr.Addr(len(open)%openArr.Len))
+			rec.Work(2)
+			u := int(it.node)
+			if u == dst {
+				break
+			}
+			expandedBudget--
+			for _, v := range g.Neigh(u) {
+				rec.Load(pcTerrain, terrain.Addr(int(v)))
+				if blocked[v] {
+					continue
+				}
+				rec.Load(pcGScore, gscore.Addr(int(v)))
+				rec.Work(3)
+				nd := dist[u] + 1
+				if nd < dist[v] {
+					dist[v] = nd
+					// Manhattan-distance heuristic toward dst.
+					hx := int32(abs(int(v)%side-dst%side) + abs(int(v)/side-dst/side))
+					heap.Push(&open, astarItem{node: v, prio: nd + hx})
+					rec.Load(pcHeapPush, openArr.Addr(len(open)%openArr.Len))
+				}
+			}
+		}
+		if cfg.MaxAccesses > 0 && rec.Trace.Len() >= cfg.MaxAccesses {
+			break
+		}
+	}
+	return cfg.finish(rec.Trace)
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// ---------------------------------------------------------------------------
+// mcf — SPEC06 429.mcf: network-simplex pricing over a large arc array.
+// Two behaviours matter to the paper: (1) pointer-ish loads of arc and node
+// records in a near-fixed order every pricing sweep (temporal), and (2) a
+// very large, growing footprint that produces compulsory misses that only
+// delta prefetching covers (§4.3: "10 deltas cover 99% of the compulsory
+// misses in mcf").
+// ---------------------------------------------------------------------------
+
+// MCF generates the mcf trace.
+func MCF(cfg Config) *trace.Trace {
+	rng := cfg.rng()
+	nArcs := 1_500 * cfg.scale()
+	nNodes := 300 * cfg.scale()
+	rec := memsim.NewRecorder("mcf")
+	hp := memsim.NewHeap(0x100_0000)
+	arcs := hp.NewArray(nArcs, 64) // arc records are cache-line sized in mcf
+	nodes := hp.NewArray(nNodes, 64)
+
+	pcs := memsim.NewPCs(0x440000)
+	price := pcs.Block()
+	pcArc := price.Site()
+	pcTail := price.Site()
+	pcHead := price.Site()
+	sweepB := pcs.Block()
+	pcSweep := sweepB.Site()
+
+	tail := make([]int32, nArcs)
+	head := make([]int32, nArcs)
+	for i := range tail {
+		tail[i] = int32(rng.Intn(nNodes))
+		head[i] = int32(rng.Intn(nNodes))
+	}
+	order := permute(rng, nArcs)
+
+	for iter := 0; iter < 8; iter++ {
+		// Pricing sweep: arcs in a fixed permuted order; node records
+		// indexed by arc endpoints (irregular but repeating).
+		for _, a := range order {
+			rec.Load(pcArc, arcs.Addr(a))
+			rec.Load(pcTail, nodes.Addr(int(tail[a])))
+			rec.Load(pcHead, nodes.Addr(int(head[a])))
+			rec.Work(4)
+			if cfg.MaxAccesses > 0 && rec.Trace.Len() >= cfg.MaxAccesses {
+				return cfg.finish(rec.Trace)
+			}
+		}
+		// Basis rebuild: a fresh region is swept linearly — compulsory
+		// misses with a constant line stride (delta-predictable).
+		fresh := hp.NewArray(600*cfg.scale(), 64)
+		for i := 0; i < fresh.Len; i++ {
+			rec.Load(pcSweep, fresh.Addr(i))
+			rec.Work(1)
+			if cfg.MaxAccesses > 0 && rec.Trace.Len() >= cfg.MaxAccesses {
+				return cfg.finish(rec.Trace)
+			}
+		}
+	}
+	return cfg.finish(rec.Trace)
+}
+
+// ---------------------------------------------------------------------------
+// omnetpp — SPEC06 471.omnetpp: discrete-event network simulation. The
+// future-event set is a binary heap; event and module records are loaded as
+// events are scheduled and fire. Event objects come from a recycled pool,
+// so their addresses recur (temporal), while heap sift paths are
+// semi-regular.
+// ---------------------------------------------------------------------------
+
+// Omnetpp generates the omnetpp trace.
+func Omnetpp(cfg Config) *trace.Trace {
+	rng := cfg.rng()
+	nModules := 400 * cfg.scale()
+	poolSize := 1_024 * cfg.scale()
+	rec := memsim.NewRecorder("omnetpp")
+	hp := memsim.NewHeap(0x40_0000)
+	modules := hp.NewArray(nModules, 128)
+	events := hp.NewArray(poolSize, 64)
+	heapArr := hp.NewArray(poolSize, 16)
+
+	pcs := memsim.NewPCs(0x450000)
+	sched := pcs.Block()
+	pcHeapUp := sched.Site()
+	pcEventNew := sched.Site()
+	fire := pcs.Block()
+	pcHeapDown := fire.Site()
+	pcEvent := fire.Site()
+	pcModule := fire.Site()
+	pcPeer := fire.Site()
+
+	type ev struct {
+		time float64
+		slot int32
+		mod  int32
+	}
+	var fes []ev // binary heap by time
+	free := make([]int32, poolSize)
+	for i := range free {
+		free[i] = int32(i)
+	}
+	alloc := func() int32 {
+		s := free[len(free)-1]
+		free = free[:len(free)-1]
+		return s
+	}
+	release := func(s int32) { free = append(free, s) }
+
+	// Fixed module topology: each module forwards to a few peers.
+	peers := make([][]int32, nModules)
+	for m := range peers {
+		k := 2 + rng.Intn(3)
+		peers[m] = make([]int32, k)
+		for i := range peers[m] {
+			peers[m][i] = int32(rng.Intn(nModules))
+		}
+	}
+
+	push := func(e ev) {
+		fes = append(fes, e)
+		i := len(fes) - 1
+		for i > 0 {
+			p := (i - 1) / 2
+			rec.Load(pcHeapUp, heapArr.Addr(p))
+			if fes[p].time <= fes[i].time {
+				break
+			}
+			fes[p], fes[i] = fes[i], fes[p]
+			i = p
+		}
+	}
+	pop := func() ev {
+		top := fes[0]
+		last := len(fes) - 1
+		fes[0] = fes[last]
+		fes = fes[:last]
+		i := 0
+		for {
+			l, r := 2*i+1, 2*i+2
+			if l >= len(fes) {
+				break
+			}
+			c := l
+			if r < len(fes) && fes[r].time < fes[l].time {
+				c = r
+			}
+			rec.Load(pcHeapDown, heapArr.Addr(c))
+			if fes[i].time <= fes[c].time {
+				break
+			}
+			fes[i], fes[c] = fes[c], fes[i]
+			i = c
+		}
+		return top
+	}
+
+	now := 0.0
+	for i := 0; i < 64; i++ {
+		s := alloc()
+		rec.Load(pcEventNew, events.Addr(int(s)))
+		push(ev{time: rng.ExpFloat64(), slot: s, mod: int32(rng.Intn(nModules))})
+	}
+	for steps := 0; len(fes) > 0; steps++ {
+		e := pop()
+		now = e.time
+		rec.Load(pcEvent, events.Addr(int(e.slot)))
+		rec.Load(pcModule, modules.Addr(int(e.mod)))
+		rec.Work(6)
+		// Fire: forward to peers with fresh events.
+		for _, p := range peers[e.mod] {
+			rec.Load(pcPeer, modules.Addr(int(p)))
+			if len(free) > 0 && len(fes) < poolSize-8 && rng.Float64() < 0.55 {
+				s := alloc()
+				rec.Load(pcEventNew, events.Addr(int(s)))
+				push(ev{time: now + rng.ExpFloat64(), slot: s, mod: p})
+			}
+		}
+		release(e.slot)
+		if cfg.MaxAccesses > 0 && rec.Trace.Len() >= cfg.MaxAccesses {
+			break
+		}
+		if steps > 3_000_000 {
+			break
+		}
+	}
+	return cfg.finish(rec.Trace)
+}
+
+// ---------------------------------------------------------------------------
+// soplex — SPEC06 450.soplex: simplex LP solver. The trace reproduces the
+// paper's Figure 16 phenomenon: a pricing pass streams a sparse column
+// (colptr/rowidx/values), computes a data-dependent `leave` index, and then
+// executes
+//
+//	x = upd[leave];                    // pcUpd
+//	if (x < eps) val = (ub[leave] - vec[leave]) / x;  // pcUb, pcVecA
+//	else         val = (lb[leave] - vec[leave]) / x;  // pcLb, pcVecB
+//
+// vec[leave] is accessed by one of two PCs depending on the branch, so
+// PC-localized tables see a noisy stream while co-occurrence labeling
+// (vec follows upd) makes it predictable.
+// ---------------------------------------------------------------------------
+
+// Soplex generates the soplex trace.
+func Soplex(cfg Config) *trace.Trace {
+	rng := cfg.rng()
+	nCols := 250 * cfg.scale()
+	nnzPerCol := 8
+	nRows := 2_000 * cfg.scale()
+	rec := memsim.NewRecorder("soplex")
+	hp := memsim.NewHeap(0x80_0000)
+	colptr := hp.NewArray(nCols+1, 16)
+	rowidx := hp.NewArray(nCols*nnzPerCol, 16)
+	values := hp.NewArray(nCols*nnzPerCol, 16)
+	upd := hp.NewArray(nRows, 8)
+	ub := hp.NewArray(nRows, 8)
+	lb := hp.NewArray(nRows, 8)
+	vec := hp.NewArray(nRows, 8)
+
+	pcs := memsim.NewPCs(0x460000)
+	stream := pcs.Block()
+	pcColptr := stream.Site()
+	pcRowidx := stream.Site()
+	pcValues := stream.Site()
+	ratio := pcs.Block()
+	pcUpd := ratio.Site()
+	pcUb := ratio.Site()
+	pcVecA := ratio.Site() // line 125
+	pcLb := ratio.Site()
+	pcVecB := ratio.Site() // line 127
+
+	// Column entries: random rows, fixed at generation time so sweeps repeat.
+	rows := make([]int32, nCols*nnzPerCol)
+	for i := range rows {
+		rows[i] = int32(rng.Intn(nRows))
+	}
+	// The sequence of leaving rows cycles through a basis-sized set.
+	basis := make([]int32, 256)
+	for i := range basis {
+		basis[i] = int32(rng.Intn(nRows))
+	}
+	// Branch direction per basis row is a fixed property of the data
+	// (sign of upd), so it repeats across sweeps.
+	branchUp := make([]bool, len(basis))
+	for i := range branchUp {
+		branchUp[i] = rng.Float64() < 0.5
+	}
+
+	leaveIdx := 0
+	for iter := 0; iter < 30; iter++ {
+		for c := 0; c < nCols; c++ {
+			rec.Load(pcColptr, colptr.Addr(c))
+			for k := 0; k < nnzPerCol; k++ {
+				e := c*nnzPerCol + k
+				rec.Load(pcRowidx, rowidx.Addr(e))
+				rec.Load(pcValues, values.Addr(e))
+				rec.Work(1)
+			}
+			// Ratio test on the current leaving row (Figure 16).
+			leave := int(basis[leaveIdx%len(basis)])
+			up := branchUp[leaveIdx%len(basis)]
+			leaveIdx++
+			rec.Work(4)
+			rec.Load(pcUpd, upd.Addr(leave))
+			if up {
+				rec.Load(pcUb, ub.Addr(leave))
+				rec.Load(pcVecA, vec.Addr(leave))
+			} else {
+				rec.Load(pcLb, lb.Addr(leave))
+				rec.Load(pcVecB, vec.Addr(leave))
+			}
+			if cfg.MaxAccesses > 0 && rec.Trace.Len() >= cfg.MaxAccesses {
+				return cfg.finish(rec.Trace)
+			}
+		}
+	}
+	return cfg.finish(rec.Trace)
+}
+
+// ---------------------------------------------------------------------------
+// sphinx — SPEC06 482.sphinx3: speech recognition. Viterbi decoding over an
+// HMM: per audio frame, the active-state list is walked, loading state
+// records, senone (acoustic score) entries, and transition targets. The
+// active set drifts slowly between frames, producing long temporally
+// correlated stretches punctured by new states.
+// ---------------------------------------------------------------------------
+
+// Sphinx generates the sphinx trace.
+func Sphinx(cfg Config) *trace.Trace {
+	rng := cfg.rng()
+	nStates := 2_000 * cfg.scale()
+	nSenones := 800 * cfg.scale()
+	rec := memsim.NewRecorder("sphinx")
+	hp := memsim.NewHeap(0x60_0000)
+	states := hp.NewArray(nStates, 64)
+	senones := hp.NewArray(nSenones, 32)
+	trans := hp.NewArray(nStates*3, 16)
+
+	pcs := memsim.NewPCs(0x470000)
+	frame := pcs.Block()
+	pcState := frame.Site()
+	pcSenone := frame.Site()
+	pcTrans := frame.Site()
+	pcNext := frame.Site()
+
+	senoneOf := make([]int32, nStates)
+	transTo := make([][3]int32, nStates)
+	for s := range senoneOf {
+		senoneOf[s] = int32(rng.Intn(nSenones))
+		for k := 0; k < 3; k++ {
+			transTo[s][k] = int32(rng.Intn(nStates))
+		}
+	}
+
+	active := make([]int32, 0, 512)
+	inActive := make(map[int32]bool)
+	for len(active) < 128 {
+		s := int32(rng.Intn(nStates))
+		if !inActive[s] {
+			inActive[s] = true
+			active = append(active, s)
+		}
+	}
+	for f := 0; ; f++ {
+		next := active[:0:0]
+		nextIn := make(map[int32]bool)
+		for _, s := range active {
+			rec.Load(pcState, states.Addr(int(s)))
+			rec.Load(pcSenone, senones.Addr(int(senoneOf[s])))
+			rec.Work(5)
+			for k := 0; k < 3; k++ {
+				rec.Load(pcTrans, trans.Addr(int(s)*3+k))
+				t := transTo[s][k]
+				rec.Load(pcNext, states.Addr(int(t)))
+				// Beam: keep the best transitions; mostly self-sustaining set.
+				if !nextIn[t] && (k == 0 || rng.Float64() < 0.3) {
+					nextIn[t] = true
+					next = append(next, t)
+				}
+			}
+		}
+		if len(next) > 192 {
+			next = next[:192]
+		}
+		for len(next) < 64 {
+			s := int32(rng.Intn(nStates))
+			if !nextIn[s] {
+				nextIn[s] = true
+				next = append(next, s)
+			}
+		}
+		active = next
+		if cfg.MaxAccesses > 0 && rec.Trace.Len() >= cfg.MaxAccesses {
+			break
+		}
+		if f > 1_000_000 {
+			break
+		}
+	}
+	return cfg.finish(rec.Trace)
+}
+
+// ---------------------------------------------------------------------------
+// xalancbmk — SPEC06 483.xalancbmk: XSLT processing. The hot loops traverse
+// a DOM tree via firstChild/nextSibling links and probe a string-dictionary
+// hash table per element. Template application revisits the same subtrees,
+// so the pointer chases recur exactly (temporal), while hash probes are
+// scattered.
+// ---------------------------------------------------------------------------
+
+// Xalancbmk generates the xalancbmk trace.
+func Xalancbmk(cfg Config) *trace.Trace {
+	rng := cfg.rng()
+	nNodes := 1_200 * cfg.scale()
+	dictSize := 1_024 * cfg.scale()
+	rec := memsim.NewRecorder("xalancbmk")
+	hp := memsim.NewHeap(0x90_0000)
+	nodes := hp.NewArray(nNodes, 64)
+	dict := hp.NewArray(dictSize, 32)
+
+	pcs := memsim.NewPCs(0x480000)
+	walk := pcs.Block()
+	pcNode := walk.Site()
+	pcChild := walk.Site()
+	pcSibling := walk.Site()
+	lookup := pcs.Block()
+	pcDict := lookup.Site()
+
+	// Build a random tree in document order with light shuffling so links
+	// are mostly-but-not-quite sequential in memory.
+	firstChild := make([]int32, nNodes)
+	nextSibling := make([]int32, nNodes)
+	nameHash := make([]int32, nNodes)
+	for i := range firstChild {
+		firstChild[i] = -1
+		nextSibling[i] = -1
+		nameHash[i] = int32(rng.Intn(dictSize))
+	}
+	lastChild := make([]int32, nNodes)
+	for i := range lastChild {
+		lastChild[i] = -1
+	}
+	for i := 1; i < nNodes; i++ {
+		// Parent is a recent node (document order) most of the time.
+		lo := i - 64
+		if lo < 0 {
+			lo = 0
+		}
+		p := lo + rng.Intn(i-lo)
+		if lastChild[p] == -1 {
+			firstChild[p] = int32(i)
+		} else {
+			nextSibling[lastChild[p]] = int32(i)
+		}
+		lastChild[p] = int32(i)
+	}
+
+	var visit func(n int32)
+	visit = func(n int32) {
+		if cfg.MaxAccesses > 0 && rec.Trace.Len() >= cfg.MaxAccesses {
+			return
+		}
+		rec.Load(pcNode, nodes.Addr(int(n)))
+		rec.Load(pcDict, dict.Addr(int(nameHash[n])))
+		rec.Work(4)
+		c := firstChild[n]
+		for c != -1 {
+			rec.Load(pcChild, nodes.Addr(int(c)))
+			visit(c)
+			rec.Load(pcSibling, nodes.Addr(int(c)))
+			c = nextSibling[c]
+		}
+	}
+	for pass := 0; pass < 12; pass++ {
+		visit(0)
+		if cfg.MaxAccesses > 0 && rec.Trace.Len() >= cfg.MaxAccesses {
+			break
+		}
+	}
+	return cfg.finish(rec.Trace)
+}

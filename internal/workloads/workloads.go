@@ -1,0 +1,146 @@
+// Package workloads generates the memory-access traces of the paper's 11
+// benchmarks (Table 2): astar, bfs, cc, mcf, omnetpp, pr, soplex, sphinx,
+// xalancbmk from SPEC06/GAP, plus Google-style search and ads.
+//
+// We cannot ship SPEC reference inputs or Google production traces, so each
+// generator runs a faithful miniature of the benchmark's core algorithm
+// (the part the paper's analysis attributes the access patterns to) against
+// a simulated heap, recording every load. See DESIGN.md §2 for the
+// substitution argument.
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"voyager/internal/trace"
+)
+
+// Config controls trace generation.
+type Config struct {
+	// Seed drives all randomness; identical configs produce identical traces.
+	Seed int64
+	// Scale multiplies the default data-structure footprints (1 = default;
+	// 2 doubles node counts/table sizes, etc.). Must be ≥ 1.
+	Scale int
+	// MaxAccesses truncates the trace after this many loads (0 = no limit).
+	MaxAccesses int
+}
+
+// DefaultConfig returns the configuration used by the experiment harness:
+// scale 1 footprints and 200k-access traces.
+func DefaultConfig() Config {
+	return Config{Seed: 42, Scale: 1, MaxAccesses: 200_000}
+}
+
+func (c Config) scale() int {
+	if c.Scale < 1 {
+		return 1
+	}
+	return c.Scale
+}
+
+func (c Config) rng() *rand.Rand { return rand.New(rand.NewSource(c.Seed)) }
+
+// finish applies MaxAccesses truncation.
+func (c Config) finish(t *trace.Trace) *trace.Trace {
+	if c.MaxAccesses > 0 && len(t.Accesses) > c.MaxAccesses {
+		t.Accesses = t.Accesses[:c.MaxAccesses]
+		t.Instructions = t.Accesses[len(t.Accesses)-1].Inst
+	}
+	return t
+}
+
+// Generator produces a benchmark trace.
+type Generator func(Config) *trace.Trace
+
+// Spec describes one benchmark.
+type Spec struct {
+	Name string
+	// Suite is "spec06", "gap", or "google".
+	Suite string
+	// Simulatable reports whether the paper runs this benchmark through
+	// ChampSim (false for search/ads, which are accuracy/coverage only).
+	Simulatable bool
+	Gen         Generator
+}
+
+// All lists the benchmarks in the paper's Table 2 order.
+var All = []Spec{
+	{Name: "astar", Suite: "spec06", Simulatable: true, Gen: Astar},
+	{Name: "bfs", Suite: "gap", Simulatable: true, Gen: BFS},
+	{Name: "cc", Suite: "gap", Simulatable: true, Gen: CC},
+	{Name: "mcf", Suite: "spec06", Simulatable: true, Gen: MCF},
+	{Name: "omnetpp", Suite: "spec06", Simulatable: true, Gen: Omnetpp},
+	{Name: "pr", Suite: "gap", Simulatable: true, Gen: PageRank},
+	{Name: "soplex", Suite: "spec06", Simulatable: true, Gen: Soplex},
+	{Name: "sphinx", Suite: "spec06", Simulatable: true, Gen: Sphinx},
+	{Name: "xalancbmk", Suite: "spec06", Simulatable: true, Gen: Xalancbmk},
+	{Name: "search", Suite: "google", Simulatable: false, Gen: Search},
+	{Name: "ads", Suite: "google", Simulatable: false, Gen: Ads},
+}
+
+// Names returns all benchmark names in order.
+func Names() []string {
+	out := make([]string, len(All))
+	for i, s := range All {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// SimulatableNames returns the benchmarks the simulator can produce IPC for.
+func SimulatableNames() []string {
+	var out []string
+	for _, s := range All {
+		if s.Simulatable {
+			out = append(out, s.Name)
+		}
+	}
+	return out
+}
+
+// ByName returns the spec with the given name.
+func ByName(name string) (Spec, error) {
+	for _, s := range All {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("workloads: unknown benchmark %q (have %v)", name, Names())
+}
+
+// Generate produces the named benchmark's trace.
+func Generate(name string, cfg Config) (*trace.Trace, error) {
+	s, err := ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return s.Gen(cfg), nil
+}
+
+// zipf returns a Zipfian sampler over [0, n) with exponent s ≥ 1; used by
+// the OLTP workloads for query/term popularity.
+func zipf(rng *rand.Rand, s float64, n int) *rand.Zipf {
+	if n < 1 {
+		n = 1
+	}
+	return rand.NewZipf(rng, s, 1, uint64(n-1))
+}
+
+// permute returns a deterministic pseudo-random permutation of [0, n).
+func permute(rng *rand.Rand, n int) []int {
+	p := rng.Perm(n)
+	return p
+}
+
+// sortedKeys is a test/debug helper returning map keys in sorted order.
+func sortedKeys(m map[uint64]int) []uint64 {
+	keys := make([]uint64, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
