@@ -6,12 +6,15 @@
 package bench
 
 import (
+	"math/rand"
 	"testing"
 
 	"voyager/internal/experiments"
+	"voyager/internal/nn"
 	"voyager/internal/prefetch/isb"
 	"voyager/internal/prefetch/stms"
 	"voyager/internal/sim"
+	"voyager/internal/tensor"
 	"voyager/internal/trace"
 	"voyager/internal/voyager"
 	"voyager/internal/workloads"
@@ -170,6 +173,106 @@ func BenchmarkVoyagerTrainSmall(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := voyager.Train(tr, cfg); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// --- Data-parallel engine benchmarks --------------------------------------
+//
+// The -bench mode of cmd/experiments times the same stages and records them
+// to BENCH_pr1.json; these testing.B twins make them available to
+// `go test -bench` sweeps alongside the artifact benchmarks.
+
+func benchMatPair(dim int) (*tensor.Mat, *tensor.Mat) {
+	rng := rand.New(rand.NewSource(3))
+	a, bm := tensor.NewMat(dim, dim), tensor.NewMat(dim, dim)
+	a.Uniform(rng, 1)
+	bm.Uniform(rng, 1)
+	return a, bm
+}
+
+func BenchmarkMatMul256(b *testing.B) {
+	a, bm := benchMatPair(256)
+	dst := tensor.NewMat(256, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.MatMul(dst, a, bm)
+	}
+}
+
+func BenchmarkMatMulATransB256(b *testing.B) {
+	a, bm := benchMatPair(256)
+	dst := tensor.NewMat(256, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.MatMulATransB(dst, a, bm)
+	}
+}
+
+func BenchmarkMatMulABTrans256(b *testing.B) {
+	a, bm := benchMatPair(256)
+	dst := tensor.NewMat(256, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.MatMulABTrans(dst, a, bm)
+	}
+}
+
+func BenchmarkLSTMStep(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	lstm := nn.NewLSTM("bench", 256, 256, rng)
+	x := tensor.NewMat(64, 256)
+	x.Uniform(rng, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tp := tensor.NewTape()
+		lstm.Step(tp, tp.Const(x), lstm.ZeroState(tp, 64))
+	}
+}
+
+func trainHarness(b *testing.B, workers int) *voyager.BenchHarness {
+	b.Helper()
+	tr := ccTrace(b, 12_000)
+	cfg := voyager.ScaledConfig()
+	cfg.Workers = workers
+	h, err := voyager.NewBenchHarness(tr, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return h
+}
+
+func BenchmarkTrainBatchSerial(b *testing.B) {
+	h := trainHarness(b, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.TrainStep()
+	}
+}
+
+func BenchmarkTrainBatchParallel(b *testing.B) {
+	h := trainHarness(b, voyager.WorkersAuto)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.TrainStep()
+	}
+}
+
+func BenchmarkPredictBatchParallel(b *testing.B) {
+	h := trainHarness(b, voyager.WorkersAuto)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.PredictStep()
+	}
+}
+
+func BenchmarkFigure5Parallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		o := benchOpts("cc")
+		o.Workers = voyager.WorkersAuto
+		r := experiments.NewRun(o)
+		if s := r.Main().Figure5(); s == "" {
+			b.Fatal("empty")
 		}
 	}
 }

@@ -5,6 +5,7 @@
 //	go run ./cmd/experiments -run all
 //	go run ./cmd/experiments -run table2,fig7 -accesses 24000 -hidden 64
 //	go run ./cmd/experiments -run fig15 -benchmarks pr,soplex
+//	go run ./cmd/experiments -bench -workers -1 -bench-out BENCH_pr1.json
 //
 // Artifact ids: table1 table2 table3 fig5 fig6 fig7 fig8 fig9 fig10 fig11
 // fig12 fig15 fig17 delta. "fig10" and "fig11" run together, as do
@@ -31,10 +32,17 @@ func main() {
 		window   = flag.Int("window", 10, "unified-metric window")
 		seed     = flag.Int64("seed", 42, "randomness seed")
 		benches  = flag.String("benchmarks", "", "comma-separated benchmark subset (default: per-figure lists)")
+		workers  = flag.Int("workers", 0, "voyager data-parallel width (0/1 serial, -1 auto)")
+		bench    = flag.Bool("bench", false, "run the performance bench suite instead of artifacts")
+		benchOut = flag.String("bench-out", "BENCH_pr1.json", "bench suite JSON output path")
 		quiet    = flag.Bool("q", false, "suppress progress output")
 	)
 	flag.Parse()
 
+	if *workers < -1 {
+		fmt.Fprintf(os.Stderr, "invalid -workers %d (0 or 1 serial, -1 auto, N>1 parallel)\n", *workers)
+		os.Exit(2)
+	}
 	opts := experiments.DefaultOptions()
 	opts.Accesses = *accesses
 	opts.Epochs = *epochs
@@ -42,9 +50,30 @@ func main() {
 	opts.Passes = *passes
 	opts.Window = *window
 	opts.Seed = *seed
+	opts.Workers = *workers
 	opts.Quiet = *quiet
 	if *benches != "" {
 		opts.Benchmarks = strings.Split(*benches, ",")
+	}
+
+	if *bench {
+		report, err := opts.Bench(*workers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(report)
+		data, err := report.JSON()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*benchOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *benchOut)
+		return
 	}
 	r := experiments.NewRun(opts)
 

@@ -1,0 +1,186 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+
+	"voyager/internal/nn"
+	"voyager/internal/tensor"
+	"voyager/internal/voyager"
+	"voyager/internal/workloads"
+
+	"math/rand"
+)
+
+// BenchEntry is one timed kernel or pipeline stage.
+type BenchEntry struct {
+	Name       string `json:"name"`
+	NsPerOp    int64  `json:"ns_per_op"`
+	Iterations int    `json:"iterations"`
+}
+
+// BenchReport is the machine-readable output of the -bench harness
+// (BENCH_pr1.json). Serial entries run with Workers=1 (bit-identical to the
+// pre-parallel implementation); parallel entries run at Workers, so the
+// speedup fields measure the data-parallel engine on this machine.
+type BenchReport struct {
+	GOMAXPROCS     int          `json:"gomaxprocs"`
+	PoolWorkers    int          `json:"pool_workers"`
+	Workers        int          `json:"workers"`
+	Entries        []BenchEntry `json:"entries"`
+	TrainSpeedup   float64      `json:"train_batch_speedup"`
+	Figure5Speedup float64      `json:"figure5_speedup"`
+	Notes          string       `json:"notes,omitempty"`
+}
+
+func (r *BenchReport) entry(name string) *BenchEntry {
+	for i := range r.Entries {
+		if r.Entries[i].Name == name {
+			return &r.Entries[i]
+		}
+	}
+	return nil
+}
+
+// String renders the report as an aligned table.
+func (r *BenchReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Bench (GOMAXPROCS=%d, pool=%d, workers=%d)\n",
+		r.GOMAXPROCS, r.PoolWorkers, r.Workers)
+	for _, e := range r.Entries {
+		fmt.Fprintf(&b, "  %-28s %14d ns/op  (%d iters)\n", e.Name, e.NsPerOp, e.Iterations)
+	}
+	fmt.Fprintf(&b, "  TrainBatch speedup  %.2fx\n", r.TrainSpeedup)
+	fmt.Fprintf(&b, "  Figure-5  speedup   %.2fx", r.Figure5Speedup)
+	return b.String()
+}
+
+// JSON marshals the report with indentation.
+func (r *BenchReport) JSON() ([]byte, error) { return json.MarshalIndent(r, "", "  ") }
+
+func timeIt(name string, fn func(b *testing.B)) BenchEntry {
+	res := testing.Benchmark(fn)
+	return BenchEntry{Name: name, NsPerOp: res.NsPerOp(), Iterations: res.N}
+}
+
+// benchHarness builds a voyager.BenchHarness over the cc benchmark's raw
+// trace at the harness scale, with the given data-parallel width.
+func (o Options) benchHarness(workers int) (*voyager.BenchHarness, error) {
+	tr, err := workloads.Generate("cc", o.workloadConfig())
+	if err != nil {
+		return nil, err
+	}
+	cfg := o.voyagerConfig(tr.Len())
+	cfg.Workers = workers
+	return voyager.NewBenchHarness(tr, cfg)
+}
+
+// Bench times the performance-critical stages of the training engine:
+// the three matmul kernels, one LSTM step, a full TrainBatch optimizer step
+// at Workers=1 versus Workers=workers, and the Figure-5 pipeline end to end
+// at both widths. workers ≤ 0 means voyager.WorkersAuto.
+func (o Options) Bench(workers int) (*BenchReport, error) {
+	if workers <= 0 {
+		workers = tensor.PoolWorkers()
+	}
+	r := &BenchReport{
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		PoolWorkers: tensor.PoolWorkers(),
+		Workers:     workers,
+		Notes: fmt.Sprintf("serial entries (Workers=1) are bit-identical to the "+
+			"pre-parallel implementation; speedup fields compare Workers=1 vs "+
+			"Workers=%d on this machine (GOMAXPROCS=%d) and only show parallel "+
+			"gains when GOMAXPROCS>=2", workers, runtime.GOMAXPROCS(0)),
+	}
+
+	// Matmul kernels at a Table-1-like shape (256×256).
+	const mdim = 256
+	rng := rand.New(rand.NewSource(o.Seed))
+	a, bm := tensor.NewMat(mdim, mdim), tensor.NewMat(mdim, mdim)
+	a.Uniform(rng, 1)
+	bm.Uniform(rng, 1)
+	dst := tensor.NewMat(mdim, mdim)
+	o.logf("  bench: matmul kernels (%dx%d)...", mdim, mdim)
+	r.Entries = append(r.Entries,
+		timeIt("matmul_256", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tensor.MatMul(dst, a, bm)
+			}
+		}),
+		timeIt("matmul_atrans_b_256", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tensor.MatMulATransB(dst, a, bm)
+			}
+		}),
+		timeIt("matmul_abtrans_256", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tensor.MatMulABTrans(dst, a, bm)
+			}
+		}))
+
+	// One LSTM step at the paper's hidden size, batch 64.
+	o.logf("  bench: lstm step...")
+	lstm := nn.NewLSTM("bench", 256, 256, rng)
+	x := tensor.NewMat(64, 256)
+	x.Uniform(rng, 1)
+	r.Entries = append(r.Entries, timeIt("lstm_step_b64_h256", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tp := tensor.NewTape()
+			lstm.Step(tp, tp.Const(x), lstm.ZeroState(tp, 64))
+		}
+	}))
+
+	// Full optimizer step on a real minibatch, serial vs parallel.
+	for _, v := range []struct {
+		name    string
+		workers int
+	}{{"train_batch_serial", 1}, {"train_batch_parallel", workers}} {
+		o.logf("  bench: %s...", v.name)
+		h, err := o.benchHarness(v.workers)
+		if err != nil {
+			return nil, err
+		}
+		r.Entries = append(r.Entries, timeIt(v.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				h.TrainStep()
+			}
+		}))
+		r.Entries = append(r.Entries, timeIt(
+			strings.Replace(v.name, "train", "predict", 1), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					h.PredictStep()
+				}
+			}))
+	}
+
+	// Figure 5 end to end: trace generation, LLC filter, online-protocol
+	// training and accuracy scoring, serial vs parallel.
+	for _, v := range []struct {
+		name    string
+		workers int
+	}{{"figure5_serial", 1}, {"figure5_parallel", workers}} {
+		o.logf("  bench: %s...", v.name)
+		opts := o
+		opts.Workers = v.workers
+		opts.Benchmarks = []string{"cc"}
+		r.Entries = append(r.Entries, timeIt(v.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				run := NewRun(opts)
+				if s := run.Main().Figure5(); s == "" {
+					b.Fatal("empty figure 5")
+				}
+			}
+		}))
+	}
+
+	if s, p := r.entry("train_batch_serial"), r.entry("train_batch_parallel"); s != nil && p != nil && p.NsPerOp > 0 {
+		r.TrainSpeedup = float64(s.NsPerOp) / float64(p.NsPerOp)
+	}
+	if s, p := r.entry("figure5_serial"), r.entry("figure5_parallel"); s != nil && p != nil && p.NsPerOp > 0 {
+		r.Figure5Speedup = float64(s.NsPerOp) / float64(p.NsPerOp)
+	}
+	return r, nil
+}

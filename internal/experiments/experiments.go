@@ -37,6 +37,12 @@ type Options struct {
 	// proportionally smaller model to stay affordable.
 	Hidden int
 	Passes int
+	// Workers is the data-parallel width for Voyager training/inference
+	// (voyager.Config.Workers): 0 or 1 keeps the serial path,
+	// voyager.WorkersAuto sizes to the machine. Results are reproducible at
+	// a fixed width; different widths shard RNG streams differently and so
+	// train slightly different models.
+	Workers int
 	// Benchmarks restricts which benchmarks run (nil = paper's full list;
 	// ablation figures default to AblationBenchmarks when nil).
 	Benchmarks []string
@@ -119,6 +125,7 @@ func (o Options) voyagerConfig(streamLen int) voyager.Config {
 	if o.Passes > 0 {
 		c.PassesPerEpoch = o.Passes
 	}
+	c.Workers = o.Workers
 	c.DropoutKeep = 1 // scaled models are too small to need regularization
 	return c
 }

@@ -25,6 +25,12 @@ func NewEmbedding(name string, vocab, dim int, rng *rand.Rand) *Embedding {
 // Vocab returns the number of rows in the table.
 func (e *Embedding) Vocab() int { return e.Table.W.Rows }
 
+// ShadowClone returns an embedding sharing this one's weights but writing
+// gradients into its own buffer (see Param.ShadowClone).
+func (e *Embedding) ShadowClone() *Embedding {
+	return &Embedding{Table: e.Table.ShadowClone(), Dim: e.Dim}
+}
+
 // Lookup gathers rows ids from the table as a len(ids)×dim node. The
 // backward pass scatter-adds output gradients into the touched rows.
 func (e *Embedding) Lookup(tp *tensor.Tape, ids []int) *tensor.Node {
@@ -64,6 +70,12 @@ func NewLinear(name string, in, out int, rng *rand.Rand) *Linear {
 // Params returns the layer's trainable parameters.
 func (l *Linear) Params() []*Param { return []*Param{l.W, l.B} }
 
+// ShadowClone returns a linear layer sharing this one's weights but writing
+// gradients into its own buffers (see Param.ShadowClone).
+func (l *Linear) ShadowClone() *Linear {
+	return &Linear{W: l.W.ShadowClone(), B: l.B.ShadowClone()}
+}
+
 // Forward applies the layer to x (batch×in), producing batch×out.
 func (l *Linear) Forward(tp *tensor.Tape, x *tensor.Node) *tensor.Node {
 	return tp.AddBias(tp.MatMul(x, l.W.Node(tp)), l.B.Node(tp))
@@ -86,13 +98,25 @@ func (l *Linear) ForwardSampled(tp *tensor.Tape, x *tensor.Node, cols []int) *te
 	out := tensor.NewMat(batch, len(colsCopy))
 	w := l.W.W
 	bias := l.B.W.Row(0)
+	// Gather the sampled columns into a transposed len(cols)×in scratch so
+	// the dot products below read memory sequentially; the seed kernel's
+	// outFull-strided walk thrashes cache on large vocabulary heads. The
+	// per-element summation order is unchanged, so results are bit-identical.
+	wcols := tensor.NewMat(len(colsCopy), in)
+	for j, c := range colsCopy {
+		wrow := wcols.Row(j)
+		for k := 0; k < in; k++ {
+			wrow[k] = w.Data[k*outFull+c]
+		}
+	}
 	for b := 0; b < batch; b++ {
 		xrow := x.Val.Row(b)
 		orow := out.Row(b)
-		for j, c := range colsCopy {
-			s := bias[c]
-			for k := 0; k < in; k++ {
-				s += xrow[k] * w.Data[k*outFull+c]
+		for j := range colsCopy {
+			s := bias[colsCopy[j]]
+			wrow := wcols.Row(j)
+			for k, xv := range xrow {
+				s += xv * wrow[k]
 			}
 			orow[j] = s
 		}
@@ -101,6 +125,11 @@ func (l *Linear) ForwardSampled(tp *tensor.Tape, x *tensor.Node, cols []int) *te
 		xg := x.EnsureGrad()
 		wg := l.W.Grad
 		bg := l.B.Grad.Row(0)
+		// Accumulate weight gradients in the transposed scratch, then
+		// scatter-add once per (column, k) — same order over the batch as
+		// the strided kernel, so the sums are bit-identical when the
+		// gradient region starts zeroed (it does: Adam clears per step).
+		wgcols := tensor.NewMat(len(colsCopy), in)
 		for b := 0; b < batch; b++ {
 			xrow := x.Val.Row(b)
 			xgrow := xg.Row(b)
@@ -111,9 +140,19 @@ func (l *Linear) ForwardSampled(tp *tensor.Tape, x *tensor.Node, cols []int) *te
 					continue
 				}
 				bg[c] += g
-				for k := 0; k < in; k++ {
-					xgrow[k] += g * w.Data[k*outFull+c]
-					wg.Data[k*outFull+c] += g * xrow[k]
+				wrow := wcols.Row(j)
+				wgrow := wgcols.Row(j)
+				for k, xv := range xrow {
+					xgrow[k] += g * wrow[k]
+					wgrow[k] += g * xv
+				}
+			}
+		}
+		for j, c := range colsCopy {
+			wgrow := wgcols.Row(j)
+			for k, v := range wgrow {
+				if v != 0 {
+					wg.Data[k*outFull+c] += v
 				}
 			}
 		}
@@ -149,6 +188,18 @@ func NewLSTM(name string, in, hidden int, rng *rand.Rand) *LSTM {
 
 // Params returns the cell's trainable parameters.
 func (l *LSTM) Params() []*Param { return []*Param{l.Wx, l.Wh, l.B} }
+
+// ShadowClone returns an LSTM cell sharing this one's weights but writing
+// gradients into its own buffers (see Param.ShadowClone).
+func (l *LSTM) ShadowClone() *LSTM {
+	return &LSTM{
+		In:     l.In,
+		Hidden: l.Hidden,
+		Wx:     l.Wx.ShadowClone(),
+		Wh:     l.Wh.ShadowClone(),
+		B:      l.B.ShadowClone(),
+	}
+}
 
 // State holds the recurrent hidden and cell activations for one batch.
 type State struct {

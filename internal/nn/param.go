@@ -74,6 +74,49 @@ func (p *Param) ZeroGrad() {
 // Size returns the number of scalar weights.
 func (p *Param) Size() int { return p.W.Rows * p.W.Cols }
 
+// ShadowClone returns a parameter that shares p's weight matrix but owns
+// fresh gradient storage (and, for sparse params, a fresh touched set).
+// Shadows are the per-worker gradient buffers for data-parallel training:
+// every worker backpropagates into its own shadow, then the shadows are
+// folded into the master with MergeGrad in fixed worker order.
+func (p *Param) ShadowClone() *Param {
+	s := &Param{
+		Name:   p.Name,
+		W:      p.W,
+		Grad:   tensor.NewMat(p.W.Rows, p.W.Cols),
+		sparse: p.sparse,
+	}
+	if p.sparse {
+		s.touched = make(map[int]struct{})
+	}
+	return s
+}
+
+// MergeGrad accumulates o's gradient into p's and clears o for reuse.
+// Callers reduce workers in ascending index order so the float32 summation
+// order — and therefore training — is reproducible at a fixed worker count.
+// Sparse params merge only o's touched rows, and mark them touched on p.
+func (p *Param) MergeGrad(o *Param) {
+	if p.sparse {
+		for r := range o.touched {
+			prow := p.Grad.Row(r)
+			orow := o.Grad.Row(r)
+			for i, v := range orow {
+				prow[i] += v
+				orow[i] = 0
+			}
+			p.touched[r] = struct{}{}
+			delete(o.touched, r)
+		}
+		return
+	}
+	pd, od := p.Grad.Data, o.Grad.Data
+	for i, v := range od {
+		pd[i] += v
+		od[i] = 0
+	}
+}
+
 // Node wraps the parameter for use on a tape; gradients accumulate into
 // p.Grad via the shared matrix.
 func (p *Param) Node(tp *tensor.Tape) *tensor.Node {

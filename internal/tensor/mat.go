@@ -3,16 +3,15 @@
 // neural layers in package nn and, transitively, for the Voyager prefetcher.
 //
 // The package is deliberately small: 2-D row-major matrices, a handful of
-// BLAS-like kernels with goroutine parallelism, and a Tape that records
-// differentiable operations so gradients can be computed with Backward.
+// blocked BLAS-like kernels dispatched onto a persistent shared worker pool
+// (see pool.go), and a Tape that records differentiable operations so
+// gradients can be computed with Backward.
 package tensor
 
 import (
 	"fmt"
 	"math"
 	"math/rand"
-	"runtime"
-	"sync"
 )
 
 // Mat is a dense, row-major float32 matrix.
@@ -163,9 +162,16 @@ func (m *Mat) Uniform(rng *rand.Rand, l float32) {
 }
 
 // parallelThreshold is the amount of multiply-accumulate work below which
-// MatMul runs single-threaded; tuned so tiny test matrices avoid goroutine
-// overhead.
+// MatMul runs single-threaded; tuned so tiny test matrices avoid pool
+// dispatch overhead.
 const parallelThreshold = 1 << 16
+
+// kernelKTile is the inner-dimension tile for the blocked kernels: a tile of
+// b (kernelKTile rows) or of dst stays cache-resident while the outer matrix
+// streams past it. All tilings preserve the serial kernels' per-element
+// summation order (ascending k / ascending i), so blocked results are
+// bit-identical to unblocked ones — a requirement for reproducible training.
+const kernelKTile = 64
 
 // MatMul computes dst = a·b, allocating dst when nil. a is r×k, b is k×c.
 func MatMul(dst, a, b *Mat) *Mat {
@@ -195,18 +201,57 @@ func matMulAcc(dst, a, b *Mat) {
 	parallelRows(a.Rows, func(lo, hi int) { matMulAccRange(dst, a, b, lo, hi) })
 }
 
+// matMulAccRange is a blocked ikj kernel: b is walked in kernelKTile-row
+// tiles that stay cache-resident while pairs of a rows stream past, halving
+// b traffic versus the row-at-a-time kernel.
 func matMulAccRange(dst, a, b *Mat, lo, hi int) {
 	n := b.Cols
-	for i := lo; i < hi; i++ {
-		arow := a.Row(i)
-		drow := dst.Row(i)
-		for k, av := range arow {
-			if av == 0 {
-				continue
+	kc := a.Cols
+	for k0 := 0; k0 < kc; k0 += kernelKTile {
+		k1 := k0 + kernelKTile
+		if k1 > kc {
+			k1 = kc
+		}
+		i := lo
+		for ; i+2 <= hi; i += 2 {
+			arow0 := a.Row(i)
+			arow1 := a.Row(i + 1)
+			drow0 := dst.Row(i)
+			drow1 := dst.Row(i + 1)
+			for k := k0; k < k1; k++ {
+				av0, av1 := arow0[k], arow1[k]
+				if av0 == 0 && av1 == 0 {
+					continue
+				}
+				brow := b.Data[k*n : k*n+n]
+				if av1 == 0 {
+					for j, bv := range brow {
+						drow0[j] += av0 * bv
+					}
+				} else if av0 == 0 {
+					for j, bv := range brow {
+						drow1[j] += av1 * bv
+					}
+				} else {
+					for j, bv := range brow {
+						drow0[j] += av0 * bv
+						drow1[j] += av1 * bv
+					}
+				}
 			}
-			brow := b.Data[k*n : k*n+n]
-			for j, bv := range brow {
-				drow[j] += av * bv
+		}
+		for ; i < hi; i++ {
+			arow := a.Row(i)
+			drow := dst.Row(i)
+			for k := k0; k < k1; k++ {
+				av := arow[k]
+				if av == 0 {
+					continue
+				}
+				brow := b.Data[k*n : k*n+n]
+				for j, bv := range brow {
+					drow[j] += av * bv
+				}
 			}
 		}
 	}
@@ -237,19 +282,29 @@ func MatMulATransB(dst, a, b *Mat) *Mat {
 	return dst
 }
 
+// matMulATransBRange is blocked over dst rows: a kernelKTile-row tile of dst
+// stays cache-resident while every row of a/b streams past it once, instead
+// of the whole [lo, hi) stripe being revisited per input row. Per dst row
+// the accumulation order over i is unchanged, so results are bit-identical.
 func matMulATransBRange(dst, a, b *Mat, lo, hi int) {
 	n := b.Cols
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Row(i)
-		brow := b.Row(i)
-		for k := lo; k < hi; k++ {
-			av := arow[k]
-			if av == 0 {
-				continue
-			}
-			drow := dst.Data[k*n : k*n+n]
-			for j, bv := range brow {
-				drow[j] += av * bv
+	for t0 := lo; t0 < hi; t0 += kernelKTile {
+		t1 := t0 + kernelKTile
+		if t1 > hi {
+			t1 = hi
+		}
+		for i := 0; i < a.Rows; i++ {
+			arow := a.Row(i)
+			brow := b.Row(i)
+			for k := t0; k < t1; k++ {
+				av := arow[k]
+				if av == 0 {
+					continue
+				}
+				drow := dst.Data[k*n : k*n+n]
+				for j, bv := range brow {
+					drow[j] += av * bv
+				}
 			}
 		}
 	}
@@ -278,11 +333,30 @@ func MatMulABTrans(dst, a, b *Mat) *Mat {
 	return dst
 }
 
+// matMulABTransRange computes four dot products per pass of arow (a 1×4
+// micro-kernel): four independent accumulators give the compiler ILP and cut
+// loop overhead 4×. Each dot still sums over ascending k, so results are
+// bit-identical to the scalar kernel.
 func matMulABTransRange(dst, a, b *Mat, lo, hi int) {
 	for i := lo; i < hi; i++ {
 		arow := a.Row(i)
 		drow := dst.Row(i)
-		for j := 0; j < b.Rows; j++ {
+		j := 0
+		for ; j+4 <= b.Rows; j += 4 {
+			b0, b1, b2, b3 := b.Row(j), b.Row(j+1), b.Row(j+2), b.Row(j+3)
+			var s0, s1, s2, s3 float32
+			for k, av := range arow {
+				s0 += av * b0[k]
+				s1 += av * b1[k]
+				s2 += av * b2[k]
+				s3 += av * b3[k]
+			}
+			drow[j] += s0
+			drow[j+1] += s1
+			drow[j+2] += s2
+			drow[j+3] += s3
+		}
+		for ; j < b.Rows; j++ {
 			brow := b.Row(j)
 			var s float32
 			for k, av := range arow {
@@ -291,31 +365,4 @@ func matMulABTransRange(dst, a, b *Mat, lo, hi int) {
 			drow[j] += s
 		}
 	}
-}
-
-// parallelRows splits [0, n) into GOMAXPROCS contiguous chunks and runs fn
-// on each concurrently.
-func parallelRows(n int, fn func(lo, hi int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		fn(0, n)
-		return
-	}
-	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	for lo := 0; lo < n; lo += chunk {
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			fn(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
 }

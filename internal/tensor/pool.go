@@ -1,0 +1,111 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+)
+
+// The package keeps one persistent worker pool shared by every kernel (and,
+// through RunTasks, by higher-level shard orchestration). Spawning a fresh
+// goroutine per matmul call — the seed implementation's strategy — costs a
+// scheduler round-trip on every hot-path kernel; the pool pays that cost
+// once at startup and then dispatches chunks over a channel.
+//
+// Pool tasks must be leaves: a task may not block on other pool tasks.
+// Kernels satisfy this by construction (a chunk is pure computation), which
+// is what makes the shared pool deadlock-free even when many goroutines
+// submit concurrently.
+
+// chunkTask is one contiguous [lo, hi) slice of a parallel loop.
+type chunkTask struct {
+	fn     func(lo, hi int)
+	lo, hi int
+	wg     *sync.WaitGroup
+}
+
+var (
+	poolOnce  sync.Once
+	poolTasks chan chunkTask
+	poolSize  int
+)
+
+func startPool() {
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		n = 1
+	}
+	poolSize = n
+	poolTasks = make(chan chunkTask, 4*n)
+	for i := 0; i < n; i++ {
+		go func() {
+			for t := range poolTasks {
+				t.fn(t.lo, t.hi)
+				t.wg.Done()
+			}
+		}()
+	}
+}
+
+// PoolWorkers returns the size of the shared worker pool (GOMAXPROCS at
+// first use). Callers sizing their own data-parallel shards should match it.
+func PoolWorkers() int {
+	poolOnce.Do(startPool)
+	return poolSize
+}
+
+// Parallel splits [0, n) into contiguous chunks and runs fn on each using
+// the shared worker pool, blocking until all chunks complete. The calling
+// goroutine executes the first chunk itself, so a single-chunk split never
+// touches the pool. fn must not submit further pool work.
+func Parallel(n int, fn func(lo, hi int)) {
+	poolOnce.Do(startPool)
+	chunks := poolSize
+	if chunks > n {
+		chunks = n
+	}
+	if chunks <= 1 {
+		fn(0, n)
+		return
+	}
+	chunk := (n + chunks - 1) / chunks
+	var wg sync.WaitGroup
+	for lo := chunk; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		poolTasks <- chunkTask{fn: fn, lo: lo, hi: hi, wg: &wg}
+	}
+	fn(0, chunk)
+	wg.Wait()
+}
+
+// RunTasks runs k independent tasks on the shared pool, blocking until all
+// complete; task i receives its index. Unlike Parallel's chunk tasks, these
+// tasks MAY themselves call Parallel: RunTasks executes them on fresh
+// goroutines rather than pool workers, so pool workers never block waiting
+// for other pool work. Used for coarse-grained shard fan-out (one task per
+// minibatch shard).
+func RunTasks(k int, task func(i int)) {
+	if k <= 1 {
+		if k == 1 {
+			task(0)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(k - 1)
+	for i := 1; i < k; i++ {
+		go func(i int) {
+			defer wg.Done()
+			task(i)
+		}(i)
+	}
+	task(0)
+	wg.Wait()
+}
+
+// parallelRows dispatches row-range kernels onto the shared pool. Kept as a
+// thin wrapper so kernel call sites read the same as in the serial path.
+func parallelRows(n int, fn func(lo, hi int)) { Parallel(n, fn) }

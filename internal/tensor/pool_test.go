@@ -1,0 +1,144 @@
+package tensor
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+)
+
+// naive reference kernels: the textbook triple loops the blocked kernels
+// must match bit-for-bit (the blocked kernels only re-tile the iteration
+// space; they never reassociate a dst element's summation order).
+
+func refMatMulPool(a, b *Mat) *Mat {
+	out := NewMat(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for k := 0; k < a.Cols; k++ {
+			av := a.At(i, k)
+			for j := 0; j < b.Cols; j++ {
+				out.Data[i*b.Cols+j] += av * b.At(k, j)
+			}
+		}
+	}
+	return out
+}
+
+func refATransBPool(a, b *Mat) *Mat {
+	out := NewMat(a.Cols, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for k := 0; k < a.Cols; k++ {
+			av := a.At(i, k)
+			for j := 0; j < b.Cols; j++ {
+				out.Data[k*b.Cols+j] += av * b.At(i, j)
+			}
+		}
+	}
+	return out
+}
+
+func refABTransPool(a, b *Mat) *Mat {
+	out := NewMat(a.Rows, b.Rows)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Rows; j++ {
+			var s float32
+			for k := 0; k < a.Cols; k++ {
+				s += a.At(i, k) * b.At(j, k)
+			}
+			out.Data[i*b.Rows+j] += s
+		}
+	}
+	return out
+}
+
+func randMatSparse(rng *rand.Rand, rows, cols int) *Mat {
+	m := NewMat(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.Float32()*2 - 1
+		if rng.Intn(8) == 0 {
+			m.Data[i] = 0 // exercise the zero-skip paths
+		}
+	}
+	return m
+}
+
+func mustEqualBits(t *testing.T, name string, got, want *Mat) {
+	t.Helper()
+	if !got.SameShape(want) {
+		t.Fatalf("%s: shape %dx%d want %dx%d", name, got.Rows, got.Cols, want.Rows, want.Cols)
+	}
+	for i := range want.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("%s: element %d = %v, want %v (bit-exact)", name, i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+// Shapes straddle the kernelKTile and parallelThreshold boundaries so the
+// blocked, remainder, and pooled paths are all exercised.
+func TestBlockedKernelsBitIdenticalToNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	shapes := []struct{ r, k, c int }{
+		{1, 1, 1},
+		{3, 5, 7},
+		{8, kernelKTile, 16},
+		{7, kernelKTile + 3, 33},
+		{5, 2*kernelKTile + 1, 9},
+		{64, 96, 80}, // above parallelThreshold: pooled dispatch
+		{65, 130, 67},
+	}
+	for _, s := range shapes {
+		a := randMatSparse(rng, s.r, s.k)
+		b := randMatSparse(rng, s.k, s.c)
+		mustEqualBits(t, "MatMul", MatMul(nil, a, b), refMatMulPool(a, b))
+
+		at := randMatSparse(rng, s.k, s.r) // aᵀ·b: a is k×r, b is k×c, dst r×c
+		bt := randMatSparse(rng, s.k, s.c)
+		mustEqualBits(t, "MatMulATransB", MatMulATransB(nil, at, bt), refATransBPool(at, bt))
+
+		ab := randMatSparse(rng, s.r, s.k) // a·bᵀ: a is r×k, b is c×k, dst r×c
+		bb := randMatSparse(rng, s.c, s.k)
+		mustEqualBits(t, "MatMulABTrans", MatMulABTrans(nil, ab, bb), refABTransPool(ab, bb))
+	}
+}
+
+func TestParallelCoversRangeExactlyOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 17, 1000} {
+		hits := make([]int32, n)
+		Parallel(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&hits[i], 1)
+			}
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("n=%d: index %d visited %d times", n, i, h)
+			}
+		}
+	}
+}
+
+func TestRunTasksRunsEachIndexOnce(t *testing.T) {
+	for _, k := range []int{0, 1, 2, 8} {
+		hits := make([]int32, k)
+		RunTasks(k, func(i int) { atomic.AddInt32(&hits[i], 1) })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("k=%d: task %d ran %d times", k, i, h)
+			}
+		}
+	}
+}
+
+// Tasks started by RunTasks may themselves use the pool via Parallel; the
+// combination must not deadlock (pool workers only ever run leaf chunks).
+func TestNestedRunTasksParallelNoDeadlock(t *testing.T) {
+	var total int64
+	RunTasks(8, func(i int) {
+		Parallel(1000, func(lo, hi int) {
+			atomic.AddInt64(&total, int64(hi-lo))
+		})
+	})
+	if total != 8000 {
+		t.Fatalf("total %d want 8000", total)
+	}
+}

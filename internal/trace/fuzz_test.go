@@ -1,0 +1,92 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"runtime"
+	"testing"
+)
+
+// encodeTrace is a fuzz-seed helper: Write t into a byte slice.
+func encodeTrace(t *testing.T, tr *Trace) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzRead feeds arbitrary byte streams to the binary decoder. Read must
+// never panic or over-allocate; any stream it accepts must survive a
+// re-encode/re-decode round trip unchanged.
+func FuzzRead(f *testing.F) {
+	t := &testing.T{}
+	f.Add(encodeTrace(t, &Trace{Name: "empty"}))
+	small := &Trace{Name: "small", Instructions: 40}
+	small.Append(0x400000, 0x7fff0040, 10)
+	small.Append(0x400004, 0x7fff0080, 20)
+	small.Append(0x3ff000, 0x10000000, 40)
+	f.Add(encodeTrace(t, small))
+	// Deltas that exercise negative varints and 64-bit wraparound.
+	wrap := &Trace{Name: "wrap"}
+	wrap.Append(^uint64(0), ^uint64(0)-64, 1)
+	wrap.Append(1, 64, 2)
+	f.Add(encodeTrace(t, wrap))
+	// Corrupt seeds: truncated header, huge count, bad magic.
+	f.Add(encodeTrace(t, small)[:7])
+	f.Add([]byte("VYGR\x01\x00\x00\xff\xff\xff\xff\xff\xff\xff\xff\x7f"))
+	f.Add([]byte("NOPE\x01\x00\x00\x00"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return // rejection is fine; panics and OOM are not
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, tr); err != nil {
+			t.Fatalf("re-encode of accepted trace failed: %v", err)
+		}
+		tr2, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded trace failed: %v", err)
+		}
+		if tr2.Name != tr.Name || tr2.Instructions != tr.Instructions ||
+			len(tr2.Accesses) != len(tr.Accesses) {
+			t.Fatalf("round trip mismatch: %+v vs %+v", tr, tr2)
+		}
+		for i := range tr.Accesses {
+			if tr.Accesses[i] != tr2.Accesses[i] {
+				t.Fatalf("access %d: %+v vs %+v", i, tr.Accesses[i], tr2.Accesses[i])
+			}
+		}
+	})
+}
+
+// A truncated stream whose header claims a huge access count must fail fast
+// on the first missing record instead of preallocating the claimed size:
+// 2^31 Access records would be 48 GiB up front, while the clamp caps the
+// hint at 2^20 records (24 MiB).
+func TestReadTruncatedHugeCountFailsFast(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString(binaryMagic)
+	buf.WriteByte(binaryVersion)
+	buf.WriteByte(0) // name length 0
+	buf.WriteByte(0) // instructions 0
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], 1<<31) // claims 2^31 accesses, then EOF
+	buf.Write(tmp[:n])
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	tr, err := Read(bytes.NewReader(buf.Bytes()))
+	runtime.ReadMemStats(&after)
+	if err == nil {
+		t.Fatalf("Read accepted truncated trace: %d accesses", len(tr.Accesses))
+	}
+	const accessSize = 24 // three uint64 fields
+	if alloc := after.TotalAlloc - before.TotalAlloc; alloc > (1<<21)*accessSize {
+		t.Fatalf("Read allocated %d bytes on a truncated 2^31-count header", alloc)
+	}
+}

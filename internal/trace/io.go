@@ -112,7 +112,15 @@ func Read(r io.Reader) (*Trace, error) {
 		return nil, errBadTrace
 	}
 	t := &Trace{Name: string(name), Instructions: instructions}
-	t.Accesses = make([]Access, 0, count)
+	// The count header is attacker-controlled until the records actually
+	// decode: clamp the preallocation so a truncated stream claiming 2^32
+	// accesses can't allocate 100 GB up front, and let append grow past the
+	// hint for genuinely large traces.
+	capHint := count
+	if capHint > 1<<20 {
+		capHint = 1 << 20
+	}
+	t.Accesses = make([]Access, 0, capHint)
 	var prev Access
 	for i := uint64(0); i < count; i++ {
 		dpc, err := binary.ReadVarint(br)

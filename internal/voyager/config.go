@@ -96,7 +96,21 @@ type Config struct {
 	// Degree is the number of (page, offset) candidates prefetched per
 	// trigger (§5.2 "Higher Degree Prefetching").
 	Degree int
+
+	// Workers is the data-parallel width of TrainBatch/PredictBatch: each
+	// minibatch is cut into Workers contiguous shards that run forward and
+	// backward concurrently, each on its own gradient buffer and RNG stream
+	// (worker 0 continues the model's Seed stream; worker k>0 draws from
+	// Seed+k). Gradients are reduced into the shared parameters in fixed
+	// worker order, so training is reproducible at a given worker count,
+	// and 0 or 1 keeps the serial path, which is bit-identical to the
+	// pre-parallel implementation. WorkersAuto sizes to the machine.
+	Workers int
 }
+
+// WorkersAuto as Config.Workers sizes the data-parallel width to the shared
+// tensor worker pool (GOMAXPROCS).
+const WorkersAuto = -1
 
 // PaperConfig returns Table 1 exactly: sequence length 16, PC embedding 64,
 // page embedding 256, offset embedding 25600 (100 experts), 1-layer
@@ -181,6 +195,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("voyager: DropoutKeep %v out of (0,1]", c.DropoutKeep)
 	case c.Degree < 1:
 		return fmt.Errorf("voyager: Degree %d < 1", c.Degree)
+	case c.Workers < WorkersAuto:
+		return fmt.Errorf("voyager: Workers %d invalid (use %d for auto)", c.Workers, WorkersAuto)
 	}
 	return nil
 }

@@ -26,7 +26,18 @@ type Model struct {
 	offHead  *nn.Linear
 
 	params nn.ParamSet
-	rng    *rand.Rand
+
+	// rng is worker 0's random stream. It is seeded with cfg.Seed and first
+	// consumed by parameter initialization, then by worker 0's dropout masks
+	// and negative sampling — exactly the seed implementation's single
+	// stream, which keeps serial training bit-identical.
+	rng *rand.Rand
+
+	// replicas are the data-parallel workers 1..Workers-1: lightweight
+	// shadow models sharing this model's weights but owning their gradient
+	// buffers and RNG streams (seeded cfg.Seed+workerID). Built lazily on
+	// the first sharded batch.
+	replicas []*Model
 }
 
 // NewModel builds a Voyager model for the given vocabulary.
@@ -56,6 +67,86 @@ func NewModel(cfg Config, voc *vocab.Vocab) *Model {
 // Params exposes the trainable parameters (for optimizers, compression and
 // cost accounting).
 func (m *Model) Params() *nn.ParamSet { return &m.params }
+
+// workerCount resolves the configured data-parallel width for a batch of
+// the given number of rows. Shards are never smaller than one row.
+func (m *Model) workerCount(batch int) int {
+	w := m.cfg.Workers
+	if w == WorkersAuto {
+		w = tensor.PoolWorkers()
+	}
+	if w < 1 {
+		w = 1
+	}
+	if w > batch {
+		w = batch
+	}
+	return w
+}
+
+// newReplica builds the shadow model for worker id (1-based): it shares the
+// master's weights and vocabulary, owns its gradient buffers, and draws
+// dropout masks and negative samples from an independent stream seeded
+// Seed+id so shards never contend on — or reorder draws from — a shared RNG.
+func (m *Model) newReplica(id int) *Model {
+	r := &Model{
+		cfg: m.cfg,
+		voc: m.voc,
+		rng: rand.New(rand.NewSource(m.cfg.Seed + int64(id))),
+	}
+	r.pcEmb = m.pcEmb.ShadowClone()
+	r.pageEmb = m.pageEmb.ShadowClone()
+	r.offEmb = m.offEmb.ShadowClone()
+	r.pageLSTM = m.pageLSTM.ShadowClone()
+	r.offLSTM = m.offLSTM.ShadowClone()
+	r.pageHead = m.pageHead.ShadowClone()
+	r.offHead = m.offHead.ShadowClone()
+	// Same registration order as NewModel so replica params align with the
+	// master set index-for-index during the ordered gradient reduce.
+	r.params.Add(r.pcEmb.Table, r.pageEmb.Table, r.offEmb.Table)
+	r.params.Add(r.pageLSTM.Params()...)
+	r.params.Add(r.offLSTM.Params()...)
+	r.params.Add(r.pageHead.Params()...)
+	r.params.Add(r.offHead.Params()...)
+	return r
+}
+
+// ensureReplicas lazily grows the replica list to serve n workers (the
+// master itself is worker 0). Called before shard goroutines start, so the
+// list is never mutated concurrently.
+func (m *Model) ensureReplicas(n int) {
+	for len(m.replicas) < n-1 {
+		m.replicas = append(m.replicas, m.newReplica(len(m.replicas)+1))
+	}
+}
+
+// worker returns the model that runs shard w: the master for worker 0,
+// a replica otherwise.
+func (m *Model) worker(w int) *Model {
+	if w == 0 {
+		return m
+	}
+	return m.replicas[w-1]
+}
+
+// shardBounds cuts batch rows into parts contiguous near-equal shards,
+// returning parts+1 boundaries.
+func shardBounds(batch, parts int) []int {
+	b := make([]int, parts+1)
+	for i := 0; i <= parts; i++ {
+		b[i] = i * batch / parts
+	}
+	return b
+}
+
+// sliceSeqs restricts every timestep's token columns to batch rows [lo, hi).
+func sliceSeqs(seqs []batchToken, lo, hi int) []batchToken {
+	out := make([]batchToken, len(seqs))
+	for i, s := range seqs {
+		out[i] = batchToken{pc: s.pc[lo:hi], page: s.page[lo:hi], off: s.off[lo:hi]}
+	}
+	return out
+}
 
 // Vocab returns the model's vocabulary.
 func (m *Model) Vocab() *vocab.Vocab { return m.voc }
@@ -122,7 +213,52 @@ func (m *Model) hidden(tp *tensor.Tape, seqs []batchToken, train bool) (ph, oh *
 // negatives rather than the full vocabulary — the standard sampled-loss
 // trick for large output spaces (the paper's §5.5 points at hierarchical
 // softmax for the same cost problem).
+//
+// With cfg.Workers > 1 the batch is cut into contiguous row shards that run
+// forward/backward concurrently, one per worker, each on its own tape,
+// gradient buffers and RNG stream; shard gradients are then reduced into
+// the shared params in ascending worker order (see Config.Workers).
 func (m *Model) TrainBatch(seqs []batchToken, pagePos, offPos [][]int, pageW, offW [][]float32) float32 {
+	batch := len(pagePos)
+	n := m.workerCount(batch)
+	if n <= 1 {
+		return m.trainShard(seqs, pagePos, offPos, pageW, offW, 1)
+	}
+	m.ensureReplicas(n)
+	bounds := shardBounds(batch, n)
+	losses := make([]float32, n)
+	tensor.RunTasks(n, func(w int) {
+		lo, hi := bounds[w], bounds[w+1]
+		// Each shard's loss is a mean over its own rows; the backward seed
+		// frac makes shard gradients add up to the full-batch gradient, and
+		// the frac-weighted losses add up to the full-batch mean loss.
+		frac := float32(hi-lo) / float32(batch)
+		losses[w] = frac * m.worker(w).trainShard(
+			sliceSeqs(seqs, lo, hi),
+			pagePos[lo:hi], offPos[lo:hi], pageW[lo:hi], offW[lo:hi], frac)
+	})
+	// Ordered reduce: worker 0 backpropagated straight into the shared
+	// params; fold the replicas in ascending worker index so the float32
+	// summation order — and training — is reproducible at this worker count.
+	master := m.params.All()
+	for w := 1; w < n; w++ {
+		rep := m.replicas[w-1].params.All()
+		for i, p := range master {
+			p.MergeGrad(rep[i])
+		}
+	}
+	var total float32
+	for _, l := range losses {
+		total += l
+	}
+	return total
+}
+
+// trainShard runs forward and backward over one shard of a batch on this
+// worker's tape, RNG stream and gradient buffers. seedWeight scales the
+// backward seed (1 for the serial full-batch path, the shard's row fraction
+// when data-parallel) and the unweighted shard loss is returned.
+func (m *Model) trainShard(seqs []batchToken, pagePos, offPos [][]int, pageW, offW [][]float32, seedWeight float32) float32 {
 	tp := tensor.NewTape()
 	ph, oh := m.hidden(tp, seqs, true)
 
@@ -139,7 +275,8 @@ func (m *Model) TrainBatch(seqs []batchToken, pagePos, offPos [][]int, pageW, of
 	offLogits := m.offHead.Forward(tp, oh)
 	offLoss, _ := tp.SigmoidBCEWeighted(offLogits, offPos, offW)
 	total := tp.Add(pageLoss, offLoss)
-	tp.Backward(total)
+	total.EnsureGrad().Fill(seedWeight)
+	tp.BackwardFromSeed()
 	return total.Val.Data[0]
 }
 
@@ -187,6 +324,25 @@ type Candidate struct {
 // (page, offset) candidates ranked by the product of head probabilities
 // (§4.1: "the page and offset pair with the highest probability").
 func (m *Model) PredictBatch(seqs []batchToken, degree int) [][]Candidate {
+	batch := len(seqs[0].page)
+	n := m.workerCount(batch)
+	if n <= 1 {
+		return m.predictShard(seqs, degree)
+	}
+	m.ensureReplicas(n)
+	bounds := shardBounds(batch, n)
+	out := make([][]Candidate, batch)
+	// Inference shards are embarrassingly parallel: forward passes only read
+	// the shared weights, and each worker writes a disjoint slice of out.
+	tensor.RunTasks(n, func(w int) {
+		lo, hi := bounds[w], bounds[w+1]
+		copy(out[lo:hi], m.worker(w).predictShard(sliceSeqs(seqs, lo, hi), degree))
+	})
+	return out
+}
+
+// predictShard runs inference for one shard of a batch.
+func (m *Model) predictShard(seqs []batchToken, degree int) [][]Candidate {
 	tp := tensor.NewTape()
 	ph, oh := m.hidden(tp, seqs, false)
 	pageLogits := m.pageHead.Forward(tp, ph)

@@ -1,0 +1,171 @@
+package voyager
+
+import (
+	"math"
+	"testing"
+
+	"voyager/internal/trace"
+)
+
+// Training must be reproducible at a fixed seed and worker count: the
+// ordered gradient reduce, deterministic sharding and per-worker RNG
+// streams leave no scheduling dependence in the result.
+func TestTrainDeterministicAtFixedWorkerCount(t *testing.T) {
+	cycle := []uint64{0x10<<6 | 5, 0x22<<6 | 61, 0x15<<6 | 0, 0x9<<6 | 33}
+	tr := cyclicTrace(cycle, 300)
+	for _, workers := range []int{1, 4} {
+		cfg := FastConfig()
+		cfg.EpochAccesses = 400
+		cfg.Workers = workers
+		first, err := Train(tr, cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		second, err := Train(tr, cfg)
+		if err != nil {
+			t.Fatalf("workers=%d rerun: %v", workers, err)
+		}
+		a, b := first.EpochLosses(), second.EpochLosses()
+		if len(a) != len(b) || len(a) == 0 {
+			t.Fatalf("workers=%d: epoch count %d vs %d", workers, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("workers=%d: epoch %d loss %v vs %v (must be identical)",
+					workers, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// With randomness disabled (no dropout, full-vocabulary page head) the
+// sharded path computes the same mathematical gradient as the serial path;
+// only float32 reassociation across shard boundaries may differ.
+func TestParallelGradientsMatchSerial(t *testing.T) {
+	cycle := []uint64{100, 200, 300, 400, 500, 600, 700, 800}
+	tr := cyclicTrace(cycle, 100)
+	base := FastConfig()
+	base.EpochAccesses = 400
+	base.DropoutKeep = 1
+	base.NegSamples = 0
+
+	harness := func(workers int) *BenchHarness {
+		cfg := base
+		cfg.Workers = workers
+		h, err := NewBenchHarness(tr, cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return h
+	}
+	hs := harness(1)
+	hp := harness(3)
+
+	lossS := hs.p.Model.TrainBatch(hs.seqs, hs.pagePos, hs.offPos, hs.pageW, hs.offW)
+	lossP := hp.p.Model.TrainBatch(hp.seqs, hp.pagePos, hp.offPos, hp.pageW, hp.offW)
+	if math.Abs(float64(lossS-lossP)) > 1e-4*(1+math.Abs(float64(lossS))) {
+		t.Fatalf("loss serial %v vs parallel %v", lossS, lossP)
+	}
+
+	sp := hs.p.Model.Params().All()
+	pp := hp.p.Model.Params().All()
+	for i := range sp {
+		sg, pg := sp[i].Grad.Data, pp[i].Grad.Data
+		var maxAbs, maxDiff float64
+		for j := range sg {
+			d := math.Abs(float64(sg[j] - pg[j]))
+			if d > maxDiff {
+				maxDiff = d
+			}
+			if a := math.Abs(float64(sg[j])); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		if maxDiff > 1e-4*(1+maxAbs) {
+			t.Fatalf("param %s: grad diff %v (max |g| %v)", sp[i].Name, maxDiff, maxAbs)
+		}
+	}
+}
+
+// Inference has no randomness and every op is row-local, so sharded
+// PredictBatch must return bit-identical candidates to the serial path.
+func TestPredictBatchParallelMatchesSerial(t *testing.T) {
+	cycle := []uint64{10, 20, 30, 40, 50, 60}
+	tr := cyclicTrace(cycle, 150)
+	base := FastConfig()
+	base.EpochAccesses = 400
+	base.Degree = 4
+
+	run := func(workers int) [][]Candidate {
+		cfg := base
+		cfg.Workers = workers
+		// No training first: weights are identical across harnesses (same
+		// seed), so sharded inference must reproduce serial bit-for-bit.
+		h, err := NewBenchHarness(tr, cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return h.p.Model.PredictBatch(h.seqs, cfg.Degree)
+	}
+	serial := run(1)
+	parallel := run(4)
+	if len(serial) != len(parallel) {
+		t.Fatalf("row count %d vs %d", len(serial), len(parallel))
+	}
+	for r := range serial {
+		if len(serial[r]) != len(parallel[r]) {
+			t.Fatalf("row %d: %d vs %d candidates", r, len(serial[r]), len(parallel[r]))
+		}
+		for k := range serial[r] {
+			if serial[r][k] != parallel[r][k] {
+				t.Fatalf("row %d cand %d: %+v vs %+v", r, k, serial[r][k], parallel[r][k])
+			}
+		}
+	}
+}
+
+// WorkersAuto and explicit widths must validate; nonsense must not.
+func TestWorkersValidation(t *testing.T) {
+	cfg := FastConfig()
+	cfg.Workers = WorkersAuto
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("WorkersAuto rejected: %v", err)
+	}
+	cfg.Workers = 8
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("Workers=8 rejected: %v", err)
+	}
+	cfg.Workers = -2
+	if cfg.Validate() == nil {
+		t.Fatalf("Workers=-2 accepted")
+	}
+}
+
+// The parallel path must also learn: end-to-end online training at 4
+// workers on a deterministic cycle should reach the same ≥0.9 accuracy bar
+// as the serial test in voyager_test.go.
+func TestLearnsCycleWithParallelWorkers(t *testing.T) {
+	cycle := []uint64{
+		0x10<<6 | 5, 0x22<<6 | 61, 0x15<<6 | 0, 0x9<<6 | 33,
+		0x30<<6 | 7, 0x11<<6 | 12, 0x28<<6 | 50, 0x3<<6 | 18,
+	}
+	tr := cyclicTrace(cycle, 500)
+	cfg := FastConfig()
+	cfg.EpochAccesses = 1000
+	cfg.Workers = 4
+	p, err := Train(tr, cfg)
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	correct, total := 0, 0
+	for i := 2 * cfg.EpochAccesses; i+1 < tr.Len(); i++ {
+		preds := p.Predictions()[i]
+		total++
+		if len(preds) > 0 && trace.Line(preds[0]) == trace.Line(tr.Accesses[i+1].Addr) {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(total); acc < 0.9 {
+		t.Fatalf("parallel cycle accuracy %.2f, want ≥0.9 (losses: %v)", acc, p.EpochLosses())
+	}
+}

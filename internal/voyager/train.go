@@ -33,29 +33,9 @@ type tok struct {
 // on epoch i and predicts epoch i+1; no inference happens in the first
 // epoch. It returns the bound predictor.
 func Train(tr *trace.Trace, cfg Config) (*Predictor, error) {
-	if err := cfg.Validate(); err != nil {
+	p, err := newPredictor(tr, cfg)
+	if err != nil {
 		return nil, err
-	}
-	if tr.Len() == 0 {
-		return nil, fmt.Errorf("voyager: empty trace")
-	}
-	voc := vocab.Build(tr, cfg.vocabOptions())
-	model := NewModel(cfg, voc)
-	p := &Predictor{
-		Cfg:    cfg,
-		Model:  model,
-		labels: label.Compute(tr),
-		preds:  make([][]uint64, tr.Len()),
-	}
-	p.lines = make([]uint64, tr.Len())
-	p.tokens = make([]tok, tr.Len())
-	prevLine := trace.Line(tr.Accesses[0].Addr)
-	for i, a := range tr.Accesses {
-		line := trace.Line(a.Addr)
-		pTok, oTok := voc.EncodeAccess(prevLine, line)
-		p.lines[i] = line
-		p.tokens[i] = tok{pc: voc.PCToken(a.PC), page: pTok, off: oTok}
-		prevLine = line
 	}
 
 	opt := nn.NewAdam(cfg.LearningRate)
@@ -82,6 +62,37 @@ func Train(tr *trace.Trace, cfg Config) (*Predictor, error) {
 		}
 		p.epochLoss = append(p.epochLoss, loss)
 		opt.Decay()
+	}
+	return p, nil
+}
+
+// newPredictor binds an untrained model to a trace: vocabulary, labels and
+// the pre-encoded per-access tokens, ready for the epoch loop (or for a
+// bench harness that drives batches directly).
+func newPredictor(tr *trace.Trace, cfg Config) (*Predictor, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if tr.Len() == 0 {
+		return nil, fmt.Errorf("voyager: empty trace")
+	}
+	voc := vocab.Build(tr, cfg.vocabOptions())
+	model := NewModel(cfg, voc)
+	p := &Predictor{
+		Cfg:    cfg,
+		Model:  model,
+		labels: label.Compute(tr),
+		preds:  make([][]uint64, tr.Len()),
+	}
+	p.lines = make([]uint64, tr.Len())
+	p.tokens = make([]tok, tr.Len())
+	prevLine := trace.Line(tr.Accesses[0].Addr)
+	for i, a := range tr.Accesses {
+		line := trace.Line(a.Addr)
+		pTok, oTok := voc.EncodeAccess(prevLine, line)
+		p.lines[i] = line
+		p.tokens[i] = tok{pc: voc.PCToken(a.PC), page: pTok, off: oTok}
+		prevLine = line
 	}
 	return p, nil
 }
@@ -222,12 +233,16 @@ func (p *Predictor) trainRange(start, end int, opt *nn.Adam) float32 {
 // *at* access t (for prefetching after t).
 func (p *Predictor) predictRange(start, end int) {
 	voc := p.Model.Vocab()
+	// seen and positions are reused across the whole range: at degree 8 a
+	// fresh map per access dominated the allocation profile of degree sweeps.
+	seen := make(map[uint64]struct{}, 2*p.Cfg.Degree)
+	positions := make([]int, 0, p.Cfg.BatchSize)
 	for t := start; t < end; t += p.Cfg.BatchSize {
 		hi := t + p.Cfg.BatchSize
 		if hi > end {
 			hi = end
 		}
-		positions := make([]int, 0, hi-t)
+		positions = positions[:0]
 		for i := t; i < hi; i++ {
 			positions = append(positions, i)
 		}
@@ -235,7 +250,7 @@ func (p *Predictor) predictRange(start, end int) {
 		cands := p.Model.PredictBatch(seqs, p.Cfg.Degree)
 		for b, pos := range positions {
 			var out []uint64
-			seen := make(map[uint64]struct{}, len(cands[b]))
+			clear(seen)
 			for _, c := range cands[b] {
 				line, ok := voc.Decode(p.lines[pos], c.PageTok, c.OffTok)
 				if !ok {

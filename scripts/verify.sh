@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus the concurrency checks for the data-parallel
+# training engine: vet, the full test suite, the race detector over the
+# packages that share state across goroutines, and a bounded fuzz run of
+# the binary trace decoder.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go build"
+go build ./...
+
+echo "== go vet"
+go vet ./...
+
+echo "== go test"
+go test ./...
+
+echo "== go test -race (tensor, nn, voyager, trace)"
+go test -race ./internal/tensor/ ./internal/nn/ ./internal/trace/
+# The full voyager suite under -race takes ~10 min of end-to-end training;
+# the concurrency surface is the parallel engine, so race-check the tests
+# that exercise sharded TrainBatch/PredictBatch plus one e2e training run.
+go test -race -run 'Parallel|Deterministic|Workers|LearnsCycleWith' ./internal/voyager/
+
+echo "== fuzz trace.Read (bounded)"
+go test -run=NONE -fuzz=FuzzRead -fuzztime=10s ./internal/trace/
+
+echo "verify: OK"
