@@ -30,6 +30,7 @@ func benchOpts(benches ...string) experiments.Options {
 }
 
 func BenchmarkTable2Stats(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r := experiments.NewRun(benchOpts("astar", "bfs", "cc", "pr"))
 		if got := r.Table2(); len(got.Rows) != 4 {
@@ -39,6 +40,7 @@ func BenchmarkTable2Stats(b *testing.B) {
 }
 
 func BenchmarkFigure5Accuracy(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r := experiments.NewRun(benchOpts("cc"))
 		if s := r.Main().Figure5(); s == "" {
@@ -48,6 +50,7 @@ func BenchmarkFigure5Accuracy(b *testing.B) {
 }
 
 func BenchmarkFigure6Coverage(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r := experiments.NewRun(benchOpts("soplex"))
 		if s := r.Main().Figure6(); s == "" {
@@ -57,6 +60,7 @@ func BenchmarkFigure6Coverage(b *testing.B) {
 }
 
 func BenchmarkFigure7Unified(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r := experiments.NewRun(benchOpts("search"))
 		if f := r.Figure7(); len(f.Rows) != 1 {
@@ -66,6 +70,7 @@ func BenchmarkFigure7Unified(b *testing.B) {
 }
 
 func BenchmarkFigure8IPC(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r := experiments.NewRun(benchOpts("mcf"))
 		if s := r.Main().Figure8(); s == "" {
@@ -75,6 +80,7 @@ func BenchmarkFigure8IPC(b *testing.B) {
 }
 
 func BenchmarkFigure9Degree(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r := experiments.NewRun(benchOpts("cc"))
 		if f := r.Figure9(); len(f.Degrees) != 4 {
@@ -84,6 +90,7 @@ func BenchmarkFigure9Degree(b *testing.B) {
 }
 
 func BenchmarkFigure1011Breakdown(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r := experiments.NewRun(benchOpts("mcf"))
 		if f := r.Figure1011(); len(f.ISB) != 1 {
@@ -93,6 +100,7 @@ func BenchmarkFigure1011Breakdown(b *testing.B) {
 }
 
 func BenchmarkFigure12Features(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r := experiments.NewRun(benchOpts("cc"))
 		if f := r.Figure12(); len(f.Rows) != 1 {
@@ -102,6 +110,7 @@ func BenchmarkFigure12Features(b *testing.B) {
 }
 
 func BenchmarkFigure15Labels(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r := experiments.NewRun(benchOpts("cc"))
 		if f := r.Figure15(); len(f.Rows) != 1 {
@@ -111,6 +120,7 @@ func BenchmarkFigure15Labels(b *testing.B) {
 }
 
 func BenchmarkFigure17Overhead(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r := experiments.NewRun(benchOpts())
 		if f := r.Figure17(); f.VoyagerFP32 == 0 {
@@ -120,6 +130,7 @@ func BenchmarkFigure17Overhead(b *testing.B) {
 }
 
 func BenchmarkDeltaStudy(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r := experiments.NewRun(benchOpts())
 		if d := r.DeltaStudy(); d.With.Benchmark == "" {
@@ -140,12 +151,14 @@ func ccTrace(b *testing.B, n int) *trace.Trace {
 }
 
 func BenchmarkWorkloadGeneration(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		ccTrace(b, 20_000)
 	}
 }
 
 func BenchmarkSimulatorNoPrefetch(b *testing.B) {
+	b.ReportAllocs()
 	tr := ccTrace(b, 20_000)
 	cfg := sim.ScaledConfig()
 	b.ResetTimer()
@@ -155,6 +168,7 @@ func BenchmarkSimulatorNoPrefetch(b *testing.B) {
 }
 
 func BenchmarkTablePrefetcherAccess(b *testing.B) {
+	b.ReportAllocs()
 	tr := ccTrace(b, 20_000)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -166,6 +180,7 @@ func BenchmarkTablePrefetcherAccess(b *testing.B) {
 }
 
 func BenchmarkVoyagerTrainSmall(b *testing.B) {
+	b.ReportAllocs()
 	tr := ccTrace(b, 6_000)
 	cfg := voyager.FastConfig()
 	cfg.EpochAccesses = 1_500
@@ -192,6 +207,7 @@ func benchMatPair(dim int) (*tensor.Mat, *tensor.Mat) {
 }
 
 func BenchmarkMatMul256(b *testing.B) {
+	b.ReportAllocs()
 	a, bm := benchMatPair(256)
 	dst := tensor.NewMat(256, 256)
 	b.ResetTimer()
@@ -201,6 +217,7 @@ func BenchmarkMatMul256(b *testing.B) {
 }
 
 func BenchmarkMatMulATransB256(b *testing.B) {
+	b.ReportAllocs()
 	a, bm := benchMatPair(256)
 	dst := tensor.NewMat(256, 256)
 	b.ResetTimer()
@@ -210,6 +227,7 @@ func BenchmarkMatMulATransB256(b *testing.B) {
 }
 
 func BenchmarkMatMulABTrans256(b *testing.B) {
+	b.ReportAllocs()
 	a, bm := benchMatPair(256)
 	dst := tensor.NewMat(256, 256)
 	b.ResetTimer()
@@ -219,13 +237,17 @@ func BenchmarkMatMulABTrans256(b *testing.B) {
 }
 
 func BenchmarkLSTMStep(b *testing.B) {
+	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(3))
 	lstm := nn.NewLSTM("bench", 256, 256, rng)
 	x := tensor.NewMat(64, 256)
 	x.Uniform(rng, 1)
+	// Long-lived tape + Reset is the production pattern: after the first
+	// iteration warms the arena, steady-state steps are allocation-free.
+	tp := tensor.NewTape()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		tp := tensor.NewTape()
+		tp.Reset()
 		lstm.Step(tp, tp.Const(x), lstm.ZeroState(tp, 64))
 	}
 }
@@ -243,6 +265,7 @@ func trainHarness(b *testing.B, workers int) *voyager.BenchHarness {
 }
 
 func BenchmarkTrainBatchSerial(b *testing.B) {
+	b.ReportAllocs()
 	h := trainHarness(b, 1)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -251,6 +274,7 @@ func BenchmarkTrainBatchSerial(b *testing.B) {
 }
 
 func BenchmarkTrainBatchParallel(b *testing.B) {
+	b.ReportAllocs()
 	h := trainHarness(b, voyager.WorkersAuto)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -259,6 +283,7 @@ func BenchmarkTrainBatchParallel(b *testing.B) {
 }
 
 func BenchmarkPredictBatchParallel(b *testing.B) {
+	b.ReportAllocs()
 	h := trainHarness(b, voyager.WorkersAuto)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -267,6 +292,7 @@ func BenchmarkPredictBatchParallel(b *testing.B) {
 }
 
 func BenchmarkFigure5Parallel(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		o := benchOpts("cc")
 		o.Workers = voyager.WorkersAuto

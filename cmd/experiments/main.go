@@ -24,18 +24,19 @@ import (
 
 func main() {
 	var (
-		run      = flag.String("run", "all", "comma-separated artifact ids or 'all'")
-		accesses = flag.Int("accesses", 48_000, "raw trace length per benchmark")
-		epochs   = flag.Int("epochs", 4, "online-protocol epochs per stream")
-		hidden   = flag.Int("hidden", 64, "voyager/delta-lstm LSTM units")
-		passes   = flag.Int("passes", 4, "training passes per epoch")
-		window   = flag.Int("window", 10, "unified-metric window")
-		seed     = flag.Int64("seed", 42, "randomness seed")
-		benches  = flag.String("benchmarks", "", "comma-separated benchmark subset (default: per-figure lists)")
-		workers  = flag.Int("workers", 0, "voyager data-parallel width (0/1 serial, -1 auto)")
-		bench    = flag.Bool("bench", false, "run the performance bench suite instead of artifacts")
-		benchOut = flag.String("bench-out", "BENCH_pr1.json", "bench suite JSON output path")
-		quiet    = flag.Bool("q", false, "suppress progress output")
+		run       = flag.String("run", "all", "comma-separated artifact ids or 'all'")
+		accesses  = flag.Int("accesses", 48_000, "raw trace length per benchmark")
+		epochs    = flag.Int("epochs", 4, "online-protocol epochs per stream")
+		hidden    = flag.Int("hidden", 64, "voyager/delta-lstm LSTM units")
+		passes    = flag.Int("passes", 4, "training passes per epoch")
+		window    = flag.Int("window", 10, "unified-metric window")
+		seed      = flag.Int64("seed", 42, "randomness seed")
+		benches   = flag.String("benchmarks", "", "comma-separated benchmark subset (default: per-figure lists)")
+		workers   = flag.Int("workers", 0, "voyager data-parallel width (0/1 serial, -1 auto)")
+		bench     = flag.Bool("bench", false, "run the performance bench suite instead of artifacts")
+		benchOut  = flag.String("bench-out", "BENCH_pr2.json", "bench suite JSON output path")
+		benchBase = flag.String("bench-baseline", "BENCH_pr1.json", "prior bench JSON to diff against (\"\" disables)")
+		quiet     = flag.Bool("q", false, "suppress progress output")
 	)
 	flag.Parse()
 
@@ -61,6 +62,15 @@ func main() {
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
 			os.Exit(1)
+		}
+		if *benchBase != "" {
+			if data, err := os.ReadFile(*benchBase); err == nil {
+				if base, err := experiments.LoadBenchReport(data); err == nil {
+					report.Compare(base, *benchBase)
+				} else {
+					fmt.Fprintf(os.Stderr, "bench: baseline %s unreadable: %v\n", *benchBase, err)
+				}
+			}
 		}
 		fmt.Println(report)
 		data, err := report.JSON()

@@ -15,11 +15,23 @@ import (
 	"math/rand"
 )
 
-// BenchEntry is one timed kernel or pipeline stage.
+// BenchEntry is one timed kernel or pipeline stage. Besides wall time it
+// records the allocator profile (bytes and allocations per op, plus the
+// number of GC cycles the whole timed run triggered) so allocation
+// regressions on the hot path are visible in the report, and — when a
+// baseline report is supplied — the wall-time ratio against that baseline.
 type BenchEntry struct {
-	Name       string `json:"name"`
-	NsPerOp    int64  `json:"ns_per_op"`
-	Iterations int    `json:"iterations"`
+	Name        string `json:"name"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	Iterations  int    `json:"iterations"`
+	BytesPerOp  int64  `json:"bytes_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+	GCCycles    uint32 `json:"gc_cycles"`
+
+	// BaselineNsPerOp/SpeedupVsBaseline are filled by Compare when the same
+	// entry exists in the baseline report (0 otherwise).
+	BaselineNsPerOp   int64   `json:"baseline_ns_per_op,omitempty"`
+	SpeedupVsBaseline float64 `json:"speedup_vs_baseline,omitempty"`
 }
 
 // BenchReport is the machine-readable output of the -bench harness
@@ -33,6 +45,7 @@ type BenchReport struct {
 	Entries        []BenchEntry `json:"entries"`
 	TrainSpeedup   float64      `json:"train_batch_speedup"`
 	Figure5Speedup float64      `json:"figure5_speedup"`
+	Baseline       string       `json:"baseline,omitempty"` // path of the compared report
 	Notes          string       `json:"notes,omitempty"`
 }
 
@@ -51,7 +64,12 @@ func (r *BenchReport) String() string {
 	fmt.Fprintf(&b, "Bench (GOMAXPROCS=%d, pool=%d, workers=%d)\n",
 		r.GOMAXPROCS, r.PoolWorkers, r.Workers)
 	for _, e := range r.Entries {
-		fmt.Fprintf(&b, "  %-28s %14d ns/op  (%d iters)\n", e.Name, e.NsPerOp, e.Iterations)
+		fmt.Fprintf(&b, "  %-28s %14d ns/op %10d B/op %8d allocs/op %4d GCs  (%d iters)",
+			e.Name, e.NsPerOp, e.BytesPerOp, e.AllocsPerOp, e.GCCycles, e.Iterations)
+		if e.SpeedupVsBaseline > 0 {
+			fmt.Fprintf(&b, "  %.2fx vs baseline", e.SpeedupVsBaseline)
+		}
+		b.WriteByte('\n')
 	}
 	fmt.Fprintf(&b, "  TrainBatch speedup  %.2fx\n", r.TrainSpeedup)
 	fmt.Fprintf(&b, "  Figure-5  speedup   %.2fx", r.Figure5Speedup)
@@ -61,9 +79,47 @@ func (r *BenchReport) String() string {
 // JSON marshals the report with indentation.
 func (r *BenchReport) JSON() ([]byte, error) { return json.MarshalIndent(r, "", "  ") }
 
+// Compare fills each entry's baseline wall time and speedup ratio from a
+// previous report (entries are matched by name; missing ones are skipped).
+func (r *BenchReport) Compare(baseline *BenchReport, path string) {
+	if baseline == nil {
+		return
+	}
+	r.Baseline = path
+	for i := range r.Entries {
+		e := &r.Entries[i]
+		if be := baseline.entry(e.Name); be != nil && e.NsPerOp > 0 {
+			e.BaselineNsPerOp = be.NsPerOp
+			e.SpeedupVsBaseline = float64(be.NsPerOp) / float64(e.NsPerOp)
+		}
+	}
+}
+
+// LoadBenchReport parses a previously written bench JSON report.
+func LoadBenchReport(data []byte) (*BenchReport, error) {
+	var r BenchReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
 func timeIt(name string, fn func(b *testing.B)) BenchEntry {
-	res := testing.Benchmark(fn)
-	return BenchEntry{Name: name, NsPerOp: res.NsPerOp(), Iterations: res.N}
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		fn(b)
+	})
+	runtime.ReadMemStats(&after)
+	return BenchEntry{
+		Name:        name,
+		NsPerOp:     res.NsPerOp(),
+		Iterations:  res.N,
+		BytesPerOp:  res.AllocedBytesPerOp(),
+		AllocsPerOp: res.AllocsPerOp(),
+		GCCycles:    after.NumGC - before.NumGC,
+	}
 }
 
 // benchHarness builds a voyager.BenchHarness over the cc benchmark's raw
@@ -93,7 +149,10 @@ func (o Options) Bench(workers int) (*BenchReport, error) {
 		Notes: fmt.Sprintf("serial entries (Workers=1) are bit-identical to the "+
 			"pre-parallel implementation; speedup fields compare Workers=1 vs "+
 			"Workers=%d on this machine (GOMAXPROCS=%d) and only show parallel "+
-			"gains when GOMAXPROCS>=2", workers, runtime.GOMAXPROCS(0)),
+			"gains when GOMAXPROCS>=2. Pre-arena (PR 1) allocator profile for "+
+			"reference, measured on this harness before the tape arena landed: "+
+			"train_batch_serial 3616 allocs/op, 14833976 B/op; the arena's "+
+			"allocs_per_op below should be >=10x lower", workers, runtime.GOMAXPROCS(0)),
 	}
 
 	// Matmul kernels at a Table-1-like shape (256×256).
@@ -126,10 +185,11 @@ func (o Options) Bench(workers int) (*BenchReport, error) {
 	lstm := nn.NewLSTM("bench", 256, 256, rng)
 	x := tensor.NewMat(64, 256)
 	x.Uniform(rng, 1)
+	ltp := tensor.NewTape() // long-lived tape + Reset: the production pattern
 	r.Entries = append(r.Entries, timeIt("lstm_step_b64_h256", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			tp := tensor.NewTape()
-			lstm.Step(tp, tp.Const(x), lstm.ZeroState(tp, 64))
+			ltp.Reset()
+			lstm.Step(ltp, ltp.Const(x), lstm.ZeroState(ltp, 64))
 		}
 	}))
 

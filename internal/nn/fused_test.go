@@ -1,0 +1,66 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"voyager/internal/tensor"
+)
+
+// TestLSTMStepFusedMatchesUnfused unrolls a multi-step sequence through the
+// fused Step and the StepUnfused oracle on identical weights and inputs, and
+// demands bit-identical hidden states and parameter gradients. This is the
+// layer-level differential guarantee the voyager golden test relies on.
+func TestLSTMStepFusedMatchesUnfused(t *testing.T) {
+	const in, hidden, batch, steps = 6, 5, 4, 3
+
+	run := func(unfused bool) ([]float32, [][]float32) {
+		rng := rand.New(rand.NewSource(33))
+		l := NewLSTM("diff", in, hidden, rng)
+		l.Unfused = unfused
+		xs := make([]*tensor.Mat, steps)
+		for s := range xs {
+			xs[s] = tensor.NewMat(batch, in)
+			xs[s].Uniform(rng, 1)
+		}
+		tp := tensor.NewTape()
+		state := l.ZeroState(tp, batch)
+		for _, x := range xs {
+			state = l.Step(tp, tp.Const(x), state)
+		}
+		loss := tp.MeanAll(tp.Tanh(state.H))
+		tp.Backward(loss)
+		grads := make([][]float32, 0, 3)
+		for _, p := range l.Params() {
+			grads = append(grads, append([]float32(nil), p.Grad.Data...))
+		}
+		return append([]float32(nil), state.H.Val.Data...), grads
+	}
+
+	fH, fG := run(false)
+	uH, uG := run(true)
+	for i := range fH {
+		if fH[i] != uH[i] {
+			t.Fatalf("h[%d]: fused %v vs unfused %v (must be bit-identical)", i, fH[i], uH[i])
+		}
+	}
+	for p := range fG {
+		for i := range fG[p] {
+			if fG[p][i] != uG[p][i] {
+				t.Fatalf("param %d grad[%d]: fused %v vs unfused %v (must be bit-identical)",
+					p, i, fG[p][i], uG[p][i])
+			}
+		}
+	}
+}
+
+// ShadowClone must propagate the Unfused test hook so data-parallel replicas
+// stay on the same code path as the primary.
+func TestShadowClonePropagatesUnfused(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	l := NewLSTM("clone", 3, 2, rng)
+	l.Unfused = true
+	if !l.ShadowClone().Unfused {
+		t.Fatalf("ShadowClone dropped Unfused")
+	}
+}

@@ -176,16 +176,15 @@ func (h *HSoftmax) MACsPerPrediction(hidden, topClusters int) int {
 }
 
 // gatherRows selects rows of x as a new node (differentiable scatter-add
-// on backward).
+// on backward). rows must stay unchanged until Backward completes.
 func gatherRows(tp *tensor.Tape, x *tensor.Node, rows []int) *tensor.Node {
-	out := tensor.NewMat(len(rows), x.Val.Cols)
+	out := tp.NewMat(len(rows), x.Val.Cols)
 	for i, r := range rows {
 		copy(out.Row(i), x.Val.Row(r))
 	}
-	rowsCopy := append([]int(nil), rows...)
 	return tp.Custom(out, x.RequiresGrad(), func(n *tensor.Node) {
 		g := x.EnsureGrad()
-		for i, r := range rowsCopy {
+		for i, r := range rows {
 			dst := g.Row(r)
 			for j, v := range n.Grad.Row(i) {
 				dst[j] += v

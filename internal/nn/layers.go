@@ -32,18 +32,19 @@ func (e *Embedding) ShadowClone() *Embedding {
 }
 
 // Lookup gathers rows ids from the table as a len(ids)×dim node. The
-// backward pass scatter-adds output gradients into the touched rows.
+// backward pass scatter-adds output gradients into the touched rows. The
+// caller must keep ids unchanged until Backward completes (the hot path
+// reuses its id buffers only across batches, never within one).
 func (e *Embedding) Lookup(tp *tensor.Tape, ids []int) *tensor.Node {
-	out := tensor.NewMat(len(ids), e.Dim)
+	out := tp.NewMat(len(ids), e.Dim)
 	for r, id := range ids {
 		if id < 0 || id >= e.Table.W.Rows {
 			panic(fmt.Sprintf("nn: embedding %s lookup id %d out of range [0,%d)", e.Table.Name, id, e.Table.W.Rows))
 		}
 		copy(out.Row(r), e.Table.W.Row(id))
 	}
-	idsCopy := append([]int(nil), ids...)
 	return tp.Custom(out, true, func(n *tensor.Node) {
-		for r, id := range idsCopy {
+		for r, id := range ids {
 			grow := e.Table.Grad.Row(id)
 			for i, v := range n.Grad.Row(r) {
 				grow[i] += v
@@ -94,16 +95,16 @@ func (l *Linear) ForwardSampled(tp *tensor.Tape, x *tensor.Node, cols []int) *te
 			panic(fmt.Sprintf("nn: ForwardSampled column %d out of range [0,%d)", c, outFull))
 		}
 	}
-	colsCopy := append([]int(nil), cols...)
-	out := tensor.NewMat(batch, len(colsCopy))
+	out := tp.NewMat(batch, len(cols))
 	w := l.W.W
 	bias := l.B.W.Row(0)
 	// Gather the sampled columns into a transposed len(cols)×in scratch so
 	// the dot products below read memory sequentially; the seed kernel's
 	// outFull-strided walk thrashes cache on large vocabulary heads. The
 	// per-element summation order is unchanged, so results are bit-identical.
-	wcols := tensor.NewMat(len(colsCopy), in)
-	for j, c := range colsCopy {
+	// cols must stay unchanged until Backward completes.
+	wcols := tp.NewMat(len(cols), in)
+	for j, c := range cols {
 		wrow := wcols.Row(j)
 		for k := 0; k < in; k++ {
 			wrow[k] = w.Data[k*outFull+c]
@@ -112,8 +113,8 @@ func (l *Linear) ForwardSampled(tp *tensor.Tape, x *tensor.Node, cols []int) *te
 	for b := 0; b < batch; b++ {
 		xrow := x.Val.Row(b)
 		orow := out.Row(b)
-		for j := range colsCopy {
-			s := bias[colsCopy[j]]
+		for j := range cols {
+			s := bias[cols[j]]
 			wrow := wcols.Row(j)
 			for k, xv := range xrow {
 				s += xv * wrow[k]
@@ -129,12 +130,12 @@ func (l *Linear) ForwardSampled(tp *tensor.Tape, x *tensor.Node, cols []int) *te
 		// scatter-add once per (column, k) — same order over the batch as
 		// the strided kernel, so the sums are bit-identical when the
 		// gradient region starts zeroed (it does: Adam clears per step).
-		wgcols := tensor.NewMat(len(colsCopy), in)
+		wgcols := tp.NewMat(len(cols), in)
 		for b := 0; b < batch; b++ {
 			xrow := x.Val.Row(b)
 			xgrow := xg.Row(b)
 			grow := n.Grad.Row(b)
-			for j, c := range colsCopy {
+			for j, c := range cols {
 				g := grow[j]
 				if g == 0 {
 					continue
@@ -148,7 +149,7 @@ func (l *Linear) ForwardSampled(tp *tensor.Tape, x *tensor.Node, cols []int) *te
 				}
 			}
 		}
-		for j, c := range colsCopy {
+		for j, c := range cols {
 			wgrow := wgcols.Row(j)
 			for k, v := range wgrow {
 				if v != 0 {
@@ -166,6 +167,11 @@ type LSTM struct {
 	Wx         *Param // In×4H
 	Wh         *Param // Hidden×4H
 	B          *Param // 1×4H
+
+	// Unfused routes Step through the node-per-op formulation instead of
+	// the fused tensor.LSTMCell kernel. The two paths are bit-identical;
+	// this is a test hook for the differential suite, not a tuning knob.
+	Unfused bool
 }
 
 // NewLSTM creates an LSTM cell with Glorot weights and forget-gate bias 1
@@ -193,11 +199,12 @@ func (l *LSTM) Params() []*Param { return []*Param{l.Wx, l.Wh, l.B} }
 // gradients into its own buffers (see Param.ShadowClone).
 func (l *LSTM) ShadowClone() *LSTM {
 	return &LSTM{
-		In:     l.In,
-		Hidden: l.Hidden,
-		Wx:     l.Wx.ShadowClone(),
-		Wh:     l.Wh.ShadowClone(),
-		B:      l.B.ShadowClone(),
+		In:      l.In,
+		Hidden:  l.Hidden,
+		Wx:      l.Wx.ShadowClone(),
+		Wh:      l.Wh.ShadowClone(),
+		B:       l.B.ShadowClone(),
+		Unfused: l.Unfused,
 	}
 }
 
@@ -207,17 +214,35 @@ type State struct {
 	C *tensor.Node
 }
 
-// ZeroState returns an all-zero initial state for the given batch size.
+// ZeroState returns an all-zero initial state for the given batch size,
+// backed by the tape's arena.
 func (l *LSTM) ZeroState(tp *tensor.Tape, batch int) State {
 	return State{
-		H: tp.Const(tensor.NewMat(batch, l.Hidden)),
-		C: tp.Const(tensor.NewMat(batch, l.Hidden)),
+		H: tp.Const(tp.NewMat(batch, l.Hidden)),
+		C: tp.Const(tp.NewMat(batch, l.Hidden)),
 	}
 }
 
 // Step advances the cell one timestep with input x (batch×In) and the
-// previous state, returning the new state.
+// previous state, returning the new state. The gate projection is three tape
+// nodes; the activations, cell update and hidden output are one fused
+// tensor.LSTMCell node (bit-identical to StepUnfused's node chain).
 func (l *LSTM) Step(tp *tensor.Tape, x *tensor.Node, s State) State {
+	if l.Unfused {
+		return l.StepUnfused(tp, x, s)
+	}
+	gates := tp.AddBias(
+		tp.Add(tp.MatMul(x, l.Wx.Node(tp)), tp.MatMul(s.H, l.Wh.Node(tp))),
+		l.B.Node(tp),
+	)
+	h, c := tp.LSTMCell(gates, s.C)
+	return State{H: h, C: c}
+}
+
+// StepUnfused is the pre-fusion formulation of Step — 4 SliceCols copies, 4
+// activation nodes and 3 element-wise nodes per call. It is kept as the
+// differential-test oracle for the fused kernel.
+func (l *LSTM) StepUnfused(tp *tensor.Tape, x *tensor.Node, s State) State {
 	gates := tp.AddBias(
 		tp.Add(tp.MatMul(x, l.Wx.Node(tp)), tp.MatMul(s.H, l.Wh.Node(tp))),
 		l.B.Node(tp),
@@ -254,7 +279,9 @@ func Dropout(tp *tensor.Tape, x *tensor.Node, keep float32, rng *rand.Rand, trai
 	if keep <= 0 {
 		panic("nn: Dropout keep probability must be positive")
 	}
-	mask := tensor.NewMat(x.Val.Rows, x.Val.Cols)
+	// The mask comes from the tape arena, so each worker reuses one buffer
+	// per shape across steps instead of allocating a fresh Mat per call.
+	mask := tp.NewMat(x.Val.Rows, x.Val.Cols)
 	inv := 1 / keep
 	for i := range mask.Data {
 		if rng.Float32() < keep {

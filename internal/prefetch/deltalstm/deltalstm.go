@@ -82,6 +82,7 @@ type Model struct {
 	head   *nn.Linear
 	params nn.ParamSet
 	rng    *rand.Rand
+	tape   *tensor.Tape // long-lived arena tape, Reset per batch
 
 	lines  []uint64
 	tokens []int // delta token per access
@@ -103,6 +104,7 @@ func Train(tr *trace.Trace, cfg Config) (*Model, error) {
 		deltaID: make(map[int64]int),
 		pcID:    make(map[uint64]int),
 		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		tape:    tensor.NewTape(),
 	}
 
 	// Profile deltas; keep the most frequent MaxDeltaVocab.
@@ -214,7 +216,8 @@ func (m *Model) trainRange(start, end int, opt *nn.Adam) {
 		if len(positions) == 0 {
 			return
 		}
-		tp := tensor.NewTape()
+		tp := m.tape
+		tp.Reset()
 		logits := m.forward(tp, positions)
 		loss, _ := tp.SoftmaxCrossEntropy(logits, targets)
 		tp.Backward(loss)
@@ -246,7 +249,8 @@ func (m *Model) predictRange(start, end int) {
 		for i := t; i < hi; i++ {
 			positions = append(positions, i)
 		}
-		tp := tensor.NewTape()
+		tp := m.tape
+		tp.Reset()
 		logits := m.forward(tp, positions)
 		for b, pos := range positions {
 			m.preds[pos] = m.decodeTopK(m.lines[pos], logits.Val.Row(b))

@@ -1,0 +1,99 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Reset must recycle matrix buffers: the same backing array comes back for a
+// same-size request, possibly reshaped, and NewMat returns it zeroed.
+func TestArenaRecyclesBuffers(t *testing.T) {
+	tp := NewTape()
+	a := tp.NewMat(3, 4)
+	for i := range a.Data {
+		a.Data[i] = float32(i + 1)
+	}
+	tp.Reset()
+	b := tp.NewMat(2, 6) // same element count, different shape
+	if &b.Data[0] != &a.Data[0] {
+		t.Fatalf("expected recycled backing array")
+	}
+	if b.Rows != 2 || b.Cols != 6 {
+		t.Fatalf("reshape failed: %dx%d", b.Rows, b.Cols)
+	}
+	for i, v := range b.Data {
+		if v != 0 {
+			t.Fatalf("recycled matrix not zeroed at %d: %v", i, v)
+		}
+	}
+}
+
+// Buffers of different sizes live on separate freelists.
+func TestArenaSizeKeyedFreelist(t *testing.T) {
+	tp := NewTape()
+	small := tp.NewMat(2, 2)
+	big := tp.NewMat(8, 8)
+	tp.Reset()
+	if got := tp.NewMat(8, 8); &got.Data[0] != &big.Data[0] {
+		t.Fatalf("64-element request did not reuse the 64-element buffer")
+	}
+	if got := tp.NewMat(2, 2); &got.Data[0] != &small.Data[0] {
+		t.Fatalf("4-element request did not reuse the 4-element buffer")
+	}
+}
+
+// A full forward+backward step must stop allocating matrices once the arena
+// is warm: the only steady-state allocations left are the backward closures
+// (one small heap object per recorded op), so the budget is a handful of
+// allocations instead of the hundreds of kilobytes of fresh Mats the
+// pre-arena tape burned per step.
+func TestArenaSteadyStateAllocationFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	x := randMat(rng, 8, 16)
+	w := randMat(rng, 16, 16)
+	grad := NewMat(16, 16)
+	tp := NewTape()
+	step := func() {
+		tp.Reset()
+		grad.Zero()
+		wn := tp.Param(w)
+		wn.Grad = grad
+		y := tp.Tanh(tp.MatMul(tp.Const(x), wn))
+		h, _ := tp.LSTMCell(tp.ConcatCols(y, y, y, y), tp.Const(tp.NewMat(8, 16)))
+		tp.Backward(tp.MeanAll(h))
+	}
+	step() // warm the arena
+	// 5 recorded ops (MatMul, Tanh, ConcatCols, LSTMCell, MeanAll) → 5
+	// closures plus ConcatCols' parents copy; allow a little slack.
+	if allocs := testing.AllocsPerRun(10, step); allocs > 8 {
+		t.Fatalf("steady-state tape step allocates %v times, want ≤8 (closures only)", allocs)
+	}
+}
+
+// Node pointers handed out before more nodes are allocated must stay valid:
+// the node arena grows in chunks, never by reallocating existing storage.
+func TestArenaNodePointerStability(t *testing.T) {
+	tp := NewTape()
+	first := tp.Const(NewMat(1, 1))
+	first.Val.Data[0] = 42
+	for i := 0; i < 10*nodeBlockSize; i++ {
+		tp.Const(NewMat(1, 1))
+	}
+	if first.Val.Data[0] != 42 {
+		t.Fatalf("early node corrupted by arena growth")
+	}
+}
+
+// Leaves are not recorded; recorded count resets with the tape.
+func TestArenaResetClearsRecording(t *testing.T) {
+	tp := NewTape()
+	a := tp.Param(NewMat(2, 2))
+	tp.Tanh(a)
+	if tp.Len() != 1 {
+		t.Fatalf("len=%d, want 1", tp.Len())
+	}
+	tp.Reset()
+	if tp.Len() != 0 {
+		t.Fatalf("len after Reset=%d, want 0", tp.Len())
+	}
+}

@@ -1,0 +1,96 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// unfusedCell replays the node-per-op formulation LSTMCell replaced (the
+// oracle for the differential test below).
+func unfusedCell(tp *Tape, gates, cPrev *Node, hd int) (h, c *Node) {
+	i := tp.Sigmoid(tp.SliceCols(gates, 0, hd))
+	f := tp.Sigmoid(tp.SliceCols(gates, hd, 2*hd))
+	g := tp.Tanh(tp.SliceCols(gates, 2*hd, 3*hd))
+	o := tp.Sigmoid(tp.SliceCols(gates, 3*hd, 4*hd))
+	c = tp.Add(tp.Mul(f, cPrev), tp.Mul(i, g))
+	h = tp.Mul(o, tp.Tanh(c))
+	return h, c
+}
+
+// TestGradLSTMCell numerically verifies the fused cell's backward, including
+// the dual-output path: the loss reads both h and c (as a later timestep
+// would), so h's fused closure must fold the externally accumulated c.Grad in.
+func TestGradLSTMCell(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	const batch, hd = 3, 4
+	x := randMat(rng, batch, 5)
+	w := randMat(rng, 5, 4*hd)
+	b := randMat(rng, 1, 4*hd)
+	cp := randMat(rng, batch, hd)
+	checkGrad(t, "lstm-cell", []*Mat{w, b, cp}, func() (*Tape, *Node, []*Node) {
+		tp := NewTape()
+		wn := tp.Param(w)
+		bn := tp.Param(b)
+		cpn := tp.Param(cp)
+		gates := tp.AddBias(tp.MatMul(tp.Const(x), wn), bn)
+		h, c := tp.LSTMCell(gates, cpn)
+		loss := tp.MeanAll(tp.Add(h, tp.Tanh(c)))
+		return tp, loss, []*Node{wn, bn, cpn}
+	})
+}
+
+// TestLSTMCellMatchesUnfused drives the fused op and the node-per-op oracle
+// on identical inputs and demands bit-identical forward values and input
+// gradients — the house rule the whole PR is built on.
+func TestLSTMCellMatchesUnfused(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	const batch, hd = 5, 7
+	gatesVal := randMat(rng, batch, 4*hd)
+	cpVal := randMat(rng, batch, hd)
+	seed := randMat(rng, batch, hd)  // upstream dL/dh
+	cSeed := randMat(rng, batch, hd) // upstream dL/dc (next timestep)
+
+	run := func(fused bool) (h, c, gGrad, cpGrad *Mat) {
+		tp := NewTape()
+		gates := tp.Param(gatesVal)
+		cPrev := tp.Param(cpVal)
+		var hn, cn *Node
+		if fused {
+			hn, cn = tp.LSTMCell(gates, cPrev)
+		} else {
+			hn, cn = unfusedCell(tp, gates, cPrev, hd)
+		}
+		// Seed both outputs as a surrounding graph would.
+		copy(hn.EnsureGrad().Data, seed.Data)
+		cn.EnsureGrad().AddInPlace(cSeed)
+		tp.BackwardFromSeed()
+		return hn.Val, cn.Val, gates.Grad, cPrev.Grad
+	}
+
+	fh, fc, fg, fcp := run(true)
+	uh, uc, ug, ucp := run(false)
+	cmp := func(name string, a, b *Mat) {
+		t.Helper()
+		for i := range a.Data {
+			if a.Data[i] != b.Data[i] {
+				t.Fatalf("%s[%d]: fused %v vs unfused %v (must be bit-identical)",
+					name, i, a.Data[i], b.Data[i])
+			}
+		}
+	}
+	cmp("h", fh, uh)
+	cmp("c", fc, uc)
+	cmp("dGates", fg, ug)
+	cmp("dCPrev", fcp, ucp)
+}
+
+// The fused cell must reject mismatched shapes.
+func TestLSTMCellShapePanics(t *testing.T) {
+	tp := NewTape()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic for gate/state shape mismatch")
+		}
+	}()
+	tp.LSTMCell(tp.Const(NewMat(2, 12)), tp.Const(NewMat(2, 4)))
+}

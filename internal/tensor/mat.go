@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 )
 
 // Mat is a dense, row-major float32 matrix.
@@ -331,6 +332,98 @@ func MatMulABTrans(dst, a, b *Mat) *Mat {
 	}
 	parallelRows(a.Rows, func(lo, hi int) { matMulABTransRange(dst, a, b, lo, hi) })
 	return dst
+}
+
+// MatMulABTransAcc computes dst += a·bᵀ in place — the input-gradient update
+// dx += dy·Wᵀ. The kernel accumulates each dot product in registers and adds
+// it to dst once, so the result is bit-identical to the former
+// tmp = a·bᵀ; dst += tmp formulation while allocating nothing.
+func MatMulABTransAcc(dst, a, b *Mat) {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulABTransAcc col mismatch %s vs %s", a.shape(), b.shape()))
+	}
+	if dst.Rows != a.Rows || dst.Cols != b.Rows {
+		panic("tensor: MatMulABTransAcc dst shape mismatch")
+	}
+	work := a.Rows * a.Cols * b.Rows
+	if work < parallelThreshold {
+		matMulABTransRange(dst, a, b, 0, a.Rows)
+		return
+	}
+	parallelRows(a.Rows, func(lo, hi int) { matMulABTransRange(dst, a, b, lo, hi) })
+}
+
+// tileScratch recycles the per-goroutine accumulation tiles used by
+// MatMulATransBAcc. The pool holds *[]float32 containers (not bare slices)
+// so Get/Put stay allocation-free in steady state.
+var tileScratch = sync.Pool{New: func() any { s := []float32(nil); return &s }}
+
+// MatMulATransBAcc computes dst += aᵀ·b in place — the weight-gradient
+// update dW += xᵀ·dy. The ATransB kernel accumulates into memory across input
+// rows, so adding straight into a non-zero dst would fold dst's prior value
+// into the partial sums and change the float32 result; instead each
+// kernelKTile-row tile accumulates in a pooled scratch buffer (same
+// per-element order as a zeroed tmp) and is added to dst once, keeping the
+// result bit-identical to tmp = aᵀ·b; dst += tmp with zero allocations.
+func MatMulATransBAcc(dst, a, b *Mat) {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulATransBAcc row mismatch %s vs %s", a.shape(), b.shape()))
+	}
+	if dst.Rows != a.Cols || dst.Cols != b.Cols {
+		panic("tensor: MatMulATransBAcc dst shape mismatch")
+	}
+	work := a.Rows * a.Cols * b.Cols
+	if work < parallelThreshold {
+		matMulATransBAccRange(dst, a, b, 0, a.Cols)
+		return
+	}
+	parallelRows(a.Cols, func(lo, hi int) { matMulATransBAccRange(dst, a, b, lo, hi) })
+}
+
+func matMulATransBAccRange(dst, a, b *Mat, lo, hi int) {
+	n := b.Cols
+	tileRows := kernelKTile
+	if hi-lo < tileRows {
+		tileRows = hi - lo
+	}
+	sp := tileScratch.Get().(*[]float32)
+	scratch := *sp
+	if cap(scratch) < tileRows*n {
+		scratch = make([]float32, tileRows*n)
+	}
+	for t0 := lo; t0 < hi; t0 += kernelKTile {
+		t1 := t0 + kernelKTile
+		if t1 > hi {
+			t1 = hi
+		}
+		tile := scratch[:(t1-t0)*n]
+		for i := range tile {
+			tile[i] = 0
+		}
+		for i := 0; i < a.Rows; i++ {
+			arow := a.Row(i)
+			brow := b.Row(i)
+			for k := t0; k < t1; k++ {
+				av := arow[k]
+				if av == 0 {
+					continue
+				}
+				srow := tile[(k-t0)*n : (k-t0)*n+n]
+				for j, bv := range brow {
+					srow[j] += av * bv
+				}
+			}
+		}
+		for k := t0; k < t1; k++ {
+			drow := dst.Data[k*n : k*n+n]
+			srow := tile[(k-t0)*n : (k-t0)*n+n]
+			for j, v := range srow {
+				drow[j] += v
+			}
+		}
+	}
+	*sp = scratch
+	tileScratch.Put(sp)
 }
 
 // matMulABTransRange computes four dot products per pass of arow (a 1×4

@@ -49,8 +49,11 @@ func (t *Tape) SoftmaxCrossEntropy(logits *Node, targets []int) (*Node, *Mat) {
 	if len(targets) != logits.Val.Rows {
 		panic(fmt.Sprintf("tensor: SoftmaxCrossEntropy %d targets for %d rows", len(targets), logits.Val.Rows))
 	}
-	probs := SoftmaxRows(logits.Val)
-	loss := NewMat(1, 1)
+	probs := t.getMat(logits.Val.Rows, logits.Val.Cols, false)
+	for r := 0; r < logits.Val.Rows; r++ {
+		softmaxRow(probs.Row(r), logits.Val.Row(r))
+	}
+	loss := t.getMat(1, 1, false)
 	var total float64
 	for r, cls := range targets {
 		if cls < 0 || cls >= logits.Val.Cols {
@@ -108,8 +111,8 @@ func (t *Tape) SigmoidBCEWeighted(logits *Node, positives [][]int, weights [][]f
 		panic("tensor: SigmoidBCEWeighted weights/positives length mismatch")
 	}
 	rows, cols := logits.Val.Rows, logits.Val.Cols
-	probs := NewMat(rows, cols)
-	target := make([]float32, cols)
+	probs := t.getMat(rows, cols, false)
+	target := t.NewMat(1, cols).Data
 	setTargets := func(r int) {
 		for k, c := range positives[r] {
 			if c < 0 || c >= cols {
@@ -174,7 +177,7 @@ func (t *Tape) SigmoidBCEWeighted(logits *Node, positives [][]int, weights [][]f
 		clearTargets(r)
 	}
 	n := float32(rows * cols)
-	loss := NewMat(1, 1)
+	loss := t.getMat(1, 1, false)
 	loss.Data[0] = float32(total) / n
 	out := t.newNode(loss, func(nd *Node) {
 		if !logits.requiresGrad {
@@ -218,9 +221,9 @@ func (t *Tape) MoEAttention(query, experts *Node, scale float32) (*Node, *Mat) {
 		panic(fmt.Sprintf("tensor: MoEAttention expert width %d not a multiple of query width %d", experts.Val.Cols, d))
 	}
 	n := experts.Val.Cols / d
-	weights := NewMat(b, n)
-	scores := NewMat(b, n)
-	out := NewMat(b, d)
+	weights := t.getMat(b, n, false)
+	scores := t.getMat(b, n, false)
+	out := t.NewMat(b, d)
 	for r := 0; r < b; r++ {
 		q := query.Val.Row(r)
 		e := experts.Val.Row(r)
@@ -250,6 +253,8 @@ func (t *Tape) MoEAttention(query, experts *Node, scale float32) (*Node, *Mat) {
 		// dL/dq   = Σ_s (dL/dscore_s)·f·k_s
 		qGrad := query.requiresGrad
 		eGrad := experts.requiresGrad
+		dA := t.getMat(1, n, false).Data
+		dScore := t.getMat(1, n, false).Data
 		for r := 0; r < b; r++ {
 			gout := nd.Grad.Row(r)
 			wrow := weights.Row(r)
@@ -257,7 +262,6 @@ func (t *Tape) MoEAttention(query, experts *Node, scale float32) (*Node, *Mat) {
 			q := query.Val.Row(r)
 
 			// dL/da_s = dot(gout, k_s)
-			dA := make([]float32, n)
 			for s := 0; s < n; s++ {
 				chunk := e[s*d : (s+1)*d]
 				var dot float32
@@ -271,7 +275,6 @@ func (t *Tape) MoEAttention(query, experts *Node, scale float32) (*Node, *Mat) {
 			for s := 0; s < n; s++ {
 				inner += wrow[s] * dA[s]
 			}
-			dScore := make([]float32, n)
 			for s := 0; s < n; s++ {
 				dScore[s] = wrow[s] * (dA[s] - inner) * scale
 			}

@@ -3,22 +3,32 @@ package tensor
 import "fmt"
 
 // Node is a value in the autodiff graph: a matrix plus (lazily allocated)
-// gradient storage and a backward closure.
+// gradient storage and a backward closure. Nodes are arena-allocated by
+// their Tape: a node (and any matrix it references that came from
+// Tape.NewMat) is only valid until the tape's next Reset.
 type Node struct {
 	Val  *Mat
 	Grad *Mat
 
 	requiresGrad bool
-	back         func()
+	tape         *Tape
+	back         func(n *Node)
 }
 
 // RequiresGrad reports whether gradients flow into this node.
 func (n *Node) RequiresGrad() bool { return n.requiresGrad }
 
-// ensureGrad allocates the gradient matrix on first use.
+// ensureGrad allocates the gradient matrix on first use. Gradients for
+// tape-owned nodes come from the tape's arena so they are recycled on Reset;
+// parameter nodes have their Grad assigned externally and are never
+// arena-managed.
 func (n *Node) ensureGrad() *Mat {
 	if n.Grad == nil {
-		n.Grad = NewMat(n.Val.Rows, n.Val.Cols)
+		if n.tape != nil {
+			n.Grad = n.tape.NewMat(n.Val.Rows, n.Val.Cols)
+		} else {
+			n.Grad = NewMat(n.Val.Rows, n.Val.Cols)
+		}
 	}
 	return n.Grad
 }
@@ -27,29 +37,99 @@ func (n *Node) ensureGrad() *Mat {
 // nn builds fused ops via Tape.Custom and must write input gradients).
 func (n *Node) EnsureGrad() *Mat { return n.ensureGrad() }
 
+// nodeBlockSize is the node-arena chunk size. Chunks are never reallocated,
+// so node pointers stay valid for the lifetime of the tape; Reset just
+// rewinds the cursor and reuses the same chunks.
+const nodeBlockSize = 256
+
 // Tape records differentiable operations in execution order so Backward can
-// replay them in reverse. A Tape is not safe for concurrent use; build one
-// per training step (or Reset between steps).
+// replay them in reverse. A Tape is not safe for concurrent use; keep one
+// long-lived tape per worker and Reset it between steps.
+//
+// The tape doubles as a memory arena: NewMat hands out matrices from a
+// freelist keyed by element count, and Reset recycles every node, value and
+// gradient matrix allocated since the previous Reset. After warmup a
+// steady-state forward+backward pass performs no matrix allocations.
 type Tape struct {
 	nodes []*Node
+
+	// Node arena: fixed-size chunks with a cursor, rewound on Reset.
+	blocks  [][]Node
+	nodeCur int
+
+	// Matrix arena: free holds recycled matrices by element count; used
+	// tracks every matrix handed out since the last Reset.
+	free map[int][]*Mat
+	used []*Mat
 }
 
 // NewTape returns an empty tape.
 func NewTape() *Tape { return &Tape{} }
 
-// Reset discards all recorded operations, retaining capacity.
-func (t *Tape) Reset() { t.nodes = t.nodes[:0] }
+// Reset discards all recorded operations and recycles every arena matrix
+// handed out since the previous Reset, retaining capacity. Nodes and
+// matrices obtained from this tape must not be used after Reset.
+func (t *Tape) Reset() {
+	t.nodes = t.nodes[:0]
+	t.nodeCur = 0
+	if len(t.used) > 0 && t.free == nil {
+		t.free = make(map[int][]*Mat)
+	}
+	for _, m := range t.used {
+		t.free[len(m.Data)] = append(t.free[len(m.Data)], m)
+	}
+	t.used = t.used[:0]
+}
 
 // Len returns the number of recorded nodes.
 func (t *Tape) Len() int { return len(t.nodes) }
 
+// NewMat returns a zeroed rows×cols matrix owned by the tape's arena: it is
+// recycled (and its contents invalidated) by the next Reset. Freelist
+// entries are keyed by element count, so a recycled buffer may be reshaped.
+func (t *Tape) NewMat(rows, cols int) *Mat { return t.getMat(rows, cols, true) }
+
+// getMat is NewMat with an optional zeroing pass; ops that overwrite every
+// element skip it. Fresh allocations are already zeroed by the runtime.
+func (t *Tape) getMat(rows, cols int, zero bool) *Mat {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: invalid shape %dx%d", rows, cols))
+	}
+	if list := t.free[rows*cols]; len(list) > 0 {
+		m := list[len(list)-1]
+		t.free[rows*cols] = list[:len(list)-1]
+		m.Rows, m.Cols = rows, cols
+		if zero {
+			m.Zero()
+		}
+		t.used = append(t.used, m)
+		return m
+	}
+	m := NewMat(rows, cols)
+	t.used = append(t.used, m)
+	return m
+}
+
+// allocNode hands out the next node from the arena, zeroed and bound to t.
+func (t *Tape) allocNode() *Node {
+	bi, off := t.nodeCur/nodeBlockSize, t.nodeCur%nodeBlockSize
+	if bi == len(t.blocks) {
+		t.blocks = append(t.blocks, make([]Node, nodeBlockSize))
+	}
+	t.nodeCur++
+	n := &t.blocks[bi][off]
+	*n = Node{tape: t}
+	return n
+}
+
 // Leaf wraps an existing matrix as a graph input. If requiresGrad is true
 // (parameters), gradients accumulate into node.Grad; otherwise the node is a
-// constant (data inputs).
+// constant (data inputs). Leaves carry no backward closure and are not
+// recorded, so Len() counts only backprop-relevant operations.
 func (t *Tape) Leaf(m *Mat, requiresGrad bool) *Node {
-	n := &Node{Val: m, requiresGrad: requiresGrad}
-	// Leaves carry no backward closure and need not be recorded, but
-	// recording them keeps Len() meaningful for tests.
+	n := t.allocNode()
+	n.Val = m
+	n.requiresGrad = requiresGrad
 	return n
 }
 
@@ -69,9 +149,11 @@ func (t *Tape) newNode(val *Mat, back func(n *Node), parents ...*Node) *Node {
 			break
 		}
 	}
-	n := &Node{Val: val, requiresGrad: req}
+	n := t.allocNode()
+	n.Val = val
+	n.requiresGrad = req
 	if req && back != nil {
-		n.back = func() { back(n) }
+		n.back = back
 		t.nodes = append(t.nodes, n)
 	}
 	return n
@@ -97,9 +179,7 @@ func (t *Tape) backwardFrom() {
 		if n.Grad == nil {
 			continue // no gradient flowed into this node
 		}
-		if n.back != nil {
-			n.back()
-		}
+		n.back(n)
 	}
 }
 
@@ -109,9 +189,11 @@ func (t *Tape) backwardFrom() {
 // (e.g. scatter-adds into an embedding table). Used by package nn for ops
 // that do not fit the Mat-in/Mat-out mold.
 func (t *Tape) Custom(val *Mat, requiresGrad bool, back func(out *Node)) *Node {
-	n := &Node{Val: val, requiresGrad: requiresGrad}
+	n := t.allocNode()
+	n.Val = val
+	n.requiresGrad = requiresGrad
 	if requiresGrad && back != nil {
-		n.back = func() { back(n) }
+		n.back = back
 		t.nodes = append(t.nodes, n)
 	}
 	return n
@@ -123,7 +205,8 @@ func (t *Tape) Custom(val *Mat, requiresGrad bool, back func(out *Node)) *Node {
 
 // MatMul returns a·b.
 func (t *Tape) MatMul(a, b *Node) *Node {
-	out := MatMul(nil, a.Val, b.Val)
+	out := t.getMat(a.Val.Rows, b.Val.Cols, false)
+	MatMul(out, a.Val, b.Val)
 	return t.newNode(out, func(n *Node) {
 		if a.requiresGrad {
 			MatMulABTransAcc(a.ensureGrad(), n.Grad, b.Val)
@@ -139,7 +222,8 @@ func (t *Tape) Add(a, b *Node) *Node {
 	if !a.Val.SameShape(b.Val) {
 		panic(fmt.Sprintf("tensor: Add shape mismatch %s vs %s", a.Val.shape(), b.Val.shape()))
 	}
-	out := a.Val.Clone()
+	out := t.getMat(a.Val.Rows, a.Val.Cols, false)
+	copy(out.Data, a.Val.Data)
 	out.AddInPlace(b.Val)
 	return t.newNode(out, func(n *Node) {
 		if a.requiresGrad {
@@ -156,7 +240,8 @@ func (t *Tape) AddBias(a, bias *Node) *Node {
 	if bias.Val.Rows != 1 || bias.Val.Cols != a.Val.Cols {
 		panic(fmt.Sprintf("tensor: AddBias bias %s incompatible with %s", bias.Val.shape(), a.Val.shape()))
 	}
-	out := a.Val.Clone()
+	out := t.getMat(a.Val.Rows, a.Val.Cols, false)
+	copy(out.Data, a.Val.Data)
 	brow := bias.Val.Row(0)
 	for r := 0; r < out.Rows; r++ {
 		row := out.Row(r)
@@ -185,7 +270,7 @@ func (t *Tape) Mul(a, b *Node) *Node {
 	if !a.Val.SameShape(b.Val) {
 		panic(fmt.Sprintf("tensor: Mul shape mismatch %s vs %s", a.Val.shape(), b.Val.shape()))
 	}
-	out := NewMat(a.Val.Rows, a.Val.Cols)
+	out := t.getMat(a.Val.Rows, a.Val.Cols, false)
 	for i, v := range a.Val.Data {
 		out.Data[i] = v * b.Val.Data[i]
 	}
@@ -207,8 +292,10 @@ func (t *Tape) Mul(a, b *Node) *Node {
 
 // Scale returns s*a.
 func (t *Tape) Scale(a *Node, s float32) *Node {
-	out := a.Val.Clone()
-	out.ScaleInPlace(s)
+	out := t.getMat(a.Val.Rows, a.Val.Cols, false)
+	for i, v := range a.Val.Data {
+		out.Data[i] = v * s
+	}
 	return t.newNode(out, func(n *Node) {
 		if a.requiresGrad {
 			a.ensureGrad().AxpyInPlace(s, n.Grad)
@@ -218,7 +305,7 @@ func (t *Tape) Scale(a *Node, s float32) *Node {
 
 // Sigmoid returns 1/(1+e^-a) element-wise.
 func (t *Tape) Sigmoid(a *Node) *Node {
-	out := NewMat(a.Val.Rows, a.Val.Cols)
+	out := t.getMat(a.Val.Rows, a.Val.Cols, false)
 	for i, v := range a.Val.Data {
 		out.Data[i] = sigmoid32(v)
 	}
@@ -235,7 +322,7 @@ func (t *Tape) Sigmoid(a *Node) *Node {
 
 // Tanh returns tanh(a) element-wise.
 func (t *Tape) Tanh(a *Node) *Node {
-	out := NewMat(a.Val.Rows, a.Val.Cols)
+	out := t.getMat(a.Val.Rows, a.Val.Cols, false)
 	for i, v := range a.Val.Data {
 		out.Data[i] = tanh32(v)
 	}
@@ -252,10 +339,12 @@ func (t *Tape) Tanh(a *Node) *Node {
 
 // ReLU returns max(0, a) element-wise.
 func (t *Tape) ReLU(a *Node) *Node {
-	out := NewMat(a.Val.Rows, a.Val.Cols)
+	out := t.getMat(a.Val.Rows, a.Val.Cols, false)
 	for i, v := range a.Val.Data {
 		if v > 0 {
 			out.Data[i] = v
+		} else {
+			out.Data[i] = 0
 		}
 	}
 	return t.newNode(out, func(n *Node) {
@@ -284,7 +373,7 @@ func (t *Tape) ConcatCols(nodes ...*Node) *Node {
 		}
 		total += nd.Val.Cols
 	}
-	out := NewMat(rows, total)
+	out := t.getMat(rows, total, false)
 	off := 0
 	for _, nd := range nodes {
 		c := nd.Val.Cols
@@ -318,7 +407,7 @@ func (t *Tape) SliceCols(a *Node, lo, hi int) *Node {
 	if lo < 0 || hi > a.Val.Cols || lo >= hi {
 		panic(fmt.Sprintf("tensor: SliceCols [%d,%d) of %s", lo, hi, a.Val.shape()))
 	}
-	out := NewMat(a.Val.Rows, hi-lo)
+	out := t.getMat(a.Val.Rows, hi-lo, false)
 	for r := 0; r < a.Val.Rows; r++ {
 		copy(out.Row(r), a.Val.Row(r)[lo:hi])
 	}
@@ -335,6 +424,119 @@ func (t *Tape) SliceCols(a *Node, lo, hi int) *Node {
 	}, a)
 }
 
+// LSTMCell is the fused LSTM cell update: given the pre-activation gate
+// matrix (batch×4H, gate layout [input, forget, cell, output]) and the
+// previous cell state cPrev (batch×H), it computes
+//
+//	i = σ(g₀)  f = σ(g₁)  g = tanh(g₂)  o = σ(g₃)
+//	c = f⊙cPrev + i⊙g
+//	h = o⊙tanh(c)
+//
+// in a single pass over the rows, and runs the entire backward in one fused
+// closure. It replaces the 4 SliceCols copies, 4 activation nodes and 3
+// element-wise nodes the unfused formulation records per step; every
+// per-element float32 operation is evaluated in the same order as that node
+// chain, so forward values and gradients are bit-identical to it.
+//
+// The returned c node carries no backward closure of its own: the next
+// timestep accumulates dL/dc into c.Grad, and h's fused backward — which
+// runs before anything recorded earlier — folds it in. Both h and c have
+// their gradient buffers pre-allocated when gradients are required, so the
+// fused backward never sees a nil input.
+func (t *Tape) LSTMCell(gates, cPrev *Node) (h, c *Node) {
+	hd := cPrev.Val.Cols
+	batch := cPrev.Val.Rows
+	if gates.Val.Rows != batch || gates.Val.Cols != 4*hd {
+		panic(fmt.Sprintf("tensor: LSTMCell gates %s incompatible with state %s",
+			gates.Val.shape(), cPrev.Val.shape()))
+	}
+	// acts stores the activated gates in the same [i, f, g, o] layout; tc
+	// stores tanh(c). Both are needed by the fused backward.
+	acts := t.getMat(batch, 4*hd, false)
+	cVal := t.getMat(batch, hd, false)
+	tc := t.getMat(batch, hd, false)
+	hVal := t.getMat(batch, hd, false)
+	for r := 0; r < batch; r++ {
+		grow := gates.Val.Row(r)
+		arow := acts.Row(r)
+		cprow := cPrev.Val.Row(r)
+		crow := cVal.Row(r)
+		tcrow := tc.Row(r)
+		hrow := hVal.Row(r)
+		for j := 0; j < hd; j++ {
+			iv := sigmoid32(grow[j])
+			fv := sigmoid32(grow[hd+j])
+			gv := tanh32(grow[2*hd+j])
+			ov := sigmoid32(grow[3*hd+j])
+			arow[j], arow[hd+j], arow[2*hd+j], arow[3*hd+j] = iv, fv, gv, ov
+			cv := fv*cprow[j] + iv*gv
+			tcv := tanh32(cv)
+			crow[j] = cv
+			tcrow[j] = tcv
+			hrow[j] = ov * tcv
+		}
+	}
+	c = t.allocNode()
+	c.Val = cVal
+	c.requiresGrad = gates.requiresGrad || cPrev.requiresGrad
+	h = t.newNode(hVal, func(n *Node) {
+		dh := n.Grad
+		dc := c.Grad
+		var gg, cpg *Mat
+		if gates.requiresGrad {
+			gg = gates.ensureGrad()
+		}
+		if cPrev.requiresGrad {
+			cpg = cPrev.ensureGrad()
+		}
+		for r := 0; r < batch; r++ {
+			arow := acts.Row(r)
+			tcrow := tc.Row(r)
+			cprow := cPrev.Val.Row(r)
+			dhrow := dh.Row(r)
+			dcrow := dc.Row(r)
+			var ggrow, cpgrow []float32
+			if gg != nil {
+				ggrow = gg.Row(r)
+			}
+			if cpg != nil {
+				cpgrow = cpg.Row(r)
+			}
+			for j := 0; j < hd; j++ {
+				iv, fv, gv, ov := arow[j], arow[hd+j], arow[2*hd+j], arow[3*hd+j]
+				tcv := tcrow[j]
+				hG := dhrow[j]
+				// Same per-element products, in the same order, as the
+				// unfused node chain's backward (Mul → Tanh → Add → Mul×2 →
+				// Sigmoid/Tanh → SliceCols).
+				oG := hG * tcv
+				tcG := hG * ov
+				cG := dcrow[j] + tcG*(1-tcv*tcv)
+				if cpgrow != nil {
+					cpgrow[j] += cG * fv
+				}
+				if ggrow != nil {
+					iG := cG * gv
+					gG := cG * iv
+					fG := cG * cprow[j]
+					ggrow[j] += iG * iv * (1 - iv)
+					ggrow[hd+j] += fG * fv * (1 - fv)
+					ggrow[2*hd+j] += gG * (1 - gv*gv)
+					ggrow[3*hd+j] += oG * ov * (1 - ov)
+				}
+			}
+		}
+	}, gates, cPrev)
+	if h.requiresGrad {
+		// Pre-allocate both output gradients (zeroed, like the lazily
+		// ensured buffers of the unfused chain) so the fused backward can
+		// read dc unconditionally even when the last timestep's c is unused.
+		h.ensureGrad()
+		c.ensureGrad()
+	}
+	return h, c
+}
+
 // DropoutMask applies a precomputed inverted-dropout mask (entries are 0 or
 // 1/keep). The mask is supplied by the caller so randomness stays outside
 // the tape and tests remain deterministic.
@@ -342,7 +544,7 @@ func (t *Tape) DropoutMask(a *Node, mask *Mat) *Node {
 	if !a.Val.SameShape(mask) {
 		panic("tensor: DropoutMask shape mismatch")
 	}
-	out := NewMat(a.Val.Rows, a.Val.Cols)
+	out := t.getMat(a.Val.Rows, a.Val.Cols, false)
 	for i, v := range a.Val.Data {
 		out.Data[i] = v * mask.Data[i]
 	}
@@ -358,7 +560,7 @@ func (t *Tape) DropoutMask(a *Node, mask *Mat) *Node {
 
 // MeanAll returns the scalar mean of all elements (1×1 node).
 func (t *Tape) MeanAll(a *Node) *Node {
-	out := NewMat(1, 1)
+	out := t.getMat(1, 1, false)
 	var s float64
 	for _, v := range a.Val.Data {
 		s += float64(v)
@@ -378,7 +580,7 @@ func (t *Tape) MeanAll(a *Node) *Node {
 
 // SumAll returns the scalar sum of all elements (1×1 node).
 func (t *Tape) SumAll(a *Node) *Node {
-	out := NewMat(1, 1)
+	out := t.getMat(1, 1, false)
 	var s float64
 	for _, v := range a.Val.Data {
 		s += float64(v)
@@ -393,16 +595,4 @@ func (t *Tape) SumAll(a *Node) *Node {
 			}
 		}
 	}, a)
-}
-
-// MatMulABTransAcc computes dst += a·bᵀ (gradient helper).
-func MatMulABTransAcc(dst, a, b *Mat) {
-	tmp := MatMulABTrans(nil, a, b)
-	dst.AddInPlace(tmp)
-}
-
-// MatMulATransBAcc computes dst += aᵀ·b (gradient helper).
-func MatMulATransBAcc(dst, a, b *Mat) {
-	tmp := MatMulATransB(nil, a, b)
-	dst.AddInPlace(tmp)
 }

@@ -1,0 +1,43 @@
+package voyager
+
+import (
+	"testing"
+)
+
+// Steady-state allocation budgets for the hot path. Before the tape arena a
+// FastConfig TrainBatch burned thousands of allocations per step (fresh Mats
+// for every op's value and gradient); with the arena the remainder is the
+// per-op backward closures plus a few result slices, measured at ~144
+// (train) and ~130 (predict) at one worker. The budgets below leave ~70%
+// headroom — they exist to catch a regression that reintroduces per-step
+// matrix allocation (which would blow the budget by an order of magnitude),
+// not to pin exact closure counts.
+func TestSteadyStateAllocBudget(t *testing.T) {
+	cycle := []uint64{0x10<<6 | 5, 0x22<<6 | 61, 0x15<<6 | 0, 0x9<<6 | 33}
+	tr := cyclicTrace(cycle, 300)
+	for _, tc := range []struct {
+		workers        int
+		train, predict float64
+	}{
+		{workers: 1, train: 250, predict: 220},
+		{workers: 4, train: 700, predict: 650},
+	} {
+		cfg := FastConfig()
+		cfg.Workers = tc.workers
+		h, err := NewBenchHarness(tr, cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", tc.workers, err)
+		}
+		// Warm the arenas: first steps grow freelists and scratch buffers.
+		for i := 0; i < 3; i++ {
+			h.TrainStep()
+			h.PredictStep()
+		}
+		if got := testing.AllocsPerRun(10, func() { h.TrainStep() }); got > tc.train {
+			t.Errorf("workers=%d: TrainStep allocates %v/op, budget %v", tc.workers, got, tc.train)
+		}
+		if got := testing.AllocsPerRun(10, func() { h.PredictStep() }); got > tc.predict {
+			t.Errorf("workers=%d: PredictStep allocates %v/op, budget %v", tc.workers, got, tc.predict)
+		}
+	}
+}

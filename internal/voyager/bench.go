@@ -40,7 +40,7 @@ func NewBenchHarness(tr *trace.Trace, cfg Config) (*BenchHarness, error) {
 	h := &BenchHarness{
 		p:                p,
 		opt:              nn.NewAdam(cfg.LearningRate),
-		seqs:             p.buildBatch(positions),
+		seqs:             cloneBatch(p.buildBatch(positions)),
 		pagePos:          make([][]int, len(positions)),
 		offPos:           make([][]int, len(positions)),
 		pageW:            make([][]float32, len(positions)),
@@ -51,6 +51,21 @@ func NewBenchHarness(tr *trace.Trace, cfg Config) (*BenchHarness, error) {
 		h.pagePos[b], h.offPos[b], h.pageW[b], h.offW[b] = p.labelTokens(pos)
 	}
 	return h, nil
+}
+
+// cloneBatch deep-copies a batch: buildBatch returns the predictor's
+// reusable scratch, and the harness must keep its minibatch stable across
+// arbitrarily many steps.
+func cloneBatch(seqs []batchToken) []batchToken {
+	out := make([]batchToken, len(seqs))
+	for i, s := range seqs {
+		out[i] = batchToken{
+			pc:   append([]int(nil), s.pc...),
+			page: append([]int(nil), s.page...),
+			off:  append([]int(nil), s.off...),
+		}
+	}
+	return out
 }
 
 // BatchRows returns the number of rows in the prepared minibatch.

@@ -97,6 +97,12 @@ type Config struct {
 	// trigger (§5.2 "Higher Degree Prefetching").
 	Degree int
 
+	// UnfusedLSTM routes both LSTMs through the node-per-op Step formulation
+	// instead of the fused tensor.LSTMCell kernel. The two paths are
+	// bit-identical; this is a test/debug hook for the differential suite,
+	// not a tuning knob.
+	UnfusedLSTM bool
+
 	// Workers is the data-parallel width of TrainBatch/PredictBatch: each
 	// minibatch is cut into Workers contiguous shards that run forward and
 	// backward concurrently, each on its own gradient buffer and RNG stream

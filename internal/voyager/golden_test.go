@@ -1,0 +1,67 @@
+package voyager
+
+import (
+	"testing"
+)
+
+// Golden fixed-seed outputs captured from the pre-arena, pre-fusion
+// implementation (commit bc334f1). The arena tape, the fused LSTM cell and
+// the in-place gradient kernels are all required to preserve per-element
+// float32 operation order, so end-to-end training must stay bit-identical:
+// same epoch losses, same predictions, at every worker count.
+var goldenLosses = map[int][]float32{
+	1: {0.19748633, 0.18969719, 0.18703955, 0.18488663},
+	4: {0.19796471, 0.19005823, 0.18713123, 0.1853421},
+}
+
+const goldenPredHash = uint64(0x841f3e64aba880a3)
+
+func goldenRun(t *testing.T, workers int, unfused bool) ([]float32, uint64) {
+	t.Helper()
+	cycle := []uint64{0x10<<6 | 5, 0x22<<6 | 61, 0x15<<6 | 0, 0x9<<6 | 33,
+		0x30<<6 | 7, 0x11<<6 | 12, 0x28<<6 | 50, 0x3<<6 | 18}
+	tr := cyclicTrace(cycle, 500)
+	cfg := FastConfig()
+	cfg.EpochAccesses = 1000
+	cfg.Workers = workers
+	cfg.UnfusedLSTM = unfused
+	p, err := Train(tr, cfg)
+	if err != nil {
+		t.Fatalf("workers=%d unfused=%v: %v", workers, unfused, err)
+	}
+	var h uint64 = 1469598103934665603
+	for _, preds := range p.Predictions() {
+		for _, a := range preds {
+			h ^= a
+			h *= 1099511628211
+		}
+	}
+	return p.EpochLosses(), h
+}
+
+// TestGoldenEquivalenceFixedSeed locks end-to-end training to the values the
+// pre-optimization implementation produced: epoch losses and the FNV hash of
+// every prediction must match bit-for-bit at 1 and 4 workers, on both the
+// fused and the unfused LSTM path.
+func TestGoldenEquivalenceFixedSeed(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		for _, unfused := range []bool{false, true} {
+			losses, h := goldenRun(t, workers, unfused)
+			want := goldenLosses[workers]
+			if len(losses) != len(want) {
+				t.Fatalf("workers=%d unfused=%v: %d epochs, want %d (losses %v)",
+					workers, unfused, len(losses), len(want), losses)
+			}
+			for i := range want {
+				if losses[i] != want[i] {
+					t.Fatalf("workers=%d unfused=%v: epoch %d loss %v, want %v (bit-identical)",
+						workers, unfused, i, losses[i], want[i])
+				}
+			}
+			if h != goldenPredHash {
+				t.Fatalf("workers=%d unfused=%v: prediction hash %#x, want %#x",
+					workers, unfused, h, goldenPredHash)
+			}
+		}
+	}
+}

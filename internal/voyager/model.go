@@ -38,17 +38,35 @@ type Model struct {
 	// buffers and RNG streams (seeded cfg.Seed+workerID). Built lazily on
 	// the first sharded batch.
 	replicas []*Model
+
+	// tape is this worker's long-lived autodiff tape and memory arena:
+	// trainShard/predictShard Reset it instead of building a fresh tape, so
+	// steady-state steps recycle every node, value and gradient matrix.
+	// Replicas each own theirs, which keeps the arena race-free without
+	// locking.
+	tape *tensor.Tape
+
+	// Scratch buffers reused across batches by samplePageCols and topK;
+	// per-worker like the tape.
+	colOf      map[int]int
+	colsBuf    []int
+	remapBuf   [][]int
+	remapRows  [][]int
+	pageScored []scored
+	offScored  []scored
 }
 
 // NewModel builds a Voyager model for the given vocabulary.
 func NewModel(cfg Config, voc *vocab.Vocab) *Model {
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	m := &Model{cfg: cfg, voc: voc, rng: rng}
+	m := &Model{cfg: cfg, voc: voc, rng: rng, tape: tensor.NewTape()}
 	m.pcEmb = nn.NewEmbedding("emb.pc", voc.PCTokens(), cfg.PCEmbed, rng)
 	m.pageEmb = nn.NewEmbedding("emb.page", voc.PageTokens(), cfg.PageEmbed, rng)
 	m.offEmb = nn.NewEmbedding("emb.offset", vocab.OffsetTokens, cfg.OffsetEmbed(), rng)
 	m.pageLSTM = nn.NewLSTM("lstm.page", cfg.InputDim(), cfg.Hidden, rng)
 	m.offLSTM = nn.NewLSTM("lstm.offset", cfg.InputDim(), cfg.Hidden, rng)
+	m.pageLSTM.Unfused = cfg.UnfusedLSTM
+	m.offLSTM.Unfused = cfg.UnfusedLSTM
 	headIn := cfg.Hidden
 	if cfg.HeadSkip {
 		headIn += cfg.InputDim()
@@ -90,9 +108,10 @@ func (m *Model) workerCount(batch int) int {
 // Seed+id so shards never contend on — or reorder draws from — a shared RNG.
 func (m *Model) newReplica(id int) *Model {
 	r := &Model{
-		cfg: m.cfg,
-		voc: m.voc,
-		rng: rand.New(rand.NewSource(m.cfg.Seed + int64(id))),
+		cfg:  m.cfg,
+		voc:  m.voc,
+		rng:  rand.New(rand.NewSource(m.cfg.Seed + int64(id))),
+		tape: tensor.NewTape(),
 	}
 	r.pcEmb = m.pcEmb.ShadowClone()
 	r.pageEmb = m.pageEmb.ShadowClone()
@@ -259,7 +278,8 @@ func (m *Model) TrainBatch(seqs []batchToken, pagePos, offPos [][]int, pageW, of
 // backward seed (1 for the serial full-batch path, the shard's row fraction
 // when data-parallel) and the unweighted shard loss is returned.
 func (m *Model) trainShard(seqs []batchToken, pagePos, offPos [][]int, pageW, offW [][]float32, seedWeight float32) float32 {
-	tp := tensor.NewTape()
+	tp := m.tape
+	tp.Reset()
 	ph, oh := m.hidden(tp, seqs, true)
 
 	var pageLoss *tensor.Node
@@ -282,9 +302,15 @@ func (m *Model) trainShard(seqs []batchToken, pagePos, offPos [][]int, pageW, of
 
 // samplePageCols builds the sampled column set (all batch positives plus
 // NegSamples random negatives) and remaps the positive token ids into
-// column-local indices.
+// column-local indices. The returned slices are per-worker scratch reused
+// across batches; they stay valid until this worker's next call.
 func (m *Model) samplePageCols(pagePos [][]int) (cols []int, remapped [][]int) {
-	colOf := make(map[int]int)
+	if m.colOf == nil {
+		m.colOf = make(map[int]int)
+	}
+	colOf := m.colOf
+	clear(colOf)
+	cols = m.colsBuf[:0]
 	for _, row := range pagePos {
 		for _, tok := range row {
 			if _, ok := colOf[tok]; !ok {
@@ -302,14 +328,20 @@ func (m *Model) samplePageCols(pagePos [][]int) (cols []int, remapped [][]int) {
 		colOf[tok] = len(cols)
 		cols = append(cols, tok)
 	}
-	remapped = make([][]int, len(pagePos))
-	for r, row := range pagePos {
-		rr := make([]int, len(row))
-		for k, tok := range row {
-			rr[k] = colOf[tok]
-		}
-		remapped[r] = rr
+	m.colsBuf = cols
+	for len(m.remapRows) < len(pagePos) {
+		m.remapRows = append(m.remapRows, nil)
 	}
+	remapped = m.remapBuf[:0]
+	for r, row := range pagePos {
+		rr := m.remapRows[r][:0]
+		for _, tok := range row {
+			rr = append(rr, colOf[tok])
+		}
+		m.remapRows[r] = rr
+		remapped = append(remapped, rr)
+	}
+	m.remapBuf = remapped
 	return cols, remapped
 }
 
@@ -343,15 +375,17 @@ func (m *Model) PredictBatch(seqs []batchToken, degree int) [][]Candidate {
 
 // predictShard runs inference for one shard of a batch.
 func (m *Model) predictShard(seqs []batchToken, degree int) [][]Candidate {
-	tp := tensor.NewTape()
+	tp := m.tape
+	tp.Reset()
 	ph, oh := m.hidden(tp, seqs, false)
 	pageLogits := m.pageHead.Forward(tp, ph)
 	offLogits := m.offHead.Forward(tp, oh)
 	batch := pageLogits.Val.Rows
 	out := make([][]Candidate, batch)
 	for b := 0; b < batch; b++ {
-		pages := topK(pageLogits.Val.Row(b), degree)
-		offs := topK(offLogits.Val.Row(b), degree)
+		m.pageScored = topKInto(m.pageScored[:0], pageLogits.Val.Row(b), degree)
+		m.offScored = topKInto(m.offScored[:0], offLogits.Val.Row(b), degree)
+		pages, offs := m.pageScored, m.offScored
 		cands := make([]Candidate, 0, len(pages)*len(offs))
 		for _, p := range pages {
 			for _, o := range offs {
@@ -376,12 +410,13 @@ type scored struct {
 	prob float64
 }
 
-// topK returns the k highest-logit entries with sigmoid probabilities.
-func topK(logits []float32, k int) []scored {
+// topKInto returns the k highest-logit entries with sigmoid probabilities,
+// appending into dst (pass dst[:0] to reuse its backing array).
+func topKInto(dst []scored, logits []float32, k int) []scored {
 	if k > len(logits) {
 		k = len(logits)
 	}
-	best := make([]scored, 0, k)
+	best := dst
 	for i, v := range logits {
 		p := float64(v) // rank by logit; convert to prob lazily below
 		if len(best) < k {

@@ -23,6 +23,16 @@ type Predictor struct {
 	preds      [][]uint64 // per access: predicted line-aligned byte addrs
 	epochLoss  []float32
 	numTrained int
+
+	// Batch-assembly scratch reused across batches: the sequence buffers and
+	// the per-row label slices are allocated once and recycled, so steady-
+	// state training allocates nothing here (same pattern as the predictRange
+	// seen-map hoist).
+	seqBuf                []batchToken
+	pagePosBuf, offPosBuf [][]int
+	pageWBuf, offWBuf     [][]float32
+	scanPage, scanOff     []int
+	scanPageW, scanOffW   []float32
 }
 
 type tok struct {
@@ -98,15 +108,19 @@ func newPredictor(tr *trace.Trace, cfg Config) (*Predictor, error) {
 }
 
 // buildBatch assembles the token sequences for the given trigger positions.
+// The returned batch aliases per-predictor scratch reused across calls: it
+// stays valid until the next buildBatch on this predictor (callers that need
+// a stable copy, like the bench harness, must clone it).
 func (p *Predictor) buildBatch(positions []int) []batchToken {
 	T := p.Cfg.SeqLen
-	seqs := make([]batchToken, T)
+	for len(p.seqBuf) < T {
+		p.seqBuf = append(p.seqBuf, batchToken{})
+	}
+	seqs := p.seqBuf[:T]
 	for s := 0; s < T; s++ {
-		seqs[s] = batchToken{
-			pc:   make([]int, len(positions)),
-			page: make([]int, len(positions)),
-			off:  make([]int, len(positions)),
-		}
+		seqs[s].pc = growInts(seqs[s].pc, len(positions))
+		seqs[s].page = growInts(seqs[s].page, len(positions))
+		seqs[s].off = growInts(seqs[s].off, len(positions))
 	}
 	for b, pos := range positions {
 		for s := 0; s < T; s++ {
@@ -121,6 +135,15 @@ func (p *Predictor) buildBatch(positions []int) []batchToken {
 		}
 	}
 	return seqs
+}
+
+// growInts returns s resized to n elements, reusing its backing array when
+// it is large enough (contents are fully overwritten by the caller).
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
 }
 
 // schemeWeight is the soft BCE target for each labeling scheme. The
@@ -156,6 +179,12 @@ func schemeWeight(s label.Scheme, single bool) float32 {
 // useless) are dropped. A token named by several schemes keeps the largest
 // weight.
 func (p *Predictor) labelTokens(t int) (pagePos, offPos []int, pageW, offW []float32) {
+	return p.labelTokensInto(t, nil, nil, nil, nil)
+}
+
+// labelTokensInto is labelTokens appending into caller-provided slices
+// (pass them length-0 to reuse their backing arrays across triggers).
+func (p *Predictor) labelTokensInto(t int, pagePos, offPos []int, pageW, offW []float32) ([]int, []int, []float32, []float32) {
 	voc := p.Model.Vocab()
 	trigger := p.lines[t]
 	single := len(p.Cfg.Schemes) == 1
@@ -173,6 +202,22 @@ func (p *Predictor) labelTokens(t int) (pagePos, offPos []int, pageW, offW []flo
 		offPos, offW = addWeighted(offPos, offW, oTok, w)
 	}
 	return pagePos, offPos, pageW, offW
+}
+
+// growIntRows / growF32Rows extend a row-slice table to at least n rows,
+// keeping existing rows (and their backing arrays) for reuse.
+func growIntRows(rows [][]int, n int) [][]int {
+	for len(rows) < n {
+		rows = append(rows, nil)
+	}
+	return rows
+}
+
+func growF32Rows(rows [][]float32, n int) [][]float32 {
+	for len(rows) < n {
+		rows = append(rows, nil)
+	}
+	return rows
 }
 
 func addWeighted(toks []int, ws []float32, tok int, w float32) ([]int, []float32) {
@@ -198,12 +243,16 @@ func (p *Predictor) trainRange(start, end int, opt *nn.Adam) float32 {
 			return
 		}
 		seqs := p.buildBatch(positions)
-		pagePos := make([][]int, len(positions))
-		offPos := make([][]int, len(positions))
-		pageW := make([][]float32, len(positions))
-		offW := make([][]float32, len(positions))
+		nb := len(positions)
+		p.pagePosBuf = growIntRows(p.pagePosBuf, nb)
+		p.offPosBuf = growIntRows(p.offPosBuf, nb)
+		p.pageWBuf = growF32Rows(p.pageWBuf, nb)
+		p.offWBuf = growF32Rows(p.offWBuf, nb)
+		pagePos, offPos := p.pagePosBuf[:nb], p.offPosBuf[:nb]
+		pageW, offW := p.pageWBuf[:nb], p.offWBuf[:nb]
 		for b, pos := range positions {
-			pagePos[b], offPos[b], pageW[b], offW[b] = p.labelTokens(pos)
+			pagePos[b], offPos[b], pageW[b], offW[b] = p.labelTokensInto(
+				pos, pagePos[b][:0], offPos[b][:0], pageW[b][:0], offW[b][:0])
 		}
 		loss := p.Model.TrainBatch(seqs, pagePos, offPos, pageW, offW)
 		opt.Step(p.Model.Params().All())
@@ -213,8 +262,9 @@ func (p *Predictor) trainRange(start, end int, opt *nn.Adam) float32 {
 		positions = positions[:0]
 	}
 	for t := start; t < end; t++ {
-		pagePos, _, _, _ := p.labelTokens(t)
-		if len(pagePos) == 0 {
+		p.scanPage, p.scanOff, p.scanPageW, p.scanOffW = p.labelTokensInto(
+			t, p.scanPage[:0], p.scanOff[:0], p.scanPageW[:0], p.scanOffW[:0])
+		if len(p.scanPage) == 0 {
 			continue // nothing learnable at this position
 		}
 		positions = append(positions, t)

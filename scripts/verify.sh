@@ -15,6 +15,10 @@ go vet ./...
 echo "== go test"
 go test ./...
 
+echo "== allocation regression (tape arena steady state)"
+go test -run 'TestSteadyStateAllocBudget' ./internal/voyager/
+go test -run 'TestArenaSteadyStateAllocationFree' ./internal/tensor/
+
 echo "== go test -race (tensor, nn, voyager, trace)"
 go test -race ./internal/tensor/ ./internal/nn/ ./internal/trace/
 # The full voyager suite under -race takes ~10 min of end-to-end training;
