@@ -1,0 +1,74 @@
+// Command vetvoyager runs the project's static-analysis suite — the
+// determinism, arena-lifetime, and float32 invariants the compiler cannot
+// check — over the module and exits non-zero if any finding is not
+// suppressed by a //lint:ignore directive.
+//
+// Usage:
+//
+//	go run ./cmd/vetvoyager ./...
+//	go run ./cmd/vetvoyager internal/tensor internal/nn
+//	go run ./cmd/vetvoyager -q ./...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"voyager/internal/analysis"
+	"voyager/internal/analysis/suite"
+)
+
+func main() {
+	quiet := flag.Bool("q", false, "print only findings, no per-analyzer summary")
+	list := flag.Bool("list", false, "list the analyzers in the suite and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: vetvoyager [-q] [-list] [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "Runs the voyager static-analysis suite (default: ./...).\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := suite.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	loader, err := analysis.NewLoader("")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vetvoyager:", err)
+		os.Exit(2)
+	}
+	pkgs, err := loader.LoadPatterns(flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vetvoyager:", err)
+		os.Exit(2)
+	}
+
+	res := analysis.Run(pkgs, analyzers)
+	for _, d := range res.Findings {
+		fmt.Println(d)
+	}
+	if !*quiet {
+		names := make([]string, 0, len(res.PerCheck))
+		for name := range res.PerCheck {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(os.Stderr, "vetvoyager: %d packages\n", len(pkgs))
+		for _, name := range names {
+			line := fmt.Sprintf("  %-12s %d finding(s)", name, res.PerCheck[name])
+			if n := res.Suppressed[name]; n > 0 {
+				line += fmt.Sprintf(", %d suppressed", n)
+			}
+			fmt.Fprintln(os.Stderr, line)
+		}
+	}
+	if len(res.Findings) > 0 {
+		os.Exit(1)
+	}
+}

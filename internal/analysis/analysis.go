@@ -1,0 +1,148 @@
+// Package analysis is a small, dependency-free static-analysis framework
+// for this module. It exists because the training engine's correctness
+// rests on invariants the Go compiler cannot see:
+//
+//   - bit-identical float32 summation order across worker counts, which a
+//     single `for … range` over a map can silently break;
+//   - tape-arena *tensor.Mat lifetimes — an arena matrix stored in a struct
+//     field outlives Tape.Reset and aliases recycled memory;
+//   - per-worker *rand.Rand streams that must never be shared across
+//     goroutines;
+//   - hot float32 kernels that must not round-trip through float64 outside
+//     a handful of intentional accumulators.
+//
+// The framework deliberately mirrors the shape of golang.org/x/tools'
+// go/analysis (Analyzer, Pass, Report) but is built only on go/parser,
+// go/types and go/importer so the zero-dependency module stays
+// offline-buildable. Analyzers are run by cmd/vetvoyager and by
+// TestAnalyzersCleanOnRepo; findings are suppressed line-by-line with
+//
+//	//lint:ignore <check> <reason>
+//
+// placed on the flagged line or the line directly above it.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	// Name is the check identifier used in diagnostics and in
+	// //lint:ignore directives.
+	Name string
+	// Doc is a one-line description shown by `vetvoyager -help`.
+	Doc string
+	// Run inspects pass.Pkg and reports findings via pass.Reportf.
+	Run func(pass *Pass)
+}
+
+// Pass carries one package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Pkg      *Package
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:     p.Fset.Position(pos),
+		Check:   p.Analyzer.Name,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of e, or nil if unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Pkg.Info.TypeOf(e) }
+
+// ObjectOf returns the object denoted by id (use or def), or nil.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	if o := p.Pkg.Info.Uses[id]; o != nil {
+		return o
+	}
+	return p.Pkg.Info.Defs[id]
+}
+
+// Diagnostic is one finding, positioned for editors ("file:line:col").
+type Diagnostic struct {
+	Pos     token.Position
+	Check   string
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Check, d.Message)
+}
+
+// Result is the outcome of running a suite over a set of packages.
+type Result struct {
+	// Findings are the unsuppressed diagnostics, sorted by position.
+	Findings []Diagnostic
+	// Suppressed counts findings silenced by //lint:ignore directives,
+	// per check name.
+	Suppressed map[string]int
+	// PerCheck counts unsuppressed findings per check name (zero entries
+	// included so callers can print a full scoreboard).
+	PerCheck map[string]int
+}
+
+// Run applies every analyzer to every package (and its external test
+// package, if loaded) and applies //lint:ignore suppression.
+func Run(pkgs []*Package, analyzers []*Analyzer) *Result {
+	res := &Result{
+		Suppressed: make(map[string]int),
+		PerCheck:   make(map[string]int),
+	}
+	for _, a := range analyzers {
+		res.PerCheck[a.Name] = 0
+	}
+	var all []Diagnostic
+	for _, pkg := range pkgs {
+		for _, sub := range []*Package{pkg, pkg.XTest} {
+			if sub == nil {
+				continue
+			}
+			dirs := sub.ignoreDirectives()
+			for _, a := range analyzers {
+				var diags []Diagnostic
+				pass := &Pass{Analyzer: a, Fset: sub.Fset, Pkg: sub, diags: &diags}
+				a.Run(pass)
+				for _, d := range diags {
+					if dirs.suppresses(d) {
+						res.Suppressed[d.Check]++
+						continue
+					}
+					all = append(all, d)
+				}
+			}
+			// Malformed directives are findings themselves: a reasonless
+			// ignore hides a real invariant with no audit trail.
+			all = append(all, dirs.malformed...)
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i].Pos, all[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return all[i].Check < all[j].Check
+	})
+	res.Findings = all
+	for _, d := range all {
+		res.PerCheck[d.Check]++
+	}
+	return res
+}

@@ -1,0 +1,154 @@
+// Package analysistest runs an analyzer over a testdata package and checks
+// its diagnostics against // want "regexp" comments, mirroring the golden
+// style of golang.org/x/tools' analysistest without the dependency.
+package analysistest
+
+import (
+	"go/ast"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"voyager/internal/analysis"
+)
+
+// expectation is one // want "..." pattern with its location.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run loads the package rooted at dir (a path relative to the calling test's
+// directory, e.g. "testdata/src/maporderpkg"), runs the analyzer with
+// //lint:ignore suppression applied, and asserts that the unsuppressed
+// diagnostics exactly match the // want comments.
+//
+// The testdata package is loaded with the synthetic import path "tdpkg/"
+// plus the directory base name, so analyzers that filter by package path
+// should be instantiated with PkgPath(dir) during tests.
+func Run(t *testing.T, a *analysis.Analyzer, dir string) {
+	t.Helper()
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := analysis.NewLoader(abs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.Load(abs, PkgPath(dir))
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	res := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{a})
+
+	var wants []*expectation
+	for _, sub := range []*analysis.Package{pkg, pkg.XTest} {
+		if sub == nil {
+			continue
+		}
+		for _, f := range sub.AllSyntax() {
+			wants = append(wants, collectWants(t, sub, f)...)
+		}
+	}
+
+	for _, d := range res.Findings {
+		if !matchWant(wants, d) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+// PkgPath returns the synthetic import path Run assigns to a testdata
+// directory.
+func PkgPath(dir string) string { return "tdpkg/" + filepath.Base(dir) }
+
+// Findings loads the package at dir and returns the analyzer's
+// unsuppressed diagnostics without checking want comments. Useful for
+// asserting an analyzer stays silent under a different configuration.
+func Findings(t *testing.T, a *analysis.Analyzer, dir string) []analysis.Diagnostic {
+	t.Helper()
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := analysis.NewLoader(abs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.Load(abs, PkgPath(dir))
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	return analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{a}).Findings
+}
+
+func collectWants(t *testing.T, pkg *analysis.Package, f *ast.File) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			rest, ok := strings.CutPrefix(strings.TrimSpace(strings.TrimPrefix(c.Text, "//")), "want ")
+			if !ok {
+				continue
+			}
+			pos := pkg.Fset.Position(c.Pos())
+			for _, pat := range splitQuoted(t, pos.String(), rest) {
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s: bad want pattern %q: %v", pos, pat, err)
+				}
+				out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re})
+			}
+		}
+	}
+	return out
+}
+
+// splitQuoted parses one or more Go-quoted strings: `"a" "b"`.
+func splitQuoted(t *testing.T, pos, s string) []string {
+	t.Helper()
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		if s[0] != '"' {
+			t.Fatalf("%s: want comment must hold quoted patterns, got %q", pos, s)
+		}
+		end := 1
+		for end < len(s) && (s[end] != '"' || s[end-1] == '\\') {
+			end++
+		}
+		if end == len(s) {
+			t.Fatalf("%s: unterminated want pattern %q", pos, s)
+		}
+		pat, err := strconv.Unquote(s[:end+1])
+		if err != nil {
+			t.Fatalf("%s: bad want pattern %s: %v", pos, s[:end+1], err)
+		}
+		out = append(out, pat)
+		s = strings.TrimSpace(s[end+1:])
+	}
+	if len(out) == 0 {
+		t.Fatalf("%s: empty want comment", pos)
+	}
+	return out
+}
+
+func matchWant(wants []*expectation, d analysis.Diagnostic) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}

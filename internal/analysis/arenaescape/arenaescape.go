@@ -1,0 +1,232 @@
+// Package arenaescape flags tape-arena *tensor.Mat values that can outlive
+// Tape.Reset.
+//
+// Matrices handed out by (*tensor.Tape).NewMat are recycled — and their
+// contents invalidated — by the tape's next Reset. Storing one in a struct
+// field or a package-level variable, or returning one from an exported
+// function, lets it escape the reset boundary: the caller ends up aliasing
+// a buffer that a later step will overwrite, which corrupts training
+// silently. The analyzer tracks, per function, which locals hold arena
+// matrices (direct assignment from an arena call, propagated through
+// simple reassignment) and reports the three escape shapes.
+//
+// The tensor package itself — the arena implementation, whose Node structs
+// share the arena's lifetime — is excluded via the skip list.
+package arenaescape
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"voyager/internal/analysis"
+)
+
+const (
+	tensorPkg = "voyager/internal/tensor"
+	tapeType  = "Tape"
+)
+
+// New returns the analyzer. Packages in skip are not analyzed (the arena
+// implementation itself legitimately stores its matrices in tape-owned
+// structures).
+func New(skip ...string) *analysis.Analyzer {
+	skipped := make(map[string]bool, len(skip))
+	for _, s := range skip {
+		skipped[s] = true
+	}
+	return &analysis.Analyzer{
+		Name: "arenaescape",
+		Doc:  "flags tape-arena *tensor.Mat values that can outlive Tape.Reset",
+		Run: func(pass *analysis.Pass) {
+			if pass.Pkg.IsTest || skipped[pass.Pkg.Path] {
+				return
+			}
+			for _, f := range pass.Pkg.Files {
+				for _, decl := range f.Decls {
+					fd, ok := decl.(*ast.FuncDecl)
+					if !ok || fd.Body == nil {
+						continue
+					}
+					checkFunc(pass, fd)
+				}
+			}
+		},
+	}
+}
+
+// isArenaCall reports whether e calls (*tensor.Tape).NewMat.
+func isArenaCall(pass *analysis.Pass, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.ObjectOf(sel.Sel).(*types.Func)
+	if !ok || fn.Name() != "NewMat" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return analysis.IsNamed(sig.Recv().Type(), tensorPkg, tapeType)
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	tainted := make(map[types.Object]bool)
+	derived := func(e ast.Expr) bool {
+		e = ast.Unparen(e)
+		if id, ok := e.(*ast.Ident); ok {
+			return tainted[pass.ObjectOf(id)]
+		}
+		return isArenaCall(pass, e)
+	}
+
+	// Taint pass to fixpoint: locals assigned from arena calls or from
+	// already-tainted locals. Bounded by the taint set growing monotonically.
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				if st.Tok != token.ASSIGN && st.Tok != token.DEFINE {
+					return true
+				}
+				if len(st.Lhs) != len(st.Rhs) {
+					return true
+				}
+				for i, rhs := range st.Rhs {
+					if !derived(rhs) {
+						continue
+					}
+					if id, ok := st.Lhs[i].(*ast.Ident); ok {
+						if obj := pass.ObjectOf(id); obj != nil && !tainted[obj] {
+							tainted[obj] = true
+							changed = true
+						}
+					}
+				}
+			case *ast.ValueSpec:
+				for i, v := range st.Values {
+					if derived(v) && i < len(st.Names) {
+						if obj := pass.ObjectOf(st.Names[i]); obj != nil && !tainted[obj] {
+							tainted[obj] = true
+							changed = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	pkgScope := pass.Pkg.Types.Scope()
+	reportStores := func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			if len(st.Lhs) != len(st.Rhs) {
+				return true
+			}
+			for i, rhs := range st.Rhs {
+				if !derived(rhs) {
+					continue
+				}
+				lhs := ast.Unparen(st.Lhs[i])
+				if sel, ok := lhs.(*ast.SelectorExpr); ok {
+					if v, ok := pass.ObjectOf(sel.Sel).(*types.Var); ok && v.IsField() {
+						if owner := pass.TypeOf(sel.X); owner != nil && !analysis.IsNamed(owner, tensorPkg, "Node") {
+							pass.Reportf(st.Pos(), "arena *tensor.Mat stored into struct field %s: arena matrices are recycled by Tape.Reset and must not outlive it", sel.Sel.Name)
+						}
+						continue
+					}
+				}
+				if root := rootIdent(lhs); root != nil {
+					if obj := pass.ObjectOf(root); obj != nil && obj.Parent() == pkgScope {
+						pass.Reportf(st.Pos(), "arena *tensor.Mat stored into package-level variable %s: arena matrices are recycled by Tape.Reset and must not outlive it", root.Name)
+					}
+				}
+			}
+		case *ast.CompositeLit:
+			t := pass.TypeOf(st)
+			if t == nil {
+				return true
+			}
+			if ptr, ok := t.(*types.Pointer); ok {
+				t = ptr.Elem()
+			}
+			if _, ok := t.Underlying().(*types.Struct); !ok || analysis.IsNamed(t, tensorPkg, "Node") {
+				return true
+			}
+			for _, elt := range st.Elts {
+				v := elt
+				name := ""
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					v = kv.Value
+					if id, ok := kv.Key.(*ast.Ident); ok {
+						name = id.Name
+					}
+				}
+				if derived(v) {
+					pass.Reportf(v.Pos(), "arena *tensor.Mat stored into struct literal field %s: arena matrices are recycled by Tape.Reset and must not outlive it", name)
+				}
+			}
+		}
+		return true
+	}
+	ast.Inspect(fd.Body, reportStores)
+
+	// Returns of arena matrices from the exported API: callers cannot know
+	// the value dies at the next Reset. Returns inside function literals
+	// belong to the closure, not to the declared function.
+	if fd.Name.IsExported() {
+		walkOutsideFuncLits(fd.Body, func(n ast.Node) {
+			ret, ok := n.(*ast.ReturnStmt)
+			if !ok {
+				return
+			}
+			for _, res := range ret.Results {
+				if derived(res) {
+					pass.Reportf(ret.Pos(), "arena *tensor.Mat returned from exported %s: arena matrices are recycled by Tape.Reset and must not outlive it", fd.Name.Name)
+				}
+			}
+		})
+	}
+}
+
+// rootIdent unwraps selectors, index and star expressions to the base
+// identifier of an assignable expression.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// walkOutsideFuncLits visits nodes of body, skipping function literals.
+func walkOutsideFuncLits(body ast.Node, visit func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			visit(n)
+		}
+		return true
+	})
+}

@@ -1,0 +1,20 @@
+package arenaescape_test
+
+import (
+	"testing"
+
+	"voyager/internal/analysis/analysistest"
+	"voyager/internal/analysis/arenaescape"
+)
+
+func TestArenaEscape(t *testing.T) {
+	analysistest.Run(t, arenaescape.New(), "testdata/src/arenapkg")
+}
+
+func TestArenaEscapeSkipsArenaImplementation(t *testing.T) {
+	dir := "testdata/src/arenapkg"
+	a := arenaescape.New(analysistest.PkgPath(dir))
+	if got := analysistest.Findings(t, a, dir); len(got) != 0 {
+		t.Fatalf("expected no findings in skipped package, got %v", got)
+	}
+}

@@ -1,0 +1,82 @@
+// Package arenapkg exercises the arenaescape analyzer against the real
+// tensor arena.
+package arenapkg
+
+import "voyager/internal/tensor"
+
+// Holder is a struct that outlives a training step.
+type Holder struct {
+	M    *tensor.Mat
+	Tape *tensor.Tape
+}
+
+var global *tensor.Mat
+
+func storeInField(h *Holder, tp *tensor.Tape) {
+	m := tp.NewMat(2, 2)
+	h.M = m // want "arena \\*tensor.Mat stored into struct field M"
+}
+
+func storeDirect(h *Holder, tp *tensor.Tape) {
+	h.M = tp.NewMat(2, 2) // want "stored into struct field M"
+}
+
+func storeGlobal(tp *tensor.Tape) {
+	global = tp.NewMat(1, 1) // want "stored into package-level variable global"
+}
+
+func storeViaAlias(tp *tensor.Tape) {
+	a := tp.NewMat(4, 4)
+	b := a
+	global = b // want "stored into package-level variable global"
+}
+
+func literalField(tp *tensor.Tape) {
+	h := &Holder{
+		M: tp.NewMat(2, 2), // want "stored into struct literal field M"
+	}
+	_ = h
+}
+
+// ReturnArena leaks an arena matrix through the exported API.
+func ReturnArena(tp *tensor.Tape) *tensor.Mat {
+	m := tp.NewMat(3, 3)
+	return m // want "arena \\*tensor.Mat returned from exported ReturnArena"
+}
+
+// ReturnClone is the correct way to hand a result to a caller.
+func ReturnClone(tp *tensor.Tape) *tensor.Mat {
+	m := tp.NewMat(3, 3)
+	return m.Clone() // a heap copy owns its storage; not flagged
+}
+
+// returnFromUnexported is tape-internal plumbing: the value stays inside
+// the step, so unexported returns are allowed.
+func returnFromUnexported(tp *tensor.Tape) *tensor.Mat {
+	return tp.NewMat(2, 2)
+}
+
+// ClosureReturnIsLocal returns from a func literal, not from the exported
+// function; the closure dies with the step.
+func ClosureReturnIsLocal(tp *tensor.Tape) {
+	f := func() *tensor.Mat { return tp.NewMat(1, 1) }
+	_ = f()
+}
+
+// HeapMatInField stores a non-arena matrix: tensor.NewMat allocates from
+// the heap and is not recycled by Reset.
+func HeapMatInField(h *Holder) {
+	h.M = tensor.NewMat(2, 2)
+}
+
+// SuppressedStore documents an intentional, Reset-scoped cache.
+func SuppressedStore(h *Holder, tp *tensor.Tape) {
+	//lint:ignore arenaescape holder is reset alongside the tape every step
+	h.M = tp.NewMat(2, 2)
+}
+
+func localUse(tp *tensor.Tape) float32 {
+	m := tp.NewMat(8, 8)
+	m.Fill(1)
+	return m.At(0, 0)
+}

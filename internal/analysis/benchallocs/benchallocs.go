@@ -1,0 +1,81 @@
+// Package benchallocs flags Benchmark functions that never call
+// b.ReportAllocs().
+//
+// The PR-2 allocation-regression harness compares allocs/op across
+// benchmark runs; a benchmark that forgets ReportAllocs silently drops out
+// of that safety net, so a later allocation regression on its path goes
+// unnoticed. The check accepts a ReportAllocs call anywhere inside the
+// benchmark body (including sub-benchmark closures passed to b.Run).
+package benchallocs
+
+import (
+	"go/ast"
+
+	"voyager/internal/analysis"
+)
+
+// New returns the analyzer.
+func New() *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: "benchallocs",
+		Doc:  "flags Benchmark* functions missing b.ReportAllocs()",
+		Run: func(pass *analysis.Pass) {
+			for _, f := range pass.Pkg.AllSyntax() {
+				for _, decl := range f.Decls {
+					fd, ok := decl.(*ast.FuncDecl)
+					if !ok || fd.Body == nil || fd.Recv != nil {
+						continue
+					}
+					if !isBenchmark(fd) {
+						continue
+					}
+					if !callsReportAllocs(fd.Body) {
+						pass.Reportf(fd.Pos(), "%s does not call b.ReportAllocs(): allocs/op stays invisible to the allocation-regression harness", fd.Name.Name)
+					}
+				}
+			}
+		},
+	}
+}
+
+// isBenchmark matches the testing package's definition: a top-level
+// BenchmarkXxx function with a single *testing.B parameter.
+func isBenchmark(fd *ast.FuncDecl) bool {
+	name := fd.Name.Name
+	if len(name) < len("Benchmark") || name[:len("Benchmark")] != "Benchmark" {
+		return false
+	}
+	params := fd.Type.Params
+	if params == nil || len(params.List) != 1 || len(params.List[0].Names) > 1 {
+		return false
+	}
+	star, ok := params.List[0].Type.(*ast.StarExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := star.X.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "B" {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && id.Name == "testing"
+}
+
+func callsReportAllocs(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "ReportAllocs" {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

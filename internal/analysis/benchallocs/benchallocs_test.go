@@ -1,0 +1,12 @@
+package benchallocs_test
+
+import (
+	"testing"
+
+	"voyager/internal/analysis/analysistest"
+	"voyager/internal/analysis/benchallocs"
+)
+
+func TestBenchAllocs(t *testing.T) {
+	analysistest.Run(t, benchallocs.New(), "testdata/src/benchpkg")
+}

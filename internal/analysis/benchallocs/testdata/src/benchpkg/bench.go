@@ -1,0 +1,47 @@
+// Package benchpkg exercises the benchallocs analyzer. The benchmarks
+// live in a plain .go file (testdata is never built by the go tool), but
+// the analyzer also scans real _test.go files.
+package benchpkg
+
+import "testing"
+
+func BenchmarkMissing(b *testing.B) { // want "BenchmarkMissing does not call b.ReportAllocs"
+	for i := 0; i < b.N; i++ {
+		_ = make([]byte, 64)
+	}
+}
+
+func BenchmarkPresent(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = make([]byte, 64)
+	}
+}
+
+func BenchmarkSubBenchmarks(b *testing.B) {
+	b.Run("sub", func(b *testing.B) {
+		b.ReportAllocs() // counts: the call is inside the body
+		for i := 0; i < b.N; i++ {
+			_ = make([]byte, 64)
+		}
+	})
+}
+
+//lint:ignore benchallocs wall-time-only benchmark, allocs tracked elsewhere
+func BenchmarkSuppressed(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = make([]byte, 64)
+	}
+}
+
+// benchmarkHelper is not a Benchmark entry point: not flagged.
+func benchmarkHelper(b *testing.B, n int) {
+	for i := 0; i < b.N; i++ {
+		_ = make([]byte, n)
+	}
+}
+
+// BenchmarkWrongSignature is not runnable by the testing package.
+func BenchmarkWrongSignature(b *testing.B, extra int) {
+	_ = extra
+}

@@ -1,0 +1,182 @@
+// Package f64promote flags float64 arithmetic whose result is truncated
+// back to float32 on hot kernel paths.
+//
+// The tensor package's contract is that kernels evaluate in float32 with a
+// fixed operation order, so results are bit-identical across machines and
+// worker counts. A stray promotion to float64 (a math.* call, or untyped
+// constants forcing float64 arithmetic) followed by a float32() truncation
+// changes rounding — and therefore golden outputs — while usually also
+// costing a scalar conversion per element. Intentional wide accumulators
+// (loss sums, softmax normalizers, the sigmoid/tanh scalar helpers) are
+// exempted by function name via the allowlist, or per line with
+//
+//	//lint:ignore f64promote <why the wide accumulation is intentional>
+//
+// The analyzer taints float64 locals fed by math.* calls, float64
+// arithmetic, or float64 compound assignment, and reports float32(x)
+// conversions whose operand is tainted or is itself float64 arithmetic.
+package f64promote
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"voyager/internal/analysis"
+)
+
+// New returns the analyzer scoped to the given package import paths, with
+// the named functions exempt as intentional wide accumulators.
+func New(pkgs []string, allowFuncs []string) *analysis.Analyzer {
+	inPkgs := make(map[string]bool, len(pkgs))
+	for _, p := range pkgs {
+		inPkgs[p] = true
+	}
+	allowed := make(map[string]bool, len(allowFuncs))
+	for _, f := range allowFuncs {
+		allowed[f] = true
+	}
+	return &analysis.Analyzer{
+		Name: "f64promote",
+		Doc:  "flags float64 arithmetic truncated to float32 on hot kernel paths",
+		Run: func(pass *analysis.Pass) {
+			if pass.Pkg.IsTest || !inPkgs[pass.Pkg.Path] {
+				return
+			}
+			for _, f := range pass.Pkg.Files {
+				for _, decl := range f.Decls {
+					fd, ok := decl.(*ast.FuncDecl)
+					if !ok || fd.Body == nil || allowed[fd.Name.Name] {
+						continue
+					}
+					checkFunc(pass, fd.Body)
+				}
+			}
+		},
+	}
+}
+
+func isFloat64(pass *analysis.Pass, e ast.Expr) bool {
+	t := pass.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Float64
+}
+
+func isArith(op token.Token) bool {
+	switch op {
+	case token.ADD, token.SUB, token.MUL, token.QUO:
+		return true
+	}
+	return false
+}
+
+func isArithAssign(op token.Token) bool {
+	switch op {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		return true
+	}
+	return false
+}
+
+// isMathCall reports whether e calls a math.* function returning float64.
+func isMathCall(pass *analysis.Pass, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkg, ok := pass.ObjectOf(id).(*types.PkgName)
+	if !ok || pkg.Imported().Path() != "math" {
+		return false
+	}
+	return isFloat64(pass, e)
+}
+
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	tainted := make(map[types.Object]bool)
+
+	// derived reports whether e carries a float64 value produced by
+	// arithmetic or a math.* call (directly or via a tainted local).
+	var derived func(e ast.Expr) bool
+	derived = func(e ast.Expr) bool {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return tainted[pass.ObjectOf(x)]
+		case *ast.UnaryExpr:
+			return derived(x.X)
+		case *ast.BinaryExpr:
+			return isArith(x.Op) && isFloat64(pass, x)
+		case *ast.CallExpr:
+			return isMathCall(pass, x)
+		}
+		return false
+	}
+
+	for changed := true; changed; {
+		changed = false
+		taint := func(id *ast.Ident) {
+			if obj := pass.ObjectOf(id); obj != nil && !tainted[obj] {
+				tainted[obj] = true
+				changed = true
+			}
+		}
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				if isArithAssign(st.Tok) && len(st.Lhs) == 1 && isFloat64(pass, st.Lhs[0]) {
+					// s += … on a float64 local is float64 arithmetic.
+					if id, ok := ast.Unparen(st.Lhs[0]).(*ast.Ident); ok {
+						taint(id)
+					}
+					return true
+				}
+				if len(st.Lhs) != len(st.Rhs) {
+					return true
+				}
+				for i, rhs := range st.Rhs {
+					if derived(rhs) {
+						if id, ok := ast.Unparen(st.Lhs[i]).(*ast.Ident); ok {
+							taint(id)
+						}
+					}
+				}
+			case *ast.ValueSpec:
+				for i, v := range st.Values {
+					if derived(v) && i < len(st.Names) {
+						taint(st.Names[i])
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return true
+		}
+		tv, ok := pass.Pkg.Info.Types[call.Fun]
+		if !ok || !tv.IsType() {
+			return true
+		}
+		b, ok := tv.Type.Underlying().(*types.Basic)
+		if !ok || b.Kind() != types.Float32 {
+			return true
+		}
+		if derived(call.Args[0]) {
+			pass.Reportf(call.Pos(), "float64 arithmetic truncated to float32: hot kernels must stay in float32 for bit-identical results; use float32 arithmetic, add the function to the accumulator allowlist, or suppress with //lint:ignore f64promote <reason>")
+		}
+		return true
+	})
+}

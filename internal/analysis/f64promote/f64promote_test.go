@@ -1,0 +1,22 @@
+package f64promote_test
+
+import (
+	"testing"
+
+	"voyager/internal/analysis/analysistest"
+	"voyager/internal/analysis/f64promote"
+)
+
+func TestF64Promote(t *testing.T) {
+	dir := "testdata/src/f64pkg"
+	a := f64promote.New([]string{analysistest.PkgPath(dir)}, []string{"meanAll"})
+	analysistest.Run(t, a, dir)
+}
+
+func TestF64PromoteScopedToHotPackages(t *testing.T) {
+	dir := "testdata/src/f64pkg"
+	a := f64promote.New([]string{"some/other/pkg"}, nil)
+	if got := analysistest.Findings(t, a, dir); len(got) != 0 {
+		t.Fatalf("expected no findings outside hot packages, got %v", got)
+	}
+}

@@ -1,0 +1,52 @@
+// Package f64pkg exercises the f64promote analyzer.
+package f64pkg
+
+import "math"
+
+func truncateMathCall(x float32) float32 {
+	return float32(math.Exp(float64(x))) // want "float64 arithmetic truncated to float32"
+}
+
+func truncateArith(a, b float64) float32 {
+	return float32(a*b + 1) // want "float64 arithmetic truncated to float32"
+}
+
+func taintedLocal(xs []float32) float32 {
+	var s float64
+	for _, v := range xs {
+		s += float64(v) // compound assignment taints the accumulator
+	}
+	return float32(s) // want "float64 arithmetic truncated to float32"
+}
+
+func taintedViaMath(x float64) float32 {
+	e := math.Sqrt(x)
+	y := e
+	return float32(y) // want "float64 arithmetic truncated to float32"
+}
+
+// meanAll is an intentional accumulator, allowlisted by name in the test.
+func meanAll(xs []float32) float32 {
+	var s float64
+	for _, v := range xs {
+		s += float64(v)
+	}
+	return float32(s) / float32(len(xs))
+}
+
+func suppressed(x float32) float32 {
+	//lint:ignore f64promote init-time precision does not affect kernels
+	return float32(math.Sqrt(float64(x)))
+}
+
+func pureWidening(x float32) float64 {
+	return float64(x) // widening without arithmetic is fine
+}
+
+func float32Arith(a, b float32) float32 {
+	return a*b + 1 // stays in float32; not flagged
+}
+
+func plainConversion(x float64) float32 {
+	return float32(x) // no arithmetic was performed in float64
+}

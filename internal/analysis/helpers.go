@@ -1,0 +1,21 @@
+package analysis
+
+import "go/types"
+
+// IsNamed reports whether t (after stripping pointers) is the named type
+// pkgPath.name.
+func IsNamed(t types.Type, pkgPath, name string) bool {
+	for {
+		ptr, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}

@@ -1,0 +1,20 @@
+package analysis
+
+import "testing"
+
+func TestLoaderSmoke(t *testing.T) {
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.LoadPatterns([]string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("only %d packages", len(pkgs))
+	}
+	for _, p := range pkgs {
+		t.Logf("%s (%d files, %d test files, xtest=%v)", p.Path, len(p.Files), len(p.TestFiles), p.XTest != nil)
+	}
+}

@@ -1,0 +1,55 @@
+// Package maporder flags `for … range` over map values in
+// determinism-critical packages.
+//
+// Go randomizes map iteration order, so any map range on a path that feeds
+// float32 summation, vocabulary construction, or label selection makes two
+// identical runs diverge — the exact failure mode Voyager's reproducibility
+// guarantees (bit-identical training at a fixed worker count) cannot
+// tolerate. The fix is to iterate a sorted key slice (see
+// internal/sortkeys); provably order-insensitive loops (e.g. zeroing
+// disjoint rows) may instead carry
+//
+//	//lint:ignore maporder <why the loop is order-insensitive>
+package maporder
+
+import (
+	"go/ast"
+	"go/types"
+
+	"voyager/internal/analysis"
+)
+
+// New returns the analyzer restricted to the given package import paths.
+func New(critical ...string) *analysis.Analyzer {
+	crit := make(map[string]bool, len(critical))
+	for _, c := range critical {
+		crit[c] = true
+	}
+	return &analysis.Analyzer{
+		Name: "maporder",
+		Doc:  "flags range-over-map in determinism-critical packages",
+		Run: func(pass *analysis.Pass) {
+			// Production invariant: test files (and external test
+			// packages) assert determinism rather than provide it.
+			if pass.Pkg.IsTest || !crit[pass.Pkg.Path] {
+				return
+			}
+			for _, f := range pass.Pkg.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					rs, ok := n.(*ast.RangeStmt)
+					if !ok {
+						return true
+					}
+					t := pass.TypeOf(rs.X)
+					if t == nil {
+						return true
+					}
+					if _, isMap := t.Underlying().(*types.Map); isMap {
+						pass.Reportf(rs.For, "range over map %s: iteration order is nondeterministic in a determinism-critical package; iterate sorted keys (internal/sortkeys) or add //lint:ignore maporder <reason> if provably order-insensitive", types.TypeString(t, types.RelativeTo(pass.Pkg.Types)))
+					}
+					return true
+				})
+			}
+		},
+	}
+}

@@ -1,0 +1,45 @@
+// Package maporderpkg exercises the maporder analyzer.
+package maporderpkg
+
+import "sort"
+
+// Counts is a named map type: ranging it is just as nondeterministic.
+type Counts map[string]int
+
+func rangeOverMaps(freq map[uint64]int, c Counts) int {
+	total := 0
+	for k, v := range freq { // want "range over map map\\[uint64\\]int"
+		total += int(k) + v
+	}
+	for _, v := range c { // want "range over map Counts"
+		total += v
+	}
+	return total
+}
+
+func sortedIteration(freq map[uint64]int) []uint64 {
+	keys := make([]uint64, 0, len(freq))
+	//lint:ignore maporder collecting keys for sorting is order-insensitive
+	for k := range freq {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys { // ranging the sorted slice is fine
+		_ = freq[k]
+	}
+	return keys
+}
+
+func rangeOverSlice(xs []int) int {
+	s := 0
+	for _, v := range xs { // slices keep their order; not flagged
+		s += v
+	}
+	return s
+}
+
+func suppressedTrailing(m map[int]int) {
+	for k := range m { //lint:ignore maporder deleting every key is order-insensitive
+		delete(m, k)
+	}
+}

@@ -1,0 +1,12 @@
+package sharedrand_test
+
+import (
+	"testing"
+
+	"voyager/internal/analysis/analysistest"
+	"voyager/internal/analysis/sharedrand"
+)
+
+func TestSharedRand(t *testing.T) {
+	analysistest.Run(t, sharedrand.New(), "testdata/src/sharedrandpkg")
+}

@@ -1,0 +1,36 @@
+package suite_test
+
+import (
+	"strings"
+	"testing"
+
+	"voyager/internal/analysis"
+	"voyager/internal/analysis/suite"
+)
+
+// TestAnalyzersCleanOnRepo runs the full production suite over the real
+// module and asserts zero unsuppressed diagnostics — the same gate
+// cmd/vetvoyager enforces in scripts/verify.sh, so a finding introduced
+// anywhere in the tree fails `go test ./...` too.
+func TestAnalyzersCleanOnRepo(t *testing.T) {
+	loader, err := analysis.NewLoader("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.LoadPatterns(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("loaded only %d packages; pattern expansion is broken", len(pkgs))
+	}
+	res := analysis.Run(pkgs, suite.Analyzers())
+	if len(res.Findings) > 0 {
+		var b strings.Builder
+		for _, d := range res.Findings {
+			b.WriteString("\n  ")
+			b.WriteString(d.String())
+		}
+		t.Errorf("suite reported %d unsuppressed finding(s) on the repo:%s\n\nfix the code or add a //lint:ignore <check> <reason> directive", len(res.Findings), b.String())
+	}
+}

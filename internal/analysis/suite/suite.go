@@ -1,0 +1,58 @@
+// Package suite assembles the project's analyzer set with its production
+// configuration: which packages are determinism-critical, which are hot
+// float32 kernels, and which functions are intentional wide accumulators.
+// cmd/vetvoyager and TestAnalyzersCleanOnRepo both run exactly this suite,
+// so the CLI and `go test ./...` can never disagree about what is clean.
+package suite
+
+import (
+	"voyager/internal/analysis"
+	"voyager/internal/analysis/arenaescape"
+	"voyager/internal/analysis/benchallocs"
+	"voyager/internal/analysis/f64promote"
+	"voyager/internal/analysis/maporder"
+	"voyager/internal/analysis/sharedrand"
+)
+
+// CriticalPackages are the packages whose outputs must be bit-identical
+// across runs and worker counts: the tensor kernels, the neural layers,
+// the training engine, and the vocabulary/label builders that fix token
+// ids for the lifetime of a model.
+var CriticalPackages = []string{
+	"voyager/internal/tensor",
+	"voyager/internal/nn",
+	"voyager/internal/voyager",
+	"voyager/internal/vocab",
+	"voyager/internal/label",
+}
+
+// HotKernelPackages must stay in float32 end to end.
+var HotKernelPackages = []string{
+	"voyager/internal/tensor",
+}
+
+// WideAccumulators are tensor functions that intentionally accumulate in
+// float64: scalar reductions whose single rounding at the end is part of
+// the golden numerics (changing them would change every golden test), and
+// the scalar transcendental helpers that have no float32 stdlib
+// counterpart.
+var WideAccumulators = []string{
+	"sigmoid32",
+	"tanh32",
+	"softmaxRow",
+	"SoftmaxCrossEntropy",
+	"SigmoidBCEWeighted",
+	"MeanAll",
+	"SumAll",
+}
+
+// Analyzers returns the production analyzer suite.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		maporder.New(CriticalPackages...),
+		arenaescape.New("voyager/internal/tensor"),
+		f64promote.New(HotKernelPackages, WideAccumulators),
+		sharedrand.New(),
+		benchallocs.New(),
+	}
+}

@@ -1,0 +1,71 @@
+package analysis
+
+import "strings"
+
+// directive is one parsed //lint:ignore comment.
+type directive struct {
+	file   string
+	line   int    // line the comment sits on
+	checks string // comma-separated check names
+}
+
+// directives indexes a package's //lint:ignore comments.
+type directives struct {
+	entries   []directive
+	malformed []Diagnostic
+}
+
+// ignoreDirectives scans every file's comments for
+//
+//	//lint:ignore <check>[,<check>...] <reason>
+//
+// A directive suppresses matching findings on its own line (trailing
+// comment) and on the line immediately below it (comment-above style).
+// A directive without a reason is itself reported as a finding.
+func (p *Package) ignoreDirectives() *directives {
+	d := &directives{}
+	for _, f := range p.AllSyntax() {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:ignore")
+				if !ok {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				fields := strings.Fields(text)
+				if len(fields) < 2 {
+					d.malformed = append(d.malformed, Diagnostic{
+						Pos:     pos,
+						Check:   "lintdirective",
+						Message: "malformed //lint:ignore: want \"//lint:ignore <check> <reason>\"",
+					})
+					continue
+				}
+				d.entries = append(d.entries, directive{
+					file:   pos.Filename,
+					line:   pos.Line,
+					checks: fields[0],
+				})
+			}
+		}
+	}
+	return d
+}
+
+// suppresses reports whether a directive covers the diagnostic.
+func (d *directives) suppresses(diag Diagnostic) bool {
+	for _, e := range d.entries {
+		if e.file != diag.Pos.Filename {
+			continue
+		}
+		if diag.Pos.Line != e.line && diag.Pos.Line != e.line+1 {
+			continue
+		}
+		for _, c := range strings.Split(e.checks, ",") {
+			if c == diag.Check || c == "all" {
+				return true
+			}
+		}
+	}
+	return false
+}

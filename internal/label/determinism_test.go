@@ -1,0 +1,37 @@
+package label
+
+import (
+	"math/rand"
+	"testing"
+
+	"voyager/internal/trace"
+)
+
+// TestComputeIsDeterministic regression-tests the maporder fix in the
+// co-occurrence scheme: the mode computation ranges over a per-window count
+// map, and label selection must not depend on map iteration order. Two
+// Computes over the same trace must agree on every label of every scheme.
+func TestComputeIsDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	tr := &trace.Trace{Name: "det"}
+	// Small line universe forces dense co-occurrence windows with ties.
+	for i := 0; i < 3000; i++ {
+		line := uint64(rng.Intn(32))
+		tr.Append(uint64(rng.Intn(8)), line<<trace.LineBits, uint64(i+1))
+	}
+
+	a := Compute(tr)
+	b := Compute(tr)
+	if len(a) != len(b) {
+		t.Fatalf("label counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		for s := Scheme(0); s < NumSchemes; s++ {
+			av, aok := a[i].Get(s)
+			bv, bok := b[i].Get(s)
+			if av != bv || aok != bok {
+				t.Fatalf("position %d scheme %v: (%d,%v) vs (%d,%v)", i, s, av, aok, bv, bok)
+			}
+		}
+	}
+}

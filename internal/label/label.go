@@ -6,6 +6,7 @@ package label
 
 import (
 	"voyager/internal/memsim"
+	"voyager/internal/sortkeys"
 	"voyager/internal/trace"
 )
 
@@ -170,8 +171,8 @@ func Compute(tr *trace.Trace) []Labels {
 		}
 		best := lines[i+1]
 		bestCount := counts[best]
-		for l, c := range counts {
-			if c > bestCount || (c == bestCount && first[l] < first[best]) {
+		for _, l := range sortkeys.Sorted(counts) {
+			if c := counts[l]; c > bestCount || (c == bestCount && first[l] < first[best]) {
 				best, bestCount = l, c
 			}
 		}

@@ -76,6 +76,7 @@ func (a *Adam) stepDense(p *Param, st *adamState) {
 }
 
 func (a *Adam) stepSparse(p *Param, st *adamState) {
+	//lint:ignore maporder per-row Adam state is independent; updates commute across rows
 	for r := range p.touched {
 		st.rowT[r]++
 		t := st.rowT[r]

@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 
+	"voyager/internal/sortkeys"
 	"voyager/internal/tensor"
 )
 
@@ -82,7 +83,10 @@ func (h *HSoftmax) Loss(tp *tensor.Tape, x *tensor.Node, targets []int) *tensor.
 	clusterLogits := h.ClusterHead.Forward(tp, x)
 	loss, _ := tp.SoftmaxCrossEntropy(clusterLogits, clusterTargets)
 
-	for c, rows := range rowsByCluster {
+	// Sorted cluster order: each iteration adds a scaled member loss into the
+	// running float32 sum, so iteration order changes the rounded result.
+	for _, c := range sortkeys.Sorted(rowsByCluster) {
+		rows := rowsByCluster[c]
 		sub := gatherRows(tp, x, rows)
 		memberTargets := make([]int, len(rows))
 		for i, r := range rows {

@@ -59,6 +59,7 @@ func (p *Param) Touch(r int) {
 // rather than vocabulary size.
 func (p *Param) ZeroGrad() {
 	if p.sparse {
+		//lint:ignore maporder zeroing disjoint rows and clearing the set; no effect depends on order
 		for r := range p.touched {
 			row := p.Grad.Row(r)
 			for i := range row {
@@ -98,6 +99,7 @@ func (p *Param) ShadowClone() *Param {
 // Sparse params merge only o's touched rows, and mark them touched on p.
 func (p *Param) MergeGrad(o *Param) {
 	if p.sparse {
+		//lint:ignore maporder each row is merged independently; summation happens within a row, not across the range
 		for r := range o.touched {
 			prow := p.Grad.Row(r)
 			orow := o.Grad.Row(r)

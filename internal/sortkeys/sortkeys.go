@@ -1,0 +1,32 @@
+// Package sortkeys provides deterministic iteration over Go maps.
+//
+// Map iteration order is randomized by the runtime; in determinism-critical
+// packages (flagged by vetvoyager's maporder check) any map range whose body
+// has order-dependent effects — float32 accumulation, id assignment,
+// tie-breaking by first-seen — must iterate a sorted key slice instead.
+package sortkeys
+
+import (
+	"cmp"
+	"slices"
+)
+
+// Sorted returns the keys of m in ascending order.
+func Sorted[K cmp.Ordered, V any](m map[K]V) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}
+
+// SortedFunc returns the keys of m ordered by less.
+func SortedFunc[K comparable, V any](m map[K]V, less func(a, b K) int) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.SortFunc(keys, less)
+	return keys
+}

@@ -1,0 +1,25 @@
+package sortkeys
+
+import (
+	"slices"
+	"testing"
+)
+
+func TestSorted(t *testing.T) {
+	m := map[int]string{3: "c", 1: "a", 2: "b"}
+	got := Sorted(m)
+	if !slices.Equal(got, []int{1, 2, 3}) {
+		t.Fatalf("Sorted = %v", got)
+	}
+	if got := Sorted(map[string]int{}); len(got) != 0 {
+		t.Fatalf("Sorted(empty) = %v", got)
+	}
+}
+
+func TestSortedFunc(t *testing.T) {
+	m := map[int]struct{}{1: {}, 2: {}, 3: {}}
+	got := SortedFunc(m, func(a, b int) int { return b - a })
+	if !slices.Equal(got, []int{3, 2, 1}) {
+		t.Fatalf("SortedFunc = %v", got)
+	}
+}

@@ -149,6 +149,7 @@ func (m *Mat) L2Norm() float64 {
 // l = sqrt(6/(rows+cols)). This is the initialization used for all weight
 // matrices in the model.
 func (m *Mat) Glorot(rng *rand.Rand) {
+	//lint:ignore f64promote one-time init bound, not a hot kernel; rounding here is harmless
 	l := float32(math.Sqrt(6.0 / float64(m.Rows+m.Cols)))
 	for i := range m.Data {
 		m.Data[i] = (rng.Float32()*2 - 1) * l

@@ -1,0 +1,54 @@
+package vocab
+
+import (
+	"math/rand"
+	"testing"
+
+	"voyager/internal/trace"
+)
+
+// TestBuildIsDeterministic regression-tests the maporder fixes: vocabulary
+// construction ranges over frequency maps, and before the sorted-key fix
+// two Builds over the same trace could assign different token ids. Every
+// access must encode identically across independent Builds.
+func TestBuildIsDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tr := &trace.Trace{Name: "det"}
+	// A mix of hot lines (absolute tokens), cold lines (delta tokens), and
+	// many distinct PCs so every frequency map has plenty of keys.
+	hot := make([]uint64, 40)
+	for i := range hot {
+		hot[i] = uint64(rng.Intn(1 << 16))
+	}
+	for i := 0; i < 4000; i++ {
+		var line uint64
+		if rng.Intn(4) > 0 {
+			line = hot[rng.Intn(len(hot))]
+		} else {
+			line = uint64(rng.Intn(1 << 20))
+		}
+		tr.Append(uint64(rng.Intn(200)), line<<trace.LineBits, uint64(i+1))
+	}
+
+	opts := Options{MinAddrFreq: 2, MaxDeltas: 32, MaxPCs: 100}
+	a := Build(tr, opts)
+	b := Build(tr, opts)
+
+	if a.PageTokens() != b.PageTokens() || a.PCTokens() != b.PCTokens() {
+		t.Fatalf("vocab sizes differ: pages %d vs %d, pcs %d vs %d",
+			a.PageTokens(), b.PageTokens(), a.PCTokens(), b.PCTokens())
+	}
+	var prevLine uint64
+	for i, acc := range tr.Accesses {
+		line := trace.Line(acc.Addr)
+		ap, ao := a.EncodeAccess(prevLine, line)
+		bp, bo := b.EncodeAccess(prevLine, line)
+		if ap != bp || ao != bo {
+			t.Fatalf("access %d encodes differently: (%d,%d) vs (%d,%d)", i, ap, ao, bp, bo)
+		}
+		if a.PCToken(acc.PC) != b.PCToken(acc.PC) {
+			t.Fatalf("access %d: pc token %d vs %d", i, a.PCToken(acc.PC), b.PCToken(acc.PC))
+		}
+		prevLine = line
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"sort"
 
+	"voyager/internal/sortkeys"
 	"voyager/internal/trace"
 )
 
@@ -72,8 +73,8 @@ func Build(tr *trace.Trace, opts Options) *Vocab {
 	}
 
 	lineFreq := trace.LineFrequencies(tr)
-	for line, n := range lineFreq {
-		if opts.MinAddrFreq <= 0 || n >= opts.MinAddrFreq {
+	for _, line := range sortkeys.Sorted(lineFreq) {
+		if opts.MinAddrFreq <= 0 || lineFreq[line] >= opts.MinAddrFreq {
 			v.freqLine[line] = true
 		}
 	}
@@ -114,8 +115,8 @@ func Build(tr *trace.Trace, opts Options) *Vocab {
 			n int
 		}
 		all := make([]dc, 0, len(deltaFreq))
-		for d, n := range deltaFreq {
-			all = append(all, dc{d, n})
+		for _, d := range sortkeys.Sorted(deltaFreq) {
+			all = append(all, dc{d, deltaFreq[d]})
 		}
 		sort.Slice(all, func(i, j int) bool {
 			if all[i].n != all[j].n {
@@ -142,8 +143,8 @@ func Build(tr *trace.Trace, opts Options) *Vocab {
 		n  int
 	}
 	pcsAll := make([]pcCount, 0, len(pcFreq))
-	for pc, n := range pcFreq {
-		pcsAll = append(pcsAll, pcCount{pc, n})
+	for _, pc := range sortkeys.Sorted(pcFreq) {
+		pcsAll = append(pcsAll, pcCount{pc, pcFreq[pc]})
 	}
 	sort.Slice(pcsAll, func(i, j int) bool {
 		if pcsAll[i].n != pcsAll[j].n {

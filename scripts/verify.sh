@@ -12,6 +12,14 @@ go build ./...
 echo "== go vet"
 go vet ./...
 
+# vetvoyager enforces the invariants go vet cannot see: deterministic map
+# iteration in determinism-critical packages, tape-arena *Mat lifetimes,
+# float32-only hot kernels, per-worker rand streams, and ReportAllocs on
+# every benchmark. It prints per-analyzer finding counts and exits non-zero
+# on any unsuppressed finding.
+echo "== vetvoyager"
+go run ./cmd/vetvoyager ./...
+
 echo "== go test"
 go test ./...
 
