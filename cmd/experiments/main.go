@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"voyager/internal/experiments"
+	"voyager/internal/metrics"
 )
 
 func main() {
@@ -37,6 +38,10 @@ func main() {
 		benchOut  = flag.String("bench-out", "BENCH_pr2.json", "bench suite JSON output path")
 		benchBase = flag.String("bench-baseline", "BENCH_pr1.json", "prior bench JSON to diff against (\"\" disables)")
 		quiet     = flag.Bool("q", false, "suppress progress output")
+
+		metricsOut  = flag.String("metrics", "", "stream NDJSON metric snapshots to this file")
+		metricsHTTP = flag.String("metrics-http", "", "serve /metrics and /debug/pprof on this address (e.g. localhost:6060)")
+		manifest    = flag.String("manifest", "", "write a run-manifest JSON (config, seed, git ref, final metrics) to this file")
 	)
 	flag.Parse()
 
@@ -55,6 +60,29 @@ func main() {
 	opts.Quiet = *quiet
 	if *benches != "" {
 		opts.Benchmarks = strings.Split(*benches, ",")
+	}
+
+	sink, err := metrics.Start(metrics.SinkOptions{
+		Tool:         "experiments",
+		Config:       opts,
+		Seed:         *seed,
+		StreamPath:   *metricsOut,
+		HTTPAddr:     *metricsHTTP,
+		ManifestPath: *manifest,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: metrics: %v\n", err)
+		os.Exit(1)
+	}
+	opts.Metrics = sink.Registry()
+	if addr := sink.HTTPAddr(); addr != "" {
+		fmt.Printf("metrics: http://%s/metrics (pprof at /debug/pprof/)\n", addr)
+	}
+	closeSink := func() {
+		if err := sink.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: metrics: %v\n", err)
+			os.Exit(1)
+		}
 	}
 
 	if *bench {
@@ -83,6 +111,7 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", *benchOut)
+		closeSink()
 		return
 	}
 	r := experiments.NewRun(opts)
@@ -129,4 +158,5 @@ func main() {
 	if !*quiet {
 		fmt.Printf("done in %v\n", time.Since(start).Round(time.Second))
 	}
+	closeSink()
 }

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 
+	"voyager/internal/metrics"
 	"voyager/internal/prefetch"
 	"voyager/internal/prefetch/bo"
 	"voyager/internal/prefetch/domino"
@@ -72,6 +73,10 @@ func main() {
 		n         = flag.Int("n", 50_000, "max accesses when generating")
 		seed      = flag.Int64("seed", 42, "randomness seed")
 		paper     = flag.Bool("paper-caches", false, "use the full Table 3 hierarchy instead of the scaled one")
+
+		metricsOut  = flag.String("metrics", "", "stream NDJSON metric snapshots to this file")
+		metricsHTTP = flag.String("metrics-http", "", "serve /metrics and /debug/pprof on this address (e.g. localhost:6060)")
+		manifest    = flag.String("manifest", "", "write a run-manifest JSON (config, seed, git ref, final metrics) to this file")
 	)
 	flag.Parse()
 
@@ -104,6 +109,21 @@ func main() {
 	if *paper {
 		cfg = sim.DefaultConfig()
 	}
+	sink, err := metrics.Start(metrics.SinkOptions{
+		Tool:         "simrun",
+		Config:       cfg,
+		Seed:         *seed,
+		StreamPath:   *metricsOut,
+		HTTPAddr:     *metricsHTTP,
+		ManifestPath: *manifest,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simrun: metrics:", err)
+		os.Exit(1)
+	}
+	if addr := sink.HTTPAddr(); addr != "" {
+		fmt.Printf("metrics: http://%s/metrics (pprof at /debug/pprof/)\n", addr)
+	}
 	var baseIPC float64
 	for _, name := range names {
 		pf, err := buildPrefetcher(name, *degree, tr)
@@ -111,7 +131,9 @@ func main() {
 			fmt.Fprintln(os.Stderr, "simrun:", err)
 			os.Exit(2)
 		}
-		res := sim.Simulate(tr, pf, cfg)
+		machine := sim.NewMachine(cfg)
+		machine.Instrument(sink.Registry())
+		res := machine.Run(tr, pf)
 		if name == "none" {
 			baseIPC = res.IPC
 		}
@@ -122,5 +144,9 @@ func main() {
 		fmt.Printf("%-16s ipc=%.3f acc=%.3f cov=%.3f issued=%d useful=%d misses=%d dram=%d%s\n",
 			name, res.IPC, res.Accuracy(), res.Coverage(),
 			res.PrefetchesIssued, res.PrefetchesUseful, res.LLCDemandMisses, res.DRAMRequests, speedup)
+	}
+	if err := sink.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "simrun: metrics:", err)
+		os.Exit(1)
 	}
 }

@@ -18,6 +18,7 @@ import (
 
 	"voyager/internal/eval"
 	"voyager/internal/label"
+	"voyager/internal/metrics"
 	"voyager/internal/trace"
 	"voyager/internal/voyager"
 	"voyager/internal/workloads"
@@ -58,6 +59,10 @@ func main() {
 		noPC      = flag.Bool("no-pc", false, "drop the PC-history feature")
 		window    = flag.Int("window", eval.DefaultWindow, "unified-metric window")
 		saveFile  = flag.String("save", "", "write trained weights to this file")
+
+		metricsOut  = flag.String("metrics", "", "stream NDJSON metric snapshots to this file")
+		metricsHTTP = flag.String("metrics-http", "", "serve /metrics and /debug/pprof on this address (e.g. localhost:6060)")
+		manifest    = flag.String("manifest", "", "write a run-manifest JSON (config, seed, git ref, final metrics) to this file")
 	)
 	flag.Parse()
 
@@ -99,6 +104,23 @@ func main() {
 		os.Exit(2)
 	}
 
+	sink, err := metrics.Start(metrics.SinkOptions{
+		Tool:         "voyager",
+		Config:       cfg,
+		Seed:         *seed,
+		StreamPath:   *metricsOut,
+		HTTPAddr:     *metricsHTTP,
+		ManifestPath: *manifest,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "voyager: metrics:", err)
+		os.Exit(1)
+	}
+	cfg.Metrics = sink.Registry()
+	if addr := sink.HTTPAddr(); addr != "" {
+		fmt.Printf("metrics: http://%s/metrics (pprof at /debug/pprof/)\n", addr)
+	}
+
 	fmt.Println(trace.ComputeStats(tr))
 	start := time.Now()
 	p, err := voyager.Train(tr, cfg)
@@ -109,6 +131,7 @@ func main() {
 	elapsed := time.Since(start)
 
 	u := eval.Unified(tr, p.Predictions(), *window, cfg.EpochAccesses)
+	eval.RecordUnified(sink.Registry(), tr.Name, "voyager", u)
 	fmt.Printf("trained %d samples in %v (%d params, %d bytes fp32)\n",
 		p.TrainedSamples(), elapsed.Round(time.Millisecond),
 		p.Model.Params().Count(), p.Model.Params().Bytes(32))
@@ -135,5 +158,10 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("weights saved to %s\n", *saveFile)
+	}
+
+	if err := sink.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "voyager: metrics:", err)
+		os.Exit(1)
 	}
 }

@@ -16,14 +16,16 @@ import (
 
 // CriticalPackages are the packages whose outputs must be bit-identical
 // across runs and worker counts: the tensor kernels, the neural layers,
-// the training engine, and the vocabulary/label builders that fix token
-// ids for the lifetime of a model.
+// the training engine, the vocabulary/label builders that fix token ids
+// for the lifetime of a model, and the metrics registry whose snapshots
+// are diffed byte-for-byte in the differential tests.
 var CriticalPackages = []string{
 	"voyager/internal/tensor",
 	"voyager/internal/nn",
 	"voyager/internal/voyager",
 	"voyager/internal/vocab",
 	"voyager/internal/label",
+	"voyager/internal/metrics",
 }
 
 // HotKernelPackages must stay in float32 end to end.

@@ -1,0 +1,35 @@
+package eval
+
+import (
+	"strings"
+
+	"voyager/internal/metrics"
+)
+
+// RecordUnified exports one unified accuracy/coverage measurement as a
+// gauge named eval_unified.<benchmark>.<prefetcher> (empty parts are
+// dropped). No-op with a nil registry.
+func RecordUnified(reg *metrics.Registry, benchmark, prefetcher string, v float64) {
+	reg.Gauge(metricKey("eval_unified", benchmark, prefetcher)).Set(v)
+}
+
+// Record exports the breakdown as gauges: eval_coverage.<bench>.<pf> plus
+// one eval_frac.<bench>.<pf>.<kind> gauge per pattern category. No-op with
+// a nil registry.
+func (b BreakdownResult) Record(reg *metrics.Registry) {
+	reg.Gauge(metricKey("eval_coverage", b.Benchmark, b.Prefetcher)).Set(b.Coverage())
+	for k := PatternKind(0); k < NumPatternKinds; k++ {
+		reg.Gauge(metricKey("eval_frac", b.Benchmark, b.Prefetcher, k.String())).Set(b.Frac[k])
+	}
+}
+
+// metricKey joins non-empty name parts with dots.
+func metricKey(parts ...string) string {
+	kept := parts[:0:0]
+	for _, p := range parts {
+		if p != "" {
+			kept = append(kept, p)
+		}
+	}
+	return strings.Join(kept, ".")
+}

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"voyager/internal/metrics"
 	"voyager/internal/nn"
 	"voyager/internal/tensor"
 	"voyager/internal/voyager"
@@ -45,8 +46,12 @@ type BenchReport struct {
 	Entries        []BenchEntry `json:"entries"`
 	TrainSpeedup   float64      `json:"train_batch_speedup"`
 	Figure5Speedup float64      `json:"figure5_speedup"`
-	Baseline       string       `json:"baseline,omitempty"` // path of the compared report
-	Notes          string       `json:"notes,omitempty"`
+	// MetricsOverhead is train_batch_serial_metrics over train_batch_serial
+	// ns/op: the cost of running a full optimizer step with the
+	// observability registry attached (acceptance bound: < 1.03).
+	MetricsOverhead float64 `json:"train_metrics_overhead,omitempty"`
+	Baseline        string  `json:"baseline,omitempty"` // path of the compared report
+	Notes           string  `json:"notes,omitempty"`
 }
 
 func (r *BenchReport) entry(name string) *BenchEntry {
@@ -73,6 +78,9 @@ func (r *BenchReport) String() string {
 	}
 	fmt.Fprintf(&b, "  TrainBatch speedup  %.2fx\n", r.TrainSpeedup)
 	fmt.Fprintf(&b, "  Figure-5  speedup   %.2fx", r.Figure5Speedup)
+	if r.MetricsOverhead > 0 {
+		fmt.Fprintf(&b, "\n  Metrics overhead    %.3fx (train_batch_serial)", r.MetricsOverhead)
+	}
 	return b.String()
 }
 
@@ -216,6 +224,24 @@ func (o Options) Bench(workers int) (*BenchReport, error) {
 			}))
 	}
 
+	// The same serial optimizer step with metrics enabled: the difference
+	// against train_batch_serial is the full observability overhead (timers,
+	// counters and the per-step grad-norm scan).
+	{
+		o.logf("  bench: train_batch_serial_metrics...")
+		opts := o
+		opts.Metrics = metrics.NewRegistry()
+		h, err := opts.benchHarness(1)
+		if err != nil {
+			return nil, err
+		}
+		r.Entries = append(r.Entries, timeIt("train_batch_serial_metrics", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				h.TrainStep()
+			}
+		}))
+	}
+
 	// Figure 5 end to end: trace generation, LLC filter, online-protocol
 	// training and accuracy scoring, serial vs parallel.
 	for _, v := range []struct {
@@ -241,6 +267,9 @@ func (o Options) Bench(workers int) (*BenchReport, error) {
 	}
 	if s, p := r.entry("figure5_serial"), r.entry("figure5_parallel"); s != nil && p != nil && p.NsPerOp > 0 {
 		r.Figure5Speedup = float64(s.NsPerOp) / float64(p.NsPerOp)
+	}
+	if s, m := r.entry("train_batch_serial"), r.entry("train_batch_serial_metrics"); s != nil && m != nil && s.NsPerOp > 0 {
+		r.MetricsOverhead = float64(m.NsPerOp) / float64(s.NsPerOp)
 	}
 	return r, nil
 }

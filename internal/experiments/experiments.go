@@ -15,6 +15,7 @@ import (
 	"sync"
 
 	"voyager/internal/eval"
+	"voyager/internal/metrics"
 	"voyager/internal/prefetch"
 	"voyager/internal/prefetch/bo"
 	"voyager/internal/prefetch/deltalstm"
@@ -46,9 +47,14 @@ type Options struct {
 	// Benchmarks restricts which benchmarks run (nil = paper's full list;
 	// ablation figures default to AblationBenchmarks when nil).
 	Benchmarks []string
+	// Metrics, when non-nil, threads the observability registry through
+	// every Voyager training run (voyager.Config.Metrics). Results are
+	// identical with or without it. Excluded from JSON, like Logf, so an
+	// Options value can embed directly in a run manifest.
+	Metrics *metrics.Registry `json:"-"`
 	// Quiet suppresses progress lines.
 	Quiet bool
-	Logf  func(format string, args ...interface{})
+	Logf  func(format string, args ...interface{}) `json:"-"`
 }
 
 // DefaultOptions is the scale used for EXPERIMENTS.md.
@@ -126,6 +132,7 @@ func (o Options) voyagerConfig(streamLen int) voyager.Config {
 		c.PassesPerEpoch = o.Passes
 	}
 	c.Workers = o.Workers
+	c.Metrics = o.Metrics
 	c.DropoutKeep = 1 // scaled models are too small to need regularization
 	return c
 }

@@ -1,0 +1,34 @@
+package metrics
+
+import "testing"
+
+// TestHotPathAllocFree pins the zero-allocation contract of every call that
+// sits inside a training or simulation inner loop. Instrument lookup happens
+// once at setup; the per-iteration record path must not touch the heap, or
+// enabling -metrics would perturb the very timings it measures.
+func TestHotPathAllocFree(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("steps_total")
+	g := reg.Gauge("loss")
+	h := reg.Histogram("step_seconds")
+
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"Counter.Add", func() { c.Add(3) }},
+		{"Counter.Inc", func() { c.Inc() }},
+		{"Gauge.Set", func() { g.Set(0.125) }},
+		{"Histogram.Observe", func() { h.Observe(0.25) }},
+		{"Timer", func() { tm := StartTimer(h); tm.Stop() }},
+		{"NilTimer", func() { tm := StartTimer(nil); tm.Stop() }},
+		{"NilCounter.Add", func() { (*Counter)(nil).Add(1) }},
+		{"NilGauge.Set", func() { (*Gauge)(nil).Set(1) }},
+		{"NilHistogram.Observe", func() { (*Histogram)(nil).Observe(1) }},
+	}
+	for _, tc := range cases {
+		if allocs := testing.AllocsPerRun(100, tc.fn); allocs != 0 {
+			t.Errorf("%s: %v allocs/op, want 0", tc.name, allocs)
+		}
+	}
+}

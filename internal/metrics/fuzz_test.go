@@ -1,0 +1,60 @@
+package metrics
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParseSnapshot feeds arbitrary bytes to the snapshot parser. The parser
+// must never panic, and any input it accepts must round-trip canonically:
+// re-marshaling the parsed snapshot and parsing that again yields byte-
+// identical NDJSON. Mirrors internal/trace's FuzzRead accept→round-trip
+// oracle.
+func FuzzParseSnapshot(f *testing.F) {
+	// A real snapshot with all three instrument kinds, plus non-finite
+	// gauge values which exercise the JSONFloat string encoding.
+	reg := NewRegistry()
+	reg.Counter("train_steps_total").Add(12)
+	reg.Gauge("train_loss").Set(0.5)
+	reg.Histogram("step_seconds").Observe(0.001)
+	reg.Histogram("step_seconds").Observe(2.5)
+	snap := reg.Snapshot()
+	valid, err := snap.MarshalNDJSON()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2]) // truncated mid-document
+	f.Add([]byte(`{"ts_unix_ns":1,"gauges":[{"name":"g","value":"NaN"},{"name":"h","value":"+Inf"}]}`))
+	f.Add([]byte(`{"ts_unix_ns":1,"gauges":[{"name":"g","value":"-Inf"}]}`))
+	f.Add([]byte(`{"ts_unix_ns":0}`))
+	f.Add([]byte(``))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(`{"ts_unix_ns":1,"counters":[{"name":"b","value":1},{"name":"a","value":2}]}`)) // unsorted
+	f.Add([]byte(`{"ts_unix_ns":1,"histograms":[{"name":"h","count":2,"sum":1,"buckets":[{"b":70,"n":2}]}]}`))
+	f.Add([]byte(`{"ts_unix_ns":1,"histograms":[{"name":"h","count":5,"sum":1,"buckets":[{"b":3,"n":2}]}]}`))
+	f.Add([]byte("{\"ts_unix_ns\":1}\n{\"ts_unix_ns\":2}")) // trailing second document
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ParseSnapshot(data)
+		if err != nil {
+			return // rejected is fine; panicking is not
+		}
+		out, err := s.MarshalNDJSON()
+		if err != nil {
+			t.Fatalf("accepted snapshot fails to marshal: %v", err)
+		}
+		s2, err := ParseSnapshot(out)
+		if err != nil {
+			t.Fatalf("canonical form rejected: %v\n%s", err, out)
+		}
+		out2, err := s2.MarshalNDJSON()
+		if err != nil {
+			t.Fatalf("re-marshal: %v", err)
+		}
+		if !bytes.Equal(out, out2) {
+			t.Fatalf("round-trip not canonical:\n%s\n%s", out, out2)
+		}
+	})
+}

@@ -1,0 +1,72 @@
+package metrics
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Server is the optional live-inspection endpoint of a run: an expvar-style
+// JSON dump of the registry at /metrics, an NDJSON single-snapshot line at
+// /metrics.ndjson, and the standard net/http/pprof handlers under
+// /debug/pprof/ (mounted on the server's own mux, not the global
+// DefaultServeMux, so tests and multiple runs never collide).
+type Server struct {
+	srv *http.Server
+	lis net.Listener
+}
+
+// StartServer listens on addr (e.g. "localhost:6060"; ":0" picks a free
+// port) and serves the registry in the background until Close.
+func StartServer(reg *Registry, addr string) (*Server, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		snap := reg.Snapshot()
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(&snap) //nolint:errcheck // client went away
+	})
+	mux.HandleFunc("/metrics.ndjson", func(w http.ResponseWriter, _ *http.Request) {
+		snap := reg.Snapshot()
+		line, err := snap.MarshalNDJSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.Write(line) //nolint:errcheck // client went away
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{srv: &http.Server{Handler: mux}, lis: lis}
+	go s.srv.Serve(lis) //nolint:errcheck // Serve returns ErrServerClosed on Close
+	return s, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *Server) Addr() string { return s.lis.Addr().String() }
+
+// Close shuts the server down gracefully, falling back to a hard close
+// after a short drain window, and waits for the serve goroutine and all
+// connection goroutines to exit (the goroutine-leak test pins this).
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	err := s.srv.Shutdown(ctx)
+	if err != nil {
+		s.srv.Close() //nolint:errcheck // best-effort after failed drain
+	}
+	return err
+}

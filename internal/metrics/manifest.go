@@ -1,0 +1,132 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"time"
+)
+
+// Manifest is the machine-readable record of one run, written as a single
+// JSON file so experiments can be compared and reproduced: the tool and its
+// configuration, the seed, the source revision, the execution environment,
+// and the final metric snapshot.
+type Manifest struct {
+	Tool       string    `json:"tool"`
+	Args       []string  `json:"args,omitempty"`
+	Config     any       `json:"config,omitempty"`
+	Seed       int64     `json:"seed"`
+	GitRef     string    `json:"git_ref"`
+	GoVersion  string    `json:"go_version"`
+	GOMAXPROCS int       `json:"gomaxprocs"`
+	NumCPU     int       `json:"num_cpu"`
+	StartTime  string    `json:"start_time"`
+	EndTime    string    `json:"end_time,omitempty"`
+	WallSec    JSONFloat `json:"wall_seconds,omitempty"`
+	Final      *Snapshot `json:"final,omitempty"`
+
+	started time.Time
+}
+
+// NewManifest stamps a manifest with the run's identity and environment.
+// config may be any JSON-marshalable value (typically the tool's resolved
+// configuration struct).
+func NewManifest(tool string, config any, seed int64) *Manifest {
+	now := time.Now()
+	return &Manifest{
+		Tool:       tool,
+		Args:       os.Args[1:],
+		Config:     config,
+		Seed:       seed,
+		GitRef:     GitRef("."),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		StartTime:  now.UTC().Format(time.RFC3339Nano),
+		started:    now,
+	}
+}
+
+// Finalize records the end time, wall duration and the registry's final
+// snapshot (reg may be nil).
+func (m *Manifest) Finalize(reg *Registry) {
+	now := time.Now()
+	m.EndTime = now.UTC().Format(time.RFC3339Nano)
+	m.WallSec = JSONFloat(now.Sub(m.started).Seconds())
+	if reg != nil {
+		snap := reg.Snapshot()
+		m.Final = &snap
+	}
+}
+
+// WriteFile writes the manifest as indented JSON.
+func (m *Manifest) WriteFile(path string) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// GitRef resolves the repository revision for the working tree containing
+// dir, without shelling out: it walks up to the nearest .git, reads HEAD,
+// and follows one level of symbolic ref through the loose ref file or
+// packed-refs. Best effort — returns "unknown" when no repository or an
+// unreadable one is found (e.g. a deployed binary far from its checkout).
+func GitRef(dir string) string {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "unknown"
+	}
+	for {
+		gitDir := filepath.Join(abs, ".git")
+		if fi, err := os.Stat(gitDir); err == nil && fi.IsDir() {
+			return headRef(gitDir)
+		}
+		parent := filepath.Dir(abs)
+		if parent == abs {
+			return "unknown"
+		}
+		abs = parent
+	}
+}
+
+// headRef reads .git/HEAD and resolves a "ref: refs/heads/x" indirection.
+func headRef(gitDir string) string {
+	head, err := os.ReadFile(filepath.Join(gitDir, "HEAD"))
+	if err != nil {
+		return "unknown"
+	}
+	line := strings.TrimSpace(string(head))
+	if !strings.HasPrefix(line, "ref: ") {
+		return line // detached HEAD: the hash itself
+	}
+	ref := strings.TrimSpace(strings.TrimPrefix(line, "ref: "))
+	if data, err := os.ReadFile(filepath.Join(gitDir, filepath.FromSlash(ref))); err == nil {
+		return strings.TrimSpace(string(data))
+	}
+	// Loose ref absent: the ref may only exist packed.
+	if packed, err := os.ReadFile(filepath.Join(gitDir, "packed-refs")); err == nil {
+		for _, l := range strings.Split(string(packed), "\n") {
+			if strings.HasSuffix(l, " "+ref) {
+				if f := strings.Fields(l); len(f) == 2 {
+					return f[0]
+				}
+			}
+		}
+	}
+	return ref // at least name the branch
+}
+
+// ReadManifest parses a manifest file (the comparison tool's loader).
+func ReadManifest(data []byte) (*Manifest, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	var m Manifest
+	if err := dec.Decode(&m); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}

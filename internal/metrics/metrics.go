@@ -1,0 +1,295 @@
+// Package metrics is the run-observability layer: dependency-free,
+// deterministic instruments (Counter, Gauge, log2-bucket Histogram, Timer)
+// collected in a Registry whose snapshots export as stable-sorted JSON.
+//
+// Determinism is a design constraint, not an afterthought. The training
+// engine must stay bit-reproducible with metrics enabled, so instruments
+// only ever *observe* values the run computes anyway — they never consume
+// RNG draws, reorder float operations, or feed back into the model.
+// Counters are integers (addition commutes, so concurrent workers cannot
+// perturb totals), and Histograms store only integer bucket counts: every
+// derived statistic (Sum, Mean, Quantile) is a pure function of the counts,
+// which makes Merge exact, associative and order-independent — merging
+// per-worker histograms in worker-index order is bit-identical to recording
+// the same values single-threaded (see the property tests).
+//
+// Hot-path methods (Counter.Add, Gauge.Set, Histogram.Observe, Timer.Stop)
+// are allocation-free and guarded by an AllocsPerRun budget test. A nil
+// *Registry hands out nil instruments, and every instrument method is a
+// no-op on a nil receiver, so instrumentation disables end to end at the
+// cost of one pointer compare per site — call sites never nil-check.
+package metrics
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing integer metric. Safe for concurrent
+// use; because integer addition commutes, totals are deterministic no matter
+// how worker goroutines interleave.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n (no-op on a nil counter).
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one (no-op on a nil counter).
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current total (0 for a nil counter).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a last-write-wins float64 metric (loss, accuracy, tokens/sec).
+// Safe for concurrent use; deterministic when set from one goroutine, which
+// is how the training loop uses it (gauges are set after the ordered
+// gradient reduce, never from inside worker shards).
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v (no-op on a nil gauge).
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the last stored value (0 before any Set or for a nil gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram bucket geometry: NumBuckets fixed log2 buckets. Bucket 0 catches
+// everything below 2^MinExp (including zero, negatives and NaN); bucket i in
+// [1, NumBuckets-2] covers [2^(MinExp+i-1), 2^(MinExp+i)); the last bucket
+// catches everything from 2^(MinExp+NumBuckets-2) up (including +Inf). The
+// range 2^-20 .. 2^42 spans sub-microsecond phase timings in seconds up to
+// trillions of cycles without configuration.
+const (
+	NumBuckets = 64
+	MinExp     = -20
+)
+
+// Histogram is a fixed-geometry log2 histogram. It deliberately stores no
+// raw-value accumulator: per-bucket integer counts are its entire state, so
+// merging histograms is exact and order-independent, and a parallel run's
+// merged histogram is bit-identical to a serial recording of the same
+// values. Safe for concurrent use (one uncontended mutex per Observe; the
+// engine still gives each worker its own histogram so snapshots attribute
+// time per worker).
+type Histogram struct {
+	mu     sync.Mutex
+	counts [NumBuckets]uint64
+	total  uint64
+}
+
+// BucketIndex returns the bucket v falls into.
+func BucketIndex(v float64) int {
+	if !(v >= math.Ldexp(1, MinExp)) {
+		return 0 // below range, zero, negative or NaN
+	}
+	i := math.Ilogb(v) - MinExp + 1 // Ilogb(+Inf) clamps below
+	if i > NumBuckets-1 {
+		i = NumBuckets - 1
+	}
+	return i
+}
+
+// BucketUpper returns the exclusive upper edge of bucket i (+Inf for the
+// overflow bucket).
+func BucketUpper(i int) float64 {
+	if i >= NumBuckets-1 {
+		return math.Inf(1)
+	}
+	return math.Ldexp(1, MinExp+i)
+}
+
+// BucketLower returns the inclusive lower edge of bucket i (-Inf for the
+// underflow bucket).
+func BucketLower(i int) float64 {
+	if i <= 0 {
+		return math.Inf(-1)
+	}
+	return math.Ldexp(1, MinExp+i-1)
+}
+
+// bucketMid is the representative value of bucket i used by Sum and
+// Quantile: the geometric mean of the bucket edges for interior buckets, the
+// upper edge for the underflow bucket (values there are at most 2^MinExp)
+// and the lower edge for the overflow bucket.
+func bucketMid(i int) float64 {
+	switch {
+	case i <= 0:
+		return 0 // underflow holds zeros/negatives; count them as 0
+	case i >= NumBuckets-1:
+		return math.Ldexp(1, MinExp+NumBuckets-2)
+	default:
+		return math.Ldexp(math.Sqrt2, MinExp+i-1) // sqrt(lower*upper)
+	}
+}
+
+// Observe records one value (no-op on a nil histogram).
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := BucketIndex(v)
+	h.mu.Lock()
+	h.counts[i]++
+	h.total++
+	h.mu.Unlock()
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the number of recorded values (0 for a nil histogram).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.total
+}
+
+// Counts returns a copy of the per-bucket counts (zero for a nil histogram).
+func (h *Histogram) Counts() [NumBuckets]uint64 {
+	if h == nil {
+		return [NumBuckets]uint64{}
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.counts
+}
+
+// Sum estimates the total of the recorded values from bucket
+// representatives. Exact to within one log2 bucket (≤ ~6% relative error for
+// interior values) and — unlike a float accumulator — a deterministic pure
+// function of the counts, identical however the observations interleaved.
+func (h *Histogram) Sum() float64 {
+	counts := h.Counts()
+	var s float64
+	for i, n := range counts {
+		if n != 0 {
+			s += float64(n) * bucketMid(i)
+		}
+	}
+	return s
+}
+
+// Mean is Sum over Count (0 when empty).
+func (h *Histogram) Mean() float64 {
+	counts := h.Counts()
+	var s float64
+	var n uint64
+	for i, c := range counts {
+		if c != 0 {
+			s += float64(c) * bucketMid(i)
+			n += c
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return s / float64(n)
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) as the representative value
+// of the bucket holding the rank-⌈q·n⌉ observation. The estimate is always
+// bounded by that bucket's edges: BucketLower(b) ≤ Quantile(q) ≤
+// BucketUpper(b) where b is the bucket containing the true quantile (the
+// property tests pin this). Returns 0 on an empty histogram.
+func (h *Histogram) Quantile(q float64) float64 {
+	counts := h.Counts()
+	var total uint64
+	for _, n := range counts {
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i, n := range counts {
+		cum += n
+		if cum >= rank {
+			if i == 0 {
+				return BucketUpper(0) // underflow: bounded above by its edge
+			}
+			return bucketMid(i)
+		}
+	}
+	return bucketMid(NumBuckets - 1)
+}
+
+// Merge folds o's counts into h and leaves o unchanged. Because the state is
+// integer counts only, Merge is exact, associative and commutative; the
+// training engine still merges per-worker histograms in ascending worker
+// index for symmetry with its ordered gradient reduce.
+func (h *Histogram) Merge(o *Histogram) {
+	if h == nil || o == nil {
+		return
+	}
+	counts := o.Counts() // snapshot under o's lock; never hold two locks
+	h.mu.Lock()
+	for i, n := range counts {
+		h.counts[i] += n
+		h.total += n
+	}
+	h.mu.Unlock()
+}
+
+// Timer measures one phase into a Histogram of seconds. It is a value type:
+// starting and stopping a timer allocates nothing, and a Timer started from
+// a nil histogram is a no-op (the disabled-metrics fast path).
+type Timer struct {
+	h     *Histogram
+	start time.Time
+}
+
+// StartTimer begins timing into h (h may be nil: the timer is then inert and
+// does not even read the clock).
+func StartTimer(h *Histogram) Timer {
+	if h == nil {
+		return Timer{}
+	}
+	return Timer{h: h, start: time.Now()}
+}
+
+// Stop records the elapsed time and returns it (0 for an inert timer).
+func (t Timer) Stop() time.Duration {
+	if t.h == nil {
+		return 0
+	}
+	d := time.Since(t.start)
+	t.h.Observe(d.Seconds())
+	return d
+}

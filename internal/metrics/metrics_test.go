@@ -1,0 +1,370 @@
+package metrics
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("Value = %d, want 42", got)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	if got := g.Value(); got != 0 {
+		t.Fatalf("zero Gauge = %v", got)
+	}
+	g.Set(3.5)
+	if got := g.Value(); got != 3.5 {
+		t.Fatalf("Value = %v", got)
+	}
+	g.Set(math.NaN())
+	if got := g.Value(); !math.IsNaN(got) {
+		t.Fatalf("NaN round trip = %v", got)
+	}
+}
+
+func TestBucketGeometry(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want int
+	}{
+		{math.NaN(), 0},
+		{math.Inf(-1), 0},
+		{-1, 0},
+		{0, 0},
+		{math.Ldexp(1, MinExp) / 2, 0},
+		{math.Ldexp(1, MinExp), 1},
+		{1, -MinExp + 1},
+		{1.5, -MinExp + 1},
+		{2, -MinExp + 2},
+		{math.Ldexp(1, MinExp+NumBuckets-2), NumBuckets - 1},
+		{math.Inf(1), NumBuckets - 1},
+		{math.MaxFloat64, NumBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := BucketIndex(c.v); got != c.want {
+			t.Errorf("BucketIndex(%v) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	// Every finite positive in-range value lands inside its bucket's edges.
+	for i := 1; i < NumBuckets-1; i++ {
+		lo, hi := BucketLower(i), BucketUpper(i)
+		if BucketIndex(lo) != i {
+			t.Errorf("lower edge of bucket %d classifies as %d", i, BucketIndex(lo))
+		}
+		if BucketIndex(math.Nextafter(hi, 0)) != i {
+			t.Errorf("just-below-upper of bucket %d classifies as %d", i, BucketIndex(math.Nextafter(hi, 0)))
+		}
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Sum() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatalf("empty histogram not zero-valued")
+	}
+	for _, v := range []float64{0.5, 0.5, 2, 8} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 4 {
+		t.Fatalf("Count = %d", got)
+	}
+	// Sum from bucket midpoints: within one half-bucket (a factor of sqrt2)
+	// of the true 11. Every value above sits on a bucket lower edge, so the
+	// estimate is exactly sqrt2 times the true sum — the worst case.
+	if s := h.Sum(); s < 11/math.Sqrt2*0.999 || s > 11*math.Sqrt2*1.001 {
+		t.Fatalf("Sum = %v, want within sqrt2 of 11", s)
+	}
+	// Median must fall in the bucket holding 0.5.
+	med := h.Quantile(0.5)
+	if BucketIndex(med) != BucketIndex(0.5) {
+		t.Fatalf("median %v not in bucket of 0.5", med)
+	}
+	h.ObserveDuration(3 * time.Millisecond)
+	if got := h.Count(); got != 5 {
+		t.Fatalf("Count after duration = %d", got)
+	}
+}
+
+func TestHistogramMergeLeavesSourceIntact(t *testing.T) {
+	var a, b Histogram
+	a.Observe(1)
+	b.Observe(2)
+	b.Observe(4)
+	a.Merge(&b)
+	if a.Count() != 3 || b.Count() != 2 {
+		t.Fatalf("counts after merge: a=%d b=%d", a.Count(), b.Count())
+	}
+}
+
+func TestRegistryNilIsDisabled(t *testing.T) {
+	var r *Registry
+	if r.Counter("x") != nil || r.Gauge("x") != nil || r.Histogram("x") != nil {
+		t.Fatal("nil registry handed out instruments")
+	}
+	snap := r.Snapshot()
+	if len(snap.Counters)+len(snap.Gauges)+len(snap.Histograms) != 0 {
+		t.Fatal("nil registry snapshot not empty")
+	}
+	// Inert timer: no histogram, no clock, no panic.
+	if d := StartTimer(nil).Stop(); d != 0 {
+		t.Fatalf("inert timer measured %v", d)
+	}
+	// The nil instruments themselves are no-ops, so instrumented code needs
+	// no per-site checks beyond holding the (nil) pointers.
+	r.Counter("x").Inc()
+	r.Gauge("x").Set(1)
+	r.Histogram("x").Observe(1)
+	r.Histogram("x").Merge(r.Histogram("y"))
+	if r.Counter("x").Value() != 0 || r.Gauge("x").Value() != 0 || r.Histogram("x").Count() != 0 {
+		t.Fatal("nil instruments reported non-zero state")
+	}
+}
+
+func TestRegistrySnapshotSortedAndStable(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zz").Add(1)
+	r.Counter("aa").Add(2)
+	if r.Counter("aa") != r.Counter("aa") {
+		t.Fatal("get-or-create not idempotent")
+	}
+	r.Gauge("g2").Set(2)
+	r.Gauge("g1").Set(math.Inf(1))
+	r.Histogram("h").Observe(1)
+	snap := r.snapshotAt(123)
+	if snap.TimeUnixNs != 123 {
+		t.Fatalf("ts = %d", snap.TimeUnixNs)
+	}
+	if snap.Counters[0].Name != "aa" || snap.Counters[1].Name != "zz" {
+		t.Fatalf("counters unsorted: %+v", snap.Counters)
+	}
+	if snap.Gauges[0].Name != "g1" || snap.Gauges[1].Name != "g2" {
+		t.Fatalf("gauges unsorted: %+v", snap.Gauges)
+	}
+	if v, ok := snap.Counter("zz"); !ok || v != 1 {
+		t.Fatalf("Counter lookup = %v, %v", v, ok)
+	}
+	if v, ok := snap.Gauge("g2"); !ok || v != 2 {
+		t.Fatalf("Gauge lookup = %v, %v", v, ok)
+	}
+	if hp := snap.Histogram("h"); hp == nil || hp.Count != 1 {
+		t.Fatalf("Histogram lookup = %+v", snap.Histogram("h"))
+	}
+	if _, ok := snap.Counter("missing"); ok {
+		t.Fatal("found missing counter")
+	}
+	if _, ok := snap.Gauge("missing"); ok {
+		t.Fatal("found missing gauge")
+	}
+	if snap.Histogram("missing") != nil {
+		t.Fatal("found missing histogram")
+	}
+	// Two snapshots of an unchanged registry marshal identically.
+	a, err := snap.MarshalNDJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap2 := r.snapshotAt(123)
+	b, err := snap2.MarshalNDJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("snapshots differ:\n%s\n%s", a, b)
+	}
+}
+
+func TestSnapshotJSONRoundTripWithNonFinite(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("steps").Add(7)
+	r.Gauge("nan").Set(math.NaN())
+	r.Gauge("pinf").Set(math.Inf(1))
+	r.Gauge("ninf").Set(math.Inf(-1))
+	h := r.Histogram("lat")
+	h.Observe(0)
+	h.Observe(1e-9)
+	h.Observe(1)
+	h.Observe(math.Inf(1))
+	snap := r.snapshotAt(42)
+	line, err := snap.MarshalNDJSON()
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	if !bytes.HasSuffix(line, []byte("\n")) || bytes.Count(line, []byte("\n")) != 1 {
+		t.Fatalf("not a single NDJSON line: %q", line)
+	}
+	got, err := ParseSnapshot(line)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if v, _ := got.Gauge("nan"); !math.IsNaN(v) {
+		t.Fatalf("nan gauge = %v", v)
+	}
+	if v, _ := got.Gauge("pinf"); !math.IsInf(v, 1) {
+		t.Fatalf("pinf gauge = %v", v)
+	}
+	if v, _ := got.Gauge("ninf"); !math.IsInf(v, -1) {
+		t.Fatalf("ninf gauge = %v", v)
+	}
+	if v, _ := got.Counter("steps"); v != 7 {
+		t.Fatalf("steps = %d", v)
+	}
+	if hp := got.Histogram("lat"); hp == nil || hp.Count != 4 || len(hp.Buckets) != 3 {
+		t.Fatalf("lat histogram = %+v", got.Histogram("lat"))
+	}
+	again, err := got.MarshalNDJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(line, again) {
+		t.Fatalf("round trip not canonical:\n%s\n%s", line, again)
+	}
+}
+
+func TestParseSnapshotRejects(t *testing.T) {
+	bad := []string{
+		"",
+		"   ",
+		"not json",
+		`{"ts_unix_ns":1,"unknown_field":2}`,
+		`{"ts_unix_ns":1,"counters":[{"name":"","value":1}]}`,
+		`{"ts_unix_ns":1,"counters":[{"name":"b","value":1},{"name":"a","value":2}]}`,
+		`{"ts_unix_ns":1,"counters":[{"name":"a","value":1},{"name":"a","value":2}]}`,
+		`{"ts_unix_ns":1,"gauges":[{"name":"","value":1}]}`,
+		`{"ts_unix_ns":1,"gauges":[{"name":"b","value":1},{"name":"a","value":1}]}`,
+		`{"ts_unix_ns":1,"gauges":[{"name":"g","value":"garbage"}]}`,
+		`{"ts_unix_ns":1,"histograms":[{"name":"","count":0,"sum":0}]}`,
+		`{"ts_unix_ns":1,"histograms":[{"name":"h","count":2,"sum":0,"buckets":[{"b":1,"n":1}]}]}`,
+		`{"ts_unix_ns":1,"histograms":[{"name":"h","count":1,"sum":0,"buckets":[{"b":-1,"n":1}]}]}`,
+		`{"ts_unix_ns":1,"histograms":[{"name":"h","count":1,"sum":0,"buckets":[{"b":64,"n":1}]}]}`,
+		`{"ts_unix_ns":1,"histograms":[{"name":"h","count":2,"sum":0,"buckets":[{"b":2,"n":1},{"b":1,"n":1}]}]}`,
+		`{"ts_unix_ns":1,"histograms":[{"name":"h","count":0,"sum":0,"buckets":[{"b":1,"n":0}]}]}`,
+		`{"ts_unix_ns":1,"histograms":[{"name":"b","count":0,"sum":0},{"name":"a","count":0,"sum":0}]}`,
+		`{"ts_unix_ns":1} trailing`,
+	}
+	for _, line := range bad {
+		if _, err := ParseSnapshot([]byte(line)); err == nil {
+			t.Errorf("ParseSnapshot accepted %q", line)
+		}
+	}
+}
+
+func TestReadSnapshots(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Inc()
+	var buf bytes.Buffer
+	st := NewStreamer(r, &buf)
+	if err := st.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r.Counter("c").Inc()
+	buf.WriteString("\n") // blank lines are fine
+	if err := st.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	snaps, err := ReadSnapshots(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 2 {
+		t.Fatalf("snapshots = %d", len(snaps))
+	}
+	v0, _ := snaps[0].Counter("c")
+	v1, _ := snaps[1].Counter("c")
+	if v0 != 1 || v1 != 2 {
+		t.Fatalf("counter series = %d, %d", v0, v1)
+	}
+	if _, err := ReadSnapshots(strings.NewReader("garbage\n")); err == nil {
+		t.Fatal("ReadSnapshots accepted garbage")
+	}
+}
+
+// errWriter fails every write once fails is set.
+type errWriter struct{ fails bool }
+
+func (w *errWriter) Write(p []byte) (int, error) {
+	if w.fails {
+		return 0, errors.New("stream broken")
+	}
+	return len(p), nil
+}
+
+func TestStreamerStickyError(t *testing.T) {
+	r := NewRegistry()
+	w := &errWriter{}
+	st := NewStreamer(r, w)
+	if err := st.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	w.fails = true
+	if err := st.Flush(); err == nil {
+		t.Fatal("flush on broken writer succeeded")
+	}
+	w.fails = false
+	if err := st.Close(); err == nil {
+		t.Fatal("sticky error forgotten")
+	}
+}
+
+func TestStreamerPeriodic(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ticks").Inc()
+	var mu syncBuffer
+	st := NewStreamer(r, &mu)
+	st.Start(time.Millisecond)
+	st.Start(time.Millisecond) // second Start is a no-op
+	deadline := time.Now().Add(2 * time.Second)
+	for mu.Lines() < 3 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if mu.Lines() < 3 {
+		t.Fatalf("ticker produced %d lines", mu.Lines())
+	}
+	snaps, err := ReadSnapshots(bytes.NewReader(mu.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range snaps {
+		if v, ok := s.Counter("ticks"); !ok || v != 1 {
+			t.Fatalf("bad line: %+v", s)
+		}
+	}
+}
+
+// syncBuffer is a mutex-guarded bytes.Buffer for the ticker test.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) Lines() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return bytes.Count(b.buf.Bytes(), []byte("\n"))
+}
+
+func (b *syncBuffer) Bytes() []byte {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]byte(nil), b.buf.Bytes()...)
+}

@@ -1,0 +1,163 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// workerStreams is the quick-generated shape of a data-parallel run: up to
+// eight workers, each with its own observation stream. Values arrive as raw
+// float64 bit patterns so the generator covers NaN, infinities, subnormals
+// and negatives, not just quick's tame finite floats.
+type workerStreams struct {
+	Bits [][]uint64
+}
+
+func (ws workerStreams) values() [][]float64 {
+	out := make([][]float64, 0, 8)
+	for i, w := range ws.Bits {
+		if i == 8 {
+			break
+		}
+		vals := make([]float64, 0, 64)
+		for j, b := range w {
+			if j == 64 {
+				break
+			}
+			vals = append(vals, math.Float64frombits(b))
+		}
+		out = append(out, vals)
+	}
+	return out
+}
+
+// TestHistogramMergeEqualsSingleThreaded: merging per-worker histograms in
+// ascending worker index is bit-identical to one histogram recording the
+// same streams single-threaded in that order. This is the determinism
+// contract the parallel training engine relies on — per-worker timing
+// histograms can be folded into one view without perturbing anything.
+func TestHistogramMergeEqualsSingleThreaded(t *testing.T) {
+	f := func(ws workerStreams) bool {
+		streams := ws.values()
+		merged := &Histogram{}
+		serial := &Histogram{}
+		for _, stream := range streams {
+			w := &Histogram{}
+			for _, v := range stream {
+				w.Observe(v)
+				serial.Observe(v)
+			}
+			merged.Merge(w)
+		}
+		if merged.Counts() != serial.Counts() || merged.Count() != serial.Count() {
+			return false
+		}
+		// Derived statistics are pure functions of the counts, so they must
+		// agree bit-for-bit too.
+		return merged.Sum() == serial.Sum() &&
+			merged.Mean() == serial.Mean() &&
+			merged.Quantile(0.5) == serial.Quantile(0.5)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHistogramMergeAssociativeAndCommutative: (a⊕b)⊕c = a⊕(b⊕c) and
+// a⊕b = b⊕a, exactly — integer bucket counts make the merge a true monoid,
+// so any reduce tree over worker histograms yields the same result.
+func TestHistogramMergeAssociativeAndCommutative(t *testing.T) {
+	record := func(vals []float64) *Histogram {
+		h := &Histogram{}
+		for _, v := range vals {
+			h.Observe(v)
+		}
+		return h
+	}
+	f := func(ws workerStreams) bool {
+		streams := ws.values()
+		for len(streams) < 3 {
+			streams = append(streams, nil)
+		}
+		a, b, c := streams[0], streams[1], streams[2]
+
+		left := record(a) // (a ⊕ b) ⊕ c
+		left.Merge(record(b))
+		left.Merge(record(c))
+
+		bc := record(b) // a ⊕ (b ⊕ c)
+		bc.Merge(record(c))
+		right := record(a)
+		right.Merge(bc)
+
+		ba := record(b) // b ⊕ a
+		ba.Merge(record(a))
+		ab := record(a)
+		ab.Merge(record(b))
+
+		return left.Counts() == right.Counts() && ab.Counts() == ba.Counts()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHistogramQuantileBoundedByBucketEdges: for every q, the estimate lies
+// within the edges of the bucket that contains the true q-quantile of the
+// recorded values.
+func TestHistogramQuantileBoundedByBucketEdges(t *testing.T) {
+	f := func(ws workerStreams, qBits uint16) bool {
+		var vals []float64
+		for _, stream := range ws.values() {
+			vals = append(vals, stream...)
+		}
+		if len(vals) == 0 {
+			return true
+		}
+		h := &Histogram{}
+		for _, v := range vals {
+			h.Observe(v)
+		}
+		q := float64(qBits) / math.MaxUint16
+		// True quantile: the rank-⌈q·n⌉ element under the histogram's own
+		// ordering (bucket index, which totally orders NaN/negatives into
+		// bucket 0 and +Inf into the top bucket).
+		sort.Slice(vals, func(i, j int) bool {
+			bi, bj := BucketIndex(vals[i]), BucketIndex(vals[j])
+			return bi < bj
+		})
+		rank := int(math.Ceil(q * float64(len(vals))))
+		if rank == 0 {
+			rank = 1
+		}
+		trueQ := vals[rank-1]
+		b := BucketIndex(trueQ)
+		est := h.Quantile(q)
+		return BucketLower(b) <= est && est <= BucketUpper(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHistogramCountConservation: every observation lands in exactly one
+// bucket — total count equals observations, for arbitrary bit patterns.
+func TestHistogramCountConservation(t *testing.T) {
+	f := func(bits []uint64) bool {
+		h := &Histogram{}
+		for _, b := range bits {
+			h.Observe(math.Float64frombits(b))
+		}
+		counts := h.Counts()
+		var sum uint64
+		for _, n := range counts {
+			sum += n
+		}
+		return sum == uint64(len(bits)) && h.Count() == uint64(len(bits))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,115 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRegistryConcurrentAccess hammers one registry from many goroutines —
+// creating instruments by (sometimes shared) name, recording through them,
+// and snapshotting concurrently. Run under -race this pins the locking
+// discipline; the final counter total pins that no increment was lost.
+func TestRegistryConcurrentAccess(t *testing.T) {
+	reg := NewRegistry()
+	const (
+		workers = 8
+		iters   = 500
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				reg.Counter("shared_total").Inc()
+				reg.Counter(fmt.Sprintf("worker_total.w%02d", w)).Inc()
+				reg.Gauge("last_value").Set(float64(i))
+				reg.Histogram("values").Observe(float64(i) + 0.5)
+				if i%64 == 0 {
+					snap := reg.Snapshot()
+					if err := snap.Validate(); err != nil {
+						t.Errorf("mid-run snapshot invalid: %v", err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	snap := reg.Snapshot()
+	if err := snap.Validate(); err != nil {
+		t.Fatalf("final snapshot invalid: %v", err)
+	}
+	if got := reg.Counter("shared_total").Value(); got != workers*iters {
+		t.Fatalf("shared_total = %d, want %d", got, workers*iters)
+	}
+	if h := snap.Histogram("values"); h == nil || h.Count != workers*iters {
+		t.Fatalf("values histogram = %+v, want count %d", h, workers*iters)
+	}
+}
+
+// TestServerShutdownNoGoroutineLeak starts the HTTP endpoint, exercises it,
+// closes it, and requires the goroutine count to return to its baseline —
+// the serve loop and per-connection goroutines must all exit on Close.
+func TestServerShutdownNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	reg := NewRegistry()
+	reg.Counter("requests_total").Add(7)
+	srv, err := StartServer(reg, "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("StartServer: %v", err)
+	}
+	for _, path := range []string{"/metrics", "/metrics.ndjson"} {
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d err %v", path, resp.StatusCode, err)
+		}
+		if len(body) == 0 {
+			t.Fatalf("GET %s: empty body", path)
+		}
+	}
+	if _, err := ParseSnapshot(mustGet(t, "http://"+srv.Addr()+"/metrics.ndjson")); err != nil {
+		t.Fatalf("served NDJSON does not parse: %v", err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Keep-alive and scheduler cleanup is asynchronous; poll briefly.
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines: %d before server, %d after Close", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func mustGet(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return body
+}

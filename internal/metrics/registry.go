@@ -1,0 +1,120 @@
+package metrics
+
+import (
+	"sync"
+	"time"
+
+	"voyager/internal/sortkeys"
+)
+
+// Registry is a named collection of instruments. Get-or-create accessors are
+// safe for concurrent use from worker goroutines; instruments are created
+// once and then operated lock-free (counters, gauges) or under their own
+// lock (histograms), so the registry mutex is never on the hot path — call
+// sites resolve their instruments once, up front.
+//
+// A nil *Registry is the disabled state: every accessor returns nil, and
+// nil instruments are accepted by StartTimer; call sites guard the rest with
+// one pointer compare.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the counter with the given name, creating it on first use.
+// Returns nil on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge with the given name, creating it on first use.
+// Returns nil on a nil registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram with the given name, creating it on first
+// use. Returns nil on a nil registry.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot captures every instrument's current value, stable-sorted by name
+// within each kind, stamped with the current wall clock. Safe to call while
+// workers record. Returns an empty snapshot on a nil registry.
+func (r *Registry) Snapshot() Snapshot {
+	return r.snapshotAt(time.Now().UnixNano())
+}
+
+// snapshotAt is Snapshot with an explicit timestamp (tests use a fixed one
+// so golden comparisons don't depend on the clock).
+func (r *Registry) snapshotAt(ts int64) Snapshot {
+	s := Snapshot{TimeUnixNs: ts}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, name := range sortkeys.Sorted(r.counters) {
+		s.Counters = append(s.Counters, CounterPoint{Name: name, Value: r.counters[name].Value()})
+	}
+	for _, name := range sortkeys.Sorted(r.gauges) {
+		s.Gauges = append(s.Gauges, GaugePoint{Name: name, Value: JSONFloat(r.gauges[name].Value())})
+	}
+	for _, name := range sortkeys.Sorted(r.hists) {
+		counts := r.hists[name].Counts()
+		p := HistogramPoint{Name: name}
+		var sum float64
+		for i, n := range counts {
+			if n != 0 {
+				p.Count += n
+				sum += float64(n) * bucketMid(i)
+				p.Buckets = append(p.Buckets, BucketCount{Bucket: i, Count: n})
+			}
+		}
+		p.Sum = JSONFloat(sum)
+		s.Histograms = append(s.Histograms, p)
+	}
+	return s
+}

@@ -1,0 +1,114 @@
+package metrics
+
+import (
+	"os"
+	"time"
+)
+
+// SinkOptions configures Start: which of the three outputs (NDJSON stream,
+// HTTP endpoint, manifest file) a run wants. Empty strings disable an
+// output; all three empty means metrics are off entirely and Start returns
+// a nil *Sink, whose methods are all no-ops — commands wire their -metrics
+// flags straight through without caring whether anything is enabled.
+type SinkOptions struct {
+	Tool         string // binary name recorded in the manifest
+	Config       any    // resolved run configuration for the manifest
+	Seed         int64
+	StreamPath   string        // NDJSON snapshot stream file
+	HTTPAddr     string        // metrics+pprof listen address
+	ManifestPath string        // run-manifest JSON file
+	FlushEvery   time.Duration // stream period (default 1s)
+}
+
+// Sink owns a run's observability outputs: one registry plus the optional
+// stream file, HTTP server and manifest. Close flushes and releases
+// everything in the right order.
+type Sink struct {
+	reg      *Registry
+	manifest *Manifest
+	stream   *Streamer
+	file     *os.File
+	server   *Server
+	manPath  string
+}
+
+// Start opens the requested outputs. On any error it releases whatever it
+// had already opened and returns the error.
+func Start(o SinkOptions) (*Sink, error) {
+	if o.StreamPath == "" && o.HTTPAddr == "" && o.ManifestPath == "" {
+		return nil, nil
+	}
+	s := &Sink{reg: NewRegistry(), manPath: o.ManifestPath}
+	if o.ManifestPath != "" {
+		s.manifest = NewManifest(o.Tool, o.Config, o.Seed)
+	}
+	if o.StreamPath != "" {
+		f, err := os.Create(o.StreamPath)
+		if err != nil {
+			return nil, err
+		}
+		s.file = f
+		s.stream = NewStreamer(s.reg, f)
+		every := o.FlushEvery
+		if every <= 0 {
+			every = time.Second
+		}
+		s.stream.Start(every)
+	}
+	if o.HTTPAddr != "" {
+		srv, err := StartServer(s.reg, o.HTTPAddr)
+		if err != nil {
+			if s.stream != nil {
+				s.stream.Close() //nolint:errcheck // aborting anyway
+				s.file.Close()   //nolint:errcheck
+			}
+			return nil, err
+		}
+		s.server = srv
+	}
+	return s, nil
+}
+
+// Registry returns the sink's registry, nil for a nil sink — exactly the
+// value instrumented code expects in its "metrics disabled" state.
+func (s *Sink) Registry() *Registry {
+	if s == nil {
+		return nil
+	}
+	return s.reg
+}
+
+// HTTPAddr returns the bound metrics address ("" when no server).
+func (s *Sink) HTTPAddr() string {
+	if s == nil || s.server == nil {
+		return ""
+	}
+	return s.server.Addr()
+}
+
+// Close finalizes the manifest, writes the last stream line, closes the
+// file and shuts the server down. Safe on a nil sink. Returns the first
+// error.
+func (s *Sink) Close() error {
+	if s == nil {
+		return nil
+	}
+	var firstErr error
+	keep := func(err error) {
+		if firstErr == nil && err != nil {
+			firstErr = err
+		}
+	}
+	if s.manifest != nil {
+		s.manifest.Finalize(s.reg)
+		keep(s.manifest.WriteFile(s.manPath))
+	}
+	if s.stream != nil {
+		keep(s.stream.Close())
+		keep(s.file.Close())
+	}
+	if s.server != nil {
+		keep(s.server.Close())
+	}
+	return firstErr
+}

@@ -1,0 +1,224 @@
+package metrics
+
+import (
+	"bytes"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestSinkDisabled pins the all-off contract: no outputs requested means a
+// nil sink whose registry is nil, so instrumented code takes its disabled
+// path, and whose lifecycle methods are inert.
+func TestSinkDisabled(t *testing.T) {
+	s, err := Start(SinkOptions{Tool: "test"})
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if s != nil {
+		t.Fatalf("Start with no outputs = %v, want nil sink", s)
+	}
+	if reg := s.Registry(); reg != nil {
+		t.Errorf("nil sink Registry() = %v, want nil", reg)
+	}
+	if addr := s.HTTPAddr(); addr != "" {
+		t.Errorf("nil sink HTTPAddr() = %q, want empty", addr)
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("nil sink Close() = %v", err)
+	}
+}
+
+// TestSinkFullLifecycle opens all three outputs, records through the sink's
+// registry, and checks each artifact after Close: the NDJSON stream parses
+// and ends with a snapshot holding the final counter value, the manifest
+// records tool/seed/config and embeds the same final snapshot, and the
+// HTTP endpoint serves while open.
+func TestSinkFullLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	streamPath := filepath.Join(dir, "run.ndjson")
+	manPath := filepath.Join(dir, "run.json")
+
+	type cfg struct {
+		Hidden int `json:"hidden"`
+	}
+	s, err := Start(SinkOptions{
+		Tool:         "sinktest",
+		Config:       cfg{Hidden: 64},
+		Seed:         7,
+		StreamPath:   streamPath,
+		HTTPAddr:     "127.0.0.1:0",
+		ManifestPath: manPath,
+		FlushEvery:   10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	reg := s.Registry()
+	if reg == nil {
+		t.Fatal("enabled sink returned nil registry")
+	}
+	reg.Counter("sink_test_total").Add(42)
+
+	addr := s.HTTPAddr()
+	if addr == "" {
+		t.Fatal("HTTPAddr empty with server requested")
+	}
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics status %d", resp.StatusCode)
+	}
+
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	stream, err := os.ReadFile(streamPath)
+	if err != nil {
+		t.Fatalf("read stream: %v", err)
+	}
+	snaps, err := ReadSnapshots(bytes.NewReader(stream))
+	if err != nil {
+		t.Fatalf("stream does not parse: %v", err)
+	}
+	if len(snaps) == 0 {
+		t.Fatal("stream has no snapshots")
+	}
+	last := snaps[len(snaps)-1]
+	if v, ok := last.Counter("sink_test_total"); !ok || v != 42 {
+		t.Errorf("final stream snapshot sink_test_total = %d (%v), want 42", v, ok)
+	}
+
+	manData, err := os.ReadFile(manPath)
+	if err != nil {
+		t.Fatalf("read manifest: %v", err)
+	}
+	m, err := ReadManifest(manData)
+	if err != nil {
+		t.Fatalf("manifest does not parse: %v", err)
+	}
+	if m.Tool != "sinktest" || m.Seed != 7 {
+		t.Errorf("manifest identity = %q/%d, want sinktest/7", m.Tool, m.Seed)
+	}
+	if m.GoVersion == "" || m.GOMAXPROCS < 1 || m.NumCPU < 1 || m.GitRef == "" {
+		t.Errorf("manifest environment incomplete: %+v", m)
+	}
+	if m.StartTime == "" || m.EndTime == "" {
+		t.Errorf("manifest times incomplete: start=%q end=%q", m.StartTime, m.EndTime)
+	}
+	if m.Final == nil {
+		t.Fatal("manifest missing final snapshot")
+	}
+	if err := m.Final.Validate(); err != nil {
+		t.Errorf("manifest final snapshot invalid: %v", err)
+	}
+	if v, ok := m.Final.Counter("sink_test_total"); !ok || v != 42 {
+		t.Errorf("manifest final sink_test_total = %d (%v), want 42", v, ok)
+	}
+	if !strings.Contains(string(manData), `"hidden": 64`) {
+		t.Errorf("manifest config not embedded:\n%s", manData)
+	}
+}
+
+// TestSinkStreamOnly exercises the stream-only configuration and the
+// stream+server error path (bad listen address must release the already
+// opened stream file).
+func TestSinkStreamOnly(t *testing.T) {
+	dir := t.TempDir()
+	streamPath := filepath.Join(dir, "only.ndjson")
+	s, err := Start(SinkOptions{Tool: "t", StreamPath: streamPath})
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if s.HTTPAddr() != "" {
+		t.Errorf("HTTPAddr = %q with no server", s.HTTPAddr())
+	}
+	s.Registry().Gauge("g").Set(1.5)
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	data, err := os.ReadFile(streamPath)
+	if err != nil || len(data) == 0 {
+		t.Fatalf("stream file empty or unreadable: %v", err)
+	}
+
+	if _, err := Start(SinkOptions{
+		Tool:       "t",
+		StreamPath: filepath.Join(dir, "errcase.ndjson"),
+		HTTPAddr:   "256.256.256.256:0",
+	}); err == nil {
+		t.Fatal("Start with unlistenable address succeeded")
+	}
+}
+
+// TestSinkStartErrors pins the failure modes: an unwritable stream path and
+// an unlistenable HTTP address both fail Start.
+func TestSinkStartErrors(t *testing.T) {
+	if _, err := Start(SinkOptions{StreamPath: filepath.Join(t.TempDir(), "no", "such", "dir", "x.ndjson")}); err == nil {
+		t.Error("Start with unwritable stream path succeeded")
+	}
+	if _, err := Start(SinkOptions{HTTPAddr: "256.256.256.256:0"}); err == nil {
+		t.Error("Start with unlistenable address succeeded")
+	}
+}
+
+// TestManifestGitRef covers the resolver on synthetic .git layouts:
+// detached HEAD, a symbolic ref with a loose ref file, a packed-only ref,
+// and no repository at all.
+func TestManifestGitRef(t *testing.T) {
+	hash := "0123456789abcdef0123456789abcdef01234567"
+
+	detached := t.TempDir()
+	mustWrite(t, filepath.Join(detached, ".git", "HEAD"), hash+"\n")
+	if got := GitRef(detached); got != hash {
+		t.Errorf("detached GitRef = %q, want %q", got, hash)
+	}
+
+	loose := t.TempDir()
+	mustWrite(t, filepath.Join(loose, ".git", "HEAD"), "ref: refs/heads/main\n")
+	mustWrite(t, filepath.Join(loose, ".git", "refs", "heads", "main"), hash+"\n")
+	// Resolution must also work from a subdirectory of the tree.
+	sub := filepath.Join(loose, "internal", "deep")
+	if err := os.MkdirAll(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if got := GitRef(sub); got != hash {
+		t.Errorf("loose-ref GitRef = %q, want %q", got, hash)
+	}
+
+	packed := t.TempDir()
+	mustWrite(t, filepath.Join(packed, ".git", "HEAD"), "ref: refs/heads/main\n")
+	mustWrite(t, filepath.Join(packed, ".git", "packed-refs"),
+		"# pack-refs with: peeled fully-peeled sorted\n"+hash+" refs/heads/main\n")
+	if got := GitRef(packed); got != hash {
+		t.Errorf("packed-ref GitRef = %q, want %q", got, hash)
+	}
+
+	// A symbolic ref that resolves nowhere still names the branch.
+	dangling := t.TempDir()
+	mustWrite(t, filepath.Join(dangling, ".git", "HEAD"), "ref: refs/heads/ghost\n")
+	if got := GitRef(dangling); got != "refs/heads/ghost" {
+		t.Errorf("dangling-ref GitRef = %q, want refs/heads/ghost", got)
+	}
+
+	if got := GitRef(filepath.Join(t.TempDir())); got != "unknown" {
+		t.Errorf("no-repo GitRef = %q, want unknown", got)
+	}
+}
+
+func mustWrite(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

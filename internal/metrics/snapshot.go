@@ -1,0 +1,230 @@
+package metrics
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+)
+
+// JSONFloat is a float64 that survives JSON round trips even when
+// non-finite: NaN and ±Inf — which encoding/json rejects outright — are
+// encoded as the quoted strings "NaN", "+Inf" and "-Inf", and both forms are
+// accepted on decode. Snapshot lines must never fail to serialize just
+// because a gauge divided by zero somewhere.
+type JSONFloat float64
+
+// MarshalJSON implements json.Marshaler.
+func (f JSONFloat) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	switch {
+	case math.IsNaN(v):
+		return []byte(`"NaN"`), nil
+	case math.IsInf(v, 1):
+		return []byte(`"+Inf"`), nil
+	case math.IsInf(v, -1):
+		return []byte(`"-Inf"`), nil
+	}
+	return strconv.AppendFloat(nil, v, 'g', -1, 64), nil
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (f *JSONFloat) UnmarshalJSON(b []byte) error {
+	switch string(b) {
+	case `"NaN"`:
+		*f = JSONFloat(math.NaN())
+		return nil
+	case `"+Inf"`, `"Inf"`:
+		*f = JSONFloat(math.Inf(1))
+		return nil
+	case `"-Inf"`:
+		*f = JSONFloat(math.Inf(-1))
+		return nil
+	}
+	v, err := strconv.ParseFloat(string(b), 64)
+	if err != nil {
+		return fmt.Errorf("metrics: bad float %q", b)
+	}
+	*f = JSONFloat(v)
+	return nil
+}
+
+// CounterPoint is one counter's value in a snapshot.
+type CounterPoint struct {
+	Name  string `json:"name"`
+	Value uint64 `json:"value"`
+}
+
+// GaugePoint is one gauge's value in a snapshot.
+type GaugePoint struct {
+	Name  string    `json:"name"`
+	Value JSONFloat `json:"value"`
+}
+
+// BucketCount is one non-zero histogram bucket (sparse encoding: snapshots
+// carry only occupied buckets of the fixed 64-bucket geometry).
+type BucketCount struct {
+	Bucket int    `json:"b"`
+	Count  uint64 `json:"n"`
+}
+
+// HistogramPoint is one histogram's state in a snapshot.
+type HistogramPoint struct {
+	Name    string        `json:"name"`
+	Count   uint64        `json:"count"`
+	Sum     JSONFloat     `json:"sum"`
+	Buckets []BucketCount `json:"buckets,omitempty"`
+}
+
+// Snapshot is one observation of a whole registry: every instrument,
+// stable-sorted by name within its kind, at one timestamp. The NDJSON
+// stream a run emits is a sequence of these, one per line.
+type Snapshot struct {
+	TimeUnixNs int64            `json:"ts_unix_ns"`
+	Counters   []CounterPoint   `json:"counters,omitempty"`
+	Gauges     []GaugePoint     `json:"gauges,omitempty"`
+	Histograms []HistogramPoint `json:"histograms,omitempty"`
+}
+
+// Counter returns the named counter total (0, false when absent).
+func (s *Snapshot) Counter(name string) (uint64, bool) {
+	for _, c := range s.Counters {
+		if c.Name == name {
+			return c.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Gauge returns the named gauge value (0, false when absent).
+func (s *Snapshot) Gauge(name string) (float64, bool) {
+	for _, g := range s.Gauges {
+		if g.Name == name {
+			return float64(g.Value), true
+		}
+	}
+	return 0, false
+}
+
+// Histogram returns the named histogram point (nil when absent).
+func (s *Snapshot) Histogram(name string) *HistogramPoint {
+	for i := range s.Histograms {
+		if s.Histograms[i].Name == name {
+			return &s.Histograms[i]
+		}
+	}
+	return nil
+}
+
+// MarshalNDJSON renders the snapshot as a single newline-terminated JSON
+// line, the unit of the streaming format.
+func (s *Snapshot) MarshalNDJSON() ([]byte, error) {
+	b, err := json.Marshal(s)
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// Validate enforces the canonical snapshot shape the exporter produces:
+// names present, strictly sorted and unique within each kind; bucket
+// indices in range, strictly ascending, with counts that are non-zero and
+// sum to the histogram's count. Accepted snapshots therefore re-marshal to
+// the same canonical line, which the fuzz harness exploits for its
+// round-trip oracle.
+func (s *Snapshot) Validate() error {
+	for i, c := range s.Counters {
+		if c.Name == "" {
+			return fmt.Errorf("metrics: counter %d has no name", i)
+		}
+		if i > 0 && s.Counters[i-1].Name >= c.Name {
+			return fmt.Errorf("metrics: counters not strictly sorted at %q", c.Name)
+		}
+	}
+	for i, g := range s.Gauges {
+		if g.Name == "" {
+			return fmt.Errorf("metrics: gauge %d has no name", i)
+		}
+		if i > 0 && s.Gauges[i-1].Name >= g.Name {
+			return fmt.Errorf("metrics: gauges not strictly sorted at %q", g.Name)
+		}
+	}
+	for i, h := range s.Histograms {
+		if h.Name == "" {
+			return fmt.Errorf("metrics: histogram %d has no name", i)
+		}
+		if i > 0 && s.Histograms[i-1].Name >= h.Name {
+			return fmt.Errorf("metrics: histograms not strictly sorted at %q", h.Name)
+		}
+		var total uint64
+		for j, b := range h.Buckets {
+			if b.Bucket < 0 || b.Bucket >= NumBuckets {
+				return fmt.Errorf("metrics: histogram %q bucket %d out of range", h.Name, b.Bucket)
+			}
+			if j > 0 && h.Buckets[j-1].Bucket >= b.Bucket {
+				return fmt.Errorf("metrics: histogram %q buckets not ascending", h.Name)
+			}
+			if b.Count == 0 {
+				return fmt.Errorf("metrics: histogram %q carries an empty bucket", h.Name)
+			}
+			total += b.Count
+		}
+		if total != h.Count {
+			return fmt.Errorf("metrics: histogram %q bucket counts sum to %d, count says %d",
+				h.Name, total, h.Count)
+		}
+	}
+	return nil
+}
+
+// ParseSnapshot decodes and validates one NDJSON line. It is the entry
+// point of the comparison tooling and therefore hardened against hostile
+// input: arbitrary bytes must produce an error, never a panic (see
+// FuzzParseSnapshot).
+func ParseSnapshot(line []byte) (*Snapshot, error) {
+	line = bytes.TrimSpace(line)
+	if len(line) == 0 {
+		return nil, fmt.Errorf("metrics: empty snapshot line")
+	}
+	dec := json.NewDecoder(bytes.NewReader(line))
+	dec.DisallowUnknownFields()
+	var s Snapshot
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("metrics: bad snapshot line: %w", err)
+	}
+	// Trailing garbage after the JSON value is a truncation/corruption sign.
+	if dec.More() {
+		return nil, fmt.Errorf("metrics: trailing data after snapshot")
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// ReadSnapshots decodes a whole NDJSON stream, skipping blank lines. The
+// first malformed line aborts with an error naming its line number.
+func ReadSnapshots(r io.Reader) ([]*Snapshot, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	var out []*Snapshot
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+			continue
+		}
+		s, err := ParseSnapshot(sc.Bytes())
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		out = append(out, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,83 @@
+package metrics
+
+import (
+	"io"
+	"sync"
+	"time"
+)
+
+// Streamer appends registry snapshots to a writer as NDJSON, one line per
+// Flush. Start adds a background ticker so long runs emit a time series
+// without the run loop having to care; Close stops the ticker, writes one
+// final line and reports the first write error encountered.
+type Streamer struct {
+	mu  sync.Mutex
+	reg *Registry
+	w   io.Writer
+	err error
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewStreamer wraps a writer. The caller owns the writer's lifetime (the
+// streamer never closes it).
+func NewStreamer(reg *Registry, w io.Writer) *Streamer {
+	return &Streamer{reg: reg, w: w}
+}
+
+// Flush writes one snapshot line. Errors are sticky: after the first failed
+// write every subsequent Flush returns the same error without writing.
+func (s *Streamer) Flush() error {
+	snap := s.reg.Snapshot()
+	line, err := snap.MarshalNDJSON()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	if err == nil {
+		_, err = s.w.Write(line)
+	}
+	s.err = err
+	return err
+}
+
+// Start launches a goroutine that flushes every interval until Close.
+// Calling Start twice is a no-op.
+func (s *Streamer) Start(interval time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.done != nil {
+		return
+	}
+	s.done = make(chan struct{})
+	s.wg.Add(1)
+	go func(done chan struct{}) {
+		defer s.wg.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				s.Flush() //nolint:errcheck // sticky error reported by Close
+			case <-done:
+				return
+			}
+		}
+	}(s.done)
+}
+
+// Close stops the ticker goroutine (if any), writes a final snapshot line
+// and returns the sticky error state.
+func (s *Streamer) Close() error {
+	s.mu.Lock()
+	done := s.done
+	s.done = nil
+	s.mu.Unlock()
+	if done != nil {
+		close(done)
+		s.wg.Wait()
+	}
+	return s.Flush()
+}

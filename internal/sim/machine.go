@@ -99,6 +99,9 @@ type Machine struct {
 	inFlight map[uint64]uint64
 	// inFlightPrefetch marks in-flight fills initiated by a prefetch.
 	inFlightPrefetch map[uint64]bool
+
+	// obs is the observability bundle (never nil; inert until Instrument).
+	obs *simObs
 }
 
 // NewMachine builds a machine from the configuration.
@@ -111,6 +114,7 @@ func NewMachine(cfg Config) *Machine {
 		dram:             NewDRAM(),
 		inFlight:         make(map[uint64]uint64),
 		inFlightPrefetch: make(map[uint64]bool),
+		obs:              newSimObs(nil),
 	}
 }
 
@@ -215,6 +219,7 @@ func (m *Machine) Run(tr *trace.Trace, pf prefetch.Prefetcher) Result {
 		res.IPC = float64(res.Instructions) / float64(res.Cycles)
 	}
 	res.DRAMRequests = m.dram.Requests
+	m.obs.flushDRAM(m.dram, res.IPC)
 	return res
 }
 
@@ -223,16 +228,21 @@ func (m *Machine) Run(tr *trace.Trace, pf prefetch.Prefetcher) Result {
 // LLC, where the prefetcher observes it).
 func (m *Machine) demandAccess(line uint64, cycle uint64, stamp uint64, res *Result) (uint64, bool) {
 	if hit, _ := m.l1.Lookup(line, stamp); hit {
+		m.obs.l1Hits.Inc()
 		return uint64(m.cfg.L1Latency), false
 	}
+	m.obs.l1Misses.Inc()
 	lat := uint64(m.cfg.L1Latency)
 	if hit, _ := m.l2.Lookup(line, stamp); hit {
+		m.obs.l2Hits.Inc()
 		m.l1.Fill(line, stamp, false)
 		return lat + uint64(m.cfg.L2Latency), false
 	}
+	m.obs.l2Misses.Inc()
 	lat += uint64(m.cfg.L2Latency)
 	res.LLCDemandAccesses++
 	if hit, wasPrefetch := m.llc.Lookup(line, stamp); hit {
+		m.obs.llcHits.Inc()
 		// If the line's fill is still in flight (a late prefetch or an
 		// earlier demand miss to the same line), the data hasn't actually
 		// arrived: charge the remaining wait.
@@ -249,11 +259,13 @@ func (m *Machine) demandAccess(line uint64, cycle uint64, stamp uint64, res *Res
 		}
 		if wasPrefetch {
 			res.PrefetchesUseful++
+			m.obs.prefUseful.Inc()
 		}
 		m.l2.Fill(line, stamp, false)
 		m.l1.Fill(line, stamp, false)
 		return lat + uint64(m.cfg.LLCLatency) + wait, true
 	}
+	m.obs.llcMisses.Inc()
 	lat += uint64(m.cfg.LLCLatency)
 
 	// Miss: merge with an in-flight fill if one exists (the line was
@@ -266,6 +278,7 @@ func (m *Machine) demandAccess(line uint64, cycle uint64, stamp uint64, res *Res
 		if ready > cycle {
 			if wasPrefetch {
 				res.PrefetchesUseful++
+				m.obs.prefUseful.Inc()
 				res.LLCLateCovered++
 			} else {
 				res.LLCDemandMisses++
@@ -277,6 +290,7 @@ func (m *Machine) demandAccess(line uint64, cycle uint64, stamp uint64, res *Res
 
 	res.LLCDemandMisses++
 	ready := m.dram.Access(line, cycle)
+	m.obs.dramLatency.Observe(float64(ready - cycle))
 	m.inFlight[line] = ready
 	m.fillAll(line, stamp, false)
 	return lat + (ready - cycle), true
@@ -296,7 +310,9 @@ func (m *Machine) prefetchLine(line uint64, cycle uint64, stamp uint64, res *Res
 		delete(m.inFlightPrefetch, line)
 	}
 	res.PrefetchesIssued++
+	m.obs.prefIssued.Inc()
 	ready := m.dram.Access(line, cycle)
+	m.obs.dramLatency.Observe(float64(ready - cycle))
 	m.inFlight[line] = ready
 	m.inFlightPrefetch[line] = true
 	// The fill lands in the LLC when ready; we insert immediately with the

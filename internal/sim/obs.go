@@ -1,0 +1,62 @@
+package sim
+
+import "voyager/internal/metrics"
+
+// simObs bundles the simulator's instruments. A machine starts with an
+// inert bundle (nil instruments, every call a no-op); Instrument swaps in a
+// live one. The simulator is single-threaded and deterministic, and the
+// instruments only count events the run produces anyway, so results are
+// identical with metrics on or off.
+type simObs struct {
+	l1Hits, l1Misses   *metrics.Counter // sim_l1_{hits,misses}_total
+	l2Hits, l2Misses   *metrics.Counter // sim_l2_{hits,misses}_total
+	llcHits, llcMisses *metrics.Counter // sim_llc_{hits,misses}_total
+
+	prefIssued *metrics.Counter // sim_prefetches_issued_total
+	prefUseful *metrics.Counter // sim_prefetches_useful_total
+
+	dramRequests  *metrics.Counter   // sim_dram_requests_total
+	dramRowHits   *metrics.Counter   // sim_dram_row_hits_total
+	dramRowMisses *metrics.Counter   // sim_dram_row_misses_total
+	dramLatency   *metrics.Histogram // sim_dram_latency_cycles
+
+	ipc *metrics.Gauge // sim_ipc: last completed run
+
+	// Last flushed DRAM totals, so repeated Runs on one machine export
+	// monotone counter deltas.
+	flushedReqs, flushedRowHits, flushedRowMisses uint64
+}
+
+func newSimObs(reg *metrics.Registry) *simObs {
+	return &simObs{
+		l1Hits:        reg.Counter("sim_l1_hits_total"),
+		l1Misses:      reg.Counter("sim_l1_misses_total"),
+		l2Hits:        reg.Counter("sim_l2_hits_total"),
+		l2Misses:      reg.Counter("sim_l2_misses_total"),
+		llcHits:       reg.Counter("sim_llc_hits_total"),
+		llcMisses:     reg.Counter("sim_llc_misses_total"),
+		prefIssued:    reg.Counter("sim_prefetches_issued_total"),
+		prefUseful:    reg.Counter("sim_prefetches_useful_total"),
+		dramRequests:  reg.Counter("sim_dram_requests_total"),
+		dramRowHits:   reg.Counter("sim_dram_row_hits_total"),
+		dramRowMisses: reg.Counter("sim_dram_row_misses_total"),
+		dramLatency:   reg.Histogram("sim_dram_latency_cycles"),
+		ipc:           reg.Gauge("sim_ipc"),
+	}
+}
+
+// Instrument attaches the machine to a metrics registry. Call before Run;
+// a nil registry restores the inert bundle.
+func (m *Machine) Instrument(reg *metrics.Registry) {
+	m.obs = newSimObs(reg)
+}
+
+// flushDRAM exports the DRAM model's cumulative totals as counter deltas
+// and records the run's IPC; called at the end of each Run.
+func (o *simObs) flushDRAM(d *DRAM, ipc float64) {
+	o.dramRequests.Add(d.Requests - o.flushedReqs)
+	o.dramRowHits.Add(d.RowHits - o.flushedRowHits)
+	o.dramRowMisses.Add(d.RowMisses - o.flushedRowMisses)
+	o.flushedReqs, o.flushedRowHits, o.flushedRowMisses = d.Requests, d.RowHits, d.RowMisses
+	o.ipc.Set(ipc)
+}

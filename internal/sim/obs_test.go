@@ -1,0 +1,99 @@
+package sim
+
+import (
+	"testing"
+
+	"voyager/internal/eval"
+	"voyager/internal/metrics"
+	"voyager/internal/prefetch"
+	"voyager/internal/workloads"
+)
+
+// TestInstrumentedRunMatchesResult runs the same trace on an instrumented
+// and an uninstrumented machine: the Result structs must be identical
+// (instrumentation observes, never perturbs) and the exported counters must
+// agree with the Result's own accounting.
+func TestInstrumentedRunMatchesResult(t *testing.T) {
+	tr, err := workloads.Generate("pr", workloads.Config{Seed: 3, Scale: 1, MaxAccesses: 6000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ScaledConfig()
+
+	plain := NewMachine(cfg).Run(tr, prefetch.Nil{})
+
+	reg := metrics.NewRegistry()
+	m := NewMachine(cfg)
+	m.Instrument(reg)
+	res := m.Run(tr, prefetch.Nil{})
+
+	if res != plain {
+		t.Fatalf("instrumented result differs:\n  with:    %+v\n  without: %+v", res, plain)
+	}
+
+	snap := reg.Snapshot()
+	if err := snap.Validate(); err != nil {
+		t.Fatalf("snapshot invalid: %v", err)
+	}
+	checks := []struct {
+		name string
+		want uint64
+	}{
+		{"sim_llc_misses_total", res.LLCDemandMisses},
+		{"sim_prefetches_issued_total", res.PrefetchesIssued},
+		{"sim_prefetches_useful_total", res.PrefetchesUseful},
+		{"sim_dram_requests_total", res.DRAMRequests},
+	}
+	for _, c := range checks {
+		if got, _ := snap.Counter(c.name); got != c.want {
+			t.Errorf("%s = %d, want %d (Result)", c.name, got, c.want)
+		}
+	}
+	// Every demand access hits exactly one level or goes to DRAM; L1 totals
+	// must cover the whole trace.
+	l1h, _ := snap.Counter("sim_l1_hits_total")
+	l1m, _ := snap.Counter("sim_l1_misses_total")
+	if l1h+l1m != uint64(tr.Len()) {
+		t.Errorf("L1 hits+misses = %d, want %d accesses", l1h+l1m, tr.Len())
+	}
+	// The demand-miss DRAM latency histogram saw every demand DRAM request.
+	if h := snap.Histogram("sim_dram_latency_cycles"); h == nil || h.Count != res.DRAMRequests {
+		t.Errorf("dram latency observations = %v, want %d", h, res.DRAMRequests)
+	}
+	if ipc, ok := snap.Gauge("sim_ipc"); !ok || ipc != res.IPC {
+		t.Errorf("sim_ipc = %v (%v), want %v", ipc, ok, res.IPC)
+	}
+}
+
+// TestEvalRecordGauges pins the eval-side gauge export: breakdown fractions
+// and the unified metric land under stable dotted names.
+func TestEvalRecordGauges(t *testing.T) {
+	tr, err := workloads.Generate("pr", workloads.Config{Seed: 3, Scale: 1, MaxAccesses: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds := make([][]uint64, tr.Len())
+	for i := 0; i+1 < tr.Len(); i++ {
+		preds[i] = []uint64{tr.Accesses[i+1].Addr} // perfect next-line oracle
+	}
+	b := eval.Breakdown(tr, preds, eval.DefaultWindow, 0)
+	b.Prefetcher = "oracle"
+
+	reg := metrics.NewRegistry()
+	b.Record(reg)
+	eval.RecordUnified(reg, tr.Name, "oracle", 0.5)
+
+	snap := reg.Snapshot()
+	if err := snap.Validate(); err != nil {
+		t.Fatalf("snapshot invalid: %v", err)
+	}
+	if v, ok := snap.Gauge("eval_coverage.pr.oracle"); !ok || v != b.Coverage() {
+		t.Errorf("eval_coverage.pr.oracle = %v (%v), want %v", v, ok, b.Coverage())
+	}
+	if v, ok := snap.Gauge("eval_frac.pr.oracle.covered"); !ok || v != b.Frac[eval.Covered] {
+		t.Errorf("eval_frac.pr.oracle.covered = %v (%v), want %v", v, ok, b.Frac[eval.Covered])
+	}
+	if v, ok := snap.Gauge("eval_unified.pr.oracle"); !ok || v != 0.5 {
+		t.Errorf("eval_unified.pr.oracle = %v (%v)", v, ok)
+	}
+}

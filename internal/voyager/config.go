@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"voyager/internal/label"
+	"voyager/internal/metrics"
 	"voyager/internal/vocab"
 )
 
@@ -102,6 +103,14 @@ type Config struct {
 	// bit-identical; this is a test/debug hook for the differential suite,
 	// not a tuning knob.
 	UnfusedLSTM bool
+
+	// Metrics is the optional observability registry. nil (the default)
+	// disables instrumentation entirely. Enabling it never changes training:
+	// instruments only observe values the run computes anyway — counters,
+	// timings and post-reduce gradient reads — so runs are bit-identical
+	// either way (pinned by the golden differential tests). Excluded from
+	// JSON so run manifests embedding a Config stay plain data.
+	Metrics *metrics.Registry `json:"-"`
 
 	// Workers is the data-parallel width of TrainBatch/PredictBatch: each
 	// minibatch is cut into Workers contiguous shards that run forward and

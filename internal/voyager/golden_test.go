@@ -1,7 +1,10 @@
 package voyager
 
 import (
+	"hash/fnv"
 	"testing"
+
+	"voyager/internal/metrics"
 )
 
 // Golden fixed-seed outputs captured from the pre-arena, pre-fusion
@@ -16,7 +19,11 @@ var goldenLosses = map[int][]float32{
 
 const goldenPredHash = uint64(0x841f3e64aba880a3)
 
-func goldenRun(t *testing.T, workers int, unfused bool) ([]float32, uint64) {
+// goldenRun trains the fixed-seed cyclic trace and returns the epoch
+// losses, an FNV hash of every prediction, and an FNV hash of the trained
+// weights. reg optionally attaches the observability registry — which must
+// not change any of the three outputs.
+func goldenRun(t *testing.T, workers int, unfused bool, reg *metrics.Registry) ([]float32, uint64, uint64) {
 	t.Helper()
 	cycle := []uint64{0x10<<6 | 5, 0x22<<6 | 61, 0x15<<6 | 0, 0x9<<6 | 33,
 		0x30<<6 | 7, 0x11<<6 | 12, 0x28<<6 | 50, 0x3<<6 | 18}
@@ -25,6 +32,7 @@ func goldenRun(t *testing.T, workers int, unfused bool) ([]float32, uint64) {
 	cfg.EpochAccesses = 1000
 	cfg.Workers = workers
 	cfg.UnfusedLSTM = unfused
+	cfg.Metrics = reg
 	p, err := Train(tr, cfg)
 	if err != nil {
 		t.Fatalf("workers=%d unfused=%v: %v", workers, unfused, err)
@@ -36,7 +44,11 @@ func goldenRun(t *testing.T, workers int, unfused bool) ([]float32, uint64) {
 			h *= 1099511628211
 		}
 	}
-	return p.EpochLosses(), h
+	hw := fnv.New64a()
+	if err := p.SaveWeights(hw); err != nil {
+		t.Fatalf("workers=%d: SaveWeights: %v", workers, err)
+	}
+	return p.EpochLosses(), h, hw.Sum64()
 }
 
 // TestGoldenEquivalenceFixedSeed locks end-to-end training to the values the
@@ -46,7 +58,7 @@ func goldenRun(t *testing.T, workers int, unfused bool) ([]float32, uint64) {
 func TestGoldenEquivalenceFixedSeed(t *testing.T) {
 	for _, workers := range []int{1, 4} {
 		for _, unfused := range []bool{false, true} {
-			losses, h := goldenRun(t, workers, unfused)
+			losses, h, _ := goldenRun(t, workers, unfused, nil)
 			want := goldenLosses[workers]
 			if len(losses) != len(want) {
 				t.Fatalf("workers=%d unfused=%v: %d epochs, want %d (losses %v)",
@@ -62,6 +74,73 @@ func TestGoldenEquivalenceFixedSeed(t *testing.T) {
 				t.Fatalf("workers=%d unfused=%v: prediction hash %#x, want %#x",
 					workers, unfused, h, goldenPredHash)
 			}
+		}
+	}
+}
+
+// TestGoldenMetricsDifferential is the observability layer's differential
+// guarantee, in two parts. First, at each worker count a metrics-enabled run
+// must be bit-identical to the metrics-disabled run: same epoch losses, same
+// prediction hash, same trained weights — instruments observe, they never
+// perturb. Second, the protocol-level counters (steps, samples, tokens,
+// epochs, predict batches) must be identical across worker counts: sharding
+// a batch changes RNG streams and float summation order (hence the separate
+// goldenLosses per width) but never how much work the protocol does.
+func TestGoldenMetricsDifferential(t *testing.T) {
+	counterNames := []string{
+		"train_steps_total", "train_samples_total", "train_tokens_total",
+		"train_epochs_total", "predict_batches_total",
+	}
+	totals := map[int]map[string]uint64{}
+	for _, workers := range []int{1, 4} {
+		offLosses, offPred, offWeights := goldenRun(t, workers, false, nil)
+		reg := metrics.NewRegistry()
+		onLosses, onPred, onWeights := goldenRun(t, workers, false, reg)
+
+		if len(onLosses) != len(offLosses) {
+			t.Fatalf("workers=%d: %d epochs with metrics, %d without", workers, len(onLosses), len(offLosses))
+		}
+		for i := range offLosses {
+			if onLosses[i] != offLosses[i] {
+				t.Fatalf("workers=%d: epoch %d loss %v with metrics, %v without (must be bit-identical)",
+					workers, i, onLosses[i], offLosses[i])
+			}
+		}
+		if onPred != offPred {
+			t.Fatalf("workers=%d: prediction hash %#x with metrics, %#x without", workers, onPred, offPred)
+		}
+		if onWeights != offWeights {
+			t.Fatalf("workers=%d: weight hash %#x with metrics, %#x without", workers, onWeights, offWeights)
+		}
+
+		snap := reg.Snapshot()
+		if err := snap.Validate(); err != nil {
+			t.Fatalf("workers=%d: snapshot invalid: %v", workers, err)
+		}
+		totals[workers] = map[string]uint64{}
+		for _, name := range counterNames {
+			v, ok := snap.Counter(name)
+			if !ok || v == 0 {
+				t.Fatalf("workers=%d: counter %s missing or zero", workers, name)
+			}
+			totals[workers][name] = v
+		}
+		// Every optimizer step times at least one shard, and shard timings
+		// from all workers account for at least one observation per step.
+		var shardObs uint64
+		for _, h := range snap.Histograms {
+			if len(h.Name) > len("train_shard_seconds.") && h.Name[:len("train_shard_seconds.")] == "train_shard_seconds." {
+				shardObs += h.Count
+			}
+		}
+		if steps := totals[workers]["train_steps_total"]; shardObs < steps {
+			t.Fatalf("workers=%d: %d shard observations for %d steps", workers, shardObs, steps)
+		}
+	}
+	for _, name := range counterNames {
+		if totals[1][name] != totals[4][name] {
+			t.Fatalf("counter %s: %d at workers=1, %d at workers=4 (protocol totals must not depend on sharding)",
+				name, totals[1][name], totals[4][name])
 		}
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/rand"
 
+	"voyager/internal/metrics"
 	"voyager/internal/nn"
 	"voyager/internal/tensor"
 	"voyager/internal/vocab"
@@ -46,6 +47,12 @@ type Model struct {
 	// locking.
 	tape *tensor.Tape
 
+	// obs is the shared training-observability bundle (never nil; inert when
+	// metrics are disabled). shardSec is this worker's own shard-timing
+	// histogram, looked up once so the hot path never formats a name.
+	obs      *trainObs
+	shardSec *metrics.Histogram
+
 	// Scratch buffers reused across batches by samplePageCols and topK;
 	// per-worker like the tape.
 	colOf      map[int]int
@@ -60,6 +67,8 @@ type Model struct {
 func NewModel(cfg Config, voc *vocab.Vocab) *Model {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	m := &Model{cfg: cfg, voc: voc, rng: rng, tape: tensor.NewTape()}
+	m.obs = newTrainObs(cfg.Metrics)
+	m.shardSec = m.obs.shardHist(0)
 	m.pcEmb = nn.NewEmbedding("emb.pc", voc.PCTokens(), cfg.PCEmbed, rng)
 	m.pageEmb = nn.NewEmbedding("emb.page", voc.PageTokens(), cfg.PageEmbed, rng)
 	m.offEmb = nn.NewEmbedding("emb.offset", vocab.OffsetTokens, cfg.OffsetEmbed(), rng)
@@ -108,10 +117,12 @@ func (m *Model) workerCount(batch int) int {
 // Seed+id so shards never contend on — or reorder draws from — a shared RNG.
 func (m *Model) newReplica(id int) *Model {
 	r := &Model{
-		cfg:  m.cfg,
-		voc:  m.voc,
-		rng:  rand.New(rand.NewSource(m.cfg.Seed + int64(id))),
-		tape: tensor.NewTape(),
+		cfg:      m.cfg,
+		voc:      m.voc,
+		rng:      rand.New(rand.NewSource(m.cfg.Seed + int64(id))),
+		tape:     tensor.NewTape(),
+		obs:      m.obs,
+		shardSec: m.obs.shardHist(id),
 	}
 	r.pcEmb = m.pcEmb.ShadowClone()
 	r.pageEmb = m.pageEmb.ShadowClone()
@@ -241,7 +252,9 @@ func (m *Model) TrainBatch(seqs []batchToken, pagePos, offPos [][]int, pageW, of
 	batch := len(pagePos)
 	n := m.workerCount(batch)
 	if n <= 1 {
-		return m.trainShard(seqs, pagePos, offPos, pageW, offW, 1)
+		loss := m.trainShard(seqs, pagePos, offPos, pageW, offW, 1)
+		m.obs.recordTrainStep(&m.params, batch, len(seqs), loss)
+		return loss
 	}
 	m.ensureReplicas(n)
 	bounds := shardBounds(batch, n)
@@ -270,6 +283,7 @@ func (m *Model) TrainBatch(seqs []batchToken, pagePos, offPos [][]int, pageW, of
 	for _, l := range losses {
 		total += l
 	}
+	m.obs.recordTrainStep(&m.params, batch, len(seqs), total)
 	return total
 }
 
@@ -278,6 +292,8 @@ func (m *Model) TrainBatch(seqs []batchToken, pagePos, offPos [][]int, pageW, of
 // backward seed (1 for the serial full-batch path, the shard's row fraction
 // when data-parallel) and the unweighted shard loss is returned.
 func (m *Model) trainShard(seqs []batchToken, pagePos, offPos [][]int, pageW, offW [][]float32, seedWeight float32) float32 {
+	shardT := metrics.StartTimer(m.shardSec)
+	fwdT := metrics.StartTimer(m.obs.forwardSec)
 	tp := m.tape
 	tp.Reset()
 	ph, oh := m.hidden(tp, seqs, true)
@@ -295,8 +311,12 @@ func (m *Model) trainShard(seqs []batchToken, pagePos, offPos [][]int, pageW, of
 	offLogits := m.offHead.Forward(tp, oh)
 	offLoss, _ := tp.SigmoidBCEWeighted(offLogits, offPos, offW)
 	total := tp.Add(pageLoss, offLoss)
+	fwdT.Stop()
+	bwdT := metrics.StartTimer(m.obs.backwardSec)
 	total.EnsureGrad().Fill(seedWeight)
 	tp.BackwardFromSeed()
+	bwdT.Stop()
+	shardT.Stop()
 	return total.Val.Data[0]
 }
 

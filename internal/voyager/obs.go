@@ -1,0 +1,91 @@
+package voyager
+
+import (
+	"fmt"
+	"math"
+
+	"voyager/internal/metrics"
+	"voyager/internal/nn"
+)
+
+// trainObs bundles the training loop's instruments. It is built once per
+// model from Config.Metrics; with metrics disabled every field is a nil
+// instrument and every call below is a no-op, so the hot path pays one
+// pointer compare per site and no clock reads (inert timers).
+//
+// Instrumentation is strictly observational: nothing here consumes RNG
+// draws, reorders float operations, or feeds back into training — the
+// golden differential tests pin that a metrics-enabled run is bit-identical
+// to a disabled one.
+type trainObs struct {
+	reg *metrics.Registry
+
+	steps          *metrics.Counter // train_steps_total: optimizer steps
+	samples        *metrics.Counter // train_samples_total: trigger rows trained
+	tokens         *metrics.Counter // train_tokens_total: rows × SeqLen
+	epochs         *metrics.Counter // train_epochs_total
+	predictBatches *metrics.Counter // predict_batches_total
+
+	loss         *metrics.Gauge // train_loss: last batch loss
+	gradNorm     *metrics.Gauge // train_grad_norm: L2 over all merged grads
+	tokensPerSec *metrics.Gauge // train_tokens_per_sec: last step throughput
+
+	stepSec     *metrics.Histogram // train_step_seconds: label build + batch + opt
+	forwardSec  *metrics.Histogram // train_forward_seconds: per shard
+	backwardSec *metrics.Histogram // train_backward_seconds: per shard
+	optSec      *metrics.Histogram // train_optimizer_seconds
+	epochSec    *metrics.Histogram // train_epoch_seconds
+}
+
+func newTrainObs(reg *metrics.Registry) *trainObs {
+	return &trainObs{
+		reg:            reg,
+		steps:          reg.Counter("train_steps_total"),
+		samples:        reg.Counter("train_samples_total"),
+		tokens:         reg.Counter("train_tokens_total"),
+		epochs:         reg.Counter("train_epochs_total"),
+		predictBatches: reg.Counter("predict_batches_total"),
+		loss:           reg.Gauge("train_loss"),
+		gradNorm:       reg.Gauge("train_grad_norm"),
+		tokensPerSec:   reg.Gauge("train_tokens_per_sec"),
+		stepSec:        reg.Histogram("train_step_seconds"),
+		forwardSec:     reg.Histogram("train_forward_seconds"),
+		backwardSec:    reg.Histogram("train_backward_seconds"),
+		optSec:         reg.Histogram("train_optimizer_seconds"),
+		epochSec:       reg.Histogram("train_epoch_seconds"),
+	}
+}
+
+// shardHist returns worker w's shard-timing histogram
+// (train_shard_seconds.wNN), nil when metrics are disabled. Looked up once
+// per worker model, never in the hot path.
+func (o *trainObs) shardHist(w int) *metrics.Histogram {
+	return o.reg.Histogram(fmt.Sprintf("train_shard_seconds.w%02d", w))
+}
+
+// recordTrainStep updates the per-step counters and gauges after TrainBatch
+// has finished its ordered gradient reduce. The grad-norm scan reads the
+// merged gradients (a pure read) and only runs when metrics are enabled.
+func (o *trainObs) recordTrainStep(params *nn.ParamSet, rows, seqLen int, loss float32) {
+	o.steps.Inc()
+	o.samples.Add(uint64(rows))
+	o.tokens.Add(uint64(rows * seqLen))
+	o.loss.Set(float64(loss))
+	if o.gradNorm != nil {
+		o.gradNorm.Set(gradL2Norm(params.All()))
+	}
+}
+
+// gradL2Norm is the L2 norm over every parameter's gradient buffer,
+// accumulated in float64. Sparse params' untouched rows are zero and
+// contribute nothing.
+func gradL2Norm(params []*nn.Param) float64 {
+	var s float64
+	for _, p := range params {
+		for _, v := range p.Grad.Data {
+			f := float64(v)
+			s += f * f
+		}
+	}
+	return math.Sqrt(s)
+}

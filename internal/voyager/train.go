@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"voyager/internal/label"
+	"voyager/internal/metrics"
 	"voyager/internal/nn"
 	"voyager/internal/prefetch"
 	"voyager/internal/trace"
@@ -66,10 +67,14 @@ func Train(tr *trace.Trace, cfg Config) (*Predictor, error) {
 		if passes < 1 {
 			passes = 1
 		}
+		obs := p.Model.obs
+		epochT := metrics.StartTimer(obs.epochSec)
 		var loss float32
 		for pass := 0; pass < passes; pass++ {
 			loss = p.trainRange(start, end, opt)
 		}
+		epochT.Stop()
+		obs.epochs.Inc()
 		p.epochLoss = append(p.epochLoss, loss)
 		opt.Decay()
 	}
@@ -235,6 +240,7 @@ func addWeighted(toks []int, ws []float32, tok int, w float32) ([]int, []float32
 // trainRange trains on accesses [start, end) in order, returning the mean
 // batch loss.
 func (p *Predictor) trainRange(start, end int, opt *nn.Adam) float32 {
+	obs := p.Model.obs
 	var positions []int
 	var total float64
 	batches := 0
@@ -242,6 +248,7 @@ func (p *Predictor) trainRange(start, end int, opt *nn.Adam) float32 {
 		if len(positions) == 0 {
 			return
 		}
+		stepT := metrics.StartTimer(obs.stepSec)
 		seqs := p.buildBatch(positions)
 		nb := len(positions)
 		p.pagePosBuf = growIntRows(p.pagePosBuf, nb)
@@ -255,7 +262,12 @@ func (p *Predictor) trainRange(start, end int, opt *nn.Adam) float32 {
 				pos, pagePos[b][:0], offPos[b][:0], pageW[b][:0], offW[b][:0])
 		}
 		loss := p.Model.TrainBatch(seqs, pagePos, offPos, pageW, offW)
+		optT := metrics.StartTimer(obs.optSec)
 		opt.Step(p.Model.Params().All())
+		optT.Stop()
+		if d := stepT.Stop(); d > 0 {
+			obs.tokensPerSec.Set(float64(len(positions)*p.Cfg.SeqLen) / d.Seconds())
+		}
 		total += float64(loss)
 		batches++
 		p.numTrained += len(positions)
@@ -298,6 +310,7 @@ func (p *Predictor) predictRange(start, end int) {
 		}
 		seqs := p.buildBatch(positions)
 		cands := p.Model.PredictBatch(seqs, p.Cfg.Degree)
+		p.Model.obs.predictBatches.Inc()
 		for b, pos := range positions {
 			var out []uint64
 			clear(seen)

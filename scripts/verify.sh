@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Tier-1 verification plus the concurrency checks for the data-parallel
-# training engine: vet, the full test suite, the race detector over the
-# packages that share state across goroutines, and a bounded fuzz run of
-# the binary trace decoder.
+# training engine: vet, the full test suite (with coverage gates), the race
+# detector over the packages that share state across goroutines, and
+# bounded fuzz runs of the binary trace decoder and the metrics snapshot
+# parser.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -20,21 +21,41 @@ go vet ./...
 echo "== vetvoyager"
 go run ./cmd/vetvoyager ./...
 
-echo "== go test"
-go test ./...
+echo "== go test (with coverage profile)"
+cover_out="$(mktemp)"
+trap 'rm -f "$cover_out"' EXIT
+go test -coverprofile="$cover_out" ./...
 
-echo "== allocation regression (tape arena steady state)"
+# Coverage gates. The metrics package backs the differential guarantees
+# (metrics-on == metrics-off bit-identical), so it carries a hard floor;
+# the repo-wide total must not regress below the recorded baseline
+# (scripts/coverage_baseline.txt — raise it when coverage improves).
+echo "== coverage gates"
+total=$(go tool cover -func="$cover_out" | awk '/^total:/ {sub(/%/, "", $3); print $3}')
+baseline=$(cat scripts/coverage_baseline.txt)
+awk -v t="$total" -v b="$baseline" 'BEGIN {
+  if (t + 0 < b + 0) { printf "coverage: repo-wide %.1f%% < baseline %.1f%%\n", t, b; exit 1 }
+  printf "coverage: repo-wide %.1f%% (baseline %.1f%%)\n", t, b }'
+mcov=$(go test -cover ./internal/metrics/ | awk 'match($0, /coverage: [0-9.]+%/) {
+  s = substr($0, RSTART + 10, RLENGTH - 11); print s }')
+awk -v m="$mcov" 'BEGIN {
+  if (m + 0 < 90) { printf "coverage: internal/metrics %.1f%% < 90%% floor\n", m; exit 1 }
+  printf "coverage: internal/metrics %.1f%% (floor 90%%)\n", m }'
+
+echo "== allocation regression (tape arena steady state, metrics hot path)"
 go test -run 'TestSteadyStateAllocBudget' ./internal/voyager/
 go test -run 'TestArenaSteadyStateAllocationFree' ./internal/tensor/
+go test -run 'TestHotPathAllocFree' ./internal/metrics/
 
-echo "== go test -race (tensor, nn, voyager, trace)"
-go test -race ./internal/tensor/ ./internal/nn/ ./internal/trace/
+echo "== go test -race (tensor, nn, metrics, voyager, trace)"
+go test -race ./internal/tensor/ ./internal/nn/ ./internal/trace/ ./internal/metrics/
 # The full voyager suite under -race takes ~10 min of end-to-end training;
 # the concurrency surface is the parallel engine, so race-check the tests
 # that exercise sharded TrainBatch/PredictBatch plus one e2e training run.
 go test -race -run 'Parallel|Deterministic|Workers|LearnsCycleWith' ./internal/voyager/
 
-echo "== fuzz trace.Read (bounded)"
+echo "== fuzz trace.Read + metrics.ParseSnapshot (bounded)"
 go test -run=NONE -fuzz=FuzzRead -fuzztime=10s ./internal/trace/
+go test -run=NONE -fuzz=FuzzParseSnapshot -fuzztime=10s ./internal/metrics/
 
 echo "verify: OK"
