@@ -15,12 +15,15 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"strings"
 	"time"
 
 	"voyager/internal/experiments"
+	"voyager/internal/label"
 	"voyager/internal/metrics"
+	"voyager/internal/tracing"
 )
 
 func main() {
@@ -35,19 +38,39 @@ func main() {
 		benches   = flag.String("benchmarks", "", "comma-separated benchmark subset (default: per-figure lists)")
 		workers   = flag.Int("workers", 0, "voyager data-parallel width (0/1 serial, -1 auto)")
 		bench     = flag.Bool("bench", false, "run the performance bench suite instead of artifacts")
-		benchOut  = flag.String("bench-out", "BENCH_pr2.json", "bench suite JSON output path")
-		benchBase = flag.String("bench-baseline", "BENCH_pr1.json", "prior bench JSON to diff against (\"\" disables)")
+		benchOut  = flag.String("bench-out", "auto", "bench suite JSON output path (auto: BENCH_pr<latest+1>.json)")
+		benchBase = flag.String("bench-baseline", "auto", "prior bench JSON to diff against (auto: latest BENCH_pr<N>.json, \"\" disables)")
 		quiet     = flag.Bool("q", false, "suppress progress output")
 
 		metricsOut  = flag.String("metrics", "", "stream NDJSON metric snapshots to this file")
-		metricsHTTP = flag.String("metrics-http", "", "serve /metrics and /debug/pprof on this address (e.g. localhost:6060)")
+		metricsHTTP = flag.String("metrics-http", "", "serve /metrics, /trace and /debug/pprof on this address (e.g. localhost:6060)")
 		manifest    = flag.String("manifest", "", "write a run-manifest JSON (config, seed, git ref, final metrics) to this file")
+
+		traceOut   = flag.String("trace-out", "", "write Chrome trace-event JSON (execution spans; open in Perfetto) to this file")
+		traceClock = flag.String("trace-clock", "wall", "span timestamps: wall | logical (logical exports are byte-identical across same-seed runs)")
+		provOut    = flag.String("provenance", "", "write per-benchmark Voyager provenance tables (JSON) to this file")
 	)
 	flag.Parse()
+	if *traceClock != "wall" && *traceClock != "logical" {
+		fmt.Fprintf(os.Stderr, "experiments: -trace-clock must be wall or logical, got %q\n", *traceClock)
+		os.Exit(2)
+	}
 
 	if *workers < -1 {
 		fmt.Fprintf(os.Stderr, "invalid -workers %d (0 or 1 serial, -1 auto, N>1 parallel)\n", *workers)
 		os.Exit(2)
+	}
+	// The delta chain baselines each bench report against the latest prior
+	// one by number, so PR numbering gaps (a PR that didn't re-bench) don't
+	// point a report at a nonexistent file.
+	if *benchBase == "auto" || *benchOut == "auto" {
+		latest, n := experiments.LatestBenchReportPath(".")
+		if *benchBase == "auto" {
+			*benchBase = latest
+		}
+		if *benchOut == "auto" {
+			*benchOut = fmt.Sprintf("BENCH_pr%d.json", n+1)
+		}
 	}
 	opts := experiments.DefaultOptions()
 	opts.Accesses = *accesses
@@ -62,6 +85,21 @@ func main() {
 		opts.Benchmarks = strings.Split(*benches, ",")
 	}
 
+	var tracer *tracing.Tracer
+	if *traceOut != "" {
+		tracer = tracing.New(tracing.Options{
+			Path:       *traceOut,
+			Logical:    *traceClock == "logical",
+			FlushEvery: 2 * time.Second,
+		})
+	}
+	var provSet *tracing.ProvenanceSet
+	if *provOut != "" {
+		provSet = tracing.NewProvenanceSet()
+	}
+	opts.Trace = tracer
+	opts.Provenance = provSet
+
 	sink, err := metrics.Start(metrics.SinkOptions{
 		Tool:         "experiments",
 		Config:       opts,
@@ -69,6 +107,7 @@ func main() {
 		StreamPath:   *metricsOut,
 		HTTPAddr:     *metricsHTTP,
 		ManifestPath: *manifest,
+		Handlers:     map[string]http.Handler{"/trace": tracer.Handler()},
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "experiments: metrics: %v\n", err)
@@ -76,9 +115,24 @@ func main() {
 	}
 	opts.Metrics = sink.Registry()
 	if addr := sink.HTTPAddr(); addr != "" {
-		fmt.Printf("metrics: http://%s/metrics (pprof at /debug/pprof/)\n", addr)
+		fmt.Printf("metrics: http://%s/metrics (trace at /trace, pprof at /debug/pprof/)\n", addr)
 	}
 	closeSink := func() {
+		if provSet != nil {
+			fmt.Println(provSet.Report(label.SchemeNames()))
+			if err := provSet.WriteFile(*provOut, label.SchemeNames()); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: provenance: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("provenance written to %s\n", *provOut)
+		}
+		if err := tracer.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: tracing: %v\n", err)
+			os.Exit(1)
+		}
+		if *traceOut != "" {
+			fmt.Printf("trace written to %s (open in https://ui.perfetto.dev or chrome://tracing)\n", *traceOut)
+		}
 		if err := sink.Close(); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: metrics: %v\n", err)
 			os.Exit(1)

@@ -11,8 +11,11 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"time"
 
+	"voyager/internal/label"
 	"voyager/internal/metrics"
 	"voyager/internal/prefetch"
 	"voyager/internal/prefetch/bo"
@@ -27,6 +30,7 @@ import (
 	"voyager/internal/prefetch/vldp"
 	"voyager/internal/sim"
 	"voyager/internal/trace"
+	"voyager/internal/tracing"
 	"voyager/internal/workloads"
 )
 
@@ -75,10 +79,20 @@ func main() {
 		paper     = flag.Bool("paper-caches", false, "use the full Table 3 hierarchy instead of the scaled one")
 
 		metricsOut  = flag.String("metrics", "", "stream NDJSON metric snapshots to this file")
-		metricsHTTP = flag.String("metrics-http", "", "serve /metrics and /debug/pprof on this address (e.g. localhost:6060)")
+		metricsHTTP = flag.String("metrics-http", "", "serve /metrics, /trace and /debug/pprof on this address (e.g. localhost:6060)")
 		manifest    = flag.String("manifest", "", "write a run-manifest JSON (config, seed, git ref, final metrics) to this file")
+
+		// -trace is the *input* memory-access trace (internal/trace);
+		// -trace-out is the *output* execution-span timeline (internal/tracing).
+		traceOut   = flag.String("trace-out", "", "write Chrome trace-event JSON (execution spans; open in Perfetto) to this file")
+		traceClock = flag.String("trace-clock", "wall", "span timestamps: wall | logical (logical exports are byte-identical across same-seed runs)")
+		provOut    = flag.String("provenance", "", "write per-prefetcher provenance tables (JSON) to this file")
 	)
 	flag.Parse()
+	if *traceClock != "wall" && *traceClock != "logical" {
+		fmt.Fprintf(os.Stderr, "simrun: -trace-clock must be wall or logical, got %q\n", *traceClock)
+		os.Exit(2)
+	}
 
 	var tr *trace.Trace
 	var err error
@@ -109,6 +123,19 @@ func main() {
 	if *paper {
 		cfg = sim.DefaultConfig()
 	}
+	var tracer *tracing.Tracer
+	if *traceOut != "" {
+		tracer = tracing.New(tracing.Options{
+			Path:       *traceOut,
+			Logical:    *traceClock == "logical",
+			FlushEvery: 2 * time.Second,
+		})
+	}
+	var provSet *tracing.ProvenanceSet
+	if *provOut != "" {
+		provSet = tracing.NewProvenanceSet()
+	}
+
 	sink, err := metrics.Start(metrics.SinkOptions{
 		Tool:         "simrun",
 		Config:       cfg,
@@ -116,13 +143,14 @@ func main() {
 		StreamPath:   *metricsOut,
 		HTTPAddr:     *metricsHTTP,
 		ManifestPath: *manifest,
+		Handlers:     map[string]http.Handler{"/trace": tracer.Handler()},
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "simrun: metrics:", err)
 		os.Exit(1)
 	}
 	if addr := sink.HTTPAddr(); addr != "" {
-		fmt.Printf("metrics: http://%s/metrics (pprof at /debug/pprof/)\n", addr)
+		fmt.Printf("metrics: http://%s/metrics (trace at /trace, pprof at /debug/pprof/)\n", addr)
 	}
 	var baseIPC float64
 	for _, name := range names {
@@ -133,6 +161,8 @@ func main() {
 		}
 		machine := sim.NewMachine(cfg)
 		machine.Instrument(sink.Registry())
+		machine.Trace(tracer, "sim/"+name)
+		machine.Provenance(provSet.NewLog(tr.Name + "/" + name))
 		res := machine.Run(tr, pf)
 		if name == "none" {
 			baseIPC = res.IPC
@@ -144,6 +174,21 @@ func main() {
 		fmt.Printf("%-16s ipc=%.3f acc=%.3f cov=%.3f issued=%d useful=%d misses=%d dram=%d%s\n",
 			name, res.IPC, res.Accuracy(), res.Coverage(),
 			res.PrefetchesIssued, res.PrefetchesUseful, res.LLCDemandMisses, res.DRAMRequests, speedup)
+	}
+	if provSet != nil {
+		fmt.Println(provSet.Report(label.SchemeNames()))
+		if err := provSet.WriteFile(*provOut, label.SchemeNames()); err != nil {
+			fmt.Fprintln(os.Stderr, "simrun: provenance:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("provenance written to %s\n", *provOut)
+	}
+	if err := tracer.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "simrun: tracing:", err)
+		os.Exit(1)
+	}
+	if *traceOut != "" {
+		fmt.Printf("trace written to %s (open in https://ui.perfetto.dev or chrome://tracing)\n", *traceOut)
 	}
 	if err := sink.Close(); err != nil {
 		fmt.Fprintln(os.Stderr, "simrun: metrics:", err)

@@ -1,0 +1,46 @@
+// Command tracecheck validates Chrome trace-event JSON files produced by
+// internal/tracing (the -trace-out flag of voyager/simrun/experiments):
+// metadata-named processes and threads, strict begin/end span nesting, and
+// async begin/end pairing by (pid, cat, id). Exit 0 means the file loads
+// cleanly in Perfetto; verify.sh runs it on a real traced run.
+//
+// Usage:
+//
+//	go run ./cmd/tracecheck run.trace.json [more.json ...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"voyager/internal/tracing"
+)
+
+func main() {
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck <trace.json> [...]")
+		os.Exit(2)
+	}
+	fail := false
+	for _, path := range flag.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracecheck:", err)
+			fail = true
+			continue
+		}
+		st, err := tracing.ValidateBytes(data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracecheck: %s: %v\n", path, err)
+			fail = true
+			continue
+		}
+		fmt.Printf("%s: ok — %d events (%d spans, %d async, %d instants) across %d processes / %d threads\n",
+			path, st.Events, st.Spans, st.AsyncSpans, st.Instants, st.Processes, st.Threads)
+	}
+	if fail {
+		os.Exit(1)
+	}
+}

@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"strings"
 	"time"
@@ -19,7 +20,9 @@ import (
 	"voyager/internal/eval"
 	"voyager/internal/label"
 	"voyager/internal/metrics"
+	"voyager/internal/sim"
 	"voyager/internal/trace"
+	"voyager/internal/tracing"
 	"voyager/internal/voyager"
 	"voyager/internal/workloads"
 )
@@ -61,10 +64,20 @@ func main() {
 		saveFile  = flag.String("save", "", "write trained weights to this file")
 
 		metricsOut  = flag.String("metrics", "", "stream NDJSON metric snapshots to this file")
-		metricsHTTP = flag.String("metrics-http", "", "serve /metrics and /debug/pprof on this address (e.g. localhost:6060)")
+		metricsHTTP = flag.String("metrics-http", "", "serve /metrics, /trace and /debug/pprof on this address (e.g. localhost:6060)")
 		manifest    = flag.String("manifest", "", "write a run-manifest JSON (config, seed, git ref, final metrics) to this file")
+
+		// -trace is the *input* memory-access trace (internal/trace);
+		// -trace-out is the *output* execution-span timeline (internal/tracing).
+		traceOut   = flag.String("trace-out", "", "write Chrome trace-event JSON (execution spans; open in Perfetto) to this file")
+		traceClock = flag.String("trace-clock", "wall", "span timestamps: wall | logical (logical exports are byte-identical across same-seed runs)")
+		provOut    = flag.String("provenance", "", "write the per-label-scheme prefetch provenance table (JSON) to this file")
 	)
 	flag.Parse()
+	if *traceClock != "wall" && *traceClock != "logical" {
+		fmt.Fprintf(os.Stderr, "voyager: -trace-clock must be wall or logical, got %q\n", *traceClock)
+		os.Exit(2)
+	}
 
 	var tr *trace.Trace
 	var err error
@@ -104,6 +117,21 @@ func main() {
 		os.Exit(2)
 	}
 
+	var tracer *tracing.Tracer
+	if *traceOut != "" {
+		tracer = tracing.New(tracing.Options{
+			Path:       *traceOut,
+			Logical:    *traceClock == "logical",
+			FlushEvery: 2 * time.Second,
+		})
+	}
+	var provSet *tracing.ProvenanceSet
+	var prov *tracing.DecisionLog
+	if *provOut != "" {
+		provSet = tracing.NewProvenanceSet()
+		prov = provSet.NewLog(tr.Name + "/voyager")
+	}
+
 	sink, err := metrics.Start(metrics.SinkOptions{
 		Tool:         "voyager",
 		Config:       cfg,
@@ -111,14 +139,17 @@ func main() {
 		StreamPath:   *metricsOut,
 		HTTPAddr:     *metricsHTTP,
 		ManifestPath: *manifest,
+		Handlers:     map[string]http.Handler{"/trace": tracer.Handler()},
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "voyager: metrics:", err)
 		os.Exit(1)
 	}
 	cfg.Metrics = sink.Registry()
+	cfg.Trace = tracer
+	cfg.Provenance = prov
 	if addr := sink.HTTPAddr(); addr != "" {
-		fmt.Printf("metrics: http://%s/metrics (pprof at /debug/pprof/)\n", addr)
+		fmt.Printf("metrics: http://%s/metrics (trace at /trace, pprof at /debug/pprof/)\n", addr)
 	}
 
 	fmt.Println(trace.ComputeStats(tr))
@@ -130,8 +161,11 @@ func main() {
 	}
 	elapsed := time.Since(start)
 
+	evalSp := tracer.Track("eval", "main").Begin("unified")
 	u := eval.Unified(tr, p.Predictions(), *window, cfg.EpochAccesses)
+	evalSp.End()
 	eval.RecordUnified(sink.Registry(), tr.Name, "voyager", u)
+	eval.MarkProvenance(tr, *window, cfg.EpochAccesses, prov)
 	fmt.Printf("trained %d samples in %v (%d params, %d bytes fp32)\n",
 		p.TrainedSamples(), elapsed.Round(time.Millisecond),
 		p.Model.Params().Count(), p.Model.Params().Bytes(32))
@@ -142,6 +176,28 @@ func main() {
 	fmt.Println()
 	fmt.Printf("unified accuracy/coverage (window %d): %.3f\n", *window, u)
 	fmt.Printf("vocabulary: %s\n", p.Model.Vocab())
+
+	// With tracing or provenance requested, also run the cache simulator so
+	// every decision resolves to its simulated fate (useful/late/evicted/
+	// resident) and the timeline gains the cache-level rows. Training ran on
+	// the raw trace, so prediction indices already match the simulator's
+	// trigger indices.
+	if tracer != nil || prov != nil {
+		machine := sim.NewMachine(sim.ScaledConfig())
+		machine.Instrument(sink.Registry())
+		machine.Trace(tracer, "sim/voyager")
+		machine.Provenance(prov)
+		res := machine.Run(tr, p.AsPrefetcher())
+		fmt.Println(res)
+	}
+	if prov != nil {
+		fmt.Println(prov.BuildTable(label.SchemeNames()))
+		if err := provSet.WriteFile(*provOut, label.SchemeNames()); err != nil {
+			fmt.Fprintln(os.Stderr, "voyager: provenance:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("provenance written to %s\n", *provOut)
+	}
 
 	if *saveFile != "" {
 		f, err := os.Create(*saveFile)
@@ -160,6 +216,13 @@ func main() {
 		fmt.Printf("weights saved to %s\n", *saveFile)
 	}
 
+	if err := tracer.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "voyager: tracing:", err)
+		os.Exit(1)
+	}
+	if *traceOut != "" {
+		fmt.Printf("trace written to %s (open in https://ui.perfetto.dev or chrome://tracing)\n", *traceOut)
+	}
 	if err := sink.Close(); err != nil {
 		fmt.Fprintln(os.Stderr, "voyager: metrics:", err)
 		os.Exit(1)

@@ -17,8 +17,9 @@ import (
 // CriticalPackages are the packages whose outputs must be bit-identical
 // across runs and worker counts: the tensor kernels, the neural layers,
 // the training engine, the vocabulary/label builders that fix token ids
-// for the lifetime of a model, and the metrics registry whose snapshots
-// are diffed byte-for-byte in the differential tests.
+// for the lifetime of a model, the metrics registry whose snapshots are
+// diffed byte-for-byte in the differential tests, and the span tracer
+// whose logical-clock exports must reproduce byte-for-byte.
 var CriticalPackages = []string{
 	"voyager/internal/tensor",
 	"voyager/internal/nn",
@@ -26,6 +27,7 @@ var CriticalPackages = []string{
 	"voyager/internal/vocab",
 	"voyager/internal/label",
 	"voyager/internal/metrics",
+	"voyager/internal/tracing",
 }
 
 // HotKernelPackages must stay in float32 end to end.
@@ -52,7 +54,7 @@ var WideAccumulators = []string{
 func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		maporder.New(CriticalPackages...),
-		arenaescape.New("voyager/internal/tensor"),
+		arenaescape.New("voyager/internal/tensor", "voyager/internal/tracing"),
 		f64promote.New(HotKernelPackages, WideAccumulators),
 		sharedrand.New(),
 		benchallocs.New(),

@@ -4,6 +4,8 @@ import (
 	"strings"
 
 	"voyager/internal/metrics"
+	"voyager/internal/trace"
+	"voyager/internal/tracing"
 )
 
 // RecordUnified exports one unified accuracy/coverage measurement as a
@@ -20,6 +22,37 @@ func (b BreakdownResult) Record(reg *metrics.Registry) {
 	reg.Gauge(metricKey("eval_coverage", b.Benchmark, b.Prefetcher)).Set(b.Coverage())
 	for k := PatternKind(0); k < NumPatternKinds; k++ {
 		reg.Gauge(metricKey("eval_frac", b.Benchmark, b.Prefetcher, k.String())).Set(b.Frac[k])
+	}
+}
+
+// MarkProvenance scores every decision in the log against the unified
+// metric's matching rule (Unified, same window and skip): a decision is an
+// eval hit when its predicted line is demanded within the next `window`
+// accesses of its trigger. Decision indices must be positions in tr's
+// access stream — call this before any Reindex to the raw-trace domain.
+// Unlike Unified, which scores only each access's top prediction, every
+// ranked decision is marked, so per-scheme eval hit counts cover the full
+// degree. No-op on a nil log.
+func MarkProvenance(tr *trace.Trace, window, skip int, log *tracing.DecisionLog) {
+	if log == nil {
+		return
+	}
+	n := tr.Len()
+	for id, d := range log.Decisions() {
+		i := d.Index
+		if i < skip || i >= n {
+			continue
+		}
+		hi := i + 1 + window
+		if hi > n {
+			hi = n
+		}
+		for j := i + 1; j < hi; j++ {
+			if trace.Line(tr.Accesses[j].Addr) == d.Line {
+				log.SetEvalHit(id)
+				break
+			}
+		}
 	}
 }
 

@@ -3,6 +3,8 @@ package experiments
 import (
 	"encoding/json"
 	"fmt"
+	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"testing"
@@ -10,6 +12,7 @@ import (
 	"voyager/internal/metrics"
 	"voyager/internal/nn"
 	"voyager/internal/tensor"
+	"voyager/internal/tracing"
 	"voyager/internal/voyager"
 	"voyager/internal/workloads"
 
@@ -50,6 +53,10 @@ type BenchReport struct {
 	// ns/op: the cost of running a full optimizer step with the
 	// observability registry attached (acceptance bound: < 1.03).
 	MetricsOverhead float64 `json:"train_metrics_overhead,omitempty"`
+	// TraceOverhead is train_batch_serial_trace over train_batch_serial
+	// ns/op: the cost of the same step with the execution-span tracer
+	// recording (acceptance bound: < 1.05).
+	TraceOverhead float64 `json:"train_trace_overhead,omitempty"`
 	Baseline        string  `json:"baseline,omitempty"` // path of the compared report
 	Notes           string  `json:"notes,omitempty"`
 }
@@ -80,6 +87,9 @@ func (r *BenchReport) String() string {
 	fmt.Fprintf(&b, "  Figure-5  speedup   %.2fx", r.Figure5Speedup)
 	if r.MetricsOverhead > 0 {
 		fmt.Fprintf(&b, "\n  Metrics overhead    %.3fx (train_batch_serial)", r.MetricsOverhead)
+	}
+	if r.TraceOverhead > 0 {
+		fmt.Fprintf(&b, "\n  Trace overhead      %.3fx (train_batch_serial)", r.TraceOverhead)
 	}
 	return b.String()
 }
@@ -242,6 +252,24 @@ func (o Options) Bench(workers int) (*BenchReport, error) {
 		}))
 	}
 
+	// The same serial optimizer step with the execution-span tracer
+	// recording to an in-memory arena: the difference against
+	// train_batch_serial is the tracing hot-path cost.
+	{
+		o.logf("  bench: train_batch_serial_trace...")
+		opts := o
+		opts.Trace = tracing.New(tracing.Options{})
+		h, err := opts.benchHarness(1)
+		if err != nil {
+			return nil, err
+		}
+		r.Entries = append(r.Entries, timeIt("train_batch_serial_trace", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				h.TrainStep()
+			}
+		}))
+	}
+
 	// Figure 5 end to end: trace generation, LLC filter, online-protocol
 	// training and accuracy scoring, serial vs parallel.
 	for _, v := range []struct {
@@ -271,5 +299,32 @@ func (o Options) Bench(workers int) (*BenchReport, error) {
 	if s, m := r.entry("train_batch_serial"), r.entry("train_batch_serial_metrics"); s != nil && m != nil && s.NsPerOp > 0 {
 		r.MetricsOverhead = float64(m.NsPerOp) / float64(s.NsPerOp)
 	}
+	if s, t := r.entry("train_batch_serial"), r.entry("train_batch_serial_trace"); s != nil && t != nil && s.NsPerOp > 0 {
+		r.TraceOverhead = float64(t.NsPerOp) / float64(s.NsPerOp)
+	}
 	return r, nil
+}
+
+// LatestBenchReportPath returns the highest-numbered BENCH_pr<N>.json in dir
+// and its N ("", 0 when none exist). The bench delta chain compares each new
+// report against the latest existing one, so gaps in the numbering (a PR
+// that didn't re-bench) don't break the chain.
+func LatestBenchReportPath(dir string) (string, int) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", 0
+	}
+	best := 0
+	for _, e := range entries {
+		var n int
+		// Sscanf tolerates trailing input, so require the exact round-trip.
+		if _, err := fmt.Sscanf(e.Name(), "BENCH_pr%d.json", &n); err == nil &&
+			e.Name() == fmt.Sprintf("BENCH_pr%d.json", n) && n > best {
+			best = n
+		}
+	}
+	if best == 0 {
+		return "", 0
+	}
+	return filepath.Join(dir, fmt.Sprintf("BENCH_pr%d.json", best)), best
 }

@@ -24,6 +24,7 @@ import (
 	"voyager/internal/prefetch/stms"
 	"voyager/internal/sim"
 	"voyager/internal/trace"
+	"voyager/internal/tracing"
 	"voyager/internal/voyager"
 	"voyager/internal/workloads"
 )
@@ -52,6 +53,15 @@ type Options struct {
 	// identical with or without it. Excluded from JSON, like Logf, so an
 	// Options value can embed directly in a run manifest.
 	Metrics *metrics.Registry `json:"-"`
+	// Trace, when non-nil, threads the execution-span tracer through every
+	// Voyager training run and the Main() simulator sweep. Like Metrics,
+	// results are identical with or without it.
+	Trace *tracing.Tracer `json:"-"`
+	// Provenance, when non-nil, collects a per-benchmark decision log for
+	// every Voyager training run: each prediction is stamped with its label
+	// provenance, scored against the unified eval metric, and resolved to a
+	// simulator outcome by the Main() sweep.
+	Provenance *tracing.ProvenanceSet `json:"-"`
 	// Quiet suppresses progress lines.
 	Quiet bool
 	Logf  func(format string, args ...interface{}) `json:"-"`
@@ -133,6 +143,7 @@ func (o Options) voyagerConfig(streamLen int) voyager.Config {
 	}
 	c.Workers = o.Workers
 	c.Metrics = o.Metrics
+	c.Trace = o.Trace
 	c.DropoutKeep = 1 // scaled models are too small to need regularization
 	return c
 }
@@ -258,10 +269,18 @@ func (r *Run) voyagerFor(name string) *voyager.Predictor {
 	st := r.streamFor(name)
 	cfg := r.Opts.voyagerConfig(st.Trace.Len())
 	cfg.Degree = 8
+	cfg.Provenance = r.Opts.Provenance.NewLog(name + "/voyager")
 	r.Opts.logf("  training voyager on %s (%d stream accesses)...", name, st.Trace.Len())
 	p, err := voyager.Train(st.Trace, cfg)
 	if err != nil {
 		panic(err)
+	}
+	// Eval-score the decisions in the stream domain, then move them to
+	// raw-trace indices so the Main() simulator sweep (which triggers by raw
+	// index) can attach outcomes. Order matters: Reindex last.
+	eval.MarkProvenance(st.Trace, r.Opts.Window, cfg.EpochAccesses, cfg.Provenance)
+	if st.OrigIdx != nil {
+		cfg.Provenance.Reindex(st.OrigIdx)
 	}
 	r.cache.mu.Lock()
 	r.cache.voyager[name] = p

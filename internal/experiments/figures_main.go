@@ -57,9 +57,15 @@ func (r *Run) Main() *MainResult {
 		dl := r.dlstmFor(name)
 		row.Results["delta-lstm"] = sim.Simulate(tr, &prefetch.Precomputed{
 			Label: "delta-lstm", Predictions: st.mapToOriginal(tr.Len(), truncate(dl.Predictions(), 1))}, cfg)
+		// The Voyager run goes through an explicit Machine so the span tracer
+		// and decision log (when enabled) see the cache hierarchy: each
+		// stamped decision resolves to useful/late/evicted/resident here.
 		vp := r.voyagerFor(name)
-		row.Results["voyager"] = sim.Simulate(tr, &prefetch.Precomputed{
-			Label: "voyager", Predictions: st.mapToOriginal(tr.Len(), truncate(vp.Predictions(), 1))}, cfg)
+		vm := sim.NewMachine(cfg)
+		vm.Trace(r.Opts.Trace, "sim/"+name)
+		vm.Provenance(vp.Cfg.Provenance)
+		row.Results["voyager"] = vm.Run(tr, &prefetch.Precomputed{
+			Label: "voyager", Predictions: st.mapToOriginal(tr.Len(), truncate(vp.Predictions(), 1))})
 
 		res.Rows = append(res.Rows, row)
 	}

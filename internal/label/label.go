@@ -53,6 +53,17 @@ func AllSchemes() []Scheme {
 	return []Scheme{Global, PC, BasicBlock, Spatial, CoOccurrence}
 }
 
+// SchemeNames returns every scheme's display name indexed by scheme value —
+// the bit-position → name mapping consumers of tracing.Decision.Schemes
+// need (tracing stays dependency-free, so the names are injected).
+func SchemeNames() []string {
+	names := make([]string, NumSchemes)
+	for _, s := range AllSchemes() {
+		names[s] = s.String()
+	}
+	return names
+}
+
 const (
 	// SpatialRange is the paper's spatial-label threshold: 256 cache lines
 	// (it cites the BO region size [32]).

@@ -7,6 +7,8 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"time"
+
+	"voyager/internal/sortkeys"
 )
 
 // Server is the optional live-inspection endpoint of a run: an expvar-style
@@ -22,6 +24,15 @@ type Server struct {
 // StartServer listens on addr (e.g. "localhost:6060"; ":0" picks a free
 // port) and serves the registry in the background until Close.
 func StartServer(reg *Registry, addr string) (*Server, error) {
+	return StartServerWith(reg, addr, nil)
+}
+
+// StartServerWith is StartServer plus extra path → handler mounts on the
+// same mux. This is how sibling observability layers (the execution-span
+// tracer's /trace snapshot) share the run's one HTTP endpoint without this
+// package importing them: the caller passes the handler in. Extra paths
+// must not collide with the built-in /metrics and /debug/pprof routes.
+func StartServerWith(reg *Registry, addr string, extra map[string]http.Handler) (*Server, error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		snap := reg.Snapshot()
@@ -45,6 +56,9 @@ func StartServer(reg *Registry, addr string) (*Server, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	for _, path := range sortkeys.Sorted(extra) {
+		mux.Handle(path, extra[path])
+	}
 
 	lis, err := net.Listen("tcp", addr)
 	if err != nil {

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"net/http"
 	"os"
 	"time"
 )
@@ -18,6 +19,11 @@ type SinkOptions struct {
 	HTTPAddr     string        // metrics+pprof listen address
 	ManifestPath string        // run-manifest JSON file
 	FlushEvery   time.Duration // stream period (default 1s)
+
+	// Handlers are extra path → handler mounts for the HTTP server (the
+	// tracing layer's /trace snapshot rides here). Ignored when HTTPAddr
+	// is empty, and never enables the sink on its own.
+	Handlers map[string]http.Handler
 }
 
 // Sink owns a run's observability outputs: one registry plus the optional
@@ -56,7 +62,7 @@ func Start(o SinkOptions) (*Sink, error) {
 		s.stream.Start(every)
 	}
 	if o.HTTPAddr != "" {
-		srv, err := StartServer(s.reg, o.HTTPAddr)
+		srv, err := StartServerWith(s.reg, o.HTTPAddr, o.Handlers)
 		if err != nil {
 			if s.stream != nil {
 				s.stream.Close() //nolint:errcheck // aborting anyway

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"voyager/internal/tensor"
+	"voyager/internal/tracing"
 )
 
 // Adam implements the Adam optimizer (Kingma & Ba) with optional row-sparse
@@ -16,6 +17,10 @@ type Adam struct {
 	Eps     float32
 	Clip    float32 // max gradient magnitude per element; 0 disables clipping
 	DecayBy float32 // learning-rate decay ratio applied by Decay(); 0 means 2
+
+	// Track is the optional execution-span row for the optimizer: when set,
+	// Step records an "adam_step" span on it (nil stays silent).
+	Track *tracing.Track
 
 	states map[*Param]*adamState
 }
@@ -57,6 +62,8 @@ func (a *Adam) state(p *Param) *adamState {
 
 // Step applies one Adam update to every parameter and clears gradients.
 func (a *Adam) Step(params []*Param) {
+	sp := a.Track.Begin("adam_step")
+	defer sp.End()
 	for _, p := range params {
 		st := a.state(p)
 		if p.sparse {

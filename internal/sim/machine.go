@@ -5,6 +5,7 @@ import (
 
 	"voyager/internal/prefetch"
 	"voyager/internal/trace"
+	"voyager/internal/tracing"
 )
 
 // Config mirrors the paper's Table 3 plus the core parameters from §5.1
@@ -102,6 +103,13 @@ type Machine struct {
 
 	// obs is the observability bundle (never nil; inert until Instrument).
 	obs *simObs
+
+	// st is the span-tracing + provenance state (nil until Trace or
+	// Provenance attaches it; every hook no-ops on nil). curIdx is the raw
+	// trace index of the access whose prefetches are currently being
+	// issued, for decision attribution.
+	st     *simTrace
+	curIdx int
 }
 
 // NewMachine builds a machine from the configuration.
@@ -201,6 +209,7 @@ func (m *Machine) Run(tr *trace.Trace, pf prefetch.Prefetcher) Result {
 		// the L1/L2 filter — and hence this trigger stream — is identical
 		// for every prefetcher.
 		if reachedLLC {
+			m.curIdx = i
 			for _, pAddr := range pf.Access(i, a) {
 				m.prefetchLine(trace.Line(pAddr), nowCycle, stamp, &res)
 			}
@@ -220,6 +229,7 @@ func (m *Machine) Run(tr *trace.Trace, pf prefetch.Prefetcher) Result {
 	}
 	res.DRAMRequests = m.dram.Requests
 	m.obs.flushDRAM(m.dram, res.IPC)
+	m.finishRun(res.Cycles)
 	return res
 }
 
@@ -232,6 +242,7 @@ func (m *Machine) demandAccess(line uint64, cycle uint64, stamp uint64, res *Res
 		return uint64(m.cfg.L1Latency), false
 	}
 	m.obs.l1Misses.Inc()
+	m.st.instantL1("miss", cycle)
 	lat := uint64(m.cfg.L1Latency)
 	if hit, _ := m.l2.Lookup(line, stamp); hit {
 		m.obs.l2Hits.Inc()
@@ -239,6 +250,7 @@ func (m *Machine) demandAccess(line uint64, cycle uint64, stamp uint64, res *Res
 		return lat + uint64(m.cfg.L2Latency), false
 	}
 	m.obs.l2Misses.Inc()
+	m.st.instantL2("miss", cycle)
 	lat += uint64(m.cfg.L2Latency)
 	res.LLCDemandAccesses++
 	if hit, wasPrefetch := m.llc.Lookup(line, stamp); hit {
@@ -260,12 +272,18 @@ func (m *Machine) demandAccess(line uint64, cycle uint64, stamp uint64, res *Res
 		if wasPrefetch {
 			res.PrefetchesUseful++
 			m.obs.prefUseful.Inc()
+			o := tracing.OutcomeUseful
+			if wait > 0 {
+				o = tracing.OutcomeLate
+			}
+			m.st.resolve(line, o, wait, cycle)
 		}
 		m.l2.Fill(line, stamp, false)
 		m.l1.Fill(line, stamp, false)
 		return lat + uint64(m.cfg.LLCLatency) + wait, true
 	}
 	m.obs.llcMisses.Inc()
+	m.st.instantLLC("miss", cycle)
 	lat += uint64(m.cfg.LLCLatency)
 
 	// Miss: merge with an in-flight fill if one exists (the line was
@@ -280,29 +298,39 @@ func (m *Machine) demandAccess(line uint64, cycle uint64, stamp uint64, res *Res
 				res.PrefetchesUseful++
 				m.obs.prefUseful.Inc()
 				res.LLCLateCovered++
+				m.st.resolve(line, tracing.OutcomeLate, ready-cycle, cycle)
 			} else {
 				res.LLCDemandMisses++
 			}
-			m.fillAll(line, stamp, false)
+			m.fillAll(line, stamp, cycle, false)
 			return lat + (ready - cycle), true
+		}
+		if wasPrefetch {
+			m.st.resolve(line, tracing.OutcomeEvicted, 0, cycle)
 		}
 	}
 
 	res.LLCDemandMisses++
+	// The demanded line may still carry an open prefetch whose fill landed
+	// and expired before this demand arrived: that prefetch is a loss.
+	m.st.resolve(line, tracing.OutcomeEvicted, 0, cycle)
 	ready := m.dram.Access(line, cycle)
 	m.obs.dramLatency.Observe(float64(ready - cycle))
+	m.st.noteDemandMiss(cycle, ready)
 	m.inFlight[line] = ready
-	m.fillAll(line, stamp, false)
+	m.fillAll(line, stamp, cycle, false)
 	return lat + (ready - cycle), true
 }
 
 // prefetchLine issues a prefetch into the LLC.
 func (m *Machine) prefetchLine(line uint64, cycle uint64, stamp uint64, res *Result) {
 	if m.llc.Contains(line) {
+		m.st.noteDrop(m.curIdx, line)
 		return // already cached: dropped, not issued
 	}
 	if ready, ok := m.inFlight[line]; ok {
 		if ready > cycle {
+			m.st.noteDrop(m.curIdx, line)
 			return // already being fetched
 		}
 		// Stale entry: the old fill landed and was evicted since.
@@ -313,12 +341,14 @@ func (m *Machine) prefetchLine(line uint64, cycle uint64, stamp uint64, res *Res
 	m.obs.prefIssued.Inc()
 	ready := m.dram.Access(line, cycle)
 	m.obs.dramLatency.Observe(float64(ready - cycle))
+	m.st.notePrefetchIssue(m.curIdx, line, cycle, ready)
 	m.inFlight[line] = ready
 	m.inFlightPrefetch[line] = true
 	// The fill lands in the LLC when ready; we insert immediately with the
 	// prefetch bit and rely on inFlight for timing until `ready`.
-	if _, evictedUnused, had := m.llc.Fill(line, stamp, true); had && evictedUnused {
+	if evicted, evictedUnused, had := m.llc.Fill(line, stamp, true); had && evictedUnused {
 		res.PrefetchEvicted++
+		m.noteEvict(evicted, cycle)
 	}
 	// Clean up the in-flight entry lazily: a later demand merge removes it;
 	// otherwise expire it now if it is already in the past.
@@ -328,9 +358,15 @@ func (m *Machine) prefetchLine(line uint64, cycle uint64, stamp uint64, res *Res
 	}
 }
 
-// fillAll inserts line into every level (demand fill path).
-func (m *Machine) fillAll(line uint64, stamp uint64, isPrefetch bool) {
-	m.llc.Fill(line, stamp, isPrefetch)
+// fillAll inserts line into every level (demand fill path). A demand fill
+// can evict an untouched prefetched line from the LLC, which the tracing
+// layer attributes to that prefetch's decision (the simulator's
+// PrefetchEvicted counter intentionally only counts evictions by other
+// prefetches, so the provenance table may report more evictions than it).
+func (m *Machine) fillAll(line uint64, stamp uint64, cycle uint64, isPrefetch bool) {
+	if evicted, evictedUnused, had := m.llc.Fill(line, stamp, isPrefetch); had && evictedUnused {
+		m.noteEvict(evicted, cycle)
+	}
 	m.l2.Fill(line, stamp, false)
 	m.l1.Fill(line, stamp, false)
 }

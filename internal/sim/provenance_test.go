@@ -1,0 +1,128 @@
+package sim
+
+import (
+	"testing"
+
+	"voyager/internal/metrics"
+	"voyager/internal/prefetch"
+	"voyager/internal/trace"
+	"voyager/internal/tracing"
+	"voyager/internal/workloads"
+)
+
+// TestProvenanceConservation runs an instrumented, traced, provenance-logged
+// simulation and checks that the three accounting layers agree:
+//
+//   - the decision table's issued total equals the Result's PrefetchesIssued
+//     and the sim_prefetches_issued_total counter;
+//   - useful+late equals PrefetchesUseful / sim_prefetches_useful_total
+//     (the simulator counts late-covered prefetches as useful);
+//   - every decision lands in exactly one outcome bucket;
+//   - attaching the tracer and the log changes no Result bit;
+//   - the exported timeline round-trips through the validator.
+//
+// Provenance evicted may exceed Result.PrefetchEvicted: the log resolves
+// prefetched lines evicted by *demand* fills too, which the sim counter
+// intentionally excludes (see Machine.fillAll).
+func TestProvenanceConservation(t *testing.T) {
+	tr, err := workloads.Generate("pr", workloads.Config{Seed: 3, Scale: 1, MaxAccesses: 6000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A lookahead-4 oracle over the demand stream: far enough ahead to issue
+	// real prefetches, close enough to produce a mix of useful, late,
+	// dropped and evicted outcomes.
+	preds := make([][]uint64, tr.Len())
+	for i := 0; i+4 < tr.Len(); i++ {
+		preds[i] = []uint64{trace.Line(tr.Accesses[i+4].Addr)}
+	}
+	pf := func() *prefetch.Precomputed {
+		return &prefetch.Precomputed{Label: "oracle4", Predictions: preds}
+	}
+	cfg := ScaledConfig()
+
+	plain := NewMachine(cfg).Run(tr, pf())
+
+	reg := metrics.NewRegistry()
+	tracer := tracing.New(tracing.Options{Logical: true})
+	log := tracing.NewDecisionLog("pr/oracle4")
+	m := NewMachine(cfg)
+	m.Instrument(reg)
+	m.Trace(tracer, "sim/oracle4")
+	m.Provenance(log)
+	res := m.Run(tr, pf())
+
+	if res != plain {
+		t.Fatalf("tracing perturbed the simulation:\n  with:    %+v\n  without: %+v", res, plain)
+	}
+	if log.Len() == 0 || res.PrefetchesIssued == 0 {
+		t.Fatalf("degenerate run: %d decisions, %d issued", log.Len(), res.PrefetchesIssued)
+	}
+
+	tab := log.BuildTable(nil) // no schemes stamped: everything lands in "unmatched"
+	if len(tab.Rows) != 1 || tab.Rows[0].Scheme != tracing.UnmatchedScheme {
+		t.Fatalf("rows = %+v, want a single unmatched row", tab.Rows)
+	}
+	total := tab.Total
+	if total.Decisions != log.Len() {
+		t.Fatalf("table decisions %d != log length %d", total.Decisions, log.Len())
+	}
+	if got := total.Useful + total.Late + total.Evicted + total.Resident +
+		total.Dropped + total.Unsimulated; got != total.Decisions {
+		t.Fatalf("outcome buckets sum to %d, want %d (every decision in exactly one)", got, total.Decisions)
+	}
+
+	snap := reg.Snapshot()
+	issued, _ := snap.Counter("sim_prefetches_issued_total")
+	useful, _ := snap.Counter("sim_prefetches_useful_total")
+	if uint64(total.Issued) != res.PrefetchesIssued || uint64(total.Issued) != issued {
+		t.Errorf("issued: provenance %d, Result %d, counter %d", total.Issued, res.PrefetchesIssued, issued)
+	}
+	if got := uint64(total.Useful + total.Late); got != res.PrefetchesUseful || got != useful {
+		t.Errorf("useful+late: provenance %d, Result %d, counter %d", got, res.PrefetchesUseful, useful)
+	}
+	if uint64(total.Evicted) < res.PrefetchEvicted {
+		t.Errorf("provenance evicted %d < sim PrefetchEvicted %d (must cover at least the sim's)",
+			total.Evicted, res.PrefetchEvicted)
+	}
+	if total.Unsimulated != 0 {
+		t.Errorf("%d unsimulated decisions in a sim-only log (Ensure records only simulated ones)", total.Unsimulated)
+	}
+	if total.Late > 0 && total.MeanLateCycles <= 0 {
+		t.Errorf("late prefetches recorded without wait cycles")
+	}
+
+	if _, err := tracing.ValidateBytes(tracer.Export()); err != nil {
+		t.Fatalf("simulator timeline invalid: %v", err)
+	}
+}
+
+// TestProvenanceDeterministic pins the decision log and the logical-clock
+// simulator timeline as byte-reproducible across identical runs.
+func TestProvenanceDeterministic(t *testing.T) {
+	tr, err := workloads.Generate("cc", workloads.Config{Seed: 9, Scale: 1, MaxAccesses: 4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() ([]byte, string) {
+		preds := make([][]uint64, tr.Len())
+		for i := 0; i+3 < tr.Len(); i++ {
+			preds[i] = []uint64{trace.Line(tr.Accesses[i+3].Addr)}
+		}
+		tracer := tracing.New(tracing.Options{Logical: true})
+		log := tracing.NewDecisionLog("cc/oracle3")
+		m := NewMachine(ScaledConfig())
+		m.Trace(tracer, "sim/oracle3")
+		m.Provenance(log)
+		m.Run(tr, &prefetch.Precomputed{Label: "oracle3", Predictions: preds})
+		return tracer.Export(), log.BuildTable(nil).String()
+	}
+	e1, t1 := run()
+	e2, t2 := run()
+	if string(e1) != string(e2) {
+		t.Fatalf("simulator timeline not reproducible")
+	}
+	if t1 != t2 {
+		t.Fatalf("provenance table not reproducible:\n%s\n---\n%s", t1, t2)
+	}
+}

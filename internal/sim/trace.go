@@ -1,0 +1,213 @@
+package sim
+
+import (
+	"sort"
+
+	"voyager/internal/tracing"
+)
+
+// simTrace is the machine's execution-span and provenance state, attached
+// via Machine.Trace / Machine.Provenance and nil when both are off — the
+// hot path pays one nil compare per hook. The simulator is single-threaded,
+// so all tracks and maps here are written from one goroutine.
+//
+// Span model: each cache level gets its own explicit-clock row (timestamps
+// are simulated cycles, deterministic by construction) carrying miss
+// instants; the LLC row additionally carries the linked async spans — one
+// per DRAM fill — from issue ("prefetch" or "demand_fill") through the
+// "fill" instant at arrival to an end event named for the outcome (useful,
+// late, evicted, resident). Prefetch outcomes are simultaneously resolved
+// into the decision log, which is how a Voyager prediction's provenance
+// meets its simulated fate.
+type simTrace struct {
+	l1Tk, l2Tk, llcTk *tracing.Track
+
+	prov *tracing.DecisionLog
+
+	// pending tracks every prefetch whose outcome is unresolved, by line.
+	// An eviction while the fill is still in flight only *marks* the entry:
+	// a later demand can still merge with the fill (the simulator counts
+	// that useful-late), so eviction defers to the next resolution point —
+	// demand merge, line reuse, or end of run.
+	pending map[uint64]*pendingPrefetch
+	nextID  uint64 // async span ids, per machine (= per trace process)
+}
+
+type pendingPrefetch struct {
+	dec     int    // decision id, -1 when provenance is off
+	id      uint64 // async span id (0 when tracing is off)
+	evicted bool   // evicted from the LLC before a demand touched it
+}
+
+func (m *Machine) ensureST() *simTrace {
+	if m.st == nil {
+		m.st = &simTrace{pending: make(map[uint64]*pendingPrefetch)}
+	}
+	return m.st
+}
+
+// Trace attaches execution-span rows for this machine's cache levels under
+// the given process name (use distinct names — e.g. "sim/voyager",
+// "sim/isb" — when several machines share one tracer, so async span ids
+// stay per-process unique). Call before Run; nil tracer is a no-op.
+func (m *Machine) Trace(tr *tracing.Tracer, process string) {
+	if tr == nil {
+		return
+	}
+	st := m.ensureST()
+	st.l1Tk = tr.ExplicitTrack(process, "L1D")
+	st.l2Tk = tr.ExplicitTrack(process, "L2")
+	st.llcTk = tr.ExplicitTrack(process, "LLC")
+}
+
+// Provenance attaches the decision log that predictions were stamped into;
+// the run resolves each issued prefetch's outcome against it. For
+// prefetchers that never stamp decisions (the table-based baselines) bare
+// decisions are auto-created, so the table still shows the outcome
+// distribution under the "unmatched" scheme. Call before Run; nil is a
+// no-op.
+func (m *Machine) Provenance(log *tracing.DecisionLog) {
+	if log == nil {
+		return
+	}
+	m.ensureST().prov = log
+}
+
+// notePrefetchIssue opens the async span and pending entry for a prefetch
+// the machine actually sent to DRAM. idx is the trigger's raw trace index.
+func (st *simTrace) notePrefetchIssue(idx int, line uint64, cycle, ready uint64) {
+	if st == nil {
+		return
+	}
+	// A stale pending entry here means the previous prefetch of this line
+	// landed and was evicted unused before anything touched it (its MSHR
+	// entry expired, so the demand-merge paths can no longer see it): close
+	// it out before the new span takes over the line.
+	if _, ok := st.pending[line]; ok {
+		st.resolve(line, tracing.OutcomeEvicted, 0, cycle)
+	}
+	p := &pendingPrefetch{dec: -1}
+	if st.prov != nil {
+		p.dec = st.prov.Ensure(idx, line)
+	}
+	if st.llcTk != nil {
+		st.nextID++
+		p.id = st.nextID
+		st.llcTk.AsyncBeginAt("prefetch", p.id, int64(cycle))
+		st.llcTk.AsyncInstantAt("fill", p.id, int64(ready))
+	}
+	st.pending[line] = p
+}
+
+// noteDrop records a prefetch the machine declined (already cached or
+// already in flight) — no span: nothing happened on the timeline.
+func (st *simTrace) noteDrop(idx int, line uint64) {
+	if st == nil || st.prov == nil {
+		return
+	}
+	id := st.prov.Ensure(idx, line)
+	if st.prov.Outcome(id) == tracing.OutcomeNone {
+		st.prov.SetOutcome(id, tracing.OutcomeDropped, 0)
+	}
+}
+
+// resolve closes a pending prefetch with its final outcome. wait is the
+// lateness in cycles (OutcomeLate only).
+func (st *simTrace) resolve(line uint64, o tracing.Outcome, wait, cycle uint64) {
+	if st == nil {
+		return
+	}
+	p, ok := st.pending[line]
+	if !ok {
+		return
+	}
+	delete(st.pending, line)
+	if p.dec >= 0 {
+		st.prov.SetOutcome(p.dec, o, wait)
+	}
+	if p.id != 0 {
+		st.llcTk.AsyncEndAt(o.String(), p.id, int64(cycle))
+	}
+}
+
+// noteEvict marks line's pending prefetch (if any) as evicted. If its fill
+// is still in flight the final outcome stays open — a demand merge can
+// still turn it late-useful; otherwise it resolves evicted immediately.
+func (m *Machine) noteEvict(line uint64, cycle uint64) {
+	st := m.st
+	if st == nil {
+		return
+	}
+	p, ok := st.pending[line]
+	if !ok {
+		return
+	}
+	if ready, inFlight := m.inFlight[line]; inFlight && ready > cycle {
+		p.evicted = true
+		return
+	}
+	st.resolve(line, tracing.OutcomeEvicted, 0, cycle)
+}
+
+// noteDemandMiss records an uncovered LLC miss as its own async fill span.
+func (st *simTrace) noteDemandMiss(cycle, ready uint64) {
+	if st == nil || st.llcTk == nil {
+		return
+	}
+	st.nextID++
+	st.llcTk.AsyncBeginAt("demand_fill", st.nextID, int64(cycle))
+	st.llcTk.AsyncEndAt("demand_fill", st.nextID, int64(ready))
+}
+
+// instantL1/instantL2/instantLLC record per-level miss instants; all are
+// no-ops when tracing is off.
+func (st *simTrace) instantL1(name string, cycle uint64) {
+	if st == nil {
+		return
+	}
+	st.l1Tk.InstantAt(name, int64(cycle))
+}
+
+func (st *simTrace) instantL2(name string, cycle uint64) {
+	if st == nil {
+		return
+	}
+	st.l2Tk.InstantAt(name, int64(cycle))
+}
+
+func (st *simTrace) instantLLC(name string, cycle uint64) {
+	if st == nil {
+		return
+	}
+	st.llcTk.InstantAt(name, int64(cycle))
+}
+
+// finishRun resolves every still-pending prefetch at the end of a run:
+// lines marked evicted close as evicted, the rest are resident — cached,
+// never demanded. Resolution order is ascending issue order (span id, with
+// provenance-only entries ordered by decision id), keeping the event
+// stream and outcome assignment deterministic despite the map.
+func (m *Machine) finishRun(finalCycle uint64) {
+	st := m.st
+	if st == nil {
+		return
+	}
+	lines := make([]uint64, 0, len(st.pending))
+	for line := range st.pending {
+		lines = append(lines, line)
+	}
+	sort.Slice(lines, func(i, j int) bool {
+		a, b := st.pending[lines[i]], st.pending[lines[j]]
+		if a.id != b.id {
+			return a.id < b.id
+		}
+		return a.dec < b.dec
+	})
+	for _, line := range lines {
+		o := tracing.OutcomeResident
+		if st.pending[line].evicted {
+			o = tracing.OutcomeEvicted
+		}
+		st.resolve(line, o, 0, finalCycle)
+	}
+}

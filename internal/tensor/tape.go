@@ -1,6 +1,10 @@
 package tensor
 
-import "fmt"
+import (
+	"fmt"
+
+	"voyager/internal/tracing"
+)
 
 // Node is a value in the autodiff graph: a matrix plus (lazily allocated)
 // gradient storage and a backward closure. Nodes are arena-allocated by
@@ -52,6 +56,11 @@ const nodeBlockSize = 256
 // steady-state forward+backward pass performs no matrix allocations.
 type Tape struct {
 	nodes []*Node
+
+	// Track is the optional execution-span row for this tape's worker: when
+	// set, backward passes record a "tape_backward" span on it. nil (the
+	// default) keeps the tape silent — a nil track's methods are no-ops.
+	Track *tracing.Track
 
 	// Node arena: fixed-size chunks with a cursor, rewound on Reset.
 	blocks  [][]Node
@@ -171,7 +180,11 @@ func (t *Tape) Backward(root *Node) {
 
 // BackwardFromSeed propagates gradients assuming root.Grad has already been
 // seeded by the caller (used by fused loss ops that set gradients directly).
-func (t *Tape) BackwardFromSeed() { t.backwardFrom() }
+func (t *Tape) BackwardFromSeed() {
+	sp := t.Track.Begin("tape_backward")
+	t.backwardFrom()
+	sp.End()
+}
 
 func (t *Tape) backwardFrom() {
 	for i := len(t.nodes) - 1; i >= 0; i-- {

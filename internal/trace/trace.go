@@ -5,6 +5,12 @@
 // index). Addresses are split hierarchically the way the paper does:
 // a 64-byte cache line within a 4 KB page gives 64 line-offsets per page,
 // so Addr → (Page, Offset) with Offset ∈ [0, 64).
+//
+// Naming note: this package holds *memory-access traces* — the data the
+// model trains on. Execution-timeline spans (where a run spends its time)
+// live in internal/tracing; the two share nothing but the word. The same
+// split shows up on the command lines: -trace is a memory-trace input file,
+// -trace-out is a span-timeline output file.
 package trace
 
 import (

@@ -1,0 +1,249 @@
+package tracing
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+)
+
+// Export renders the current snapshot as Chrome trace-event JSON. The file
+// is hand-built, one event per line, in deterministic order: metadata rows
+// first (process names in pid order, thread names in tid order), then each
+// track's events in track-creation order. Timestamps are microseconds as
+// Perfetto expects — wall nanoseconds as "micros.nnn", explicit simulated
+// cycles verbatim, and in logical mode the wall tracks emit their per-track
+// event index instead, which is what makes same-seed exports byte-identical.
+func (t *Tracer) Export() []byte {
+	var tracks []*Track
+	var procs []string
+	logical := false
+	if t != nil {
+		t.mu.Lock()
+		tracks = append(tracks, t.tracks...)
+		procs = append(procs, t.procs...)
+		logical = t.opts.Logical
+		t.mu.Unlock()
+	}
+
+	var b bytes.Buffer
+	b.WriteString("{\"traceEvents\":[\n")
+	first := true
+	emit := func(line string) {
+		if !first {
+			b.WriteString(",\n")
+		}
+		first = false
+		b.WriteString(line)
+	}
+	for i, p := range procs {
+		emit(fmt.Sprintf(`{"name":"process_name","ph":"M","pid":%d,"tid":0,"args":{"name":%s}}`,
+			i+1, quote(p)))
+	}
+	var dropped uint64
+	for _, tk := range tracks {
+		emit(fmt.Sprintf(`{"name":"thread_name","ph":"M","pid":%d,"tid":%d,"args":{"name":%s}}`,
+			tk.pid, tk.tid, quote(tk.thread)))
+	}
+	for _, tk := range tracks {
+		evs, drop := tk.snapshot()
+		dropped += drop
+		for i, ev := range evs {
+			ts := formatTS(tk, logical, i, ev.TS)
+			switch ev.Ph {
+			case PhaseBegin, PhaseEnd, PhaseInstant:
+				emit(fmt.Sprintf(`{"name":%s,"ph":"%c","pid":%d,"tid":%d,"ts":%s}`,
+					quote(ev.Name), ev.Ph, tk.pid, tk.tid, ts))
+			case PhaseAsyncBegin, PhaseAsyncInstant, PhaseAsyncEnd:
+				// Async events pair by (pid, cat, id); the category is the
+				// track's process name so ids only need per-process uniqueness.
+				emit(fmt.Sprintf(`{"name":%s,"cat":%s,"ph":"%c","pid":%d,"tid":%d,"ts":%s,"id":"0x%x"}`,
+					quote(ev.Name), quote(tk.process), ev.Ph, tk.pid, tk.tid, ts, ev.ID))
+			}
+		}
+	}
+	b.WriteString("\n]")
+	if dropped > 0 {
+		fmt.Fprintf(&b, ",\"otherData\":{\"droppedEvents\":\"%d\"}", dropped)
+	}
+	b.WriteString("}\n")
+	return b.Bytes()
+}
+
+// formatTS renders one timestamp. Explicit tracks carry simulated cycles and
+// emit them verbatim; wall tracks emit microseconds with nanosecond fraction,
+// or — in logical mode — the event's index within its track.
+func formatTS(tk *Track, logical bool, idx int, ns int64) string {
+	if tk.explicit {
+		return fmt.Sprintf("%d", ns)
+	}
+	if logical {
+		return fmt.Sprintf("%d", idx)
+	}
+	return fmt.Sprintf("%d.%03d", ns/1e3, ns%1e3)
+}
+
+// quote JSON-encodes a string (names come from code, but stay safe anyway).
+func quote(s string) string {
+	q, _ := json.Marshal(s)
+	return string(q)
+}
+
+// Handler serves the current trace snapshot as Chrome trace JSON — the
+// /trace endpoint on the metrics HTTP server. Usable on a nil tracer
+// (responds 404: tracing disabled).
+func (t *Tracer) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if t == nil {
+			http.Error(w, "tracing disabled (run with -trace)", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		w.Write(t.Export()) //nolint:errcheck // best-effort HTTP response
+	})
+}
+
+// ParsedEvent is one trace event as read back from exported JSON.
+type ParsedEvent struct {
+	Name string          `json:"name"`
+	Cat  string          `json:"cat,omitempty"`
+	Ph   string          `json:"ph"`
+	PID  int             `json:"pid"`
+	TID  int             `json:"tid"`
+	TS   json.Number     `json:"ts,omitempty"`
+	ID   string          `json:"id,omitempty"`
+	Args json.RawMessage `json:"args,omitempty"`
+}
+
+// TraceFile is the parsed form of an exported trace.
+type TraceFile struct {
+	Events    []ParsedEvent     `json:"traceEvents"`
+	OtherData map[string]string `json:"otherData,omitempty"`
+}
+
+// Stats summarizes a validated trace.
+type Stats struct {
+	Events     int // total events including metadata
+	Spans      int // matched B/E duration pairs
+	AsyncSpans int // matched b/e async pairs
+	Instants   int // i + n point events
+	Processes  int // named processes
+	Threads    int // named threads
+}
+
+// Parse decodes exported Chrome trace JSON.
+func Parse(data []byte) (*TraceFile, error) {
+	var tf TraceFile
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.UseNumber()
+	if err := dec.Decode(&tf); err != nil {
+		return nil, fmt.Errorf("tracing: parse: %w", err)
+	}
+	return &tf, nil
+}
+
+// Validate checks the structural invariants the exporter promises: every
+// (pid,tid) and pid is named by a metadata row, duration begin/end events
+// nest properly per thread, and every async span pairs exactly one begin
+// with one end under its (pid,cat,id) key with no reuse of an open id.
+func Validate(tf *TraceFile) (Stats, error) {
+	var st Stats
+	st.Events = len(tf.Events)
+	procNamed := map[int]bool{}
+	threadNamed := map[[2]int]bool{}
+	stacks := map[[2]int][]string{}
+	type asyncKey struct {
+		pid int
+		cat string
+		id  string
+	}
+	openAsync := map[asyncKey]string{}
+	for i, ev := range tf.Events {
+		switch ev.Ph {
+		case "M":
+			switch ev.Name {
+			case "process_name":
+				procNamed[ev.PID] = true
+				st.Processes++
+			case "thread_name":
+				threadNamed[[2]int{ev.PID, ev.TID}] = true
+				st.Threads++
+			default:
+				return st, fmt.Errorf("event %d: unknown metadata %q", i, ev.Name)
+			}
+			continue
+		case "B", "E", "i", "b", "n", "e":
+		default:
+			return st, fmt.Errorf("event %d: unknown phase %q", i, ev.Ph)
+		}
+		if !procNamed[ev.PID] {
+			return st, fmt.Errorf("event %d (%s): pid %d has no process_name", i, ev.Name, ev.PID)
+		}
+		if !threadNamed[[2]int{ev.PID, ev.TID}] {
+			return st, fmt.Errorf("event %d (%s): pid %d tid %d has no thread_name", i, ev.Name, ev.PID, ev.TID)
+		}
+		key := [2]int{ev.PID, ev.TID}
+		switch ev.Ph {
+		case "B":
+			stacks[key] = append(stacks[key], ev.Name)
+		case "E":
+			stk := stacks[key]
+			if len(stk) == 0 {
+				return st, fmt.Errorf("event %d: E %q with no open span on pid %d tid %d", i, ev.Name, ev.PID, ev.TID)
+			}
+			if top := stk[len(stk)-1]; top != ev.Name {
+				return st, fmt.Errorf("event %d: E %q does not nest (open span %q)", i, ev.Name, top)
+			}
+			stacks[key] = stk[:len(stk)-1]
+			st.Spans++
+		case "i", "n":
+			st.Instants++
+		case "b":
+			k := asyncKey{ev.PID, ev.Cat, ev.ID}
+			if ev.ID == "" {
+				return st, fmt.Errorf("event %d: async begin %q without id", i, ev.Name)
+			}
+			if open, ok := openAsync[k]; ok {
+				return st, fmt.Errorf("event %d: async begin %q reuses open id %s (span %q)", i, ev.Name, ev.ID, open)
+			}
+			openAsync[k] = ev.Name
+		case "e":
+			k := asyncKey{ev.PID, ev.Cat, ev.ID}
+			if _, ok := openAsync[k]; !ok {
+				return st, fmt.Errorf("event %d: async end %q with no open id %s", i, ev.Name, ev.ID)
+			}
+			delete(openAsync, k)
+			st.AsyncSpans++
+		}
+	}
+	var unclosed []string
+	for key, stk := range stacks { //lint:ignore maporder findings are sorted before reporting
+		if len(stk) > 0 {
+			unclosed = append(unclosed, fmt.Sprintf("pid %d tid %d: %d unclosed span(s), first %q", key[0], key[1], len(stk), stk[0]))
+		}
+	}
+	if len(unclosed) > 0 {
+		sort.Strings(unclosed)
+		return st, fmt.Errorf("%s", unclosed[0])
+	}
+	if len(openAsync) > 0 {
+		keys := make([]string, 0, len(openAsync))
+		for k, name := range openAsync { //lint:ignore maporder findings are sorted before reporting
+			keys = append(keys, fmt.Sprintf("pid %d cat %q id %s (%q)", k.pid, k.cat, k.id, name))
+		}
+		sort.Strings(keys)
+		return st, fmt.Errorf("%d unclosed async span(s), first: %s", len(keys), keys[0])
+	}
+	return st, nil
+}
+
+// ValidateBytes parses and validates in one step — the round-trip check used
+// by Close, verify.sh, and the tests.
+func ValidateBytes(data []byte) (Stats, error) {
+	tf, err := Parse(data)
+	if err != nil {
+		return Stats{}, err
+	}
+	return Validate(tf)
+}

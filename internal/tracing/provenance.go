@@ -1,0 +1,420 @@
+package tracing
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Decision is the compact provenance record stamped on one Voyager
+// prediction: where it was made, what it predicted, and which localization
+// labels named the same line. It is the per-decision form of the paper's
+// multi-label ablation axis (§4.4): aggregated over a run, the Schemes
+// masks show which label each correct prefetch latched onto.
+type Decision struct {
+	Index   int    `json:"index"`    // trigger position in the access stream
+	Rank    int    `json:"rank"`     // confidence rank among the candidates (0 = top)
+	PC      uint64 `json:"pc"`       // trigger PC
+	PageTok int    `json:"page_tok"` // predicted page-vocabulary token
+	OffTok  int    `json:"off_tok"`  // predicted offset token
+	Line    uint64 `json:"line"`     // predicted cache-line number
+	// Schemes has bit s set when labeling scheme s produced this exact line
+	// at this position. Zero means no configured label named it (the model
+	// generalized — or hallucinated; the outcome column tells which).
+	Schemes uint32 `json:"schemes"`
+}
+
+// Outcome is the final fate of a decision after simulation.
+type Outcome uint8
+
+// Decision outcomes in lifecycle order.
+const (
+	// OutcomeNone: the decision never reached the simulator (eval-only run,
+	// or truncated below the simulated degree).
+	OutcomeNone Outcome = iota
+	// OutcomeDropped: the simulator declined to issue it (line already
+	// cached or already being fetched).
+	OutcomeDropped
+	// OutcomeUseful: the prefetched line was demanded after its fill
+	// arrived — a fully covered miss.
+	OutcomeUseful
+	// OutcomeLate: the demand arrived while the fill was still in flight;
+	// partially covered, the wait is recorded as lateness.
+	OutcomeLate
+	// OutcomeEvicted: the line was evicted (or its fill expired) unused.
+	OutcomeEvicted
+	// OutcomeResident: still cached untouched when the run ended.
+	OutcomeResident
+)
+
+// String names the outcome as used in trace span names and table headers.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeNone:
+		return "unsimulated"
+	case OutcomeDropped:
+		return "dropped"
+	case OutcomeUseful:
+		return "useful"
+	case OutcomeLate:
+		return "late"
+	case OutcomeEvicted:
+		return "evicted"
+	case OutcomeResident:
+		return "resident"
+	}
+	return "?"
+}
+
+type decKey struct {
+	idx  int
+	line uint64
+}
+
+// DecisionLog accumulates the decisions of one run and their outcomes.
+// (index, line) is a unique key — the predictor deduplicates candidate
+// lines per trigger — so the simulator can attach outcomes by looking up
+// the (trigger index, prefetched line) pair. A nil *DecisionLog is the
+// disabled state: Add returns -1 and every other method no-ops, so call
+// sites never branch. Methods are not goroutine-safe; the predictor and
+// the simulator both run their decision paths on one goroutine.
+type DecisionLog struct {
+	name      string
+	decisions []Decision
+	outcomes  []Outcome
+	waits     []uint64 // lateness in cycles (Late outcomes)
+	evalHit   []bool
+	anyEval   bool
+	byKey     map[decKey]int
+}
+
+// NewDecisionLog creates an empty log named for its run (benchmark or
+// benchmark/prefetcher).
+func NewDecisionLog(name string) *DecisionLog {
+	return &DecisionLog{name: name, byKey: make(map[decKey]int)}
+}
+
+// Name returns the log's run name ("" on nil).
+func (l *DecisionLog) Name() string {
+	if l == nil {
+		return ""
+	}
+	return l.name
+}
+
+// Len returns the number of recorded decisions (0 on nil).
+func (l *DecisionLog) Len() int {
+	if l == nil {
+		return 0
+	}
+	return len(l.decisions)
+}
+
+// Add records a decision and returns its id (-1 on a nil log). A duplicate
+// (index, line) key keeps the earlier (higher-confidence) decision.
+func (l *DecisionLog) Add(d Decision) int {
+	if l == nil {
+		return -1
+	}
+	k := decKey{d.Index, d.Line}
+	if id, ok := l.byKey[k]; ok {
+		return id
+	}
+	id := len(l.decisions)
+	l.decisions = append(l.decisions, d)
+	l.outcomes = append(l.outcomes, OutcomeNone)
+	l.waits = append(l.waits, 0)
+	l.evalHit = append(l.evalHit, false)
+	l.byKey[k] = id
+	return id
+}
+
+// Lookup finds the decision for (trigger index, prefetched line).
+func (l *DecisionLog) Lookup(idx int, line uint64) (int, bool) {
+	if l == nil {
+		return -1, false
+	}
+	id, ok := l.byKey[decKey{idx, line}]
+	return id, ok
+}
+
+// Ensure is Lookup that records a bare decision (Schemes=0) on a miss, so
+// generic table-based prefetchers — which never stamp decisions — still get
+// an outcome distribution in the table.
+func (l *DecisionLog) Ensure(idx int, line uint64) int {
+	if l == nil {
+		return -1
+	}
+	if id, ok := l.byKey[decKey{idx, line}]; ok {
+		return id
+	}
+	return l.Add(Decision{Index: idx, Line: line})
+}
+
+// Reindex rewrites every decision's Index through streamToRaw (the
+// FilterLLC origin map), moving the log from filtered-stream positions to
+// raw-trace positions so the simulator's trigger indices match. Out-of-range
+// positions are left unchanged.
+func (l *DecisionLog) Reindex(streamToRaw []int) {
+	if l == nil {
+		return
+	}
+	for i := range l.decisions {
+		if p := l.decisions[i].Index; p >= 0 && p < len(streamToRaw) {
+			l.decisions[i].Index = streamToRaw[p]
+		}
+	}
+	l.byKey = make(map[decKey]int, len(l.decisions))
+	for i, d := range l.decisions {
+		k := decKey{d.Index, d.Line}
+		if _, ok := l.byKey[k]; !ok {
+			l.byKey[k] = i
+		}
+	}
+}
+
+// SetOutcome resolves a decision. wait is the lateness in cycles (meaningful
+// for OutcomeLate, 0 otherwise). No-op for id < 0 or a nil log.
+func (l *DecisionLog) SetOutcome(id int, o Outcome, wait uint64) {
+	if l == nil || id < 0 || id >= len(l.outcomes) {
+		return
+	}
+	l.outcomes[id] = o
+	l.waits[id] = wait
+}
+
+// Outcome returns a decision's current outcome.
+func (l *DecisionLog) Outcome(id int) Outcome {
+	if l == nil || id < 0 || id >= len(l.outcomes) {
+		return OutcomeNone
+	}
+	return l.outcomes[id]
+}
+
+// SetEvalHit marks a decision correct under the unified eval metric (its
+// line was demanded within the eval window). Orthogonal to the simulator
+// outcome: eval asks "was the prediction right", the outcome asks "did the
+// prefetch help".
+func (l *DecisionLog) SetEvalHit(id int) {
+	if l == nil || id < 0 || id >= len(l.evalHit) {
+		return
+	}
+	l.evalHit[id] = true
+	l.anyEval = true
+}
+
+// Decisions exposes the raw records (read-only; nil on a nil log).
+func (l *DecisionLog) Decisions() []Decision {
+	if l == nil {
+		return nil
+	}
+	return l.decisions
+}
+
+// Row is one labeling scheme's line in the provenance table.
+type Row struct {
+	Scheme      string `json:"scheme"`
+	Decisions   int    `json:"decisions"`
+	Issued      int    `json:"issued"`
+	Useful      int    `json:"useful"`
+	Late        int    `json:"late"`
+	Evicted     int    `json:"evicted"`
+	Resident    int    `json:"resident"`
+	Dropped     int    `json:"dropped"`
+	Unsimulated int    `json:"unsimulated"`
+	EvalHits    int    `json:"eval_hits,omitempty"`
+	// Accuracy is (useful+late)/issued — the simulator's accuracy metric
+	// restricted to this scheme's decisions.
+	Accuracy float64 `json:"accuracy"`
+	// UsefulShare is this scheme's share of all useful prefetches — how the
+	// run's coverage decomposes across labels.
+	UsefulShare float64 `json:"useful_share"`
+	// MeanLateCycles is the mean in-flight wait of this scheme's late
+	// prefetches (0 when none were late).
+	MeanLateCycles float64 `json:"mean_late_cycles"`
+
+	lateWait uint64
+}
+
+// Table is the per-label-scheme rollup for one run: which scheme each
+// prediction latched onto, and how those prefetches fared.
+type Table struct {
+	Name    string `json:"name"`
+	Rows    []Row  `json:"rows"`
+	Total   Row    `json:"total"`
+	HasEval bool   `json:"has_eval,omitempty"`
+}
+
+// UnmatchedScheme is the table row for decisions no configured label named.
+const UnmatchedScheme = "unmatched"
+
+// BuildTable rolls the log up by scheme. schemeNames maps scheme index
+// (bit position in Decision.Schemes) to its display name — pass
+// label.SchemeNames(); names are injected so this package stays free of
+// voyager imports. A decision matched by several schemes is attributed to
+// the lowest-numbered one (scheme declaration order, global first), so
+// every decision lands in exactly one row and the totals are conservative.
+func (l *DecisionLog) BuildTable(schemeNames []string) *Table {
+	t := &Table{Name: l.Name()}
+	if l == nil {
+		return t
+	}
+	t.HasEval = l.anyEval
+	rows := make([]Row, len(schemeNames)+1) // + trailing unmatched row
+	for i, n := range schemeNames {
+		rows[i].Scheme = n
+	}
+	rows[len(schemeNames)].Scheme = UnmatchedScheme
+	tally := func(r *Row, o Outcome, wait uint64, hit bool) {
+		r.Decisions++
+		switch o {
+		case OutcomeNone:
+			r.Unsimulated++
+		case OutcomeDropped:
+			r.Dropped++
+		default:
+			r.Issued++
+			switch o {
+			case OutcomeUseful:
+				r.Useful++
+			case OutcomeLate:
+				r.Late++
+				r.lateWait += wait
+			case OutcomeEvicted:
+				r.Evicted++
+			case OutcomeResident:
+				r.Resident++
+			}
+		}
+		if hit {
+			r.EvalHits++
+		}
+	}
+	for i, d := range l.decisions {
+		row := len(schemeNames)
+		for s := 0; s < len(schemeNames); s++ {
+			if d.Schemes&(1<<uint(s)) != 0 {
+				row = s
+				break
+			}
+		}
+		tally(&rows[row], l.outcomes[i], l.waits[i], l.evalHit[i])
+		tally(&t.Total, l.outcomes[i], l.waits[i], l.evalHit[i])
+	}
+	finish := func(r *Row, totalUseful int) {
+		if r.Issued > 0 {
+			r.Accuracy = float64(r.Useful+r.Late) / float64(r.Issued)
+		}
+		if totalUseful > 0 {
+			r.UsefulShare = float64(r.Useful+r.Late) / float64(totalUseful)
+		}
+		if r.Late > 0 {
+			r.MeanLateCycles = float64(r.lateWait) / float64(r.Late)
+		}
+	}
+	totalUseful := t.Total.Useful + t.Total.Late
+	for i := range rows {
+		if rows[i].Decisions == 0 {
+			continue
+		}
+		finish(&rows[i], totalUseful)
+		t.Rows = append(t.Rows, rows[i])
+	}
+	finish(&t.Total, totalUseful)
+	return t
+}
+
+// String renders the table for logs.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Provenance %s: %d decisions, %d issued, accuracy %.3f\n",
+		t.Name, t.Total.Decisions, t.Total.Issued, t.Total.Accuracy)
+	header := "  %-14s %9s %7s %7s %6s %8s %9s %8s %6s %6s %7s %9s"
+	fmt.Fprintf(&b, header+"\n", "scheme", "decisions", "issued", "useful",
+		"late", "evicted", "resident", "dropped", "unsim", "acc", "share", "meanlate")
+	line := func(r Row) {
+		fmt.Fprintf(&b, "  %-14s %9d %7d %7d %6d %8d %9d %8d %6d %6.3f %7.3f %9.1f",
+			r.Scheme, r.Decisions, r.Issued, r.Useful, r.Late, r.Evicted,
+			r.Resident, r.Dropped, r.Unsimulated, r.Accuracy, r.UsefulShare,
+			r.MeanLateCycles)
+		if t.HasEval {
+			fmt.Fprintf(&b, "  eval=%d", r.EvalHits)
+		}
+		b.WriteByte('\n')
+	}
+	for _, r := range t.Rows {
+		line(r)
+	}
+	line(t.Total)
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// Report is the provenance output file: one table per run, in run order.
+type Report struct {
+	Tables []*Table `json:"tables"`
+}
+
+// JSON marshals the report with indentation.
+func (r *Report) JSON() ([]byte, error) { return json.MarshalIndent(r, "", "  ") }
+
+// String renders every table.
+func (r *Report) String() string {
+	parts := make([]string, len(r.Tables))
+	for i, t := range r.Tables {
+		parts[i] = t.String()
+	}
+	return strings.Join(parts, "\n")
+}
+
+// ProvenanceSet collects the decision logs of a multi-run invocation
+// (several benchmarks, several prefetchers) in creation order. A nil set
+// hands out nil logs, keeping every downstream path inert.
+type ProvenanceSet struct {
+	logs []*DecisionLog
+}
+
+// NewProvenanceSet creates an empty set.
+func NewProvenanceSet() *ProvenanceSet { return &ProvenanceSet{} }
+
+// NewLog creates and registers a named log (nil on a nil set).
+func (s *ProvenanceSet) NewLog(name string) *DecisionLog {
+	if s == nil {
+		return nil
+	}
+	l := NewDecisionLog(name)
+	s.logs = append(s.logs, l)
+	return l
+}
+
+// Logs returns the registered logs in creation order.
+func (s *ProvenanceSet) Logs() []*DecisionLog {
+	if s == nil {
+		return nil
+	}
+	return s.logs
+}
+
+// Report builds the rollup for every registered log.
+func (s *ProvenanceSet) Report(schemeNames []string) *Report {
+	r := &Report{}
+	if s == nil {
+		return r
+	}
+	for _, l := range s.logs {
+		r.Tables = append(r.Tables, l.BuildTable(schemeNames))
+	}
+	return r
+}
+
+// WriteFile writes the JSON report to path (no-op on a nil set).
+func (s *ProvenanceSet) WriteFile(path string, schemeNames []string) error {
+	if s == nil || path == "" {
+		return nil
+	}
+	data, err := s.Report(schemeNames).JSON()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

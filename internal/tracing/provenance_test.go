@@ -1,0 +1,171 @@
+package tracing
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestDecisionLogBasics(t *testing.T) {
+	l := NewDecisionLog("bench/pf")
+	if l.Name() != "bench/pf" {
+		t.Fatalf("Name = %q", l.Name())
+	}
+	id0 := l.Add(Decision{Index: 10, Line: 0xabc, Rank: 0, Schemes: 1})
+	if dup := l.Add(Decision{Index: 10, Line: 0xabc, Rank: 3}); dup != id0 {
+		t.Fatalf("duplicate (index, line) got id %d, want %d", dup, id0)
+	}
+	if l.Decisions()[id0].Rank != 0 {
+		t.Fatalf("duplicate Add overwrote the higher-confidence decision")
+	}
+	if id, ok := l.Lookup(10, 0xabc); !ok || id != id0 {
+		t.Fatalf("Lookup = %d, %v", id, ok)
+	}
+	if _, ok := l.Lookup(11, 0xabc); ok {
+		t.Fatalf("Lookup found a decision that was never added")
+	}
+	if got := l.Ensure(10, 0xabc); got != id0 {
+		t.Fatalf("Ensure on existing key = %d, want %d", got, id0)
+	}
+	bare := l.Ensure(20, 0xdef)
+	if bare == id0 || l.Decisions()[bare].Schemes != 0 {
+		t.Fatalf("Ensure did not create a bare decision")
+	}
+	if l.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", l.Len())
+	}
+
+	l.SetOutcome(id0, OutcomeLate, 42)
+	if l.Outcome(id0) != OutcomeLate {
+		t.Fatalf("Outcome = %v", l.Outcome(id0))
+	}
+	l.SetOutcome(99, OutcomeUseful, 0) // out of range: no-op
+	if l.Outcome(99) != OutcomeNone {
+		t.Fatalf("out-of-range SetOutcome stored something")
+	}
+}
+
+func TestOutcomeStrings(t *testing.T) {
+	want := map[Outcome]string{
+		OutcomeNone: "unsimulated", OutcomeDropped: "dropped",
+		OutcomeUseful: "useful", OutcomeLate: "late",
+		OutcomeEvicted: "evicted", OutcomeResident: "resident",
+		Outcome(99): "?",
+	}
+	for o, s := range want {
+		if o.String() != s {
+			t.Errorf("Outcome(%d).String() = %q, want %q", o, o.String(), s)
+		}
+	}
+}
+
+func TestBuildTableAttribution(t *testing.T) {
+	schemes := []string{"global", "pc", "spatial"}
+	l := NewDecisionLog("run")
+	// Multi-scheme decision: attributed to the lowest set bit ("global").
+	a := l.Add(Decision{Index: 1, Line: 1, Schemes: 0b101})
+	b := l.Add(Decision{Index: 2, Line: 2, Schemes: 0b010}) // "pc"
+	c := l.Add(Decision{Index: 3, Line: 3, Schemes: 0})     // unmatched
+	d := l.Add(Decision{Index: 4, Line: 4, Schemes: 0b010}) // "pc"
+	l.SetOutcome(a, OutcomeUseful, 0)
+	l.SetOutcome(b, OutcomeLate, 100)
+	l.SetOutcome(c, OutcomeDropped, 0)
+	l.SetOutcome(d, OutcomeEvicted, 0)
+	l.SetEvalHit(a)
+
+	tab := l.BuildTable(schemes)
+	rows := map[string]Row{}
+	for _, r := range tab.Rows {
+		rows[r.Scheme] = r
+	}
+	if _, ok := rows["spatial"]; ok {
+		t.Fatalf("empty scheme row was not omitted")
+	}
+	g := rows["global"]
+	if g.Decisions != 1 || g.Useful != 1 || g.Issued != 1 || g.EvalHits != 1 {
+		t.Fatalf("global row %+v", g)
+	}
+	if g.Accuracy != 1 || g.UsefulShare != 0.5 {
+		t.Fatalf("global accuracy %v share %v, want 1, 0.5", g.Accuracy, g.UsefulShare)
+	}
+	pc := rows["pc"]
+	if pc.Decisions != 2 || pc.Late != 1 || pc.Evicted != 1 || pc.Issued != 2 {
+		t.Fatalf("pc row %+v", pc)
+	}
+	if pc.Accuracy != 0.5 || pc.MeanLateCycles != 100 {
+		t.Fatalf("pc accuracy %v meanLate %v", pc.Accuracy, pc.MeanLateCycles)
+	}
+	um := rows[UnmatchedScheme]
+	if um.Decisions != 1 || um.Dropped != 1 || um.Issued != 0 {
+		t.Fatalf("unmatched row %+v", um)
+	}
+	if tab.Total.Decisions != 4 || tab.Total.Issued != 3 || !tab.HasEval {
+		t.Fatalf("total %+v hasEval %v", tab.Total, tab.HasEval)
+	}
+	// Rows partition the decisions.
+	sum := 0
+	for _, r := range tab.Rows {
+		sum += r.Decisions
+	}
+	if sum != tab.Total.Decisions {
+		t.Fatalf("rows sum to %d decisions, total says %d", sum, tab.Total.Decisions)
+	}
+	if s := tab.String(); !strings.Contains(s, "global") || !strings.Contains(s, "eval=1") {
+		t.Fatalf("table render missing content:\n%s", s)
+	}
+}
+
+func TestReindex(t *testing.T) {
+	l := NewDecisionLog("run")
+	l.Add(Decision{Index: 0, Line: 7})
+	l.Add(Decision{Index: 2, Line: 9})
+	l.Reindex([]int{100, 101, 102})
+	if l.Decisions()[0].Index != 100 || l.Decisions()[1].Index != 102 {
+		t.Fatalf("indices after Reindex: %+v", l.Decisions())
+	}
+	if id, ok := l.Lookup(102, 9); !ok || id != 1 {
+		t.Fatalf("Lookup in the new domain: %d, %v", id, ok)
+	}
+	if _, ok := l.Lookup(2, 9); ok {
+		t.Fatalf("old-domain key survived Reindex")
+	}
+}
+
+func TestProvenanceSetReportRoundTrip(t *testing.T) {
+	var nilSet *ProvenanceSet
+	if log := nilSet.NewLog("x"); log != nil {
+		t.Fatalf("nil set returned a live log")
+	}
+	if err := nilSet.WriteFile(filepath.Join(t.TempDir(), "no.json"), nil); err != nil {
+		t.Fatalf("nil set WriteFile: %v", err)
+	}
+
+	set := NewProvenanceSet()
+	a := set.NewLog("pr/voyager")
+	b := set.NewLog("cc/voyager")
+	a.Add(Decision{Index: 1, Line: 1, Schemes: 1})
+	b.Add(Decision{Index: 2, Line: 2})
+	if len(set.Logs()) != 2 {
+		t.Fatalf("Logs: %d", len(set.Logs()))
+	}
+	path := filepath.Join(t.TempDir(), "prov.json")
+	if err := set.WriteFile(path, []string{"global"}); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if len(rep.Tables) != 2 || rep.Tables[0].Name != "pr/voyager" || rep.Tables[1].Name != "cc/voyager" {
+		t.Fatalf("round-tripped report: %+v", rep)
+	}
+	if s := set.Report([]string{"global"}).String(); !strings.Contains(s, "pr/voyager") || !strings.Contains(s, "cc/voyager") {
+		t.Fatalf("report render:\n%s", s)
+	}
+}

@@ -1,0 +1,363 @@
+// Package tracing is the execution-timeline layer: a dependency-free,
+// deterministic span tracer in the style of internal/metrics, exporting
+// Chrome trace-event JSON loadable in Perfetto or chrome://tracing.
+//
+// Naming note: internal/trace holds *memory-access traces* (the PC/address
+// streams the prefetchers consume); this package records *execution spans*
+// (where wall-clock and simulated cycles go inside a run). The two share
+// nothing but the word.
+//
+// Determinism is a design constraint, exactly as in metrics. A nil *Tracer
+// hands out nil tracks whose spans are no-ops, so instrumented hot paths
+// carry one pointer compare and zero allocations when tracing is off (the
+// alloc gate test pins this). Spans are recorded into per-track arenas —
+// chunked, pointer-stable event buffers written by exactly one goroutine at
+// a time and published through an atomic count, so the hot path takes no
+// locks and the flusher can snapshot mid-run without races. Tracks are
+// created in deterministic program order (main first, then worker 0..N-1,
+// then simulator rows) and the exporter merges them in that order, so event
+// IDs and file layout are reproducible run-to-run. Two clock domains exist:
+// wall-clock tracks stamp events with nanoseconds since the tracer started
+// (reproducible in structure, not in value), and explicit-clock tracks are
+// stamped by the caller with simulated cycles (reproducible outright). The
+// logical export mode replaces wall timestamps with per-track sequence
+// numbers, which makes the exported file byte-identical across runs at the
+// same seed and worker count — the differential tests and verify.sh compare
+// such exports with cmp.
+package tracing
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Event phases, a subset of the Chrome trace-event format: duration
+// begin/end on one track, thread-scoped instants, and async begin/instant/
+// end linked across time by (pid, cat, id).
+const (
+	PhaseBegin        = 'B'
+	PhaseEnd          = 'E'
+	PhaseInstant      = 'i'
+	PhaseAsyncBegin   = 'b'
+	PhaseAsyncInstant = 'n'
+	PhaseAsyncEnd     = 'e'
+	PhaseMetadata     = 'M'
+)
+
+// Event is one recorded trace event. TS is nanoseconds since the tracer
+// started on wall-clock tracks and a caller-supplied simulated timestamp
+// (cycles) on explicit-clock tracks. ID links async events; it is unused
+// (zero) for sync events.
+type Event struct {
+	Ph   byte
+	Name string
+	TS   int64
+	ID   uint64
+}
+
+// Arena geometry: chunked so event storage is pointer-stable (the flusher
+// reads published events while the writer appends) and bounded so a runaway
+// loop cannot exhaust memory — beyond the cap events are counted as dropped
+// and the export says so.
+const (
+	chunkEvents = 4096
+	maxChunks   = 1024
+)
+
+// Track is one timeline row: a (process, thread) pair holding an append-only
+// event arena. Each track is written by one goroutine at a time; the count
+// is published atomically after the event is in place, so concurrent readers
+// (the flusher, the HTTP handler) observe a consistent prefix. All recording
+// methods are no-ops on a nil track — the disabled-tracing fast path.
+type Track struct {
+	tracer   *Tracer
+	pid, tid int
+	process  string
+	thread   string
+	explicit bool // caller-stamped simulated clock (cycles), not wall time
+
+	count   atomic.Uint64
+	chunks  [maxChunks]atomic.Pointer[[chunkEvents]Event]
+	dropped atomic.Uint64
+}
+
+// record appends one event (single writer per track).
+func (tk *Track) record(ph byte, name string, id uint64, ts int64) {
+	n := tk.count.Load()
+	ci := int(n / chunkEvents)
+	if ci >= maxChunks {
+		tk.dropped.Add(1)
+		return
+	}
+	chunk := tk.chunks[ci].Load()
+	if chunk == nil {
+		chunk = new([chunkEvents]Event)
+		tk.chunks[ci].Store(chunk)
+	}
+	chunk[n%chunkEvents] = Event{Ph: ph, Name: name, TS: ts, ID: id}
+	tk.count.Store(n + 1)
+}
+
+// snapshot returns the published event prefix (safe concurrently with the
+// writer) plus the dropped-event count.
+func (tk *Track) snapshot() ([]Event, uint64) {
+	n := tk.count.Load()
+	out := make([]Event, 0, n)
+	for i := uint64(0); i < n; i += chunkEvents {
+		chunk := tk.chunks[i/chunkEvents].Load()
+		hi := n - i
+		if hi > chunkEvents {
+			hi = chunkEvents
+		}
+		out = append(out, chunk[:hi]...)
+	}
+	return out, tk.dropped.Load()
+}
+
+// Len returns the number of recorded events (0 on a nil track).
+func (tk *Track) Len() uint64 {
+	if tk == nil {
+		return 0
+	}
+	return tk.count.Load()
+}
+
+// now returns the wall timestamp for this track's tracer.
+func (tk *Track) now() int64 { return int64(time.Since(tk.tracer.start)) }
+
+// Begin opens a duration span on a wall-clock track. The returned Span is a
+// value (no allocation); End closes it. Spans on one track must nest —
+// that is what the round-trip validator checks.
+func (tk *Track) Begin(name string) Span {
+	if tk == nil {
+		return Span{}
+	}
+	tk.record(PhaseBegin, name, 0, tk.now())
+	return Span{tk: tk, name: name}
+}
+
+// Instant records a point event at the current wall clock.
+func (tk *Track) Instant(name string) {
+	if tk == nil {
+		return
+	}
+	tk.record(PhaseInstant, name, 0, tk.now())
+}
+
+// InstantAt records a point event at an explicit simulated timestamp.
+func (tk *Track) InstantAt(name string, ts int64) {
+	if tk == nil {
+		return
+	}
+	tk.record(PhaseInstant, name, 0, ts)
+}
+
+// AsyncBeginAt opens an async span (Chrome "b") with an explicit timestamp.
+// id must be unique within this track's process for the span's lifetime.
+func (tk *Track) AsyncBeginAt(name string, id uint64, ts int64) {
+	if tk == nil {
+		return
+	}
+	tk.record(PhaseAsyncBegin, name, id, ts)
+}
+
+// AsyncInstantAt records an instant inside an async span (Chrome "n").
+func (tk *Track) AsyncInstantAt(name string, id uint64, ts int64) {
+	if tk == nil {
+		return
+	}
+	tk.record(PhaseAsyncInstant, name, id, ts)
+}
+
+// AsyncEndAt closes an async span (Chrome "e"). The end event's name may
+// differ from the begin's — the simulator uses it to record the outcome
+// (hit, late_hit, evicted, resident).
+func (tk *Track) AsyncEndAt(name string, id uint64, ts int64) {
+	if tk == nil {
+		return
+	}
+	tk.record(PhaseAsyncEnd, name, id, ts)
+}
+
+// Span is an open duration span. It is a value type like metrics.Timer:
+// starting and ending a span allocates nothing, and the zero Span (from a
+// nil track) is inert.
+type Span struct {
+	tk   *Track
+	name string
+}
+
+// End closes the span (no-op for an inert span).
+func (s Span) End() {
+	if s.tk == nil {
+		return
+	}
+	s.tk.record(PhaseEnd, s.name, 0, s.tk.now())
+}
+
+// Options configures a tracer.
+type Options struct {
+	// Path is the Chrome trace JSON output file, written by the background
+	// flusher (if enabled) and finally — validated — by Close. Empty means
+	// the trace is only available via Export/Handler.
+	Path string
+	// Logical replaces wall-clock timestamps with per-track sequence
+	// numbers at export time, making the output byte-identical across runs
+	// at the same seed and worker count. Explicit-clock (simulated-cycle)
+	// tracks keep their timestamps, which are already deterministic.
+	Logical bool
+	// FlushEvery enables a background goroutine that rewrites Path with a
+	// snapshot at this period, so a crashed run still leaves a timeline.
+	// Zero disables the flusher.
+	FlushEvery time.Duration
+}
+
+// Tracer owns the track registry and the export lifecycle. A nil *Tracer is
+// the disabled state: Track returns nil, and nil tracks no-op everywhere.
+type Tracer struct {
+	mu     sync.Mutex
+	start  time.Time
+	opts   Options
+	procs  []string // process names in pid order (pid = index+1)
+	tracks []*Track
+
+	done chan struct{}
+	wg   sync.WaitGroup
+	err  error // sticky flusher write error, reported by Close
+}
+
+// New creates a tracer and, when Path and FlushEvery are both set, starts
+// the background flusher.
+func New(o Options) *Tracer {
+	t := &Tracer{start: time.Now(), opts: o}
+	if o.Path != "" && o.FlushEvery > 0 {
+		t.done = make(chan struct{})
+		t.wg.Add(1)
+		go t.flushLoop(o.FlushEvery, t.done)
+	}
+	return t
+}
+
+// Track returns the wall-clock track for (process, thread), creating it on
+// first use. Returns nil on a nil tracer. Creation order fixes pid/tid
+// assignment and export order, so callers create tracks deterministically
+// (setup code, never data-dependent paths).
+func (t *Tracer) Track(process, thread string) *Track {
+	return t.track(process, thread, false)
+}
+
+// ExplicitTrack is Track for a caller-stamped clock domain (simulated
+// cycles): its events keep their timestamps even in logical export mode.
+func (t *Tracer) ExplicitTrack(process, thread string) *Track {
+	return t.track(process, thread, true)
+}
+
+func (t *Tracer) track(process, thread string, explicit bool) *Track {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, tk := range t.tracks {
+		if tk.process == process && tk.thread == thread {
+			return tk
+		}
+	}
+	pid := 0
+	for i, p := range t.procs {
+		if p == process {
+			pid = i + 1
+		}
+	}
+	if pid == 0 {
+		t.procs = append(t.procs, process)
+		pid = len(t.procs)
+	}
+	tk := &Track{tracer: t, pid: pid, tid: len(t.tracks) + 1,
+		process: process, thread: thread, explicit: explicit}
+	t.tracks = append(t.tracks, tk)
+	return tk
+}
+
+// flushLoop periodically rewrites the output file with a snapshot. done is
+// passed in (not read from the struct) because Close nils the field under
+// the mutex while this goroutine is still selecting on the channel.
+func (t *Tracer) flushLoop(every time.Duration, done <-chan struct{}) {
+	defer t.wg.Done()
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			if err := t.writeFile(); err != nil {
+				t.mu.Lock()
+				if t.err == nil {
+					t.err = err
+				}
+				t.mu.Unlock()
+			}
+		case <-done:
+			return
+		}
+	}
+}
+
+// writeFile writes a snapshot export to opts.Path via a same-directory
+// temp file and rename, so a reader never sees a half-written trace.
+func (t *Tracer) writeFile() error {
+	data := t.Export()
+	dir := filepath.Dir(t.opts.Path)
+	tmp, err := os.CreateTemp(dir, ".trace-*.json")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()           //nolint:errcheck // aborting anyway
+		os.Remove(tmp.Name()) //nolint:errcheck
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name()) //nolint:errcheck
+		return err
+	}
+	return os.Rename(tmp.Name(), t.opts.Path)
+}
+
+// Close stops the flusher (if any), writes the final validated export to
+// Path, and returns the first error seen (sticky flusher errors included).
+// Safe on a nil tracer.
+func (t *Tracer) Close() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	done := t.done
+	t.done = nil
+	t.mu.Unlock()
+	if done != nil {
+		close(done)
+		t.wg.Wait()
+	}
+	if t.opts.Path != "" {
+		if err := t.writeFile(); err != nil {
+			return err
+		}
+		// The file a run leaves behind must load in Perfetto; re-parse it
+		// through the round-trip validator so a malformed export fails the
+		// run, not the later analysis.
+		data, err := os.ReadFile(t.opts.Path)
+		if err != nil {
+			return err
+		}
+		if _, err := ValidateBytes(data); err != nil {
+			return fmt.Errorf("tracing: exported %s fails validation: %w", t.opts.Path, err)
+		}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}

@@ -1,0 +1,325 @@
+package tracing
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// record a small but representative timeline: nested spans on a wall track,
+// instants, and an async prefetch lifecycle on an explicit-clock track.
+func recordFixture(tr *Tracer) {
+	main := tr.Track("train", "main")
+	w0 := tr.Track("train", "worker 0")
+	llc := tr.ExplicitTrack("sim", "LLC")
+
+	ep := main.Begin("epoch")
+	fw := w0.Begin("forward")
+	w0.Instant("checkpoint")
+	fw.End()
+	bw := w0.Begin("backward")
+	bw.End()
+	ep.End()
+
+	llc.InstantAt("miss", 100)
+	llc.AsyncBeginAt("prefetch", 1, 120)
+	llc.AsyncInstantAt("fill", 1, 320)
+	llc.AsyncEndAt("useful", 1, 400)
+}
+
+func TestExportRoundTrip(t *testing.T) {
+	tr := New(Options{})
+	recordFixture(tr)
+	data := tr.Export()
+	st, err := ValidateBytes(data)
+	if err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if st.Processes != 2 || st.Threads != 3 {
+		t.Fatalf("got %d processes / %d threads, want 2/3", st.Processes, st.Threads)
+	}
+	if st.Spans != 3 {
+		t.Fatalf("got %d duration spans, want 3", st.Spans)
+	}
+	if st.AsyncSpans != 1 {
+		t.Fatalf("got %d async spans, want 1", st.AsyncSpans)
+	}
+	if st.Instants != 3 { // "checkpoint", "miss", async "fill"
+		t.Fatalf("got %d instants, want 3", st.Instants)
+	}
+	// Explicit-clock timestamps are emitted verbatim, even without logical
+	// mode: the simulator's cycle counts are already deterministic.
+	if !bytes.Contains(data, []byte(`"ts":120,"id":"0x1"`)) {
+		t.Fatalf("explicit-clock async begin not verbatim in export:\n%s", data)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+func TestLogicalExportByteIdentical(t *testing.T) {
+	export := func() []byte {
+		tr := New(Options{Logical: true})
+		recordFixture(tr)
+		// Wall clocks advance between the two runs; logical mode must hide it.
+		time.Sleep(2 * time.Millisecond)
+		return tr.Export()
+	}
+	a, b := export(), export()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("logical exports differ:\n%s\n---\n%s", a, b)
+	}
+	if _, err := ValidateBytes(a); err != nil {
+		t.Fatalf("logical export invalid: %v", err)
+	}
+}
+
+func TestTrackDedupAndOrder(t *testing.T) {
+	tr := New(Options{})
+	a := tr.Track("train", "main")
+	b := tr.Track("sim", "LLC")
+	if got := tr.Track("train", "main"); got != a {
+		t.Fatalf("same (process, thread) returned a different track")
+	}
+	if a.pid != 1 || b.pid != 2 {
+		t.Fatalf("pids %d, %d — want creation order 1, 2", a.pid, b.pid)
+	}
+	if a.tid != 1 || b.tid != 2 {
+		t.Fatalf("tids %d, %d — want creation order 1, 2", a.tid, b.tid)
+	}
+	if c := tr.Track("train", "worker 0"); c.pid != 1 || c.tid != 3 {
+		t.Fatalf("second train thread got pid %d tid %d, want 1/3", c.pid, c.tid)
+	}
+}
+
+func TestNilTracerAllocFree(t *testing.T) {
+	var tr *Tracer
+	tk := tr.Track("train", "main")
+	if tk != nil {
+		t.Fatalf("nil tracer returned non-nil track")
+	}
+	var log *DecisionLog
+	allocs := testing.AllocsPerRun(100, func() {
+		sp := tk.Begin("x")
+		tk.Instant("i")
+		tk.InstantAt("i", 1)
+		tk.AsyncBeginAt("a", 1, 0)
+		tk.AsyncInstantAt("a", 1, 1)
+		tk.AsyncEndAt("a", 1, 2)
+		sp.End()
+		if tk.Len() != 0 {
+			t.Fatalf("nil track recorded events")
+		}
+		if id := log.Add(Decision{}); id != -1 {
+			t.Fatalf("nil log Add returned %d", id)
+		}
+		log.Ensure(0, 0)
+		log.SetOutcome(0, OutcomeUseful, 0)
+		log.SetEvalHit(0)
+		if log.Outcome(0) != OutcomeNone {
+			t.Fatalf("nil log has an outcome")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled tracing hot path allocates: %v allocs/op", allocs)
+	}
+}
+
+// TestRecordingAllocBudget pins the enabled hot path: recording into an
+// already-allocated chunk must not allocate (chunk faults are amortized,
+// one per 4096 events).
+func TestRecordingAllocBudget(t *testing.T) {
+	tr := New(Options{})
+	tk := tr.Track("train", "main")
+	tk.Instant("warm") // fault in the first chunk
+	allocs := testing.AllocsPerRun(100, func() {
+		sp := tk.Begin("step")
+		tk.InstantAt("i", 1)
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state recording allocates: %v allocs/op", allocs)
+	}
+}
+
+func TestFlusherWritesAndNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	path := filepath.Join(t.TempDir(), "flush.json")
+	tr := New(Options{Path: path, FlushEvery: time.Millisecond})
+	recordFixture(tr)
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, err := os.Stat(path); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("flusher never wrote %s", path)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read final export: %v", err)
+	}
+	if _, err := ValidateBytes(data); err != nil {
+		t.Fatalf("final export invalid: %v", err)
+	}
+	for i := 0; runtime.NumGoroutine() > before; i++ {
+		if i > 100 {
+			t.Fatalf("goroutines: %d before, %d after Close — flusher leaked", before, runtime.NumGoroutine())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestCloseRejectsMalformedRecording(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	tr := New(Options{Path: path})
+	tk := tr.Track("train", "main")
+	tk.Begin("never closed")
+	err := tr.Close()
+	if err == nil || !strings.Contains(err.Error(), "unclosed") {
+		t.Fatalf("Close on an unclosed span: err=%v, want unclosed-span validation failure", err)
+	}
+}
+
+func TestDroppedEventsReported(t *testing.T) {
+	tr := New(Options{})
+	tk := tr.Track("train", "main")
+	tk.Instant("kept")
+	tk.dropped.Add(3) // white-box: simulate arena exhaustion
+	tf, err := Parse(tr.Export())
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if got := tf.OtherData["droppedEvents"]; got != "3" {
+		t.Fatalf("droppedEvents = %q, want \"3\"", got)
+	}
+	if _, err := Validate(tf); err != nil {
+		t.Fatalf("export with drops invalid: %v", err)
+	}
+}
+
+func TestArenaCapacityDrops(t *testing.T) {
+	tr := New(Options{})
+	tk := tr.Track("train", "main")
+	total := uint64(chunkEvents*maxChunks) + 5
+	for i := uint64(0); i < total; i++ {
+		tk.record(PhaseInstant, "x", 0, int64(i))
+	}
+	if tk.Len() != chunkEvents*maxChunks {
+		t.Fatalf("Len = %d, want cap %d", tk.Len(), chunkEvents*maxChunks)
+	}
+	if got := tk.dropped.Load(); got != 5 {
+		t.Fatalf("dropped = %d, want 5", got)
+	}
+}
+
+func TestHandler(t *testing.T) {
+	var off *Tracer
+	rec := httptest.NewRecorder()
+	off.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/trace", nil))
+	if rec.Code != 404 {
+		t.Fatalf("nil tracer handler: status %d, want 404", rec.Code)
+	}
+
+	tr := New(Options{})
+	recordFixture(tr)
+	rec = httptest.NewRecorder()
+	tr.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/trace", nil))
+	if rec.Code != 200 {
+		t.Fatalf("live handler: status %d", rec.Code)
+	}
+	if _, err := ValidateBytes(rec.Body.Bytes()); err != nil {
+		t.Fatalf("handler snapshot invalid: %v", err)
+	}
+}
+
+// mkEvents builds a minimal valid header (one process, one thread) followed
+// by the given events on pid 1 / tid 1.
+func mkEvents(evs ...ParsedEvent) *TraceFile {
+	tf := &TraceFile{Events: []ParsedEvent{
+		{Name: "process_name", Ph: "M", PID: 1, TID: 0},
+		{Name: "thread_name", Ph: "M", PID: 1, TID: 1},
+	}}
+	tf.Events = append(tf.Events, evs...)
+	return tf
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		tf   *TraceFile
+		want string
+	}{
+		{"unknown phase", mkEvents(ParsedEvent{Name: "x", Ph: "X", PID: 1, TID: 1}), "unknown phase"},
+		{"unknown metadata", mkEvents(ParsedEvent{Name: "weird", Ph: "M", PID: 1, TID: 1}), "unknown metadata"},
+		{"unnamed pid", mkEvents(ParsedEvent{Name: "x", Ph: "i", PID: 9, TID: 1}), "no process_name"},
+		{"unnamed tid", mkEvents(ParsedEvent{Name: "x", Ph: "i", PID: 1, TID: 9}), "no thread_name"},
+		{"end without begin", mkEvents(ParsedEvent{Name: "x", Ph: "E", PID: 1, TID: 1}), "no open span"},
+		{"bad nesting", mkEvents(
+			ParsedEvent{Name: "outer", Ph: "B", PID: 1, TID: 1},
+			ParsedEvent{Name: "inner", Ph: "E", PID: 1, TID: 1}), "does not nest"},
+		{"unclosed span", mkEvents(ParsedEvent{Name: "x", Ph: "B", PID: 1, TID: 1}), "unclosed span"},
+		{"async begin without id", mkEvents(ParsedEvent{Name: "x", Ph: "b", Cat: "c", PID: 1, TID: 1}), "without id"},
+		{"async id reuse", mkEvents(
+			ParsedEvent{Name: "x", Ph: "b", Cat: "c", ID: "0x1", PID: 1, TID: 1},
+			ParsedEvent{Name: "y", Ph: "b", Cat: "c", ID: "0x1", PID: 1, TID: 1}), "reuses open id"},
+		{"async end without begin", mkEvents(ParsedEvent{Name: "x", Ph: "e", Cat: "c", ID: "0x1", PID: 1, TID: 1}), "no open id"},
+		{"unclosed async", mkEvents(ParsedEvent{Name: "x", Ph: "b", Cat: "c", ID: "0x1", PID: 1, TID: 1}), "unclosed async"},
+	}
+	for _, c := range cases {
+		if _, err := Validate(c.tf); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err=%v, want substring %q", c.name, err, c.want)
+		}
+	}
+	if _, err := Parse([]byte("{not json")); err == nil {
+		t.Errorf("Parse accepted malformed JSON")
+	}
+	// Distinct categories keep separate async id spaces.
+	ok := mkEvents(
+		ParsedEvent{Name: "x", Ph: "b", Cat: "c1", ID: "0x1", PID: 1, TID: 1},
+		ParsedEvent{Name: "x", Ph: "b", Cat: "c2", ID: "0x1", PID: 1, TID: 1},
+		ParsedEvent{Name: "x", Ph: "e", Cat: "c1", ID: "0x1", PID: 1, TID: 1},
+		ParsedEvent{Name: "x", Ph: "e", Cat: "c2", ID: "0x1", PID: 1, TID: 1})
+	if _, err := Validate(ok); err != nil {
+		t.Errorf("per-category id spaces rejected: %v", err)
+	}
+}
+
+// TestConcurrentFlushSnapshot races a writer against Export (the flusher's
+// read path) — run under -race in verify.sh, this pins the single-writer
+// arena's publish protocol.
+func TestConcurrentFlushSnapshot(t *testing.T) {
+	tr := New(Options{})
+	tk := tr.Track("train", "main")
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 20_000; i++ {
+			sp := tk.Begin("step")
+			sp.End()
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		if _, err := ValidateBytes(tr.Export()); err != nil {
+			// A snapshot may cut between B and E; only nesting errors from
+			// a *complete* pair are real. An unclosed tail span is expected.
+			if !strings.Contains(err.Error(), "unclosed") {
+				t.Fatalf("mid-run snapshot: %v", err)
+			}
+		}
+	}
+	<-done
+	if _, err := ValidateBytes(tr.Export()); err != nil {
+		t.Fatalf("final snapshot: %v", err)
+	}
+}

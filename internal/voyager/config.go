@@ -11,6 +11,7 @@ import (
 
 	"voyager/internal/label"
 	"voyager/internal/metrics"
+	"voyager/internal/tracing"
 	"voyager/internal/vocab"
 )
 
@@ -111,6 +112,20 @@ type Config struct {
 	// either way (pinned by the golden differential tests). Excluded from
 	// JSON so run manifests embedding a Config stay plain data.
 	Metrics *metrics.Registry `json:"-"`
+
+	// Trace is the optional execution-span tracer. nil (the default)
+	// disables span recording; like Metrics, enabling it never changes
+	// training — spans only bracket work the run performs anyway, and the
+	// trace differential test pins bit-identity against a traceless run.
+	// Excluded from JSON like Metrics.
+	Trace *tracing.Tracer `json:"-"`
+
+	// Provenance is the optional prefetch-decision log: when set, every
+	// prediction predictRange emits is stamped with a Decision (trigger
+	// PC, predicted tokens/line, which labeling schemes named that line,
+	// confidence rank) for downstream outcome attribution. Purely
+	// observational like Metrics and Trace.
+	Provenance *tracing.DecisionLog `json:"-"`
 
 	// Workers is the data-parallel width of TrainBatch/PredictBatch: each
 	// minibatch is cut into Workers contiguous shards that run forward and

@@ -1,10 +1,12 @@
 package voyager
 
 import (
+	"bytes"
 	"hash/fnv"
 	"testing"
 
 	"voyager/internal/metrics"
+	"voyager/internal/tracing"
 )
 
 // Golden fixed-seed outputs captured from the pre-arena, pre-fusion
@@ -21,9 +23,11 @@ const goldenPredHash = uint64(0x841f3e64aba880a3)
 
 // goldenRun trains the fixed-seed cyclic trace and returns the epoch
 // losses, an FNV hash of every prediction, and an FNV hash of the trained
-// weights. reg optionally attaches the observability registry — which must
-// not change any of the three outputs.
-func goldenRun(t *testing.T, workers int, unfused bool, reg *metrics.Registry) ([]float32, uint64, uint64) {
+// weights. reg optionally attaches the observability registry, tracer the
+// span tracer, and prov the provenance log — none of which may change any
+// of the three outputs.
+func goldenRun(t *testing.T, workers int, unfused bool, reg *metrics.Registry,
+	tracer *tracing.Tracer, prov *tracing.DecisionLog) ([]float32, uint64, uint64) {
 	t.Helper()
 	cycle := []uint64{0x10<<6 | 5, 0x22<<6 | 61, 0x15<<6 | 0, 0x9<<6 | 33,
 		0x30<<6 | 7, 0x11<<6 | 12, 0x28<<6 | 50, 0x3<<6 | 18}
@@ -33,6 +37,8 @@ func goldenRun(t *testing.T, workers int, unfused bool, reg *metrics.Registry) (
 	cfg.Workers = workers
 	cfg.UnfusedLSTM = unfused
 	cfg.Metrics = reg
+	cfg.Trace = tracer
+	cfg.Provenance = prov
 	p, err := Train(tr, cfg)
 	if err != nil {
 		t.Fatalf("workers=%d unfused=%v: %v", workers, unfused, err)
@@ -58,7 +64,7 @@ func goldenRun(t *testing.T, workers int, unfused bool, reg *metrics.Registry) (
 func TestGoldenEquivalenceFixedSeed(t *testing.T) {
 	for _, workers := range []int{1, 4} {
 		for _, unfused := range []bool{false, true} {
-			losses, h, _ := goldenRun(t, workers, unfused, nil)
+			losses, h, _ := goldenRun(t, workers, unfused, nil, nil, nil)
 			want := goldenLosses[workers]
 			if len(losses) != len(want) {
 				t.Fatalf("workers=%d unfused=%v: %d epochs, want %d (losses %v)",
@@ -93,9 +99,9 @@ func TestGoldenMetricsDifferential(t *testing.T) {
 	}
 	totals := map[int]map[string]uint64{}
 	for _, workers := range []int{1, 4} {
-		offLosses, offPred, offWeights := goldenRun(t, workers, false, nil)
+		offLosses, offPred, offWeights := goldenRun(t, workers, false, nil, nil, nil)
 		reg := metrics.NewRegistry()
-		onLosses, onPred, onWeights := goldenRun(t, workers, false, reg)
+		onLosses, onPred, onWeights := goldenRun(t, workers, false, reg, nil, nil)
 
 		if len(onLosses) != len(offLosses) {
 			t.Fatalf("workers=%d: %d epochs with metrics, %d without", workers, len(onLosses), len(offLosses))
@@ -141,6 +147,75 @@ func TestGoldenMetricsDifferential(t *testing.T) {
 		if totals[1][name] != totals[4][name] {
 			t.Fatalf("counter %s: %d at workers=1, %d at workers=4 (protocol totals must not depend on sharding)",
 				name, totals[1][name], totals[4][name])
+		}
+	}
+}
+
+// TestGoldenTraceDifferential extends the differential guarantee to the
+// execution-span tracer and the provenance log: at each worker count a run
+// with both attached must be bit-identical to the bare run, the logical-mode
+// export must be byte-identical across two identical runs (span tracing's
+// reproducibility claim, at the library level), the timeline must validate,
+// and every recorded decision must carry a stream-valid trigger index.
+func TestGoldenTraceDifferential(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		offLosses, offPred, offWeights := goldenRun(t, workers, false, nil, nil, nil)
+
+		traced := func() ([]byte, *tracing.DecisionLog, []float32, uint64, uint64) {
+			tracer := tracing.New(tracing.Options{Logical: true})
+			prov := tracing.NewDecisionLog("golden")
+			losses, pred, weights := goldenRun(t, workers, false, nil, tracer, prov)
+			return tracer.Export(), prov, losses, pred, weights
+		}
+		export1, prov, onLosses, onPred, onWeights := traced()
+		export2, _, _, _, _ := traced()
+
+		for i := range offLosses {
+			if onLosses[i] != offLosses[i] {
+				t.Fatalf("workers=%d: epoch %d loss %v with tracing, %v without (must be bit-identical)",
+					workers, i, onLosses[i], offLosses[i])
+			}
+		}
+		if onPred != offPred || onWeights != offWeights {
+			t.Fatalf("workers=%d: hashes with tracing (%#x, %#x) differ from bare run (%#x, %#x)",
+				workers, onPred, onWeights, offPred, offWeights)
+		}
+
+		if !bytes.Equal(export1, export2) {
+			t.Fatalf("workers=%d: logical exports of identical runs differ", workers)
+		}
+		st, err := tracing.ValidateBytes(export1)
+		if err != nil {
+			t.Fatalf("workers=%d: training timeline invalid: %v", workers, err)
+		}
+		if st.Spans == 0 {
+			t.Fatalf("workers=%d: no spans recorded", workers)
+		}
+		// One wall-clock process ("train") with main + one row per worker.
+		if st.Processes != 1 || st.Threads != workers+1 {
+			t.Fatalf("workers=%d: %d processes / %d threads, want 1 / %d",
+				workers, st.Processes, st.Threads, workers+1)
+		}
+
+		if prov.Len() == 0 {
+			t.Fatalf("workers=%d: no decisions recorded", workers)
+		}
+		for _, d := range prov.Decisions() {
+			if d.Index < 1000 || d.Index >= 4000 {
+				t.Fatalf("workers=%d: decision index %d outside the predicted range [1000, 4000)",
+					workers, d.Index)
+			}
+		}
+		// The cyclic trace is perfectly predictable: the stamped scheme masks
+		// must show at least some decisions matched by a labeling scheme.
+		matched := 0
+		for _, d := range prov.Decisions() {
+			if d.Schemes != 0 {
+				matched++
+			}
+		}
+		if matched == 0 {
+			t.Fatalf("workers=%d: no decision matched any labeling scheme on a cyclic trace", workers)
 		}
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"voyager/internal/metrics"
 	"voyager/internal/nn"
 	"voyager/internal/tensor"
+	"voyager/internal/tracing"
 	"voyager/internal/vocab"
 )
 
@@ -53,6 +54,12 @@ type Model struct {
 	obs      *trainObs
 	shardSec *metrics.Histogram
 
+	// spans is the shared span-track bundle (never nil; inert when tracing
+	// is disabled) and tk this worker's own timeline row, looked up once
+	// like shardSec.
+	spans *trainSpans
+	tk    *tracing.Track
+
 	// Scratch buffers reused across batches by samplePageCols and topK;
 	// per-worker like the tape.
 	colOf      map[int]int
@@ -69,6 +76,9 @@ func NewModel(cfg Config, voc *vocab.Vocab) *Model {
 	m := &Model{cfg: cfg, voc: voc, rng: rng, tape: tensor.NewTape()}
 	m.obs = newTrainObs(cfg.Metrics)
 	m.shardSec = m.obs.shardHist(0)
+	m.spans = newTrainSpans(cfg.Trace)
+	m.tk = m.spans.workerTrack(0)
+	m.tape.Track = m.tk
 	m.pcEmb = nn.NewEmbedding("emb.pc", voc.PCTokens(), cfg.PCEmbed, rng)
 	m.pageEmb = nn.NewEmbedding("emb.page", voc.PageTokens(), cfg.PageEmbed, rng)
 	m.offEmb = nn.NewEmbedding("emb.offset", vocab.OffsetTokens, cfg.OffsetEmbed(), rng)
@@ -123,7 +133,10 @@ func (m *Model) newReplica(id int) *Model {
 		tape:     tensor.NewTape(),
 		obs:      m.obs,
 		shardSec: m.obs.shardHist(id),
+		spans:    m.spans,
 	}
+	r.tk = m.spans.workerTrack(id)
+	r.tape.Track = r.tk
 	r.pcEmb = m.pcEmb.ShadowClone()
 	r.pageEmb = m.pageEmb.ShadowClone()
 	r.offEmb = m.offEmb.ShadowClone()
@@ -272,6 +285,8 @@ func (m *Model) TrainBatch(seqs []batchToken, pagePos, offPos [][]int, pageW, of
 	// Ordered reduce: worker 0 backpropagated straight into the shared
 	// params; fold the replicas in ascending worker index so the float32
 	// summation order — and training — is reproducible at this worker count.
+	reduceSp := m.spans.main.Begin("reduce")
+	defer reduceSp.End()
 	master := m.params.All()
 	for w := 1; w < n; w++ {
 		rep := m.replicas[w-1].params.All()
@@ -294,6 +309,7 @@ func (m *Model) TrainBatch(seqs []batchToken, pagePos, offPos [][]int, pageW, of
 func (m *Model) trainShard(seqs []batchToken, pagePos, offPos [][]int, pageW, offW [][]float32, seedWeight float32) float32 {
 	shardT := metrics.StartTimer(m.shardSec)
 	fwdT := metrics.StartTimer(m.obs.forwardSec)
+	fwdSp := m.tk.Begin("forward")
 	tp := m.tape
 	tp.Reset()
 	ph, oh := m.hidden(tp, seqs, true)
@@ -312,9 +328,12 @@ func (m *Model) trainShard(seqs []batchToken, pagePos, offPos [][]int, pageW, of
 	offLoss, _ := tp.SigmoidBCEWeighted(offLogits, offPos, offW)
 	total := tp.Add(pageLoss, offLoss)
 	fwdT.Stop()
+	fwdSp.End()
 	bwdT := metrics.StartTimer(m.obs.backwardSec)
+	bwdSp := m.tk.Begin("backward")
 	total.EnsureGrad().Fill(seedWeight)
 	tp.BackwardFromSeed()
+	bwdSp.End()
 	bwdT.Stop()
 	shardT.Stop()
 	return total.Val.Data[0]
@@ -395,6 +414,8 @@ func (m *Model) PredictBatch(seqs []batchToken, degree int) [][]Candidate {
 
 // predictShard runs inference for one shard of a batch.
 func (m *Model) predictShard(seqs []batchToken, degree int) [][]Candidate {
+	sp := m.tk.Begin("predict_shard")
+	defer sp.End()
 	tp := m.tape
 	tp.Reset()
 	ph, oh := m.hidden(tp, seqs, false)

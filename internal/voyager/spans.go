@@ -1,0 +1,54 @@
+package voyager
+
+import (
+	"fmt"
+
+	"voyager/internal/tracing"
+)
+
+// trainSpans bundles the training loop's execution-span tracks, mirroring
+// trainObs for the tracing layer: built once per model from Config.Trace,
+// and with tracing disabled every track is nil so each span site costs one
+// pointer compare and nothing else (pinned by the tracing differential and
+// zero-alloc tests).
+//
+// Track layout: one "train" process with a "main" thread (epoch frames,
+// batch build, reduce, optimizer) plus one thread per data-parallel worker
+// (forward/backward/tape spans). Worker tracks are created on the main
+// goroutine — NewModel for worker 0, ensureReplicas for the rest — so
+// creation order, and with it pid/tid assignment, is deterministic; each
+// track is then written only by its own worker goroutine, which is the
+// single-writer contract the lock-free event arenas rely on.
+type trainSpans struct {
+	tracer *tracing.Tracer
+	main   *tracing.Track
+}
+
+func newTrainSpans(tr *tracing.Tracer) *trainSpans {
+	s := &trainSpans{tracer: tr}
+	if tr != nil {
+		s.main = tr.Track("train", "main")
+	}
+	return s
+}
+
+// workerTrack returns worker w's span row (nil when tracing is off).
+// Called once per worker model, never in the hot path.
+func (s *trainSpans) workerTrack(w int) *tracing.Track {
+	if s.tracer == nil {
+		return nil
+	}
+	return s.tracer.Track("train", fmt.Sprintf("worker %d", w))
+}
+
+// schemeMask reports which configured labeling schemes named `line` at
+// trace position pos — the Decision.Schemes attribution bitmask.
+func (p *Predictor) schemeMask(pos int, line uint64) uint32 {
+	var m uint32
+	for _, s := range p.Cfg.Schemes {
+		if l, ok := p.labels[pos].Get(s); ok && l == line {
+			m |= 1 << uint(s)
+		}
+	}
+	return m
+}

@@ -8,6 +8,7 @@ import (
 	"voyager/internal/nn"
 	"voyager/internal/prefetch"
 	"voyager/internal/trace"
+	"voyager/internal/tracing"
 	"voyager/internal/vocab"
 )
 
@@ -18,6 +19,7 @@ type Predictor struct {
 	Model *Model
 
 	lines  []uint64
+	pcs    []uint64
 	tokens []tok
 	labels []label.Labels
 
@@ -53,6 +55,8 @@ func Train(tr *trace.Trace, cfg Config) (*Predictor, error) {
 	if cfg.DecayRatio > 0 {
 		opt.DecayBy = cfg.DecayRatio
 	}
+	mainTk := p.Model.spans.main
+	opt.Track = mainTk
 
 	n := tr.Len()
 	for start := 0; start < n; start += cfg.EpochAccesses {
@@ -60,8 +64,11 @@ func Train(tr *trace.Trace, cfg Config) (*Predictor, error) {
 		if end > n {
 			end = n
 		}
+		epochSp := mainTk.Begin("epoch")
 		if start > 0 {
+			predSp := mainTk.Begin("predict_range")
 			p.predictRange(start, end)
+			predSp.End()
 		}
 		passes := cfg.PassesPerEpoch
 		if passes < 1 {
@@ -71,12 +78,15 @@ func Train(tr *trace.Trace, cfg Config) (*Predictor, error) {
 		epochT := metrics.StartTimer(obs.epochSec)
 		var loss float32
 		for pass := 0; pass < passes; pass++ {
+			trainSp := mainTk.Begin("train_range")
 			loss = p.trainRange(start, end, opt)
+			trainSp.End()
 		}
 		epochT.Stop()
 		obs.epochs.Inc()
 		p.epochLoss = append(p.epochLoss, loss)
 		opt.Decay()
+		epochSp.End()
 	}
 	return p, nil
 }
@@ -100,12 +110,14 @@ func newPredictor(tr *trace.Trace, cfg Config) (*Predictor, error) {
 		preds:  make([][]uint64, tr.Len()),
 	}
 	p.lines = make([]uint64, tr.Len())
+	p.pcs = make([]uint64, tr.Len())
 	p.tokens = make([]tok, tr.Len())
 	prevLine := trace.Line(tr.Accesses[0].Addr)
 	for i, a := range tr.Accesses {
 		line := trace.Line(a.Addr)
 		pTok, oTok := voc.EncodeAccess(prevLine, line)
 		p.lines[i] = line
+		p.pcs[i] = a.PC
 		p.tokens[i] = tok{pc: voc.PCToken(a.PC), page: pTok, off: oTok}
 		prevLine = line
 	}
@@ -244,11 +256,13 @@ func (p *Predictor) trainRange(start, end int, opt *nn.Adam) float32 {
 	var positions []int
 	var total float64
 	batches := 0
+	mainTk := p.Model.spans.main
 	flush := func() {
 		if len(positions) == 0 {
 			return
 		}
 		stepT := metrics.StartTimer(obs.stepSec)
+		buildSp := mainTk.Begin("build_batch")
 		seqs := p.buildBatch(positions)
 		nb := len(positions)
 		p.pagePosBuf = growIntRows(p.pagePosBuf, nb)
@@ -261,9 +275,14 @@ func (p *Predictor) trainRange(start, end int, opt *nn.Adam) float32 {
 			pagePos[b], offPos[b], pageW[b], offW[b] = p.labelTokensInto(
 				pos, pagePos[b][:0], offPos[b][:0], pageW[b][:0], offW[b][:0])
 		}
+		buildSp.End()
+		batchSp := mainTk.Begin("train_batch")
 		loss := p.Model.TrainBatch(seqs, pagePos, offPos, pageW, offW)
+		batchSp.End()
 		optT := metrics.StartTimer(obs.optSec)
+		optSp := mainTk.Begin("optimizer")
 		opt.Step(p.Model.Params().All())
+		optSp.End()
 		optT.Stop()
 		if d := stepT.Stop(); d > 0 {
 			obs.tokensPerSec.Set(float64(len(positions)*p.Cfg.SeqLen) / d.Seconds())
@@ -295,6 +314,8 @@ func (p *Predictor) trainRange(start, end int, opt *nn.Adam) float32 {
 // *at* access t (for prefetching after t).
 func (p *Predictor) predictRange(start, end int) {
 	voc := p.Model.Vocab()
+	prov := p.Cfg.Provenance
+	mainTk := p.Model.spans.main
 	// seen and positions are reused across the whole range: at degree 8 a
 	// fresh map per access dominated the allocation profile of degree sweeps.
 	seen := make(map[uint64]struct{}, 2*p.Cfg.Degree)
@@ -308,6 +329,7 @@ func (p *Predictor) predictRange(start, end int) {
 		for i := t; i < hi; i++ {
 			positions = append(positions, i)
 		}
+		batchSp := mainTk.Begin("predict_batch")
 		seqs := p.buildBatch(positions)
 		cands := p.Model.PredictBatch(seqs, p.Cfg.Degree)
 		p.Model.obs.predictBatches.Inc()
@@ -323,10 +345,22 @@ func (p *Predictor) predictRange(start, end int) {
 					continue
 				}
 				seen[line] = struct{}{}
+				if prov != nil {
+					prov.Add(tracing.Decision{
+						Index:   pos,
+						Rank:    len(out),
+						PC:      p.pcs[pos],
+						PageTok: c.PageTok,
+						OffTok:  c.OffTok,
+						Line:    line,
+						Schemes: p.schemeMask(pos, line),
+					})
+				}
 				out = append(out, line<<trace.LineBits)
 			}
 			p.preds[pos] = out
 		}
+		batchSp.End()
 	}
 }
 

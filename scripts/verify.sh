@@ -36,19 +36,22 @@ baseline=$(cat scripts/coverage_baseline.txt)
 awk -v t="$total" -v b="$baseline" 'BEGIN {
   if (t + 0 < b + 0) { printf "coverage: repo-wide %.1f%% < baseline %.1f%%\n", t, b; exit 1 }
   printf "coverage: repo-wide %.1f%% (baseline %.1f%%)\n", t, b }'
-mcov=$(go test -cover ./internal/metrics/ | awk 'match($0, /coverage: [0-9.]+%/) {
-  s = substr($0, RSTART + 10, RLENGTH - 11); print s }')
-awk -v m="$mcov" 'BEGIN {
-  if (m + 0 < 90) { printf "coverage: internal/metrics %.1f%% < 90%% floor\n", m; exit 1 }
-  printf "coverage: internal/metrics %.1f%% (floor 90%%)\n", m }'
+for pkg in internal/metrics internal/tracing; do
+  pcov=$(go test -cover "./$pkg/" | awk 'match($0, /coverage: [0-9.]+%/) {
+    s = substr($0, RSTART + 10, RLENGTH - 11); print s }')
+  awk -v m="$pcov" -v p="$pkg" 'BEGIN {
+    if (m + 0 < 90) { printf "coverage: %s %.1f%% < 90%% floor\n", p, m; exit 1 }
+    printf "coverage: %s %.1f%% (floor 90%%)\n", p, m }'
+done
 
-echo "== allocation regression (tape arena steady state, metrics hot path)"
+echo "== allocation regression (tape arena steady state, metrics + tracing hot paths)"
 go test -run 'TestSteadyStateAllocBudget' ./internal/voyager/
 go test -run 'TestArenaSteadyStateAllocationFree' ./internal/tensor/
 go test -run 'TestHotPathAllocFree' ./internal/metrics/
+go test -run 'TestNilTracerAllocFree' ./internal/tracing/
 
-echo "== go test -race (tensor, nn, metrics, voyager, trace)"
-go test -race ./internal/tensor/ ./internal/nn/ ./internal/trace/ ./internal/metrics/
+echo "== go test -race (tensor, nn, metrics, tracing, voyager, trace)"
+go test -race ./internal/tensor/ ./internal/nn/ ./internal/trace/ ./internal/metrics/ ./internal/tracing/
 # The full voyager suite under -race takes ~10 min of end-to-end training;
 # the concurrency surface is the parallel engine, so race-check the tests
 # that exercise sharded TrainBatch/PredictBatch plus one e2e training run.
@@ -57,5 +60,22 @@ go test -race -run 'Parallel|Deterministic|Workers|LearnsCycleWith' ./internal/v
 echo "== fuzz trace.Read + metrics.ParseSnapshot (bounded)"
 go test -run=NONE -fuzz=FuzzRead -fuzztime=10s ./internal/trace/
 go test -run=NONE -fuzz=FuzzParseSnapshot -fuzztime=10s ./internal/metrics/
+
+# A traced end-to-end run: the exported timeline must round-trip through the
+# validator (cmd/tracecheck), and two same-seed logical-clock runs must
+# produce byte-identical files — the span tracer's reproducibility claim,
+# checked on a real binary rather than a unit test.
+echo "== traced run: validate + byte-compare two same-seed logical exports"
+trace_dir="$(mktemp -d)"
+trap 'rm -f "$cover_out"; rm -rf "$trace_dir"' EXIT
+for i in 1 2; do
+  go run ./cmd/voyager -bench pr -n 3000 -epoch 1000 -passes 1 -hidden 16 \
+    -trace-out "$trace_dir/t$i.json" -trace-clock logical \
+    -provenance "$trace_dir/p$i.json" > /dev/null
+done
+go run ./cmd/tracecheck "$trace_dir/t1.json"
+cmp "$trace_dir/t1.json" "$trace_dir/t2.json"
+cmp "$trace_dir/p1.json" "$trace_dir/p2.json"
+echo "trace: validated, byte-identical across runs"
 
 echo "verify: OK"
