@@ -23,24 +23,27 @@ import (
 	"voyager/internal/experiments"
 	"voyager/internal/label"
 	"voyager/internal/metrics"
+	"voyager/internal/tensor"
 	"voyager/internal/tracing"
 )
 
 func main() {
 	var (
-		run       = flag.String("run", "all", "comma-separated artifact ids or 'all'")
-		accesses  = flag.Int("accesses", 48_000, "raw trace length per benchmark")
-		epochs    = flag.Int("epochs", 4, "online-protocol epochs per stream")
-		hidden    = flag.Int("hidden", 64, "voyager/delta-lstm LSTM units")
-		passes    = flag.Int("passes", 4, "training passes per epoch")
-		window    = flag.Int("window", 10, "unified-metric window")
-		seed      = flag.Int64("seed", 42, "randomness seed")
-		benches   = flag.String("benchmarks", "", "comma-separated benchmark subset (default: per-figure lists)")
-		workers   = flag.Int("workers", 0, "voyager data-parallel width (0/1 serial, -1 auto)")
-		bench     = flag.Bool("bench", false, "run the performance bench suite instead of artifacts")
-		benchOut  = flag.String("bench-out", "auto", "bench suite JSON output path (auto: BENCH_pr<latest+1>.json)")
-		benchBase = flag.String("bench-baseline", "auto", "prior bench JSON to diff against (auto: latest BENCH_pr<N>.json, \"\" disables)")
-		quiet     = flag.Bool("q", false, "suppress progress output")
+		run        = flag.String("run", "all", "comma-separated artifact ids or 'all'")
+		accesses   = flag.Int("accesses", 48_000, "raw trace length per benchmark")
+		epochs     = flag.Int("epochs", 4, "online-protocol epochs per stream")
+		hidden     = flag.Int("hidden", 64, "voyager/delta-lstm LSTM units")
+		passes     = flag.Int("passes", 4, "training passes per epoch")
+		window     = flag.Int("window", 10, "unified-metric window")
+		seed       = flag.Int64("seed", 42, "randomness seed")
+		benches    = flag.String("benchmarks", "", "comma-separated benchmark subset (default: per-figure lists)")
+		workers    = flag.Int("workers", 0, "voyager data-parallel width (0/1 serial, -1 auto)")
+		bench      = flag.Bool("bench", false, "run the performance bench suite instead of artifacts")
+		benchCheck = flag.Bool("bench-check", false, "validate the newest BENCH_pr<N>.json (fail if matmul_256 regressed) and exit")
+		benchOut   = flag.String("bench-out", "auto", "bench suite JSON output path (auto: BENCH_pr<latest+1>.json)")
+		benchBase  = flag.String("bench-baseline", "auto", "prior bench JSON to diff against (auto: latest BENCH_pr<N>.json, \"\" disables)")
+		quiet      = flag.Bool("q", false, "suppress progress output")
+		fastMath   = flag.Bool("fastmath", false, "reassociated matmul kernels: faster, float32-rounding-level differences, NOT bit-reproducible across builds")
 
 		metricsOut  = flag.String("metrics", "", "stream NDJSON metric snapshots to this file")
 		metricsHTTP = flag.String("metrics-http", "", "serve /metrics, /trace and /debug/pprof on this address (e.g. localhost:6060)")
@@ -51,6 +54,15 @@ func main() {
 		provOut    = flag.String("provenance", "", "write per-benchmark Voyager provenance tables (JSON) to this file")
 	)
 	flag.Parse()
+	if *benchCheck {
+		msg, err := experiments.CheckBenchReport(".")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println(msg)
+		return
+	}
 	if *traceClock != "wall" && *traceClock != "logical" {
 		fmt.Fprintf(os.Stderr, "experiments: -trace-clock must be wall or logical, got %q\n", *traceClock)
 		os.Exit(2)
@@ -60,6 +72,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "invalid -workers %d (0 or 1 serial, -1 auto, N>1 parallel)\n", *workers)
 		os.Exit(2)
 	}
+	tensor.SetFastMath(*fastMath)
 	// The delta chain baselines each bench report against the latest prior
 	// one by number, so PR numbering gaps (a PR that didn't re-bench) don't
 	// point a report at a nonexistent file.

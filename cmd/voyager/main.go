@@ -21,6 +21,7 @@ import (
 	"voyager/internal/label"
 	"voyager/internal/metrics"
 	"voyager/internal/sim"
+	"voyager/internal/tensor"
 	"voyager/internal/trace"
 	"voyager/internal/tracing"
 	"voyager/internal/voyager"
@@ -62,6 +63,8 @@ func main() {
 		noPC      = flag.Bool("no-pc", false, "drop the PC-history feature")
 		window    = flag.Int("window", eval.DefaultWindow, "unified-metric window")
 		saveFile  = flag.String("save", "", "write trained weights to this file")
+		fastMath  = flag.Bool("fastmath", false, "reassociated matmul kernels: faster, float32-rounding-level differences, NOT bit-reproducible across builds")
+		quantPred = flag.Bool("quant-predict", false, "int8 weight-quantized output heads for prediction (training stays fp32)")
 
 		metricsOut  = flag.String("metrics", "", "stream NDJSON metric snapshots to this file")
 		metricsHTTP = flag.String("metrics-http", "", "serve /metrics, /trace and /debug/pprof on this address (e.g. localhost:6060)")
@@ -78,6 +81,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "voyager: -trace-clock must be wall or logical, got %q\n", *traceClock)
 		os.Exit(2)
 	}
+	tensor.SetFastMath(*fastMath)
 
 	var tr *trace.Trace
 	var err error
@@ -108,6 +112,7 @@ func main() {
 	cfg.Degree = *degree
 	cfg.UseDeltas = !*noDeltas
 	cfg.DropoutKeep = 1
+	cfg.QuantizedPredict = *quantPred
 	if *noPC {
 		cfg.PCUse = voyager.PCNone
 	}

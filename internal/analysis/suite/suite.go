@@ -15,13 +15,17 @@ import (
 )
 
 // CriticalPackages are the packages whose outputs must be bit-identical
-// across runs and worker counts: the tensor kernels, the neural layers,
-// the training engine, the vocabulary/label builders that fix token ids
-// for the lifetime of a model, the metrics registry whose snapshots are
-// diffed byte-for-byte in the differential tests, and the span tracer
-// whose logical-clock exports must reproduce byte-for-byte.
+// across runs and worker counts: the tensor kernels (including the
+// inference-only quantized kernels, which are deterministic within a
+// build even though they waive the cross-mode bit-identity contract),
+// the neural layers, the training engine, the vocabulary/label builders
+// that fix token ids for the lifetime of a model, the metrics registry
+// whose snapshots are diffed byte-for-byte in the differential tests,
+// and the span tracer whose logical-clock exports must reproduce
+// byte-for-byte.
 var CriticalPackages = []string{
 	"voyager/internal/tensor",
+	"voyager/internal/tensor/quant",
 	"voyager/internal/nn",
 	"voyager/internal/voyager",
 	"voyager/internal/vocab",
@@ -30,9 +34,12 @@ var CriticalPackages = []string{
 	"voyager/internal/tracing",
 }
 
-// HotKernelPackages must stay in float32 end to end.
+// HotKernelPackages must stay in float32 end to end. The quantized
+// kernels qualify: their only float64 appearances are bit-pattern
+// helpers (math.Float32bits/frombits), never float64 arithmetic.
 var HotKernelPackages = []string{
 	"voyager/internal/tensor",
+	"voyager/internal/tensor/quant",
 }
 
 // WideAccumulators are tensor functions that intentionally accumulate in

@@ -12,6 +12,7 @@ import (
 	"voyager/internal/metrics"
 	"voyager/internal/nn"
 	"voyager/internal/tensor"
+	"voyager/internal/tensor/quant"
 	"voyager/internal/tracing"
 	"voyager/internal/voyager"
 	"voyager/internal/workloads"
@@ -57,8 +58,20 @@ type BenchReport struct {
 	// ns/op: the cost of the same step with the execution-span tracer
 	// recording (acceptance bound: < 1.05).
 	TraceOverhead float64 `json:"train_trace_overhead,omitempty"`
-	Baseline        string  `json:"baseline,omitempty"` // path of the compared report
-	Notes           string  `json:"notes,omitempty"`
+	// FastMathMatMulMaxDelta is the largest element-wise |fast - exact|
+	// over the matmul_256 operands: the measured accuracy cost of the
+	// reassociated fast-math kernels (pure float32 rounding noise).
+	FastMathMatMulMaxDelta float64 `json:"fastmath_matmul_max_abs_delta,omitempty"`
+	// QuantMatMulMaxDelta is the largest element-wise |int8 - fp32| over the
+	// same operands: the end-to-end error of the weight-quantized kernel
+	// against unquantized float32.
+	QuantMatMulMaxDelta float64 `json:"quant_matmul_max_abs_delta,omitempty"`
+	// QuantTop1Agreement is the fraction of minibatch rows whose top-1
+	// (page, offset) prediction is identical between the fp32 and the
+	// int8 quantized predict path, after identical training steps.
+	QuantTop1Agreement float64 `json:"quant_top1_agreement,omitempty"`
+	Baseline           string  `json:"baseline,omitempty"` // path of the compared report
+	Notes              string  `json:"notes,omitempty"`
 }
 
 func (r *BenchReport) entry(name string) *BenchEntry {
@@ -90,6 +103,15 @@ func (r *BenchReport) String() string {
 	}
 	if r.TraceOverhead > 0 {
 		fmt.Fprintf(&b, "\n  Trace overhead      %.3fx (train_batch_serial)", r.TraceOverhead)
+	}
+	if r.FastMathMatMulMaxDelta > 0 {
+		fmt.Fprintf(&b, "\n  Fast-math max |Δ|   %.3g (matmul_256)", r.FastMathMatMulMaxDelta)
+	}
+	if r.QuantMatMulMaxDelta > 0 {
+		fmt.Fprintf(&b, "\n  Quant max |Δ|       %.3g (matmul_256_q8 vs fp32)", r.QuantMatMulMaxDelta)
+	}
+	if r.QuantTop1Agreement > 0 {
+		fmt.Fprintf(&b, "\n  Quant top-1 agree   %.3f (predict_batch_quant vs fp32)", r.QuantTop1Agreement)
 	}
 	return b.String()
 }
@@ -141,15 +163,32 @@ func timeIt(name string, fn func(b *testing.B)) BenchEntry {
 }
 
 // benchHarness builds a voyager.BenchHarness over the cc benchmark's raw
-// trace at the harness scale, with the given data-parallel width.
-func (o Options) benchHarness(workers int) (*voyager.BenchHarness, error) {
+// trace at the harness scale, with the given data-parallel width and
+// predict-path precision.
+func (o Options) benchHarness(workers int, quantPredict bool) (*voyager.BenchHarness, error) {
 	tr, err := workloads.Generate("cc", o.workloadConfig())
 	if err != nil {
 		return nil, err
 	}
 	cfg := o.voyagerConfig(tr.Len())
 	cfg.Workers = workers
+	cfg.QuantizedPredict = quantPredict
 	return voyager.NewBenchHarness(tr, cfg)
+}
+
+// maxAbsDelta returns the largest element-wise |got - want|.
+func maxAbsDelta(got, want *tensor.Mat) float64 {
+	var m float64
+	for i := range got.Data {
+		d := float64(got.Data[i] - want.Data[i])
+		if d < 0 {
+			d = -d
+		}
+		if d > m {
+			m = d
+		}
+	}
+	return m
 }
 
 // Bench times the performance-critical stages of the training engine:
@@ -198,6 +237,38 @@ func (o Options) Bench(workers int) (*BenchReport, error) {
 			}
 		}))
 
+	// The opt-in fast-math kernels on the same operands, plus their measured
+	// divergence from the exact result (pure reassociation rounding noise).
+	exact := tensor.MatMul(nil, a, bm)
+	tensor.SetFastMath(true)
+	r.Entries = append(r.Entries, timeIt("matmul_256_fast", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tensor.MatMul(dst, a, bm)
+		}
+	}))
+	fast := tensor.MatMul(nil, a, bm)
+	tensor.SetFastMath(false)
+	r.FastMathMatMulMaxDelta = maxAbsDelta(fast, exact)
+
+	// The inference-only quantized kernels: int8 with per-column scales and
+	// binary16, with the int8 end-to-end error against unquantized fp32.
+	q8 := quant.QuantizeQ8(bm)
+	f16 := quant.QuantizeF16(bm)
+	r.Entries = append(r.Entries,
+		timeIt("matmul_256_q8", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				quant.MatMulQ8(dst, a, q8, nil)
+			}
+		}),
+		timeIt("matmul_256_f16", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				quant.MatMulF16(dst, a, f16, nil)
+			}
+		}))
+	qDst := tensor.NewMat(mdim, mdim)
+	quant.MatMulQ8(qDst, a, q8, nil)
+	r.QuantMatMulMaxDelta = maxAbsDelta(qDst, exact)
+
 	// One LSTM step at the paper's hidden size, batch 64.
 	o.logf("  bench: lstm step...")
 	lstm := nn.NewLSTM("bench", 256, 256, rng)
@@ -217,7 +288,7 @@ func (o Options) Bench(workers int) (*BenchReport, error) {
 		workers int
 	}{{"train_batch_serial", 1}, {"train_batch_parallel", workers}} {
 		o.logf("  bench: %s...", v.name)
-		h, err := o.benchHarness(v.workers)
+		h, err := o.benchHarness(v.workers, false)
 		if err != nil {
 			return nil, err
 		}
@@ -234,6 +305,43 @@ func (o Options) Bench(workers int) (*BenchReport, error) {
 			}))
 	}
 
+	// The quantized predict path against the fp32 one: both harnesses share
+	// the same trace and seed and advance through the same deterministic
+	// serial optimizer steps, so their fp32 weights stay bit-identical and
+	// any top-1 disagreement is int8 quantization noise alone.
+	{
+		o.logf("  bench: predict_batch_quant...")
+		fh, err := o.benchHarness(1, false)
+		if err != nil {
+			return nil, err
+		}
+		qh, err := o.benchHarness(1, true)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < 5; i++ {
+			fh.TrainStep()
+			qh.TrainStep()
+		}
+		r.Entries = append(r.Entries, timeIt("predict_batch_quant", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				qh.PredictStep()
+			}
+		}))
+		fOut, qOut := fh.PredictCandidates(), qh.PredictCandidates()
+		agree := 0
+		for row := range fOut {
+			if len(fOut[row]) > 0 && len(qOut[row]) > 0 &&
+				fOut[row][0].PageTok == qOut[row][0].PageTok &&
+				fOut[row][0].OffTok == qOut[row][0].OffTok {
+				agree++
+			}
+		}
+		if len(fOut) > 0 {
+			r.QuantTop1Agreement = float64(agree) / float64(len(fOut))
+		}
+	}
+
 	// The same serial optimizer step with metrics enabled: the difference
 	// against train_batch_serial is the full observability overhead (timers,
 	// counters and the per-step grad-norm scan).
@@ -241,7 +349,7 @@ func (o Options) Bench(workers int) (*BenchReport, error) {
 		o.logf("  bench: train_batch_serial_metrics...")
 		opts := o
 		opts.Metrics = metrics.NewRegistry()
-		h, err := opts.benchHarness(1)
+		h, err := opts.benchHarness(1, false)
 		if err != nil {
 			return nil, err
 		}
@@ -259,7 +367,7 @@ func (o Options) Bench(workers int) (*BenchReport, error) {
 		o.logf("  bench: train_batch_serial_trace...")
 		opts := o
 		opts.Trace = tracing.New(tracing.Options{})
-		h, err := opts.benchHarness(1)
+		h, err := opts.benchHarness(1, false)
 		if err != nil {
 			return nil, err
 		}
@@ -303,6 +411,41 @@ func (o Options) Bench(workers int) (*BenchReport, error) {
 		r.TraceOverhead = float64(t.NsPerOp) / float64(s.NsPerOp)
 	}
 	return r, nil
+}
+
+// CheckBenchReport is the bench-smoke gate run by scripts/verify.sh: it
+// loads the newest BENCH_pr<N>.json in dir and fails if the serial matmul
+// kernel regressed against the report's recorded baseline — the invariant
+// this repo once silently lost (the PR-5 serial matmul regression) and must
+// not lose again. A missing report or a report with no baseline chain (the
+// first ever bench run) passes vacuously; a recorded slowdown does not.
+func CheckBenchReport(dir string) (string, error) {
+	path, _ := LatestBenchReportPath(dir)
+	if path == "" {
+		return "bench-check: no BENCH_pr<N>.json found (nothing to gate)", nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", fmt.Errorf("bench-check: %v", err)
+	}
+	r, err := LoadBenchReport(data)
+	if err != nil {
+		return "", fmt.Errorf("bench-check: %s: %v", path, err)
+	}
+	e := r.entry("matmul_256")
+	if e == nil {
+		return "", fmt.Errorf("bench-check: %s has no matmul_256 entry", path)
+	}
+	if e.SpeedupVsBaseline == 0 {
+		return fmt.Sprintf("bench-check: %s: matmul_256 %d ns/op (no baseline chain)",
+			path, e.NsPerOp), nil
+	}
+	if e.SpeedupVsBaseline < 1.0 {
+		return "", fmt.Errorf("bench-check: %s: matmul_256 %.2fx vs baseline %s — serial matmul regressed",
+			path, e.SpeedupVsBaseline, r.Baseline)
+	}
+	return fmt.Sprintf("bench-check: %s: matmul_256 %.2fx vs baseline (%d -> %d ns/op)",
+		path, e.SpeedupVsBaseline, e.BaselineNsPerOp, e.NsPerOp), nil
 }
 
 // LatestBenchReportPath returns the highest-numbered BENCH_pr<N>.json in dir

@@ -1,6 +1,10 @@
 package nn
 
-import "sort"
+import (
+	"sort"
+
+	"voyager/internal/tensor/quant"
+)
 
 // Compression utilities for §5.4's model-size study: magnitude pruning and
 // linear quantization, the "standard pruning and quantization methods" the
@@ -56,36 +60,11 @@ func (s *ParamSet) PruneMagnitude(frac float32) int {
 // Quantize rounds every parameter to 2^bits linear levels spanning its
 // [min, max] range (per-tensor affine quantization), simulating a
 // bits-per-weight deployment. Zeros stay exactly zero so pruning survives
-// quantization.
+// quantization. The rounding itself lives in quant.AffineQuantize, shared
+// with the inference-only quantized-weight formats.
 func (s *ParamSet) Quantize(bits int) {
-	if bits <= 0 || bits >= 32 {
-		return
-	}
-	levels := float32(int32(1)<<bits - 1)
 	for _, p := range s.list {
-		if len(p.W.Data) == 0 {
-			continue
-		}
-		mn, mx := p.W.Data[0], p.W.Data[0]
-		for _, v := range p.W.Data {
-			if v < mn {
-				mn = v
-			}
-			if v > mx {
-				mx = v
-			}
-		}
-		if mx == mn {
-			continue
-		}
-		scale := (mx - mn) / levels
-		for i, v := range p.W.Data {
-			if v == 0 {
-				continue
-			}
-			q := float32(int32((v-mn)/scale+0.5))*scale + mn
-			p.W.Data[i] = q
-		}
+		quant.AffineQuantize(p.W.Data, bits)
 	}
 }
 

@@ -1,0 +1,44 @@
+package nn
+
+import (
+	"voyager/internal/tensor"
+	"voyager/internal/tensor/quant"
+)
+
+// QuantizedLinear is the inference-only int8 shadow of a Linear layer:
+// weights quantized with per-column symmetric scales (quant.Q8Mat), bias
+// kept float32. It shares nothing with the source layer after (re)quantize,
+// so many predict workers can read it concurrently while the fp32 layer
+// keeps training — refresh with Requantize when the weights have moved.
+type QuantizedLinear struct {
+	W *quant.Q8Mat
+	B []float32
+}
+
+// QuantizeLinear builds the quantized shadow of l.
+func QuantizeLinear(l *Linear) *QuantizedLinear {
+	return &QuantizedLinear{
+		W: quant.QuantizeQ8(l.W.W),
+		B: append([]float32(nil), l.B.W.Row(0)...),
+	}
+}
+
+// Requantize refreshes the shadow from l's current weights, allocating
+// nothing. Must not run concurrently with Forward.
+func (q *QuantizedLinear) Requantize(l *Linear) {
+	q.W.RequantizeFrom(l.W.W)
+	copy(q.B, l.B.W.Row(0))
+}
+
+// Forward computes y = x·ŵ + b as a constant node on the tape arena. The
+// node has no backward hook — this path is inference-only; training keeps
+// the fp32 Linear.
+func (q *QuantizedLinear) Forward(tp *tensor.Tape, x *tensor.Node) *tensor.Node {
+	out := tp.NewMat(x.Val.Rows, q.W.Cols)
+	quant.MatMulQ8(out, x.Val, q.W, q.B)
+	return tp.Const(out)
+}
+
+// Bytes returns the quantized layer's storage footprint (weights + scales +
+// fp32 bias).
+func (q *QuantizedLinear) Bytes() int { return q.W.Bytes() + 4*len(q.B) }

@@ -1,0 +1,135 @@
+package tensor
+
+import "sync/atomic"
+
+// Fast-math mode trades the exact kernels' bit-reproducible summation order
+// for speed: dot products are split across independent partial accumulators
+// and the fused k-passes combine their four products in a balanced tree
+// before touching dst, so the compiler and the CPU can overlap the
+// multiply-add chains instead of serializing one rounding per term.
+//
+// The term SET is identical to the exact kernels — only the association
+// order changes — so results differ from exact mode by ordinary float32
+// rounding noise (bounded by the differential tests in fastmath_test.go),
+// never by dropped or duplicated terms. Because reassociation changes
+// rounding, fast-math results are NOT bit-identical across kernel shapes or
+// refactors, and the mode must stay off (the default) anywhere the
+// determinism suite pins golden outputs: training that wants reproducible
+// losses, the logical-clock trace exports, and every golden test. It is an
+// explicit opt-in for inference-heavy or throughput-bound runs via
+// SetFastMath (the -fastmath flag on the cmd binaries).
+var fastMathOn atomic.Bool
+
+// SetFastMath switches every matmul kernel between the exact
+// (bit-reproducible, default) and the reassociated fast path. It is safe to
+// call concurrently with running kernels; in-flight kernels finish on the
+// path they started on.
+func SetFastMath(on bool) { fastMathOn.Store(on) }
+
+// FastMathEnabled reports whether the fast-math kernels are active.
+func FastMathEnabled() bool { return fastMathOn.Load() }
+
+// matMulAccFastRange is the fast a·b kernel: four b rows per pass like the
+// exact kernel, but the four products combine in a balanced tree before the
+// single add into dst (3 roundings per 4 terms instead of 4, and a shorter
+// dependency chain per element).
+func matMulAccFastRange(dst, a, b *Mat, lo, hi int) {
+	n := b.Cols
+	kc := a.Cols
+	if n == 0 {
+		return
+	}
+	bd := b.Data
+	for i := lo; i < hi; i++ {
+		arow := a.Row(i)
+		drow := dst.Row(i)[:n]
+		k := 0
+		for ; k+4 <= kc; k += 4 {
+			av0, av1, av2, av3 := arow[k], arow[k+1], arow[k+2], arow[k+3]
+			b0 := bd[k*n:]
+			b0 = b0[:n]
+			b1 := bd[(k+1)*n:]
+			b1 = b1[:n]
+			b2 := bd[(k+2)*n:]
+			b2 = b2[:n]
+			b3 := bd[(k+3)*n:]
+			b3 = b3[:n]
+			for j := range drow {
+				drow[j] += (av0*b0[j] + av1*b1[j]) + (av2*b2[j] + av3*b3[j])
+			}
+		}
+		for ; k < kc; k++ {
+			av := arow[k]
+			brow := bd[k*n:]
+			brow = brow[:n]
+			for j := range drow {
+				drow[j] += av * brow[j]
+			}
+		}
+	}
+}
+
+// matMulABTransFastRange is the exact a·bᵀ kernel: its 1×4 dot micro-kernel
+// already carries four independent ascending-k accumulator chains, and wider
+// variants (eight dots per pass, or even/odd-k split accumulators) both
+// measured SLOWER on the gc compiler — past four live float32 accumulators
+// plus their row base pointers the register allocator starts spilling inside
+// the inner loop. Since reassociation buys nothing here, fast mode keeps the
+// exact summation order for this shape.
+func matMulABTransFastRange(dst, a, b *Mat, lo, hi int) {
+	matMulABTransRange(dst, a, b, lo, hi)
+}
+
+// matMulATransBFastRange is the fast aᵀ·b kernel: same dst-row tiling and
+// four-input-row fusion as the exact kernel, with the four products combined
+// in a balanced tree per element.
+func matMulATransBFastRange(dst, a, b *Mat, lo, hi int) {
+	n := b.Cols
+	if n == 0 {
+		return
+	}
+	rows := a.Rows
+	dd := dst.Data
+	for t0 := lo; t0 < hi; t0 += kernelKTile {
+		t1 := t0 + kernelKTile
+		if t1 > hi {
+			t1 = hi
+		}
+		i := 0
+		for ; i+4 <= rows; i += 4 {
+			a0, a1, a2, a3 := a.Row(i), a.Row(i+1), a.Row(i+2), a.Row(i+3)
+			b0 := b.Row(i)[:n]
+			b1 := b.Row(i + 1)[:n]
+			b2 := b.Row(i + 2)[:n]
+			b3 := b.Row(i + 3)[:n]
+			for k := t0; k < t1; k++ {
+				av0, av1, av2, av3 := a0[k], a1[k], a2[k], a3[k]
+				drow := dd[k*n:]
+				drow = drow[:n]
+				for j := range drow {
+					drow[j] += (av0*b0[j] + av1*b1[j]) + (av2*b2[j] + av3*b3[j])
+				}
+			}
+		}
+		for ; i < rows; i++ {
+			arow := a.Row(i)
+			brow := b.Row(i)[:n]
+			for k := t0; k < t1; k++ {
+				av := arow[k]
+				drow := dd[k*n:]
+				drow = drow[:n]
+				for j := range drow {
+					drow[j] += av * brow[j]
+				}
+			}
+		}
+	}
+}
+
+// matMulATransBAccFastRange accumulates aᵀ·b straight into a non-zero dst.
+// The exact kernel routes through a scratch tile to keep dst += aᵀ·b
+// bit-identical to tmp = aᵀ·b; dst += tmp; fast mode folds dst's prior value
+// into the running sums directly, which is one fewer pass over the tile.
+func matMulATransBAccFastRange(dst, a, b *Mat, lo, hi int) {
+	matMulATransBFastRange(dst, a, b, lo, hi)
+}

@@ -168,12 +168,22 @@ func (m *Mat) Uniform(rng *rand.Rand, l float32) {
 // dispatch overhead.
 const parallelThreshold = 1 << 16
 
-// kernelKTile is the inner-dimension tile for the blocked kernels: a tile of
-// b (kernelKTile rows) or of dst stays cache-resident while the outer matrix
-// streams past it. All tilings preserve the serial kernels' per-element
-// summation order (ascending k / ascending i), so blocked results are
-// bit-identical to unblocked ones — a requirement for reproducible training.
+// kernelKTile is the dst-row tile for the transposed-A kernels: a tile of
+// dst rows stays cache-resident while the input rows stream past it. All
+// tilings preserve the serial kernels' per-element summation order
+// (ascending k / ascending i), so blocked results are bit-identical to
+// unblocked ones — a requirement for reproducible training.
 const kernelKTile = 64
+
+// Kernel numerics contract: the exact kernels below accumulate every output
+// element in strictly ascending inner-index order (ascending k for a·b and
+// a·bᵀ, ascending i for aᵀ·b), one float32 rounding per add, with no
+// value-dependent branches. Zero inputs are NOT skipped, so IEEE semantics
+// hold for non-finite and signed-zero inputs too: 0·Inf contributes NaN and
+// -0 terms keep their sign, exactly like a naive triple loop (the former
+// av == 0 skip branches diverged on such inputs; see TestMatMulNonFinite).
+// The opt-in fast-math kernels (fastmath.go) relax only the association
+// order, never the term set.
 
 // MatMul computes dst = a·b, allocating dst when nil. a is r×k, b is k×c.
 func MatMul(dst, a, b *Mat) *Mat {
@@ -195,65 +205,60 @@ func MatMul(dst, a, b *Mat) *Mat {
 // matMulAcc computes dst += a·b using an ikj loop order (streaming through
 // rows of b), parallelized across rows of a when the work is large enough.
 func matMulAcc(dst, a, b *Mat) {
+	kern := matMulAccRange
+	if FastMathEnabled() {
+		kern = matMulAccFastRange
+	}
 	work := a.Rows * a.Cols * b.Cols
 	if work < parallelThreshold {
-		matMulAccRange(dst, a, b, 0, a.Rows)
+		kern(dst, a, b, 0, a.Rows)
 		return
 	}
-	parallelRows(a.Rows, func(lo, hi int) { matMulAccRange(dst, a, b, lo, hi) })
+	parallelKernel(a.Rows, kern, dst, a, b)
 }
 
-// matMulAccRange is a blocked ikj kernel: b is walked in kernelKTile-row
-// tiles that stay cache-resident while pairs of a rows stream past, halving
-// b traffic versus the row-at-a-time kernel.
+// matMulAccRange is the exact a·b kernel: per dst row, four b rows are fused
+// into one branch-free pass so dst is loaded and stored once per four k
+// terms instead of once per term. The adds per element stay sequential in
+// ascending k (s += av0·b0[j]; s += av1·b1[j]; …), so results are
+// bit-identical to the scalar ikj loop; the two-step reslices pin every
+// row's length to n so the compiler drops the per-element bounds checks.
 func matMulAccRange(dst, a, b *Mat, lo, hi int) {
 	n := b.Cols
 	kc := a.Cols
-	for k0 := 0; k0 < kc; k0 += kernelKTile {
-		k1 := k0 + kernelKTile
-		if k1 > kc {
-			k1 = kc
-		}
-		i := lo
-		for ; i+2 <= hi; i += 2 {
-			arow0 := a.Row(i)
-			arow1 := a.Row(i + 1)
-			drow0 := dst.Row(i)
-			drow1 := dst.Row(i + 1)
-			for k := k0; k < k1; k++ {
-				av0, av1 := arow0[k], arow1[k]
-				if av0 == 0 && av1 == 0 {
-					continue
-				}
-				brow := b.Data[k*n : k*n+n]
-				if av1 == 0 {
-					for j, bv := range brow {
-						drow0[j] += av0 * bv
-					}
-				} else if av0 == 0 {
-					for j, bv := range brow {
-						drow1[j] += av1 * bv
-					}
-				} else {
-					for j, bv := range brow {
-						drow0[j] += av0 * bv
-						drow1[j] += av1 * bv
-					}
-				}
+	if n == 0 {
+		return
+	}
+	bd := b.Data
+	for i := lo; i < hi; i++ {
+		arow := a.Row(i)
+		drow := dst.Row(i)[:n]
+		k := 0
+		for ; k+4 <= kc; k += 4 {
+			av0, av1, av2, av3 := arow[k], arow[k+1], arow[k+2], arow[k+3]
+			b0 := bd[k*n:]
+			b0 = b0[:n]
+			b1 := bd[(k+1)*n:]
+			b1 = b1[:n]
+			b2 := bd[(k+2)*n:]
+			b2 = b2[:n]
+			b3 := bd[(k+3)*n:]
+			b3 = b3[:n]
+			for j := range drow {
+				s := drow[j]
+				s += av0 * b0[j]
+				s += av1 * b1[j]
+				s += av2 * b2[j]
+				s += av3 * b3[j]
+				drow[j] = s
 			}
 		}
-		for ; i < hi; i++ {
-			arow := a.Row(i)
-			drow := dst.Row(i)
-			for k := k0; k < k1; k++ {
-				av := arow[k]
-				if av == 0 {
-					continue
-				}
-				brow := b.Data[k*n : k*n+n]
-				for j, bv := range brow {
-					drow[j] += av * bv
-				}
+		for ; k < kc; k++ {
+			av := arow[k]
+			brow := bd[k*n:]
+			brow = brow[:n]
+			for j := range drow {
+				drow[j] += av * brow[j]
 			}
 		}
 	}
@@ -275,37 +280,66 @@ func MatMulATransB(dst, a, b *Mat) *Mat {
 	}
 	// dst[k][j] += a[i][k] * b[i][j]; parallelize over columns of a (rows of
 	// dst) so goroutines never write the same dst row.
+	kern := matMulATransBRange
+	if FastMathEnabled() {
+		kern = matMulATransBFastRange
+	}
 	work := a.Rows * a.Cols * b.Cols
 	if work < parallelThreshold {
-		matMulATransBRange(dst, a, b, 0, a.Cols)
+		kern(dst, a, b, 0, a.Cols)
 		return dst
 	}
-	parallelRows(a.Cols, func(lo, hi int) { matMulATransBRange(dst, a, b, lo, hi) })
+	parallelKernel(a.Cols, kern, dst, a, b)
 	return dst
 }
 
 // matMulATransBRange is blocked over dst rows: a kernelKTile-row tile of dst
-// stays cache-resident while every row of a/b streams past it once, instead
-// of the whole [lo, hi) stripe being revisited per input row. Per dst row
-// the accumulation order over i is unchanged, so results are bit-identical.
+// stays cache-resident while the rows of a/b stream past it, four at a time
+// fused into one branch-free pass (dst loaded/stored once per four input
+// rows). Per dst element the adds stay sequential in ascending i, so
+// results are bit-identical to the scalar kernel.
 func matMulATransBRange(dst, a, b *Mat, lo, hi int) {
 	n := b.Cols
+	if n == 0 {
+		return
+	}
+	rows := a.Rows
+	dd := dst.Data
 	for t0 := lo; t0 < hi; t0 += kernelKTile {
 		t1 := t0 + kernelKTile
 		if t1 > hi {
 			t1 = hi
 		}
-		for i := 0; i < a.Rows; i++ {
+		i := 0
+		for ; i+4 <= rows; i += 4 {
+			a0, a1, a2, a3 := a.Row(i), a.Row(i+1), a.Row(i+2), a.Row(i+3)
+			b0 := b.Row(i)[:n]
+			b1 := b.Row(i + 1)[:n]
+			b2 := b.Row(i + 2)[:n]
+			b3 := b.Row(i + 3)[:n]
+			for k := t0; k < t1; k++ {
+				av0, av1, av2, av3 := a0[k], a1[k], a2[k], a3[k]
+				drow := dd[k*n:]
+				drow = drow[:n]
+				for j := range drow {
+					s := drow[j]
+					s += av0 * b0[j]
+					s += av1 * b1[j]
+					s += av2 * b2[j]
+					s += av3 * b3[j]
+					drow[j] = s
+				}
+			}
+		}
+		for ; i < rows; i++ {
 			arow := a.Row(i)
-			brow := b.Row(i)
+			brow := b.Row(i)[:n]
 			for k := t0; k < t1; k++ {
 				av := arow[k]
-				if av == 0 {
-					continue
-				}
-				drow := dst.Data[k*n : k*n+n]
-				for j, bv := range brow {
-					drow[j] += av * bv
+				drow := dd[k*n:]
+				drow = drow[:n]
+				for j := range drow {
+					drow[j] += av * brow[j]
 				}
 			}
 		}
@@ -326,12 +360,16 @@ func MatMulABTrans(dst, a, b *Mat) *Mat {
 		}
 		dst.Zero()
 	}
+	kern := matMulABTransRange
+	if FastMathEnabled() {
+		kern = matMulABTransFastRange
+	}
 	work := a.Rows * a.Cols * b.Rows
 	if work < parallelThreshold {
-		matMulABTransRange(dst, a, b, 0, a.Rows)
+		kern(dst, a, b, 0, a.Rows)
 		return dst
 	}
-	parallelRows(a.Rows, func(lo, hi int) { matMulABTransRange(dst, a, b, lo, hi) })
+	parallelKernel(a.Rows, kern, dst, a, b)
 	return dst
 }
 
@@ -346,12 +384,16 @@ func MatMulABTransAcc(dst, a, b *Mat) {
 	if dst.Rows != a.Rows || dst.Cols != b.Rows {
 		panic("tensor: MatMulABTransAcc dst shape mismatch")
 	}
+	kern := matMulABTransRange
+	if FastMathEnabled() {
+		kern = matMulABTransFastRange
+	}
 	work := a.Rows * a.Cols * b.Rows
 	if work < parallelThreshold {
-		matMulABTransRange(dst, a, b, 0, a.Rows)
+		kern(dst, a, b, 0, a.Rows)
 		return
 	}
-	parallelRows(a.Rows, func(lo, hi int) { matMulABTransRange(dst, a, b, lo, hi) })
+	parallelKernel(a.Rows, kern, dst, a, b)
 }
 
 // tileScratch recycles the per-goroutine accumulation tiles used by
@@ -373,25 +415,25 @@ func MatMulATransBAcc(dst, a, b *Mat) {
 	if dst.Rows != a.Cols || dst.Cols != b.Cols {
 		panic("tensor: MatMulATransBAcc dst shape mismatch")
 	}
+	kern := matMulATransBAccRange
+	if FastMathEnabled() {
+		kern = matMulATransBAccFastRange
+	}
 	work := a.Rows * a.Cols * b.Cols
 	if work < parallelThreshold {
-		matMulATransBAccRange(dst, a, b, 0, a.Cols)
+		kern(dst, a, b, 0, a.Cols)
 		return
 	}
-	parallelRows(a.Cols, func(lo, hi int) { matMulATransBAccRange(dst, a, b, lo, hi) })
+	parallelKernel(a.Cols, kern, dst, a, b)
 }
 
 func matMulATransBAccRange(dst, a, b *Mat, lo, hi int) {
 	n := b.Cols
-	tileRows := kernelKTile
-	if hi-lo < tileRows {
-		tileRows = hi - lo
+	if n == 0 {
+		return
 	}
-	sp := tileScratch.Get().(*[]float32)
-	scratch := *sp
-	if cap(scratch) < tileRows*n {
-		scratch = make([]float32, tileRows*n)
-	}
+	sp, scratch := tileScratchFor(hi-lo, n)
+	rows := a.Rows
 	for t0 := lo; t0 < hi; t0 += kernelKTile {
 		t1 := t0 + kernelKTile
 		if t1 > hi {
@@ -401,43 +443,90 @@ func matMulATransBAccRange(dst, a, b *Mat, lo, hi int) {
 		for i := range tile {
 			tile[i] = 0
 		}
-		for i := 0; i < a.Rows; i++ {
+		i := 0
+		for ; i+4 <= rows; i += 4 {
+			a0, a1, a2, a3 := a.Row(i), a.Row(i+1), a.Row(i+2), a.Row(i+3)
+			b0 := b.Row(i)[:n]
+			b1 := b.Row(i + 1)[:n]
+			b2 := b.Row(i + 2)[:n]
+			b3 := b.Row(i + 3)[:n]
+			for k := t0; k < t1; k++ {
+				av0, av1, av2, av3 := a0[k], a1[k], a2[k], a3[k]
+				srow := tile[(k-t0)*n:]
+				srow = srow[:n]
+				for j := range srow {
+					s := srow[j]
+					s += av0 * b0[j]
+					s += av1 * b1[j]
+					s += av2 * b2[j]
+					s += av3 * b3[j]
+					srow[j] = s
+				}
+			}
+		}
+		for ; i < rows; i++ {
 			arow := a.Row(i)
-			brow := b.Row(i)
+			brow := b.Row(i)[:n]
 			for k := t0; k < t1; k++ {
 				av := arow[k]
-				if av == 0 {
-					continue
-				}
-				srow := tile[(k-t0)*n : (k-t0)*n+n]
-				for j, bv := range brow {
-					srow[j] += av * bv
+				srow := tile[(k-t0)*n:]
+				srow = srow[:n]
+				for j := range srow {
+					srow[j] += av * brow[j]
 				}
 			}
 		}
 		for k := t0; k < t1; k++ {
-			drow := dst.Data[k*n : k*n+n]
-			srow := tile[(k-t0)*n : (k-t0)*n+n]
-			for j, v := range srow {
-				drow[j] += v
+			drow := dst.Data[k*n:]
+			drow = drow[:n]
+			srow := tile[(k-t0)*n:]
+			srow = srow[:n]
+			for j := range drow {
+				drow[j] += srow[j]
 			}
 		}
 	}
+	tileScratchDone(sp, scratch)
+}
+
+// tileScratchFor checks out a zero-allocation scratch buffer big enough for
+// a kernelKTile×n accumulation tile over a [lo, hi) stripe of tileRows rows.
+func tileScratchFor(stripe, n int) (*[]float32, []float32) {
+	tileRows := kernelKTile
+	if stripe < tileRows {
+		tileRows = stripe
+	}
+	sp := tileScratch.Get().(*[]float32)
+	scratch := *sp
+	if cap(scratch) < tileRows*n {
+		scratch = make([]float32, tileRows*n)
+	}
+	return sp, scratch
+}
+
+// tileScratchDone returns a buffer checked out by tileScratchFor.
+func tileScratchDone(sp *[]float32, scratch []float32) {
 	*sp = scratch
 	tileScratch.Put(sp)
 }
 
 // matMulABTransRange computes four dot products per pass of arow (a 1×4
 // micro-kernel): four independent accumulators give the compiler ILP and cut
-// loop overhead 4×. Each dot still sums over ascending k, so results are
-// bit-identical to the scalar kernel.
+// loop overhead 4×. Each dot still sums over ascending k one rounding at a
+// time, so results are bit-identical to the scalar kernel; the b rows are
+// resliced to len(arow) so the inner loop runs without bounds checks.
 func matMulABTransRange(dst, a, b *Mat, lo, hi int) {
+	kc := a.Cols
+	brows := b.Rows
 	for i := lo; i < hi; i++ {
-		arow := a.Row(i)
+		arow := a.Row(i)[:kc]
 		drow := dst.Row(i)
 		j := 0
-		for ; j+4 <= b.Rows; j += 4 {
-			b0, b1, b2, b3 := b.Row(j), b.Row(j+1), b.Row(j+2), b.Row(j+3)
+		for ; j+4 <= brows; j += 4 {
+			b0 := b.Row(j)[:kc]
+			b1 := b.Row(j + 1)[:kc]
+			b2 := b.Row(j + 2)[:kc]
+			b3 := b.Row(j + 3)[:kc]
 			var s0, s1, s2, s3 float32
 			for k, av := range arow {
 				s0 += av * b0[k]
@@ -450,8 +539,8 @@ func matMulABTransRange(dst, a, b *Mat, lo, hi int) {
 			drow[j+2] += s2
 			drow[j+3] += s3
 		}
-		for ; j < b.Rows; j++ {
-			brow := b.Row(j)
+		for ; j < brows; j++ {
+			brow := b.Row(j)[:kc]
 			var s float32
 			for k, av := range arow {
 				s += av * brow[k]

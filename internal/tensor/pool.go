@@ -16,12 +16,22 @@ import (
 // is what makes the shared pool deadlock-free even when many goroutines
 // submit concurrently.
 
-// chunkTask is one contiguous [lo, hi) slice of a parallel loop.
+// chunkTask is one contiguous [lo, hi) slice of a parallel loop. Matmul
+// kernels ship as a top-level kernel function plus its three matrix operands
+// (kern/dst/a/b) instead of a capturing closure: a closure would be a fresh
+// heap allocation on every kernel dispatch, and the steady-state matmul
+// budget is zero allocations (see TestMatMulKernelsAllocFree).
 type chunkTask struct {
 	fn     func(lo, hi int)
+	kern   matKernel
+	dst    *Mat
+	a, b   *Mat
 	lo, hi int
 	wg     *sync.WaitGroup
 }
+
+// matKernel is a row-range matmul kernel over fixed operands.
+type matKernel = func(dst, a, b *Mat, lo, hi int)
 
 var (
 	poolOnce  sync.Once
@@ -39,7 +49,11 @@ func startPool() {
 	for i := 0; i < n; i++ {
 		go func() {
 			for t := range poolTasks {
-				t.fn(t.lo, t.hi)
+				if t.kern != nil {
+					t.kern(t.dst, t.a, t.b, t.lo, t.hi)
+				} else {
+					t.fn(t.lo, t.hi)
+				}
 				t.wg.Done()
 			}
 		}()
@@ -106,6 +120,38 @@ func RunTasks(k int, task func(i int)) {
 	wg.Wait()
 }
 
-// parallelRows dispatches row-range kernels onto the shared pool. Kept as a
-// thin wrapper so kernel call sites read the same as in the serial path.
-func parallelRows(n int, fn func(lo, hi int)) { Parallel(n, fn) }
+// wgScratch recycles the WaitGroups parallelKernel blocks on; a stack
+// WaitGroup would escape through the task channel and cost an allocation
+// per dispatch.
+var wgScratch = sync.Pool{New: func() any { return new(sync.WaitGroup) }}
+
+// parallelKernel splits [0, n) across the shared pool and runs the kernel on
+// each chunk with the given operands, blocking until all chunks complete.
+// Unlike Parallel it takes the kernel as a top-level function plus operands,
+// so dispatch allocates nothing (no capturing closure); the calling
+// goroutine runs the first chunk itself, and a single-chunk split never
+// touches the pool.
+func parallelKernel(n int, kern matKernel, dst, a, b *Mat) {
+	poolOnce.Do(startPool)
+	chunks := poolSize
+	if chunks > n {
+		chunks = n
+	}
+	if chunks <= 1 {
+		kern(dst, a, b, 0, n)
+		return
+	}
+	chunk := (n + chunks - 1) / chunks
+	wg := wgScratch.Get().(*sync.WaitGroup)
+	for lo := chunk; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		poolTasks <- chunkTask{kern: kern, dst: dst, a: a, b: b, lo: lo, hi: hi, wg: wg}
+	}
+	kern(dst, a, b, 0, chunk)
+	wg.Wait()
+	wgScratch.Put(wg)
+}

@@ -7,11 +7,13 @@ import (
 // Steady-state allocation budgets for the hot path. Before the tape arena a
 // FastConfig TrainBatch burned thousands of allocations per step (fresh Mats
 // for every op's value and gradient); with the arena the remainder is the
-// per-op backward closures plus a few result slices, measured at ~144
-// (train) and ~130 (predict) at one worker. The budgets below leave ~70%
-// headroom — they exist to catch a regression that reintroduces per-step
-// matrix allocation (which would blow the budget by an order of magnitude),
-// not to pin exact closure counts.
+// per-op backward closures plus a few result slices, measured at ~95
+// (train) and ~113 (predict) at one worker once the matmul dispatch went
+// closure-free (the former parallelRows closure cost one allocation per
+// kernel call). The budgets below leave ~50% headroom — they exist to catch
+// a regression that reintroduces per-step matrix or per-kernel dispatch
+// allocation (which would blow the budget by an order of magnitude), not to
+// pin exact closure counts.
 func TestSteadyStateAllocBudget(t *testing.T) {
 	cycle := []uint64{0x10<<6 | 5, 0x22<<6 | 61, 0x15<<6 | 0, 0x9<<6 | 33}
 	tr := cyclicTrace(cycle, 300)
@@ -19,8 +21,8 @@ func TestSteadyStateAllocBudget(t *testing.T) {
 		workers        int
 		train, predict float64
 	}{
-		{workers: 1, train: 250, predict: 220},
-		{workers: 4, train: 700, predict: 650},
+		{workers: 1, train: 150, predict: 170},
+		{workers: 4, train: 550, predict: 520},
 	} {
 		cfg := FastConfig()
 		cfg.Workers = tc.workers

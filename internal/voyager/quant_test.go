@@ -1,0 +1,147 @@
+package voyager
+
+import (
+	"testing"
+
+	"voyager/internal/nn"
+)
+
+// quantHarness builds two bench harnesses over the same trace and seed —
+// one fp32-predict, one quantized-predict — and advances both through the
+// same (deterministic, serial) optimizer steps so their fp32 weights stay
+// bit-identical. Any prediction difference is then quantization noise alone.
+func quantHarness(t *testing.T, steps int) (fp32, quant *BenchHarness) {
+	t.Helper()
+	cycle := []uint64{0x10<<6 | 5, 0x22<<6 | 61, 0x15<<6 | 0, 0x9<<6 | 33, 0x30<<6 | 12}
+	tr := cyclicTrace(cycle, 150)
+	base := FastConfig()
+	base.EpochAccesses = 400
+	base.Degree = 2
+	build := func(q bool) *BenchHarness {
+		cfg := base
+		cfg.QuantizedPredict = q
+		h, err := NewBenchHarness(tr, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+	fp32, quant = build(false), build(true)
+	for i := 0; i < steps; i++ {
+		fp32.TrainStep()
+		quant.TrainStep()
+	}
+	return fp32, quant
+}
+
+// TestQuantizedPredictAgreement is the accuracy-vs-speed differential for
+// the int8 predict path: after real training steps, the quantized heads
+// must rank the same top-1 (page, offset) pair as the fp32 heads on nearly
+// every row. Per-column symmetric int8 keeps head logits within
+// (scale/2)·Σ|h| of fp32 (see quant.TestMatMulQ8ErrorBound), which only
+// flips a rank when two candidates are closer than that — rare once
+// training separates the logits.
+func TestQuantizedPredictAgreement(t *testing.T) {
+	fh, qh := quantHarness(t, 12)
+	fOut := fh.p.Model.PredictBatch(fh.seqs, fh.p.Cfg.Degree)
+	qOut := qh.p.Model.PredictBatch(qh.seqs, qh.p.Cfg.Degree)
+	if len(fOut) != len(qOut) || len(fOut) == 0 {
+		t.Fatalf("row count %d vs %d", len(fOut), len(qOut))
+	}
+	agree := 0
+	for r := range fOut {
+		if len(fOut[r]) == 0 || len(qOut[r]) == 0 {
+			t.Fatalf("row %d: empty candidates (%d vs %d)", r, len(fOut[r]), len(qOut[r]))
+		}
+		if fOut[r][0].PageTok == qOut[r][0].PageTok && fOut[r][0].OffTok == qOut[r][0].OffTok {
+			agree++
+		}
+	}
+	frac := float64(agree) / float64(len(fOut))
+	t.Logf("top-1 agreement: %d/%d (%.3f)", agree, len(fOut), frac)
+	if frac < 0.9 {
+		t.Fatalf("top-1 agreement %.3f < 0.9 — int8 noise is flipping ranks", frac)
+	}
+}
+
+// TestQuantizedPredictParallelMatchesSerial: the sharded quantized predict
+// path reads one shared set of int8 shadows, and every op is row-local, so
+// parallel results must be bit-identical to serial — same contract as the
+// fp32 path.
+func TestQuantizedPredictParallelMatchesSerial(t *testing.T) {
+	cycle := []uint64{10, 20, 30, 40, 50, 60}
+	tr := cyclicTrace(cycle, 150)
+	base := FastConfig()
+	base.EpochAccesses = 400
+	base.Degree = 4
+	base.QuantizedPredict = true
+	run := func(workers int) [][]Candidate {
+		cfg := base
+		cfg.Workers = workers
+		h, err := NewBenchHarness(tr, cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return h.p.Model.PredictBatch(h.seqs, cfg.Degree)
+	}
+	serial, parallel := run(1), run(4)
+	if len(serial) != len(parallel) {
+		t.Fatalf("row count %d vs %d", len(serial), len(parallel))
+	}
+	for r := range serial {
+		if len(serial[r]) != len(parallel[r]) {
+			t.Fatalf("row %d: %d vs %d candidates", r, len(serial[r]), len(parallel[r]))
+		}
+		for k := range serial[r] {
+			if serial[r][k] != parallel[r][k] {
+				t.Fatalf("row %d cand %d: %+v vs %+v", r, k, serial[r][k], parallel[r][k])
+			}
+		}
+	}
+}
+
+// TestQuantizedPredictLazyRequant pins the staleness protocol: the shadows
+// are rebuilt only after TrainBatch marks them dirty, not on every predict
+// (the steady-state predict path must not pay requantization), and after a
+// train + predict cycle they exactly match quantizing the current weights.
+func TestQuantizedPredictLazyRequant(t *testing.T) {
+	_, qh := quantHarness(t, 2)
+	m := qh.p.Model
+	out1 := m.PredictBatch(qh.seqs, qh.p.Cfg.Degree)
+	if m.qDirty {
+		t.Fatal("shadows still dirty after predict")
+	}
+
+	// Scribbling on the fp32 weights WITHOUT a TrainBatch must not change
+	// quantized predictions: the shadow is intentionally stale.
+	for i := range m.pageHead.W.W.Data {
+		m.pageHead.W.W.Data[i] += 0.25
+	}
+	out2 := m.PredictBatch(qh.seqs, qh.p.Cfg.Degree)
+	for r := range out1 {
+		for k := range out1[r] {
+			if out1[r][k] != out2[r][k] {
+				t.Fatalf("row %d cand %d changed without requantization: %+v vs %+v",
+					r, k, out1[r][k], out2[r][k])
+			}
+		}
+	}
+
+	// A TrainBatch marks the shadows dirty; the next predict refreshes them
+	// to match the then-current weights exactly.
+	qh.TrainStep()
+	if !m.qDirty {
+		t.Fatal("TrainBatch did not mark shadows dirty")
+	}
+	m.PredictBatch(qh.seqs, qh.p.Cfg.Degree)
+	if m.qDirty {
+		t.Fatal("predict did not clear the dirty flag")
+	}
+	fresh := nn.QuantizeLinear(m.pageHead)
+	for i := range fresh.W.Data {
+		if m.qPageHead.W.Data[i] != fresh.W.Data[i] {
+			t.Fatalf("shadow elem %d = %d, fresh quantization = %d",
+				i, m.qPageHead.W.Data[i], fresh.W.Data[i])
+		}
+	}
+}

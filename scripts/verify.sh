@@ -44,6 +44,13 @@ for pkg in internal/metrics internal/tracing; do
     printf "coverage: %s %.1f%% (floor 90%%)\n", p, m }'
 done
 
+# Bench smoke: the newest BENCH_pr<N>.json must not record a serial matmul
+# slowdown against its baseline chain — the PR-5 regression class. This
+# parses the committed report (fast) rather than re-benching; regenerate
+# with `go run ./cmd/experiments -bench -workers -1` after kernel changes.
+echo "== bench smoke (matmul_256 vs baseline chain)"
+go run ./cmd/experiments -bench-check
+
 echo "== allocation regression (tape arena steady state, metrics + tracing hot paths)"
 go test -run 'TestSteadyStateAllocBudget' ./internal/voyager/
 go test -run 'TestArenaSteadyStateAllocationFree' ./internal/tensor/
