@@ -8,8 +8,10 @@
 //	go run ./cmd/experiments -bench -workers -1 -bench-out BENCH_pr1.json
 //
 // Artifact ids: table1 table2 table3 fig5 fig6 fig7 fig8 fig9 fig10 fig11
-// fig12 fig15 fig17 delta. "fig10" and "fig11" run together, as do
-// fig5/fig6/fig8 (one simulator sweep feeds all three).
+// fig12 fig15 fig17 delta distill. "fig10" and "fig11" run together, as do
+// fig5/fig6/fig8 (one simulator sweep feeds all three). "distill" is the
+// tabularization differential harness: table size vs top-1 agreement vs
+// ns/prediction against the fp32 and int8 teachers.
 package main
 
 import (
@@ -39,7 +41,7 @@ func main() {
 		benches    = flag.String("benchmarks", "", "comma-separated benchmark subset (default: per-figure lists)")
 		workers    = flag.Int("workers", 0, "voyager data-parallel width (0/1 serial, -1 auto)")
 		bench      = flag.Bool("bench", false, "run the performance bench suite instead of artifacts")
-		benchCheck = flag.Bool("bench-check", false, "validate the newest BENCH_pr<N>.json (fail if matmul_256 regressed) and exit")
+		benchCheck = flag.Bool("bench-check", false, "validate the newest BENCH_pr<N>.json (fail if matmul_256 or the predict paths regressed) and exit")
 		benchOut   = flag.String("bench-out", "auto", "bench suite JSON output path (auto: BENCH_pr<latest+1>.json)")
 		benchBase  = flag.String("bench-baseline", "auto", "prior bench JSON to diff against (auto: latest BENCH_pr<N>.json, \"\" disables)")
 		quiet      = flag.Bool("q", false, "suppress progress output")
@@ -186,7 +188,7 @@ func main() {
 	ids := strings.Split(*run, ",")
 	if *run == "all" {
 		ids = []string{"table1", "table2", "table3", "fig5", "fig6", "fig7", "fig8",
-			"fig9", "fig10", "fig12", "fig15", "fig17", "delta"}
+			"fig9", "fig10", "fig12", "fig15", "fig17", "delta", "distill"}
 	}
 	start := time.Now()
 	for _, id := range ids {
@@ -217,6 +219,8 @@ func main() {
 			fmt.Println(r.Figure17())
 		case "delta":
 			fmt.Println(r.DeltaStudy())
+		case "distill":
+			fmt.Println(r.DistillStudy())
 		default:
 			fmt.Fprintf(os.Stderr, "unknown artifact %q\n", id)
 			os.Exit(2)

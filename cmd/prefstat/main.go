@@ -5,6 +5,7 @@
 //
 //	go run ./cmd/prefstat -bench soplex
 //	go run ./cmd/prefstat -trace t.vygr -llc
+//	go run ./cmd/prefstat -bench cc -distill cc.vydt
 package main
 
 import (
@@ -13,8 +14,12 @@ import (
 	"os"
 	"sort"
 
+	"voyager/internal/distill"
+	"voyager/internal/prefetch/distilled"
 	"voyager/internal/sim"
 	"voyager/internal/trace"
+	"voyager/internal/vocab"
+	"voyager/internal/voyager"
 	"voyager/internal/workloads"
 )
 
@@ -26,6 +31,7 @@ func main() {
 		seed      = flag.Int64("seed", 42, "randomness seed")
 		llc       = flag.Bool("llc", false, "analyze the LLC-filtered stream instead of the raw trace")
 		topPCs    = flag.Int("top", 8, "show the N most frequent PCs")
+		distPath  = flag.String("distill", "", "distilled lookup table (.vydt): report its stats and replayed next-line accuracy on this trace")
 	)
 	flag.Parse()
 
@@ -138,5 +144,49 @@ func main() {
 	for _, pc := range pcs {
 		fmt.Printf("  pc %#-8x %7d accesses (%.1f%%)\n",
 			pc, count[pc], 100*float64(count[pc])/float64(tr.Len()))
+	}
+
+	// With a distilled table supplied, replay it over the same trace and
+	// report its achieved successor accuracy next to the structural
+	// predictability measures above, plus which fallback tier served each
+	// lookup. The vocabulary is rebuilt from this trace with the default
+	// training options; the table's fingerprint rejects a mismatched pair.
+	if *distPath != "" {
+		tab, err := distill.LoadFile(*distPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "prefstat:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("distilled table: %s\n", tab)
+		voc := vocab.Build(tr, voyager.ScaledConfig().VocabOptions())
+		pf, err := distilled.New(tab, voc, 1)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "prefstat:", err)
+			os.Exit(1)
+		}
+		var distHit counters
+		for i, a := range tr.Accesses {
+			preds := pf.Access(i, a)
+			if i < half || i+1 >= tr.Len() {
+				continue
+			}
+			distHit.total++
+			if len(preds) > 0 && trace.Line(preds[0]) == trace.Line(tr.Accesses[i+1].Addr) {
+				distHit.correct++
+			}
+		}
+		fmt.Printf("  distilled next-line   %6.1f%%   (table replay, 2nd half)\n", pct(distHit))
+		tiers := pf.TierCounts()
+		total := 0
+		for _, c := range tiers {
+			total += c
+		}
+		if total > 0 {
+			fmt.Printf("  lookup tiers         ")
+			for t, c := range tiers {
+				fmt.Printf(" %s %.1f%%", distill.Tier(t), 100*float64(c)/float64(total))
+			}
+			fmt.Println()
+		}
 	}
 }

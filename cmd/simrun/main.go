@@ -6,6 +6,7 @@
 //	go run ./cmd/simrun -bench pr -prefetcher isb -degree 2
 //	go run ./cmd/simrun -trace pr.vygr -prefetcher none
 //	go run ./cmd/simrun -bench mcf -prefetcher all
+//	go run ./cmd/simrun -bench cc -prefetcher distilled -distill cc.vydt
 package main
 
 import (
@@ -15,10 +16,12 @@ import (
 	"os"
 	"time"
 
+	"voyager/internal/distill"
 	"voyager/internal/label"
 	"voyager/internal/metrics"
 	"voyager/internal/prefetch"
 	"voyager/internal/prefetch/bo"
+	"voyager/internal/prefetch/distilled"
 	"voyager/internal/prefetch/domino"
 	"voyager/internal/prefetch/hybrid"
 	"voyager/internal/prefetch/isb"
@@ -31,10 +34,12 @@ import (
 	"voyager/internal/sim"
 	"voyager/internal/trace"
 	"voyager/internal/tracing"
+	"voyager/internal/vocab"
+	"voyager/internal/voyager"
 	"voyager/internal/workloads"
 )
 
-func buildPrefetcher(name string, degree int, tr *trace.Trace) (prefetch.Prefetcher, error) {
+func buildPrefetcher(name string, degree int, tr *trace.Trace, distillPath string) (prefetch.Prefetcher, error) {
 	switch name {
 	case "none":
 		return prefetch.Nil{}, nil
@@ -62,6 +67,20 @@ func buildPrefetcher(name string, degree int, tr *trace.Trace) (prefetch.Prefetc
 		return sms.New(degree), nil
 	case "oracle":
 		return oracle.New(tr, degree, 4), nil
+	case "distilled":
+		// The table carries the training vocabulary's fingerprint; the
+		// vocabulary rebuilt here from the same trace and default training
+		// options must match, so stale tables fail loudly instead of
+		// decoding garbage tokens.
+		if distillPath == "" {
+			return nil, fmt.Errorf("prefetcher %q needs -distill <table> (write one with cmd/voyager -distill)", name)
+		}
+		tab, err := distill.LoadFile(distillPath)
+		if err != nil {
+			return nil, err
+		}
+		voc := vocab.Build(tr, voyager.ScaledConfig().VocabOptions())
+		return distilled.New(tab, voc, degree)
 	}
 	return nil, fmt.Errorf("unknown prefetcher %q", name)
 }
@@ -77,6 +96,7 @@ func main() {
 		n         = flag.Int("n", 50_000, "max accesses when generating")
 		seed      = flag.Int64("seed", 42, "randomness seed")
 		paper     = flag.Bool("paper-caches", false, "use the full Table 3 hierarchy instead of the scaled one")
+		distPath  = flag.String("distill", "", "distilled lookup table (.vydt from cmd/voyager -distill) for -prefetcher distilled")
 
 		metricsOut  = flag.String("metrics", "", "stream NDJSON metric snapshots to this file")
 		metricsHTTP = flag.String("metrics-http", "", "serve /metrics, /trace and /debug/pprof on this address (e.g. localhost:6060)")
@@ -118,6 +138,11 @@ func main() {
 	names := []string{*pfName}
 	if *pfName == "all" {
 		names = allPrefetchers
+		// The distilled fast path joins the comparison whenever a table was
+		// supplied (it cannot run without one).
+		if *distPath != "" {
+			names = append(append([]string{}, names...), "distilled")
+		}
 	}
 	cfg := sim.ScaledConfig()
 	if *paper {
@@ -154,7 +179,7 @@ func main() {
 	}
 	var baseIPC float64
 	for _, name := range names {
-		pf, err := buildPrefetcher(name, *degree, tr)
+		pf, err := buildPrefetcher(name, *degree, tr, *distPath)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "simrun:", err)
 			os.Exit(2)

@@ -7,6 +7,7 @@
 //	go run ./cmd/voyager -bench soplex
 //	go run ./cmd/voyager -bench pr -hidden 64 -passes 4 -degree 4
 //	go run ./cmd/voyager -trace pr.vygr -schemes pc -no-deltas
+//	go run ./cmd/voyager -bench cc -distill cc.vydt -distilled-predict
 package main
 
 import (
@@ -17,9 +18,11 @@ import (
 	"strings"
 	"time"
 
+	"voyager/internal/distill"
 	"voyager/internal/eval"
 	"voyager/internal/label"
 	"voyager/internal/metrics"
+	"voyager/internal/prefetch/distilled"
 	"voyager/internal/sim"
 	"voyager/internal/tensor"
 	"voyager/internal/trace"
@@ -48,6 +51,21 @@ func parseSchemes(s string) ([]label.Scheme, error) {
 	return out, nil
 }
 
+// heldOutHalf samples up to 2048 evenly-strided trigger positions from the
+// second (non-calibration) half of the trace.
+func heldOutHalf(n int) []int {
+	lo := n / 2
+	stride := (n - lo) / 2048
+	if stride < 1 {
+		stride = 1
+	}
+	var out []int
+	for i := lo; i < n; i += stride {
+		out = append(out, i)
+	}
+	return out
+}
+
 func main() {
 	var (
 		bench     = flag.String("bench", "", "benchmark name (generates a trace)")
@@ -63,6 +81,8 @@ func main() {
 		noPC      = flag.Bool("no-pc", false, "drop the PC-history feature")
 		window    = flag.Int("window", eval.DefaultWindow, "unified-metric window")
 		saveFile  = flag.String("save", "", "write trained weights to this file")
+		distOut   = flag.String("distill", "", "compile the trained model into a distilled lookup table (calibrated on the first half) and save it to this file")
+		distPred  = flag.Bool("distilled-predict", false, "also replay the distilled table online: unified metric, fallback-tier shares, and a simulator run")
 		fastMath  = flag.Bool("fastmath", false, "reassociated matmul kernels: faster, float32-rounding-level differences, NOT bit-reproducible across builds")
 		quantPred = flag.Bool("quant-predict", false, "int8 weight-quantized output heads for prediction (training stays fp32)")
 
@@ -194,6 +214,59 @@ func main() {
 		machine.Provenance(prov)
 		res := machine.Run(tr, p.AsPrefetcher())
 		fmt.Println(res)
+	}
+
+	// Distillation: compile the teacher's top-k distributions into the O(1)
+	// lookup table (calibrated on the first half of the trace so the
+	// agreement number below is held-out, not memorized).
+	if *distOut != "" || *distPred {
+		sp := tracer.Track("distill", "main").Begin("compile")
+		tab := distill.Compile(p, 0, p.NumAccesses()/2, distill.DefaultParams())
+		sp.End()
+		fmt.Printf("distilled: %s\n", tab)
+		fmt.Printf("distilled held-out top-1 agreement vs teacher: %.3f\n",
+			distill.Agreement(p, tab, heldOutHalf(p.NumAccesses())))
+		if *distOut != "" {
+			if err := tab.Save(*distOut); err != nil {
+				fmt.Fprintln(os.Stderr, "voyager: distill:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("distilled table written to %s (%d bytes)\n", *distOut, tab.Bytes())
+		}
+		if *distPred {
+			pf, err := distilled.New(tab, p.Model.Vocab(), cfg.Degree)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "voyager: distill:", err)
+				os.Exit(1)
+			}
+			preds := eval.CollectPredictions(tr, pf)
+			du := eval.Unified(tr, preds, *window, cfg.EpochAccesses)
+			eval.RecordUnified(sink.Registry(), tr.Name, "distilled", du)
+			fmt.Printf("distilled unified accuracy/coverage (window %d): %.3f\n", *window, du)
+			tiers := pf.TierCounts()
+			total := 0
+			for _, c := range tiers {
+				total += c
+			}
+			if total > 0 {
+				fmt.Printf("distilled fallback tiers:")
+				for t, c := range tiers {
+					fmt.Printf(" %s %.1f%%", distill.Tier(t), 100*float64(c)/float64(total))
+				}
+				fmt.Println()
+			}
+			pf.Reset()
+			var dprov *tracing.DecisionLog
+			if provSet != nil {
+				dprov = provSet.NewLog(tr.Name + "/distilled")
+			}
+			machine := sim.NewMachine(sim.ScaledConfig())
+			machine.Instrument(sink.Registry())
+			machine.Trace(tracer, "sim/distilled")
+			machine.Provenance(dprov)
+			res := machine.Run(tr, pf)
+			fmt.Println(res)
+		}
 	}
 	if prov != nil {
 		fmt.Println(prov.BuildTable(label.SchemeNames()))

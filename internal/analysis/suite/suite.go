@@ -22,7 +22,8 @@ import (
 // that fix token ids for the lifetime of a model, the metrics registry
 // whose snapshots are diffed byte-for-byte in the differential tests,
 // and the span tracer whose logical-clock exports must reproduce
-// byte-for-byte.
+// byte-for-byte, and the distillation compiler whose tables must be
+// byte-identical for one (model, trace, params) triple.
 var CriticalPackages = []string{
 	"voyager/internal/tensor",
 	"voyager/internal/tensor/quant",
@@ -32,14 +33,19 @@ var CriticalPackages = []string{
 	"voyager/internal/label",
 	"voyager/internal/metrics",
 	"voyager/internal/tracing",
+	"voyager/internal/distill",
 }
 
 // HotKernelPackages must stay in float32 end to end. The quantized
 // kernels qualify: their only float64 appearances are bit-pattern
-// helpers (math.Float32bits/frombits), never float64 arithmetic.
+// helpers (math.Float32bits/frombits), never float64 arithmetic. The
+// distill compiler aggregates teacher weights in float32 by the same
+// contract (its float64 use is confined to the Agreement ratio, which
+// never truncates back).
 var HotKernelPackages = []string{
 	"voyager/internal/tensor",
 	"voyager/internal/tensor/quant",
+	"voyager/internal/distill",
 }
 
 // WideAccumulators are tensor functions that intentionally accumulate in

@@ -1,0 +1,185 @@
+package distill
+
+import (
+	"bytes"
+	"testing"
+
+	"voyager/internal/trace"
+	"voyager/internal/voyager"
+)
+
+// cyclicTrace drives a deterministic irregular cycle through several PCs —
+// enough structure for a FastConfig teacher to learn and for the distilled
+// table to reproduce.
+func cyclicTrace(laps int) *trace.Trace {
+	cycle := []uint64{
+		0x10<<6 | 5, 0x22<<6 | 61, 0x15<<6 | 0, 0x9<<6 | 33,
+		0x30<<6 | 7, 0x11<<6 | 12, 0x28<<6 | 50, 0x3<<6 | 18,
+	}
+	tr := &trace.Trace{Name: "cycle"}
+	inst := uint64(0)
+	for l := 0; l < laps; l++ {
+		for i, line := range cycle {
+			inst += 5
+			tr.Append(0x400000+uint64(i%3)*8, line<<trace.LineBits, inst)
+		}
+	}
+	tr.Instructions = inst
+	return tr
+}
+
+func trainedPredictor(t *testing.T) *voyager.Predictor {
+	t.Helper()
+	tr := cyclicTrace(500) // 4000 accesses
+	cfg := voyager.FastConfig()
+	cfg.EpochAccesses = 1000
+	p, err := voyager.Train(tr, cfg)
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	return p
+}
+
+func testParams() Params {
+	return Params{HistLen: 3, TopK: 4, Log2Buckets: 10, MarkovLog2: 8, MaxProbe: 16}
+}
+
+func TestPackSlotRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		page, off int32
+		prob      float32
+	}{{0, 0, 0.5}, {123, 64, 0.25}, {1 << 20, 190, 1}, {7, 3, 1e-9}} {
+		s := packSlot(tc.page, tc.off, tc.prob)
+		if s == 0 {
+			t.Fatalf("packSlot(%+v) produced the empty marker", tc)
+		}
+		pg, off, prob := DecodeSlot(s)
+		if pg != int(tc.page) || off != int(tc.off) {
+			t.Fatalf("DecodeSlot: got (%d,%d), want (%d,%d)", pg, off, tc.page, tc.off)
+		}
+		if tc.prob >= 1e-4 && (prob < tc.prob*0.99 || prob > tc.prob*1.01) {
+			t.Fatalf("prob %g round-tripped to %g", tc.prob, prob)
+		}
+	}
+}
+
+func TestKeysNeverZero(t *testing.T) {
+	if ContextKey(0, nil) == 0 || PairKey(0, 0) == 0 {
+		t.Fatalf("zero-valued key would collide with the empty-bucket marker")
+	}
+	if ContextKey(1, nil) == ContextKey(2, nil) {
+		t.Fatalf("PC token does not perturb the context key")
+	}
+	h := []TokPair{{1, 2}, {3, 4}}
+	if ContextKey(1, h) == ContextKey(1, []TokPair{{3, 4}, {1, 2}}) {
+		t.Fatalf("history order does not perturb the context key")
+	}
+}
+
+// KeyAt must clamp history at the trace start exactly like the online
+// replayer, which back-fills its ring with the first pair.
+func TestKeyAtClampsAtStart(t *testing.T) {
+	p := trainedPredictor(t)
+	pc, pg, off := p.TokensAt(0)
+	pair := TokPair{Page: int32(pg), Off: int32(off)}
+	want := ContextKey(pc, []TokPair{pair, pair, pair})
+	if got := KeyAt(p, 0, 3); got != want {
+		t.Fatalf("KeyAt(0) = %#x, want clamped %#x", got, want)
+	}
+}
+
+func TestCompileLookupTiers(t *testing.T) {
+	p := trainedPredictor(t)
+	tab := Compile(p, 0, p.NumAccesses(), testParams())
+
+	st := tab.Stats()
+	if st.Keys == 0 || st.MarkovKeys == 0 {
+		t.Fatalf("empty table after compiling a full trace: %+v", st)
+	}
+	if st.Bytes != tab.Bytes() || st.Bytes == 0 {
+		t.Fatalf("bytes accounting: %+v vs %d", st, tab.Bytes())
+	}
+
+	// A calibration trigger must hit the full-context tier.
+	pos := p.NumAccesses() / 2
+	_, pg, off := p.TokensAt(pos)
+	slots, tier := tab.Lookup(KeyAt(p, pos, tab.HistLen), PairKey(pg, off))
+	if tier != TierKey || len(slots) == 0 || slots[0] == 0 {
+		t.Fatalf("calibration trigger: tier %v, slots %v", tier, slots)
+	}
+
+	// An unseen context with a seen trigger pair falls back to Markov.
+	_, tier = tab.Lookup(ContextKey(12345, []TokPair{{9999, 1}}), PairKey(pg, off))
+	if tier != TierMarkov {
+		t.Fatalf("unseen context, seen trigger: tier %v, want TierMarkov", tier)
+	}
+
+	// Garbage on both levels misses.
+	if _, tier = tab.Lookup(ContextKey(12345, []TokPair{{9999, 1}}), PairKey(31337, 99)); tier != TierMiss {
+		t.Fatalf("garbage lookup: tier %v, want TierMiss", tier)
+	}
+}
+
+// The teacher learned a deterministic cycle, so the table distilled from
+// the first half must agree with the live model almost everywhere on the
+// held-out second half.
+func TestHeldOutAgreement(t *testing.T) {
+	p := trainedPredictor(t)
+	n := p.NumAccesses()
+	tab := Compile(p, 0, n/2, testParams())
+	held := make([]int, 0, n-n/2)
+	for i := n / 2; i < n; i++ {
+		held = append(held, i)
+	}
+	if a := Agreement(p, tab, held); a < 0.9 {
+		t.Fatalf("held-out top-1 agreement %.3f, want ≥0.9", a)
+	}
+	if a := Agreement(p, tab, nil); a != 0 {
+		t.Fatalf("Agreement over no positions = %v, want 0", a)
+	}
+}
+
+// Tiny tables must stay functional under probe-window pressure: the
+// deterministic weight-priority eviction keeps the heaviest keys.
+func TestCompileTinyTable(t *testing.T) {
+	p := trainedPredictor(t)
+	prm := Params{HistLen: 2, TopK: 2, Log2Buckets: 3, MarkovLog2: 3, MaxProbe: 4}
+	tab := Compile(p, 0, p.NumAccesses(), prm)
+	st := tab.Stats()
+	if st.Keys == 0 || st.Keys > 8 || st.MarkovKeys == 0 {
+		t.Fatalf("tiny table occupancy: %+v", st)
+	}
+}
+
+// Same model + params ⇒ the same table, byte for byte (deterministic maps,
+// sorted insertion, deterministic eviction).
+func TestCompileDeterministic(t *testing.T) {
+	p := trainedPredictor(t)
+	var b1, b2 bytes.Buffer
+	if _, err := Compile(p, 0, p.NumAccesses(), testParams()).WriteTo(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Compile(p, 0, p.NumAccesses(), testParams()).WriteTo(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatalf("two compiles of the same model differ (%d vs %d bytes)", b1.Len(), b2.Len())
+	}
+}
+
+func TestParamsWithDefaults(t *testing.T) {
+	d := Params{}.withDefaults()
+	if d != DefaultParams() {
+		t.Fatalf("zero params defaulted to %+v", d)
+	}
+	keep := Params{HistLen: 1, TopK: 2, Log2Buckets: 5, MarkovLog2: 4, MaxProbe: 3}
+	if got := keep.withDefaults(); got != keep {
+		t.Fatalf("explicit params overwritten: %+v", got)
+	}
+}
+
+func TestTierString(t *testing.T) {
+	if TierKey.String() != "context" || TierMarkov.String() != "markov" || TierMiss.String() != "miss" {
+		t.Fatalf("tier names: %v %v %v", TierKey, TierMarkov, TierMiss)
+	}
+}

@@ -1,0 +1,139 @@
+package distill
+
+import (
+	"bytes"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"slices"
+	"strings"
+	"testing"
+)
+
+func compiledTable(t *testing.T) *Table {
+	t.Helper()
+	return Compile(trainedPredictor(t), 0, 4000, testParams())
+}
+
+func tableBytes(t *testing.T, tab *Table) []byte {
+	t.Helper()
+	var b bytes.Buffer
+	if _, err := tab.WriteTo(&b); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	return b.Bytes()
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	tab := compiledTable(t)
+	path := filepath.Join(t.TempDir(), "cycle.vydt")
+	if err := tab.Save(path); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatalf("LoadFile: %v", err)
+	}
+	if got.Params != tab.Params || got.VocabFP != tab.VocabFP {
+		t.Fatalf("header mismatch: %+v fp=%#x vs %+v fp=%#x",
+			got.Params, got.VocabFP, tab.Params, tab.VocabFP)
+	}
+	if got.Stats() != tab.Stats() {
+		t.Fatalf("stats mismatch: %+v vs %+v", got.Stats(), tab.Stats())
+	}
+	if !slices.Equal(got.main.keys, tab.main.keys) || !slices.Equal(got.main.slots, tab.main.slots) ||
+		!slices.Equal(got.markov.keys, tab.markov.keys) || !slices.Equal(got.markov.slots, tab.markov.slots) {
+		t.Fatalf("payload mismatch after round trip")
+	}
+}
+
+// Golden byte-stability: one table serialized twice, and the same
+// (seed, trace, params) compiled twice, must produce identical files.
+func TestSerializationByteStable(t *testing.T) {
+	tab := compiledTable(t)
+	b1, b2 := tableBytes(t, tab), tableBytes(t, tab)
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("same table serialized twice differs")
+	}
+	dir := t.TempDir()
+	p1, p2 := filepath.Join(dir, "a.vydt"), filepath.Join(dir, "b.vydt")
+	if err := tab.Save(p1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Save(p2); err != nil {
+		t.Fatal(err)
+	}
+	f1, _ := os.ReadFile(p1)
+	f2, _ := os.ReadFile(p2)
+	if !bytes.Equal(f1, f2) || len(f1) == 0 {
+		t.Fatalf("saved files differ (%d vs %d bytes)", len(f1), len(f2))
+	}
+	if !bytes.Equal(f1, b1) {
+		t.Fatalf("Save output differs from WriteTo output")
+	}
+}
+
+func TestCorruptedChecksumRejected(t *testing.T) {
+	raw := tableBytes(t, compiledTable(t))
+	// Flip one payload byte mid-file: header still parses, checksum must not.
+	bad := append([]byte(nil), raw...)
+	bad[len(bad)/2] ^= 0xff
+	if _, err := Load(bytes.NewReader(bad)); err == nil ||
+		!strings.Contains(err.Error(), "checksum mismatch") {
+		t.Fatalf("corrupted payload: err = %v, want checksum mismatch", err)
+	}
+	// Flipping the trailing checksum itself is also a checksum failure.
+	bad = append([]byte(nil), raw...)
+	bad[len(bad)-1] ^= 0x01
+	if _, err := Load(bytes.NewReader(bad)); err == nil ||
+		!strings.Contains(err.Error(), "checksum mismatch") {
+		t.Fatalf("corrupted trailer: err = %v, want checksum mismatch", err)
+	}
+}
+
+func TestVersionMismatchRejected(t *testing.T) {
+	raw := tableBytes(t, compiledTable(t))
+	bad := append([]byte(nil), raw...)
+	binary.LittleEndian.PutUint32(bad[4:], Version+7)
+	if _, err := Load(bytes.NewReader(bad)); err == nil ||
+		!strings.Contains(err.Error(), "version mismatch") {
+		t.Fatalf("future version: err = %v, want version mismatch", err)
+	}
+}
+
+func TestBadMagicRejected(t *testing.T) {
+	raw := tableBytes(t, compiledTable(t))
+	bad := append([]byte(nil), raw...)
+	bad[0] = 'X'
+	if _, err := Load(bytes.NewReader(bad)); err == nil ||
+		!strings.Contains(err.Error(), "not a distilled table") {
+		t.Fatalf("bad magic: err = %v", err)
+	}
+}
+
+func TestCorruptHeaderParamsRejected(t *testing.T) {
+	raw := tableBytes(t, compiledTable(t))
+	bad := append([]byte(nil), raw...)
+	// An absurd bucket count must be rejected before any allocation, even
+	// though the checksum would catch it later.
+	binary.LittleEndian.PutUint32(bad[16:], 31)
+	if _, err := Load(bytes.NewReader(bad)); err == nil ||
+		!strings.Contains(err.Error(), "corrupt header") {
+		t.Fatalf("oversized header: err = %v", err)
+	}
+}
+
+func TestTruncatedFileRejected(t *testing.T) {
+	raw := tableBytes(t, compiledTable(t))
+	for _, n := range []int{0, 10, 40, len(raw) / 2, len(raw) - 4} {
+		if _, err := Load(bytes.NewReader(raw[:n])); err == nil {
+			t.Fatalf("truncation at %d bytes accepted", n)
+		}
+	}
+}
+
+func TestLoadFileMissing(t *testing.T) {
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "nope.vydt")); err == nil {
+		t.Fatalf("missing file accepted")
+	}
+}

@@ -1,0 +1,282 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"voyager/internal/distill"
+	"voyager/internal/eval"
+	"voyager/internal/prefetch/distilled"
+	"voyager/internal/trace"
+	"voyager/internal/voyager"
+)
+
+// distillSweepLog2s are the full-context table sizes the differential
+// harness sweeps (buckets = 1<<log2; bytes ≈ (1+TopK)·8·buckets plus the
+// Markov fallback).
+var distillSweepLog2s = []int{10, 12, 14, 16}
+
+// distilledFor compiles (once) the distilled fast-path predictor for a
+// benchmark — default table parameters, calibrated over the benchmark's
+// whole stream from the cached degree-8 Voyager teacher — and replays it
+// online over the stream, returning per-stream-access predictions.
+func (r *Run) distilledFor(name string) [][]uint64 {
+	r.cache.mu.Lock()
+	if p, ok := r.cache.distilled[name]; ok {
+		r.cache.mu.Unlock()
+		return p
+	}
+	r.cache.mu.Unlock()
+
+	vp := r.voyagerFor(name)
+	st := r.streamFor(name)
+	r.Opts.logf("  distilling voyager on %s...", name)
+	tab := distill.Compile(vp, 0, vp.NumAccesses(), distill.DefaultParams())
+	pf, err := distilled.New(tab, vp.Model.Vocab(), 8)
+	if err != nil {
+		panic(err)
+	}
+	preds := eval.CollectPredictions(st.Trace, pf)
+	r.cache.mu.Lock()
+	r.cache.distilled[name] = preds
+	r.cache.mu.Unlock()
+	return preds
+}
+
+// DistillPoint is one (benchmark × table size) cell of the differential
+// harness: the distilled table against its fp32 and int8-quantized
+// teachers on the calibration-held-out half of the stream.
+type DistillPoint struct {
+	Benchmark   string  `json:"benchmark,omitempty"`
+	Log2Buckets int     `json:"log2_buckets"`
+	TableBytes  int     `json:"table_bytes"`
+	Keys        int     `json:"keys"`
+	MarkovKeys  int     `json:"markov_keys"`
+	Top1VsFP32  float64 `json:"top1_agreement_fp32"`
+	Top1VsQuant float64 `json:"top1_agreement_quant"`
+	NsPerPred   int64   `json:"ns_per_prediction"`
+}
+
+// heldOutPositions samples up to 2048 trigger positions, evenly strided,
+// from the held-out half [n/2, n) of a stream.
+func heldOutPositions(n int) []int {
+	lo := n / 2
+	if lo >= n {
+		return nil
+	}
+	stride := (n - lo) / 2048
+	if stride < 1 {
+		stride = 1
+	}
+	out := make([]int, 0, (n-lo)/stride+1)
+	for i := lo; i < n; i += stride {
+		out = append(out, i)
+	}
+	return out
+}
+
+// teacherTop1 collects the teacher's top-1 (page, offset) token pair per
+// position (-1,-1 when the teacher produces no candidate), in inference
+// batches.
+func teacherTop1(p *voyager.Predictor, positions []int) [][2]int {
+	out := make([][2]int, len(positions))
+	const batch = 256
+	for lo := 0; lo < len(positions); lo += batch {
+		hi := lo + batch
+		if hi > len(positions) {
+			hi = len(positions)
+		}
+		cands := p.PredictAt(positions[lo:hi], 1)
+		for b := range cands {
+			if len(cands[b]) == 0 {
+				out[lo+b] = [2]int{-1, -1}
+				continue
+			}
+			out[lo+b] = [2]int{cands[b][0].PageTok, cands[b][0].OffTok}
+		}
+	}
+	return out
+}
+
+// tableTop1Agreement compares the table's fallback-chain top-1 against
+// precomputed teacher pairs; positions where the teacher has no candidate
+// are skipped, a table miss on a scored position counts as disagreement.
+func tableTop1Agreement(p *voyager.Predictor, tab *distill.Table, positions []int, teacher [][2]int) float64 {
+	agree, scored := 0, 0
+	for i, pos := range positions {
+		if teacher[i][0] < 0 {
+			continue
+		}
+		scored++
+		_, pg, off := p.TokensAt(pos)
+		slots, _ := tab.Lookup(distill.KeyAt(p, pos, tab.HistLen), distill.PairKey(pg, off))
+		if len(slots) == 0 || slots[0] == 0 {
+			continue
+		}
+		sp, so, _ := distill.DecodeSlot(slots[0])
+		if sp == teacher[i][0] && so == teacher[i][1] {
+			agree++
+		}
+	}
+	if scored == 0 {
+		return 0
+	}
+	return float64(agree) / float64(scored)
+}
+
+// nsPerOp times fn with the standard bench machinery.
+func nsPerOp(fn func(b *testing.B)) int64 {
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		fn(b)
+	})
+	return res.NsPerOp()
+}
+
+// replayNsPerPred times the online distilled replay over the stream (one
+// Access per op, wrapping with a Reset at the end of the trace).
+func replayNsPerPred(pf *distilled.Prefetcher, tr *trace.Trace) int64 {
+	accs := tr.Accesses
+	idx := 0
+	return nsPerOp(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			pf.Access(idx, accs[idx])
+			idx++
+			if idx == len(accs) {
+				idx = 0
+				pf.Reset()
+			}
+		}
+	})
+}
+
+// sweepDistill measures the size/accuracy/latency frontier for one trained
+// teacher: each table size is compiled on the first half of the stream and
+// scored on the held-out second half against both the fp32 and the
+// int8-quantized teacher, then timed replaying online. Returns the sweep
+// points plus the two teachers' per-prediction inference cost (batched at
+// the model's batch width, amortized per row).
+func sweepDistill(p *voyager.Predictor, tr *trace.Trace, log2s []int) (pts []distillCell, fp32Ns, quantNs int64) {
+	n := p.NumAccesses()
+	half := n / 2
+	held := heldOutPositions(n)
+	fp32 := teacherTop1(p, held)
+	p.Model.SetQuantizedPredict(true)
+	quant := teacherTop1(p, held)
+	p.Model.SetQuantizedPredict(false)
+
+	// Teacher cost per prediction: one full PredictAt batch, amortized.
+	width := p.Cfg.BatchSize
+	if width > len(held) {
+		width = len(held)
+	}
+	batch := held[:width]
+	fp32Ns = nsPerOp(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p.PredictAt(batch, 1)
+		}
+	}) / int64(width)
+	p.Model.SetQuantizedPredict(true)
+	quantNs = nsPerOp(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p.PredictAt(batch, 1)
+		}
+	}) / int64(width)
+	p.Model.SetQuantizedPredict(false)
+
+	for _, lg := range log2s {
+		prm := distill.DefaultParams()
+		prm.Log2Buckets = lg
+		if prm.MarkovLog2 > lg {
+			prm.MarkovLog2 = lg
+		}
+		tab := distill.Compile(p, 0, half, prm)
+		pf, err := distilled.New(tab, p.Model.Vocab(), 1)
+		if err != nil {
+			panic(err)
+		}
+		st := tab.Stats()
+		pts = append(pts, distillCell{
+			point: DistillPoint{
+				Log2Buckets: lg,
+				TableBytes:  st.Bytes,
+				Keys:        st.Keys,
+				MarkovKeys:  st.MarkovKeys,
+				Top1VsFP32:  tableTop1Agreement(p, tab, held, fp32),
+				Top1VsQuant: tableTop1Agreement(p, tab, held, quant),
+				NsPerPred:   replayNsPerPred(pf, tr),
+			},
+			table: tab,
+		})
+	}
+	return pts, fp32Ns, quantNs
+}
+
+// distillCell pairs a sweep point with its compiled table so callers can
+// reuse one (the bench harness replays the default-size table online).
+type distillCell struct {
+	point DistillPoint
+	table *distill.Table
+}
+
+// DistillResult is the cmd/experiments "distill" artifact: the differential
+// harness over the ablation benchmarks.
+type DistillResult struct {
+	Rows []DistillPoint
+	// FP32NsPerPred / QuantNsPerPred record, per benchmark, the teacher's
+	// amortized per-prediction inference cost for context.
+	TeacherNs map[string][2]int64
+}
+
+// DistillStudy sweeps table size vs. top-1 agreement vs. ns/prediction for
+// each ablation benchmark's trained Voyager against its fp32 and quantized
+// teachers.
+func (r *Run) DistillStudy() *DistillResult {
+	res := &DistillResult{TeacherNs: map[string][2]int64{}}
+	for _, name := range r.Opts.benchList(AblationBenchmarks) {
+		vp := r.voyagerFor(name)
+		st := r.streamFor(name)
+		r.Opts.logf("distill study: %s", name)
+		cells, fp32Ns, quantNs := sweepDistill(vp, st.Trace, distillSweepLog2s)
+		for _, c := range cells {
+			p := c.point
+			p.Benchmark = name
+			res.Rows = append(res.Rows, p)
+		}
+		res.TeacherNs[name] = [2]int64{fp32Ns, quantNs}
+	}
+	return res
+}
+
+// String renders the differential table.
+func (d *DistillResult) String() string {
+	var b strings.Builder
+	b.WriteString("Distillation: table size vs top-1 agreement vs ns/prediction\n")
+	fmt.Fprintf(&b, "  %-10s %6s %10s %8s %8s %10s %10s %12s\n",
+		"benchmark", "log2", "bytes", "keys", "markov", "vs_fp32", "vs_quant", "ns/pred")
+	last := ""
+	for _, p := range d.Rows {
+		name := p.Benchmark
+		if name == last {
+			name = ""
+		} else {
+			last = p.Benchmark
+		}
+		fmt.Fprintf(&b, "  %-10s %6d %10d %8d %8d %10.3f %10.3f %12d\n",
+			name, p.Log2Buckets, p.TableBytes, p.Keys, p.MarkovKeys,
+			p.Top1VsFP32, p.Top1VsQuant, p.NsPerPred)
+	}
+	// Stable teacher-cost footer ordered by the row order above.
+	seen := map[string]bool{}
+	for _, p := range d.Rows {
+		if seen[p.Benchmark] {
+			continue
+		}
+		seen[p.Benchmark] = true
+		ns := d.TeacherNs[p.Benchmark]
+		fmt.Fprintf(&b, "  teacher %-10s fp32 %8d ns/pred   int8 %8d ns/pred\n",
+			p.Benchmark, ns[0], ns[1])
+	}
+	return b.String()
+}

@@ -212,14 +212,18 @@ type cache struct {
 	streams map[string]*stream
 	voyager map[string]*voyager.Predictor // degree-8 predictions, truncate per use
 	dlstm   map[string]*deltalstm.Model
+	// distilled holds the tabularized fast-path replay (degree-8
+	// predictions per stream access), compiled from the cached teacher.
+	distilled map[string][][]uint64
 }
 
 func newCache() *cache {
 	return &cache{
-		traces:  make(map[string]*trace.Trace),
-		streams: make(map[string]*stream),
-		voyager: make(map[string]*voyager.Predictor),
-		dlstm:   make(map[string]*deltalstm.Model),
+		traces:    make(map[string]*trace.Trace),
+		streams:   make(map[string]*stream),
+		voyager:   make(map[string]*voyager.Predictor),
+		dlstm:     make(map[string]*deltalstm.Model),
+		distilled: make(map[string][][]uint64),
 	}
 }
 
@@ -334,5 +338,7 @@ func tablePrefetchers(degree int) []prefetch.Prefetcher {
 	}
 }
 
-// BaselineNames lists the comparison order used in the figures.
-var BaselineNames = []string{"stms", "domino", "isb", "bo", "delta-lstm", "voyager"}
+// BaselineNames lists the comparison order used in the figures. The
+// distilled entry is Voyager's tabularized fast path — same teacher, O(1)
+// lookup — so the figures show what the distillation trades away.
+var BaselineNames = []string{"stms", "domino", "isb", "bo", "delta-lstm", "voyager", "distilled"}

@@ -66,6 +66,10 @@ func (r *Run) Main() *MainResult {
 		vm.Provenance(vp.Cfg.Provenance)
 		row.Results["voyager"] = vm.Run(tr, &prefetch.Precomputed{
 			Label: "voyager", Predictions: st.mapToOriginal(tr.Len(), truncate(vp.Predictions(), 1))})
+		// The distilled fast path replays the compiled lookup table online
+		// over the same stream; the figures show what tabularization costs.
+		row.Results["distilled"] = sim.Simulate(tr, &prefetch.Precomputed{
+			Label: "distilled", Predictions: st.mapToOriginal(tr.Len(), truncate(r.distilledFor(name), 1))}, cfg)
 
 		res.Rows = append(res.Rows, row)
 	}
@@ -171,6 +175,7 @@ func (r *Run) Figure7() *Figure7Result {
 		row.Values["delta-lstm"] = eval.Unified(tr, truncate(dl.Predictions(), 1), r.Opts.Window, skip)
 		vp := r.voyagerFor(name)
 		row.Values["voyager"] = eval.Unified(tr, truncate(vp.Predictions(), 1), r.Opts.Window, skip)
+		row.Values["distilled"] = eval.Unified(tr, truncate(r.distilledFor(name), 1), r.Opts.Window, skip)
 		res.Rows = append(res.Rows, row)
 	}
 	return res

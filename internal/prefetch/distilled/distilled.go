@@ -1,0 +1,132 @@
+// Package distilled replays a tabularized Voyager (internal/distill)
+// online: each access updates a tiny ring of (page, offset) context tokens,
+// hashes it, and probes the distilled table — no neural forward pass, so a
+// prediction costs a few hash folds and at most 2·MaxProbe array reads
+// (hundreds of nanoseconds instead of a full LSTM inference).
+package distilled
+
+import (
+	"fmt"
+
+	"voyager/internal/distill"
+	"voyager/internal/trace"
+	"voyager/internal/vocab"
+)
+
+// Prefetcher binds a distilled table to a vocabulary and replays it over an
+// access stream behind the standard prefetch.Prefetcher interface.
+type Prefetcher struct {
+	tab    *distill.Table
+	voc    *vocab.Vocab
+	degree int
+
+	// hist is the rolling context window, oldest first; until HistLen
+	// accesses have been seen it is back-filled with the first pair, the
+	// same clamping the compiler applies at the trace start.
+	hist     []distill.TokPair
+	seen     int
+	prevLine uint64
+
+	tiers [distill.NumTiers]int
+	out   []uint64 // returned-slice scratch; callers get fresh copies
+}
+
+// New binds a table to the vocabulary of the trace it will replay. The
+// vocabulary must be the one the table was compiled against (checked via
+// the embedded fingerprint — token ids are meaningless across
+// vocabularies).
+func New(tab *distill.Table, voc *vocab.Vocab, degree int) (*Prefetcher, error) {
+	if got, want := voc.Fingerprint(), tab.VocabFP; got != want {
+		return nil, fmt.Errorf(
+			"distilled: table compiled against a different vocabulary (fingerprint %#x, trace's %#x): recompile the table or replay the original trace",
+			want, got)
+	}
+	if degree < 1 {
+		degree = 1
+	}
+	return &Prefetcher{
+		tab:    tab,
+		voc:    voc,
+		degree: degree,
+		hist:   make([]distill.TokPair, tab.HistLen),
+		out:    make([]uint64, 0, degree),
+	}, nil
+}
+
+// Name implements prefetch.Prefetcher.
+func (p *Prefetcher) Name() string { return "distilled" }
+
+// Reset clears the context window (tier counters persist) so the
+// prefetcher can replay another pass over the same trace.
+func (p *Prefetcher) Reset() {
+	p.seen = 0
+}
+
+// TierCounts returns how many accesses were answered by each fallback
+// tier (indexed by distill.Tier) since construction.
+func (p *Prefetcher) TierCounts() [distill.NumTiers]int { return p.tiers }
+
+// Access implements prefetch.Prefetcher: encode the access, roll the
+// context window, probe the fallback chain, and decode up to degree
+// distinct lines. On a full table miss it degrades to next-line.
+func (p *Prefetcher) Access(_ int, a trace.Access) []uint64 {
+	line := trace.Line(a.Addr)
+	if p.seen == 0 {
+		p.prevLine = line
+	}
+	pTok, oTok := p.voc.EncodeAccess(p.prevLine, line)
+	p.prevLine = line
+	pair := distill.TokPair{Page: int32(pTok), Off: int32(oTok)}
+	if p.seen == 0 {
+		for i := range p.hist {
+			p.hist[i] = pair
+		}
+	} else {
+		copy(p.hist, p.hist[1:])
+		p.hist[len(p.hist)-1] = pair
+	}
+	p.seen++
+
+	key := distill.ContextKey(p.voc.PCToken(a.PC), p.hist)
+	slots, tier := p.tab.Lookup(key, distill.PairKey(pTok, oTok))
+	p.tiers[tier]++
+
+	p.out = p.out[:0]
+	for _, s := range slots {
+		if s == 0 {
+			break
+		}
+		pg, off, _ := distill.DecodeSlot(s)
+		cand, ok := p.voc.Decode(line, pg, off)
+		if !ok || cand == line {
+			continue
+		}
+		if dup(p.out, cand<<trace.LineBits) {
+			continue
+		}
+		p.out = append(p.out, cand<<trace.LineBits)
+		if len(p.out) == p.degree {
+			break
+		}
+	}
+	if len(p.out) == 0 && tier == distill.TierMiss {
+		p.out = append(p.out, (line+1)<<trace.LineBits)
+	}
+	if len(p.out) == 0 {
+		return nil
+	}
+	// The simulator and eval pipeline retain returned slices; hand out a
+	// fresh copy and keep the scratch for the next access.
+	res := make([]uint64, len(p.out))
+	copy(res, p.out)
+	return res
+}
+
+func dup(xs []uint64, x uint64) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

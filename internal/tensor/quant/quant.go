@@ -63,15 +63,19 @@ func (q *Q8Mat) RequantizeFrom(w *tensor.Mat) {
 				mx = v
 			}
 		}
-		if mx == 0 {
+		scale := mx / 127
+		inv := 127 / mx
+		// mx == 0 has nothing to encode; a subnormal mx overflows inv to
+		// +Inf (and would push NaN/Inf through the int8 conversion below),
+		// so such a column — numerically zero at int8 resolution — is
+		// stored as zeros with a zero scale.
+		if mx == 0 || math.IsInf(float64(inv), 0) {
 			q.Scale[j] = 0
 			for i := 0; i < q.Rows; i++ {
 				q.Data[i*n+j] = 0
 			}
 			continue
 		}
-		scale := mx / 127
-		inv := 127 / mx
 		q.Scale[j] = scale
 		for i := 0; i < q.Rows; i++ {
 			v := w.Data[i*n+j] * inv

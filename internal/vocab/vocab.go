@@ -252,6 +252,41 @@ func (v *Vocab) Decode(triggerLine uint64, pageTok, offTok int) (line uint64, ok
 	}
 }
 
+// Fingerprint hashes the complete token-id assignment: the frequent-line
+// set, the page/delta/PC id orders, and the segment lengths. Two
+// vocabularies encode and decode identically iff their fingerprints match.
+// Distilled tables (internal/distill) embed the fingerprint of the
+// vocabulary they were compiled against, so a table is never replayed
+// through a vocabulary that assigns different token ids.
+func (v *Vocab) Fingerprint() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(x uint64) {
+		h ^= x
+		h *= prime64
+	}
+	mix(uint64(len(v.pages)))
+	for _, p := range v.pages {
+		mix(p)
+	}
+	mix(uint64(len(v.deltas)))
+	for _, d := range v.deltas {
+		mix(uint64(d))
+	}
+	mix(uint64(len(v.pcs)))
+	for _, pc := range v.pcs {
+		mix(pc)
+	}
+	mix(uint64(len(v.freqLine)))
+	for _, line := range sortkeys.Sorted(v.freqLine) {
+		mix(line)
+	}
+	return h
+}
+
 // String summarizes the vocabulary.
 func (v *Vocab) String() string {
 	return fmt.Sprintf("vocab{pages=%d deltas=%d pcs=%d offsetTokens=%d}",

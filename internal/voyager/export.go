@@ -1,0 +1,54 @@
+package voyager
+
+import "voyager/internal/vocab"
+
+// Read-only accessors used by the distillation compiler (internal/distill):
+// teacher-forced batched inference at arbitrary trigger positions plus the
+// pre-encoded per-access tokens, without re-deriving the vocabulary encoding
+// or touching the online-protocol prediction table.
+
+// NumAccesses returns the number of accesses in the bound trace.
+func (p *Predictor) NumAccesses() int { return len(p.lines) }
+
+// TokensAt returns the encoded (pc, page, offset) tokens of access i.
+func (p *Predictor) TokensAt(i int) (pcTok, pageTok, offTok int) {
+	t := p.tokens[i]
+	return t.pc, t.page, t.off
+}
+
+// LineAt returns the cache-line number of access i.
+func (p *Predictor) LineAt(i int) uint64 { return p.lines[i] }
+
+// PCAt returns the raw program counter of access i.
+func (p *Predictor) PCAt(i int) uint64 { return p.pcs[i] }
+
+// PredictAt runs one inference batch over the given trigger positions and
+// returns, per position, the model's top-degree (page, offset) candidates.
+// Unlike predictRange it never writes the prediction table or provenance
+// log: it is the read-only teacher query for distillation and agreement
+// measurement. Rows are freshly allocated; positions is only read.
+func (p *Predictor) PredictAt(positions []int, degree int) [][]Candidate {
+	if len(positions) == 0 {
+		return nil
+	}
+	return p.Model.PredictBatch(p.buildBatch(positions), degree)
+}
+
+// VocabOptions exposes the vocabulary options this config implies, so tools
+// that load a distilled table can rebuild the exact training vocabulary from
+// the same trace (construction is deterministic; the table's embedded
+// fingerprint verifies the match).
+func (c Config) VocabOptions() vocab.Options { return c.vocabOptions() }
+
+// SetQuantizedPredict toggles the int8 quantized predict path on an
+// already-constructed model (otherwise Config.QuantizedPredict is fixed at
+// construction). The next PredictBatch requantizes the head shadows from
+// the current fp32 weights, so toggling is safe at any point between
+// batches; existing replicas are switched along with the master.
+func (m *Model) SetQuantizedPredict(on bool) {
+	m.cfg.QuantizedPredict = on
+	m.qDirty = true
+	for _, r := range m.replicas {
+		r.cfg.QuantizedPredict = on
+	}
+}

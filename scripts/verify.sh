@@ -2,8 +2,8 @@
 # Tier-1 verification plus the concurrency checks for the data-parallel
 # training engine: vet, the full test suite (with coverage gates), the race
 # detector over the packages that share state across goroutines, and
-# bounded fuzz runs of the binary trace decoder and the metrics snapshot
-# parser.
+# bounded fuzz runs of the binary trace decoder, the metrics snapshot
+# parser, and the int8/f16 quantizers the distilled tables are packed with.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -45,10 +45,11 @@ for pkg in internal/metrics internal/tracing; do
 done
 
 # Bench smoke: the newest BENCH_pr<N>.json must not record a serial matmul
-# slowdown against its baseline chain — the PR-5 regression class. This
+# slowdown (the PR-5 regression class) or a >10% predict-path slowdown
+# (serial fp32 or int8-quantized inference) against its baseline chain. This
 # parses the committed report (fast) rather than re-benching; regenerate
 # with `go run ./cmd/experiments -bench -workers -1` after kernel changes.
-echo "== bench smoke (matmul_256 vs baseline chain)"
+echo "== bench smoke (matmul_256 + predict paths vs baseline chain)"
 go run ./cmd/experiments -bench-check
 
 echo "== allocation regression (tape arena steady state, metrics + tracing hot paths)"
@@ -64,9 +65,11 @@ go test -race ./internal/tensor/ ./internal/nn/ ./internal/trace/ ./internal/met
 # that exercise sharded TrainBatch/PredictBatch plus one e2e training run.
 go test -race -run 'Parallel|Deterministic|Workers|LearnsCycleWith' ./internal/voyager/
 
-echo "== fuzz trace.Read + metrics.ParseSnapshot (bounded)"
+echo "== fuzz trace.Read + metrics.ParseSnapshot + quant converters (bounded)"
 go test -run=NONE -fuzz=FuzzRead -fuzztime=10s ./internal/trace/
 go test -run=NONE -fuzz=FuzzParseSnapshot -fuzztime=10s ./internal/metrics/
+go test -run=NONE -fuzz='^FuzzQ8Quantize$' -fuzztime=10s ./internal/tensor/quant/
+go test -run=NONE -fuzz='^FuzzF16RoundTrip$' -fuzztime=10s ./internal/tensor/quant/
 
 # A traced end-to-end run: the exported timeline must round-trip through the
 # validator (cmd/tracecheck), and two same-seed logical-clock runs must
