@@ -1,18 +1,21 @@
 // Command vetvoyager runs the project's static-analysis suite — the
-// determinism, arena-lifetime, and float32 invariants the compiler cannot
-// check — over the module and exits non-zero if any finding is not
-// suppressed by a //lint:ignore directive.
+// determinism, arena-lifetime, concurrency, error-flow, and float32
+// invariants the compiler cannot check — over the module and exits non-zero
+// if any finding is not suppressed by a //lint:ignore directive.
 //
 // Usage:
 //
 //	go run ./cmd/vetvoyager ./...
 //	go run ./cmd/vetvoyager internal/tensor internal/nn
 //	go run ./cmd/vetvoyager -q ./...
+//	go run ./cmd/vetvoyager -md ./... >> "$GITHUB_STEP_SUMMARY"
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 
@@ -23,9 +26,10 @@ import (
 func main() {
 	quiet := flag.Bool("q", false, "print only findings, no per-analyzer summary")
 	list := flag.Bool("list", false, "list the analyzers in the suite and exit")
+	md := flag.Bool("md", false, "print the scoreboard as a Markdown table on stdout (for CI step summaries)")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: vetvoyager [-q] [-list] [packages]\n\n")
-		fmt.Fprintf(flag.CommandLine.Output(), "Runs the voyager static-analysis suite (default: ./...).\n")
+		_, _ = fmt.Fprintf(flag.CommandLine.Output(), "usage: vetvoyager [-q] [-list] [-md] [packages]\n\n")
+		_, _ = fmt.Fprintf(flag.CommandLine.Output(), "Runs the voyager static-analysis suite (default: ./...).\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -50,15 +54,18 @@ func main() {
 	}
 
 	res := analysis.Run(pkgs, analyzers)
-	for _, d := range res.Findings {
-		fmt.Println(d)
-	}
-	if !*quiet {
-		names := make([]string, 0, len(res.PerCheck))
-		for name := range res.PerCheck {
-			names = append(names, name)
+	if *md {
+		if err := printMarkdown(os.Stdout, pkgs, analyzers, res); err != nil {
+			fmt.Fprintln(os.Stderr, "vetvoyager:", err)
+			os.Exit(2)
 		}
-		sort.Strings(names)
+	} else {
+		for _, d := range res.Findings {
+			fmt.Println(d)
+		}
+	}
+	if !*quiet && !*md {
+		names := sortedChecks(res)
 		fmt.Fprintf(os.Stderr, "vetvoyager: %d packages\n", len(pkgs))
 		for _, name := range names {
 			line := fmt.Sprintf("  %-12s %d finding(s)", name, res.PerCheck[name])
@@ -71,4 +78,44 @@ func main() {
 	if len(res.Findings) > 0 {
 		os.Exit(1)
 	}
+}
+
+func sortedChecks(res *analysis.Result) []string {
+	names := make([]string, 0, len(res.PerCheck))
+	for name := range res.PerCheck {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// printMarkdown renders the scoreboard (and any findings) as GitHub-flavored
+// Markdown, the format $GITHUB_STEP_SUMMARY expects. The table is built in a
+// buffer and written once so a failed write is a single reportable error.
+func printMarkdown(w io.Writer, pkgs []*analysis.Package, analyzers []*analysis.Analyzer, res *analysis.Result) error {
+	docs := make(map[string]string, len(analyzers))
+	for _, a := range analyzers {
+		docs[a.Name] = a.Doc
+	}
+	verdict := "✅ clean"
+	if len(res.Findings) > 0 {
+		verdict = fmt.Sprintf("❌ %d finding(s)", len(res.Findings))
+	}
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "### vetvoyager — %s (%d packages)\n\n", verdict, len(pkgs))
+	fmt.Fprintln(&b, "| analyzer | findings | suppressed | checks |")
+	fmt.Fprintln(&b, "|---|---:|---:|---|")
+	for _, name := range sortedChecks(res) {
+		fmt.Fprintf(&b, "| %s | %d | %d | %s |\n", name, res.PerCheck[name], res.Suppressed[name], docs[name])
+	}
+	if len(res.Findings) > 0 {
+		fmt.Fprintln(&b)
+		fmt.Fprintln(&b, "```")
+		for _, d := range res.Findings {
+			fmt.Fprintln(&b, d)
+		}
+		fmt.Fprintln(&b, "```")
+	}
+	_, err := w.Write(b.Bytes())
+	return err
 }

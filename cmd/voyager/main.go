@@ -113,7 +113,7 @@ func main() {
 			os.Exit(1)
 		}
 		tr, err = trace.Read(f)
-		f.Close()
+		_ = f.Close() // read-side close: the trace is already in memory
 	case *bench != "":
 		tr, err = workloads.Generate(*bench, workloads.Config{Seed: *seed, Scale: 1, MaxAccesses: *n})
 	default:

@@ -47,8 +47,17 @@ type Pass struct {
 	Fset     *token.FileSet
 	Pkg      *Package
 
-	diags *[]Diagnostic
+	diags   *[]Diagnostic
+	skipped bool
 }
+
+// SkipPackage records that the analyzer declined this package (out of its
+// configured scope, test-only, …) rather than inspecting it and finding
+// nothing. The distinction matters for stale-suppression detection: a
+// //lint:ignore for a check that never looked at the package proves
+// nothing, whereas one for a check that looked and stayed silent is dead
+// weight and gets reported.
+func (p *Pass) SkipPackage() { p.skipped = true }
 
 // Reportf records a finding at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
@@ -110,10 +119,14 @@ func Run(pkgs []*Package, analyzers []*Analyzer) *Result {
 				continue
 			}
 			dirs := sub.ignoreDirectives()
+			subRan := make(map[string]bool, len(analyzers))
 			for _, a := range analyzers {
 				var diags []Diagnostic
 				pass := &Pass{Analyzer: a, Fset: sub.Fset, Pkg: sub, diags: &diags}
 				a.Run(pass)
+				if !pass.skipped {
+					subRan[a.Name] = true
+				}
 				for _, d := range diags {
 					if dirs.suppresses(d) {
 						res.Suppressed[d.Check]++
@@ -123,8 +136,15 @@ func Run(pkgs []*Package, analyzers []*Analyzer) *Result {
 				}
 			}
 			// Malformed directives are findings themselves: a reasonless
-			// ignore hides a real invariant with no audit trail.
+			// ignore hides a real invariant with no audit trail. So are
+			// stale ones — a suppression that outlives its finding will
+			// swallow the next, unrelated finding on that line.
 			all = append(all, dirs.malformed...)
+			for _, sd := range dirs.stale(subRan) {
+				if !dirs.suppresses(sd) {
+					all = append(all, sd)
+				}
+			}
 		}
 	}
 	sort.Slice(all, func(i, j int) bool {

@@ -40,6 +40,7 @@ func New(skip ...string) *analysis.Analyzer {
 		Doc:  "flags tape-arena *tensor.Mat values that can outlive Tape.Reset",
 		Run: func(pass *analysis.Pass) {
 			if pass.Pkg.IsTest || skipped[pass.Pkg.Path] {
+				pass.SkipPackage()
 				return
 			}
 			for _, f := range pass.Pkg.Files {

@@ -1,0 +1,205 @@
+// Package atomicmix flags variables accessed both through sync/atomic
+// functions and by plain load/store anywhere in the same package.
+//
+// The tracing publish protocol (single writer appends the event, then
+// atomically publishes the count) and the metrics counters are only correct
+// if *every* cross-goroutine access to the shared word goes through
+// sync/atomic: one plain read of a field that is elsewhere written with
+// atomic.StoreUint64 is a data race the race detector only catches when a
+// test happens to interleave it. The migration to atomic.Uint64-typed
+// fields removes the hazard by construction — the type has no plain load —
+// but function-style atomics on ordinary fields keep appearing in new code,
+// and there the compiler checks nothing.
+//
+// The analyzer is package-scoped and symbol-precise: it records every
+// variable (struct field or package-level var) whose address is taken as
+// the pointer argument of a sync/atomic call, then reports every other
+// plain access to the same variable object. Composite-literal
+// initialization is exempt (construction happens-before sharing), as are
+// test files (tests observe counters after joins). A plain access that is
+// provably single-threaded — e.g. re-reading a counter inside the only
+// writer — carries //lint:ignore atomicmix <reason>.
+package atomicmix
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"voyager/internal/analysis"
+)
+
+// New returns the atomicmix analyzer. It runs on every non-test package.
+func New() *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: "atomicmix",
+		Doc:  "flags variables accessed both via sync/atomic and by plain load/store",
+		Run:  run,
+	}
+}
+
+// atomicArgPositions: every sync/atomic function takes the shared word's
+// address as its first argument.
+func isAtomicCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := pass.ObjectOf(id)
+	pkg, ok := obj.(*types.PkgName)
+	return ok && pkg.Imported().Path() == "sync/atomic"
+}
+
+// targetVar resolves &expr (the first argument of an atomic call) or a
+// plain expr to the variable object it denotes: a struct field (the
+// canonical *types.Var shared by every selection of that field) or a
+// package-level/local var.
+func targetVar(pass *analysis.Pass, e ast.Expr) *types.Var {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return targetVar(pass, e.X)
+	case *ast.Ident:
+		v, _ := pass.ObjectOf(e).(*types.Var)
+		return v
+	case *ast.SelectorExpr:
+		if sel := pass.Pkg.Info.Selections[e]; sel != nil {
+			v, _ := sel.Obj().(*types.Var)
+			return v
+		}
+		// Qualified identifier (pkg.Var) or field of a non-selection.
+		v, _ := pass.ObjectOf(e.Sel).(*types.Var)
+		return v
+	case *ast.IndexExpr:
+		// Atomic ops on slice/array elements: identify by the base
+		// variable — mixing atomic and plain element access through the
+		// same base is still a race.
+		return targetVar(pass, e.X)
+	case *ast.StarExpr:
+		return targetVar(pass, e.X)
+	}
+	return nil
+}
+
+type access struct {
+	pos  token.Pos
+	expr ast.Expr
+}
+
+func run(pass *analysis.Pass) {
+	if pass.Pkg.IsTest {
+		pass.SkipPackage()
+		return
+	}
+	atomicUses := map[*types.Var][]access{} // via sync/atomic
+	plainUses := map[*types.Var][]access{}  // everything else
+
+	// Nodes to skip when collecting plain accesses: the &x inside atomic
+	// calls, and composite-literal field keys (construction).
+	inAtomic := map[ast.Node]bool{}
+
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(pass, call) || len(call.Args) == 0 {
+				return true
+			}
+			arg := call.Args[0]
+			if u, ok := arg.(*ast.UnaryExpr); ok && u.Op == token.AND {
+				if v := targetVar(pass, u.X); v != nil {
+					atomicUses[v] = append(atomicUses[v], access{pos: u.X.Pos(), expr: u.X})
+					inAtomic[u.X] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicUses) == 0 {
+		return
+	}
+
+	for _, f := range pass.Pkg.Files {
+		var walk func(n ast.Node, inConstruction bool) bool
+		walk = func(n ast.Node, inConstruction bool) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				// S{field: v}: the keyed write happens before the value
+				// can be shared; recurse with construction context so the
+				// keys are exempt (the *values* are still scanned).
+				for _, el := range n.Elts {
+					if kv, ok := el.(*ast.KeyValueExpr); ok {
+						ast.Inspect(kv.Value, func(m ast.Node) bool { return walk(m, false) })
+					} else {
+						ast.Inspect(el, func(m ast.Node) bool { return walk(m, false) })
+					}
+				}
+				return false
+			case *ast.SelectorExpr:
+				if inAtomic[n] {
+					return false
+				}
+				if sel := pass.Pkg.Info.Selections[n]; sel != nil {
+					if v, _ := sel.Obj().(*types.Var); v != nil {
+						if _, hot := atomicUses[v]; hot {
+							plainUses[v] = append(plainUses[v], access{pos: n.Pos(), expr: n})
+						}
+					}
+					// Keep walking: the receiver chain may itself select
+					// a mixed field.
+					ast.Inspect(n.X, func(m ast.Node) bool { return walk(m, false) })
+					return false
+				}
+			case *ast.Ident:
+				if inAtomic[n] || pass.Pkg.Info.Defs[n] != nil {
+					return false // defining occurrence, not an access
+				}
+				if v, _ := pass.ObjectOf(n).(*types.Var); v != nil {
+					if _, hot := atomicUses[v]; hot && !v.IsField() {
+						plainUses[v] = append(plainUses[v], access{pos: n.Pos(), expr: n})
+					}
+				}
+			}
+			return true
+		}
+		ast.Inspect(f, func(n ast.Node) bool { return walk(n, false) })
+	}
+
+	for v, plains := range plainUses {
+		first := atomicUses[v][0]
+		firstPos := pass.Fset.Position(first.pos)
+		for _, p := range plains {
+			pass.Reportf(p.pos,
+				"%s is accessed via sync/atomic at %s:%d but read/written plainly here: mixed atomic and non-atomic access is a data race; use sync/atomic (or an atomic.%s-style typed field) for every access, or //lint:ignore atomicmix <why this access is single-threaded>",
+				v.Name(), shortFile(firstPos.Filename), firstPos.Line, suggestType(v))
+		}
+	}
+}
+
+func shortFile(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[i+1:]
+		}
+	}
+	return path
+}
+
+// suggestType names the typed-atomic replacement for v's underlying type.
+func suggestType(v *types.Var) string {
+	if b, ok := v.Type().Underlying().(*types.Basic); ok {
+		switch b.Kind() {
+		case types.Uint32:
+			return "Uint32"
+		case types.Uint64, types.Uintptr:
+			return "Uint64"
+		case types.Int32:
+			return "Int32"
+		case types.Int64:
+			return "Int64"
+		}
+	}
+	return "Value"
+}

@@ -1,0 +1,33 @@
+package atomicmix_test
+
+import (
+	"strings"
+	"testing"
+
+	"voyager/internal/analysis/analysistest"
+	"voyager/internal/analysis/atomicmix"
+)
+
+func TestAtomicMix(t *testing.T) {
+	analysistest.Run(t, atomicmix.New(), "testdata/src/atomicmixpkg")
+}
+
+// TestSeededTracingMutationFlagged pins the headline guarantee: the
+// testdata's trackMutant — internal/tracing's publish protocol with the
+// atomic.Uint64 count regressed to a plain field — is flagged on both the
+// torn read in snapshot and the plain dropped++ in record.
+func TestSeededTracingMutationFlagged(t *testing.T) {
+	got := analysistest.Findings(t, atomicmix.New(), "testdata/src/atomicmixpkg")
+	var count, dropped bool
+	for _, d := range got {
+		if strings.Contains(d.Message, "count is accessed via sync/atomic") {
+			count = true
+		}
+		if strings.Contains(d.Message, "dropped is accessed via sync/atomic") {
+			dropped = true
+		}
+	}
+	if !count || !dropped {
+		t.Fatalf("seeded tracing mutation not fully flagged (count=%v dropped=%v) in %v", count, dropped, got)
+	}
+}

@@ -1,0 +1,84 @@
+// Package atomicmixpkg exercises the atomicmix analyzer.
+//
+// trackMutant below is a seeded mutation of internal/tracing's Track: the
+// real type stores the published event count in an atomic.Uint64, whose
+// type system makes plain loads impossible. The mutant regresses it to a
+// plain uint64 published with atomic.StoreUint64 — and then reads it
+// non-atomically in snapshot, exactly the single-writer-plus-atomic-publish
+// rot the analyzer exists to catch.
+package atomicmixpkg
+
+import "sync/atomic"
+
+const chunkEvents = 8
+
+// trackMutant is the seeded internal/tracing mutation (see package doc).
+type trackMutant struct {
+	count   uint64
+	dropped uint64
+	events  [chunkEvents]int
+}
+
+// record is the single writer: store the event, then publish the count.
+func (tk *trackMutant) record(v int) {
+	n := atomic.LoadUint64(&tk.count)
+	if n >= chunkEvents {
+		tk.dropped++ // want "dropped is accessed via sync/atomic"
+		return
+	}
+	tk.events[n] = v
+	atomic.StoreUint64(&tk.count, n+1)
+}
+
+// snapshot runs concurrently with record — the plain read tears.
+func (tk *trackMutant) snapshot() []int {
+	n := tk.count // want "count is accessed via sync/atomic"
+	return tk.events[:n]
+}
+
+// droppedCount mixes in the other direction: plain write in record above,
+// atomic read here.
+func (tk *trackMutant) droppedCount() uint64 {
+	return atomic.LoadUint64(&tk.dropped)
+}
+
+// pkgHits is a package-level shared counter.
+var pkgHits uint64
+
+func bumpHits() {
+	atomic.AddUint64(&pkgHits, 1)
+}
+
+func readHitsRacy() uint64 {
+	return pkgHits // want "pkgHits is accessed via sync/atomic"
+}
+
+// --- non-firing cases ---
+
+// allAtomic never mixes: every access of its field goes through the
+// package's functions.
+type allAtomic struct {
+	n uint64
+}
+
+func (a *allAtomic) inc() { atomic.AddUint64(&a.n, 1) }
+
+func (a *allAtomic) get() uint64 { return atomic.LoadUint64(&a.n) }
+
+// plainOnly is never touched atomically, so plain access is fine.
+type plainOnly struct {
+	n uint64
+}
+
+func (p *plainOnly) bump() { p.n++ }
+
+// Construction is exempt: the literal write happens-before any sharing.
+func newAllAtomic(seed uint64) *allAtomic {
+	return &allAtomic{n: seed}
+}
+
+// A suppressed single-threaded access keeps the directive honest.
+func (a *allAtomic) resetSingleThreaded() {
+	//lint:ignore atomicmix caller holds the only reference during reset
+	a.n = 0
+}

@@ -1,0 +1,545 @@
+// Package cfg builds intraprocedural control-flow graphs over go/ast and
+// runs forward dataflow analyses over them to fixpoint.
+//
+// The PR-3 analyzers are AST/type walkers: they can say "this expression is
+// a map range" but not "this error is dead on the early-return path" or
+// "this WaitGroup balance differs between the two arms of that if". The
+// invariants added since — single-writer-plus-atomic-publish in tracing,
+// checksummed save/load in distill, zero-alloc kernel dispatch in tensor —
+// are all *flow* properties, so this package adds the missing layer while
+// keeping the framework dependency-free (go/ast + go/types only, no
+// golang.org/x/tools).
+//
+// The model is deliberately small:
+//
+//   - A Graph is a list of basic Blocks; Blocks[0] is the entry and
+//     Blocks[1] the synthetic exit. Statements are appended whole to their
+//     block (analyzers walk them with cfg.Inspect, which does not descend
+//     into nested func literals — those are separate functions).
+//   - Branch/loop/switch/select/goto/labeled statements produce edges;
+//     return edges to exit; panic/os.Exit/log.Fatal terminate a block with
+//     no successors, so error-handling tails are provably exit-unreachable
+//     (ReachesExit) and analyzers can treat them as cold.
+//   - defer is recorded both in its block (position, order) and in
+//     Graph.Defers, because deferred calls execute at every function exit
+//     regardless of the path that reached it.
+//
+// Forward[F] is the generic fixpoint engine: an analyzer supplies a join
+// (the lattice's least upper bound), a per-block transfer function, and an
+// equality test; Run iterates a worklist in deterministic block order until
+// the facts stabilize. See errflow (error liveness), hotalloc (allocation
+// reachability) and waitleak (WaitGroup balance) for the three lattice
+// shapes in production.
+package cfg
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Block is one basic block: a maximal straight-line statement sequence.
+type Block struct {
+	// Index is the block's position in Graph.Blocks; analyzers iterate in
+	// Index order so diagnostics are deterministic.
+	Index int
+	// Nodes holds the block's statements (and loop/switch condition
+	// expressions) in execution order. Walk them with cfg.Inspect.
+	Nodes []ast.Node
+	// Succs are the control-flow successors. A block ending in return has
+	// the exit block as its only successor; a block ending in panic or
+	// os.Exit has none.
+	Succs []*Block
+
+	// reachesExit and reachable are computed once at Build time.
+	reachesExit bool
+	reachable   bool
+}
+
+// Graph is the control-flow graph of one function body.
+type Graph struct {
+	// Blocks lists every basic block; Blocks[0] is the entry, Blocks[1]
+	// the synthetic exit (always present, possibly unreachable for
+	// functions that cannot return, e.g. `for {}`).
+	Blocks []*Block
+	// Defers holds the function's defer statements in source order. They
+	// run at every exit, so path-sensitive analyzers apply them when a
+	// path reaches the exit block.
+	Defers []*ast.DeferStmt
+}
+
+// Entry returns the function entry block.
+func (g *Graph) Entry() *Block { return g.Blocks[0] }
+
+// Exit returns the synthetic exit block reached by every return and by
+// falling off the end of the body.
+func (g *Graph) Exit() *Block { return g.Blocks[1] }
+
+// Reachable reports whether b is reachable from the entry (dead code after
+// an unconditional return/panic is not).
+func (g *Graph) Reachable(b *Block) bool { return b.reachable }
+
+// ReachesExit reports whether some path from b reaches the function exit.
+// Blocks whose every path ends in panic/os.Exit/log.Fatal do not; analyzers
+// use this to treat terminating error tails as cold paths.
+func (g *Graph) ReachesExit(b *Block) bool { return b.reachesExit }
+
+// Inspect walks n in depth-first order like ast.Inspect but does not
+// descend into *ast.FuncLit bodies: a nested function literal is a separate
+// function with its own CFG, and its statements must not be attributed to
+// the enclosing block.
+func Inspect(n ast.Node, f func(ast.Node) bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, isLit := m.(*ast.FuncLit); isLit && m != n {
+			return false
+		}
+		return f(m)
+	})
+}
+
+// Build constructs the CFG for a function body. fn must be an
+// *ast.FuncDecl or *ast.FuncLit; a nil body (declaration without a Go
+// implementation) yields a two-block graph with an entry→exit edge.
+func Build(fn ast.Node) *Graph {
+	var body *ast.BlockStmt
+	switch fn := fn.(type) {
+	case *ast.FuncDecl:
+		body = fn.Body
+	case *ast.FuncLit:
+		body = fn.Body
+	default:
+		panic("cfg: Build wants *ast.FuncDecl or *ast.FuncLit")
+	}
+	b := &builder{g: &Graph{}, labels: map[string]*labelBlocks{}}
+	entry := b.newBlock()
+	exit := b.newBlock()
+	b.exit = exit
+	b.cur = entry
+	if body != nil {
+		b.stmtList(body.List)
+	}
+	if b.cur != nil {
+		b.edge(b.cur, exit)
+	}
+	g := b.g
+	g.computeReach()
+	return g
+}
+
+// labelBlocks tracks the targets a label can be branched to.
+type labelBlocks struct {
+	// goto/entry target: the labeled statement's own block.
+	target *Block
+	// break/continue targets when the labeled statement is a loop, switch
+	// or select; nil otherwise.
+	brk, cont *Block
+}
+
+type builder struct {
+	g    *Graph
+	cur  *Block // current block; nil while statements are unreachable
+	exit *Block
+
+	labels map[string]*labelBlocks
+	// innermost-first stacks of break/continue targets.
+	breaks    []*Block
+	continues []*Block
+	// pendingLabel is set between a LabeledStmt and the loop/switch it
+	// labels, so `break L` / `continue L` resolve.
+	pendingLabel *labelBlocks
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *builder) edge(from, to *Block) {
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+// add appends a node to the current block (dropping it when unreachable).
+func (b *builder) add(n ast.Node) {
+	if b.cur != nil && n != nil {
+		b.cur.Nodes = append(b.cur.Nodes, n)
+	}
+}
+
+// startBlock makes blk current, linking from the previous block when the
+// previous statement can fall through.
+func (b *builder) startBlock(blk *Block) {
+	if b.cur != nil {
+		b.edge(b.cur, blk)
+	}
+	b.cur = blk
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Cond)
+		condBlk := b.cur
+		after := b.newBlock()
+		thenBlk := b.newBlock()
+		if condBlk != nil {
+			b.edge(condBlk, thenBlk)
+		}
+		b.cur = thenBlk
+		b.stmtList(s.Body.List)
+		if b.cur != nil {
+			b.edge(b.cur, after)
+		}
+		if s.Else != nil {
+			elseBlk := b.newBlock()
+			if condBlk != nil {
+				b.edge(condBlk, elseBlk)
+			}
+			b.cur = elseBlk
+			b.stmt(s.Else)
+			if b.cur != nil {
+				b.edge(b.cur, after)
+			}
+		} else if condBlk != nil {
+			b.edge(condBlk, after)
+		}
+		b.cur = after
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		head := b.newBlock()
+		body := b.newBlock()
+		post := b.newBlock()
+		after := b.newBlock()
+		b.startBlock(head)
+		if s.Cond != nil {
+			b.add(s.Cond)
+			b.edge(head, after)
+		}
+		b.edge(head, body)
+		b.pushLoop(after, post, s)
+		b.cur = body
+		b.stmtList(s.Body.List)
+		if b.cur != nil {
+			b.edge(b.cur, post)
+		}
+		b.popLoop()
+		b.cur = post
+		if s.Post != nil {
+			b.stmt(s.Post)
+		}
+		if b.cur != nil {
+			b.edge(b.cur, head)
+		}
+		b.cur = after
+
+	case *ast.RangeStmt:
+		head := b.newBlock()
+		body := b.newBlock()
+		after := b.newBlock()
+		b.add(s.X)
+		b.startBlock(head)
+		// The per-iteration key/value assignment belongs to the body.
+		b.edge(head, body)
+		b.edge(head, after)
+		b.pushLoop(after, head, s)
+		b.cur = body
+		if s.Key != nil {
+			b.add(s.Key)
+		}
+		if s.Value != nil {
+			b.add(s.Value)
+		}
+		b.stmtList(s.Body.List)
+		if b.cur != nil {
+			b.edge(b.cur, head)
+		}
+		b.popLoop()
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.caseClauses(s.Body.List, s, nil)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Assign)
+		b.caseClauses(s.Body.List, s, nil)
+
+	case *ast.SelectStmt:
+		b.caseClauses(s.Body.List, s, nil)
+
+	case *ast.LabeledStmt:
+		// A forward goto may have created the label's block already;
+		// adopt it so the earlier edge lands here.
+		lb := b.labels[s.Label.Name]
+		if lb == nil {
+			lb = &labelBlocks{target: b.newBlock()}
+			b.labels[s.Label.Name] = lb
+		}
+		b.startBlock(lb.target)
+		b.pendingLabel = lb
+		b.stmt(s.Stmt)
+		b.pendingLabel = nil
+
+	case *ast.BranchStmt:
+		b.add(s)
+		switch s.Tok {
+		case token.BREAK:
+			if t := b.branchTarget(s.Label, true); t != nil && b.cur != nil {
+				b.edge(b.cur, t)
+			}
+		case token.CONTINUE:
+			if t := b.branchTarget(s.Label, false); t != nil && b.cur != nil {
+				b.edge(b.cur, t)
+			}
+		case token.GOTO:
+			if s.Label != nil {
+				lb := b.labels[s.Label.Name]
+				if lb == nil {
+					// Forward goto: create the label's block now; the
+					// LabeledStmt case will adopt it.
+					lb = &labelBlocks{target: b.newBlock()}
+					b.labels[s.Label.Name] = lb
+				}
+				if b.cur != nil {
+					b.edge(b.cur, lb.target)
+				}
+			}
+		case token.FALLTHROUGH:
+			// Handled by caseClauses via fallsThrough; keep the edge to
+			// the next clause there.
+			return
+		}
+		b.cur = nil
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		if b.cur != nil {
+			b.edge(b.cur, b.exit)
+		}
+		b.cur = nil
+
+	case *ast.DeferStmt:
+		b.add(s)
+		b.g.Defers = append(b.g.Defers, s)
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if call, ok := s.X.(*ast.CallExpr); ok && isTerminatingCall(call) {
+			b.cur = nil
+		}
+
+	default:
+		// Assignments, declarations, go statements, sends, inc/dec,
+		// empty statements: straight-line code.
+		b.add(s)
+	}
+}
+
+// caseClauses builds the shared shape of switch/type-switch/select: the
+// current block fans out to one block per clause (plus the after block when
+// no default clause exists), and every clause falls through to after unless
+// it terminates. fallthrough in an expression switch chains into the next
+// clause's body.
+func (b *builder) caseClauses(clauses []ast.Stmt, stmt ast.Stmt, _ *Block) {
+	head := b.cur
+	after := b.newBlock()
+	b.pushSwitch(after, stmt)
+
+	hasDefault := false
+	bodies := make([]*Block, len(clauses))
+	for i := range clauses {
+		bodies[i] = b.newBlock()
+		if head != nil {
+			b.edge(head, bodies[i])
+		}
+	}
+	for i, c := range clauses {
+		var list []ast.Stmt
+		var isDefault bool
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			isDefault = c.List == nil
+			b.cur = bodies[i]
+			for _, e := range c.List {
+				b.add(e)
+			}
+			list = c.Body
+		case *ast.CommClause:
+			isDefault = c.Comm == nil
+			b.cur = bodies[i]
+			if c.Comm != nil {
+				b.stmt(c.Comm)
+			}
+			list = c.Body
+		}
+		if isDefault {
+			hasDefault = true
+		}
+		fellThrough := false
+		for _, s := range list {
+			if br, ok := s.(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				if i+1 < len(bodies) && b.cur != nil {
+					b.edge(b.cur, bodies[i+1])
+					fellThrough = true
+				}
+				b.cur = nil
+				continue
+			}
+			b.stmt(s)
+		}
+		if b.cur != nil && !fellThrough {
+			b.edge(b.cur, after)
+		}
+	}
+	if !hasDefault && head != nil {
+		// A select with no default blocks rather than skipping, but some
+		// clause always runs eventually; for switches the no-match path
+		// skips every clause. Either way after is reachable from head.
+		b.edge(head, after)
+	}
+	b.popSwitch()
+	b.cur = after
+}
+
+func (b *builder) pushLoop(brk, cont *Block, _ ast.Stmt) {
+	b.breaks = append(b.breaks, brk)
+	b.continues = append(b.continues, cont)
+	if b.pendingLabel != nil {
+		b.pendingLabel.brk = brk
+		b.pendingLabel.cont = cont
+		b.pendingLabel = nil
+	}
+}
+
+func (b *builder) popLoop() {
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.continues = b.continues[:len(b.continues)-1]
+}
+
+func (b *builder) pushSwitch(brk *Block, _ ast.Stmt) {
+	b.breaks = append(b.breaks, brk)
+	b.continues = append(b.continues, nil) // continue skips switches
+	if b.pendingLabel != nil {
+		b.pendingLabel.brk = brk
+		b.pendingLabel = nil
+	}
+}
+
+func (b *builder) popSwitch() { b.popLoop() }
+
+// branchTarget resolves break (isBreak) or continue to its target block.
+func (b *builder) branchTarget(label *ast.Ident, isBreak bool) *Block {
+	if label != nil {
+		lb := b.labels[label.Name]
+		if lb == nil {
+			return nil
+		}
+		if isBreak {
+			return lb.brk
+		}
+		return lb.cont
+	}
+	stack := b.continues
+	if isBreak {
+		stack = b.breaks
+	}
+	for i := len(stack) - 1; i >= 0; i-- {
+		if stack[i] != nil {
+			return stack[i]
+		}
+	}
+	return nil
+}
+
+// isTerminatingCall reports whether a call never returns: panic, os.Exit,
+// log.Fatal*, runtime.Goexit, and testing's t.Fatal/t.Fatalf/t.Skip by
+// method name. The match is syntactic (a shadowed `os` would fool it);
+// that is acceptable for a best-effort cold-path classifier — a miss only
+// makes an analyzer conservative, never wrong about reachable code.
+func isTerminatingCall(call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		sel := fun.Sel.Name
+		if pkg, ok := fun.X.(*ast.Ident); ok {
+			switch pkg.Name + "." + sel {
+			case "os.Exit", "runtime.Goexit",
+				"log.Fatal", "log.Fatalf", "log.Fatalln":
+				return true
+			}
+		}
+		switch sel {
+		case "Fatal", "Fatalf", "FailNow", "SkipNow", "Skipf", "Skip":
+			// testing.TB-style terminators; matching by name keeps the
+			// builder type-free and misfires are harmless (see above).
+			return true
+		}
+	}
+	return false
+}
+
+// computeReach fills in Reachable (forward from entry) and ReachesExit
+// (backward from exit) for every block.
+func (g *Graph) computeReach() {
+	// Forward reachability.
+	var stack []*Block
+	g.Entry().reachable = true
+	stack = append(stack, g.Entry())
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range b.Succs {
+			if !s.reachable {
+				s.reachable = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	// Backward reachability needs predecessor lists; build them locally.
+	preds := make(map[*Block][]*Block)
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			preds[s] = append(preds[s], b)
+		}
+	}
+	g.Exit().reachesExit = true
+	stack = append(stack[:0], g.Exit())
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range preds[b] {
+			if !p.reachesExit {
+				p.reachesExit = true
+				stack = append(stack, p)
+			}
+		}
+	}
+}

@@ -1,0 +1,261 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// parseFunc returns the *ast.FuncDecl named name from src.
+func parseFunc(t *testing.T, src, name string) *ast.FuncDecl {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "test.go", "package p\n"+src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range f.Decls {
+		if fn, ok := d.(*ast.FuncDecl); ok && fn.Name.Name == name {
+			return fn
+		}
+	}
+	t.Fatalf("no func %s", name)
+	return nil
+}
+
+// callsVisible runs a may-analysis collecting the set of function names
+// called on some path, and returns the set reaching the exit block.
+func callsVisible(g *Graph) []string {
+	type fact = map[string]bool
+	fw := Forward[fact]{
+		Init: fact{},
+		Join: func(a, b fact) fact {
+			m := make(fact, len(a)+len(b))
+			for k := range a {
+				m[k] = true
+			}
+			for k := range b {
+				m[k] = true
+			}
+			return m
+		},
+		Transfer: func(b *Block, in fact) fact {
+			m := make(fact, len(in))
+			for k := range in {
+				m[k] = true
+			}
+			for _, n := range b.Nodes {
+				Inspect(n, func(x ast.Node) bool {
+					if call, ok := x.(*ast.CallExpr); ok {
+						if id, ok := call.Fun.(*ast.Ident); ok {
+							m[id.Name] = true
+						}
+					}
+					return true
+				})
+			}
+			return m
+		},
+		Equal: func(a, b fact) bool {
+			if len(a) != len(b) {
+				return false
+			}
+			for k := range a {
+				if !b[k] {
+					return false
+				}
+			}
+			return true
+		},
+	}
+	in, _ := fw.Run(g)
+	var names []string
+	for k := range in[g.Exit()] {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func TestPanicBranchDoesNotReachExit(t *testing.T) {
+	fn := parseFunc(t, `
+func f(c bool) {
+	a()
+	if c {
+		b()
+	} else {
+		e()
+		panic("boom")
+	}
+	d()
+}`, "f")
+	g := Build(fn)
+	got := strings.Join(callsVisible(g), ",")
+	// e() runs only on the panic path, which never reaches the exit.
+	if got != "a,b,d" {
+		t.Fatalf("calls reaching exit = %q, want a,b,d", got)
+	}
+	// The panic block itself must be reachable but not exit-reaching.
+	foundCold := false
+	for _, blk := range g.Blocks {
+		for _, n := range blk.Nodes {
+			Inspect(n, func(x ast.Node) bool {
+				if call, ok := x.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "e" {
+						foundCold = true
+						if g.ReachesExit(blk) {
+							t.Errorf("block with e() should not reach exit")
+						}
+						if !g.Reachable(blk) {
+							t.Errorf("block with e() should be reachable")
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	if !foundCold {
+		t.Fatal("did not find the e() block")
+	}
+}
+
+func TestLoopConverges(t *testing.T) {
+	fn := parseFunc(t, `
+func f(n int) {
+	for i := 0; i < n; i++ {
+		if i == 3 {
+			continue
+		}
+		if i == 5 {
+			break
+		}
+		body()
+	}
+	after()
+}`, "f")
+	got := strings.Join(callsVisible(Build(fn)), ",")
+	if got != "after,body" {
+		t.Fatalf("calls reaching exit = %q, want after,body", got)
+	}
+}
+
+func TestRangeAndSwitch(t *testing.T) {
+	fn := parseFunc(t, `
+func f(xs []int, k int) {
+	for _, x := range xs {
+		use(x)
+	}
+	switch k {
+	case 1:
+		one()
+		fallthrough
+	case 2:
+		two()
+	default:
+		other()
+	}
+	done()
+}`, "f")
+	got := strings.Join(callsVisible(Build(fn)), ",")
+	if got != "done,one,other,two,use" {
+		t.Fatalf("calls reaching exit = %q", got)
+	}
+}
+
+func TestInfiniteLoopExitUnreachable(t *testing.T) {
+	fn := parseFunc(t, `
+func f() {
+	setup()
+	for {
+		spin()
+	}
+}`, "f")
+	g := Build(fn)
+	if g.Reachable(g.Exit()) {
+		t.Fatal("exit of `for {}` should be unreachable")
+	}
+	// No facts at exit, and the setup block must not reach exit.
+	if got := callsVisible(g); got != nil {
+		t.Fatalf("facts leaked to unreachable exit: %v", got)
+	}
+}
+
+func TestGotoAndLabeledBreak(t *testing.T) {
+	fn := parseFunc(t, `
+func f(c bool) {
+	if c {
+		goto done
+	}
+	work()
+outer:
+	for {
+		for {
+			inner()
+			break outer
+		}
+	}
+done:
+	cleanup()
+}`, "f")
+	got := strings.Join(callsVisible(Build(fn)), ",")
+	if got != "cleanup,inner,work" {
+		t.Fatalf("calls reaching exit = %q, want cleanup,inner,work", got)
+	}
+}
+
+func TestDefersCollectedAndSelect(t *testing.T) {
+	fn := parseFunc(t, `
+func f(ch chan int) {
+	defer closeIt()
+	defer flush()
+	select {
+	case v := <-ch:
+		use(v)
+	case ch <- 1:
+		sent()
+	}
+}`, "f")
+	g := Build(fn)
+	if len(g.Defers) != 2 {
+		t.Fatalf("got %d defers, want 2", len(g.Defers))
+	}
+	got := strings.Join(callsVisible(g), ",")
+	// Deferred calls sit in their blocks too (position/order for
+	// analyzers), so closeIt/flush appear alongside both select arms.
+	if got != "closeIt,flush,sent,use" {
+		t.Fatalf("calls reaching exit = %q", got)
+	}
+}
+
+func TestFuncLitNotInlined(t *testing.T) {
+	fn := parseFunc(t, `
+func f() {
+	g := func() { hidden() }
+	g()
+	visible()
+}`, "f")
+	got := strings.Join(callsVisible(Build(fn)), ",")
+	// hidden() belongs to the literal's own CFG, not to f's blocks.
+	if got != "g,visible" {
+		t.Fatalf("calls reaching exit = %q, want g,visible", got)
+	}
+}
+
+func TestOsExitTerminates(t *testing.T) {
+	fn := parseFunc(t, `
+func f(err error) {
+	if err != nil {
+		report()
+		os.Exit(1)
+	}
+	ok()
+}`, "f")
+	got := strings.Join(callsVisible(Build(fn)), ",")
+	if got != "ok" {
+		t.Fatalf("calls reaching exit = %q, want ok", got)
+	}
+}

@@ -1,0 +1,102 @@
+package cfg
+
+// Forward is a forward dataflow analysis over a Graph: facts of type F flow
+// from the entry along edges, merged at join points with Join, transformed
+// through each block with Transfer, until nothing changes.
+//
+// The contract is the usual fact-lattice one:
+//
+//   - Init is the fact holding at function entry.
+//   - Join(a, b) is the least upper bound of two incoming edge facts. It
+//     must be commutative and associative (the engine merges predecessors
+//     in block-index order, so a lawful Join also makes results
+//     deterministic), and must not mutate its arguments.
+//   - Transfer(b, in) computes the fact at the end of block b from the
+//     fact at its start. It must not mutate in.
+//   - Equal(a, b) decides convergence. For the engine to terminate, every
+//     Join chain must stabilize: use finite fact domains (sets over
+//     program variables, bounded counters widened to ⊤).
+//
+// At a join point the engine adopts the first available predecessor fact
+// and Joins the rest, so Init never leaks into interior blocks — Init
+// seeds the entry only, and analyses whose Init is not the lattice bottom
+// behave as expected.
+type Forward[F any] struct {
+	Init     F
+	Join     func(a, b F) F
+	Transfer func(b *Block, in F) F
+	Equal    func(a, b F) bool
+}
+
+// Run iterates to fixpoint and returns the facts at block entry (in) and
+// block exit (out), keyed by block. Blocks unreachable from the entry are
+// absent from both maps — analyzers should not report from them.
+func (fw Forward[F]) Run(g *Graph) (in, out map[*Block]F) {
+	in = make(map[*Block]F, len(g.Blocks))
+	out = make(map[*Block]F, len(g.Blocks))
+
+	preds := make(map[*Block][]*Block)
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			preds[s] = append(preds[s], b)
+		}
+	}
+
+	// FIFO worklist with an enqueued marker; seeded with every reachable
+	// block in index order so the iteration — and with it any analyzer
+	// that reports from mid-flight facts — is deterministic.
+	var queue []*Block
+	enqueued := make(map[*Block]bool)
+	push := func(b *Block) {
+		if !enqueued[b] && g.Reachable(b) {
+			enqueued[b] = true
+			queue = append(queue, b)
+		}
+	}
+	for _, b := range g.Blocks {
+		push(b)
+	}
+
+	for len(queue) > 0 {
+		b := queue[0]
+		queue = queue[1:]
+		enqueued[b] = false
+
+		var fact F
+		if b == g.Entry() {
+			fact = fw.Init
+		} else {
+			have := false
+			for _, p := range preds[b] {
+				pf, ok := out[p]
+				if !ok {
+					continue // predecessor not processed yet
+				}
+				if !have {
+					fact, have = pf, true
+				} else {
+					fact = fw.Join(fact, pf)
+				}
+			}
+			if !have {
+				// No predecessor has produced a fact yet; revisit once
+				// one does (it will re-enqueue this block).
+				continue
+			}
+		}
+
+		if oldIn, ok := in[b]; ok && fw.Equal(oldIn, fact) {
+			continue
+		}
+		in[b] = fact
+		o := fw.Transfer(b, fact)
+		if oldOut, ok := out[b]; ok && fw.Equal(oldOut, o) {
+			continue
+		}
+		out[b] = o
+		for _, s := range b.Succs {
+			push(s)
+		}
+	}
+	return in, out
+}

@@ -1,0 +1,433 @@
+// Package errflow flags error results from serialization and I/O calls —
+// Save/Load/Write/Close/Flush/Encode/Fprintf and friends — that are
+// silently discarded or assigned and then dead on at least one CFG path.
+//
+// The repo's durability story runs through exactly these calls: distill's
+// checksummed Save/Load, the trace writers, the metrics NDJSON streamer,
+// the tracing exporter, and the cmd/ binaries' report files. A Write or
+// Close whose error vanishes turns "full disk" into "silently truncated
+// table that fails its checksum three PRs later" — or worse, doesn't fail
+// it, because the write that vanished was the checksum.
+//
+// Two finding kinds:
+//
+//   - Discards: a watched call used as a bare statement (or deferred as
+//     one). An explicit `_ = f.Close()` is NOT flagged: assigning the
+//     blank identifier is the audited way to say "this error is
+//     intentionally dropped" (read-side closes after a successful read,
+//     best-effort cleanup). The bare statement is the silent loss.
+//   - Assigned-then-dead: `err := f()` where some path reaches the
+//     function exit, or another assignment to err, without ever reading
+//     err. This is the flow-sensitive case the PR-3 analyzers could not
+//     see — an early return between assignment and check, a branch that
+//     skips the check, a loop iteration that overwrites last round's
+//     unchecked error.
+//
+// The analyzer runs over the configured serialization-critical packages;
+// pattern entries ending in "/..." match by prefix (used for voyager/cmd).
+package errflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"voyager/internal/analysis"
+	"voyager/internal/analysis/cfg"
+)
+
+// DefaultCalls is the production watch list: the serialization/IO call
+// names whose error results guard durability.
+var DefaultCalls = []string{
+	"Close", "Save", "Load", "Write", "WriteString", "WriteTo", "WriteFile",
+	"Flush", "Fprintf", "Fprintln", "Fprint", "Encode", "Sync", "Rename",
+}
+
+// New returns the errflow analyzer scoped to the given package patterns
+// (exact import paths, or prefix patterns ending in "/...") watching the
+// given callee base names.
+func New(pkgs []string, calls []string) *analysis.Analyzer {
+	watched := make(map[string]bool, len(calls))
+	for _, c := range calls {
+		watched[c] = true
+	}
+	var exact []string
+	var prefixes []string
+	for _, p := range pkgs {
+		if rest, ok := strings.CutSuffix(p, "/..."); ok {
+			prefixes = append(prefixes, rest+"/")
+		} else {
+			exact = append(exact, p)
+		}
+	}
+	return &analysis.Analyzer{
+		Name: "errflow",
+		Doc:  "flags discarded or assigned-then-dead errors from serialization/IO calls",
+		Run: func(pass *analysis.Pass) {
+			if pass.Pkg.IsTest {
+				pass.SkipPackage()
+				return
+			}
+			match := false
+			for _, p := range exact {
+				if pass.Pkg.Path == p {
+					match = true
+				}
+			}
+			for _, p := range prefixes {
+				if strings.HasPrefix(pass.Pkg.Path, p) {
+					match = true
+				}
+			}
+			if !match {
+				pass.SkipPackage()
+				return
+			}
+			for _, f := range pass.Pkg.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					switch fn := n.(type) {
+					case *ast.FuncDecl:
+						if fn.Body != nil {
+							checkFunc(pass, watched, fn, fn.Type)
+						}
+					case *ast.FuncLit:
+						checkFunc(pass, watched, fn, fn.Type)
+					}
+					return true
+				})
+			}
+		},
+	}
+}
+
+// watchedCall reports whether call is a watched callee whose last result
+// is an error. Writes to os.Stderr are exempt: a failed diagnostic write
+// has nowhere left to report itself.
+func watchedCall(pass *analysis.Pass, watched map[string]bool, call *ast.CallExpr) bool {
+	var name string
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		name = fun.Name
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	default:
+		return false
+	}
+	if !watched[name] {
+		return false
+	}
+	if len(call.Args) > 0 && isStderr(pass, call.Args[0]) {
+		return false
+	}
+	// bytes.Buffer and strings.Builder writes cannot fail (their error
+	// results exist only to satisfy io interfaces), whether called as
+	// methods or reached through fmt.Fprint*'s writer argument.
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok && isBufferish(pass.TypeOf(sel.X)) {
+		return false
+	}
+	if strings.HasPrefix(name, "Fprint") && len(call.Args) > 0 && isBufferish(pass.TypeOf(call.Args[0])) {
+		return false
+	}
+	return errResultIndex(pass, call) >= 0
+}
+
+// isBufferish reports whether t is bytes.Buffer or strings.Builder
+// (possibly behind a pointer).
+func isBufferish(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	s := t.String()
+	return s == "bytes.Buffer" || s == "strings.Builder"
+}
+
+// isStderr matches the expression os.Stderr.
+func isStderr(pass *analysis.Pass, e ast.Expr) bool {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Stderr" {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkg, ok := pass.ObjectOf(id).(*types.PkgName)
+	return ok && pkg.Imported().Path() == "os"
+}
+
+// errResultIndex returns the index of the trailing error result of call,
+// or -1 if the call's type does not end in error.
+func errResultIndex(pass *analysis.Pass, call *ast.CallExpr) int {
+	t := pass.TypeOf(call)
+	if t == nil {
+		return -1
+	}
+	if tup, ok := t.(*types.Tuple); ok {
+		if tup.Len() == 0 {
+			return -1
+		}
+		if isErrorType(tup.At(tup.Len() - 1).Type()) {
+			return tup.Len() - 1
+		}
+		return -1
+	}
+	if isErrorType(t) {
+		return 0
+	}
+	return -1
+}
+
+func isErrorType(t types.Type) bool {
+	return t != nil && t.String() == "error"
+}
+
+// callLabel renders the callee for diagnostics ("f.Close", "tab.Save").
+func callLabel(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		if x, ok := fun.X.(*ast.Ident); ok {
+			return x.Name + "." + fun.Sel.Name
+		}
+		return fun.Sel.Name
+	}
+	return "call"
+}
+
+// unchecked is the dataflow fact: error vars holding an unread watched
+// result, keyed by variable with the position (and label) of the
+// assignment that produced the value.
+type origin struct {
+	pos   token.Pos
+	label string
+}
+type fact map[*types.Var]origin
+
+func (f fact) clone() fact {
+	m := make(fact, len(f))
+	for k, v := range f {
+		m[k] = v
+	}
+	return m
+}
+
+func checkFunc(pass *analysis.Pass, watched map[string]bool, fn ast.Node, ftype *ast.FuncType) {
+	// Vars referenced inside nested function literals (or with their
+	// address taken) may be read on paths this CFG cannot see; exclude
+	// them from tracking entirely.
+	escaped := map[*types.Var]bool{}
+	var body *ast.BlockStmt
+	if d, ok := fn.(*ast.FuncDecl); ok {
+		body = d.Body
+	} else {
+		body = fn.(*ast.FuncLit).Body
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if n == fn {
+				return true
+			}
+			ast.Inspect(n.Body, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok {
+					if v, _ := pass.ObjectOf(id).(*types.Var); v != nil {
+						escaped[v] = true
+					}
+				}
+				return true
+			})
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if id, ok := n.X.(*ast.Ident); ok {
+					if v, _ := pass.ObjectOf(id).(*types.Var); v != nil {
+						escaped[v] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	// Named result vars: a bare `return` reads them implicitly.
+	var namedResults []*types.Var
+	if ftype.Results != nil {
+		for _, field := range ftype.Results.List {
+			for _, name := range field.Names {
+				if v, _ := pass.ObjectOf(name).(*types.Var); v != nil {
+					namedResults = append(namedResults, v)
+				}
+			}
+		}
+	}
+
+	g := cfg.Build(fn)
+
+	// Pass 1, flow-insensitive: bare-statement and deferred discards.
+	for _, blk := range g.Blocks {
+		if !g.Reachable(blk) {
+			continue
+		}
+		for _, n := range blk.Nodes {
+			var call *ast.CallExpr
+			var deferred bool
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = s.X.(*ast.CallExpr)
+			case *ast.DeferStmt:
+				call, deferred = s.Call, true
+			}
+			if call == nil || !watchedCall(pass, watched, call) {
+				continue
+			}
+			how := "discarded"
+			if deferred {
+				how = "deferred with its error discarded"
+			}
+			pass.Reportf(call.Pos(), "error from %s %s: check it, or make the drop explicit with `_ = %s(...)`",
+				callLabel(call), how, callLabel(call))
+		}
+	}
+
+	// Pass 2, flow-sensitive: assigned-then-dead on some path.
+	type report struct {
+		orig origin
+		why  string
+	}
+	reported := map[token.Pos]report{}
+
+	transfer := func(blk *cfg.Block, in fact) fact {
+		out := in.clone()
+		for _, n := range blk.Nodes {
+			processNode(pass, watched, escaped, namedResults, fn.Pos(), fn.End(), n, out, func(o origin, why string) {
+				if _, dup := reported[o.pos]; !dup {
+					reported[o.pos] = report{orig: o, why: why}
+				}
+			})
+		}
+		return out
+	}
+	fw := cfg.Forward[fact]{
+		Init: fact{},
+		Join: func(a, b fact) fact {
+			m := a.clone()
+			for k, v := range b {
+				if cur, ok := m[k]; !ok || v.pos < cur.pos {
+					m[k] = v
+				}
+			}
+			return m
+		},
+		Transfer: transfer,
+		Equal: func(a, b fact) bool {
+			if len(a) != len(b) {
+				return false
+			}
+			for k, v := range a {
+				if w, ok := b[k]; !ok || w != v {
+					return false
+				}
+			}
+			return true
+		},
+	}
+	in, _ := fw.Run(g)
+
+	// Anything still unchecked at the exit died there.
+	if exitFact, ok := in[g.Exit()]; ok {
+		for _, o := range exitFact {
+			if _, dup := reported[o.pos]; !dup {
+				reported[o.pos] = report{orig: o, why: "never read before the function returns on at least one path"}
+			}
+		}
+	}
+	for _, r := range reported {
+		pass.Reportf(r.orig.pos, "error from %s assigned here is %s: handle it on every path (or drop it explicitly with `_ =`)",
+			r.orig.label, r.why)
+	}
+}
+
+// processNode applies one statement's gen/kill effects to the fact map.
+// report is called when an unchecked error is overwritten.
+func processNode(pass *analysis.Pass, watched map[string]bool, escaped map[*types.Var]bool,
+	namedResults []*types.Var, fnPos, fnEnd token.Pos, n ast.Node, out fact, report func(origin, string)) {
+
+	// Reads anywhere in the statement kill trackings — except the
+	// assignment LHS idents handled below.
+	assignLHS := map[*ast.Ident]bool{}
+	var genVar *types.Var
+	var genOrigin origin
+
+	if as, ok := n.(*ast.AssignStmt); ok {
+		for _, lhs := range as.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok {
+				assignLHS[id] = true
+			}
+		}
+		if len(as.Rhs) == 1 {
+			if call, ok := as.Rhs[0].(*ast.CallExpr); ok && watchedCall(pass, watched, call) {
+				idx := errResultIndex(pass, call)
+				if idx < len(as.Lhs) {
+					if id, ok := as.Lhs[idx].(*ast.Ident); ok && id.Name != "_" {
+						// Track only vars declared inside this function:
+						// a captured outer var (e.g. a named result set
+						// from a deferred closure) is read on paths this
+						// CFG cannot see.
+						if v, _ := pass.ObjectOf(id).(*types.Var); v != nil && !escaped[v] &&
+							v.Pos() >= fnPos && v.Pos() <= fnEnd {
+							genVar = v
+							genOrigin = origin{pos: id.Pos(), label: callLabel(call)}
+						}
+					}
+				}
+			}
+		}
+	}
+
+	// Kill on reads.
+	cfg.Inspect(n, func(m ast.Node) bool {
+		id, ok := m.(*ast.Ident)
+		if !ok || assignLHS[id] {
+			return true
+		}
+		if v, _ := pass.ObjectOf(id).(*types.Var); v != nil {
+			delete(out, v)
+		}
+		return true
+	})
+
+	// A bare return reads every named result.
+	if ret, ok := n.(*ast.ReturnStmt); ok && len(ret.Results) == 0 {
+		for _, v := range namedResults {
+			delete(out, v)
+		}
+	}
+
+	// Overwrite of a still-unchecked tracked var: report at the original
+	// assignment. This covers both watched-over-watched and ordinary
+	// assignments clobbering a watched result.
+	if as, ok := n.(*ast.AssignStmt); ok {
+		for _, lhs := range as.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+				// The gen for this statement applies below, so a tracked
+				// entry here always flowed in from before the statement —
+				// including around a loop back edge from this very line.
+				if v, _ := pass.ObjectOf(id).(*types.Var); v != nil {
+					if o, tracked := out[v]; tracked {
+						report(o, "overwritten before being read on at least one path")
+						delete(out, v)
+					}
+				}
+			}
+		}
+	}
+
+	if genVar != nil {
+		out[genVar] = genOrigin
+	}
+}

@@ -1,0 +1,31 @@
+package errflow_test
+
+import (
+	"testing"
+
+	"voyager/internal/analysis/analysistest"
+	"voyager/internal/analysis/errflow"
+)
+
+func TestErrFlow(t *testing.T) {
+	dir := "testdata/src/errflowpkg"
+	analysistest.Run(t, errflow.New([]string{analysistest.PkgPath(dir)}, errflow.DefaultCalls), dir)
+}
+
+func TestErrFlowSkipsUnscopedPackages(t *testing.T) {
+	dir := "testdata/src/errflowpkg"
+	a := errflow.New([]string{"some/other/pkg", "some/tree/..."}, errflow.DefaultCalls)
+	if got := analysistest.Findings(t, a, dir); len(got) != 0 {
+		t.Fatalf("expected no findings outside scoped packages, got %v", got)
+	}
+}
+
+func TestErrFlowPrefixPattern(t *testing.T) {
+	dir := "testdata/src/errflowpkg"
+	// tdpkg/... must match the testdata package via the prefix rule used
+	// for voyager/cmd/... in production.
+	a := errflow.New([]string{"tdpkg/..."}, errflow.DefaultCalls)
+	if got := analysistest.Findings(t, a, dir); len(got) == 0 {
+		t.Fatal("prefix pattern tdpkg/... matched nothing")
+	}
+}

@@ -1,0 +1,141 @@
+// Package errflowpkg exercises the errflow analyzer: discarded and
+// assigned-then-dead errors from serialization/IO calls.
+package errflowpkg
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+type table struct{}
+
+func (t *table) Save(path string) error { return nil }
+
+// --- discards ---
+
+func bareDiscard(f *os.File) {
+	f.Close() // want "error from f.Close discarded"
+}
+
+func deferredDiscard(f *os.File, w io.Writer) {
+	defer f.Close() // want "error from f.Close deferred with its error discarded"
+	fmt.Fprintf(w, "header\n") // want "error from fmt.Fprintf discarded"
+}
+
+func explicitDiscardOK(f *os.File) {
+	_ = f.Close() // visible, audited drop: not flagged
+	defer func() { _ = f.Close() }()
+}
+
+// --- assigned then dead ---
+
+func deadAtExit(t *table, path string) {
+	err := t.Save(path)
+	if err != nil {
+		return
+	}
+	// The compiler is satisfied (err was read above), but this second
+	// result is dead: nothing reads it before the function returns.
+	err = t.Save(path) // want "error from t.Save assigned here is never read"
+	fmt.Println("saved") // Println is not watched
+}
+
+func deadOnOnePath(t *table, path string, verbose bool) error {
+	err := t.Save(path) // want "error from t.Save assigned here is never read"
+	if verbose {
+		return nil // err dies on this path
+	}
+	return err
+}
+
+func overwrittenUnchecked(w io.Writer) error {
+	_, err := w.Write([]byte("a")) // want "error from w.Write assigned here is overwritten"
+	_, err = w.Write([]byte("b"))
+	return err
+}
+
+func loopOverwrite(w io.Writer, lines []string) {
+	var err error
+	for _, l := range lines {
+		_, err = fmt.Fprintf(w, "%s\n", l) // want "error from fmt.Fprintf assigned here is overwritten"
+	}
+	_ = err == nil
+}
+
+// --- checked: not flagged ---
+
+func checkedEverywhere(t *table, path string) error {
+	if err := t.Save(path); err != nil {
+		return err
+	}
+	return nil
+}
+
+func checkedAfterBranches(w io.Writer, verbose bool) error {
+	_, err := w.Write([]byte("x"))
+	if verbose {
+		fmt.Println("wrote")
+	}
+	return err
+}
+
+func propagatedDirectly(f *os.File) error {
+	return f.Close()
+}
+
+func namedResultBareReturn(t *table, path string) (err error) {
+	err = t.Save(path)
+	return // bare return reads the named result
+}
+
+func checkedInLoop(w io.Writer, lines []string) error {
+	for _, l := range lines {
+		if _, err := w.Write([]byte(l)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func capturedByClosure(t *table, path string) func() {
+	var err error
+	err = t.Save(path) // err escapes into the closure; not tracked
+	return func() {
+		if err != nil {
+			panic(err)
+		}
+	}
+}
+
+func suppressedDiscard(f *os.File) {
+	//lint:ignore errflow read-only file, close error carries no data loss
+	f.Close()
+}
+
+// unwatchedCallsIgnored: errors from calls outside the watch list are the
+// caller's business (govet/staticcheck territory), not errflow's.
+func unwatchedCallsIgnored(path string) {
+	os.Remove(path)
+}
+
+// stderrDiagnosticsExempt: a failed write to stderr has nowhere left to
+// report itself, so diagnostic prints are not findings.
+func stderrDiagnosticsExempt(msg string) {
+	fmt.Fprintln(os.Stderr, "warning:", msg)
+	fmt.Fprintf(os.Stderr, "detail: %s\n", msg)
+}
+
+// bufferWritesExempt: bytes.Buffer and strings.Builder cannot fail; their
+// error results exist only to satisfy io interfaces.
+func bufferWritesExempt(s string) string {
+	var b strings.Builder
+	b.WriteString(s)
+	fmt.Fprintf(&b, "%s\n", s)
+	var buf bytes.Buffer
+	buf.WriteString(s)
+	fmt.Fprintln(&buf, s)
+	return b.String() + buf.String()
+}

@@ -41,6 +41,7 @@ func New(pkgs []string, allowFuncs []string) *analysis.Analyzer {
 		Doc:  "flags float64 arithmetic truncated to float32 on hot kernel paths",
 		Run: func(pass *analysis.Pass) {
 			if pass.Pkg.IsTest || !inPkgs[pass.Pkg.Path] {
+				pass.SkipPackage()
 				return
 			}
 			for _, f := range pass.Pkg.Files {

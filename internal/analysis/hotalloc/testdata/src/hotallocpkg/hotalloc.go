@@ -1,0 +1,108 @@
+// Package hotallocpkg exercises the hotalloc analyzer: allocation sites in
+// //hot:path functions, one-level callee reporting, and panic-cold paths.
+package hotallocpkg
+
+import "fmt"
+
+type buf struct {
+	data []float64
+	n    int
+}
+
+// --- direct allocation kinds ---
+
+// observe is the histogram hot path.
+//
+//hot:path gated by TestHotPathAllocFree
+func observe(b *buf, v float64) {
+	tmp := make([]float64, 8) // want "make allocation on //hot:path observe"
+	p := new(buf)             // want "new allocation on //hot:path observe"
+	b.data = append(b.data, v) // want "append \\(may grow the backing array\\) on //hot:path observe"
+	q := &buf{n: 1}           // want "heap composite literal \\(&T\\{...\\}\\) on //hot:path observe"
+	w := []int{1, 2}          // want "slice/map literal allocation on //hot:path observe"
+	f := func() { b.n++ }     // want "closure allocation on //hot:path observe"
+	_ = tmp
+	_ = p
+	_ = q
+	_ = w
+	f()
+}
+
+// sink takes an interface, like fmt does.
+func sink(v interface{}) {}
+
+// record boxes a float into an interface parameter.
+//
+//hot:path
+func record(v float64) {
+	sink(v) // want "interface boxing of float64 on //hot:path record"
+}
+
+// recordPtr passes pointer-shaped values: no boxing allocation.
+//
+//hot:path
+func recordPtr(b *buf) {
+	sink(b)
+}
+
+// --- panic guards are cold ---
+
+// guarded allocates only on the panic path, which never reaches the exit.
+//
+//hot:path
+func guarded(b *buf, n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("bad n %d", n)) // cold: boxing here is fine
+	}
+	b.n = n
+}
+
+// --- one-level callee walk ---
+
+// grow allocates; it is not annotated, so it is only reported where a hot
+// function calls it.
+func grow(b *buf) {
+	b.data = append(b.data, 0)
+}
+
+// shrink is alloc-free.
+func shrink(b *buf) {
+	if b.n > 0 {
+		b.n--
+	}
+}
+
+//hot:path
+func step(b *buf) {
+	grow(b) // want "call to grow on //hot:path step allocates \\(append"
+	shrink(b)
+	b.n++
+}
+
+// hotCallee is itself annotated: flagged at its own line, not at callers.
+//
+//hot:path
+func hotCallee(b *buf) {
+	b.data = append(b.data, 1) // want "append \\(may grow the backing array\\) on //hot:path hotCallee"
+}
+
+//hot:path
+func callsHotCallee(b *buf) {
+	hotCallee(b) // callee is its own root; no call-site duplicate
+}
+
+// --- suppression ---
+
+//hot:path
+func lazyInit(b *buf) {
+	if b.data == nil {
+		//lint:ignore hotalloc one-time lazy init, amortized to zero
+		b.data = make([]float64, 0, 64)
+	}
+	b.n++
+}
+
+// notAnnotated allocates freely: no directive, no findings.
+func notAnnotated() []int {
+	return make([]int, 4)
+}

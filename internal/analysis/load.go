@@ -156,8 +156,10 @@ func (l *Loader) Load(dir, importPath string) (*Package, error) {
 }
 
 // LoadPatterns expands "./..." (every package directory under the module
-// root, skipping testdata and hidden directories) or loads explicit
-// directory arguments, returning packages sorted by import path.
+// root), "dir/..." (every package directory under dir — used by
+// vetvoyager's self-check over internal/analysis/...), or loads explicit
+// directory arguments, returning packages sorted by import path. Walks
+// skip testdata, hidden and underscore directories.
 func (l *Loader) LoadPatterns(patterns []string) ([]*Package, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
@@ -170,27 +172,48 @@ func (l *Loader) LoadPatterns(patterns []string) ([]*Package, error) {
 			dirs = append(dirs, d)
 		}
 	}
+	walkTree := func(root string) (int, error) {
+		found := 0
+		err := filepath.WalkDir(root, func(path string, de os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !de.IsDir() {
+				return nil
+			}
+			name := de.Name()
+			if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(path) {
+				found++
+				addDir(path)
+			}
+			return nil
+		})
+		return found, err
+	}
 	for _, pat := range patterns {
 		switch {
 		case pat == "./..." || pat == "...":
-			err := filepath.WalkDir(l.ModuleRoot, func(path string, de os.DirEntry, err error) error {
-				if err != nil {
-					return err
-				}
-				if !de.IsDir() {
-					return nil
-				}
-				name := de.Name()
-				if path != l.ModuleRoot && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
-					return filepath.SkipDir
-				}
-				if hasGoFiles(path) {
-					addDir(path)
-				}
-				return nil
-			})
+			if _, err := walkTree(l.ModuleRoot); err != nil {
+				return nil, err
+			}
+		case strings.HasSuffix(pat, "/..."):
+			base := strings.TrimSuffix(pat, "/...")
+			d := base
+			if !filepath.IsAbs(d) {
+				d = filepath.Join(l.ModuleRoot, filepath.FromSlash(strings.TrimPrefix(base, "./")))
+			}
+			if _, err := os.Stat(d); err != nil {
+				return nil, fmt.Errorf("analysis: pattern %s: %w", pat, err)
+			}
+			found, err := walkTree(d)
 			if err != nil {
 				return nil, err
+			}
+			if found == 0 {
+				return nil, fmt.Errorf("analysis: no packages under %s", pat)
 			}
 		default:
 			d := pat

@@ -32,6 +32,7 @@ func New(critical ...string) *analysis.Analyzer {
 			// Production invariant: test files (and external test
 			// packages) assert determinism rather than provide it.
 			if pass.Pkg.IsTest || !crit[pass.Pkg.Path] {
+				pass.SkipPackage()
 				return
 			}
 			for _, f := range pass.Pkg.Files {

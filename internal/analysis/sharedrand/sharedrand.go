@@ -47,6 +47,7 @@ func New(extraLaunchers ...string) *analysis.Analyzer {
 		Doc:  "flags *rand.Rand streams shared across goroutines",
 		Run: func(pass *analysis.Pass) {
 			if pass.Pkg.IsTest {
+				pass.SkipPackage()
 				return
 			}
 			for _, f := range pass.Pkg.Files {

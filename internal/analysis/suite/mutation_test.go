@@ -1,0 +1,98 @@
+package suite_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"voyager/internal/analysis"
+	"voyager/internal/analysis/suite"
+)
+
+// TestAtomicMixCatchesSeededTracingMutation is a sensitivity check for the
+// suite: TestAnalyzersCleanOnRepo proves the analyzers are quiet on healthy
+// code, but a suite that never fires would pass that test too. Here the real
+// internal/tracing package is copied into a throwaway module and its publish
+// protocol is mutated back to the pre-migration shape — a plain uint64 count
+// written with function-style atomics plus one plain read (the exact race
+// the atomic.Uint64 migration removed). atomicmix must flag the plain read.
+func TestAtomicMixCatchesSeededTracingMutation(t *testing.T) {
+	// The mutation rewrites the typed-atomic publish counter to
+	// function-style atomics on an ordinary field, then "forgets" one
+	// access. Each old string must be present exactly as written — if
+	// tracing.go drifts, this test fails loudly instead of silently
+	// checking nothing.
+	mutations := []struct{ old, new string }{
+		{"count   atomic.Uint64", "count   uint64"},
+		{"n := tk.count.Load()", "n := atomic.LoadUint64(&tk.count)"},
+		{"tk.count.Store(n + 1)", "atomic.StoreUint64(&tk.count, n+1)"},
+		{"return tk.count.Load()", "return tk.count"}, // the seeded plain read
+	}
+
+	srcDir := filepath.Join("..", "..", "tracing")
+	entries, err := os.ReadDir(srcDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := t.TempDir()
+	pkgDir := filepath.Join(root, "tracing")
+	if err := os.MkdirAll(pkgDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(root, "go.mod"), []byte("module tmpmod\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(srcDir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := string(data)
+		if name == "tracing.go" {
+			for _, m := range mutations {
+				if !strings.Contains(src, m.old) {
+					t.Fatalf("tracing.go no longer contains %q; update the seeded mutation", m.old)
+				}
+				src = strings.ReplaceAll(src, m.old, m.new)
+			}
+		}
+		if err := os.WriteFile(filepath.Join(pkgDir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.LoadPatterns([]string{"tracing"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := analysis.Run(pkgs, suite.Analyzers())
+
+	var hits []string
+	for _, d := range res.Findings {
+		if d.Check == "atomicmix" {
+			hits = append(hits, d.String())
+		}
+	}
+	if len(hits) == 0 {
+		t.Fatalf("atomicmix missed the seeded mixed-access mutation; all findings: %v", res.Findings)
+	}
+	for _, h := range hits {
+		if !strings.Contains(h, "count") {
+			t.Errorf("atomicmix finding names the wrong variable: %s", h)
+		}
+	}
+	// The mutation seeds exactly one plain access; more would mean the
+	// rewrite itself left unconverted accesses behind.
+	if len(hits) != 1 {
+		t.Errorf("expected exactly 1 atomicmix finding, got %d:\n%s", len(hits), strings.Join(hits, "\n"))
+	}
+}

@@ -8,10 +8,14 @@ package suite
 import (
 	"voyager/internal/analysis"
 	"voyager/internal/analysis/arenaescape"
+	"voyager/internal/analysis/atomicmix"
 	"voyager/internal/analysis/benchallocs"
+	"voyager/internal/analysis/errflow"
 	"voyager/internal/analysis/f64promote"
+	"voyager/internal/analysis/hotalloc"
 	"voyager/internal/analysis/maporder"
 	"voyager/internal/analysis/sharedrand"
+	"voyager/internal/analysis/waitleak"
 )
 
 // CriticalPackages are the packages whose outputs must be bit-identical
@@ -63,6 +67,18 @@ var WideAccumulators = []string{
 	"SumAll",
 }
 
+// ErrFlowPackages are the serialization-critical packages: every Save /
+// Load / Write / Close / Fprintf error in them guards durability — a
+// dropped one turns a full disk into a silently truncated table or trace.
+// The cmd/... prefix covers every binary's report and output files.
+var ErrFlowPackages = []string{
+	"voyager/internal/distill",
+	"voyager/internal/trace",
+	"voyager/internal/tracing",
+	"voyager/internal/metrics",
+	"voyager/cmd/...",
+}
+
 // Analyzers returns the production analyzer suite.
 func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
@@ -71,5 +87,9 @@ func Analyzers() []*analysis.Analyzer {
 		f64promote.New(HotKernelPackages, WideAccumulators),
 		sharedrand.New(),
 		benchallocs.New(),
+		atomicmix.New(),
+		errflow.New(ErrFlowPackages, errflow.DefaultCalls),
+		hotalloc.New(),
+		waitleak.New(),
 	}
 }

@@ -1,12 +1,17 @@
 package analysis
 
-import "strings"
+import (
+	"fmt"
+	"go/token"
+	"strings"
+)
 
 // directive is one parsed //lint:ignore comment.
 type directive struct {
 	file   string
 	line   int    // line the comment sits on
 	checks string // comma-separated check names
+	used   bool   // suppressed at least one finding this run
 }
 
 // directives indexes a package's //lint:ignore comments.
@@ -52,9 +57,11 @@ func (p *Package) ignoreDirectives() *directives {
 	return d
 }
 
-// suppresses reports whether a directive covers the diagnostic.
+// suppresses reports whether a directive covers the diagnostic, marking
+// the matching directive as used (see stale).
 func (d *directives) suppresses(diag Diagnostic) bool {
-	for _, e := range d.entries {
+	for i := range d.entries {
+		e := &d.entries[i]
 		if e.file != diag.Pos.Filename {
 			continue
 		}
@@ -63,9 +70,46 @@ func (d *directives) suppresses(diag Diagnostic) bool {
 		}
 		for _, c := range strings.Split(e.checks, ",") {
 			if c == diag.Check || c == "all" {
+				e.used = true
 				return true
 			}
 		}
 	}
 	return false
+}
+
+// stale returns a "staleignore" finding for every directive that
+// suppressed nothing this run. A suppression outliving its finding is a
+// trap: it reads as "there is a known, audited violation here" when there
+// is none, and it will silently swallow the *next* finding on that line —
+// which may be a different bug than the one the reason describes.
+//
+// Only directives whose every named check was part of this run's analyzer
+// set are judged (a partial run proves nothing), and "all" directives are
+// exempt (they cannot be attributed to a single check going quiet).
+func (d *directives) stale(ran map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for i := range d.entries {
+		e := &d.entries[i]
+		if e.used {
+			continue
+		}
+		judgeable := true
+		for _, c := range strings.Split(e.checks, ",") {
+			if c == "all" || !ran[c] {
+				judgeable = false
+				break
+			}
+		}
+		if !judgeable {
+			continue
+		}
+		out = append(out, Diagnostic{
+			Pos:   token.Position{Filename: e.file, Line: e.line, Column: 1},
+			Check: "staleignore",
+			Message: fmt.Sprintf("stale //lint:ignore %s: the check no longer fires on this line; delete the directive (or restore whatever it was auditing)",
+				e.checks),
+		})
+	}
+	return out
 }

@@ -1,0 +1,190 @@
+// Package waitleakpkg exercises the waitleak analyzer: WaitGroup path
+// imbalance, unstoppable constructor goroutines, and unstopped tickers.
+package waitleakpkg
+
+import (
+	"sync"
+	"time"
+)
+
+func work(i int) {}
+
+// --- waitgroup balance: firing ---
+
+func missedDoneOnBranch(skip bool) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	if !skip {
+		go func() { defer wg.Done(); work(0) }()
+	}
+	wg.Wait() // want "different Add/Done balances depending on path"
+}
+
+func addWithoutDone() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	wg.Wait() // want "1 Add\\(s\\) unmatched by Done on this path"
+}
+
+func doubleDone() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done(); defer wg.Done(); work(0) }()
+	wg.Wait() // want "more Done than Add before this Wait"
+}
+
+// --- waitgroup balance: clean ---
+
+func balancedLoop(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) { defer wg.Done(); work(i) }(i)
+	}
+	wg.Wait()
+}
+
+func balancedConditional(fast bool) {
+	var wg sync.WaitGroup
+	if fast {
+		wg.Add(1)
+		go func() { defer wg.Done(); work(0) }()
+	}
+	wg.Wait()
+}
+
+type task struct {
+	wg *sync.WaitGroup
+}
+
+var taskQueue = make(chan task, 8)
+
+func escapesViaStruct() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	taskQueue <- task{wg: &wg} // other code balances it: untracked
+	wg.Wait()
+}
+
+func nonConstAdd(items []int) {
+	var wg sync.WaitGroup
+	wg.Add(len(items)) // data-dependent: untracked
+	for _, i := range items {
+		go func(i int) { defer wg.Done(); work(i) }(i)
+	}
+	wg.Wait()
+}
+
+func capturedByPlainClosure() func() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	return func() { wg.Wait() } // schedule unknown: untracked
+}
+
+func suppressedImbalance() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	//lint:ignore waitleak the Done arrives via a registered callback
+	wg.Wait()
+}
+
+// --- constructor goroutines ---
+
+type poller struct{ n int }
+
+func NewPoller() *poller {
+	p := &poller{}
+	go func() { // want "goroutine launched in constructor NewPoller loops forever without receiving"
+		for {
+			p.n++
+		}
+	}()
+	return p
+}
+
+type flusher struct {
+	done chan struct{}
+}
+
+func NewFlusher(interval time.Duration) *flusher {
+	f := &flusher{done: make(chan struct{})}
+	go func(done chan struct{}) {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				work(0)
+			case <-done:
+				return
+			}
+		}
+	}(f.done)
+	return f
+}
+
+type warmed struct{ ready bool }
+
+// NewWarmed's goroutine terminates on its own: bounded work needs no
+// shutdown signal.
+func NewWarmed() *warmed {
+	w := &warmed{}
+	go func() {
+		work(0)
+		w.ready = true
+	}()
+	return w
+}
+
+// pollLoop is not a constructor; long-lived loops in explicitly-started
+// helpers are the caller's lifecycle problem.
+func pollLoop(p *poller) {
+	go func() {
+		for {
+			p.n++
+		}
+	}()
+}
+
+// --- tickers ---
+
+func tickerNeverStopped(n int) {
+	t := time.NewTicker(time.Second) // want "time.Ticker created here is never stopped"
+	for i := 0; i < n; i++ {
+		<-t.C
+		work(i)
+	}
+}
+
+func tickerStoppedOnOnePath(quick bool) {
+	t := time.NewTicker(time.Second) // want "time.Ticker created here is never stopped"
+	if quick {
+		t.Stop()
+		return
+	}
+	<-t.C
+	work(0)
+}
+
+func tickerDeferStop() {
+	t := time.NewTicker(time.Second)
+	defer t.Stop()
+	<-t.C
+}
+
+func tickerLinearStop() {
+	t := time.NewTicker(time.Second)
+	<-t.C
+	t.Stop()
+}
+
+func tickerEscapes() *time.Ticker {
+	t := time.NewTicker(time.Second)
+	return t // caller owns it now
+}
+
+func tickerSuppressed() {
+	//lint:ignore waitleak process-lifetime ticker, stopped at exit by the OS
+	t := time.NewTicker(time.Second)
+	<-t.C
+}

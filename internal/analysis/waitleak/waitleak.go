@@ -1,0 +1,594 @@
+// Package waitleak flags lifecycle bugs in the concurrency plumbing: a
+// sync.WaitGroup whose Add/Done balance differs across CFG paths reaching
+// a Wait, a goroutine launched in a constructor with no way to shut it
+// down, and a time.Ticker that is never stopped on some path.
+//
+// These are the bugs the race detector cannot see — nothing races, the
+// program just deadlocks at Wait, or leaks one goroutine (plus a ticker's
+// timer) per constructed object until the process dies. The repo's own
+// lifecycle protocol (metrics.Streamer, tracing.Tracer) is the model:
+// every background goroutine selects on a done channel that Close closes,
+// and every ticker is stopped with a defer right after NewTicker.
+//
+// Checks:
+//
+//   - waitgroup balance: for each *local* WaitGroup (fields are
+//     interprocedural and out of scope), a forward dataflow pass tracks
+//     the Add/Done delta per path. Done calls inside a `go`/`defer`
+//     closure count at the launch statement (the classic
+//     Add(1)/go-Done pairing). Reaching Wait with a nonzero known delta,
+//     or with different deltas on different paths, is reported. A
+//     WaitGroup that escapes — &wg passed to a call, stored in a struct,
+//     captured by a non-go closure — is untracked: other code may
+//     balance it.
+//   - constructor goroutine: a New* function that launches a goroutine
+//     whose body loops forever without ever receiving from a channel has
+//     no shutdown signal; the object can never be torn down cleanly.
+//   - ticker leak: a local time.NewTicker result that reaches the
+//     function exit without t.Stop() on some path leaks the ticker's
+//     goroutine. Stop via defer counts; a ticker that escapes (returned,
+//     stored, passed on) is the callee's responsibility and is skipped.
+package waitleak
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"voyager/internal/analysis"
+	"voyager/internal/analysis/cfg"
+)
+
+// New returns the waitleak analyzer. It runs on every non-test package.
+func New() *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: "waitleak",
+		Doc:  "flags WaitGroup path imbalance, unstoppable constructor goroutines, and unstopped tickers",
+		Run:  run,
+	}
+}
+
+func run(pass *analysis.Pass) {
+	if pass.Pkg.IsTest {
+		pass.SkipPackage()
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body == nil {
+					return true
+				}
+				checkWaitGroups(pass, fn, fn.Body)
+				checkTickers(pass, fn, fn.Body)
+				if strings.HasPrefix(fn.Name.Name, "New") {
+					checkConstructor(pass, fn)
+				}
+			case *ast.FuncLit:
+				checkWaitGroups(pass, fn, fn.Body)
+				checkTickers(pass, fn, fn.Body)
+			}
+			return true
+		})
+	}
+}
+
+// ---------------------------------------------------------------- helpers
+
+func isWaitGroupType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	return t.String() == "sync.WaitGroup"
+}
+
+func isTickerType(t types.Type) bool {
+	return t != nil && t.String() == "*time.Ticker"
+}
+
+// localsOf collects vars declared inside [lo, hi] whose type satisfies
+// want.
+func localsOf(pass *analysis.Pass, body *ast.BlockStmt, lo, hi token.Pos, want func(types.Type) bool) map[*types.Var]bool {
+	out := map[*types.Var]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if v, _ := pass.Pkg.Info.Defs[id].(*types.Var); v != nil &&
+			v.Pos() >= lo && v.Pos() <= hi && want(v.Type()) {
+			out[v] = true
+		}
+		return true
+	})
+	return out
+}
+
+// recvCall matches a method call on a candidate ident receiver:
+// wg.Add(1), t.Stop(). Returns the var and the method name.
+func recvCall(pass *analysis.Pass, call *ast.CallExpr, cands map[*types.Var]bool) (*types.Var, string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return nil, ""
+	}
+	if v, _ := pass.ObjectOf(id).(*types.Var); v != nil && cands[v] {
+		return v, sel.Sel.Name
+	}
+	return nil, ""
+}
+
+// escapes computes, flow-insensitively, which candidate vars leave the
+// function's control: address taken outside a method call, passed as an
+// argument, stored, returned, or captured by a closure that is not the
+// immediate function of a go/defer statement. allowAsync lists the method
+// names that are legitimate inside go/defer closures (counted at the
+// launch site by the caller).
+func escapes(pass *analysis.Pass, body *ast.BlockStmt, cands map[*types.Var]bool, allowAsync map[string]bool) map[*types.Var]bool {
+	esc := map[*types.Var]bool{}
+	candIdent := func(e ast.Expr) *types.Var {
+		id, ok := e.(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		if v, _ := pass.ObjectOf(id).(*types.Var); v != nil && cands[v] {
+			return v
+		}
+		return nil
+	}
+	var scan func(n ast.Node, async bool)
+	scanCall := func(call *ast.CallExpr, async bool) {
+		if v, method := recvCall(pass, call, cands); v != nil {
+			if async && !allowAsync[method] {
+				esc[v] = true
+			}
+			for _, a := range call.Args {
+				scan(a, async)
+			}
+			return
+		}
+		scan(call.Fun, async)
+		for _, a := range call.Args {
+			scan(a, async)
+		}
+	}
+	scan = func(n ast.Node, async bool) {
+		if n == nil {
+			return
+		}
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				scan(lit.Body, true)
+			} else {
+				scanCall(n.Call, async)
+			}
+			for _, a := range n.Call.Args {
+				scan(a, async)
+			}
+		case *ast.DeferStmt:
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				scan(lit.Body, true)
+			} else {
+				scanCall(n.Call, async)
+			}
+			for _, a := range n.Call.Args {
+				scan(a, async)
+			}
+		case *ast.FuncLit:
+			// Captured by an ordinary closure: its schedule is unknown.
+			ast.Inspect(n.Body, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok {
+					if v, _ := pass.ObjectOf(id).(*types.Var); v != nil && cands[v] {
+						esc[v] = true
+					}
+				}
+				return true
+			})
+		case *ast.CallExpr:
+			scanCall(n, async)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if v := candIdent(n.X); v != nil {
+					esc[v] = true
+					return
+				}
+			}
+			scan(n.X, async)
+		case *ast.SelectorExpr:
+			// Field read through the candidate (tick.C): not an escape.
+			if candIdent(n.X) != nil {
+				return
+			}
+			scan(n.X, async)
+		case *ast.AssignStmt:
+			// LHS occurrences are (re)definitions, not escapes; the RHS
+			// may leak a candidate.
+			for _, r := range n.Rhs {
+				scan(r, async)
+			}
+		case *ast.Ident:
+			if pass.Pkg.Info.Defs[n] != nil {
+				return
+			}
+			if v := candIdent(n); v != nil {
+				esc[v] = true
+			}
+		default:
+			walkChildren(n, func(c ast.Node) { scan(c, async) })
+		}
+	}
+	scan(body, false)
+	return esc
+}
+
+// walkChildren visits n's immediate children once each.
+func walkChildren(n ast.Node, f func(ast.Node)) {
+	first := true
+	ast.Inspect(n, func(m ast.Node) bool {
+		if first {
+			first = false
+			return true
+		}
+		if m != nil {
+			f(m)
+		}
+		return false
+	})
+}
+
+// ------------------------------------------------------ waitgroup balance
+
+// wgBal is the per-variable fact: the Add/Done delta along this path, or
+// the record that two joined paths disagreed.
+type wgBal struct {
+	delta    int
+	diverged bool
+}
+type wgFact map[*types.Var]wgBal
+
+func cloneWG(f wgFact) wgFact {
+	m := make(wgFact, len(f))
+	for k, v := range f {
+		m[k] = v
+	}
+	return m
+}
+
+func checkWaitGroups(pass *analysis.Pass, fn ast.Node, body *ast.BlockStmt) {
+	cands := localsOf(pass, body, fn.Pos(), fn.End(), isWaitGroupType)
+	if len(cands) == 0 {
+		return
+	}
+	esc := escapes(pass, body, cands, map[string]bool{"Done": true})
+	init := wgFact{}
+	for v := range cands {
+		if !esc[v] {
+			init[v] = wgBal{}
+		}
+	}
+	if len(init) == 0 {
+		return
+	}
+
+	// Done calls inside go/defer closures count at the launch statement.
+	asyncDones := func(n ast.Node) map[*types.Var]int {
+		counts := map[*types.Var]int{}
+		var lit *ast.FuncLit
+		switch s := n.(type) {
+		case *ast.GoStmt:
+			lit, _ = s.Call.Fun.(*ast.FuncLit)
+		case *ast.DeferStmt:
+			lit, _ = s.Call.Fun.(*ast.FuncLit)
+		}
+		if lit == nil {
+			return counts
+		}
+		ast.Inspect(lit.Body, func(m ast.Node) bool {
+			if call, ok := m.(*ast.CallExpr); ok {
+				if v, method := recvCall(pass, call, cands); v != nil && method == "Done" {
+					counts[v]++
+				}
+			}
+			return true
+		})
+		return counts
+	}
+
+	// Reporting is deferred to a replay over the *converged* in-facts:
+	// mid-fixpoint a block may have seen only one predecessor, and a
+	// premature "unmatched Add" there would mask the real diverged-join
+	// diagnosis.
+	report := func(pos token.Pos, format string, args ...any) {}
+
+	transfer := func(blk *cfg.Block, in wgFact) wgFact {
+		out := cloneWG(in)
+		for _, n := range blk.Nodes {
+			for v, c := range asyncDones(n) {
+				if b, ok := out[v]; ok {
+					b.delta -= c
+					out[v] = b
+				}
+			}
+			cfg.Inspect(n, func(m ast.Node) bool {
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				v, method := recvCall(pass, call, cands)
+				if v == nil {
+					return true
+				}
+				b, tracked := out[v]
+				if !tracked {
+					return true
+				}
+				switch method {
+				case "Add":
+					if len(call.Args) == 1 {
+						if k, ok := intLit(call.Args[0]); ok {
+							b.delta += k
+							out[v] = b
+							return true
+						}
+					}
+					delete(out, v) // data-dependent count: untrack
+				case "Done":
+					b.delta--
+					out[v] = b
+				case "Wait":
+					switch {
+					case b.diverged:
+						report(call.Pos(), "%s.Wait() is reachable with different Add/Done balances depending on path: a Done is missing (Wait blocks forever) or doubled (negative-counter panic) on at least one path", v.Name())
+					case b.delta > 0:
+						report(call.Pos(), "%s.Wait() is reached with %d Add(s) unmatched by Done on this path: Wait blocks forever", v.Name(), b.delta)
+					case b.delta < 0:
+						report(call.Pos(), "%s has more Done than Add before this Wait: the counter goes negative and panics", v.Name())
+					}
+					out[v] = wgBal{} // Wait re-baselines the counter
+				}
+				return true
+			})
+		}
+		return out
+	}
+
+	fw := cfg.Forward[wgFact]{
+		Init: init,
+		Join: func(a, b wgFact) wgFact {
+			m := wgFact{}
+			for v, ab := range a {
+				bb, ok := b[v]
+				if !ok {
+					continue // untracked on one path wins
+				}
+				if ab.diverged || bb.diverged || ab.delta != bb.delta {
+					m[v] = wgBal{diverged: true}
+				} else {
+					m[v] = ab
+				}
+			}
+			return m
+		},
+		Transfer: transfer,
+		Equal: func(a, b wgFact) bool {
+			if len(a) != len(b) {
+				return false
+			}
+			for k, v := range a {
+				if w, ok := b[k]; !ok || w != v {
+					return false
+				}
+			}
+			return true
+		},
+	}
+	g := cfg.Build(fn)
+	in, _ := fw.Run(g)
+
+	// Replay each block on its converged in-fact with reporting live.
+	reported := map[token.Pos]bool{}
+	report = func(pos token.Pos, format string, args ...any) {
+		if !reported[pos] {
+			reported[pos] = true
+			pass.Reportf(pos, format, args...)
+		}
+	}
+	for _, blk := range g.Blocks {
+		if f, ok := in[blk]; ok && g.Reachable(blk) {
+			transfer(blk, f)
+		}
+	}
+}
+
+func intLit(e ast.Expr) (int, bool) {
+	if u, ok := e.(*ast.UnaryExpr); ok && u.Op == token.SUB {
+		if k, ok := intLit(u.X); ok {
+			return -k, true
+		}
+		return 0, false
+	}
+	lit, ok := e.(*ast.BasicLit)
+	if !ok || lit.Kind != token.INT {
+		return 0, false
+	}
+	k, err := strconv.Atoi(lit.Value)
+	return k, err == nil
+}
+
+// --------------------------------------------------------- ticker leaks
+
+func checkTickers(pass *analysis.Pass, fn ast.Node, body *ast.BlockStmt) {
+	cands := localsOf(pass, body, fn.Pos(), fn.End(), isTickerType)
+	if len(cands) == 0 {
+		return
+	}
+	esc := escapes(pass, body, cands, map[string]bool{"Stop": true, "Reset": true})
+
+	type tick struct{ pos token.Pos }
+	type tFact map[*types.Var]tick
+	clone := func(f tFact) tFact {
+		m := make(tFact, len(f))
+		for k, v := range f {
+			m[k] = v
+		}
+		return m
+	}
+
+	transfer := func(blk *cfg.Block, in tFact) tFact {
+		out := clone(in)
+		for _, n := range blk.Nodes {
+			cfg.Inspect(n, func(m ast.Node) bool {
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if v, method := recvCall(pass, call, cands); v != nil && method == "Stop" {
+					delete(out, v)
+				}
+				return true
+			})
+			// Deferred Stop inside a go/defer closure kills too: the
+			// escape pass already rejected closures doing anything else.
+			if as, ok := n.(*ast.AssignStmt); ok && len(as.Rhs) == 1 {
+				if isNewTickerCall(pass, as.Rhs[0]) {
+					for _, lhs := range as.Lhs {
+						if id, ok := lhs.(*ast.Ident); ok {
+							if v, _ := pass.ObjectOf(id).(*types.Var); v != nil && cands[v] && !esc[v] {
+								out[v] = tick{pos: as.Rhs[0].Pos()}
+							}
+						}
+					}
+				}
+			}
+		}
+		return out
+	}
+	fw := cfg.Forward[tFact]{
+		Init: tFact{},
+		Join: func(a, b tFact) tFact {
+			m := clone(a)
+			for k, v := range b {
+				if _, ok := m[k]; !ok {
+					m[k] = v
+				}
+			}
+			return m
+		},
+		Transfer: transfer,
+		Equal: func(a, b tFact) bool {
+			if len(a) != len(b) {
+				return false
+			}
+			for k, v := range a {
+				if w, ok := b[k]; !ok || w != v {
+					return false
+				}
+			}
+			return true
+		},
+	}
+	g := cfg.Build(fn)
+	in, _ := fw.Run(g)
+	if exitFact, ok := in[g.Exit()]; ok {
+		for _, t := range exitFact {
+			pass.Reportf(t.pos, "time.Ticker created here is never stopped on at least one path: the ticker's goroutine (and its timer) leak until Stop; add `defer t.Stop()`")
+		}
+	}
+}
+
+func isNewTickerCall(pass *analysis.Pass, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "NewTicker" {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkg, ok := pass.ObjectOf(id).(*types.PkgName)
+	return ok && pkg.Imported().Path() == "time"
+}
+
+// -------------------------------------------- constructor shutdown check
+
+// checkConstructor reports goroutines launched from New* functions whose
+// bodies loop forever without receiving from any channel: nothing can
+// ever tell them to stop.
+func checkConstructor(pass *analysis.Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		var body *ast.BlockStmt
+		switch fun := g.Call.Fun.(type) {
+		case *ast.FuncLit:
+			body = fun.Body
+		default:
+			// go t.loop(done): a channel-typed argument is the shutdown
+			// signal; without one we cannot see the callee, so stay
+			// quiet rather than guess.
+			return true
+		}
+		if chanArgPassed(pass, g.Call) {
+			return true
+		}
+		if loopsForeverWithoutReceive(pass, body) {
+			pass.Reportf(g.Pos(), "goroutine launched in constructor %s loops forever without receiving from any channel: there is no way to shut it down; select on a done channel closed by Close/Stop", fd.Name.Name)
+		}
+		return true
+	})
+}
+
+// chanArgPassed reports whether any argument of call is channel-typed.
+func chanArgPassed(pass *analysis.Pass, call *ast.CallExpr) bool {
+	for _, a := range call.Args {
+		if t := pass.TypeOf(a); t != nil {
+			if _, ok := t.Underlying().(*types.Chan); ok {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// loopsForeverWithoutReceive reports whether body contains an unconditional
+// for-loop and no channel receive (<-ch, range over a channel, or a select
+// receive case) anywhere.
+func loopsForeverWithoutReceive(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	var hasForever, hasReceive bool
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			if n.Cond == nil {
+				hasForever = true
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				hasReceive = true
+			}
+		case *ast.RangeStmt:
+			if t := pass.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					hasReceive = true
+				}
+			}
+		}
+		return true
+	})
+	return hasForever && !hasReceive
+}

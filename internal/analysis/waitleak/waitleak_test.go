@@ -1,0 +1,12 @@
+package waitleak_test
+
+import (
+	"testing"
+
+	"voyager/internal/analysis/analysistest"
+	"voyager/internal/analysis/waitleak"
+)
+
+func TestWaitLeak(t *testing.T) {
+	analysistest.Run(t, waitleak.New(), "testdata/src/waitleakpkg")
+}

@@ -189,11 +189,11 @@ func (t *Table) Save(path string) error {
 	}
 	bw := bufio.NewWriter(f)
 	if _, err := t.WriteTo(bw); err != nil {
-		f.Close()
+		_ = f.Close() // already failing: the write error wins
 		return fmt.Errorf("distill: save %s: %w", path, err)
 	}
 	if err := bw.Flush(); err != nil {
-		f.Close()
+		_ = f.Close() // already failing: the flush error wins
 		return fmt.Errorf("distill: save %s: %w", path, err)
 	}
 	return f.Close()
@@ -205,7 +205,7 @@ func LoadFile(path string) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
+	defer func() { _ = f.Close() }() // read-side close: Load already has the bytes
 	t, err := Load(bufio.NewReader(f))
 	if err != nil {
 		return nil, fmt.Errorf("distill: load %s: %w", path, err)

@@ -39,7 +39,7 @@ func StartServerWith(reg *Registry, addr string, extra map[string]http.Handler) 
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		enc.Encode(&snap) //nolint:errcheck // client went away
+		_ = enc.Encode(&snap) // best-effort response: the client may be gone
 	})
 	mux.HandleFunc("/metrics.ndjson", func(w http.ResponseWriter, _ *http.Request) {
 		snap := reg.Snapshot()
@@ -49,7 +49,7 @@ func StartServerWith(reg *Registry, addr string, extra map[string]http.Handler) 
 			return
 		}
 		w.Header().Set("Content-Type", "application/x-ndjson")
-		w.Write(line) //nolint:errcheck // client went away
+		_, _ = w.Write(line) // best-effort response: the client may be gone
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -80,7 +80,7 @@ func (s *Server) Close() error {
 	defer cancel()
 	err := s.srv.Shutdown(ctx)
 	if err != nil {
-		s.srv.Close() //nolint:errcheck // best-effort after failed drain
+		_ = s.srv.Close() // best-effort hard close after failed drain
 	}
 	return err
 }

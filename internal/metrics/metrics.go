@@ -35,6 +35,8 @@ type Counter struct {
 }
 
 // Add increments the counter by n (no-op on a nil counter).
+//
+//hot:path
 func (c *Counter) Add(n uint64) {
 	if c == nil {
 		return
@@ -43,6 +45,8 @@ func (c *Counter) Add(n uint64) {
 }
 
 // Inc increments the counter by one (no-op on a nil counter).
+//
+//hot:path
 func (c *Counter) Inc() { c.Add(1) }
 
 // Value returns the current total (0 for a nil counter).
@@ -62,6 +66,8 @@ type Gauge struct {
 }
 
 // Set stores v (no-op on a nil gauge).
+//
+//hot:path
 func (g *Gauge) Set(v float64) {
 	if g == nil {
 		return
@@ -147,6 +153,8 @@ func bucketMid(i int) float64 {
 }
 
 // Observe records one value (no-op on a nil histogram).
+//
+//hot:path
 func (h *Histogram) Observe(v float64) {
 	if h == nil {
 		return
@@ -277,6 +285,8 @@ type Timer struct {
 
 // StartTimer begins timing into h (h may be nil: the timer is then inert and
 // does not even read the clock).
+//
+//hot:path
 func StartTimer(h *Histogram) Timer {
 	if h == nil {
 		return Timer{}
@@ -285,6 +295,8 @@ func StartTimer(h *Histogram) Timer {
 }
 
 // Stop records the elapsed time and returns it (0 for an inert timer).
+//
+//hot:path
 func (t Timer) Stop() time.Duration {
 	if t.h == nil {
 		return 0

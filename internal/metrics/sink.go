@@ -65,8 +65,8 @@ func Start(o SinkOptions) (*Sink, error) {
 		srv, err := StartServerWith(s.reg, o.HTTPAddr, o.Handlers)
 		if err != nil {
 			if s.stream != nil {
-				s.stream.Close() //nolint:errcheck // aborting anyway
-				s.file.Close()   //nolint:errcheck
+				_ = s.stream.Close() // aborting anyway: the server error wins
+				_ = s.file.Close()
 			}
 			return nil, err
 		}

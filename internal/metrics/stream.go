@@ -60,7 +60,7 @@ func (s *Streamer) Start(interval time.Duration) {
 		for {
 			select {
 			case <-t.C:
-				s.Flush() //nolint:errcheck // sticky error reported by Close
+				_ = s.Flush() // sticky error: Close reports the first failure
 			case <-done:
 				return
 			}

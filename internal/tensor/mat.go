@@ -186,11 +186,14 @@ const kernelKTile = 64
 // order, never the term set.
 
 // MatMul computes dst = a·b, allocating dst when nil. a is r×k, b is k×c.
+//
+//hot:path
 func MatMul(dst, a, b *Mat) *Mat {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("tensor: MatMul inner dim mismatch %s · %s", a.shape(), b.shape()))
 	}
 	if dst == nil {
+		//lint:ignore hotalloc nil dst opts into allocation; steady-state callers pass a reused dst
 		dst = NewMat(a.Rows, b.Cols)
 	} else {
 		if dst.Rows != a.Rows || dst.Cols != b.Cols {
@@ -266,11 +269,14 @@ func matMulAccRange(dst, a, b *Mat, lo, hi int) {
 
 // MatMulATransB computes dst = aᵀ·b where a is r×m and b is r×n, so dst is
 // m×n. Used for weight gradients (xᵀ·dy). Allocates dst when nil.
+//
+//hot:path
 func MatMulATransB(dst, a, b *Mat) *Mat {
 	if a.Rows != b.Rows {
 		panic(fmt.Sprintf("tensor: MatMulATransB row mismatch %s vs %s", a.shape(), b.shape()))
 	}
 	if dst == nil {
+		//lint:ignore hotalloc nil dst opts into allocation; steady-state callers pass a reused dst
 		dst = NewMat(a.Cols, b.Cols)
 	} else {
 		if dst.Rows != a.Cols || dst.Cols != b.Cols {
@@ -348,11 +354,14 @@ func matMulATransBRange(dst, a, b *Mat, lo, hi int) {
 
 // MatMulABTrans computes dst = a·bᵀ where a is r×k and b is n×k, so dst is
 // r×n. Used for input gradients (dy·Wᵀ). Allocates dst when nil.
+//
+//hot:path
 func MatMulABTrans(dst, a, b *Mat) *Mat {
 	if a.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: MatMulABTrans col mismatch %s vs %s", a.shape(), b.shape()))
 	}
 	if dst == nil {
+		//lint:ignore hotalloc nil dst opts into allocation; steady-state callers pass a reused dst
 		dst = NewMat(a.Rows, b.Rows)
 	} else {
 		if dst.Rows != a.Rows || dst.Cols != b.Rows {
@@ -377,6 +386,8 @@ func MatMulABTrans(dst, a, b *Mat) *Mat {
 // dx += dy·Wᵀ. The kernel accumulates each dot product in registers and adds
 // it to dst once, so the result is bit-identical to the former
 // tmp = a·bᵀ; dst += tmp formulation while allocating nothing.
+//
+//hot:path
 func MatMulABTransAcc(dst, a, b *Mat) {
 	if a.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: MatMulABTransAcc col mismatch %s vs %s", a.shape(), b.shape()))
@@ -408,6 +419,8 @@ var tileScratch = sync.Pool{New: func() any { s := []float32(nil); return &s }}
 // kernelKTile-row tile accumulates in a pooled scratch buffer (same
 // per-element order as a zeroed tmp) and is added to dst once, keeping the
 // result bit-identical to tmp = aᵀ·b; dst += tmp with zero allocations.
+//
+//hot:path
 func MatMulATransBAcc(dst, a, b *Mat) {
 	if a.Rows != b.Rows {
 		panic(fmt.Sprintf("tensor: MatMulATransBAcc row mismatch %s vs %s", a.shape(), b.shape()))

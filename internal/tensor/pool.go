@@ -131,6 +131,8 @@ var wgScratch = sync.Pool{New: func() any { return new(sync.WaitGroup) }}
 // so dispatch allocates nothing (no capturing closure); the calling
 // goroutine runs the first chunk itself, and a single-chunk split never
 // touches the pool.
+//
+//hot:path
 func parallelKernel(n int, kern matKernel, dst, a, b *Mat) {
 	poolOnce.Do(startPool)
 	chunks := poolSize

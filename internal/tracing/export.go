@@ -100,7 +100,7 @@ func (t *Tracer) Handler() http.Handler {
 			return
 		}
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
-		w.Write(t.Export()) //nolint:errcheck // best-effort HTTP response
+		_, _ = w.Write(t.Export()) // best-effort response: the client may be gone
 	})
 }
 

@@ -316,7 +316,7 @@ func (t *Tracer) writeFile() error {
 		return err
 	}
 	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()           //nolint:errcheck // aborting anyway
+		_ = tmp.Close()       // aborting anyway: the write error wins
 		os.Remove(tmp.Name()) //nolint:errcheck
 		return err
 	}

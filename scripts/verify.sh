@@ -15,11 +15,19 @@ go vet ./...
 
 # vetvoyager enforces the invariants go vet cannot see: deterministic map
 # iteration in determinism-critical packages, tape-arena *Mat lifetimes,
-# float32-only hot kernels, per-worker rand streams, and ReportAllocs on
-# every benchmark. It prints per-analyzer finding counts and exits non-zero
-# on any unsuppressed finding.
+# float32-only hot kernels, per-worker rand streams, ReportAllocs on every
+# benchmark, mixed atomic/plain access, dropped serialization errors,
+# hot-path allocations, and WaitGroup/ticker leaks. It prints per-analyzer
+# finding counts and exits non-zero on any unsuppressed finding.
 echo "== vetvoyager"
 go run ./cmd/vetvoyager ./...
+
+# Self-check: the analyzers, CFG builder, and fixpoint engine must them-
+# selves be clean under the full suite (the loader's dir/... patterns get
+# exercised here too). A separate invocation so a finding inside the
+# framework is attributed to it rather than lost in the module-wide sweep.
+echo "== vetvoyager self-check (internal/analysis/...)"
+go run ./cmd/vetvoyager internal/analysis/...
 
 echo "== go test (with coverage profile)"
 cover_out="$(mktemp)"
