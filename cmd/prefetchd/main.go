@@ -1,0 +1,288 @@
+// Command prefetchd is the long-running prefetch-as-a-service daemon: it
+// loads (or trains) a Voyager model — and optionally a distilled .vydt
+// table as the low-latency fast tier — then serves predictions to many
+// concurrent trace streams over the length-prefixed TCP protocol in
+// internal/serve, with batched model inference, idle-session eviction,
+// /metrics SLO histograms, and graceful drain on SIGINT/SIGTERM.
+//
+// The same binary is the load generator: -replay connects N concurrent
+// client streams to a running daemon and reports client-side round-trip
+// latency percentiles.
+//
+// Usage:
+//
+//	go run ./cmd/voyager  -bench cc -n 24000 -save cc.w -distill cc.vydt
+//	go run ./cmd/prefetchd -bench cc -n 24000 -weights cc.w -table cc.vydt -listen :7011
+//	go run ./cmd/prefetchd -replay localhost:7011 -bench cc -n 24000 -streams 8 -fast
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"sync"
+	"syscall"
+	"time"
+
+	"voyager/internal/distill"
+	"voyager/internal/metrics"
+	"voyager/internal/serve"
+	"voyager/internal/trace"
+	"voyager/internal/tracing"
+	"voyager/internal/vocab"
+	"voyager/internal/voyager"
+	"voyager/internal/workloads"
+)
+
+func main() {
+	var (
+		bench     = flag.String("bench", "", "benchmark name (generates the trace the vocabulary/model are built from)")
+		traceFile = flag.String("trace", "", "binary trace file instead of -bench")
+		n         = flag.Int("n", 24_000, "max accesses when generating")
+		seed      = flag.Int64("seed", 42, "randomness seed (must match the training run when loading weights)")
+		hidden    = flag.Int("hidden", 64, "LSTM units (must match when loading weights)")
+		degree    = flag.Int("degree", 1, "prefetch degree")
+		noDeltas  = flag.Bool("no-deltas", false, "disable the delta vocabulary (must match when loading weights)")
+		passes    = flag.Int("passes", 4, "training passes per epoch (in-process training only)")
+		epoch     = flag.Int("epoch", 6_000, "epoch length in accesses (in-process training only)")
+		weights   = flag.String("weights", "", "load trained weights (from voyager -save) instead of training in-process")
+		tableFile = flag.String("table", "", "distilled .vydt table for the fast tier (from voyager -distill)")
+
+		listen    = flag.String("listen", "localhost:7011", "TCP listen address")
+		maxBatch  = flag.Int("max-batch", 32, "max rows coalesced into one PredictBatch call")
+		maxWaitUS = flag.Int("max-wait-us", 200, "max microseconds the batcher waits to fill a batch (0 = greedy)")
+		replicas  = flag.Int("replicas", 1, "data-parallel inference replicas (-1 = all CPUs)")
+		idleEvict = flag.Duration("idle-evict", 2*time.Minute, "evict sessions idle this long (0 = never)")
+
+		metricsHTTP = flag.String("metrics-http", "", "serve /metrics and /debug/pprof on this address")
+		metricsOut  = flag.String("metrics", "", "stream NDJSON metric snapshots to this file")
+		traceOut    = flag.String("trace-out", "", "write Chrome trace-event JSON of the request lifecycle to this file on shutdown")
+
+		replay  = flag.String("replay", "", "client mode: replay the trace against a daemon at this address")
+		streams = flag.Int("streams", 4, "concurrent client streams (replay mode)")
+		fast    = flag.Bool("fast", false, "request the distilled fast tier (replay mode)")
+		perStr  = flag.Int("per-stream", 0, "accesses each stream replays (0 = whole trace)")
+	)
+	flag.Parse()
+
+	tr, err := loadTrace(*traceFile, *bench, *seed, *n)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "prefetchd:", err)
+		os.Exit(2)
+	}
+
+	if *replay != "" {
+		if err := runReplay(*replay, tr, *streams, *perStr, *fast); err != nil {
+			fmt.Fprintln(os.Stderr, "prefetchd:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	cfg := voyager.ScaledConfig()
+	cfg.Seed = *seed
+	cfg.Hidden = *hidden
+	cfg.Degree = *degree
+	cfg.UseDeltas = !*noDeltas
+	cfg.DropoutKeep = 1
+	cfg.PassesPerEpoch = *passes
+	cfg.EpochAccesses = *epoch
+	cfg.Workers = *replicas
+
+	var tracer *tracing.Tracer
+	if *traceOut != "" {
+		tracer = tracing.New(tracing.Options{Path: *traceOut})
+	}
+	sink, err := metrics.Start(metrics.SinkOptions{
+		Tool:       "prefetchd",
+		Config:     cfg,
+		Seed:       *seed,
+		StreamPath: *metricsOut,
+		HTTPAddr:   *metricsHTTP,
+		Handlers:   map[string]http.Handler{"/trace": tracer.Handler()},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "prefetchd: metrics:", err)
+		os.Exit(1)
+	}
+	cfg.Metrics = sink.Registry()
+	if addr := sink.HTTPAddr(); addr != "" {
+		fmt.Printf("metrics: http://%s/metrics (trace at /trace, pprof at /debug/pprof/)\n", addr)
+	}
+
+	model, err := buildModel(tr, cfg, *weights)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "prefetchd:", err)
+		os.Exit(1)
+	}
+
+	var tab *distill.Table
+	if *tableFile != "" {
+		tab, err = distill.LoadFile(*tableFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "prefetchd:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("fast tier: %s\n", tab)
+	}
+
+	srv, err := serve.New(serve.Config{
+		Model:       model,
+		Table:       tab,
+		Degree:      *degree,
+		MaxBatch:    *maxBatch,
+		MaxWait:     time.Duration(*maxWaitUS) * time.Microsecond,
+		IdleTimeout: *idleEvict,
+		Metrics:     sink.Registry(),
+		Tracer:      tracer,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "prefetchd:", err)
+		os.Exit(1)
+	}
+	if err := srv.Start(*listen); err != nil {
+		fmt.Fprintln(os.Stderr, "prefetchd:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("prefetchd: serving on %s (max-batch %d, max-wait %dµs, degree %d)\n",
+		srv.Addr(), *maxBatch, *maxWaitUS, *degree)
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	sig := <-sigs
+	fmt.Printf("prefetchd: %v — draining\n", sig)
+	if err := srv.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "prefetchd: close:", err)
+	}
+	if err := tracer.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "prefetchd: tracing:", err)
+	}
+	if err := sink.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "prefetchd: metrics:", err)
+	}
+}
+
+// loadTrace reads or generates the access trace both modes replay.
+func loadTrace(traceFile, bench string, seed int64, n int) (*trace.Trace, error) {
+	switch {
+	case traceFile != "":
+		f, err := os.Open(traceFile)
+		if err != nil {
+			return nil, err
+		}
+		tr, err := trace.Read(f)
+		_ = f.Close() // read-side close: the trace is already in memory
+		return tr, err
+	case bench != "":
+		return workloads.Generate(bench, workloads.Config{Seed: seed, Scale: 1, MaxAccesses: n})
+	default:
+		return nil, fmt.Errorf("one of -bench or -trace is required")
+	}
+}
+
+// buildModel loads saved weights into a fresh model (vocabulary rebuilt
+// deterministically from the trace) or trains in-process when no weights
+// file was given.
+func buildModel(tr *trace.Trace, cfg voyager.Config, weights string) (*voyager.Model, error) {
+	if weights == "" {
+		fmt.Println("prefetchd: no -weights given; training in-process")
+		start := time.Now()
+		p, err := voyager.Train(tr, cfg)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Printf("prefetchd: trained %d samples in %v\n",
+			p.TrainedSamples(), time.Since(start).Round(time.Millisecond))
+		return p.Model, nil
+	}
+	voc := vocab.Build(tr, cfg.VocabOptions())
+	m := voyager.NewModel(cfg, voc)
+	f, err := os.Open(weights)
+	if err != nil {
+		return nil, err
+	}
+	loadErr := m.LoadWeights(f)
+	_ = f.Close() // read-side close: weights already deserialized
+	if loadErr != nil {
+		return nil, fmt.Errorf("load %s: %w (config/trace must match the training run)", weights, loadErr)
+	}
+	fmt.Printf("prefetchd: loaded weights from %s (%s)\n", weights, voc)
+	return m, nil
+}
+
+// runReplay drives a running daemon with concurrent client streams and
+// reports client-side round-trip latency.
+func runReplay(addr string, tr *trace.Trace, streams, perStream int, fast bool) error {
+	if streams < 1 {
+		streams = 1
+	}
+	nAcc := len(tr.Accesses)
+	if perStream <= 0 || perStream > nAcc {
+		perStream = nAcc
+	}
+	tier := "model"
+	if fast {
+		tier = "fast"
+	}
+	fmt.Printf("replaying %d accesses x %d streams against %s (%s tier)\n", perStream, streams, addr, tier)
+
+	lats := make([][]int64, streams)
+	errs := make([]error, streams)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < streams; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			cl, err := serve.Dial(addr)
+			if err != nil {
+				errs[id] = err
+				return
+			}
+			defer func() { _ = cl.Close() }()
+			lat := make([]int64, 0, perStream)
+			for j := 0; j < perStream; j++ {
+				a := tr.Accesses[j]
+				t0 := time.Now()
+				if _, err := cl.Predict(uint64(id), a.PC, a.Addr, fast); err != nil {
+					errs[id] = err
+					return
+				}
+				lat = append(lat, time.Since(t0).Nanoseconds())
+			}
+			lats[id] = lat
+			errs[id] = cl.CloseStream(uint64(id))
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	var all []int64
+	for i, l := range lats {
+		if errs[i] != nil {
+			return fmt.Errorf("stream %d: %w", i, errs[i])
+		}
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	q := func(p float64) time.Duration {
+		if len(all) == 0 {
+			return 0
+		}
+		i := int(p*float64(len(all))+0.5) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(all) {
+			i = len(all) - 1
+		}
+		return time.Duration(all[i])
+	}
+	fmt.Printf("%d requests in %v (%.0f req/s)\n",
+		len(all), elapsed.Round(time.Millisecond), float64(len(all))/elapsed.Seconds())
+	fmt.Printf("round-trip latency: p50 %v  p90 %v  p99 %v  max %v\n",
+		q(0.50), q(0.90), q(0.99), q(1.0))
+	return nil
+}

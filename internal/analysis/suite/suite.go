@@ -27,7 +27,10 @@ import (
 // whose snapshots are diffed byte-for-byte in the differential tests,
 // and the span tracer whose logical-clock exports must reproduce
 // byte-for-byte, and the distillation compiler whose tables must be
-// byte-identical for one (model, trace, params) triple.
+// byte-identical for one (model, trace, params) triple. The serving
+// daemon joins the list because its responses are byte-compared against
+// offline inference (the golden differential) — a nondeterministic map
+// walk in its session or eviction paths would be a serving-order bug.
 var CriticalPackages = []string{
 	"voyager/internal/tensor",
 	"voyager/internal/tensor/quant",
@@ -38,6 +41,7 @@ var CriticalPackages = []string{
 	"voyager/internal/metrics",
 	"voyager/internal/tracing",
 	"voyager/internal/distill",
+	"voyager/internal/serve",
 }
 
 // HotKernelPackages must stay in float32 end to end. The quantized
@@ -70,12 +74,15 @@ var WideAccumulators = []string{
 // ErrFlowPackages are the serialization-critical packages: every Save /
 // Load / Write / Close / Fprintf error in them guards durability — a
 // dropped one turns a full disk into a silently truncated table or trace.
-// The cmd/... prefix covers every binary's report and output files.
+// The cmd/... prefix covers every binary's report and output files; the
+// serving daemon is here because a dropped write/flush error on its wire
+// path would silently hang a client waiting for a response frame.
 var ErrFlowPackages = []string{
 	"voyager/internal/distill",
 	"voyager/internal/trace",
 	"voyager/internal/tracing",
 	"voyager/internal/metrics",
+	"voyager/internal/serve",
 	"voyager/cmd/...",
 }
 

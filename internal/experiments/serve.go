@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"voyager/internal/distill"
+	"voyager/internal/metrics"
+	"voyager/internal/serve"
+	"voyager/internal/trace"
+	"voyager/internal/voyager"
+)
+
+// Serving-path benchmark: an in-process prefetchd on a loopback listener
+// under the acceptance load shape — 64 concurrent client streams replaying
+// the bench trace.
+//
+// Two phases. The fast phase drives every stream through the distilled
+// tier and reads the exact per-request prediction-path latency samples
+// (session advance through candidates ready — the serving analogue of
+// predict_distilled, which likewise excludes any wire handling) from the
+// server's LatencyRecorder; serve_p99_ns is their nearest-rank p99. The
+// model phase drives the batched LSTM tier and reports the exact mean
+// PredictBatch occupancy (rows/batches from integer counters) as
+// serve_batch_fill — under 64 synchronous streams the queue refills while
+// inference runs, so healthy batching keeps this near MaxBatch.
+const (
+	serveBenchStreams    = 64
+	serveBenchFastReqs   = 1200 // fast-tier requests per stream
+	serveBenchModelReqs  = 30   // model-tier requests per stream
+	serveBenchMaxBatch   = 64
+	serveBenchMaxWaitMus = 200
+)
+
+type serveBenchResult struct {
+	fastP50Ns  int64
+	fastP99Ns  int64
+	modelP99Ns int64
+	batchFill  float64
+	fastReqs   int64
+}
+
+// serveBench runs both phases against the given trained model and table
+// (the distill block's teacher, reused so serving latency is measured on
+// the same weights the distilled numbers come from).
+func serveBench(m *voyager.Model, tab *distill.Table, tr *trace.Trace) (serveBenchResult, error) {
+	var res serveBenchResult
+	fastRec := serve.NewLatencyRecorder(serveBenchStreams * serveBenchFastReqs)
+	modelRec := serve.NewLatencyRecorder(serveBenchStreams * serveBenchModelReqs)
+	reg := metrics.NewRegistry()
+	srv, err := serve.New(serve.Config{
+		Model:        m,
+		Table:        tab,
+		Degree:       1,
+		MaxBatch:     serveBenchMaxBatch,
+		MaxWait:      serveBenchMaxWaitMus * time.Microsecond,
+		Metrics:      reg,
+		FastLatency:  fastRec,
+		ModelLatency: modelRec,
+	})
+	if err != nil {
+		return res, err
+	}
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		return res, err
+	}
+	defer func() { _ = srv.Close() }()
+	addr := srv.Addr().String()
+
+	// Settle the heap before the latency-sensitive phase: the fast path
+	// itself is allocation-free, so a pre-phase collection keeps background
+	// GC assists out of the sampled window.
+	runtime.GC()
+	if err := replayPhase(addr, tr, serveBenchFastReqs, true); err != nil {
+		return res, fmt.Errorf("serve bench fast phase: %w", err)
+	}
+	if err := replayPhase(addr, tr, serveBenchModelReqs, false); err != nil {
+		return res, fmt.Errorf("serve bench model phase: %w", err)
+	}
+	if err := srv.Close(); err != nil {
+		return res, err
+	}
+
+	res.fastP50Ns = fastRec.Quantile(0.50)
+	res.fastP99Ns = fastRec.Quantile(0.99)
+	res.modelP99Ns = modelRec.Quantile(0.99)
+	res.fastReqs = fastRec.Count()
+	batches := reg.Counter("serve_batches_total").Value()
+	rows := reg.Counter("serve_batch_rows_total").Value()
+	if batches > 0 {
+		res.batchFill = float64(rows) / float64(batches)
+	}
+	return res, nil
+}
+
+// replayPhase drives serveBenchStreams concurrent client streams, each
+// replaying perStream accesses of tr on one tier.
+func replayPhase(addr string, tr *trace.Trace, perStream int, fast bool) error {
+	if perStream > len(tr.Accesses) {
+		perStream = len(tr.Accesses)
+	}
+	errs := make([]error, serveBenchStreams)
+	var wg sync.WaitGroup
+	for i := 0; i < serveBenchStreams; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			cl, err := serve.Dial(addr)
+			if err != nil {
+				errs[id] = err
+				return
+			}
+			defer func() { _ = cl.Close() }()
+			// Phases share stream ids on purpose: the model phase continues
+			// warm sessions, like a tier switch in production.
+			for j := 0; j < perStream; j++ {
+				a := tr.Accesses[j]
+				if _, err := cl.Predict(uint64(id), a.PC, a.Addr, fast); err != nil {
+					errs[id] = err
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,115 @@
+// The admission queue and batcher: model-tier requests are posted to a
+// buffered channel; one batcher goroutine coalesces them into PredictBatch
+// calls.
+//
+// Batching policy: the batcher blocks for the first request, then fills the
+// batch from the queue until it holds MaxBatch rows or MaxWait has elapsed
+// since the first row was taken (MaxWait 0 = greedy: take whatever is
+// already buffered and run immediately). Under saturation the timer never
+// fires — the queue refills faster than inference drains it and batches run
+// full; under light load a lone request pays at most MaxWait of added
+// latency. Because inference is row-independent, the policy affects only
+// latency, never results (the batching-invariance test drives the same
+// streams through disparate MaxBatch/MaxWait settings and byte-compares).
+package serve
+
+import (
+	"time"
+
+	"voyager/internal/voyager"
+)
+
+// pending is one queued model-tier request: a snapshot of the stream's
+// token window plus the trigger line needed to decode candidates. The
+// handler blocks on reply (buffered, capacity 1, so the batcher never
+// blocks answering).
+type pending struct {
+	row   []tok3 // seqLen triples, oldest first
+	line  uint64 // trigger cache line
+	enq   time.Time
+	reply chan []voyager.Candidate
+}
+
+// batchLoop is the single goroutine that talks to the model. It exits when
+// Close closes the queue, after answering everything still buffered.
+func (s *Server) batchLoop() {
+	defer s.loops.Done()
+	batch := make([]*pending, 0, s.cfg.MaxBatch)
+	tb := voyager.NewTokenBatch(s.seqLen)
+	pcs := make([]int32, s.seqLen)
+	pages := make([]int32, s.seqLen)
+	offs := make([]int32, s.seqLen)
+	var timer *time.Timer
+	for {
+		p, ok := <-s.queue
+		if !ok {
+			return
+		}
+		batch = append(batch[:0], p)
+		if s.cfg.MaxWait > 0 {
+			if timer == nil {
+				timer = time.NewTimer(s.cfg.MaxWait)
+			} else {
+				timer.Reset(s.cfg.MaxWait)
+			}
+		collect:
+			for len(batch) < s.cfg.MaxBatch {
+				select {
+				case q, ok := <-s.queue:
+					if !ok {
+						break collect // drained; run what we have, exit next
+					}
+					batch = append(batch, q)
+				case <-timer.C:
+					break collect
+				}
+			}
+			if !timer.Stop() {
+				select { // drain a fired timer so Reset starts clean
+				case <-timer.C:
+				default:
+				}
+			}
+		} else {
+		greedy:
+			for len(batch) < s.cfg.MaxBatch {
+				select {
+				case q, ok := <-s.queue:
+					if !ok {
+						break greedy
+					}
+					batch = append(batch, q)
+				default:
+					break greedy
+				}
+			}
+		}
+		s.runBatch(batch, tb, pcs, pages, offs)
+	}
+}
+
+// runBatch runs one coalesced PredictBatch call and answers each request.
+func (s *Server) runBatch(batch []*pending, tb *voyager.TokenBatch, pcs, pages, offs []int32) {
+	now := time.Now()
+	for _, p := range batch {
+		s.obs.queueWait.Observe(now.Sub(p.enq).Seconds())
+	}
+	s.obs.batches.Inc()
+	s.obs.batchRows.Add(uint64(len(batch)))
+	s.obs.batchFill.Observe(float64(len(batch)))
+
+	sp := s.obs.batchTk.Begin("predict_batch")
+	tb.Reset()
+	for _, p := range batch {
+		for i, t := range p.row {
+			pcs[i], pages[i], offs[i] = t.pc, t.page, t.off
+		}
+		tb.Add(pcs, pages, offs)
+	}
+	cands := s.cfg.Model.PredictTokenBatch(tb, s.degree)
+	sp.End()
+
+	for i, p := range batch {
+		p.reply <- cands[i] // buffered; never blocks
+	}
+}

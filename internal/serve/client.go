@@ -1,0 +1,100 @@
+// Client is the reference wire-protocol client: one TCP connection, one
+// request in flight at a time (the replay tool and the tests run one client
+// per stream). Request/response buffers are reused, so a replay loop
+// allocates only what the caller keeps.
+package serve
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"time"
+)
+
+// Client talks the serve wire protocol over one connection. Not safe for
+// concurrent use; run one Client per goroutine.
+type Client struct {
+	c    net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+	out  []byte
+	in   []byte
+	resp Response
+}
+
+// Dial connects to a prefetchd server.
+func Dial(addr string) (*Client, error) {
+	c, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("serve: dial %s: %w", addr, err)
+	}
+	return NewClient(c), nil
+}
+
+// NewClient wraps an existing connection (ownership transfers).
+func NewClient(c net.Conn) *Client {
+	return &Client{c: c, br: bufio.NewReaderSize(c, 4096), bw: bufio.NewWriterSize(c, 4096)}
+}
+
+// roundTrip sends one request and decodes the response into c.resp. The
+// returned Response aliases client scratch: it is valid until the next call.
+func (c *Client) roundTrip(req Request) (*Response, error) {
+	c.out = EncodeRequest(c.out[:0], req)
+	if err := WriteFrame(c.bw, c.out); err != nil {
+		return nil, err
+	}
+	p, err := ReadFrame(c.br, c.in)
+	if err != nil {
+		return nil, err
+	}
+	c.in = p
+	if err := DecodeResponse(p, &c.resp); err != nil {
+		return nil, err
+	}
+	return &c.resp, nil
+}
+
+// Predict advances stream's session with the access (pc, addr) and returns
+// the server's candidates. fast selects the distilled tier. A status-error
+// response is returned as a Go error. The Response aliases client scratch.
+func (c *Client) Predict(stream, pc, addr uint64, fast bool) (*Response, error) {
+	var flags byte
+	if fast {
+		flags = FlagFast
+	}
+	r, err := c.roundTrip(Request{Op: OpPredict, Flags: flags, Stream: stream, PC: pc, Addr: addr})
+	if err != nil {
+		return nil, err
+	}
+	if r.Status != StatusOK {
+		return nil, fmt.Errorf("serve: server error: %s", r.Err)
+	}
+	return r, nil
+}
+
+// CloseStream discards the server-side session for stream.
+func (c *Client) CloseStream(stream uint64) error {
+	r, err := c.roundTrip(Request{Op: OpClose, Stream: stream})
+	if err != nil {
+		return err
+	}
+	if r.Status != StatusOK {
+		return fmt.Errorf("serve: server error: %s", r.Err)
+	}
+	return nil
+}
+
+// Ping round-trips a liveness probe.
+func (c *Client) Ping() error {
+	r, err := c.roundTrip(Request{Op: OpPing})
+	if err != nil {
+		return err
+	}
+	if r.Status != StatusOK {
+		return fmt.Errorf("serve: server error: %s", r.Err)
+	}
+	return nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.c.Close() }

@@ -1,0 +1,204 @@
+// Per-connection request handling. One goroutine per connection reads
+// frames, advances sessions, and answers — inline for the fast tier, via
+// the batcher for the model tier.
+//
+// Per-connection scratch (frame buffers, row snapshot, reply channel,
+// history window) is allocated once at connection setup and reused for
+// every request, so the steady-state fast path allocates nothing: the
+// exact-latency window (session advance through candidates ready) runs
+// without triggering the collector even at bench stream counts.
+package serve
+
+import (
+	"bufio"
+	"math"
+	"net"
+	"time"
+
+	"voyager/internal/distill"
+	"voyager/internal/trace"
+	"voyager/internal/voyager"
+)
+
+// connState is one handler's reusable scratch.
+type connState struct {
+	resp    Response
+	out     []byte // encoded response frame
+	rowBuf  []tok3 // model-tier window snapshot
+	histBuf []distill.TokPair
+	pend    pending // reused: the handler blocks on reply before the next request
+	reply   chan []voyager.Candidate
+
+	streamID uint64 // cached session lookup
+	sess     *session
+}
+
+// handleConn serves one connection until EOF, a protocol error, or Close.
+func (s *Server) handleConn(c net.Conn, id uint64) {
+	defer s.handlers.Done()
+	defer s.untrackConn(id)
+	defer func() { _ = c.Close() }()
+
+	br := bufio.NewReaderSize(c, 4096)
+	bw := bufio.NewWriterSize(c, 4096)
+	tk := s.obs.connTrack(id)
+	cs := &connState{
+		out:     make([]byte, 0, 4+respHeaderLen+16*candLen),
+		rowBuf:  make([]tok3, s.seqLen),
+		histBuf: make([]distill.TokPair, s.histLen),
+		reply:   make(chan []voyager.Candidate, 1),
+	}
+	var in []byte
+	for {
+		payload, err := ReadFrame(br, in)
+		if err != nil {
+			return // EOF, read deadline from Close, or oversized frame
+		}
+		in = payload
+		req, err := DecodeRequest(payload)
+		if err != nil {
+			// Malformed frame: tell this client and drop this connection;
+			// the daemon and every other stream keep serving.
+			s.obs.errors.Inc()
+			cs.resp = Response{Status: StatusError, Err: err.Error()}
+			_ = WriteFrame(bw, EncodeResponse(cs.out[:0], &cs.resp))
+			return
+		}
+		switch req.Op {
+		case OpPing:
+			cs.resp = Response{Status: StatusOK}
+		case OpClose:
+			s.sessions.remove(req.Stream)
+			if cs.streamID == req.Stream {
+				cs.sess = nil
+			}
+			cs.resp = Response{Status: StatusOK}
+		case OpPredict:
+			if s.closing.Load() {
+				s.obs.errors.Inc()
+				cs.resp = Response{Status: StatusError, Err: "serve: shutting down"}
+				_ = WriteFrame(bw, EncodeResponse(cs.out[:0], &cs.resp))
+				return
+			}
+			sp := tk.Begin("request")
+			s.predict(cs, req)
+			sp.End()
+		}
+		if err := WriteFrame(bw, EncodeResponse(cs.out[:0], &cs.resp)); err != nil {
+			return
+		}
+	}
+}
+
+// predict answers one OpPredict into cs.resp.
+func (s *Server) predict(cs *connState, req Request) {
+	s.obs.requests.Inc()
+	st := cs.sess
+	if st == nil || cs.streamID != req.Stream || st.gone.Load() {
+		st = s.sessions.get(req.Stream)
+		cs.sess, cs.streamID = st, req.Stream
+	}
+	if req.Flags&FlagFast != 0 && s.cfg.Table != nil {
+		s.predictFast(cs, st, req)
+		return
+	}
+	s.predictModel(cs, st, req)
+}
+
+// predictModel snapshots the stream's token window, queues it for the
+// batcher, and decodes the model's candidates against the trigger line.
+func (s *Server) predictModel(cs *connState, st *session, req Request) {
+	t0 := time.Now()
+	st.mu.Lock()
+	st.advance(s.voc, req.PC, req.Addr)
+	st.copyWindow(cs.rowBuf, s.seqLen)
+	line := st.line
+	st.mu.Unlock()
+	st.lastUsed.Store(t0.UnixNano())
+
+	cs.pend = pending{row: cs.rowBuf, line: line, enq: t0, reply: cs.reply}
+	s.queue <- &cs.pend
+	cands := <-cs.reply
+
+	cs.resp.Status = StatusOK
+	cs.resp.Tier = TierModel
+	cs.resp.Err = ""
+	cs.resp.Cands = cs.resp.Cands[:0]
+	for _, c := range cands {
+		addr := uint64(0)
+		if ln, ok := s.voc.Decode(line, c.PageTok, c.OffTok); ok {
+			addr = ln << trace.LineBits
+		}
+		cs.resp.Cands = append(cs.resp.Cands, Candidate{
+			PageTok:   int32(c.PageTok),
+			OffTok:    int32(c.OffTok),
+			ScoreBits: math.Float64bits(c.Score),
+			Addr:      addr,
+		})
+	}
+	lat := time.Since(t0)
+	s.obs.modelReqs.Inc()
+	s.obs.reqSec.Observe(lat.Seconds())
+	s.cfg.ModelLatency.record(lat.Nanoseconds())
+}
+
+// predictFast answers inline from the distilled table, mirroring
+// distilled.Prefetcher.Access exactly: decode slots against the trigger,
+// skip the trigger line, dedup, cap at degree, and degrade to next-line on
+// a full table miss. The candidate records carry the decoded address (the
+// fast tier's contract) plus the slot's token ids; ScoreBits is 0 — the
+// table stores f16 probabilities, not model scores.
+func (s *Server) predictFast(cs *connState, st *session, req Request) {
+	t0 := time.Now()
+	st.mu.Lock()
+	pcTok, line := st.advance(s.voc, req.PC, req.Addr)
+	st.copyPairs(cs.histBuf, s.histLen)
+	trig := st.ring[st.head]
+	st.mu.Unlock()
+
+	key := distill.ContextKey(int(pcTok), cs.histBuf)
+	slots, tier := s.cfg.Table.Lookup(key, distill.PairKey(int(trig.page), int(trig.off)))
+
+	cs.resp.Status = StatusOK
+	cs.resp.Tier = TierFast
+	cs.resp.Err = ""
+	out := cs.resp.Cands[:0]
+	for _, slot := range slots {
+		if slot == 0 {
+			break
+		}
+		pg, off, _ := distill.DecodeSlot(slot)
+		cand, ok := s.voc.Decode(line, pg, off)
+		if !ok || cand == line {
+			continue
+		}
+		addr := cand << trace.LineBits
+		if dupAddr(out, addr) {
+			continue
+		}
+		out = append(out, Candidate{PageTok: int32(pg), OffTok: int32(off), Addr: addr})
+		if len(out) == s.degree {
+			break
+		}
+	}
+	if len(out) == 0 && tier == distill.TierMiss {
+		out = append(out, Candidate{PageTok: -1, OffTok: -1, Addr: (line + 1) << trace.LineBits})
+	}
+	cs.resp.Cands = out
+	lat := time.Since(t0)
+
+	st.lastUsed.Store(t0.UnixNano())
+	s.obs.fastReqs.Inc()
+	s.obs.tierCounts[tier].Inc()
+	s.obs.fastSec.Observe(lat.Seconds())
+	s.cfg.FastLatency.record(lat.Nanoseconds())
+}
+
+func dupAddr(cands []Candidate, addr uint64) bool {
+	for _, c := range cands {
+		if c.Addr == addr {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,130 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestRequestRoundTrip(t *testing.T) {
+	reqs := []Request{
+		{Op: OpPredict, Flags: FlagFast, Stream: 7, PC: 0xdeadbeef, Addr: 0x1234567890},
+		{Op: OpClose, Stream: ^uint64(0)},
+		{Op: OpPing},
+	}
+	for _, want := range reqs {
+		frame := EncodeRequest(nil, want)
+		if len(frame) != 4+RequestLen {
+			t.Fatalf("frame %d bytes, want %d", len(frame), 4+RequestLen)
+		}
+		got, err := DecodeRequest(frame[4:])
+		if err != nil {
+			t.Fatalf("DecodeRequest(%+v): %v", want, err)
+		}
+		if got != want {
+			t.Fatalf("round trip %+v -> %+v", want, got)
+		}
+	}
+}
+
+func TestDecodeRequestRejectsMalformed(t *testing.T) {
+	valid := EncodeRequest(nil, Request{Op: OpPredict})[4:]
+	cases := map[string][]byte{
+		"empty":        {},
+		"truncated":    valid[:RequestLen-1],
+		"oversized":    append(append([]byte{}, valid...), 0),
+		"bad version":  mutate(valid, 0, 99),
+		"bad opcode":   mutate(valid, 1, 42),
+		"reserved set": mutate(valid, 3, 1),
+	}
+	for name, payload := range cases {
+		if _, err := DecodeRequest(payload); err == nil {
+			t.Errorf("%s: DecodeRequest accepted %x", name, payload)
+		}
+	}
+}
+
+func mutate(b []byte, i int, v byte) []byte {
+	cp := append([]byte{}, b...)
+	cp[i] = v
+	return cp
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	resps := []Response{
+		{Status: StatusOK, Tier: TierModel, Cands: []Candidate{
+			{PageTok: 3, OffTok: 61, ScoreBits: 0x3fe0000000000000, Addr: 0xabc0},
+			{PageTok: -1, OffTok: -1, Addr: 0x40},
+		}},
+		{Status: StatusOK, Tier: TierFast},
+		{Status: StatusError, Err: "serve: boom"},
+	}
+	var got Response
+	for _, want := range resps {
+		frame := EncodeResponse(nil, &want)
+		if err := DecodeResponse(frame[4:], &got); err != nil {
+			t.Fatalf("DecodeResponse: %v", err)
+		}
+		if got.Status != want.Status || got.Tier != want.Tier || got.Err != want.Err {
+			t.Fatalf("round trip %+v -> %+v", want, got)
+		}
+		if len(got.Cands) != len(want.Cands) {
+			t.Fatalf("cands %d, want %d", len(got.Cands), len(want.Cands))
+		}
+		for i := range got.Cands {
+			if got.Cands[i] != want.Cands[i] {
+				t.Fatalf("cand %d: %+v, want %+v", i, got.Cands[i], want.Cands[i])
+			}
+		}
+	}
+}
+
+func TestDecodeResponseRejectsMalformed(t *testing.T) {
+	var r Response
+	if err := DecodeResponse([]byte{Version, StatusOK}, &r); err == nil {
+		t.Error("short payload accepted")
+	}
+	if err := DecodeResponse([]byte{9, StatusOK, 0, 0}, &r); err == nil {
+		t.Error("bad version accepted")
+	}
+	// Count says 2 candidates, body holds none.
+	if err := DecodeResponse([]byte{Version, StatusOK, 0, 2}, &r); err == nil {
+		t.Error("count/body mismatch accepted")
+	}
+}
+
+func TestReadFrameBoundsLength(t *testing.T) {
+	var buf bytes.Buffer
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], MaxFrame+1)
+	buf.Write(hdr[:])
+	_, err := ReadFrame(bufio.NewReader(&buf), nil)
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized length: err = %v, want ErrFrameTooLarge", err)
+	}
+
+	// Truncated payload: header promises more bytes than the stream has.
+	buf.Reset()
+	binary.BigEndian.PutUint32(hdr[:], 100)
+	buf.Write(hdr[:])
+	buf.WriteString("short")
+	if _, err := ReadFrame(bufio.NewReader(&buf), nil); err == nil {
+		t.Fatal("truncated frame accepted")
+	}
+}
+
+func TestEncodeResponseTruncatesHugeError(t *testing.T) {
+	r := Response{Status: StatusError, Err: strings.Repeat("x", MaxFrame*2)}
+	frame := EncodeResponse(nil, &r)
+	n := binary.BigEndian.Uint32(frame[:4])
+	if n > MaxFrame {
+		t.Fatalf("error frame %d bytes exceeds MaxFrame", n)
+	}
+	var got Response
+	if err := DecodeResponse(frame[4:], &got); err != nil {
+		t.Fatalf("DecodeResponse: %v", err)
+	}
+}

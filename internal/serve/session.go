@@ -1,0 +1,180 @@
+// Per-stream session state. A session is the serving-side replacement for
+// the trainer's pre-encoded trace: a ring of (pc, page, offset) token
+// triples plus the previous cache line, advanced one access at a time.
+//
+// Encoding matches Predictor/newPredictor and the distilled replayer
+// exactly, which is what makes the serving path bit-comparable to the
+// offline ones: the first access of a stream encodes against its own line
+// (prevLine starts at the stream's first line), and until the ring has
+// filled it is back-filled with the first triple — the same clamp
+// buildBatch applies at a trace start (history index < 0 reads access 0)
+// and distilled.Prefetcher applies to its history window.
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"voyager/internal/distill"
+	"voyager/internal/metrics"
+	"voyager/internal/sortkeys"
+	"voyager/internal/trace"
+	"voyager/internal/vocab"
+)
+
+// tok3 is one encoded access: the (pc, page, offset) token triple.
+type tok3 struct {
+	pc, page, off int32
+}
+
+// session holds one stream's context. All mutable state is guarded by mu
+// except lastUsed and gone, which the janitor reads/writes without taking
+// the session lock.
+type session struct {
+	mu sync.Mutex
+
+	// ring holds the last cap(ring) encoded accesses; head is the index of
+	// the most recent one (the trigger). seen counts total accesses.
+	ring []tok3
+	head int
+	seen uint64
+
+	prevLine uint64
+	// line is the trigger's cache line (valid once seen > 0), needed to
+	// decode candidate tokens into addresses.
+	line uint64
+
+	// lastUsed is nanoseconds on a monotonic-ish clock (time.Now().
+	// UnixNano()), written on every advance and read by the janitor.
+	lastUsed atomic.Int64
+	// gone is set when the table drops the session (idle eviction or
+	// OpClose); a handler holding a cached pointer re-fetches on next use.
+	gone atomic.Bool
+}
+
+// advance encodes one access into the ring under the session lock and
+// returns the trigger's PC token and cache line.
+func (st *session) advance(voc *vocab.Vocab, pc, addr uint64) (pcTok int32, line uint64) {
+	line = trace.Line(addr)
+	if st.seen == 0 {
+		st.prevLine = line
+	}
+	pTok, oTok := voc.EncodeAccess(st.prevLine, line)
+	st.prevLine = line
+	st.line = line
+	tr := tok3{pc: int32(voc.PCToken(pc)), page: int32(pTok), off: int32(oTok)}
+	if st.seen == 0 {
+		for i := range st.ring {
+			st.ring[i] = tr
+		}
+		st.head = 0
+	} else {
+		st.head++
+		if st.head == len(st.ring) {
+			st.head = 0
+		}
+		st.ring[st.head] = tr
+	}
+	st.seen++
+	return tr.pc, line
+}
+
+// copyWindow writes the last n triples (oldest first, trigger last) into
+// dst[:n]. Must hold mu. n must be ≤ cap(ring).
+func (st *session) copyWindow(dst []tok3, n int) {
+	for i := 0; i < n; i++ {
+		j := st.head - (n - 1 - i)
+		if j < 0 {
+			j += len(st.ring)
+		}
+		dst[i] = st.ring[j]
+	}
+}
+
+// copyPairs writes the last n (page, offset) pairs (oldest first, trigger
+// last) into dst[:n] — the fast tier's history window, same layout the
+// distillation compiler hashed. Must hold mu. n must be ≤ cap(ring).
+func (st *session) copyPairs(dst []distill.TokPair, n int) {
+	for i := 0; i < n; i++ {
+		j := st.head - (n - 1 - i)
+		if j < 0 {
+			j += len(st.ring)
+		}
+		dst[i] = distill.TokPair{Page: st.ring[j].page, Off: st.ring[j].off}
+	}
+}
+
+// sessionTable maps stream ids to sessions. get/remove are O(1) map
+// operations; evictIdle iterates in sorted-key order (deterministic scans,
+// per the maporder analyzer).
+type sessionTable struct {
+	mu      sync.Mutex
+	m       map[uint64]*session
+	ringCap int
+
+	active  *metrics.Gauge
+	evicted *metrics.Counter
+}
+
+func newSessionTable(ringCap int, reg *metrics.Registry) *sessionTable {
+	return &sessionTable{
+		m:       make(map[uint64]*session),
+		ringCap: ringCap,
+		active:  reg.Gauge("serve_sessions_active"),
+		evicted: reg.Counter("serve_sessions_evicted_total"),
+	}
+}
+
+// get returns the stream's session, creating it on first use.
+func (t *sessionTable) get(id uint64) *session {
+	t.mu.Lock()
+	st := t.m[id]
+	if st == nil {
+		st = &session{ring: make([]tok3, t.ringCap)}
+		st.lastUsed.Store(time.Now().UnixNano())
+		t.m[id] = st
+		t.active.Set(float64(len(t.m)))
+	}
+	t.mu.Unlock()
+	return st
+}
+
+// remove drops the stream's session (OpClose).
+func (t *sessionTable) remove(id uint64) {
+	t.mu.Lock()
+	if st := t.m[id]; st != nil {
+		st.gone.Store(true)
+		delete(t.m, id)
+		t.active.Set(float64(len(t.m)))
+	}
+	t.mu.Unlock()
+}
+
+// len returns the number of live sessions.
+func (t *sessionTable) len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.m)
+}
+
+// evictIdle drops sessions idle for longer than d and returns how many.
+func (t *sessionTable) evictIdle(d time.Duration) int {
+	cutoff := time.Now().Add(-d).UnixNano()
+	n := 0
+	t.mu.Lock()
+	for _, id := range sortkeys.Sorted(t.m) {
+		st := t.m[id]
+		if st.lastUsed.Load() < cutoff {
+			st.gone.Store(true)
+			delete(t.m, id)
+			n++
+		}
+	}
+	if n > 0 {
+		t.active.Set(float64(len(t.m)))
+		t.evicted.Add(uint64(n))
+	}
+	t.mu.Unlock()
+	return n
+}

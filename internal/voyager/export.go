@@ -40,6 +40,78 @@ func (p *Predictor) PredictAt(positions []int, degree int) [][]Candidate {
 // fingerprint verifies the match).
 func (c Config) VocabOptions() vocab.Options { return c.vocabOptions() }
 
+// Config returns the configuration the model was built with (for servers
+// that need SeqLen/Degree without re-plumbing the construction config).
+func (m *Model) Config() Config { return m.cfg }
+
+// TokenBatch assembles token sequences for PredictTokenBatch without a bound
+// trace — the serving-side equivalent of Predictor.buildBatch, fed from
+// per-stream session rings instead of a pre-encoded trace. Row storage is
+// reused across Reset cycles, so a long-running server's steady state
+// allocates nothing here. Not safe for concurrent use; the serving batcher
+// owns exactly one.
+type TokenBatch struct {
+	seqLen int
+	seqs   []batchToken
+	rows   int
+}
+
+// NewTokenBatch returns an assembler for sequences of the given length
+// (the model's Config().SeqLen).
+func NewTokenBatch(seqLen int) *TokenBatch {
+	b := &TokenBatch{seqLen: seqLen, seqs: make([]batchToken, seqLen)}
+	return b
+}
+
+// Reset clears the batch for reuse, keeping row storage.
+func (b *TokenBatch) Reset() { b.rows = 0 }
+
+// Rows returns the number of rows added since the last Reset.
+func (b *TokenBatch) Rows() int { return b.rows }
+
+// Add appends one row: the (pc, page, offset) token ids of the stream's
+// seqLen most recent accesses, oldest first. All three slices must have
+// length seqLen.
+func (b *TokenBatch) Add(pc, page, off []int32) {
+	if len(pc) != b.seqLen || len(page) != b.seqLen || len(off) != b.seqLen {
+		panic("voyager: TokenBatch.Add row length != seqLen")
+	}
+	r := b.rows
+	for s := 0; s < b.seqLen; s++ {
+		tok := &b.seqs[s]
+		if r < len(tok.pc) {
+			tok.pc[r] = int(pc[s])
+			tok.page[r] = int(page[s])
+			tok.off[r] = int(off[s])
+		} else {
+			tok.pc = append(tok.pc, int(pc[s]))
+			tok.page = append(tok.page, int(page[s]))
+			tok.off = append(tok.off, int(off[s]))
+		}
+	}
+	b.rows = r + 1
+}
+
+// PredictTokenBatch runs one inference batch over externally-assembled token
+// rows and returns, per row, the model's top-degree candidates. The forward
+// pass is row-independent at inference (no dropout, per-row top-k, fixed
+// summation order), so each row's candidates are bit-identical to the same
+// tokens run through PredictAt in any other batch composition — the property
+// the serving-path golden differential pins. Must be called from a single
+// goroutine at a time (the serving batcher), like every PredictBatch entry.
+func (m *Model) PredictTokenBatch(b *TokenBatch, degree int) [][]Candidate {
+	if b.rows == 0 {
+		return nil
+	}
+	seqs := make([]batchToken, b.seqLen)
+	for s := range seqs {
+		seqs[s].pc = b.seqs[s].pc[:b.rows]
+		seqs[s].page = b.seqs[s].page[:b.rows]
+		seqs[s].off = b.seqs[s].off[:b.rows]
+	}
+	return m.PredictBatch(seqs, degree)
+}
+
 // SetQuantizedPredict toggles the int8 quantized predict path on an
 // already-constructed model (otherwise Config.QuantizedPredict is fixed at
 // construction). The next PredictBatch requantizes the head shadows from

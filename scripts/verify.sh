@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Tier-1 verification plus the concurrency checks for the data-parallel
-# training engine: vet, the full test suite (with coverage gates), the race
-# detector over the packages that share state across goroutines, and
+# training engine and the serving daemon: vet, the full test suite (with
+# coverage gates), the race detector over the packages that share state
+# across goroutines (including prefetchd's session/batcher machinery), and
 # bounded fuzz runs of the binary trace decoder, the metrics snapshot
-# parser, and the int8/f16 quantizers the distilled tables are packed with.
+# parser, the int8/f16 quantizers the distilled tables are packed with,
+# and the daemon's wire-protocol request decoder.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -44,12 +46,13 @@ baseline=$(cat scripts/coverage_baseline.txt)
 awk -v t="$total" -v b="$baseline" 'BEGIN {
   if (t + 0 < b + 0) { printf "coverage: repo-wide %.1f%% < baseline %.1f%%\n", t, b; exit 1 }
   printf "coverage: repo-wide %.1f%% (baseline %.1f%%)\n", t, b }'
-for pkg in internal/metrics internal/tracing; do
+for gate in internal/metrics:90 internal/tracing:90 internal/serve:85; do
+  pkg="${gate%:*}"; floor="${gate#*:}"
   pcov=$(go test -cover "./$pkg/" | awk 'match($0, /coverage: [0-9.]+%/) {
     s = substr($0, RSTART + 10, RLENGTH - 11); print s }')
-  awk -v m="$pcov" -v p="$pkg" 'BEGIN {
-    if (m + 0 < 90) { printf "coverage: %s %.1f%% < 90%% floor\n", p, m; exit 1 }
-    printf "coverage: %s %.1f%% (floor 90%%)\n", p, m }'
+  awk -v m="$pcov" -v p="$pkg" -v f="$floor" 'BEGIN {
+    if (m + 0 < f + 0) { printf "coverage: %s %.1f%% < %d%% floor\n", p, m, f; exit 1 }
+    printf "coverage: %s %.1f%% (floor %d%%)\n", p, m, f }'
 done
 
 # Bench smoke: the newest BENCH_pr<N>.json must not record a serial matmul
@@ -72,12 +75,20 @@ go test -race ./internal/tensor/ ./internal/nn/ ./internal/trace/ ./internal/met
 # the concurrency surface is the parallel engine, so race-check the tests
 # that exercise sharded TrainBatch/PredictBatch plus one e2e training run.
 go test -race -run 'Parallel|Deterministic|Workers|LearnsCycleWith' ./internal/voyager/
+# prefetchd's concurrency surface: many connection handlers against one
+# batcher, the session table under contention with the eviction janitor,
+# and the 100x start/stop goroutine-leak cycle. The golden differentials
+# re-train the fixture under -race (slow), so race-check the contention,
+# leak, and batching-invariance tests specifically.
+echo "== go test -race (serve: contention, leaks, batching invariance)"
+go test -race -run 'Concurrent|StartStop|Invariance|CloseIsIdempotent' ./internal/serve/
 
-echo "== fuzz trace.Read + metrics.ParseSnapshot + quant converters (bounded)"
+echo "== fuzz trace.Read + metrics.ParseSnapshot + quant converters + serve decoder (bounded)"
 go test -run=NONE -fuzz=FuzzRead -fuzztime=10s ./internal/trace/
 go test -run=NONE -fuzz=FuzzParseSnapshot -fuzztime=10s ./internal/metrics/
 go test -run=NONE -fuzz='^FuzzQ8Quantize$' -fuzztime=10s ./internal/tensor/quant/
 go test -run=NONE -fuzz='^FuzzF16RoundTrip$' -fuzztime=10s ./internal/tensor/quant/
+go test -run=NONE -fuzz='^FuzzDecodeRequest$' -fuzztime=10s ./internal/serve/
 
 # A traced end-to-end run: the exported timeline must round-trip through the
 # validator (cmd/tracecheck), and two same-seed logical-clock runs must
