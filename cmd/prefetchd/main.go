@@ -24,12 +24,14 @@ import (
 	"os/signal"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"voyager/internal/distill"
 	"voyager/internal/metrics"
 	"voyager/internal/serve"
+	"voyager/internal/serve/quality"
 	"voyager/internal/trace"
 	"voyager/internal/tracing"
 	"voyager/internal/vocab"
@@ -59,7 +61,11 @@ func main() {
 
 		metricsHTTP = flag.String("metrics-http", "", "serve /metrics and /debug/pprof on this address")
 		metricsOut  = flag.String("metrics", "", "stream NDJSON metric snapshots to this file")
-		traceOut    = flag.String("trace-out", "", "write Chrome trace-event JSON of the request lifecycle to this file on shutdown")
+		traceOut    = flag.String("trace-out", "", "write Chrome trace-event JSON of the request lifecycle to this file on shutdown (replay mode: client-side spans, linkable to the server trace via tracecheck -merge)")
+
+		qualityOn   = flag.Bool("quality", false, "online quality telemetry: score every prediction against the next demand accesses (server: /quality endpoint; replay: scoreboard on exit)")
+		shadowEvery = flag.Int("shadow-every", 0, "re-run 1-in-N fast-tier requests through the model off the latency path and track agreement (0 = off; needs -quality)")
+		windowEvery = flag.Int("quality-window", 0, "rotate the rolling quality windows every N settled outcomes (0 = default)")
 
 		replay  = flag.String("replay", "", "client mode: replay the trace against a daemon at this address")
 		streams = flag.Int("streams", 4, "concurrent client streams (replay mode)")
@@ -75,7 +81,11 @@ func main() {
 	}
 
 	if *replay != "" {
-		if err := runReplay(*replay, tr, *streams, *perStr, *fast); err != nil {
+		err := runReplay(replayOptions{
+			addr: *replay, streams: *streams, perStream: *perStr, fast: *fast,
+			quality: *qualityOn, windowEvery: *windowEvery, traceOut: *traceOut,
+		}, tr)
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "prefetchd:", err)
 			os.Exit(1)
 		}
@@ -96,21 +106,53 @@ func main() {
 	if *traceOut != "" {
 		tracer = tracing.New(tracing.Options{Path: *traceOut})
 	}
+
+	// The quality tracker registers its rolling instruments in the sink
+	// registry (so /metrics carries the raw counters) while /quality serves
+	// the assembled scoreboard. The registry only exists after metrics.Start,
+	// so /quality reads the tracker through an atomic pointer; until it is
+	// stored — or always, when -quality is off — the nil tracker's Handler
+	// answers 404 with a hint.
+	var trackerPtr atomic.Pointer[quality.Tracker]
+
 	sink, err := metrics.Start(metrics.SinkOptions{
 		Tool:       "prefetchd",
 		Config:     cfg,
 		Seed:       *seed,
 		StreamPath: *metricsOut,
 		HTTPAddr:   *metricsHTTP,
-		Handlers:   map[string]http.Handler{"/trace": tracer.Handler()},
+		Handlers: map[string]http.Handler{
+			"/trace": tracer.Handler(),
+			"/quality": http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				trackerPtr.Load().Handler().ServeHTTP(w, r)
+			}),
+		},
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "prefetchd: metrics:", err)
 		os.Exit(1)
 	}
 	cfg.Metrics = sink.Registry()
+	var tracker *quality.Tracker
+	if *qualityOn {
+		qreg := sink.Registry()
+		if qreg == nil {
+			// No sink configured: the tracker still needs live instruments
+			// for the drain scoreboard, just nobody else reads them.
+			qreg = metrics.NewRegistry()
+		}
+		tracker = quality.New(quality.Config{
+			ShadowEvery: *shadowEvery,
+			WindowEvery: *windowEvery,
+			Metrics:     qreg,
+		})
+		trackerPtr.Store(tracker)
+	} else if *shadowEvery > 0 {
+		fmt.Fprintln(os.Stderr, "prefetchd: -shadow-every needs -quality")
+		os.Exit(2)
+	}
 	if addr := sink.HTTPAddr(); addr != "" {
-		fmt.Printf("metrics: http://%s/metrics (trace at /trace, pprof at /debug/pprof/)\n", addr)
+		fmt.Printf("metrics: http://%s/metrics (trace at /trace, quality at /quality, pprof at /debug/pprof/)\n", addr)
 	}
 
 	model, err := buildModel(tr, cfg, *weights)
@@ -138,6 +180,7 @@ func main() {
 		IdleTimeout: *idleEvict,
 		Metrics:     sink.Registry(),
 		Tracer:      tracer,
+		Quality:     tracker,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "prefetchd:", err)
@@ -156,6 +199,9 @@ func main() {
 	fmt.Printf("prefetchd: %v — draining\n", sig)
 	if err := srv.Close(); err != nil {
 		fmt.Fprintln(os.Stderr, "prefetchd: close:", err)
+	}
+	if tracker != nil {
+		fmt.Println(tracker.Report())
 	}
 	if err := tracer.Close(); err != nil {
 		fmt.Fprintln(os.Stderr, "prefetchd: tracing:", err)
@@ -213,47 +259,94 @@ func buildModel(tr *trace.Trace, cfg voyager.Config, weights string) (*voyager.M
 	return m, nil
 }
 
+// replayOptions collects the client-mode knobs.
+type replayOptions struct {
+	addr        string
+	streams     int
+	perStream   int
+	fast        bool
+	quality     bool   // score responses client-side, print the scoreboard
+	windowEvery int    // quality window rotation period (0 = default)
+	traceOut    string // write client-side rpc spans here (trace context on the wire)
+}
+
 // runReplay drives a running daemon with concurrent client streams and
-// reports client-side round-trip latency.
-func runReplay(addr string, tr *trace.Trace, streams, perStream int, fast bool) error {
-	if streams < 1 {
-		streams = 1
+// reports client-side round-trip latency. With -quality it scores every
+// response against the stream's own upcoming accesses — the client knows
+// its future, so this is the ground-truth scoreboard for the replayed
+// trace. With -trace-out each request carries a trace context and is
+// wrapped in a client-side async span; tracecheck -merge folds the export
+// and the server's -trace-out into one cross-process timeline.
+func runReplay(o replayOptions, tr *trace.Trace) error {
+	if o.streams < 1 {
+		o.streams = 1
 	}
 	nAcc := len(tr.Accesses)
-	if perStream <= 0 || perStream > nAcc {
-		perStream = nAcc
+	if o.perStream <= 0 || o.perStream > nAcc {
+		o.perStream = nAcc
 	}
 	tier := "model"
-	if fast {
+	if o.fast {
 		tier = "fast"
 	}
-	fmt.Printf("replaying %d accesses x %d streams against %s (%s tier)\n", perStream, streams, addr, tier)
+	fmt.Printf("replaying %d accesses x %d streams against %s (%s tier)\n", o.perStream, o.streams, o.addr, tier)
 
-	lats := make([][]int64, streams)
-	errs := make([]error, streams)
+	var tracker *quality.Tracker
+	if o.quality {
+		tracker = quality.New(quality.Config{
+			WindowEvery: o.windowEvery,
+			Metrics:     metrics.NewRegistry(),
+		})
+	}
+	var tracer *tracing.Tracer
+	if o.traceOut != "" {
+		tracer = tracing.New(tracing.Options{Path: o.traceOut})
+	}
+
+	lats := make([][]int64, o.streams)
+	errs := make([]error, o.streams)
 	var wg sync.WaitGroup
 	start := time.Now()
-	for i := 0; i < streams; i++ {
+	for i := 0; i < o.streams; i++ {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
-			cl, err := serve.Dial(addr)
+			cl, err := serve.Dial(o.addr)
 			if err != nil {
 				errs[id] = err
 				return
 			}
 			defer func() { _ = cl.Close() }()
-			lat := make([]int64, 0, perStream)
-			for j := 0; j < perStream; j++ {
+			qs := tracker.NewSession()
+			var rpcTk *tracing.Track
+			if tracer != nil {
+				rpcTk = tracer.Track("rpc", fmt.Sprintf("stream-%d", id))
+			}
+			lat := make([]int64, 0, o.perStream)
+			for j := 0; j < o.perStream; j++ {
 				a := tr.Accesses[j]
+				var r *serve.Response
+				var err error
 				t0 := time.Now()
-				if _, err := cl.Predict(uint64(id), a.PC, a.Addr, fast); err != nil {
+				if rpcTk != nil {
+					// Span ids are unique per request across the whole
+					// replay; the server stamps its marks with the same id.
+					spanID := uint64(id)<<32 | uint64(j+1)
+					rpcTk.AsyncBegin("predict", spanID)
+					r, err = cl.PredictTraced(uint64(id), a.PC, a.Addr, o.fast, uint64(id)+1, spanID)
+					rpcTk.AsyncEnd("predict", spanID)
+				} else {
+					r, err = cl.Predict(uint64(id), a.PC, a.Addr, o.fast)
+				}
+				if err != nil {
 					errs[id] = err
 					return
 				}
 				lat = append(lat, time.Since(t0).Nanoseconds())
+				scoreReply(qs, a.Addr, r)
 			}
 			lats[id] = lat
+			qs.Close()
 			errs[id] = cl.CloseStream(uint64(id))
 		}(i)
 	}
@@ -284,5 +377,34 @@ func runReplay(addr string, tr *trace.Trace, streams, perStream int, fast bool) 
 		len(all), elapsed.Round(time.Millisecond), float64(len(all))/elapsed.Seconds())
 	fmt.Printf("round-trip latency: p50 %v  p90 %v  p99 %v  max %v\n",
 		q(0.50), q(0.90), q(0.99), q(1.0))
+	if tracker != nil {
+		fmt.Println(tracker.Report())
+	}
+	if tracer != nil {
+		if err := tracer.Close(); err != nil {
+			return fmt.Errorf("tracing: %w", err)
+		}
+		fmt.Printf("client trace: %s (merge with the server's via tracecheck -merge)\n", o.traceOut)
+	}
 	return nil
+}
+
+// scoreReply feeds one response into the client-side quality session: the
+// accessed cache line plus the candidate lines the server predicted.
+// No-op when scoring is off (nil session).
+func scoreReply(qs *quality.Session, addr uint64, r *serve.Response) {
+	if qs == nil {
+		return
+	}
+	lines := make([]uint64, 0, len(r.Cands))
+	for _, c := range r.Cands {
+		if c.Addr != 0 {
+			lines = append(lines, c.Addr>>trace.LineBits)
+		}
+	}
+	tier := quality.TierModel
+	if r.Tier == serve.TierFast {
+		tier = quality.TierFast
+	}
+	qs.Score(addr>>trace.LineBits, lines, tier)
 }

@@ -9,6 +9,7 @@ import (
 	"voyager/internal/distill"
 	"voyager/internal/serve"
 	"voyager/internal/trace"
+	"voyager/internal/tracing"
 	"voyager/internal/voyager"
 )
 
@@ -127,13 +128,26 @@ func TestBuildModelAndReplay(t *testing.T) {
 	defer func() { _ = srv.Close() }()
 	addr := srv.Addr().String()
 
-	if err := runReplay(addr, tr, 2, 40, true); err != nil {
-		t.Fatalf("runReplay (fast): %v", err)
+	tpath := filepath.Join(t.TempDir(), "client.json")
+	if err := runReplay(replayOptions{addr: addr, streams: 2, perStream: 40, fast: true,
+		quality: true, traceOut: tpath}, tr); err != nil {
+		t.Fatalf("runReplay (fast, quality, traced): %v", err)
 	}
-	if err := runReplay(addr, tr, 2, 10, false); err != nil {
+	data, err := os.ReadFile(tpath)
+	if err != nil {
+		t.Fatalf("client trace not written: %v", err)
+	}
+	st, err := tracing.ValidateBytes(data)
+	if err != nil {
+		t.Fatalf("client trace invalid: %v", err)
+	}
+	if st.AsyncSpans != 2*40 {
+		t.Fatalf("client trace has %d rpc spans, want %d", st.AsyncSpans, 2*40)
+	}
+	if err := runReplay(replayOptions{addr: addr, streams: 2, perStream: 10}, tr); err != nil {
 		t.Fatalf("runReplay (model): %v", err)
 	}
-	if err := runReplay("127.0.0.1:1", tr, 1, 1, true); err == nil {
+	if err := runReplay(replayOptions{addr: "127.0.0.1:1", streams: 1, perStream: 1, fast: true}, tr); err == nil {
 		t.Fatal("replay against a dead address must be an error")
 	}
 }

@@ -4,9 +4,14 @@
 // async begin/end pairing by (pid, cat, id). Exit 0 means the file loads
 // cleanly in Perfetto; verify.sh runs it on a real traced run.
 //
+// With -merge, the inputs are unified into one timeline (processes merged
+// by name, so a replay client's RPC spans and the daemon's RPC marks pair
+// up) and written to the given path after validation.
+//
 // Usage:
 //
 //	go run ./cmd/tracecheck run.trace.json [more.json ...]
+//	go run ./cmd/tracecheck -merge combined.json client.json server.json
 package main
 
 import (
@@ -18,12 +23,14 @@ import (
 )
 
 func main() {
+	mergeOut := flag.String("merge", "", "merge the input traces into one timeline written to this `path`")
 	flag.Parse()
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: tracecheck <trace.json> [...]")
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [-merge out.json] <trace.json> [...]")
 		os.Exit(2)
 	}
 	fail := false
+	inputs := make([][]byte, 0, flag.NArg())
 	for _, path := range flag.Args() {
 		data, err := os.ReadFile(path)
 		if err != nil {
@@ -31,6 +38,7 @@ func main() {
 			fail = true
 			continue
 		}
+		inputs = append(inputs, data)
 		st, err := tracing.ValidateBytes(data)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "tracecheck: %s: %v\n", path, err)
@@ -42,5 +50,23 @@ func main() {
 	}
 	if fail {
 		os.Exit(1)
+	}
+	if *mergeOut != "" {
+		merged, err := tracing.Merge(inputs...)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracecheck: merge:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*mergeOut, merged, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "tracecheck:", err)
+			os.Exit(1)
+		}
+		st, err := tracing.ValidateBytes(merged)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracecheck: merged %s: %v\n", *mergeOut, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: merged %d inputs — %d events (%d spans, %d async, %d instants) across %d processes / %d threads\n",
+			*mergeOut, len(inputs), st.Events, st.Spans, st.AsyncSpans, st.Instants, st.Processes, st.Threads)
 	}
 }

@@ -31,6 +31,10 @@ import (
 // daemon joins the list because its responses are byte-compared against
 // offline inference (the golden differential) — a nondeterministic map
 // walk in its session or eviction paths would be a serving-order bug.
+// The quality scorer joins for the same reason the metrics registry did:
+// its rolling-window counters are asserted bit-for-bit across parallel
+// and serial replays, so an ordered map walk anywhere in scoring or
+// reporting would break the replay-determinism contract.
 var CriticalPackages = []string{
 	"voyager/internal/tensor",
 	"voyager/internal/tensor/quant",
@@ -42,6 +46,7 @@ var CriticalPackages = []string{
 	"voyager/internal/tracing",
 	"voyager/internal/distill",
 	"voyager/internal/serve",
+	"voyager/internal/serve/quality",
 }
 
 // HotKernelPackages must stay in float32 end to end. The quantized
@@ -83,6 +88,7 @@ var ErrFlowPackages = []string{
 	"voyager/internal/tracing",
 	"voyager/internal/metrics",
 	"voyager/internal/serve",
+	"voyager/internal/serve/quality",
 	"voyager/cmd/...",
 }
 

@@ -103,6 +103,15 @@ type BenchReport struct {
 	ServeModelP99Ns      int64   `json:"serve_model_p99_ns,omitempty"`
 	ServeBatchFill       float64 `json:"serve_batch_fill,omitempty"`
 	ServeFastVsDistilled float64 `json:"serve_p99_vs_distilled,omitempty"`
+	// ServeQualityP99Ns is the fast tier's prediction-path p99 with online
+	// quality self-scoring live; ServeQualityOverhead is its ratio over the
+	// telemetry-off ServeFastP99Ns. Scoring runs strictly after the latency
+	// record, so this gates the indirect cost of quality telemetry
+	// (acceptance bound: < 1.05). Shadow sampling is off in this phase —
+	// its model-inference CPU cost tracks the 1-in-N knob by design (see
+	// serve.go) and is covered by the serve e2e suite, not this gate.
+	ServeQualityP99Ns    int64   `json:"serve_quality_p99_ns,omitempty"`
+	ServeQualityOverhead float64 `json:"serve_quality_overhead,omitempty"`
 	Baseline     string         `json:"baseline,omitempty"` // path of the compared report
 	Notes        string         `json:"notes,omitempty"`
 }
@@ -161,6 +170,10 @@ func (r *BenchReport) String() string {
 		fmt.Fprintf(&b, "\n  Serve (%d streams)   fast p50 %d ns  p99 %d ns (%.1fx predict_distilled)  model p99 %.2f ms  batch fill %.1f/%d",
 			r.ServeStreams, r.ServeFastP50Ns, r.ServeFastP99Ns, r.ServeFastVsDistilled,
 			float64(r.ServeModelP99Ns)/1e6, r.ServeBatchFill, serveBenchMaxBatch)
+	}
+	if r.ServeQualityOverhead > 0 {
+		fmt.Fprintf(&b, "\n  Quality overhead    %.3fx (fast p99 %d ns with online self-scoring)",
+			r.ServeQualityOverhead, r.ServeQualityP99Ns)
 	}
 	return b.String()
 }
@@ -471,6 +484,10 @@ func (o Options) Bench(workers int) (*BenchReport, error) {
 		r.ServeFastP99Ns = sres.fastP99Ns
 		r.ServeModelP99Ns = sres.modelP99Ns
 		r.ServeBatchFill = sres.batchFill
+		r.ServeQualityP99Ns = sres.qualityP99Ns
+		if sres.fastP99Ns > 0 && sres.qualityP99Ns > 0 {
+			r.ServeQualityOverhead = float64(sres.qualityP99Ns) / float64(sres.fastP99Ns)
+		}
 	}
 
 	// The same serial optimizer step with metrics enabled: the difference
@@ -576,6 +593,15 @@ var benchGates = []struct {
 	{"predict_batch_quant", 0.75},
 }
 
+// serveQualityOverheadMax gates serve_quality_overhead: the fast tier's p99
+// with quality telemetry live may cost at most 5% over the telemetry-off
+// run recorded in the same report. Unlike the speedup gates this compares
+// two phases of one suite run minutes apart in one process, so host-level
+// drift largely cancels; a trip means scoring or shadow sampling leaked
+// onto the latency path. Reports from before the quality phase existed
+// have no field and pass vacuously.
+const serveQualityOverheadMax = 1.05
+
 // CheckBenchReport is the bench-smoke gate run by scripts/verify.sh: it
 // loads the newest BENCH_pr<N>.json in dir and fails if any guarded entry
 // regressed past its gate against the report's recorded baseline. A missing
@@ -615,6 +641,15 @@ func CheckBenchReport(dir string) (string, error) {
 		}
 		msgs = append(msgs, fmt.Sprintf("%s %.2fx (%d -> %d ns/op)",
 			g.name, e.SpeedupVsBaseline, e.BaselineNsPerOp, e.NsPerOp))
+	}
+	switch {
+	case r.ServeQualityOverhead == 0:
+		msgs = append(msgs, "serve_quality_overhead absent (pre-quality report)")
+	case r.ServeQualityOverhead >= serveQualityOverheadMax:
+		return "", fmt.Errorf("bench-check: %s: serve_quality_overhead %.3fx — quality telemetry leaked onto the fast path (gate %.2fx)",
+			path, r.ServeQualityOverhead, serveQualityOverheadMax)
+	default:
+		msgs = append(msgs, fmt.Sprintf("serve_quality_overhead %.3fx", r.ServeQualityOverhead))
 	}
 	return fmt.Sprintf("bench-check: %s: %s", path, strings.Join(msgs, ", ")), nil
 }

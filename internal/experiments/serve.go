@@ -9,6 +9,7 @@ import (
 	"voyager/internal/distill"
 	"voyager/internal/metrics"
 	"voyager/internal/serve"
+	"voyager/internal/serve/quality"
 	"voyager/internal/trace"
 	"voyager/internal/voyager"
 )
@@ -26,6 +27,19 @@ import (
 // PredictBatch occupancy (rows/batches from integer counters) as
 // serve_batch_fill — under 64 synchronous streams the queue refills while
 // inference runs, so healthy batching keeps this near MaxBatch.
+// A third phase re-runs the fast load on a second server with online
+// quality self-scoring enabled and records the same prediction-path p99.
+// Scoring runs strictly after the latency record, so the ratio of the two
+// p99s — serve_quality_overhead — measures only the indirect cost
+// telemetry is allowed to have (scorer lock traffic, window-instrument
+// atomics, cache pressure) and gates the off-the-latency-path design
+// claim at < 1.05x in verify.sh. Shadow sampling is deliberately off in
+// the gated phase: shadow re-inference is real extra model work whose CPU
+// cost is proportional to the operator's 1-in-N knob by design (measured
+// at 1.35x fast p99 for 1-in-8 on this container's 2 cores), so folding
+// it into the gate would measure the knob, not a leak. Shadow
+// correctness and its never-blocks-a-handler property are pinned by the
+// serve e2e suite instead.
 const (
 	serveBenchStreams    = 64
 	serveBenchFastReqs   = 1200 // fast-tier requests per stream
@@ -35,11 +49,12 @@ const (
 )
 
 type serveBenchResult struct {
-	fastP50Ns  int64
-	fastP99Ns  int64
-	modelP99Ns int64
-	batchFill  float64
-	fastReqs   int64
+	fastP50Ns    int64
+	fastP99Ns    int64
+	modelP99Ns   int64
+	batchFill    float64
+	fastReqs     int64
+	qualityP99Ns int64 // fast-tier p99 with the quality tracker live
 }
 
 // serveBench runs both phases against the given trained model and table
@@ -92,6 +107,37 @@ func serveBench(m *voyager.Model, tab *distill.Table, tr *trace.Trace) (serveBen
 	if batches > 0 {
 		res.batchFill = float64(rows) / float64(batches)
 	}
+
+	// Quality phase: the same fast-tier load against a fresh server (same
+	// weights and table — the first one is fully closed, so the model has a
+	// single batcher at all times) with online self-scoring enabled.
+	qualRec := serve.NewLatencyRecorder(serveBenchStreams * serveBenchFastReqs)
+	qreg := metrics.NewRegistry()
+	qsrv, err := serve.New(serve.Config{
+		Model:       m,
+		Table:       tab,
+		Degree:      1,
+		MaxBatch:    serveBenchMaxBatch,
+		MaxWait:     serveBenchMaxWaitMus * time.Microsecond,
+		Metrics:     qreg,
+		FastLatency: qualRec,
+		Quality:     quality.New(quality.Config{Metrics: qreg}),
+	})
+	if err != nil {
+		return res, err
+	}
+	if err := qsrv.Start("127.0.0.1:0"); err != nil {
+		return res, err
+	}
+	defer func() { _ = qsrv.Close() }()
+	runtime.GC()
+	if err := replayPhase(qsrv.Addr().String(), tr, serveBenchFastReqs, true); err != nil {
+		return res, fmt.Errorf("serve bench quality phase: %w", err)
+	}
+	if err := qsrv.Close(); err != nil {
+		return res, err
+	}
+	res.qualityP99Ns = qualRec.Quantile(0.99)
 	return res, nil
 }
 

@@ -12,6 +12,9 @@ func TestHotPathAllocFree(t *testing.T) {
 	g := reg.Gauge("loss")
 	h := reg.Histogram("step_seconds")
 
+	wc := reg.WindowCounter("useful_total", 4)
+	wh := reg.WindowHistogram("hit_distance", 4)
+
 	cases := []struct {
 		name string
 		fn   func()
@@ -25,6 +28,11 @@ func TestHotPathAllocFree(t *testing.T) {
 		{"NilCounter.Add", func() { (*Counter)(nil).Add(1) }},
 		{"NilGauge.Set", func() { (*Gauge)(nil).Set(1) }},
 		{"NilHistogram.Observe", func() { (*Histogram)(nil).Observe(1) }},
+		{"WindowCounter.Add", func() { wc.Add(2) }},
+		{"WindowCounter.Inc", func() { wc.Inc() }},
+		{"WindowHistogram.Observe", func() { wh.Observe(0.5) }},
+		{"NilWindowCounter.Add", func() { (*WindowCounter)(nil).Add(1) }},
+		{"NilWindowHistogram.Observe", func() { (*WindowHistogram)(nil).Observe(1) }},
 	}
 	for _, tc := range cases {
 		if allocs := testing.AllocsPerRun(100, tc.fn); allocs != 0 {

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"sort"
 	"sync"
 	"time"
 
@@ -17,18 +18,22 @@ import (
 // nil instruments are accepted by StartTimer; call sites guard the rest with
 // one pointer compare.
 type Registry struct {
-	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	hists    map[string]*Histogram
+	mu        sync.Mutex
+	counters  map[string]*Counter
+	gauges    map[string]*Gauge
+	hists     map[string]*Histogram
+	wcounters map[string]*WindowCounter
+	whists    map[string]*WindowHistogram
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters: make(map[string]*Counter),
-		gauges:   make(map[string]*Gauge),
-		hists:    make(map[string]*Histogram),
+		counters:  make(map[string]*Counter),
+		gauges:    make(map[string]*Gauge),
+		hists:     make(map[string]*Histogram),
+		wcounters: make(map[string]*WindowCounter),
+		whists:    make(map[string]*WindowHistogram),
 	}
 }
 
@@ -80,6 +85,45 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
+// WindowCounter returns the rolling-window counter with the given name,
+// creating it with the given ring size on first use. The ring size is fixed
+// at creation; later calls return the existing instrument regardless of the
+// windows argument. Returns nil on a nil registry. A window counter
+// snapshots as two counter points: "<name>" (cumulative) and
+// "<name>_window" (rolling), so the name must not collide with a plain
+// counter or another instrument's derived "_window" name.
+func (r *Registry) WindowCounter(name string, windows int) *WindowCounter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	w, ok := r.wcounters[name]
+	if !ok {
+		w = NewWindowCounter(windows)
+		r.wcounters[name] = w
+	}
+	return w
+}
+
+// WindowHistogram returns the rolling-window histogram with the given name,
+// creating it with the given ring size on first use (same fixed-size and
+// naming rules as WindowCounter; it snapshots as "<name>" and
+// "<name>_window" histogram points). Returns nil on a nil registry.
+func (r *Registry) WindowHistogram(name string, windows int) *WindowHistogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	w, ok := r.whists[name]
+	if !ok {
+		w = NewWindowHistogram(windows)
+		r.whists[name] = w
+	}
+	return w
+}
+
 // Snapshot captures every instrument's current value, stable-sorted by name
 // within each kind, stamped with the current wall clock. Safe to call while
 // workers record. Returns an empty snapshot on a nil registry.
@@ -103,18 +147,43 @@ func (r *Registry) snapshotAt(ts int64) Snapshot {
 		s.Gauges = append(s.Gauges, GaugePoint{Name: name, Value: JSONFloat(r.gauges[name].Value())})
 	}
 	for _, name := range sortkeys.Sorted(r.hists) {
-		counts := r.hists[name].Counts()
-		p := HistogramPoint{Name: name}
-		var sum float64
-		for i, n := range counts {
-			if n != 0 {
-				p.Count += n
-				sum += float64(n) * bucketMid(i)
-				p.Buckets = append(p.Buckets, BucketCount{Bucket: i, Count: n})
-			}
-		}
-		p.Sum = JSONFloat(sum)
-		s.Histograms = append(s.Histograms, p)
+		s.Histograms = append(s.Histograms, histPoint(name, r.hists[name].Counts()))
+	}
+	// Window instruments export two points each — "<name>" (cumulative) and
+	// "<name>_window" (rolling) — which interleave with the plain points, so
+	// the per-kind slices are re-sorted to keep Validate's strict ordering.
+	for _, name := range sortkeys.Sorted(r.wcounters) {
+		w := r.wcounters[name]
+		s.Counters = append(s.Counters,
+			CounterPoint{Name: name, Value: w.Total()},
+			CounterPoint{Name: name + "_window", Value: w.WindowTotal()})
+	}
+	for _, name := range sortkeys.Sorted(r.whists) {
+		w := r.whists[name]
+		s.Histograms = append(s.Histograms,
+			histPoint(name, w.Cumulative().Counts()),
+			histPoint(name+"_window", w.Window().Counts()))
+	}
+	if len(r.wcounters) > 0 {
+		sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	}
+	if len(r.whists) > 0 {
+		sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
 	}
 	return s
+}
+
+// histPoint builds the snapshot point for one histogram's bucket counts.
+func histPoint(name string, counts [NumBuckets]uint64) HistogramPoint {
+	p := HistogramPoint{Name: name}
+	var sum float64
+	for i, n := range counts {
+		if n != 0 {
+			p.Count += n
+			sum += float64(n) * bucketMid(i)
+			p.Buckets = append(p.Buckets, BucketCount{Bucket: i, Count: n})
+		}
+	}
+	p.Sum = JSONFloat(sum)
+	return p
 }

@@ -1,0 +1,201 @@
+// Rolling-window instruments: a fixed ring of the package's deterministic
+// counters/log2 histograms, so a serving daemon can answer "how good are we
+// *right now*" next to the lifetime totals that mask drift.
+//
+// The design keeps every determinism property of the base instruments.
+// Rotation is caller-driven — the instrument never reads a clock or an RNG;
+// the owner decides the window boundary (the quality tracker rotates every
+// N scored outcomes, a test rotates wherever it likes), so a replayed run
+// rotates at exactly the same points and the window contents are a pure
+// function of the recorded sequence. Slots hold only integer state, so the
+// rolling view (the exact sum/merge of the last W slots) is associative and
+// order-independent: parallel recording between two rotations is bit-
+// identical to serial recording of the same values, exactly like Counter
+// and Histogram themselves (the window property tests pin this).
+//
+// Concurrent recording *during* a rotation is safe (everything is atomic or
+// under the slot's own lock) but the straddling observation lands in either
+// the outgoing or the incoming window — attribution jitter of one event at
+// the boundary, never a lost or double count: cumulative totals are exact
+// under any interleaving.
+package metrics
+
+import "sync/atomic"
+
+// WindowCounter is a Counter plus a fixed ring of per-window slots. Add
+// feeds both the cumulative total and the active slot; Rotate retires the
+// oldest slot and opens a fresh one. The rolling value is the exact integer
+// sum of the ring — the last Windows() rotations' worth of counts.
+type WindowCounter struct {
+	cum   Counter
+	cur   atomic.Uint64 // index of the active slot
+	slots []Counter
+}
+
+// NewWindowCounter returns a counter with a ring of windows slots
+// (minimum 1).
+func NewWindowCounter(windows int) *WindowCounter {
+	if windows < 1 {
+		windows = 1
+	}
+	return &WindowCounter{slots: make([]Counter, windows)}
+}
+
+// Add increments both the cumulative total and the active window (no-op on
+// a nil counter).
+//
+//hot:path
+func (w *WindowCounter) Add(n uint64) {
+	if w == nil {
+		return
+	}
+	w.cum.v.Add(n)
+	w.slots[w.cur.Load()].v.Add(n)
+}
+
+// Inc increments by one (no-op on a nil counter).
+//
+//hot:path
+func (w *WindowCounter) Inc() { w.Add(1) }
+
+// Rotate retires the oldest slot and makes it the new active window. The
+// zeroing happens before the index is published, so a concurrent Add lands
+// in the outgoing window or the (already empty) incoming one — never in a
+// half-retired slot. No-op on a nil counter.
+func (w *WindowCounter) Rotate() {
+	if w == nil {
+		return
+	}
+	next := (w.cur.Load() + 1) % uint64(len(w.slots))
+	w.slots[next].v.Store(0)
+	w.cur.Store(next)
+}
+
+// Total returns the cumulative count since creation (0 on nil).
+func (w *WindowCounter) Total() uint64 {
+	if w == nil {
+		return 0
+	}
+	return w.cum.Value()
+}
+
+// WindowTotal returns the exact sum over the ring — the rolling view (0 on
+// nil). Call it from a quiesced or single-writer context for an exact
+// boundary; under concurrent recording it is a consistent-enough telemetry
+// read (each slot is read atomically).
+func (w *WindowCounter) WindowTotal() uint64 {
+	if w == nil {
+		return 0
+	}
+	var s uint64
+	for i := range w.slots {
+		s += w.slots[i].Value()
+	}
+	return s
+}
+
+// Windows returns the ring size (0 on nil).
+func (w *WindowCounter) Windows() int {
+	if w == nil {
+		return 0
+	}
+	return len(w.slots)
+}
+
+// WindowCounts returns the per-slot totals oldest first, active window
+// last — the test surface for rotation determinism and conservation.
+func (w *WindowCounter) WindowCounts() []uint64 {
+	if w == nil {
+		return nil
+	}
+	n := len(w.slots)
+	cur := int(w.cur.Load())
+	out := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		out[i] = w.slots[(cur+1+i)%n].Value()
+	}
+	return out
+}
+
+// WindowHistogram is a Histogram plus a fixed ring of per-window log2
+// histograms. Observe feeds the cumulative histogram and the active slot;
+// Window() merges the ring — exact, because slots store only integer bucket
+// counts (the same property that makes Histogram.Merge exact).
+type WindowHistogram struct {
+	cum   Histogram
+	cur   atomic.Uint64
+	slots []Histogram
+}
+
+// NewWindowHistogram returns a histogram with a ring of windows slots
+// (minimum 1).
+func NewWindowHistogram(windows int) *WindowHistogram {
+	if windows < 1 {
+		windows = 1
+	}
+	return &WindowHistogram{slots: make([]Histogram, windows)}
+}
+
+// Observe records v into the cumulative histogram and the active window
+// (no-op on a nil histogram).
+//
+//hot:path
+func (w *WindowHistogram) Observe(v float64) {
+	if w == nil {
+		return
+	}
+	w.cum.Observe(v)
+	w.slots[w.cur.Load()].Observe(v)
+}
+
+// Rotate retires the oldest slot and makes it the new active window (no-op
+// on nil). Same boundary semantics as WindowCounter.Rotate.
+func (w *WindowHistogram) Rotate() {
+	if w == nil {
+		return
+	}
+	next := (w.cur.Load() + 1) % uint64(len(w.slots))
+	w.slots[next].reset()
+	w.cur.Store(next)
+}
+
+// Cumulative returns the lifetime histogram (nil on a nil receiver). The
+// returned histogram is live — callers read, never write.
+func (w *WindowHistogram) Cumulative() *Histogram {
+	if w == nil {
+		return nil
+	}
+	return &w.cum
+}
+
+// Window returns a fresh histogram holding the exact merge of the ring —
+// the rolling view over the last Windows() rotations. Merging integer
+// bucket counts is exact and order-independent, so the result is
+// bit-identical however the recorded values interleaved.
+func (w *WindowHistogram) Window() *Histogram {
+	h := &Histogram{}
+	if w == nil {
+		return h
+	}
+	for i := range w.slots {
+		h.Merge(&w.slots[i])
+	}
+	return h
+}
+
+// Windows returns the ring size (0 on nil).
+func (w *WindowHistogram) Windows() int {
+	if w == nil {
+		return 0
+	}
+	return len(w.slots)
+}
+
+// reset zeroes a histogram in place (rotation retires a slot by reuse, not
+// reallocation — the recording path must stay allocation-free).
+func (h *Histogram) reset() {
+	h.mu.Lock()
+	h.counts = [NumBuckets]uint64{}
+	h.total = 0
+	h.mu.Unlock()
+}

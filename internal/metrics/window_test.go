@@ -1,0 +1,273 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// windowedRun is the quick-generated shape of a rolling-window workload:
+// worker observation streams plus a rotation schedule (rotate after every
+// RotateEvery values, ring of Windows slots). Both are clamped to small
+// positive values inside the test.
+type windowedRun struct {
+	Streams workerStreams
+	Rotate  uint8
+	Windows uint8
+}
+
+func (wr windowedRun) shape() (rotateEvery, windows int) {
+	rotateEvery = int(wr.Rotate%16) + 1
+	windows = int(wr.Windows%6) + 1
+	return
+}
+
+// TestWindowCounterParallelEqualsSerial: concurrent Adds into a
+// WindowCounter between rotations produce bit-identical cumulative and
+// per-slot totals to serial recording of the same values — integer addition
+// commutes, same as the base Counter contract.
+func TestWindowCounterParallelEqualsSerial(t *testing.T) {
+	f := func(wr windowedRun) bool {
+		_, windows := wr.shape()
+		streams := wr.Streams.values()
+
+		serial := NewWindowCounter(windows)
+		parallel := NewWindowCounter(windows)
+		// Rotate both a few times so the active slot isn't just index 0.
+		for i := 0; i < windows/2; i++ {
+			serial.Rotate()
+			parallel.Rotate()
+		}
+		var wg sync.WaitGroup
+		for _, stream := range streams {
+			stream := stream
+			for _, v := range stream {
+				serial.Add(uint64(math.Float64bits(v)) % 1000)
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for _, v := range stream {
+					parallel.Add(uint64(math.Float64bits(v)) % 1000)
+				}
+			}()
+		}
+		wg.Wait()
+		if serial.Total() != parallel.Total() {
+			return false
+		}
+		sc, pc := serial.WindowCounts(), parallel.WindowCounts()
+		for i := range sc {
+			if sc[i] != pc[i] {
+				return false
+			}
+		}
+		return serial.WindowTotal() == parallel.WindowTotal()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWindowHistogramParallelEqualsSerial: same contract for the histogram
+// ring — concurrent Observes between rotations merge to bit-identical
+// bucket counts, window view included.
+func TestWindowHistogramParallelEqualsSerial(t *testing.T) {
+	f := func(wr windowedRun) bool {
+		_, windows := wr.shape()
+		streams := wr.Streams.values()
+
+		serial := NewWindowHistogram(windows)
+		parallel := NewWindowHistogram(windows)
+		serial.Rotate()
+		parallel.Rotate()
+		var wg sync.WaitGroup
+		for _, stream := range streams {
+			stream := stream
+			for _, v := range stream {
+				serial.Observe(v)
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for _, v := range stream {
+					parallel.Observe(v)
+				}
+			}()
+		}
+		wg.Wait()
+		return serial.Cumulative().Counts() == parallel.Cumulative().Counts() &&
+			serial.Window().Counts() == parallel.Window().Counts()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWindowRotationDeterminism: the per-slot distribution after any
+// sequence of Add/Rotate is a pure function of that sequence — replaying
+// the same interleaving of values and rotations into a fresh instrument
+// reproduces identical slot contents and window views.
+func TestWindowRotationDeterminism(t *testing.T) {
+	f := func(wr windowedRun) bool {
+		rotateEvery, windows := wr.shape()
+		var vals []uint64
+		for _, stream := range wr.Streams.values() {
+			for _, v := range stream {
+				vals = append(vals, uint64(math.Float64bits(v))%100)
+			}
+		}
+		run := func() *WindowCounter {
+			w := NewWindowCounter(windows)
+			for i, v := range vals {
+				w.Add(v)
+				if (i+1)%rotateEvery == 0 {
+					w.Rotate()
+				}
+			}
+			return w
+		}
+		a, b := run(), run()
+		ac, bc := a.WindowCounts(), b.WindowCounts()
+		for i := range ac {
+			if ac[i] != bc[i] {
+				return false
+			}
+		}
+		return a.Total() == b.Total() && a.WindowTotal() == b.WindowTotal()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWindowCountConservation: across any rotation schedule, the cumulative
+// total always equals the sum of everything ever added, and the rolling
+// total equals exactly the adds since the (windows)-th most recent rotation
+// — rotation drops the oldest slot and nothing else.
+func TestWindowCountConservation(t *testing.T) {
+	f := func(wr windowedRun) bool {
+		rotateEvery, windows := wr.shape()
+		var vals []uint64
+		for _, stream := range wr.Streams.values() {
+			for _, v := range stream {
+				vals = append(vals, uint64(math.Float64bits(v))%100)
+			}
+		}
+		w := NewWindowCounter(windows)
+		h := NewWindowHistogram(windows)
+		var cum uint64
+		// perSegment[k] = sum of adds between rotation k and k+1; the live
+		// window is the last `windows` segments (the active one included).
+		perSegment := []uint64{0}
+		segCount := []uint64{0}
+		for i, v := range vals {
+			w.Add(v)
+			h.Observe(float64(v))
+			cum += v
+			perSegment[len(perSegment)-1] += v
+			segCount[len(segCount)-1]++
+			if (i+1)%rotateEvery == 0 {
+				w.Rotate()
+				h.Rotate()
+				perSegment = append(perSegment, 0)
+				segCount = append(segCount, 0)
+			}
+		}
+		if w.Total() != cum {
+			return false
+		}
+		var wantWin, wantWinN uint64
+		lo := len(perSegment) - windows
+		if lo < 0 {
+			lo = 0
+		}
+		for k := lo; k < len(perSegment); k++ {
+			wantWin += perSegment[k]
+			wantWinN += segCount[k]
+		}
+		return w.WindowTotal() == wantWin &&
+			h.Window().Count() == wantWinN &&
+			h.Cumulative().Count() == uint64(len(vals))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWindowNilSafety: nil window instruments are inert end to end, like
+// every other instrument in the package.
+func TestWindowNilSafety(t *testing.T) {
+	var wc *WindowCounter
+	wc.Add(1)
+	wc.Inc()
+	wc.Rotate()
+	if wc.Total() != 0 || wc.WindowTotal() != 0 || wc.Windows() != 0 || wc.WindowCounts() != nil {
+		t.Fatal("nil WindowCounter not inert")
+	}
+	var wh *WindowHistogram
+	wh.Observe(1)
+	wh.Rotate()
+	if wh.Cumulative() != nil || wh.Windows() != 0 {
+		t.Fatal("nil WindowHistogram not inert")
+	}
+	if wh.Window().Count() != 0 {
+		t.Fatal("nil WindowHistogram window not empty")
+	}
+	var nilReg *Registry
+	if nilReg.WindowCounter("x", 4) != nil || nilReg.WindowHistogram("x", 4) != nil {
+		t.Fatal("nil registry handed out non-nil window instruments")
+	}
+}
+
+// TestWindowSnapshotPoints: window instruments export "<name>" and
+// "<name>_window" points, the snapshot stays Validate-clean (strictly
+// sorted unique names), and the rolling point reflects rotation while the
+// cumulative one keeps counting.
+func TestWindowSnapshotPoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("zz_plain") // sorts after the window-derived names
+	wc := reg.WindowCounter("quality_useful_total", 2)
+	wh := reg.WindowHistogram("quality_hit_distance", 2)
+	wc.Add(5)
+	wh.Observe(1)
+	wc.Rotate()
+	wc.Rotate() // the Add(5) segment has left the 2-slot ring
+	wc.Add(3)
+
+	snap := reg.snapshotAt(42)
+	if err := snap.Validate(); err != nil {
+		t.Fatalf("snapshot with window points not valid: %v", err)
+	}
+	get := func(name string) uint64 {
+		for _, p := range snap.Counters {
+			if p.Name == name {
+				return p.Value
+			}
+		}
+		t.Fatalf("counter point %q missing", name)
+		return 0
+	}
+	if got := get("quality_useful_total"); got != 8 {
+		t.Fatalf("cumulative point = %d, want 8", got)
+	}
+	if got := get("quality_useful_total_window"); got != 3 {
+		t.Fatalf("window point = %d, want 3 (pre-rotation adds retired)", got)
+	}
+	var histNames []string
+	for _, p := range snap.Histograms {
+		histNames = append(histNames, p.Name)
+	}
+	want := []string{"quality_hit_distance", "quality_hit_distance_window"}
+	if len(histNames) != 2 || histNames[0] != want[0] || histNames[1] != want[1] {
+		t.Fatalf("histogram points = %v, want %v", histNames, want)
+	}
+	// Same instrument on repeat lookup; ring size fixed at first creation.
+	if reg.WindowCounter("quality_useful_total", 99) != wc {
+		t.Fatal("WindowCounter lookup did not return the existing instrument")
+	}
+	if wc.Windows() != 2 || wh.Windows() != 2 {
+		t.Fatal("ring size not fixed at creation")
+	}
+}

@@ -16,6 +16,7 @@ package serve
 import (
 	"time"
 
+	"voyager/internal/trace"
 	"voyager/internal/voyager"
 )
 
@@ -23,11 +24,23 @@ import (
 // token window plus the trigger line needed to decode candidates. The
 // handler blocks on reply (buffered, capacity 1, so the batcher never
 // blocks answering).
+//
+// A shadow pending is a fast-tier request re-run through the model for
+// drift detection: it has no reply channel (nobody is waiting), carries the
+// fast tier's top-1 address, and the batcher records agreement instead of
+// answering. A traced pending carries the client's span id so the batcher
+// can mark the batch on the request's cross-process timeline.
 type pending struct {
 	row   []tok3 // seqLen triples, oldest first
 	line  uint64 // trigger cache line
 	enq   time.Time
 	reply chan []voyager.Candidate
+
+	traced bool
+	spanID uint64
+
+	shadow  bool
+	fastTop uint64 // fast tier's top-1 prefetch address (0 = none)
 }
 
 // batchLoop is the single goroutine that talks to the model. It exits when
@@ -101,6 +114,9 @@ func (s *Server) runBatch(batch []*pending, tb *voyager.TokenBatch, pcs, pages, 
 	sp := s.obs.batchTk.Begin("predict_batch")
 	tb.Reset()
 	for _, p := range batch {
+		if p.traced {
+			s.obs.rpcBatchTk.AsyncInstant("srv_batch", p.spanID)
+		}
 		for i, t := range p.row {
 			pcs[i], pages[i], offs[i] = t.pc, t.page, t.off
 		}
@@ -110,6 +126,18 @@ func (s *Server) runBatch(batch []*pending, tb *voyager.TokenBatch, pcs, pages, 
 	sp.End()
 
 	for i, p := range batch {
+		if p.shadow {
+			// Drift check: does the model's top-1 agree with what the fast
+			// tier already answered? No reply — nobody is waiting.
+			var modelTop uint64
+			if cs := cands[i]; len(cs) > 0 {
+				if ln, ok := s.voc.Decode(p.line, cs[0].PageTok, cs[0].OffTok); ok {
+					modelTop = ln << trace.LineBits
+				}
+			}
+			s.cfg.Quality.RecordShadow(modelTop == p.fastTop)
+			continue
+		}
 		p.reply <- cands[i] // buffered; never blocks
 	}
 }

@@ -72,6 +72,29 @@ func (c *Client) Predict(stream, pc, addr uint64, fast bool) (*Response, error) 
 	return r, nil
 }
 
+// PredictTraced is Predict with a trace context attached: the request goes
+// out as a v2 frame carrying (traceID, spanID), and the server stamps its
+// receive/batch/reply marks with spanID. The caller typically wraps the
+// call in an async span with the same id on its own "rpc"-named track, so
+// tracing.Merge folds the client span and the server marks into one
+// timeline. spanID must be unique per in-flight request within the
+// client's trace.
+func (c *Client) PredictTraced(stream, pc, addr uint64, fast bool, traceID, spanID uint64) (*Response, error) {
+	var flags byte
+	if fast {
+		flags = FlagFast
+	}
+	r, err := c.roundTrip(Request{Op: OpPredict, Flags: flags, Stream: stream, PC: pc, Addr: addr,
+		HasCtx: true, TraceID: traceID, SpanID: spanID})
+	if err != nil {
+		return nil, err
+	}
+	if r.Status != StatusOK {
+		return nil, fmt.Errorf("serve: server error: %s", r.Err)
+	}
+	return r, nil
+}
+
 // CloseStream discards the server-side session for stream.
 func (c *Client) CloseStream(stream uint64) error {
 	r, err := c.roundTrip(Request{Op: OpClose, Stream: stream})

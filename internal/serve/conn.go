@@ -16,7 +16,9 @@ import (
 	"time"
 
 	"voyager/internal/distill"
+	"voyager/internal/serve/quality"
 	"voyager/internal/trace"
+	"voyager/internal/tracing"
 	"voyager/internal/voyager"
 )
 
@@ -26,11 +28,15 @@ type connState struct {
 	out     []byte // encoded response frame
 	rowBuf  []tok3 // model-tier window snapshot
 	histBuf []distill.TokPair
-	pend    pending // reused: the handler blocks on reply before the next request
+	lineBuf []uint64 // predicted lines handed to the quality scorer
+	pend    pending  // reused: the handler blocks on reply before the next request
 	reply   chan []voyager.Candidate
 
 	streamID uint64 // cached session lookup
 	sess     *session
+
+	rpcTk   *tracing.Track // lazily created on the first traced request
+	rpcInit bool
 }
 
 // handleConn serves one connection until EOF, a protocol error, or Close.
@@ -47,6 +53,9 @@ func (s *Server) handleConn(c net.Conn, id uint64) {
 		rowBuf:  make([]tok3, s.seqLen),
 		histBuf: make([]distill.TokPair, s.histLen),
 		reply:   make(chan []voyager.Candidate, 1),
+	}
+	if s.cfg.Quality != nil {
+		cs.lineBuf = make([]uint64, 0, s.degree)
 	}
 	var in []byte
 	for {
@@ -81,7 +90,17 @@ func (s *Server) handleConn(c net.Conn, id uint64) {
 				return
 			}
 			sp := tk.Begin("request")
+			if req.HasCtx {
+				if !cs.rpcInit {
+					cs.rpcTk = s.obs.rpcTrack(id)
+					cs.rpcInit = true
+				}
+				cs.rpcTk.AsyncInstant("srv_recv", req.SpanID)
+			}
 			s.predict(cs, req)
+			if req.HasCtx {
+				cs.rpcTk.AsyncInstant("srv_reply", req.SpanID)
+			}
 			sp.End()
 		}
 		if err := WriteFrame(bw, EncodeResponse(cs.out[:0], &cs.resp)); err != nil {
@@ -116,7 +135,8 @@ func (s *Server) predictModel(cs *connState, st *session, req Request) {
 	st.mu.Unlock()
 	st.lastUsed.Store(t0.UnixNano())
 
-	cs.pend = pending{row: cs.rowBuf, line: line, enq: t0, reply: cs.reply}
+	cs.pend = pending{row: cs.rowBuf, line: line, enq: t0, reply: cs.reply,
+		traced: req.HasCtx, spanID: req.SpanID}
 	s.queue <- &cs.pend
 	cands := <-cs.reply
 
@@ -140,6 +160,10 @@ func (s *Server) predictModel(cs *connState, st *session, req Request) {
 	s.obs.modelReqs.Inc()
 	s.obs.reqSec.Observe(lat.Seconds())
 	s.cfg.ModelLatency.record(lat.Nanoseconds())
+
+	if s.cfg.Quality != nil {
+		st.qs.Score(line, cs.predictedLines(cs.resp.Cands), quality.TierModel)
+	}
 }
 
 // predictFast answers inline from the distilled table, mirroring
@@ -192,6 +216,55 @@ func (s *Server) predictFast(cs *connState, st *session, req Request) {
 	s.obs.tierCounts[tier].Inc()
 	s.obs.fastSec.Observe(lat.Seconds())
 	s.cfg.FastLatency.record(lat.Nanoseconds())
+
+	// Quality work runs strictly after the latency record above: scoring
+	// and the shadow-sample decision are off the measured fast path, and
+	// the shadow model pass itself happens on the batcher goroutine.
+	if s.cfg.Quality != nil {
+		st.qs.Score(line, cs.predictedLines(out), quality.TierFast)
+		if s.cfg.Quality.ShadowTick() {
+			var fastTop uint64
+			if len(out) > 0 {
+				fastTop = out[0].Addr
+			}
+			s.enqueueShadow(st, fastTop)
+		}
+	}
+}
+
+// predictedLines converts a response's candidates into the cache lines the
+// quality scorer matches against, reusing connection scratch. Candidates
+// whose tokens did not decode (Addr 0) are unscoreable and are skipped —
+// the scorer never sees them, so they don't dilute conservation.
+func (cs *connState) predictedLines(cands []Candidate) []uint64 {
+	lines := cs.lineBuf[:0]
+	for _, c := range cands {
+		if c.Addr != 0 {
+			lines = append(lines, c.Addr>>trace.LineBits)
+		}
+	}
+	cs.lineBuf = lines
+	return lines
+}
+
+// enqueueShadow posts a model-tier shadow job for a just-answered fast-tier
+// request. The job snapshots the session window *after* the request's
+// advance — the same context predictModel would have used — into a fresh
+// buffer (the job outlives this handler's scratch). The enqueue never
+// blocks: a full admission queue drops the sample and counts the drop,
+// because shadow work must never stall a handler.
+func (s *Server) enqueueShadow(st *session, fastTop uint64) {
+	p := &pending{row: make([]tok3, s.seqLen), enq: time.Now(),
+		shadow: true, fastTop: fastTop}
+	st.mu.Lock()
+	st.copyWindow(p.row, s.seqLen)
+	p.line = st.line
+	st.mu.Unlock()
+	select {
+	case s.queue <- p:
+	default:
+		s.cfg.Quality.RecordShadowDropped()
+	}
 }
 
 func dupAddr(cands []Candidate, addr uint64) bool {

@@ -28,6 +28,26 @@ func FuzzDecodeRequest(f *testing.F) {
 	f.Add(zero) // all-zero frame: bad version
 	f.Add([]byte("garbage that is not a frame at all.."))
 
+	// Trace-context (v2) shapes: a valid traced frame, a zero-id traced
+	// frame (must still re-encode as v2 — HasCtx is frame identity), a
+	// truncated context, a version/length mismatch each way, and a traced
+	// frame at the request-size ceiling with saturated ids.
+	traced := EncodeRequest(nil, Request{Op: OpPredict, Flags: FlagFast, Stream: 3,
+		PC: 0x400123, Addr: 0x7fff0040, HasCtx: true, TraceID: 0xdead, SpanID: 0xbeef})
+	f.Add(traced)
+	f.Add(EncodeRequest(nil, Request{Op: OpPing, HasCtx: true})) // zero ids, still v2
+	trunc := append([]byte{}, traced[:4+RequestLen]...) // v2 header, context cut off
+	binary.BigEndian.PutUint32(trunc, RequestLen)
+	f.Add(trunc)
+	mismatch := append([]byte{}, traced...) // 44-byte frame claiming v1
+	mismatch[4] = Version
+	f.Add(mismatch)
+	short := append([]byte{}, valid...) // 28-byte frame claiming v2
+	short[4] = VersionTraced
+	f.Add(short)
+	f.Add(EncodeRequest(nil, Request{Op: OpClose, Flags: 0xff, Stream: ^uint64(0),
+		PC: ^uint64(0), Addr: ^uint64(0), HasCtx: true, TraceID: ^uint64(0), SpanID: ^uint64(0)}))
+
 	f.Fuzz(func(t *testing.T, data []byte) {
 		br := bufio.NewReader(bytes.NewReader(data))
 		var buf []byte

@@ -32,7 +32,10 @@ type serveObs struct {
 	batchRows  *metrics.Counter // total rows across batches (exact fill = rows/batches)
 	tierCounts [3]*metrics.Counter
 
-	conns *metrics.Gauge
+	janitorPasses *metrics.Counter // idle-eviction sweeps completed
+
+	conns        *metrics.Gauge
+	traceDropped *metrics.Gauge // span-arena drops, mirrored from the tracer
 
 	queueWait *metrics.Histogram // seconds from enqueue to batch start
 	batchFill *metrics.Histogram // rows per PredictBatch call
@@ -41,6 +44,10 @@ type serveObs struct {
 
 	tracer  *tracing.Tracer
 	batchTk *tracing.Track
+	// rpcBatchTk carries the batcher's async marks for traced requests.
+	// It lives under the shared "rpc" process name: tracing.Merge unifies
+	// processes by name, so these marks land in the client's async spans.
+	rpcBatchTk *tracing.Track
 }
 
 func newServeObs(reg *metrics.Registry, tr *tracing.Tracer) *serveObs {
@@ -49,15 +56,18 @@ func newServeObs(reg *metrics.Registry, tr *tracing.Tracer) *serveObs {
 		modelReqs: reg.Counter("serve_requests_model_total"),
 		fastReqs:  reg.Counter("serve_requests_fast_total"),
 		errors:    reg.Counter("serve_errors_total"),
-		batches:   reg.Counter("serve_batches_total"),
-		batchRows: reg.Counter("serve_batch_rows_total"),
-		conns:     reg.Gauge("serve_conns_active"),
+		batches:       reg.Counter("serve_batches_total"),
+		batchRows:     reg.Counter("serve_batch_rows_total"),
+		janitorPasses: reg.Counter("serve_janitor_passes_total"),
+		conns:         reg.Gauge("serve_conns_active"),
+		traceDropped:  reg.Gauge("tracing_dropped_events"),
 		queueWait: reg.Histogram("serve_queue_wait_seconds"),
 		batchFill: reg.Histogram("serve_batch_rows"),
 		reqSec:    reg.Histogram("serve_request_seconds"),
 		fastSec:   reg.Histogram("serve_fast_request_seconds"),
-		tracer:    tr,
-		batchTk:   tr.Track("prefetchd", "batcher"),
+		tracer:     tr,
+		batchTk:    tr.Track("prefetchd", "batcher"),
+		rpcBatchTk: tr.Track("rpc", "batcher"),
 	}
 	for i := range o.tierCounts {
 		o.tierCounts[i] = reg.Counter("serve_fast_tier_" + tierName(i) + "_total")
@@ -90,6 +100,17 @@ func (o *serveObs) connTrack(connID uint64) *tracing.Track {
 		return nil
 	}
 	return o.tracer.Track("prefetchd", connThreadName(connID))
+}
+
+// rpcTrack is the per-connection timeline for trace-context request marks,
+// under the merge-unified "rpc" process name (see rpcBatchTk). Created
+// lazily on a connection's first traced request so untraced serving adds no
+// tracks.
+func (o *serveObs) rpcTrack(connID uint64) *tracing.Track {
+	if o.tracer == nil || connID > maxConnTracks {
+		return nil
+	}
+	return o.tracer.Track("rpc", connThreadName(connID))
 }
 
 func connThreadName(id uint64) string {

@@ -21,15 +21,27 @@ import (
 
 // Protocol constants.
 const (
-	// Version is the wire protocol version; requests carrying any other
-	// value are rejected.
+	// Version is the base wire protocol version. Requests carrying any
+	// version other than Version or VersionTraced are rejected.
 	Version = 1
+
+	// VersionTraced is the version byte of a trace-context request frame:
+	// the base request plus a 16-byte trace context (TraceID, SpanID) so
+	// client replay spans and server spans link into one merged timeline.
+	// The extension is version-gated, not flag-gated, so a v1 decoder
+	// rejects it cleanly by version instead of misreading the length, and
+	// old clients that never send it are untouched.
+	VersionTraced = 2
 
 	// MaxFrame bounds the payload length of any frame in either direction.
 	MaxFrame = 1 << 16
 
-	// RequestLen is the exact payload length of a request frame.
+	// RequestLen is the exact payload length of a base (v1) request frame.
 	RequestLen = 28
+
+	// RequestLenTraced is the exact payload length of a trace-context (v2)
+	// request frame: RequestLen plus TraceID and SpanID.
+	RequestLenTraced = RequestLen + 16
 
 	// candLen is the encoded size of one response candidate.
 	candLen = 24
@@ -70,13 +82,23 @@ const (
 )
 
 // Request is one decoded request frame. Stream identifies the session; PC
-// and Addr are the access being appended to it.
+// and Addr are the access being appended to it. HasCtx marks a v2 frame
+// carrying a trace context: TraceID identifies the client's trace, SpanID
+// the client-side span for this request — the server stamps its async
+// lifecycle marks with SpanID so tracing.Merge pairs them into the
+// client's span. HasCtx is part of the frame's identity (it selects the
+// version byte), which keeps decode∘encode canonical even when both ids
+// are zero.
 type Request struct {
 	Op     byte
 	Flags  byte
 	Stream uint64
 	PC     uint64
 	Addr   uint64
+
+	HasCtx  bool
+	TraceID uint64
+	SpanID  uint64
 }
 
 // Candidate is one prefetch candidate on the wire. PageTok/OffTok are the
@@ -112,23 +134,49 @@ var (
 )
 
 // EncodeRequest appends the frame (length prefix included) for r to dst and
-// returns the extended slice.
+// returns the extended slice. A request with HasCtx set encodes as a v2
+// trace-context frame; otherwise the v1 layout is byte-identical to every
+// previous release.
 func EncodeRequest(dst []byte, r Request) []byte {
-	dst = binary.BigEndian.AppendUint32(dst, RequestLen)
-	dst = append(dst, Version, r.Op, r.Flags, 0)
+	if r.HasCtx {
+		dst = binary.BigEndian.AppendUint32(dst, RequestLenTraced)
+		dst = append(dst, VersionTraced, r.Op, r.Flags, 0)
+	} else {
+		dst = binary.BigEndian.AppendUint32(dst, RequestLen)
+		dst = append(dst, Version, r.Op, r.Flags, 0)
+	}
 	dst = binary.BigEndian.AppendUint64(dst, r.Stream)
 	dst = binary.BigEndian.AppendUint64(dst, r.PC)
 	dst = binary.BigEndian.AppendUint64(dst, r.Addr)
+	if r.HasCtx {
+		dst = binary.BigEndian.AppendUint64(dst, r.TraceID)
+		dst = binary.BigEndian.AppendUint64(dst, r.SpanID)
+	}
 	return dst
 }
 
 // DecodeRequest parses a request payload (the frame body, after the length
-// prefix). It never panics on arbitrary input — the fuzz target pins that.
+// prefix). The version byte selects the layout: v1 is the 28-byte base
+// request, v2 appends the 16-byte trace context; a version/length mismatch
+// (truncated context, padded base frame) is rejected. It never panics on
+// arbitrary input — the fuzz target pins that.
 func DecodeRequest(p []byte) (Request, error) {
-	if len(p) != RequestLen {
-		return Request{}, fmt.Errorf("%w: %d bytes, want %d", errBadLength, len(p), RequestLen)
+	if len(p) != RequestLen && len(p) != RequestLenTraced {
+		return Request{}, fmt.Errorf("%w: %d bytes, want %d or %d",
+			errBadLength, len(p), RequestLen, RequestLenTraced)
 	}
-	if p[0] != Version {
+	switch p[0] {
+	case Version:
+		if len(p) != RequestLen {
+			return Request{}, fmt.Errorf("%w: version %d frame is %d bytes, want %d",
+				errBadLength, Version, len(p), RequestLen)
+		}
+	case VersionTraced:
+		if len(p) != RequestLenTraced {
+			return Request{}, fmt.Errorf("%w: version %d frame is %d bytes, want %d",
+				errBadLength, VersionTraced, len(p), RequestLenTraced)
+		}
+	default:
 		return Request{}, fmt.Errorf("%w: %d", errBadVersion, p[0])
 	}
 	op := p[1]
@@ -138,13 +186,19 @@ func DecodeRequest(p []byte) (Request, error) {
 	if p[3] != 0 {
 		return Request{}, errBadReserved
 	}
-	return Request{
+	r := Request{
 		Op:     op,
 		Flags:  p[2],
 		Stream: binary.BigEndian.Uint64(p[4:12]),
 		PC:     binary.BigEndian.Uint64(p[12:20]),
 		Addr:   binary.BigEndian.Uint64(p[20:28]),
-	}, nil
+	}
+	if p[0] == VersionTraced {
+		r.HasCtx = true
+		r.TraceID = binary.BigEndian.Uint64(p[28:36])
+		r.SpanID = binary.BigEndian.Uint64(p[36:44])
+	}
+	return r, nil
 }
 
 // EncodeResponse appends the frame (length prefix included) for r to dst and

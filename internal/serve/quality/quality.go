@@ -1,0 +1,366 @@
+// Package quality is prefetchd's online self-scoring layer: the daemon
+// already receives every stream's ground-truth demand accesses (that is
+// what a predict request *is*), so it can grade its own predictions without
+// any offline evaluation pass. Each emitted candidate line is held in a
+// small per-stream pending ring and matched against the stream's next
+// demand accesses: a match within UsefulK accesses is *useful* (the
+// prefetch would have arrived in time), a match within RetainK is *late*
+// (right line, too far ahead of its use to bound buffering), and a
+// prediction that ages out unmatched is a *miss*. This is the serving-time
+// analogue of the accuracy/coverage the paper reports offline, and it is
+// kept per tier so the distilled fast path and the full model are graded
+// separately.
+//
+// Two rolling views sit next to every cumulative total, built on
+// internal/metrics window instruments: the cumulative counters answer "how
+// good has this daemon been since boot", the rolling windows answer "how
+// good is it right now" — the pair is what makes workload phase changes
+// visible (cumulative accuracy barely moves while the window craters; the
+// e2e test pins exactly that). Window rotation is driven by scored-outcome
+// count, not wall time, so a replayed trace rotates at the same points
+// every run.
+//
+// The tracker also owns shadow-sampling bookkeeping: every Nth fast-tier
+// request is re-run through the model tier off the latency path, and rolling
+// fast-vs-model top-1 agreement is the staleness signal for the distilled
+// table (agreement decays before user-visible accuracy does, because the
+// model adapts its context window while the table is frozen).
+//
+// Everything here follows the repo's nil-object observability contract: a
+// nil *Tracker hands out nil *Sessions, and every method on either is a
+// no-op, so the serving hot path pays one pointer compare when quality
+// telemetry is off — the PR-9 golden differential runs with it on and off
+// and byte-compares the responses.
+package quality
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"voyager/internal/metrics"
+)
+
+// Tier codes mirror the serve package's response tiers (serve imports
+// quality, so quality cannot import serve).
+const (
+	TierModel = 0
+	TierFast  = 1
+	numTiers  = 2
+)
+
+// Config configures a Tracker. The zero value of every field gets a
+// serviceable default.
+type Config struct {
+	// UsefulK: a prediction matched within this many subsequent demand
+	// accesses counts as useful (default 16 — the paper-style "would the
+	// prefetch have arrived in time" horizon).
+	UsefulK int
+	// RetainK: matched after UsefulK but within RetainK counts as late;
+	// unmatched after RetainK is a miss (default 4x UsefulK).
+	RetainK int
+	// WindowEvery rotates the rolling windows after this many scored
+	// outcomes (default 1024). Outcome-driven rotation keeps replays
+	// deterministic — no clock reads.
+	WindowEvery int
+	// Windows is the rolling ring size (default 8): the rolling view spans
+	// the last Windows x WindowEvery outcomes.
+	Windows int
+	// PendingCap bounds each stream's in-flight prediction ring (default
+	// 128). When it overflows, the oldest entry is retired as overflowed —
+	// counted, never silently dropped.
+	PendingCap int
+	// ShadowEvery samples one in this many fast-tier requests through the
+	// model tier for agreement tracking (0 disables shadow sampling).
+	ShadowEvery int
+	// Metrics is the registry the scoreboard instruments land on (nil means
+	// the tracker still scores, but only the Report surface sees it).
+	Metrics *metrics.Registry
+}
+
+func (c *Config) defaults() {
+	if c.UsefulK <= 0 {
+		c.UsefulK = 16
+	}
+	if c.RetainK < c.UsefulK {
+		c.RetainK = 4 * c.UsefulK
+	}
+	if c.WindowEvery <= 0 {
+		c.WindowEvery = 1024
+	}
+	if c.Windows <= 0 {
+		c.Windows = 8
+	}
+	if c.PendingCap <= 0 {
+		c.PendingCap = 128
+	}
+}
+
+// tierStats is one tier's scoreboard: every field has a cumulative total
+// and a rolling window view.
+type tierStats struct {
+	predictions *metrics.WindowCounter
+	useful      *metrics.WindowCounter
+	late        *metrics.WindowCounter
+	miss        *metrics.WindowCounter
+}
+
+// Tracker is the daemon-wide quality scoreboard. All methods are safe for
+// concurrent use from connection handlers and nil-safe throughout.
+type Tracker struct {
+	cfg Config
+
+	tiers [numTiers]tierStats
+	// hitDist records the access distance of every useful/late match — the
+	// "how early do we predict" histogram.
+	hitDist *metrics.WindowHistogram
+
+	unresolved *metrics.Counter // predictions pending when their stream closed
+	overflow   *metrics.Counter // predictions evicted by PendingCap
+
+	shadowSamples *metrics.WindowCounter
+	shadowAgree   *metrics.WindowCounter
+	shadowDropped *metrics.Counter // shadow jobs dropped on a full queue
+
+	outcomes   atomic.Uint64 // scored outcomes, drives window rotation
+	shadowTick atomic.Uint64
+}
+
+// New builds a tracker. Instruments are registered eagerly so the /metrics
+// surface shows the full scoreboard (zeros included) from boot.
+func New(cfg Config) *Tracker {
+	cfg.defaults()
+	t := &Tracker{cfg: cfg}
+	reg := cfg.Metrics
+	w := cfg.Windows
+	for i := range t.tiers {
+		name := tierName(i)
+		t.tiers[i] = tierStats{
+			predictions: reg.WindowCounter("quality_predictions_"+name, w),
+			useful:      reg.WindowCounter("quality_useful_"+name, w),
+			late:        reg.WindowCounter("quality_late_"+name, w),
+			miss:        reg.WindowCounter("quality_miss_"+name, w),
+		}
+	}
+	t.hitDist = reg.WindowHistogram("quality_hit_distance", w)
+	t.unresolved = reg.Counter("quality_unresolved_total")
+	t.overflow = reg.Counter("quality_overflow_total")
+	t.shadowSamples = reg.WindowCounter("quality_shadow_samples", w)
+	t.shadowAgree = reg.WindowCounter("quality_shadow_agree", w)
+	t.shadowDropped = reg.Counter("quality_shadow_dropped_total")
+	return t
+}
+
+func tierName(i int) string {
+	if i == TierModel {
+		return "model"
+	}
+	return "fast"
+}
+
+// ShadowEvery returns the configured sampling period (0 when disabled or on
+// a nil tracker).
+func (t *Tracker) ShadowEvery() int {
+	if t == nil {
+		return 0
+	}
+	return t.cfg.ShadowEvery
+}
+
+// ShadowTick returns true when the caller's fast-tier request is the one in
+// ShadowEvery that should be shadow-sampled through the model tier. The
+// decision is a single atomic increment — cheap enough that the caller may
+// take it on the latency path and act on it after recording.
+func (t *Tracker) ShadowTick() bool {
+	if t == nil || t.cfg.ShadowEvery <= 0 {
+		return false
+	}
+	return t.shadowTick.Add(1)%uint64(t.cfg.ShadowEvery) == 0
+}
+
+// RecordShadow records one completed shadow comparison.
+func (t *Tracker) RecordShadow(agree bool) {
+	if t == nil {
+		return
+	}
+	t.shadowSamples.Inc()
+	if agree {
+		t.shadowAgree.Inc()
+	}
+	t.outcome(1)
+}
+
+// RecordShadowDropped counts a shadow job discarded because the admission
+// queue was full — shadow work never blocks a handler.
+func (t *Tracker) RecordShadowDropped() {
+	if t == nil {
+		return
+	}
+	t.shadowDropped.Inc()
+}
+
+// outcome accrues n scored outcomes and rotates every window instrument
+// exactly once per WindowEvery crossing (the atomic counter serializes the
+// crossing even when handlers race).
+func (t *Tracker) outcome(n uint64) {
+	if n == 0 {
+		return
+	}
+	every := uint64(t.cfg.WindowEvery)
+	c := t.outcomes.Add(n)
+	if crossings := c/every - (c-n)/every; crossings > 0 {
+		for i := uint64(0); i < crossings; i++ {
+			t.rotate()
+		}
+	}
+}
+
+func (t *Tracker) rotate() {
+	for i := range t.tiers {
+		t.tiers[i].predictions.Rotate()
+		t.tiers[i].useful.Rotate()
+		t.tiers[i].late.Rotate()
+		t.tiers[i].miss.Rotate()
+	}
+	t.hitDist.Rotate()
+	t.shadowSamples.Rotate()
+	t.shadowAgree.Rotate()
+}
+
+// pendEntry is one in-flight prediction awaiting its verdict.
+type pendEntry struct {
+	line uint64 // predicted cache line
+	pos  uint64 // stream position at emission
+	tier uint8
+}
+
+// Session is one stream's scoring state: a bounded ring of pending
+// predictions plus the stream's access position. The serve layer creates
+// one per live session and calls Score for every predict request; all
+// mutation happens under the session's own lock, off the serve session
+// lock and after the request's latency has been recorded.
+type Session struct {
+	mu     sync.Mutex
+	t      *Tracker
+	pos    uint64
+	ring   []pendEntry
+	head   int // oldest live entry
+	n      int // live entries
+	closed bool
+}
+
+// NewSession returns a fresh scoring session (nil from a nil tracker).
+func (t *Tracker) NewSession() *Session {
+	if t == nil {
+		return nil
+	}
+	return &Session{t: t, ring: make([]pendEntry, t.cfg.PendingCap)}
+}
+
+// Score processes one predict request: the demand access (accessLine) first
+// settles pending predictions — matches become useful or late, overage
+// becomes misses — then the request's own emitted predictions join the ring.
+// predicted holds the candidate cache lines in rank order; tier is
+// TierModel or TierFast. No-op on a nil session.
+func (s *Session) Score(accessLine uint64, predicted []uint64, tier int) {
+	if s == nil {
+		return
+	}
+	t := s.t
+	var outcomes uint64
+	s.mu.Lock()
+	if s.closed {
+		// A handler raced the janitor: the session was evicted mid-request.
+		// Its predictions can never settle — book them straight to
+		// unresolved so conservation holds.
+		for range predicted {
+			t.tiers[tier].predictions.Inc()
+			t.unresolved.Inc()
+		}
+		s.mu.Unlock()
+		return
+	}
+	s.pos++
+	pos := s.pos
+	// Settle: walk live entries oldest-first. Matches are tombstoned in
+	// place (compaction would reorder); expired entries at the head retire.
+	retainK := uint64(t.cfg.RetainK)
+	usefulK := uint64(t.cfg.UsefulK)
+	for i := 0; i < s.n; i++ {
+		e := &s.ring[(s.head+i)%len(s.ring)]
+		if e.line == tombstone {
+			continue
+		}
+		if e.line == accessLine {
+			dist := pos - e.pos
+			if dist <= usefulK {
+				t.tiers[e.tier].useful.Inc()
+			} else {
+				t.tiers[e.tier].late.Inc()
+			}
+			t.hitDist.Observe(float64(dist))
+			e.line = tombstone
+			outcomes++
+		}
+	}
+	// Expire from the head: entries older than RetainK (or tombstoned).
+	for s.n > 0 {
+		e := &s.ring[s.head]
+		if e.line == tombstone {
+			s.head = (s.head + 1) % len(s.ring)
+			s.n--
+			continue
+		}
+		if pos-e.pos <= retainK {
+			break
+		}
+		t.tiers[e.tier].miss.Inc()
+		outcomes++
+		s.head = (s.head + 1) % len(s.ring)
+		s.n--
+	}
+	// Admit this request's predictions.
+	for _, line := range predicted {
+		if line == tombstone {
+			continue // the sentinel line can never be scored; skip it
+		}
+		if s.n == len(s.ring) {
+			// Ring full: retire the oldest entry as overflowed (tombstoned
+			// slots were already settled and just free their space).
+			if s.ring[s.head].line != tombstone {
+				t.overflow.Inc()
+				outcomes++
+			}
+			s.head = (s.head + 1) % len(s.ring)
+			s.n--
+		}
+		s.ring[(s.head+s.n)%len(s.ring)] = pendEntry{line: line, pos: pos, tier: uint8(tier)}
+		s.n++
+		t.tiers[tier].predictions.Inc()
+	}
+	s.mu.Unlock()
+	t.outcome(outcomes)
+}
+
+// tombstone marks a settled ring slot; ^0 is not a reachable cache line
+// (it would decode from an address beyond the 64-bit space).
+const tombstone = ^uint64(0)
+
+// Close settles the session: every still-pending prediction is retired as
+// unresolved (the stream ended before its verdict), keeping the
+// conservation identity exact — predictions == useful + late + miss +
+// overflow + unresolved once every stream has closed. No-op on nil.
+func (s *Session) Close() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	for i := 0; i < s.n; i++ {
+		e := s.ring[(s.head+i)%len(s.ring)]
+		if e.line != tombstone {
+			s.t.unresolved.Inc()
+		}
+	}
+	s.n = 0
+	s.closed = true
+	s.mu.Unlock()
+}

@@ -1,0 +1,247 @@
+package quality
+
+import (
+	"encoding/json"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"voyager/internal/metrics"
+)
+
+// TestScoreClassification pins the verdict boundaries: a match within
+// UsefulK accesses is useful, within RetainK late, and aging past RetainK
+// without a match is a miss.
+func TestScoreClassification(t *testing.T) {
+	reg := metrics.NewRegistry()
+	tr := New(Config{UsefulK: 2, RetainK: 4, Metrics: reg})
+	s := tr.NewSession()
+
+	// Access 1 emits predictions for lines 10 (hits at distance 1: useful),
+	// 20 (hits at distance 3: late), 30 (never hit: miss at distance 5).
+	s.Score(1, []uint64{10, 20, 30}, TierFast)
+	s.Score(10, nil, TierFast) // distance 1 → useful
+	s.Score(99, nil, TierFast)
+	s.Score(20, nil, TierFast) // distance 3 → late
+	s.Score(98, nil, TierFast)
+	s.Score(97, nil, TierFast) // line 30 is now 5 accesses old → miss
+
+	wc := func(name string) uint64 { return reg.WindowCounter(name, 8).Total() }
+	if got := wc("quality_useful_fast"); got != 1 {
+		t.Fatalf("useful = %d, want 1", got)
+	}
+	if got := wc("quality_late_fast"); got != 1 {
+		t.Fatalf("late = %d, want 1", got)
+	}
+	if got := wc("quality_miss_fast"); got != 1 {
+		t.Fatalf("miss = %d, want 1", got)
+	}
+	if got := wc("quality_predictions_fast"); got != 3 {
+		t.Fatalf("predictions = %d, want 3", got)
+	}
+	// Tier separation: nothing landed on the model tier.
+	if wc("quality_predictions_model") != 0 {
+		t.Fatal("model tier counted fast-tier predictions")
+	}
+	// Hit distances 1 and 3 in the rolling histogram.
+	if got := reg.WindowHistogram("quality_hit_distance", 8).Window().Count(); got != 2 {
+		t.Fatalf("hit-distance count = %d, want 2", got)
+	}
+}
+
+// TestScoreConservation: for arbitrary access/prediction sequences,
+// predictions == useful + late + miss + overflow + unresolved once the
+// session closes — no prediction is ever double-counted or lost, including
+// through ring overflow and tombstone reuse.
+func TestScoreConservation(t *testing.T) {
+	f := func(seed []byte) bool {
+		reg := metrics.NewRegistry()
+		tr := New(Config{UsefulK: 3, RetainK: 6, PendingCap: 8, WindowEvery: 16, Windows: 2, Metrics: reg})
+		s := tr.NewSession()
+		// Drive accesses and predictions from the fuzz bytes over a tiny
+		// line space so matches actually happen.
+		for i, b := range seed {
+			access := uint64(b % 16)
+			var preds []uint64
+			for j := 0; j < int(b%4); j++ {
+				preds = append(preds, uint64((int(b)+i*7+j)%16))
+			}
+			s.Score(access, preds, int(b)%numTiers)
+		}
+		s.Close()
+		var preds, settled uint64
+		for _, tier := range []string{"model", "fast"} {
+			preds += reg.WindowCounter("quality_predictions_"+tier, 2).Total()
+			settled += reg.WindowCounter("quality_useful_"+tier, 2).Total()
+			settled += reg.WindowCounter("quality_late_"+tier, 2).Total()
+			settled += reg.WindowCounter("quality_miss_"+tier, 2).Total()
+		}
+		settled += reg.Counter("quality_overflow_total").Value()
+		settled += reg.Counter("quality_unresolved_total").Value()
+		return preds == settled
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPhaseChangeVisibleInWindow is the unit-level version of the e2e
+// acceptance property: after a long accurate phase, a workload shift makes
+// the rolling accuracy crater while cumulative accuracy barely moves.
+func TestPhaseChangeVisibleInWindow(t *testing.T) {
+	reg := metrics.NewRegistry()
+	tr := New(Config{UsefulK: 4, RetainK: 8, WindowEvery: 50, Windows: 2, Metrics: reg})
+	s := tr.NewSession()
+
+	// Phase 1: 1000 perfectly predicted accesses (predict the next line).
+	for i := uint64(0); i < 1000; i++ {
+		s.Score(i, []uint64{i + 1}, TierFast)
+	}
+	mid := tr.Report()
+	// Phase 2: the stream jumps to a disjoint region and the (stale)
+	// predictions never match again.
+	for i := uint64(0); i < 300; i++ {
+		s.Score(1_000_000+i*100, []uint64{i + 1}, TierFast)
+	}
+	end := tr.Report()
+
+	if acc := float64(mid.Fast.Accuracy); acc < 0.99 {
+		t.Fatalf("phase-1 accuracy = %.3f, want ~1", acc)
+	}
+	if acc := float64(end.Fast.Accuracy); acc < 0.70 {
+		t.Fatalf("cumulative accuracy = %.3f — should still be masked high", acc)
+	}
+	if acc := float64(end.Fast.WindowAccuracy); acc > 0.10 {
+		t.Fatalf("window accuracy = %.3f — should have cratered", acc)
+	}
+}
+
+// TestRotationDeterminism: same scoring sequence → same rolling counters,
+// because rotation is outcome-driven, not clock-driven.
+func TestRotationDeterminism(t *testing.T) {
+	run := func() (uint64, uint64) {
+		reg := metrics.NewRegistry()
+		tr := New(Config{UsefulK: 2, RetainK: 4, WindowEvery: 7, Windows: 3, Metrics: reg})
+		s := tr.NewSession()
+		for i := uint64(0); i < 200; i++ {
+			s.Score(i, []uint64{i + 1 + i%3}, TierModel)
+		}
+		w := reg.WindowCounter("quality_useful_model", 3)
+		return w.Total(), w.WindowTotal()
+	}
+	t1, w1 := run()
+	t2, w2 := run()
+	if t1 != t2 || w1 != w2 {
+		t.Fatalf("replay diverged: totals %d/%d windows %d/%d", t1, t2, w1, w2)
+	}
+	if w1 == t1 {
+		t.Fatal("window never rotated — rolling view equals cumulative")
+	}
+}
+
+// TestShadowSampling: ShadowTick fires exactly 1-in-N, agreement feeds the
+// rolling counters, and a zero period disables sampling entirely.
+func TestShadowSampling(t *testing.T) {
+	reg := metrics.NewRegistry()
+	tr := New(Config{ShadowEvery: 4, Metrics: reg})
+	fired := 0
+	for i := 0; i < 40; i++ {
+		if tr.ShadowTick() {
+			fired++
+		}
+	}
+	if fired != 10 {
+		t.Fatalf("ShadowTick fired %d/40, want 10", fired)
+	}
+	tr.RecordShadow(true)
+	tr.RecordShadow(false)
+	tr.RecordShadow(true)
+	tr.RecordShadowDropped()
+	r := tr.Report()
+	if r.Shadow.Samples != 3 || r.Shadow.Agree != 2 || r.Shadow.Dropped != 1 {
+		t.Fatalf("shadow report = %+v", r.Shadow)
+	}
+	if got := float64(r.Shadow.Agreement); math.Abs(got-2.0/3.0) > 1e-12 {
+		t.Fatalf("agreement = %v, want 2/3", got)
+	}
+
+	off := New(Config{})
+	if off.ShadowTick() {
+		t.Fatal("ShadowTick fired with sampling disabled")
+	}
+	var nilT *Tracker
+	if nilT.ShadowTick() || nilT.ShadowEvery() != 0 {
+		t.Fatal("nil tracker shadow not inert")
+	}
+}
+
+// TestNilSafety: the nil tracker and nil session are inert end to end —
+// the serve hot path calls these without nil checks.
+func TestNilSafety(t *testing.T) {
+	var tr *Tracker
+	s := tr.NewSession()
+	if s != nil {
+		t.Fatal("nil tracker handed out a session")
+	}
+	s.Score(1, []uint64{2}, TierFast)
+	s.Close()
+	tr.RecordShadow(true)
+	tr.RecordShadowDropped()
+	if r := tr.Report(); r.Global.Predictions != 0 {
+		t.Fatal("nil tracker reported traffic")
+	}
+	rec := httptest.NewRecorder()
+	tr.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/quality", nil))
+	if rec.Code != 404 {
+		t.Fatalf("nil handler status = %d, want 404", rec.Code)
+	}
+}
+
+// TestHandlerAndString: the /quality endpoint serves well-formed JSON with
+// NaN ratios quoted, and the scoreboard renders.
+func TestHandlerAndString(t *testing.T) {
+	tr := New(Config{Metrics: metrics.NewRegistry()})
+	s := tr.NewSession()
+	s.Score(1, []uint64{2}, TierFast)
+	s.Score(2, nil, TierFast)
+
+	rec := httptest.NewRecorder()
+	tr.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/quality", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var r Report
+	if err := json.Unmarshal(rec.Body.Bytes(), &r); err != nil {
+		// NaN fields arrive as quoted strings; decode into a loose map to
+		// confirm the payload is at least valid JSON before failing.
+		var m map[string]any
+		if err2 := json.Unmarshal(rec.Body.Bytes(), &m); err2 != nil {
+			t.Fatalf("endpoint JSON invalid: %v", err2)
+		}
+	}
+	out := tr.Report().String()
+	for _, want := range []string{"model", "fast", "global", "shadow", "useful=1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("scoreboard missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestReportJSONRoundTripsNaN: a boot-state report (all ratios NaN) must
+// still marshal to valid JSON for the endpoint.
+func TestReportJSONRoundTripsNaN(t *testing.T) {
+	tr := New(Config{Metrics: metrics.NewRegistry()})
+	data, err := json.Marshal(tr.Report())
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	if !strings.Contains(string(data), `"accuracy":"NaN"`) {
+		t.Fatalf("NaN accuracy not quoted:\n%s", data)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+}

@@ -1,0 +1,174 @@
+package quality
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// TierReport is one tier's scoreboard slice: cumulative totals since boot
+// next to the rolling-window view. Accuracy is useful/predictions over
+// *settled* predictions (useful+late+miss), so in-flight entries don't
+// read as failures.
+type TierReport struct {
+	Predictions uint64 `json:"predictions"`
+	Useful      uint64 `json:"useful"`
+	Late        uint64 `json:"late"`
+	Miss        uint64 `json:"miss"`
+	Accuracy    JSONed `json:"accuracy"`
+
+	WindowPredictions uint64 `json:"window_predictions"`
+	WindowUseful      uint64 `json:"window_useful"`
+	WindowLate        uint64 `json:"window_late"`
+	WindowMiss        uint64 `json:"window_miss"`
+	WindowAccuracy    JSONed `json:"window_accuracy"`
+}
+
+// ShadowReport summarizes fast-vs-model top-1 agreement from shadow
+// sampling.
+type ShadowReport struct {
+	Samples         uint64 `json:"samples"`
+	Agree           uint64 `json:"agree"`
+	Agreement       JSONed `json:"agreement"`
+	WindowSamples   uint64 `json:"window_samples"`
+	WindowAgree     uint64 `json:"window_agree"`
+	WindowAgreement JSONed `json:"window_agreement"`
+	Dropped         uint64 `json:"dropped"`
+}
+
+// Report is the full /quality payload.
+type Report struct {
+	Model  TierReport   `json:"model"`
+	Fast   TierReport   `json:"fast"`
+	Global TierReport   `json:"global"`
+	Shadow ShadowReport `json:"shadow"`
+
+	Unresolved uint64 `json:"unresolved"`
+	Overflow   uint64 `json:"overflow"`
+
+	// HitDistanceP50/P99: access-distance quantiles of useful+late matches
+	// over the rolling window (log2-bucket representatives).
+	HitDistanceP50 JSONed `json:"hit_distance_p50"`
+	HitDistanceP99 JSONed `json:"hit_distance_p99"`
+}
+
+// JSONed is a float64 that marshals NaN as the quoted string "NaN" (ratio
+// fields are NaN when their denominator is zero — no traffic yet).
+type JSONed float64
+
+// MarshalJSON implements json.Marshaler.
+func (f JSONed) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	if v != v {
+		return []byte(`"NaN"`), nil
+	}
+	return json.Marshal(v)
+}
+
+func ratio(num, den uint64) JSONed {
+	if den == 0 {
+		return JSONed(nanFloat())
+	}
+	return JSONed(float64(num) / float64(den))
+}
+
+func nanFloat() float64 {
+	z := 0.0
+	return z / z
+}
+
+func (t *Tracker) tierReport(ts tierStats) TierReport {
+	r := TierReport{
+		Predictions:       ts.predictions.Total(),
+		Useful:            ts.useful.Total(),
+		Late:              ts.late.Total(),
+		Miss:              ts.miss.Total(),
+		WindowPredictions: ts.predictions.WindowTotal(),
+		WindowUseful:      ts.useful.WindowTotal(),
+		WindowLate:        ts.late.WindowTotal(),
+		WindowMiss:        ts.miss.WindowTotal(),
+	}
+	r.Accuracy = ratio(r.Useful, r.Useful+r.Late+r.Miss)
+	r.WindowAccuracy = ratio(r.WindowUseful, r.WindowUseful+r.WindowLate+r.WindowMiss)
+	return r
+}
+
+func addTier(a, b TierReport) TierReport {
+	s := TierReport{
+		Predictions:       a.Predictions + b.Predictions,
+		Useful:            a.Useful + b.Useful,
+		Late:              a.Late + b.Late,
+		Miss:              a.Miss + b.Miss,
+		WindowPredictions: a.WindowPredictions + b.WindowPredictions,
+		WindowUseful:      a.WindowUseful + b.WindowUseful,
+		WindowLate:        a.WindowLate + b.WindowLate,
+		WindowMiss:        a.WindowMiss + b.WindowMiss,
+	}
+	s.Accuracy = ratio(s.Useful, s.Useful+s.Late+s.Miss)
+	s.WindowAccuracy = ratio(s.WindowUseful, s.WindowUseful+s.WindowLate+s.WindowMiss)
+	return s
+}
+
+// Report assembles the current scoreboard (zero Report on a nil tracker).
+// Ratios across window counters read each counter atomically; under live
+// traffic the numerator and denominator may straddle an increment — the
+// usual telemetry-read caveat, exact once quiesced.
+func (t *Tracker) Report() Report {
+	if t == nil {
+		return Report{}
+	}
+	r := Report{
+		Model:      t.tierReport(t.tiers[TierModel]),
+		Fast:       t.tierReport(t.tiers[TierFast]),
+		Unresolved: t.unresolved.Value(),
+		Overflow:   t.overflow.Value(),
+	}
+	r.Global = addTier(r.Model, r.Fast)
+	r.Shadow = ShadowReport{
+		Samples:       t.shadowSamples.Total(),
+		Agree:         t.shadowAgree.Total(),
+		WindowSamples: t.shadowSamples.WindowTotal(),
+		WindowAgree:   t.shadowAgree.WindowTotal(),
+		Dropped:       t.shadowDropped.Value(),
+	}
+	r.Shadow.Agreement = ratio(r.Shadow.Agree, r.Shadow.Samples)
+	r.Shadow.WindowAgreement = ratio(r.Shadow.WindowAgree, r.Shadow.WindowSamples)
+	win := t.hitDist.Window()
+	r.HitDistanceP50 = JSONed(win.Quantile(0.5))
+	r.HitDistanceP99 = JSONed(win.Quantile(0.99))
+	return r
+}
+
+// Handler serves the scoreboard as JSON — the /quality endpoint on the
+// metrics HTTP server. Usable on a nil tracker (responds 404).
+func (t *Tracker) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if t == nil {
+			http.Error(w, "quality telemetry disabled (run with -quality)", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(t.Report()) // best-effort response: the client may be gone
+	})
+}
+
+// String renders the scoreboard as the -quality replay console output.
+func (r Report) String() string {
+	line := func(name string, t TierReport) string {
+		return fmt.Sprintf("  %-6s preds=%d useful=%d late=%d miss=%d acc=%.3f | window: preds=%d acc=%.3f",
+			name, t.Predictions, t.Useful, t.Late, t.Miss, float64(t.Accuracy),
+			t.WindowPredictions, float64(t.WindowAccuracy))
+	}
+	s := "quality scoreboard:\n" +
+		line("model", r.Model) + "\n" +
+		line("fast", r.Fast) + "\n" +
+		line("global", r.Global) + "\n"
+	s += fmt.Sprintf("  shadow samples=%d agree=%d agreement=%.3f (window %.3f) dropped=%d\n",
+		r.Shadow.Samples, r.Shadow.Agree, float64(r.Shadow.Agreement),
+		float64(r.Shadow.WindowAgreement), r.Shadow.Dropped)
+	s += fmt.Sprintf("  unresolved=%d overflow=%d hit_distance p50=%.1f p99=%.1f",
+		r.Unresolved, r.Overflow, float64(r.HitDistanceP50), float64(r.HitDistanceP99))
+	return s
+}

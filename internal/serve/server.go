@@ -32,6 +32,7 @@ import (
 
 	"voyager/internal/distill"
 	"voyager/internal/metrics"
+	"voyager/internal/serve/quality"
 	"voyager/internal/sortkeys"
 	"voyager/internal/tracing"
 	"voyager/internal/vocab"
@@ -69,6 +70,14 @@ type Config struct {
 	Metrics *metrics.Registry
 	// Tracer records per-request lifecycle spans (nil disables tracing).
 	Tracer *tracing.Tracer
+	// Quality, when set, scores every emitted prediction against the
+	// stream's subsequent demand accesses and, when the tracker's
+	// ShadowEvery is set, shadow-samples fast-tier requests through the
+	// model tier. All quality work runs after each request's latency has
+	// been recorded — it is strictly off the measured prediction path, and
+	// it never changes a response byte (the golden differential runs with
+	// it on and off). nil disables everything.
+	Quality *quality.Tracker
 
 	// FastLatency/ModelLatency, when set, record exact per-request
 	// prediction-path nanoseconds (session advance through candidates
@@ -144,7 +153,7 @@ func New(cfg Config) (*Server, error) {
 		seqLen:   mcfg.SeqLen,
 		degree:   cfg.Degree,
 		histLen:  histLen,
-		sessions: newSessionTable(ringCap, cfg.Metrics),
+		sessions: newSessionTable(ringCap, cfg.Metrics, cfg.Quality),
 		queue:    make(chan *pending, cfg.QueueDepth),
 		obs:      newServeObs(cfg.Metrics, cfg.Tracer),
 		conns:    make(map[uint64]net.Conn),
@@ -247,6 +256,11 @@ func (s *Server) janitor() {
 		select {
 		case <-tick.C:
 			s.sessions.evictIdle(s.cfg.IdleTimeout)
+			s.obs.janitorPasses.Inc()
+			// Piggyback the tracing drop gauge on the janitor cadence so a
+			// capped span arena shows up on /metrics while the daemon runs,
+			// not just in the trace file's post-mortem otherData.
+			s.obs.traceDropped.Set(float64(s.cfg.Tracer.DroppedEvents()))
 		case <-s.stop:
 			return
 		}
@@ -282,5 +296,7 @@ func (s *Server) Close() error {
 	close(s.queue) // batcher drains buffered requests, then exits
 	close(s.stop)  // janitor exits
 	s.loops.Wait()
+	// Final drop-gauge update now that every recording goroutine is joined.
+	s.obs.traceDropped.Set(float64(s.cfg.Tracer.DroppedEvents()))
 	return err
 }

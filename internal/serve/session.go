@@ -18,6 +18,7 @@ import (
 
 	"voyager/internal/distill"
 	"voyager/internal/metrics"
+	"voyager/internal/serve/quality"
 	"voyager/internal/sortkeys"
 	"voyager/internal/trace"
 	"voyager/internal/vocab"
@@ -51,6 +52,11 @@ type session struct {
 	// gone is set when the table drops the session (idle eviction or
 	// OpClose); a handler holding a cached pointer re-fetches on next use.
 	gone atomic.Bool
+
+	// qs is the stream's quality-scoring state (nil when quality telemetry
+	// is off). Set once at creation, closed when the table drops the
+	// session so pending predictions settle as unresolved.
+	qs *quality.Session
 }
 
 // advance encodes one access into the ring under the session lock and
@@ -112,15 +118,17 @@ type sessionTable struct {
 	mu      sync.Mutex
 	m       map[uint64]*session
 	ringCap int
+	quality *quality.Tracker
 
 	active  *metrics.Gauge
 	evicted *metrics.Counter
 }
 
-func newSessionTable(ringCap int, reg *metrics.Registry) *sessionTable {
+func newSessionTable(ringCap int, reg *metrics.Registry, q *quality.Tracker) *sessionTable {
 	return &sessionTable{
 		m:       make(map[uint64]*session),
 		ringCap: ringCap,
+		quality: q,
 		active:  reg.Gauge("serve_sessions_active"),
 		evicted: reg.Counter("serve_sessions_evicted_total"),
 	}
@@ -131,7 +139,7 @@ func (t *sessionTable) get(id uint64) *session {
 	t.mu.Lock()
 	st := t.m[id]
 	if st == nil {
-		st = &session{ring: make([]tok3, t.ringCap)}
+		st = &session{ring: make([]tok3, t.ringCap), qs: t.quality.NewSession()}
 		st.lastUsed.Store(time.Now().UnixNano())
 		t.m[id] = st
 		t.active.Set(float64(len(t.m)))
@@ -145,6 +153,7 @@ func (t *sessionTable) remove(id uint64) {
 	t.mu.Lock()
 	if st := t.m[id]; st != nil {
 		st.gone.Store(true)
+		st.qs.Close()
 		delete(t.m, id)
 		t.active.Set(float64(len(t.m)))
 	}
@@ -167,6 +176,7 @@ func (t *sessionTable) evictIdle(d time.Duration) int {
 		st := t.m[id]
 		if st.lastUsed.Load() < cutoff {
 			st.gone.Store(true)
+			st.qs.Close()
 			delete(t.m, id)
 			n++
 		}

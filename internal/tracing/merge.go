@@ -1,0 +1,155 @@
+package tracing
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strconv"
+)
+
+// Merge combines several exported Chrome trace files into one
+// Perfetto-loadable timeline. Processes are unified BY NAME across inputs:
+// the replay client and the serving daemon both record their RPC tracks
+// under a process named the same way, so after merging, the client's async
+// begin/end events and the server's async instants share a pid and pair
+// under one (pid, cat, id) key — that is the whole point of cross-process
+// trace propagation. Threads are never unified: every input track gets a
+// fresh tid in the merged file (duration-span nesting is per-thread, and
+// two files' "main" threads are distinct timelines that happen to share a
+// label).
+//
+// Inputs are validated individually first (each side's export must stand
+// alone), events keep their per-file order with files concatenated in
+// argument order, dropped-event counts accumulate, and the merged output is
+// re-validated before it is returned. Timestamps pass through verbatim —
+// callers who want cross-file alignment use wall-clock exports; logical
+// exports merge structurally but interleave by sequence number only.
+func Merge(files ...[]byte) ([]byte, error) {
+	parsed := make([]*TraceFile, len(files))
+	for i, data := range files {
+		tf, err := Parse(data)
+		if err != nil {
+			return nil, fmt.Errorf("tracing: merge input %d: %w", i, err)
+		}
+		if _, err := Validate(tf); err != nil {
+			return nil, fmt.Errorf("tracing: merge input %d invalid: %w", i, err)
+		}
+		parsed[i] = tf
+	}
+
+	// Pass 1: unify processes by name (first-seen order fixes merged pids)
+	// and hand every input track a fresh merged tid.
+	type trackKey struct{ file, pid, tid int }
+	var procNames []string
+	procIdx := map[string]int{} // name -> merged pid
+	type mergedTrack struct {
+		pid, tid int
+		thread   string
+	}
+	var tracks []mergedTrack
+	newTID := map[trackKey]int{}
+	filePID := make([]map[int]int, len(parsed)) // per file: old pid -> merged pid
+	for i, tf := range parsed {
+		filePID[i] = map[int]int{}
+		for _, ev := range tf.Events {
+			if ev.Ph != "M" {
+				continue
+			}
+			switch ev.Name {
+			case "process_name":
+				name := metaName(ev)
+				pid, ok := procIdx[name]
+				if !ok {
+					procNames = append(procNames, name)
+					pid = len(procNames)
+					procIdx[name] = pid
+				}
+				filePID[i][ev.PID] = pid
+			case "thread_name":
+				k := trackKey{i, ev.PID, ev.TID}
+				if _, ok := newTID[k]; !ok {
+					tid := len(tracks) + 1
+					newTID[k] = tid
+					tracks = append(tracks, mergedTrack{pid: filePID[i][ev.PID], tid: tid, thread: metaName(ev)})
+				}
+			}
+		}
+	}
+
+	var dropped uint64
+	for i, tf := range parsed {
+		if s, ok := tf.OtherData["droppedEvents"]; ok {
+			n, err := strconv.ParseUint(s, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("tracing: merge input %d: bad droppedEvents %q", i, s)
+			}
+			dropped += n
+		}
+	}
+
+	// Pass 2: emit in the exporter's layout — metadata first, then events
+	// with remapped (pid, tid).
+	var b bytes.Buffer
+	b.WriteString("{\"traceEvents\":[\n")
+	first := true
+	emit := func(line string) {
+		if !first {
+			b.WriteString(",\n")
+		}
+		first = false
+		b.WriteString(line)
+	}
+	for i, p := range procNames {
+		emit(fmt.Sprintf(`{"name":"process_name","ph":"M","pid":%d,"tid":0,"args":{"name":%s}}`,
+			i+1, quote(p)))
+	}
+	for _, tk := range tracks {
+		emit(fmt.Sprintf(`{"name":"thread_name","ph":"M","pid":%d,"tid":%d,"args":{"name":%s}}`,
+			tk.pid, tk.tid, quote(tk.thread)))
+	}
+	for i, tf := range parsed {
+		for _, ev := range tf.Events {
+			if ev.Ph == "M" {
+				continue
+			}
+			pid := filePID[i][ev.PID]
+			tid := newTID[trackKey{i, ev.PID, ev.TID}]
+			ts := ev.TS.String()
+			if ts == "" {
+				ts = "0"
+			}
+			switch ev.Ph {
+			case "B", "E", "i":
+				emit(fmt.Sprintf(`{"name":%s,"ph":%s,"pid":%d,"tid":%d,"ts":%s}`,
+					quote(ev.Name), quote(ev.Ph), pid, tid, ts))
+			case "b", "n", "e":
+				emit(fmt.Sprintf(`{"name":%s,"cat":%s,"ph":%s,"pid":%d,"tid":%d,"ts":%s,"id":%s}`,
+					quote(ev.Name), quote(ev.Cat), quote(ev.Ph), pid, tid, ts, quote(ev.ID)))
+			}
+		}
+	}
+	b.WriteString("\n]")
+	if dropped > 0 {
+		fmt.Fprintf(&b, ",\"otherData\":{\"droppedEvents\":\"%d\"}", dropped)
+	}
+	b.WriteString("}\n")
+
+	out := b.Bytes()
+	if _, err := ValidateBytes(out); err != nil {
+		return nil, fmt.Errorf("tracing: merged trace fails validation: %w", err)
+	}
+	return out, nil
+}
+
+// metaName extracts args.name from a metadata row ("" when absent).
+func metaName(ev ParsedEvent) string {
+	var a struct {
+		Name string `json:"name"`
+	}
+	if len(ev.Args) > 0 {
+		if err := json.Unmarshal(ev.Args, &a); err != nil {
+			return ""
+		}
+	}
+	return a.Name
+}

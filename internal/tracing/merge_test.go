@@ -1,0 +1,152 @@
+package tracing
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestMergePairsAcrossProcessesByName: the cross-process RPC scenario. The
+// client export holds async b/e spans under a process named "rpc"; the
+// server export holds async "n" instants under its own "rpc" process. Each
+// file validates alone (unpaired "n" is legal), and after Merge both land
+// under one unified pid so the instants sit inside the client's span.
+func TestMergePairsAcrossProcessesByName(t *testing.T) {
+	client := New(Options{})
+	ct := client.Track("rpc", "stream-1")
+	ct.AsyncBegin("predict", 7)
+	ct.AsyncEnd("predict", 7)
+	client.Track("replay", "main").Instant("done")
+
+	server := New(Options{})
+	st := server.Track("rpc", "conn-3")
+	st.AsyncInstant("srv_recv", 7)
+	st.AsyncInstant("srv_reply", 7)
+
+	a, b := client.Export(), server.Export()
+	for i, data := range [][]byte{a, b} {
+		if _, err := ValidateBytes(data); err != nil {
+			t.Fatalf("input %d not valid standalone: %v", i, err)
+		}
+	}
+
+	merged, err := Merge(a, b)
+	if err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	st2, err := ValidateBytes(merged)
+	if err != nil {
+		t.Fatalf("merged trace invalid: %v", err)
+	}
+	// Processes unified by name: rpc + replay = 2, not 3.
+	if st2.Processes != 2 {
+		t.Fatalf("merged processes = %d, want 2 (rpc unified)", st2.Processes)
+	}
+	if st2.Threads != 3 {
+		t.Fatalf("merged threads = %d, want 3 (tracks never unified)", st2.Threads)
+	}
+	if st2.AsyncSpans != 1 {
+		t.Fatalf("merged async spans = %d, want 1", st2.AsyncSpans)
+	}
+	if st2.Instants != 3 { // "done" + two server marks
+		t.Fatalf("merged instants = %d, want 3", st2.Instants)
+	}
+	// The pairing is literal: client span events and server marks must carry
+	// the same pid and id in the merged file.
+	tf, err := Parse(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pidOf := map[string]int{}
+	for _, ev := range tf.Events {
+		if ev.Ph == "b" || ev.Ph == "n" {
+			if ev.ID != "0x7" {
+				t.Fatalf("event %q id = %s, want 0x7", ev.Name, ev.ID)
+			}
+			pidOf[ev.Name] = ev.PID
+		}
+	}
+	if pidOf["predict"] != pidOf["srv_recv"] {
+		t.Fatalf("client span pid %d != server mark pid %d after merge",
+			pidOf["predict"], pidOf["srv_recv"])
+	}
+}
+
+// TestMergeKeepsThreadsDistinct: two files with identically named
+// process/thread pairs carrying their own duration spans must not be
+// flattened onto one thread — nesting would break. Merge gives each input
+// track a fresh tid.
+func TestMergeKeepsThreadsDistinct(t *testing.T) {
+	mk := func() []byte {
+		tr := New(Options{})
+		sp := tr.Track("train", "main").Begin("epoch")
+		sp.End()
+		return tr.Export()
+	}
+	merged, err := Merge(mk(), mk())
+	if err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	st, err := ValidateBytes(merged)
+	if err != nil {
+		t.Fatalf("merged invalid: %v", err)
+	}
+	if st.Processes != 1 || st.Threads != 2 || st.Spans != 2 {
+		t.Fatalf("procs=%d threads=%d spans=%d, want 1/2/2",
+			st.Processes, st.Threads, st.Spans)
+	}
+}
+
+// TestMergeAccumulatesDropped: otherData dropped counts sum across inputs.
+func TestMergeAccumulatesDropped(t *testing.T) {
+	withDrops := func(n string) []byte {
+		tr := New(Options{})
+		tr.Track("p", "t").Instant("x")
+		data := tr.Export()
+		return bytes.Replace(data, []byte("}\n]"),
+			[]byte("}\n],\"otherData\":{\"droppedEvents\":\""+n+"\"}"), 1)
+	}
+	// otherData is spliced into otherwise-clean exports — the arena cap is
+	// too large to hit honestly in a unit test.
+	merged, err := Merge(withDrops("3"), withDrops("4"))
+	if err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	if !strings.Contains(string(merged), `"droppedEvents":"7"`) {
+		t.Fatalf("merged otherData missing summed drops:\n%s", merged)
+	}
+}
+
+// TestMergeRejectsInvalidInput: a structurally broken input fails the merge
+// with an error naming the input, instead of contaminating the output.
+func TestMergeRejectsInvalidInput(t *testing.T) {
+	good := New(Options{})
+	good.Track("p", "t").Instant("x")
+	bad := []byte(`{"traceEvents":[{"name":"e","ph":"E","pid":1,"tid":1,"ts":0}]}`)
+	if _, err := Merge(good.Export(), bad); err == nil {
+		t.Fatal("Merge accepted an invalid input")
+	}
+	if _, err := Merge([]byte("{")); err == nil {
+		t.Fatal("Merge accepted unparseable input")
+	}
+}
+
+// TestTracerDroppedEvents: the counter is 0 on a quiet tracer and on nil,
+// and reflects per-track drops once an arena caps out (exercised on the
+// accounting path via the snapshot counter, not by recording 4M events).
+func TestTracerDroppedEvents(t *testing.T) {
+	var nilTracer *Tracer
+	if nilTracer.DroppedEvents() != 0 {
+		t.Fatal("nil tracer reported drops")
+	}
+	tr := New(Options{})
+	tk := tr.Track("p", "t")
+	tk.Instant("x")
+	if tr.DroppedEvents() != 0 {
+		t.Fatal("clean tracer reported drops")
+	}
+	tk.dropped.Add(5)
+	if got := tr.DroppedEvents(); got != 5 {
+		t.Fatalf("DroppedEvents = %d, want 5", got)
+	}
+}

@@ -156,6 +156,36 @@ func (tk *Track) InstantAt(name string, ts int64) {
 	tk.record(PhaseInstant, name, 0, ts)
 }
 
+// AsyncBegin opens an async span (Chrome "b") at the current wall clock.
+// id must be unique within this track's process for the span's lifetime.
+// The wall-clock async family is what cross-process RPC tracing uses: the
+// client opens/closes the span around its request, the server drops
+// AsyncInstant marks under the same (process, id) key, and tracing.Merge
+// unifies the two processes by name so the marks land inside the span.
+func (tk *Track) AsyncBegin(name string, id uint64) {
+	if tk == nil {
+		return
+	}
+	tk.record(PhaseAsyncBegin, name, id, tk.now())
+}
+
+// AsyncInstant records an instant inside an async span (Chrome "n") at the
+// current wall clock.
+func (tk *Track) AsyncInstant(name string, id uint64) {
+	if tk == nil {
+		return
+	}
+	tk.record(PhaseAsyncInstant, name, id, tk.now())
+}
+
+// AsyncEnd closes an async span (Chrome "e") at the current wall clock.
+func (tk *Track) AsyncEnd(name string, id uint64) {
+	if tk == nil {
+		return
+	}
+	tk.record(PhaseAsyncEnd, name, id, tk.now())
+}
+
 // AsyncBeginAt opens an async span (Chrome "b") with an explicit timestamp.
 // id must be unique within this track's process for the span's lifetime.
 func (tk *Track) AsyncBeginAt(name string, id uint64, ts int64) {
@@ -281,6 +311,25 @@ func (t *Tracer) track(process, thread string, explicit bool) *Track {
 		process: process, thread: thread, explicit: explicit}
 	t.tracks = append(t.tracks, tk)
 	return tk
+}
+
+// DroppedEvents returns the total number of events dropped across all
+// tracks because their arenas hit the chunk cap (0 on a nil tracer). The
+// export already reports this in otherData; exposing it as a method lets
+// the serving daemon surface it as a live /metrics gauge instead of a
+// post-mortem note in the trace file.
+func (t *Tracer) DroppedEvents() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	tracks := append([]*Track(nil), t.tracks...)
+	t.mu.Unlock()
+	var n uint64
+	for _, tk := range tracks {
+		n += tk.dropped.Load()
+	}
+	return n
 }
 
 // flushLoop periodically rewrites the output file with a snapshot. done is

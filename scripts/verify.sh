@@ -46,7 +46,7 @@ baseline=$(cat scripts/coverage_baseline.txt)
 awk -v t="$total" -v b="$baseline" 'BEGIN {
   if (t + 0 < b + 0) { printf "coverage: repo-wide %.1f%% < baseline %.1f%%\n", t, b; exit 1 }
   printf "coverage: repo-wide %.1f%% (baseline %.1f%%)\n", t, b }'
-for gate in internal/metrics:90 internal/tracing:90 internal/serve:85; do
+for gate in internal/metrics:90 internal/tracing:90 internal/serve:85 internal/serve/quality:90; do
   pkg="${gate%:*}"; floor="${gate#*:}"
   pcov=$(go test -cover "./$pkg/" | awk 'match($0, /coverage: [0-9.]+%/) {
     s = substr($0, RSTART + 10, RLENGTH - 11); print s }')
@@ -69,8 +69,8 @@ go test -run 'TestArenaSteadyStateAllocationFree' ./internal/tensor/
 go test -run 'TestHotPathAllocFree' ./internal/metrics/
 go test -run 'TestNilTracerAllocFree' ./internal/tracing/
 
-echo "== go test -race (tensor, nn, metrics, tracing, voyager, trace)"
-go test -race ./internal/tensor/ ./internal/nn/ ./internal/trace/ ./internal/metrics/ ./internal/tracing/
+echo "== go test -race (tensor, nn, metrics, tracing, voyager, trace, quality)"
+go test -race ./internal/tensor/ ./internal/nn/ ./internal/trace/ ./internal/metrics/ ./internal/tracing/ ./internal/serve/quality/
 # The full voyager suite under -race takes ~10 min of end-to-end training;
 # the concurrency surface is the parallel engine, so race-check the tests
 # that exercise sharded TrainBatch/PredictBatch plus one e2e training run.
